@@ -1,0 +1,631 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) on the seeded synthetic analogues of its corpora.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table2       -- one section
+     dune exec bench/main.exe -- --quick all  -- reduced scales
+
+   Sections: table2 table3 fig5 fig6 sec64 ablation values micro.
+   Absolute numbers differ from the paper (different hardware, generated
+   corpora); the shapes under test are listed in DESIGN.md §7 and the
+   measured-vs-paper comparison is recorded in EXPERIMENTS.md. *)
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let scale q f = if quick then q else f
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let pf fmt = Printf.printf fmt
+
+let header title =
+  pf "\n==========================================================\n";
+  pf "%s\n" title;
+  pf "==========================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* Datasets: seeded analogues of the paper's corpora (substitutions are
+   documented in DESIGN.md §2). *)
+
+type dataset = {
+  name : string;
+  doc : string Lazy.t;
+  storage : Nok.Storage.t Lazy.t;
+  path_tree : Pathtree.Path_tree.t Lazy.t;
+  kernel : Core.Kernel.t Lazy.t;
+  table : Xml.Label.table;
+  card_threshold : float;  (* paper: 20 for Treebank, small otherwise *)
+  bsel_threshold : float;  (* paper: 0.001 for Treebank, 0.1 otherwise *)
+  paper_row : string;  (* the corresponding Table 2 row, for reference *)
+}
+
+let make_dataset name ~card_threshold ~bsel_threshold ~paper_row gen =
+  let table = Xml.Label.create_table () in
+  let doc = lazy (gen ()) in
+  let storage = lazy (Nok.Storage.of_string ~table (Lazy.force doc)) in
+  let path_tree = lazy (Pathtree.Path_tree.of_string ~table (Lazy.force doc)) in
+  let kernel = lazy (Core.Builder.of_string ~table (Lazy.force doc)) in
+  { name; doc; storage; path_tree; kernel; table; card_threshold;
+    bsel_threshold; paper_row }
+
+let dblp =
+  make_dataset "DBLP" ~card_threshold:0.5 ~bsel_threshold:0.1
+    ~paper_row:"169MB, 4.02M nodes, rl 0/1, kernel 2.8KB"
+    (fun () -> Datagen.Dblp.generate ~seed:101 ~records:(scale 1000 8000) ())
+
+let xmark10 =
+  make_dataset "XMark10" ~card_threshold:0.5 ~bsel_threshold:0.1
+    ~paper_row:"11MB, 168K nodes, rl 0.04/1, kernel 2.7KB"
+    (fun () -> Datagen.Xmark.generate ~seed:102 ~items:(scale 60 1200) ())
+
+let xmark100 =
+  make_dataset "XMark100" ~card_threshold:0.5 ~bsel_threshold:0.1
+    ~paper_row:"116MB, 1.67M nodes, rl 0.04/1, kernel 2.7KB"
+    (fun () -> Datagen.Xmark.generate ~seed:102 ~items:(scale 600 12000) ())
+
+let treebank05 =
+  make_dataset "Treebank.05" ~card_threshold:20.0 ~bsel_threshold:0.001
+    ~paper_row:"3.4MB, 121K nodes, rl 1.3/8, kernel 24.2KB"
+    (fun () -> Datagen.Treebank.generate ~seed:103 ~sentences:(scale 250 1200) ())
+
+let treebank =
+  make_dataset "Treebank" ~card_threshold:20.0 ~bsel_threshold:0.001
+    ~paper_row:"86MB, 2.44M nodes, rl 1.3/10, kernel 72.7KB"
+    (fun () -> Datagen.Treebank.generate ~seed:103 ~sentences:(scale 2500 24000) ())
+
+let table3_datasets = [ dblp; xmark10; xmark100; treebank05 ]
+let all_datasets = table3_datasets @ [ treebank ]
+
+(* ------------------------------------------------------------------ *)
+(* Workloads (paper §6.1): all SP queries + random BP and CP queries. *)
+
+let workload_count = scale 80 300
+
+let sp_queries ds = Datagen.Workload.all_simple_paths (Lazy.force ds.path_tree)
+
+let bp_queries ?(mbp = 1) ?(count = workload_count) ds =
+  let rng = Datagen.Rng.create ~seed:7001 in
+  Datagen.Workload.branching (Lazy.force ds.path_tree) ~rng ~count ~mbp ()
+
+let cp_queries ?(mbp = 1) ?(count = workload_count) ds =
+  let rng = Datagen.Rng.create ~seed:7002 in
+  Datagen.Workload.complex (Lazy.force ds.path_tree) ~rng ~count ~mbp ()
+
+let combined ds = sp_queries ds @ bp_queries ds @ cp_queries ds
+
+(* Ground-truth cache: NoK evaluation per (dataset, query). *)
+let actual_cache : (string * string, float) Hashtbl.t = Hashtbl.create 4096
+
+let actual ds q =
+  let key = (ds.name, Xpath.Ast.to_string q) in
+  match Hashtbl.find_opt actual_cache key with
+  | Some a -> a
+  | None ->
+    let a = float_of_int (Nok.Eval.cardinality (Lazy.force ds.storage) q) in
+    Hashtbl.add actual_cache key a;
+    a
+
+(* HET cache: 1BP HETs are reused across sections. *)
+let het_cache : (string, Core.Het.t * Core.Het_builder.stats * float) Hashtbl.t =
+  Hashtbl.create 8
+
+let het_1bp ds =
+  match Hashtbl.find_opt het_cache ds.name with
+  | Some entry -> entry
+  | None ->
+    let (het, stats), seconds =
+      time (fun () ->
+          Core.Het_builder.build ~mbp:1 ~bsel_threshold:ds.bsel_threshold
+            ~card_threshold:ds.card_threshold ~kernel:(Lazy.force ds.kernel)
+            ~path_tree:(Lazy.force ds.path_tree)
+            ~storage:(Lazy.force ds.storage) ())
+    in
+    Hashtbl.add het_cache ds.name (het, stats, seconds);
+    (het, stats, seconds)
+
+let summarize_pairs ds estimator_fn queries =
+  Stats.Metrics.summarize
+    (List.map (fun q -> (estimator_fn q, actual ds q)) queries)
+
+let xseed_estimator ?budget ds =
+  let kernel = Lazy.force ds.kernel in
+  match budget with
+  | None -> Core.Estimator.create ~card_threshold:ds.card_threshold kernel
+  | Some bytes ->
+    let het, _, _ = het_1bp ds in
+    Core.Het.set_budget het
+      ~bytes:(max 0 (bytes - Core.Kernel.size_in_bytes kernel));
+    Core.Estimator.create ~card_threshold:ds.card_threshold ~het kernel
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: data characteristics, kernel size, construction times. *)
+
+let table2 () =
+  header "Table 2: data sets, XSEED kernel size, construction times";
+  pf "(paper rows are quoted per dataset for shape comparison)\n\n";
+  pf "%-12s %10s %9s %11s %9s | %9s %9s %12s | %14s\n" "dataset" "bytes"
+    "nodes" "avg/max rl" "paths" "kernel B" "kern (s)" "1BP HET (s)"
+    "TreeSketch (s)";
+  List.iter
+    (fun ds ->
+      let doc = Lazy.force ds.doc in
+      let stats = Xml.Doc_stats.of_string doc in
+      let kernel, kernel_seconds =
+        time (fun () -> Core.Builder.of_string (Lazy.force ds.doc))
+      in
+      ignore (Lazy.force ds.kernel);
+      let _, _, het_seconds = het_1bp ds in
+      let ts_cell =
+        (* TreeSketch at the 50KB budget; the work cutoff reproduces DNF. *)
+        let max_work = scale 20_000_000 200_000_000 in
+        let (sketch, ts_stats), seconds =
+          time (fun () ->
+              Treesketch.Sketch.build ~budget_bytes:51_200 ~max_work
+                (Lazy.force ds.storage))
+        in
+        ignore (sketch : Treesketch.Sketch.t);
+        if ts_stats.completed then Printf.sprintf "%14.2f" seconds
+        else Printf.sprintf "%11.0f DNF" seconds
+      in
+      pf "%-12s %10d %9d %6.2f/%-4d %9d | %9d %9.3f %12.2f | %s\n" ds.name
+        stats.total_bytes stats.node_count stats.avg_recursion_level
+        stats.max_recursion_level
+        (Pathtree.Path_tree.size (Lazy.force ds.path_tree))
+        (Core.Kernel.size_in_bytes kernel)
+        kernel_seconds het_seconds ts_cell;
+      pf "%-12s   paper: %s\n" "" ds.paper_row)
+    all_datasets;
+  pf "\nShape under test: kernel construction is a single parse (negligible);\n";
+  pf "HET construction is the slower precomputation; TreeSketch construction\n";
+  pf "is orders of magnitude slower still (our bounded greedy finishes at\n";
+  pf "these corpus sizes; the paper's exhaustive greedy DNFs on Treebank,\n";
+  pf "and the work cutoff reproduces that at larger scales).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: accuracy under 25KB / 50KB budgets vs TreeSketch. *)
+
+let paper_table3 =
+  [ ("DBLP",
+     "kernel 1960.5/15.4% | 25K: xs 103/0.81% ts 221.5/1.67% | 50K: xs 103/0.81% ts 203.1/1.59%");
+    ("XMark10",
+     "kernel 39.6/15.1% | 25K: xs 3.7/1.43% ts 62.7/23.7% | 50K: xs 3.7/1.43% ts 58.4/22.1%");
+    ("XMark100",
+     "kernel 276.2/5.06% | 25K: xs 256.3/4.71% ts 638.2/11.7% | 50K: xs 256.3/4.71% ts 635.5/11.65%");
+    ("Treebank.05",
+     "kernel 22.7/169% | 25K: xs 22.7/169% ts 229.6/877% | 50K: xs 12.8/95.6% ts 227.1/867%") ]
+
+let table3 () =
+  header "Table 3: RMSE / NRMSE under memory budgets (XSEED vs TreeSketch)";
+  pf "workload per dataset: all SP + %d BP + %d CP\n\n" workload_count
+    workload_count;
+  pf "%-12s %-24s %10s %10s\n" "dataset" "program" "RMSE" "NRMSE";
+  List.iter
+    (fun ds ->
+      let queries = combined ds in
+      let report label fn =
+        let s = summarize_pairs ds fn queries in
+        pf "%-12s %-24s %10.2f %9.2f%%\n" ds.name label s.rmse (100.0 *. s.nrmse)
+      in
+      let kernel_only = xseed_estimator ds in
+      report "XSEED kernel" (fun q -> Core.Estimator.estimate kernel_only q);
+      List.iter
+        (fun budget ->
+          let est = xseed_estimator ~budget ds in
+          report
+            (Printf.sprintf "XSEED %dKB" (budget / 1024))
+            (fun q -> Core.Estimator.estimate est q);
+          let sketch, ts_stats =
+            Treesketch.Sketch.build ~budget_bytes:budget
+              ~max_work:(scale 20_000_000 200_000_000)
+              (Lazy.force ds.storage)
+          in
+          let suffix = if ts_stats.completed then "" else " (cutoff)" in
+          report
+            (Printf.sprintf "TreeSketch %dKB%s" (budget / 1024) suffix)
+            (fun q ->
+              Treesketch.Sketch.estimate ~card_threshold:ds.card_threshold
+                ~max_depth:(if ds.card_threshold > 1.0 then 24 else 40)
+                sketch q))
+        [ 25 * 1024; 50 * 1024 ];
+      (match List.assoc_opt ds.name paper_table3 with
+       | Some row -> pf "%-12s   paper: %s\n" "" row
+       | None -> ());
+      pf "\n")
+    table3_datasets;
+  pf "Shapes under test: (1) on recursive data XSEED beats TreeSketch by a\n";
+  pf "large factor even kernel-only; (2) on non-recursive data the bare\n";
+  pf "kernel loses to TreeSketch but kernel+HET wins; (3) a bigger budget\n";
+  pf "never hurts XSEED.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: estimation errors per query type on DBLP. *)
+
+let fig5 () =
+  header "Figure 5: estimation errors by query type on DBLP";
+  let ds = dblp in
+  let kernel_only = xseed_estimator ds in
+  let with_het = xseed_estimator ~budget:(25 * 1024) ds in
+  let sketch, _ =
+    Treesketch.Sketch.build ~budget_bytes:(25 * 1024)
+      ~max_work:(scale 20_000_000 200_000_000)
+      (Lazy.force ds.storage)
+  in
+  pf "%-6s %-14s %10s %10s\n" "type" "program" "RMSE" "NRMSE";
+  List.iter
+    (fun (kind, queries) ->
+      let report label fn =
+        let s = summarize_pairs ds fn queries in
+        pf "%-6s %-14s %10.2f %9.2f%%\n" kind label s.rmse (100.0 *. s.nrmse)
+      in
+      report "kernel" (fun q -> Core.Estimator.estimate kernel_only q);
+      report "XSEED" (fun q -> Core.Estimator.estimate with_het q);
+      report "TreeSketch" (fun q -> Treesketch.Sketch.estimate sketch q);
+      pf "\n")
+    [ ("SP", sp_queries ds); ("BP", bp_queries ds); ("CP", cp_queries ds) ];
+  (* The specific anomaly the paper calls out. *)
+  let anomaly = Xpath.Parser.parse "/dblp/article[pages]/publisher" in
+  pf "the paper's anomaly query /dblp/article[pages]/publisher:\n";
+  pf "  actual %.0f | kernel %.1f | XSEED+HET %.1f\n" (actual ds anomaly)
+    (Core.Estimator.estimate kernel_only anomaly)
+    (Core.Estimator.estimate with_het anomaly);
+  pf "  (bsel(pages)=0.8 > BSEL_THRESHOLD=0.1 so the correlated hyper-edge\n";
+  pf "   is omitted - the one case where TreeSketch wins in the paper)\n";
+  pf "\nShape under test: BP on DBLP is XSEED's weak spot (sibling\n";
+  pf "correlations above BSEL_THRESHOLD); SP and CP favour XSEED.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: MBP settings on DBLP - HET construction time vs error. *)
+
+let fig6 () =
+  header "Figure 6: max-branching-predicate settings on DBLP (2BP workload)";
+  let ds = dblp in
+  let queries = bp_queries ~mbp:2 ~count:workload_count ds in
+  let kernel = Lazy.force ds.kernel in
+  pf "%-14s %12s %10s %10s %14s\n" "HET setting" "build (s)" "RMSE" "NRMSE"
+    "HET entries";
+  let report label het seconds =
+    let est =
+      Core.Estimator.create ~card_threshold:ds.card_threshold ?het kernel
+    in
+    let s = summarize_pairs ds (fun q -> Core.Estimator.estimate est q) queries in
+    pf "%-14s %12.2f %10.2f %9.2f%% %14s\n" label seconds s.rmse
+      (100.0 *. s.nrmse)
+      (match het with
+       | None -> "-"
+       | Some h -> string_of_int (Core.Het.total_count h))
+  in
+  report "0BP (kernel)" None 0.0;
+  List.iter
+    (fun mbp ->
+      let (het, _stats), seconds =
+        time (fun () ->
+            Core.Het_builder.build ~mbp ~bsel_threshold:ds.bsel_threshold
+              ~card_threshold:ds.card_threshold ~kernel
+              ~path_tree:(Lazy.force ds.path_tree)
+              ~storage:(Lazy.force ds.storage) ())
+      in
+      report (Printf.sprintf "%dBP" mbp) (Some het) seconds)
+    [ 1; 2 ];
+  pf "\npaper: error falls 66%% from 0BP to 1BP but only 8%% more from 1BP to\n";
+  pf "2BP, while 2BP construction costs ~10x 1BP.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.4: estimation time vs actual query time; EPT size. *)
+
+let sec64 () =
+  header "Section 6.4: estimation efficiency";
+  let sample_size = scale 20 40 in
+  pf "%-12s %12s %12s %9s | %10s %10s %9s\n" "dataset" "est (ms)" "query (ms)"
+    "ratio" "EPT nodes" "doc nodes" "EPT/doc";
+  List.iter
+    (fun ds ->
+      let kernel = Lazy.force ds.kernel in
+      let storage = Lazy.force ds.storage in
+      let queries =
+        let all = Array.of_list (combined ds) in
+        let rng = Datagen.Rng.create ~seed:9009 in
+        Datagen.Rng.shuffle rng all;
+        Array.to_list (Array.sub all 0 (min sample_size (Array.length all)))
+      in
+      let estimator =
+        Core.Estimator.create ~card_threshold:ds.card_threshold kernel
+      in
+      let (), est_seconds =
+        time (fun () ->
+            List.iter
+              (fun q -> ignore (Core.Estimator.estimate estimator q : float))
+              queries)
+      in
+      let (), query_seconds =
+        time (fun () ->
+            List.iter (fun q -> ignore (Nok.Eval.cardinality storage q : int)) queries)
+      in
+      let n = float_of_int (List.length queries) in
+      let ept =
+        Core.Matcher.materialize
+          (Core.Traveler.create ~card_threshold:ds.card_threshold kernel)
+      in
+      let doc_nodes = Nok.Storage.node_count storage in
+      pf "%-12s %12.3f %12.3f %8.2f%% | %10d %10d %8.3f%%\n" ds.name
+        (1000.0 *. est_seconds /. n)
+        (1000.0 *. query_seconds /. n)
+        (100.0 *. est_seconds /. query_seconds)
+        (Core.Matcher.node_count ept)
+        doc_nodes
+        (100.0
+        *. float_of_int (Core.Matcher.node_count ept)
+        /. float_of_int doc_nodes);
+      pf "%-12s   (CARD_THRESHOLD = %g)\n" "" ds.card_threshold)
+    all_datasets;
+  pf "\npaper ratios: DBLP 0.018%%, XMark10 0.57%%, XMark100 0.0916%%,\n";
+  pf "Treebank.05 2%%, Treebank 1.5%%; EPT/doc: 0.0035%% / 0.036%% / 0.05%% /\n";
+  pf "6.9%% / 5.5%%. Shape under test: estimation is a small fraction of\n";
+  pf "actual querying; the threshold keeps the EPT small on recursive data.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: what each design choice called out in DESIGN.md buys. *)
+
+let ablation () =
+  header "Ablations (design choices from DESIGN.md)";
+
+  (* A. Recursion-level vectors (the paper's key novelty): XSEED vs a
+     recursion-blind variant (collapsed kernel + level-0 traveler). *)
+  pf "A. recursion-aware kernel vs collapsed (Treebank.05, recursive queries)\n";
+  let ds = treebank05 in
+  let kernel = Lazy.force ds.kernel in
+  let flat = Core.Kernel.collapse_levels kernel in
+  let aware = Core.Estimator.create ~card_threshold:2.0 kernel in
+  let blind =
+    Core.Estimator.create ~card_threshold:2.0 ~recursion_aware:false flat
+  in
+  let recursive_queries =
+    List.filter_map
+      (fun q -> match Xpath.Parser.parse q with p -> Some p | exception _ -> None)
+      [ "//S//S"; "//NP//NP"; "//VP//VP"; "//S//S//S"; "//NP//NP//NP";
+        "//SBAR//S"; "//S//VP"; "//NP//PP//NP" ]
+  in
+  pf "%-16s %10s %12s %14s\n" "query" "actual" "recursion-on" "recursion-off";
+  List.iter
+    (fun q ->
+      pf "%-16s %10.0f %12.1f %14.1f\n"
+        (Xpath.Ast.to_string q)
+        (actual ds q)
+        (Core.Estimator.estimate aware q)
+        (Core.Estimator.estimate blind q))
+    recursive_queries;
+  let rec_s =
+    Stats.Metrics.summarize
+      (List.map (fun q -> (Core.Estimator.estimate aware q, actual ds q)) recursive_queries)
+  in
+  let blind_s =
+    Stats.Metrics.summarize
+      (List.map (fun q -> (Core.Estimator.estimate blind q, actual ds q)) recursive_queries)
+  in
+  pf "RMSE: recursion-aware %.1f vs blind %.1f (%.1fx)\n" rec_s.rmse blind_s.rmse
+    (blind_s.rmse /. Float.max 1e-9 rec_s.rmse);
+  pf "kernel bytes: with levels %d, collapsed %d\n\n"
+    (Core.Kernel.size_in_bytes kernel)
+    (Core.Kernel.size_in_bytes flat);
+
+  (* B. Zero-cardinality HET entries for kernel false positives. *)
+  pf "B. HET zero-entries for kernel false-positive paths (Treebank.05, SP)\n";
+  let fp_threshold = 2.0 in
+  let het_with, _ =
+    Core.Het_builder.build ~bsel_threshold:ds.bsel_threshold
+      ~card_threshold:fp_threshold ~kernel ~path_tree:(Lazy.force ds.path_tree) ()
+  in
+  let het_without, _ =
+    Core.Het_builder.build ~zero_entries:false ~bsel_threshold:ds.bsel_threshold
+      ~card_threshold:fp_threshold ~kernel ~path_tree:(Lazy.force ds.path_tree) ()
+  in
+  (* Zero entries matter for paths derivable from the kernel but absent from
+     the data (Observation 1's false positives): walk the EPT and keep the
+     label paths the path tree does not contain. *)
+  let fp_queries =
+    let pt = Lazy.force ds.path_tree in
+    let traveler = Core.Traveler.create ~card_threshold:fp_threshold kernel in
+    let acc = ref [] in
+    let path = ref [] in
+    Core.Traveler.iter traveler ~f:(fun event ->
+        match event with
+        | Core.Traveler.Open { label; _ } ->
+          path := label :: !path;
+          let labels = List.rev !path in
+          if Pathtree.Path_tree.find_path pt labels = None then
+            acc :=
+              List.map
+                (fun l ->
+                  { Xpath.Ast.axis = Xpath.Ast.Child;
+                    test = Xpath.Ast.Name (Xml.Label.name ds.table l);
+                    predicates = []; value_predicates = [] })
+                labels
+              :: !acc
+        | Core.Traveler.Close _ ->
+          (match !path with [] -> () | _ :: rest -> path := rest)
+        | Core.Traveler.Eos -> ());
+    List.filteri (fun i _ -> i mod 3 = 0) (List.rev !acc)
+  in
+  let err het =
+    let est = Core.Estimator.create ~card_threshold:fp_threshold ~het kernel in
+    let ept = Core.Estimator.ept est in
+    Stats.Metrics.summarize
+      (List.map (fun q -> (Core.Estimator.estimate_on est ept q, 0.0)) fp_queries)
+  in
+  if fp_queries = [] then pf "no false-positive paths at this scale\n\n"
+  else
+    pf "%d false-positive (empty-result) paths: RMSE with zero-entries %.2f, without %.2f\n\n"
+      (List.length fp_queries) (err het_with).rmse (err het_without).rmse;
+
+  (* C. The Markov-table related-work baseline: accuracy where it applies,
+     and how much of the workload it cannot answer at all. *)
+  pf "C. Markov-table baseline (related work [1]) on DBLP\n";
+  let ds = dblp in
+  let storage = Lazy.force ds.storage in
+  let queries = combined ds in
+  let mt2 = Markov.Markov_table.build ~order:2 storage in
+  let mt3 = Markov.Markov_table.build ~order:3 storage in
+  let xseed = xseed_estimator ~budget:(25 * 1024) ds in
+  let xseed_ept = Core.Estimator.ept xseed in
+  let report label estimate size =
+    let supported = ref 0 in
+    let pairs =
+      List.filter_map
+        (fun q ->
+          match estimate q with
+          | Some e ->
+            incr supported;
+            Some (e, actual ds q)
+          | None -> None)
+        queries
+    in
+    let s = Stats.Metrics.summarize pairs in
+    pf "%-14s %10.2f %9.2f%% %10d B %9d/%d queries answered\n" label s.rmse
+      (100.0 *. s.nrmse) size !supported (List.length queries)
+  in
+  pf "%-14s %10s %10s %12s %s\n" "program" "RMSE" "NRMSE" "size" "coverage";
+  report "Markov k=2" (fun q -> Markov.Markov_table.estimate mt2 q)
+    (Markov.Markov_table.size_in_bytes mt2);
+  report "Markov k=3" (fun q -> Markov.Markov_table.estimate mt3 q)
+    (Markov.Markov_table.size_in_bytes mt3);
+  report "XSEED 25KB"
+    (fun q -> Some (Core.Estimator.estimate_on xseed xseed_ept q))
+    (Core.Estimator.size_in_bytes xseed);
+  pf "\n(RMSE compared only over each program's supported queries; the\n";
+  pf "Markov baseline cannot answer branching or wildcard queries at all -\n";
+  pf "the coverage gap the paper's related-work section points out.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Value predicates (the paper's future-work layer): histogram-based
+   selectivities vs ignoring the predicates. *)
+
+let values () =
+  header "Value predicates (future-work extension, Section 1)";
+  List.iter
+    (fun (name, doc) ->
+      let st = Nok.Storage.of_string ~with_values:true doc in
+      let pt = Pathtree.Path_tree.of_string ~table:st.Nok.Storage.table doc in
+      let kernel = Core.Builder.of_string ~table:st.Nok.Storage.table doc in
+      let vs = Core.Value_synopsis.build st in
+      let rng = Datagen.Rng.create ~seed:4242 in
+      let queries =
+        Datagen.Workload.valued pt ~storage:st ~rng ~count:workload_count ()
+      in
+      let run estimator =
+        Stats.Metrics.summarize
+          (List.map
+             (fun q ->
+               ( Core.Estimator.estimate estimator q,
+                 float_of_int (Nok.Eval.cardinality st q) ))
+             queries)
+      in
+      let with_vs = run (Core.Estimator.create ~values:vs kernel) in
+      let without = run (Core.Estimator.create kernel) in
+      pf "%-10s %4d valued queries | with synopsis RMSE %8.2f NRMSE %7.2f%% | ignored RMSE %8.2f NRMSE %7.2f%% | synopsis %d B\n"
+        name (List.length queries) with_vs.rmse (100.0 *. with_vs.nrmse)
+        without.rmse (100.0 *. without.nrmse)
+        (Core.Value_synopsis.size_in_bytes vs))
+    [ ("DBLP", Datagen.Dblp.generate ~seed:501 ~records:(scale 500 3000) ());
+      ("XMark", Datagen.Xmark.generate ~seed:502 ~items:(scale 50 400) ()) ];
+  pf "\nShape under test: per-path equi-depth histograms and end-biased\n";
+  pf "frequent-value tables turn value predicates from ignored (factor 1)\n";
+  pf "into calibrated selectivities, as the value-synopsis line of work the\n";
+  pf "paper cites anticipates.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel): per-operation latency. *)
+
+let micro () =
+  header "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let doc = Datagen.Xmark.generate ~seed:55 ~items:40 () in
+  let kernel = Core.Builder.of_string doc in
+  let storage = Nok.Storage.of_string doc in
+  let estimator = Core.Estimator.create kernel in
+  let sp = Xpath.Parser.parse "/site/open_auctions/open_auction/bidder" in
+  let bp = Xpath.Parser.parse "/site/regions/australia/item[shipping]/location" in
+  let cp = Xpath.Parser.parse "//item[.//text]//incategory" in
+  let tests =
+    [ Test.make ~name:"kernel-build"
+        (Staged.stage (fun () ->
+             ignore (Core.Builder.of_string doc : Core.Kernel.t)));
+      Test.make ~name:"estimate-sp"
+        (Staged.stage (fun () ->
+             ignore (Core.Estimator.estimate estimator sp : float)));
+      Test.make ~name:"estimate-bp"
+        (Staged.stage (fun () ->
+             ignore (Core.Estimator.estimate estimator bp : float)));
+      Test.make ~name:"estimate-cp"
+        (Staged.stage (fun () ->
+             ignore (Core.Estimator.estimate estimator cp : float)));
+      Test.make ~name:"nok-eval-sp"
+        (Staged.stage (fun () -> ignore (Nok.Eval.cardinality storage sp : int)));
+      Test.make ~name:"nok-eval-cp"
+        (Staged.stage (fun () -> ignore (Nok.Eval.cardinality storage cp : int)));
+      Test.make ~name:"counter-stacks-100-ops"
+        (Staged.stage (fun () ->
+             let cs = Core.Counter_stacks.create () in
+             let order = Array.init 100 (fun i -> i mod 7) in
+             Array.iter (fun i -> ignore (Core.Counter_stacks.push cs i : int)) order;
+             for i = 99 downto 0 do
+               Core.Counter_stacks.pop cs order.(i)
+             done)) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second (scale 0.2 0.5)) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"xseed" ~fmt:"%s/%s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  pf "%-34s %16s\n" "operation" "time/run";
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ ns ] ->
+        let pretty =
+          if ns > 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+          else Printf.sprintf "%10.0f ns" ns
+        in
+        pf "%-34s %16s\n" name pretty
+      | _ -> pf "%-34s %16s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("table2", table2); ("table3", table3); ("fig5", fig5); ("fig6", fig6);
+    ("sec64", sec64); ("ablation", ablation); ("values", values);
+    ("micro", micro) ]
+
+let () =
+  let requested =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--quick" && a <> "all")
+  in
+  let to_run =
+    match requested with
+    | [] -> List.map snd sections
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n sections with
+          | Some f -> f
+          | None ->
+            Printf.eprintf "unknown section %s (have: %s)\n" n
+              (String.concat " " (List.map fst sections));
+            exit 2)
+        names
+  in
+  pf "XSEED benchmark harness%s\n" (if quick then " (--quick scales)" else "");
+  let (), total = time (fun () -> List.iter (fun f -> f ()) to_run) in
+  pf "\ntotal: %.1f s\n" total

@@ -1,0 +1,243 @@
+(* xseed: command-line front end for the XSEED cardinality-estimation
+   library. Subcommands cover the full paper workflow: generate a corpus,
+   inspect it, build a synopsis, estimate queries, evaluate ground truth,
+   and compare estimates against actuals over a workload. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let load_synopsis path = Core.Synopsis.of_string (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Arguments *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document")
+
+let query_arg p =
+  Arg.(required & pos p (some string) None & info [] ~docv:"QUERY" ~doc:"XPath query")
+
+let threshold_arg =
+  Arg.(value & opt float 0.5
+       & info [ "card-threshold" ] ~docv:"T"
+           ~doc:"Traveler pruning threshold (paper uses 20 for Treebank)")
+
+let budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget" ] ~docv:"BYTES" ~doc:"Total memory budget for kernel + HET")
+
+let no_het_arg =
+  Arg.(value & flag & info [ "no-het" ] ~doc:"Build the kernel only, no hyper-edge table")
+
+let mbp_arg =
+  Arg.(value & opt int 1
+       & info [ "mbp" ] ~docv:"N" ~doc:"Max branching predicates per HET pattern")
+
+let bsel_arg =
+  Arg.(value & opt float 0.1
+       & info [ "bsel-threshold" ] ~docv:"B"
+           ~doc:"Backward-selectivity threshold for HET branching candidates")
+
+let with_values_arg =
+  Arg.(value & flag
+       & info [ "with-values" ]
+           ~doc:"Also build the value synopsis (histograms for value predicates)")
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let stats_cmd =
+  let run file =
+    let doc = read_file file in
+    let s = Xml.Doc_stats.of_string doc in
+    Format.printf "%a@." Xml.Doc_stats.pp s;
+    let pt = Pathtree.Path_tree.of_string doc in
+    Format.printf "distinct rooted paths: %d@." (Pathtree.Path_tree.size pt);
+    let kernel = Core.Builder.of_string doc in
+    Format.printf "XSEED kernel: %d vertices, %d edges, %d bytes@."
+      (Core.Kernel.vertex_count kernel)
+      (Core.Kernel.edge_count kernel)
+      (Core.Kernel.size_in_bytes kernel)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Document characteristics (Table 2's left half)")
+    Term.(const run $ file_arg)
+
+let build_cmd =
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Synopsis output file")
+  in
+  let run file output no_het budget mbp bsel threshold with_values =
+    let doc = read_file file in
+    let synopsis =
+      Core.Synopsis.build ?budget_bytes:budget ~with_het:(not no_het)
+        ~with_values ~mbp ~bsel_threshold:bsel ~card_threshold:threshold doc
+    in
+    write_file output (Core.Synopsis.to_string synopsis);
+    Format.printf "%a@.wrote %s (%d bytes in memory)@." Core.Synopsis.pp synopsis
+      output
+      (Core.Synopsis.size_in_bytes synopsis)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build an XSEED synopsis (kernel + HET) from a document")
+    Term.(const run $ file_arg $ output $ no_het_arg $ budget_arg $ mbp_arg
+          $ bsel_arg $ threshold_arg $ with_values_arg)
+
+let estimate_cmd =
+  let synopsis_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SYNOPSIS" ~doc:"Synopsis file from 'xseed build'")
+  in
+  let run synopsis_file query threshold =
+    let syn = load_synopsis synopsis_file in
+    let estimator =
+      Core.Estimator.create ~card_threshold:threshold
+        ?het:(Core.Synopsis.het syn)
+        ?values:(Core.Synopsis.values syn)
+        (Core.Synopsis.kernel syn)
+    in
+    let path = Xpath.Parser.parse query in
+    Format.printf "%.2f@." (Core.Estimator.estimate estimator path)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate a query's cardinality from a synopsis")
+    Term.(const run $ synopsis_arg $ query_arg 1 $ threshold_arg)
+
+let evaluate_cmd =
+  let run file query =
+    let doc = read_file file in
+    (* Always collect values: the CLI cannot know whether the query needs
+       them, and the extra pass cost is irrelevant interactively. *)
+    let storage = Nok.Storage.of_string ~with_values:true doc in
+    Format.printf "%d@." (Nok.Eval.cardinality storage (Xpath.Parser.parse query))
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Actual cardinality via the NoK evaluator")
+    Term.(const run $ file_arg $ query_arg 1)
+
+let ept_cmd =
+  let run file threshold =
+    let doc = read_file file in
+    let kernel = Core.Builder.of_string doc in
+    print_endline (Core.Traveler.ept_to_xml ~card_threshold:threshold kernel)
+  in
+  Cmd.v
+    (Cmd.info "ept" ~doc:"Dump the expanded path tree as XML (paper Section 4)")
+    Term.(const run $ file_arg $ threshold_arg)
+
+let generate_cmd =
+  let corpus =
+    Arg.(required & pos 0 (some (enum [ ("dblp", `Dblp); ("xmark", `Xmark);
+                                        ("treebank", `Treebank); ("paper", `Paper) ]))
+           None
+         & info [] ~docv:"CORPUS" ~doc:"One of dblp, xmark, treebank, paper")
+  in
+  let scale =
+    Arg.(value & opt int 1000
+         & info [ "scale" ] ~docv:"N"
+             ~doc:"records (dblp) / items (xmark) / sentences (treebank)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed") in
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output XML file")
+  in
+  let run corpus scale seed output =
+    let doc =
+      match corpus with
+      | `Dblp -> Datagen.Dblp.generate ~seed ~records:scale ()
+      | `Xmark -> Datagen.Xmark.generate ~seed ~items:scale ()
+      | `Treebank -> Datagen.Treebank.generate ~seed ~sentences:scale ()
+      | `Paper -> Datagen.Paper_example.document
+    in
+    write_file output doc;
+    Format.printf "wrote %s (%d bytes)@." output (String.length doc)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic corpus (paper Section 6.1)")
+    Term.(const run $ corpus $ scale $ seed $ output)
+
+let workload_cmd =
+  let kind =
+    Arg.(value
+         & opt (enum [ ("sp", `Sp); ("bp", `Bp); ("cp", `Cp); ("valued", `Valued) ]) `Bp
+         & info [ "kind" ] ~docv:"KIND" ~doc:"sp, bp, cp or valued")
+  in
+  let count = Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Queries") in
+  let mbp = Arg.(value & opt int 1 & info [ "mbp" ] ~docv:"M" ~doc:"Max predicates/step") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed") in
+  let run file kind count mbp seed =
+    let doc = read_file file in
+    let pt = Pathtree.Path_tree.of_string doc in
+    let rng = Datagen.Rng.create ~seed in
+    let queries =
+      match kind with
+      | `Sp -> Datagen.Workload.all_simple_paths pt
+      | `Bp -> Datagen.Workload.branching pt ~rng ~count ~mbp ()
+      | `Cp -> Datagen.Workload.complex pt ~rng ~count ~mbp ()
+      | `Valued ->
+        let storage = Nok.Storage.of_string ~with_values:true doc in
+        Datagen.Workload.valued pt ~storage ~rng ~count ()
+    in
+    List.iter (fun q -> print_endline (Xpath.Ast.to_string q)) queries
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a query workload from a document's path tree")
+    Term.(const run $ file_arg $ kind $ count $ mbp $ seed)
+
+let compare_cmd =
+  let count = Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Queries/kind") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed") in
+  let run file no_het budget bsel threshold count seed with_values =
+    let doc = read_file file in
+    let synopsis =
+      Core.Synopsis.build ?budget_bytes:budget ~with_het:(not no_het)
+        ~with_values ~bsel_threshold:bsel ~card_threshold:threshold doc
+    in
+    let storage = Nok.Storage.of_string ~with_values doc in
+    let pt = Pathtree.Path_tree.of_string doc in
+    let rng = Datagen.Rng.create ~seed in
+    let estimator = Core.Synopsis.estimator synopsis in
+    let run_kind name queries =
+      match queries with
+      | [] -> ()
+      | _ ->
+        let pairs =
+          List.map
+            (fun q ->
+              ( Core.Estimator.estimate estimator q,
+                float_of_int (Nok.Eval.cardinality storage q) ))
+            queries
+        in
+        let s = Stats.Metrics.summarize pairs in
+        Format.printf "%-4s %a@." name Stats.Metrics.pp s
+    in
+    run_kind "SP" (Datagen.Workload.all_simple_paths pt);
+    run_kind "BP" (Datagen.Workload.branching pt ~rng ~count ());
+    run_kind "CP" (Datagen.Workload.complex pt ~rng ~count ());
+    if with_values then
+      run_kind "VAL" (Datagen.Workload.valued pt ~storage ~rng ~count ())
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Estimate vs actual over generated workloads")
+    Term.(const run $ file_arg $ no_het_arg $ budget_arg $ bsel_arg $ threshold_arg
+          $ count $ seed $ with_values_arg)
+
+let () =
+  let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
+  let info = Cmd.info "xseed" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; build_cmd; estimate_cmd; evaluate_cmd; ept_cmd;
+            generate_cmd; workload_cmd; compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/incremental_update.ml: Core Datagen List Printf String Xml Xpath

@@ -1,0 +1,1 @@
+examples/memory_budget.ml: Core Datagen List Nok Pathtree Printf Stats String Xml Xpath

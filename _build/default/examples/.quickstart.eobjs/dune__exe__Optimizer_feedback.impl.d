@@ -1,0 +1,1 @@
+examples/optimizer_feedback.ml: Core Datagen List Nok Pathtree Printf Stats String

@@ -1,0 +1,1 @@
+examples/optimizer_feedback.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Datagen Format List Nok Printf String Xpath

@@ -1,0 +1,1 @@
+examples/recursion.ml: Core Datagen List Nok Printf Treesketch Xml Xpath

@@ -1,0 +1,1 @@
+examples/value_predicates.ml: Core Datagen List Nok Pathtree Printf Stats String Xpath

@@ -1,0 +1,1 @@
+examples/value_predicates.mli:

@@ -1,0 +1,64 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Builds the XSEED kernel for the Figure 2(a) document, prints the kernel
+   (Example 2), dumps the expanded path tree the traveler generates
+   (Section 4), and walks through the cardinality estimation of Example 3 —
+   then compares estimates against actual cardinalities for a few more
+   query shapes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let doc = Datagen.Paper_example.document in
+  print_endline "=== The paper's example document (Figure 2a) ===";
+  print_endline doc;
+  print_newline ();
+
+  (* 1. Build the kernel: one SAX pass (Algorithm 1). *)
+  let kernel = Core.Builder.of_string doc in
+  print_endline "=== XSEED kernel (Figure 2b) ===";
+  print_string (Core.Kernel.to_string kernel);
+  Printf.printf "kernel size: %d bytes for a %d-byte document\n\n"
+    (Core.Kernel.size_in_bytes kernel) (String.length doc);
+
+  (* 2. The traveler expands the kernel into the EPT (Algorithm 2). *)
+  print_endline "=== Expanded path tree (Section 4) ===";
+  print_endline (Core.Traveler.ept_to_xml kernel);
+  print_newline ();
+
+  (* 3. Example 3: estimate /a/c/s/s/t. *)
+  let estimator = Core.Estimator.create kernel in
+  let storage = Nok.Storage.of_string doc in
+  print_endline "=== Example 3: estimating /a/c/s/s/t ===";
+  let prefixes = [ "/a"; "/a/c"; "/a/c/s"; "/a/c/s/s"; "/a/c/s/s/t" ] in
+  Printf.printf "%-14s %12s %8s\n" "path" "estimated" "actual";
+  List.iter
+    (fun q ->
+      let est = Core.Estimator.estimate_string estimator q in
+      let actual = Nok.Eval.cardinality storage (Xpath.Parser.parse q) in
+      Printf.printf "%-14s %12.2f %8d\n" q est actual)
+    prefixes;
+  print_newline ();
+
+  (* 4. More query shapes: branching, descendant, recursive. *)
+  print_endline "=== Estimates vs actuals across query shapes ===";
+  Printf.printf "%-22s %-5s %12s %8s\n" "query" "kind" "estimated" "actual";
+  List.iter
+    (fun q ->
+      let path = Xpath.Parser.parse q in
+      let est = Core.Estimator.estimate estimator path in
+      let actual = Nok.Eval.cardinality storage path in
+      Printf.printf "%-22s %-5s %12.2f %8d\n" q
+        (Xpath.Classify.shape_to_string (Xpath.Classify.shape path))
+        est actual)
+    [ "/a/c/s"; "/a/c[t]/s"; "/a/c/s[t]/p"; "//s"; "//s//s"; "//s//s//p";
+      "//s[t]/p"; "/a/*"; "//*" ];
+  print_newline ();
+
+  (* 5. One-call facade with HET: simple paths become exact. *)
+  let synopsis = Core.Synopsis.build doc in
+  print_endline "=== With the HET (Section 5) ===";
+  Format.printf "%a@." Core.Synopsis.pp synopsis;
+  Printf.printf "estimate(/a/c/s[t]/p) with HET: %.2f (actual %d)\n"
+    (Core.Synopsis.estimate synopsis "/a/c/s[t]/p")
+    (Nok.Eval.cardinality storage (Xpath.Parser.parse "/a/c/s[t]/p"))

@@ -1,0 +1,1 @@
+lib/core/builder.ml: Counter_stacks Kernel List Xml

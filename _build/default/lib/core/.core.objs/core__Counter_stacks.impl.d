@@ -1,0 +1,1 @@
+lib/core/counter_stacks.ml: Array

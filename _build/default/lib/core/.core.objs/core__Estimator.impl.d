@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Float Het Kernel List Matcher Option Path_hash Traveler Value_synopsis Xml Xpath

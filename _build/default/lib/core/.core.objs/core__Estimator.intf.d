@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Het Kernel Matcher Value_synopsis Xpath

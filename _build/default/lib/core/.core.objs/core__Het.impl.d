@@ -1,0 +1,1 @@
+lib/core/het.ml: Buffer Float Format Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/het_builder.ml: Float Format Hashtbl Het Kernel List Matcher Nok Path_hash Pathtree Traveler Xml Xpath

@@ -1,0 +1,1 @@
+lib/core/het_builder.mli: Format Het Kernel Nok Pathtree

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Buffer Format Hashtbl Int List Printf String Xml

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Format Xml

@@ -1,0 +1,1 @@
+lib/core/matcher.ml: Array Het List Path_hash Traveler Value_synopsis Xml Xpath

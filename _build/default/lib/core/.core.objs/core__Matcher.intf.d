@@ -1,0 +1,1 @@
+lib/core/matcher.mli: Het Traveler Value_synopsis Xml Xpath

@@ -1,0 +1,1 @@
+lib/core/path_hash.ml: Int List

@@ -1,0 +1,1 @@
+lib/core/path_hash.mli: Xml

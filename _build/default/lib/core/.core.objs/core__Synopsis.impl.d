@@ -1,0 +1,1 @@
+lib/core/synopsis.ml: Buffer Builder Estimator Format Het Het_builder Kernel List Nok Pathtree String Value_synopsis Xml

@@ -1,0 +1,1 @@
+lib/core/synopsis.mli: Estimator Format Het Kernel Value_synopsis

@@ -1,0 +1,1 @@
+lib/core/traveler.ml: Array Buffer Counter_stacks Float Het Kernel Path_hash Printf Xml

@@ -1,0 +1,1 @@
+lib/core/traveler.mli: Het Kernel Xml

@@ -1,0 +1,1 @@
+lib/core/value_synopsis.ml: Array Buffer Char Float Hashtbl Int List Nok Option Printf String Xml Xpath

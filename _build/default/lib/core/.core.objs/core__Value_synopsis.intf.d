@@ -1,0 +1,1 @@
+lib/core/value_synopsis.mli: Nok Xml Xpath

@@ -1,0 +1,105 @@
+type frame = { v : Xml.Label.t; mutable out : (Kernel.edge * int) list }
+
+(* One step of Algorithm 1. [sign] is +1 for construction / insertion and -1
+   for deletion. The per-frame [out] list is a set: an (edge, level) pair is
+   recorded once per parent node, so closing the parent bumps each edge's
+   parent count exactly once. *)
+let feed kernel ~sign ~rl ~stack event =
+  match event with
+  | Xml.Event.Start_element (name, _) ->
+    let v = Xml.Label.intern (Kernel.table kernel) name in
+    Kernel.get_vertex kernel v;
+    (match !stack with
+     | [] -> ignore (Counter_stacks.push rl v : int)
+     | parent :: _ ->
+       let e = Kernel.get_edge kernel parent.v v in
+       let l = Counter_stacks.push rl v in
+       Kernel.add_at_level e l ~parents:0 ~children:sign;
+       if not (List.exists (fun (e', l') -> e' == e && l' = l) parent.out) then
+         parent.out <- (e, l) :: parent.out);
+    stack := { v; out = [] } :: !stack
+  | Xml.Event.End_element _ ->
+    (match !stack with
+     | [] -> invalid_arg "Builder: unbalanced events"
+     | fr :: rest ->
+       List.iter
+         (fun (e, l) -> Kernel.add_at_level e l ~parents:sign ~children:0)
+         fr.out;
+       Counter_stacks.pop rl fr.v;
+       stack := rest)
+  | Xml.Event.Text _ -> ()
+
+let of_string ?table input =
+  let kernel = Kernel.create ?table () in
+  let rl = Counter_stacks.create () in
+  let stack = ref [] in
+  Xml.Sax.iter input ~f:(feed kernel ~sign:1 ~rl ~stack);
+  if !stack <> [] then invalid_arg "Builder.of_string: unclosed element";
+  kernel
+
+let of_events ?table events =
+  let kernel = Kernel.create ?table () in
+  let rl = Counter_stacks.create () in
+  let stack = ref [] in
+  List.iter (feed kernel ~sign:1 ~rl ~stack) events;
+  if !stack <> [] then invalid_arg "Builder.of_events: unclosed element";
+  kernel
+
+let fold_into kernel next =
+  let rl = Counter_stacks.create () in
+  let stack = ref [] in
+  let rec loop () =
+    match next () with
+    | None -> if !stack <> [] then invalid_arg "Builder.fold_into: unclosed element"
+    | Some event ->
+      feed kernel ~sign:1 ~rl ~stack event;
+      loop ()
+  in
+  loop ()
+
+let check_single_element events =
+  let depth = ref 0 and roots = ref 0 in
+  List.iter
+    (fun e ->
+      match e with
+      | Xml.Event.Start_element _ ->
+        if !depth = 0 then incr roots;
+        incr depth
+      | Xml.Event.End_element _ ->
+        decr depth;
+        if !depth < 0 then invalid_arg "Builder: unbalanced subtree events"
+      | Xml.Event.Text _ -> ())
+    events;
+  if !depth <> 0 || !roots <> 1 then
+    invalid_arg "Builder: subtree events must form one balanced element"
+
+(* Replay the subtree with the recursion-level counter primed by the
+   insertion path, so every level index inside the subtree is computed
+   relative to the document, then splice the connecting edge. The connecting
+   edge's parent count moves only when [parent_edge_changes]: the caller
+   (who can see the document) says whether the insertion parent gains its
+   first / loses its last child with the subtree root's label. *)
+let splice kernel ~sign ~parent_edge_changes ~at events =
+  (match at with
+   | [] -> invalid_arg "Builder: insertion path must be non-empty"
+   | _ -> ());
+  check_single_element events;
+  let rl = Counter_stacks.create () in
+  List.iter (fun l -> ignore (Counter_stacks.push rl l : int)) at;
+  let parent_frame = { v = List.nth at (List.length at - 1); out = [] } in
+  let stack = ref [ parent_frame ] in
+  List.iter (feed kernel ~sign ~rl ~stack) events;
+  (match !stack with
+   | [ fr ] when fr == parent_frame ->
+     if parent_edge_changes then
+       List.iter
+         (fun (e, l) -> Kernel.add_at_level e l ~parents:sign ~children:0)
+         fr.out
+   | _ -> invalid_arg "Builder: subtree events must form one balanced element");
+  if sign < 0 then Kernel.prune_empty kernel
+
+let add_subtree ?(parent_gains_label = true) kernel ~at events =
+  splice kernel ~sign:1 ~parent_edge_changes:parent_gains_label ~at events
+
+let remove_subtree ?(parent_loses_label = true) kernel ~at events =
+  splice kernel ~sign:(-1) ~parent_edge_changes:parent_loses_label ~at events

@@ -1,0 +1,36 @@
+(** Kernel construction (paper Algorithm 1) and incremental maintenance.
+
+    Construction is a single SAX pass: the path stack carries, per open
+    element, the set of (edge, recursion level) pairs contributed by its
+    children so parent counts are bumped once per parent on the closing tag;
+    the {!Counter_stacks} give the recursion level of each rooted path in
+    expected O(1).
+
+    Incremental maintenance replays only the added or deleted subtree,
+    primed with its insertion path, and merges (or subtracts) the resulting
+    deltas — the graph merge/subtract the paper defers to its tech report. *)
+
+val of_string : ?table:Xml.Label.table -> string -> Kernel.t
+val of_events : ?table:Xml.Label.table -> Xml.Event.t list -> Kernel.t
+
+val fold_into : Kernel.t -> (unit -> Xml.Event.t option) -> unit
+(** Feed a pull stream of events into an existing kernel (streaming
+    construction for documents that never fit in memory). *)
+
+val add_subtree :
+  ?parent_gains_label:bool -> Kernel.t -> at:Xml.Label.t list -> Xml.Event.t list -> unit
+(** [add_subtree k ~at events] updates [k] as if the subtree given by
+    [events] had been inserted under the rooted label path [at] (root label
+    first, excluding the new subtree's root). The edge connecting the path's
+    last label to the subtree root is updated too; its parent count moves
+    only when [parent_gains_label] (default true) — pass false when the
+    insertion parent already has a child with the subtree root's label.
+    @raise Invalid_argument if [at] is empty (documents have one root) or
+    the events are not a single balanced element. *)
+
+val remove_subtree :
+  ?parent_loses_label:bool -> Kernel.t -> at:Xml.Label.t list -> Xml.Event.t list -> unit
+(** Inverse of {!add_subtree}: subtract the subtree's contribution. Pass
+    [parent_loses_label:false] when the parent keeps other children with the
+    subtree root's label. Counts are clamped at zero; emptied edges and
+    vertices are pruned. *)

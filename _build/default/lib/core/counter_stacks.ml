@@ -1,0 +1,78 @@
+(* The k-th simultaneous occurrence of an item lives on internal stack k
+   (1-based). We keep the real stacks — pops are validated against them — and
+   a per-item occurrence table; the recursion level is the index of the
+   deepest non-empty stack minus one. Stack sizes are monotone
+   (size(k) >= size(k+1)), so the deepest non-empty stack only moves by one
+   on push/pop and all operations are O(1) outside table growth. *)
+
+type stack = { mutable items : int array; mutable size : int }
+
+type t = {
+  mutable occ : int array;  (* occurrences per item id *)
+  mutable stacks : stack array;  (* stacks.(k-1) holds k-th occurrences *)
+  mutable nonempty : int;  (* number of non-empty stacks *)
+  mutable total : int;
+}
+
+let create () =
+  { occ = Array.make 64 0; stacks = [||]; nonempty = 0; total = 0 }
+
+let ensure_occ t item =
+  if item >= Array.length t.occ then begin
+    let n = ref (Array.length t.occ) in
+    while item >= !n do n := 2 * !n done;
+    let bigger = Array.make !n 0 in
+    Array.blit t.occ 0 bigger 0 (Array.length t.occ);
+    t.occ <- bigger
+  end
+
+let ensure_stack t k =
+  if k > Array.length t.stacks then begin
+    let bigger =
+      Array.init (max k (2 * Array.length t.stacks)) (fun i ->
+          if i < Array.length t.stacks then t.stacks.(i)
+          else { items = Array.make 8 0; size = 0 })
+    in
+    t.stacks <- bigger
+  end
+
+let stack_push s item =
+  if s.size >= Array.length s.items then begin
+    let bigger = Array.make (2 * Array.length s.items) 0 in
+    Array.blit s.items 0 bigger 0 s.size;
+    s.items <- bigger
+  end;
+  s.items.(s.size) <- item;
+  s.size <- s.size + 1
+
+let push t item =
+  if item < 0 then invalid_arg "Counter_stacks.push: negative item";
+  ensure_occ t item;
+  let k = t.occ.(item) + 1 in
+  t.occ.(item) <- k;
+  ensure_stack t k;
+  stack_push t.stacks.(k - 1) item;
+  if k > t.nonempty then t.nonempty <- k;
+  t.total <- t.total + 1;
+  t.nonempty - 1
+
+let pop t item =
+  if item < 0 || item >= Array.length t.occ || t.occ.(item) = 0 then
+    invalid_arg "Counter_stacks.pop: item not on the path";
+  let k = t.occ.(item) in
+  let s = t.stacks.(k - 1) in
+  if s.size = 0 || s.items.(s.size - 1) <> item then
+    invalid_arg "Counter_stacks.pop: item is not the top of its stack";
+  s.size <- s.size - 1;
+  t.occ.(item) <- k - 1;
+  if k = t.nonempty && s.size = 0 then t.nonempty <- t.nonempty - 1;
+  t.total <- t.total - 1
+
+let recursion_level t = t.nonempty - 1
+
+let depth t = t.total
+
+let occurrences t item =
+  if item < 0 || item >= Array.length t.occ then 0 else t.occ.(item)
+
+let stack_count t = t.nonempty

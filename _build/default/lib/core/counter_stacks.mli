@@ -1,0 +1,32 @@
+(** Counter stacks (paper Figure 3): expected O(1) recursion-level tracking
+    for the rooted path during parsing and synopsis traversal.
+
+    Items (label ids) are pushed as the path descends and popped as it
+    returns. Internally the k-th simultaneous occurrence of an item lives on
+    stack k; the path recursion level is the number of non-empty stacks minus
+    one (Definition 1). *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> int -> int
+(** [push t item] records the item and returns the recursion level of the
+    path {e including} it. *)
+
+val pop : t -> int -> unit
+(** [pop t item] removes one occurrence.
+    @raise Invalid_argument if [item] is not the most recent occurrence on
+    its stack (pops must mirror pushes, LIFO per rooted path). *)
+
+val recursion_level : t -> int
+(** Recursion level of the current path; -1 when the path is empty. *)
+
+val depth : t -> int
+(** Number of items currently on the path. *)
+
+val occurrences : t -> int -> int
+(** How many times [item] occurs on the current path. *)
+
+val stack_count : t -> int
+(** Number of non-empty internal stacks, i.e. [recursion_level t + 1]. *)

@@ -1,0 +1,110 @@
+type t = {
+  kernel : Kernel.t;
+  het : Het.t option;
+  values : Value_synopsis.t option;
+  card_threshold : float;
+  max_ept_nodes : int;
+  recursion_aware : bool;
+}
+
+let create ?(card_threshold = 0.5) ?(max_ept_nodes = 2_000_000)
+    ?(recursion_aware = true) ?het ?values kernel =
+  { kernel; het; values; card_threshold; max_ept_nodes; recursion_aware }
+
+let kernel t = t.kernel
+let het t = t.het
+let values t = t.values
+let card_threshold t = t.card_threshold
+
+let ept t =
+  let traveler =
+    Traveler.create ~card_threshold:t.card_threshold
+      ~recursion_aware:t.recursion_aware ?het:t.het t.kernel
+  in
+  Matcher.materialize ~max_nodes:t.max_ept_nodes traveler
+
+let estimate_on t ept path =
+  Matcher.estimate ?het:t.het ?values:t.values ~table:(Kernel.table t.kernel) ept
+    (Xpath.Query_tree.of_path path)
+
+let estimate t path = estimate_on t (ept t) path
+
+let estimate_string t query = estimate t (Xpath.Parser.parse query)
+
+(* A rooted simple path: child axes, name tests, no predicates. *)
+let simple_labels table path =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | ({ axis = Xpath.Ast.Child; test = Xpath.Ast.Name n; predicates = [];
+         value_predicates = [] }
+       : Xpath.Ast.step)
+      :: rest ->
+      (match Xml.Label.find_opt table n with
+       | Some l -> go (l :: acc) rest
+       | None -> None)
+    | _ :: _ -> None
+  in
+  go [] path
+
+(* A path whose last step is .../p[q1]..[qk]/r with single-label child-axis
+   predicates on p only: returns (pattern hash, predicate-free path). *)
+let branching_pattern table path =
+  let rec split prefix = function
+    | [ penultimate; last ] -> Some (List.rev prefix, penultimate, last)
+    | step :: rest -> split (step :: prefix) rest
+    | [] -> None
+  in
+  match split [] path with
+  | None -> None
+  | Some (prefix, (p : Xpath.Ast.step), (r : Xpath.Ast.step)) ->
+    if p.predicates = [] || r.predicates <> [] then None
+    else
+      let simple_pred = function
+        | [ ({ axis = Xpath.Ast.Child; test = Xpath.Ast.Name n; predicates = [];
+               value_predicates = [] }
+             : Xpath.Ast.step) ] ->
+          Xml.Label.find_opt table n
+        | _ -> None
+      in
+      let pred_labels = List.map simple_pred p.predicates in
+      if List.exists Option.is_none pred_labels then None
+      else
+        match (p.test, r.test) with
+        | Xpath.Ast.Name pn, Xpath.Ast.Name rn ->
+          (match (Xml.Label.find_opt table pn, Xml.Label.find_opt table rn) with
+           | Some pl, Some rl ->
+             let hash =
+               Path_hash.branching ~parent:pl
+                 ~predicates:(List.map Option.get pred_labels) ~next:rl
+             in
+             let stripped = prefix @ [ { p with predicates = [] }; r ] in
+             Some (hash, stripped)
+           | _ -> None)
+        | _ -> None
+
+let record_feedback t path ~actual =
+  match t.het with
+  | None -> ()
+  | Some het ->
+    let table = Kernel.table t.kernel in
+    (match simple_labels table path with
+     | Some labels ->
+       let est = estimate t path in
+       let error = Float.abs (est -. float_of_int actual) in
+       Het.record_feedback het ~hash:(Path_hash.of_labels labels) ~card:actual ~error ()
+     | None ->
+       (match branching_pattern table path with
+        | None -> ()
+        | Some (hash, stripped) ->
+          let est = estimate t path in
+          let error = Float.abs (est -. float_of_int actual) in
+          let denom = estimate t stripped in
+          if denom > 0.0 then begin
+            let bsel = Float.min 1.0 (float_of_int actual /. denom) in
+            Het.add_branching het ~hash ~bsel ~error
+          end))
+
+let size_in_bytes t =
+  Kernel.size_in_bytes t.kernel
+  + (match t.het with None -> 0 | Some h -> Het.size_in_bytes h)
+  + (match t.values with None -> 0 | Some v -> Value_synopsis.size_in_bytes v)

@@ -1,0 +1,52 @@
+(** Public cardinality-estimation API: kernel + optional HET + tuning knobs.
+
+    [estimate] runs the paper's full pipeline — traveler over the kernel
+    (EST, with HET simple-path overrides), matcher over the EPT (with HET
+    correlated-bsel overrides) — and returns the estimated number of nodes
+    the query selects. *)
+
+type t
+
+val create :
+  ?card_threshold:float ->
+  ?max_ept_nodes:int ->
+  ?recursion_aware:bool ->
+  ?het:Het.t ->
+  ?values:Value_synopsis.t ->
+  Kernel.t ->
+  t
+(** [card_threshold] defaults to 0.5 (expand everything estimated at one
+    node or more); raise it to ~20 for highly recursive data, as the paper
+    does for Treebank. [max_ept_nodes] defaults to 2_000_000.
+    [recursion_aware:false] is the ablation switch of
+    {!Traveler.create}: pair it with {!Kernel.collapse_levels} to measure
+    what the paper's recursion-level vectors buy. [values] enables
+    value-predicate selectivity estimation (ignored factor-1 otherwise). *)
+
+val kernel : t -> Kernel.t
+val het : t -> Het.t option
+val values : t -> Value_synopsis.t option
+val card_threshold : t -> float
+
+val estimate : t -> Xpath.Ast.t -> float
+(** Estimated cardinality |p|. The EPT is regenerated per call, matching the
+    paper's per-query estimation cost; use {!ept}+{!estimate_on} to amortize
+    it across a workload. *)
+
+val estimate_string : t -> string -> float
+(** Parse then estimate. @raise Xpath.Parser.Error on a bad query. *)
+
+val ept : t -> Matcher.ept
+(** Materialize the EPT once. *)
+
+val estimate_on : t -> Matcher.ept -> Xpath.Ast.t -> float
+
+val record_feedback : t -> Xpath.Ast.t -> actual:int -> unit
+(** Feed the actual cardinality of an executed query back into the HET
+    (paper Figure 1). Simple paths insert an exact-cardinality entry keyed by
+    their path hash; queries whose last spine step carries single-label
+    predicates insert a correlated-bsel entry. No-op when the estimator has
+    no HET or the query shape fits neither pattern. *)
+
+val size_in_bytes : t -> int
+(** Kernel plus active HET footprint — the paper's memory-budget number. *)

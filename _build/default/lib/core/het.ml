@@ -1,0 +1,180 @@
+type simple_entry = { card : int; sbsel : float option; serror : float }
+type branching_entry = { bbsel : float; berror : float }
+
+type t = {
+  simple_all : (int, simple_entry) Hashtbl.t;
+  branching_all : (int, branching_entry) Hashtbl.t;
+  simple_active : (int, simple_entry) Hashtbl.t;
+  branching_active : (int, branching_entry) Hashtbl.t;
+  mutable budget : int option;  (* None = unlimited *)
+}
+
+let simple_entry_bytes = 16
+let branching_entry_bytes = 8
+
+let create () =
+  { simple_all = Hashtbl.create 256; branching_all = Hashtbl.create 256;
+    simple_active = Hashtbl.create 256; branching_active = Hashtbl.create 256;
+    budget = None }
+
+let add_simple t ~hash ~card ~bsel ~error =
+  let e = { card; sbsel = bsel; serror = error } in
+  Hashtbl.replace t.simple_all hash e;
+  if t.budget = None then Hashtbl.replace t.simple_active hash e
+
+let add_branching t ~hash ~bsel ~error =
+  let e = { bbsel = bsel; berror = error } in
+  Hashtbl.replace t.branching_all hash e;
+  if t.budget = None then Hashtbl.replace t.branching_active hash e
+
+(* All entries, largest error first; simple before branching on ties since a
+   simple-path miss also poisons every estimate passing through it. *)
+let ranked t =
+  let items = ref [] in
+  Hashtbl.iter
+    (fun h e -> items := (e.serror, 0, `Simple (h, e)) :: !items)
+    t.simple_all;
+  Hashtbl.iter
+    (fun h e -> items := (e.berror, 1, `Branching (h, e)) :: !items)
+    t.branching_all;
+  List.sort
+    (fun (e1, k1, _) (e2, k2, _) ->
+      let c = Float.compare e2 e1 in
+      if c <> 0 then c else Int.compare k1 k2)
+    !items
+
+let set_budget t ~bytes =
+  t.budget <- Some bytes;
+  Hashtbl.reset t.simple_active;
+  Hashtbl.reset t.branching_active;
+  let remaining = ref bytes in
+  List.iter
+    (fun (_, _, entry) ->
+      match entry with
+      | `Simple (h, e) ->
+        if !remaining >= simple_entry_bytes then begin
+          remaining := !remaining - simple_entry_bytes;
+          Hashtbl.replace t.simple_active h e
+        end
+      | `Branching (h, e) ->
+        if !remaining >= branching_entry_bytes then begin
+          remaining := !remaining - branching_entry_bytes;
+          Hashtbl.replace t.branching_active h e
+        end)
+    (ranked t)
+
+let unlimited_budget t =
+  t.budget <- None;
+  Hashtbl.reset t.simple_active;
+  Hashtbl.reset t.branching_active;
+  Hashtbl.iter (fun h e -> Hashtbl.replace t.simple_active h e) t.simple_all;
+  Hashtbl.iter (fun h e -> Hashtbl.replace t.branching_active h e) t.branching_all
+
+let lookup_simple t hash =
+  Option.map (fun e -> (e.card, e.sbsel)) (Hashtbl.find_opt t.simple_active hash)
+
+let lookup_branching t hash =
+  Option.map (fun e -> e.bbsel) (Hashtbl.find_opt t.branching_active hash)
+
+let size_in_bytes t =
+  (simple_entry_bytes * Hashtbl.length t.simple_active)
+  + (branching_entry_bytes * Hashtbl.length t.branching_active)
+
+let record_feedback t ~hash ~card ?bsel ~error () =
+  let e = { card; sbsel = bsel; serror = error } in
+  Hashtbl.replace t.simple_all hash e;
+  (match t.budget with
+   | None -> Hashtbl.replace t.simple_active hash e
+   | Some bytes ->
+     Hashtbl.replace t.simple_active hash e;
+     (* Evict smallest-error active entries until we fit again. *)
+     let rec evict () =
+       if size_in_bytes t > bytes then begin
+         let worst = ref None in
+         Hashtbl.iter
+           (fun h e ->
+             match !worst with
+             | Some (_, we, _) when we <= e.serror -> ()
+             | _ -> worst := Some (`S h, e.serror, ()))
+           t.simple_active;
+         Hashtbl.iter
+           (fun h e ->
+             match !worst with
+             | Some (_, we, _) when we <= e.berror -> ()
+             | _ -> worst := Some (`B h, e.berror, ()))
+           t.branching_active;
+         match !worst with
+         | Some (`S h, _, ()) when h <> hash ->
+           Hashtbl.remove t.simple_active h;
+           evict ()
+         | Some (`B h, _, ()) ->
+           Hashtbl.remove t.branching_active h;
+           evict ()
+         | _ -> ()  (* the new entry itself is the least useful: keep it *)
+       end
+     in
+     evict ())
+
+let active_count t =
+  Hashtbl.length t.simple_active + Hashtbl.length t.branching_active
+
+let total_count t = Hashtbl.length t.simple_all + Hashtbl.length t.branching_all
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "xseed-het v1\n";
+  (match t.budget with
+   | Some b -> Buffer.add_string buf (Printf.sprintf "budget %d\n" b)
+   | None -> ());
+  let simples =
+    Hashtbl.fold (fun h e acc -> (h, e) :: acc) t.simple_all []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (h, e) ->
+      Buffer.add_string buf
+        (Printf.sprintf "simple %d %d %s %h\n" h e.card
+           (match e.sbsel with None -> "-" | Some b -> Printf.sprintf "%h" b)
+           e.serror))
+    simples;
+  let branches =
+    Hashtbl.fold (fun h e acc -> (h, e) :: acc) t.branching_all []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (h, e) ->
+      Buffer.add_string buf (Printf.sprintf "branching %d %h %h\n" h e.bbsel e.berror))
+    branches;
+  Buffer.contents buf
+
+let of_string s =
+  let t = create () in
+  let budget = ref None in
+  let malformed line = invalid_arg ("Het.of_string: bad line: " ^ line) in
+  List.iteri
+    (fun i line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] -> ()
+      | [ "xseed-het"; "v1" ] when i = 0 -> ()
+      | [ "budget"; b ] ->
+        (match int_of_string_opt b with
+         | Some b -> budget := Some b
+         | None -> malformed line)
+      | [ "simple"; h; card; bsel; error ] ->
+        (match (int_of_string_opt h, int_of_string_opt card, float_of_string_opt error) with
+         | Some h, Some card, Some error ->
+           let bsel = if bsel = "-" then None else float_of_string_opt bsel in
+           add_simple t ~hash:h ~card ~bsel ~error
+         | _ -> malformed line)
+      | [ "branching"; h; bsel; error ] ->
+        (match (int_of_string_opt h, float_of_string_opt bsel, float_of_string_opt error) with
+         | Some h, Some bsel, Some error -> add_branching t ~hash:h ~bsel ~error
+         | _ -> malformed line)
+      | _ -> malformed line)
+    (String.split_on_char '\n' s);
+  (match !budget with Some b -> set_budget t ~bytes:b | None -> ());
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "HET: %d entries (%d active, %d bytes)" (total_count t)
+    (active_count t) (size_in_bytes t)

@@ -1,0 +1,59 @@
+(** The hyper-edge table (paper Section 5): exact statistics for the places
+    the kernel's independence assumptions hurt most.
+
+    Two kinds of entries, both keyed by a {!Path_hash}:
+    - {b simple}: the actual cardinality of a rooted simple path, plus the
+      actual backward selectivity of its last step — consulted by the
+      traveler's EST function;
+    - {b branching}: the correlated backward selectivity of a pattern
+      [p\[q1\]..\[qk\]/r] — consulted by the matcher in place of the
+      independence approximation.
+
+    Mirroring the paper's management scheme, the full table (ordered by
+    estimation error, the "secondary storage" copy) is always retained;
+    {!set_budget} chooses the top-k entries that fit the in-memory budget
+    and only those answer lookups. *)
+
+type t
+
+val create : unit -> t
+
+val add_simple : t -> hash:int -> card:int -> bsel:float option -> error:float -> unit
+(** Record a simple-path entry. A later call with the same hash replaces the
+    earlier one. [error] ranks the entry for budget selection. *)
+
+val add_branching : t -> hash:int -> bsel:float -> error:float -> unit
+
+val set_budget : t -> bytes:int -> unit
+(** Keep the largest-error entries whose in-memory footprint fits [bytes];
+    the rest stay on the "secondary" list and stop answering lookups. *)
+
+val unlimited_budget : t -> unit
+(** Activate every entry. This is the state after construction. *)
+
+val lookup_simple : t -> int -> (int * float option) option
+(** [(actual cardinality, actual bsel)] for an active simple entry. *)
+
+val lookup_branching : t -> int -> float option
+
+val record_feedback : t -> hash:int -> card:int -> ?bsel:float -> error:float -> unit -> unit
+(** Query-feedback insertion (paper Figure 1): same as {!add_simple} but the
+    entry is activated immediately, evicting the currently least useful
+    active entry if a budget is set and full. *)
+
+val active_count : t -> int
+val total_count : t -> int
+
+val size_in_bytes : t -> int
+(** Footprint of the {e active} entries: 16 bytes per simple entry (4 key +
+    8 cardinality + 4 bsel) and 8 per branching entry (4 key + 4 bsel). *)
+
+val simple_entry_bytes : int
+val branching_entry_bytes : int
+
+val to_string : t -> string
+(** Stable textual dump of all entries (persistence). *)
+
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,185 @@
+type stats = {
+  simple_entries : int;
+  zero_entries : int;
+  branching_entries : int;
+  branching_candidates : int;
+  nok_evaluations : int;
+}
+
+(* Estimated cardinality of every rooted simple path in one EPT pass: each
+   EPT node is a distinct rooted label path, so its card IS the kernel
+   estimate of that path. Returns hash -> estimated card. *)
+let ept_estimates ~card_threshold kernel =
+  let estimates = Hashtbl.create 1024 in
+  let traveler = Traveler.create ~card_threshold kernel in
+  let hash_stack = ref [] in
+  Traveler.iter traveler ~f:(fun event ->
+      match event with
+      | Traveler.Open info ->
+        let parent =
+          match !hash_stack with [] -> Path_hash.empty | h :: _ -> h
+        in
+        let h = Path_hash.extend parent info.label in
+        hash_stack := h :: !hash_stack;
+        Hashtbl.replace estimates h info.card
+      | Traveler.Close _ ->
+        (match !hash_stack with [] -> () | _ :: rest -> hash_stack := rest)
+      | Traveler.Eos -> ());
+  estimates
+
+(* Queries used to measure actual correlated selectivities: all of the form
+   //p[q1]..[qk]/r or //p[q1]..[qk], built directly as ASTs. *)
+let pattern_query table ~parent ~predicates ~next =
+  let name l = Xpath.Ast.Name (Xml.Label.name table l) in
+  let step axis test predicates =
+    { Xpath.Ast.axis; test; predicates; value_predicates = [] }
+  in
+  let preds =
+    List.map (fun q -> [ step Xpath.Ast.Child (name q) [] ]) predicates
+  in
+  let p = step Xpath.Ast.Descendant (name parent) preds in
+  match next with
+  | Some r -> [ p; step Xpath.Ast.Child (name r) [] ]
+  | None -> [ p ]
+
+let build ?(mbp = 1) ?(bsel_threshold = 0.1) ?(card_threshold = 0.5)
+    ?(max_branching_candidates = 50_000) ?(zero_entries = true) ~kernel
+    ~path_tree ?storage () =
+  let het = Het.create () in
+  let table = Kernel.table kernel in
+  let estimates = ept_estimates ~card_threshold kernel in
+  let simple = ref 0 and zero = ref 0 and branching = ref 0 in
+  let candidates = ref 0 and nok_evals = ref 0 in
+
+  (* Simple-path entries: actual card and bsel from the path tree, error
+     against the kernel estimate read off the EPT. *)
+  Pathtree.Path_tree.iter_paths path_tree ~f:(fun labels ~parent node ->
+      let hash = Path_hash.of_labels labels in
+      let est =
+        match Hashtbl.find_opt estimates hash with Some e -> e | None -> 0.0
+      in
+      Hashtbl.remove estimates hash;
+      let actual = node.cardinality in
+      let bsel = Pathtree.Path_tree.bsel path_tree ~parent node in
+      let error = Float.abs (est -. float_of_int actual) in
+      incr simple;
+      Het.add_simple het ~hash ~card:actual ~bsel:(Some bsel) ~error);
+
+  (* What remains in [estimates] are false-positive paths: derivable from
+     the kernel but absent from the document. A zero-cardinality entry both
+     fixes their estimate and stops the traveler from expanding them. *)
+  if zero_entries then
+    Hashtbl.iter
+      (fun hash est ->
+        if est > 0.0 then begin
+          incr zero;
+          Het.add_simple het ~hash ~card:0 ~bsel:(Some 0.0) ~error:est
+        end)
+      estimates;
+
+  (* Branching entries need actual evaluation: NoK over the storage. *)
+  (match storage with
+   | None -> ()
+   | Some storage when mbp >= 1 ->
+     let ept =
+       Matcher.materialize (Traveler.create ~card_threshold kernel)
+     in
+     let estimate path =
+       Matcher.estimate ~table ept (Xpath.Query_tree.of_path path)
+     in
+     let actual path =
+       incr nok_evals;
+       Nok.Eval.cardinality storage path
+     in
+     let seen = Hashtbl.create 256 in
+     let consider ~parent_label ~preds ~next =
+       if !candidates < max_branching_candidates then begin
+         let hash =
+           Path_hash.branching ~parent:parent_label ~predicates:preds
+             ~next:(match next with Some r -> r | None -> -1)
+         in
+         if not (Hashtbl.mem seen hash) then begin
+           Hashtbl.add seen hash ();
+           incr candidates;
+           (* Correlated bsel: P(p has all predicate children | p has r). *)
+           let denom =
+             actual (pattern_query table ~parent:parent_label ~predicates:[] ~next)
+           in
+           if denom > 0 then begin
+             let joint =
+               actual
+                 (pattern_query table ~parent:parent_label ~predicates:preds ~next)
+             in
+             (* [joint] counts p (or r) nodes under the predicates; both
+                queries count the same node kind, so the ratio is the
+                conditional selectivity. *)
+             let bsel = float_of_int joint /. float_of_int denom in
+             let q = pattern_query table ~parent:parent_label ~predicates:preds ~next in
+             let err = Float.abs (estimate q -. float_of_int joint) in
+             incr branching;
+             Het.add_branching het ~hash ~bsel ~error:err
+           end
+         end
+       end
+     in
+     (* Enumerate label patterns from the path tree: for each internal node,
+        low-bsel children become predicates, siblings become the next step. *)
+     Pathtree.Path_tree.iter_paths path_tree ~f:(fun _labels ~parent:_ node ->
+         let kids = node.children in
+         let low =
+           List.filter
+             (fun (k : Pathtree.Path_tree.node) ->
+               Pathtree.Path_tree.bsel path_tree ~parent:(Some node) k
+               < bsel_threshold)
+             kids
+         in
+         List.iter
+           (fun (q : Pathtree.Path_tree.node) ->
+             List.iter
+               (fun (r : Pathtree.Path_tree.node) ->
+                 if r.label <> q.label then
+                   consider ~parent_label:node.label ~preds:[ q.label ]
+                     ~next:(Some r.label))
+               kids;
+             consider ~parent_label:node.label ~preds:[ q.label ] ~next:None;
+             if mbp >= 2 then
+               List.iter
+                 (fun (q2 : Pathtree.Path_tree.node) ->
+                   if q2.label <> q.label then begin
+                     let preds = [ q.label; q2.label ] in
+                     List.iter
+                       (fun (r : Pathtree.Path_tree.node) ->
+                         if r.label <> q.label && r.label <> q2.label then
+                           consider ~parent_label:node.label ~preds
+                             ~next:(Some r.label))
+                       kids;
+                     consider ~parent_label:node.label ~preds ~next:None;
+                     if mbp >= 3 then
+                       List.iter
+                         (fun (q3 : Pathtree.Path_tree.node) ->
+                           if q3.label <> q.label && q3.label <> q2.label then
+                             List.iter
+                               (fun (r : Pathtree.Path_tree.node) ->
+                                 if
+                                   r.label <> q.label && r.label <> q2.label
+                                   && r.label <> q3.label
+                                 then
+                                   consider ~parent_label:node.label
+                                     ~preds:[ q.label; q2.label; q3.label ]
+                                     ~next:(Some r.label))
+                               kids)
+                         kids
+                   end)
+                 kids)
+           low)
+   | Some _ -> ());
+  ( het,
+    { simple_entries = !simple; zero_entries = !zero;
+      branching_entries = !branching; branching_candidates = !candidates;
+      nok_evaluations = !nok_evals } )
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "HET build: %d simple (+%d zero), %d branching of %d candidates, %d NoK runs"
+    s.simple_entries s.zero_entries s.branching_entries s.branching_candidates
+    s.nok_evaluations

@@ -1,0 +1,223 @@
+exception Ept_too_large of int
+
+type node = {
+  label : Xml.Label.t;
+  card : float;
+  bsel : float;
+  children : node array;
+  (* Bottom-up accumulators, one slot per query-tree node; filled by
+     [estimate], sized lazily so an EPT can serve queries of any size. *)
+  mutable c_or : float array;  (* P(a child embeds QTN q's subtree) *)
+  mutable d_or : float array;  (* P(a proper descendant embeds it) *)
+}
+
+type ept = { root : node; nodes : int }
+
+let materialize ?(max_nodes = 2_000_000) traveler =
+  let count = ref 0 in
+  (* Stack of (open_info, reversed children). *)
+  let stack = ref [] in
+  let finished = ref None in
+  let rec drain () =
+    match Traveler.next traveler with
+    | Traveler.Eos -> ()
+    | Traveler.Open info ->
+      incr count;
+      if !count > max_nodes then raise (Ept_too_large !count);
+      stack := (info, ref []) :: !stack;
+      drain ()
+    | Traveler.Close _ ->
+      (match !stack with
+       | [] -> invalid_arg "Matcher.materialize: unbalanced traveler events"
+       | (info, kids) :: rest ->
+         let node =
+           { label = info.label; card = info.card; bsel = info.bsel;
+             children = Array.of_list (List.rev !kids); c_or = [||]; d_or = [||] }
+         in
+         (match rest with
+          | [] -> finished := Some node
+          | (_, parent_kids) :: _ -> parent_kids := node :: !parent_kids);
+         stack := rest;
+         drain ())
+  in
+  drain ();
+  match !finished with
+  | Some root -> { root; nodes = !count }
+  | None -> invalid_arg "Matcher.materialize: traveler produced no events"
+
+let node_count ept = ept.nodes
+
+type synthetic = node
+
+let synthetic_node ~label ~card ~bsel ~children =
+  { label; card; bsel; children = Array.of_list children; c_or = [||]; d_or = [||] }
+
+let of_synthetic root =
+  let rec count n = Array.fold_left (fun acc k -> acc + count k) 1 n.children in
+  { root; nodes = count root }
+
+(* Compiled query mirror (same shape as Nok.Eval's). *)
+type compiled = {
+  size : int;
+  test : int array;  (* label id, -1 wildcard, -2 unknown name *)
+  is_descendant : bool array;
+  parent : int array;
+  preds : int list array;  (* predicate children *)
+  spine : int array;  (* spine child or -1 *)
+  kids : int list array;  (* preds @ spine *)
+  vpreds : Xpath.Ast.value_predicate list array;
+  on_result_path : bool array;
+  result_id : int;
+}
+
+let compile table (qt : Xpath.Query_tree.t) =
+  if qt.size > 62 then invalid_arg "Matcher: query has more than 62 steps";
+  let test = Array.make qt.size (-2) in
+  let is_descendant = Array.make qt.size false in
+  let parent = Array.make qt.size (-1) in
+  let preds = Array.make qt.size [] in
+  let spine = Array.make qt.size (-1) in
+  let kids = Array.make qt.size [] in
+  let vpreds = Array.make qt.size [] in
+  let on_result_path = Array.make qt.size false in
+  Xpath.Query_tree.iter qt ~f:(fun n ->
+      test.(n.id) <-
+        (match n.test with
+         | Xpath.Ast.Wildcard -> -1
+         | Xpath.Ast.Name name ->
+           (match Xml.Label.find_opt table name with Some l -> l | None -> -2));
+      is_descendant.(n.id) <- n.axis = Xpath.Ast.Descendant;
+      on_result_path.(n.id) <- n.on_result_path;
+      vpreds.(n.id) <- n.value_predicates;
+      preds.(n.id) <- List.map (fun c -> c.Xpath.Query_tree.id) n.predicates;
+      (match n.spine with Some s -> spine.(n.id) <- s.id | None -> ());
+      let children = Xpath.Query_tree.children n in
+      kids.(n.id) <- List.map (fun c -> c.Xpath.Query_tree.id) children;
+      List.iter (fun c -> parent.(c.Xpath.Query_tree.id) <- n.id) children);
+  { size = qt.size; test; is_descendant; parent; preds; spine; kids; vpreds;
+    on_result_path; result_id = qt.result.id }
+
+let test_matches c q label = c.test.(q) = -1 || c.test.(q) = label
+
+let noisy_or a b = 1.0 -. ((1.0 -. a) *. (1.0 -. b))
+
+(* Selectivity of QTN q's value predicates at a node with this label. With
+   no value synopsis the predicates are ignored (factor 1), preserving the
+   purely structural behaviour of the paper. *)
+let value_factor values c node_label q =
+  match values with
+  | None -> 1.0
+  | Some vs ->
+    List.fold_left
+      (fun acc vp -> acc *. Value_synopsis.selectivity vs ~context:node_label vp)
+      1.0 c.vpreds.(q)
+
+(* Bottom-up: fill every node's c_or / d_or and return its m vector.
+   m.(q) = P(this node embeds the full pattern subtree of q | it exists). *)
+let rec bottom_up ?values c node =
+  let q_n = c.size in
+  node.c_or <- Array.make q_n 0.0;
+  node.d_or <- Array.make q_n 0.0;
+  let kid_ms = Array.map (bottom_up ?values c) node.children in
+  Array.iteri
+    (fun i kid ->
+      let m_kid = kid_ms.(i) in
+      for q = 0 to q_n - 1 do
+        node.c_or.(q) <- noisy_or node.c_or.(q) (kid.bsel *. m_kid.(q));
+        let below = noisy_or m_kid.(q) kid.d_or.(q) in
+        node.d_or.(q) <- noisy_or node.d_or.(q) (kid.bsel *. below)
+      done)
+    node.children;
+  let m = Array.make q_n 0.0 in
+  for q = 0 to q_n - 1 do
+    if test_matches c q node.label then begin
+      let sat = ref (value_factor values c node.label q) in
+      List.iter
+        (fun k ->
+          let p = if c.is_descendant.(k) then node.d_or.(k) else node.c_or.(k) in
+          sat := !sat *. p)
+        c.kids.(q);
+      m.(q) <- !sat
+    end
+  done;
+  m
+
+(* Predicate factor at a spine node, with HET correlated-bsel overrides.
+   A child-axis single-name predicate pattern p[q1]..[qk]/r is looked up
+   jointly first, then each predicate singly; remaining predicates fall back
+   to the independence factors from the bottom-up pass. *)
+let pred_factor het c node q =
+  let plain k =
+    if c.is_descendant.(k) then node.d_or.(k) else node.c_or.(k)
+  in
+  match het with
+  | None -> List.fold_left (fun acc k -> acc *. plain k) 1.0 c.preds.(q)
+  | Some het ->
+    let next = if c.spine.(q) >= 0 then c.test.(c.spine.(q)) else -1 in
+    let simple_pred k =
+      (* Eligible for a HET pattern: child axis, name test, no nested steps. *)
+      (not c.is_descendant.(k)) && c.test.(k) >= 0 && c.kids.(k) = []
+    in
+    let eligible, rest = List.partition simple_pred c.preds.(q) in
+    let rest_factor = List.fold_left (fun acc k -> acc *. plain k) 1.0 rest in
+    let joint =
+      match eligible with
+      | _ :: _ :: _ when next >= -1 ->
+        let hash =
+          Path_hash.branching ~parent:node.label
+            ~predicates:(List.map (fun k -> c.test.(k)) eligible)
+            ~next
+        in
+        Het.lookup_branching het hash
+      | _ -> None
+    in
+    (match joint with
+     | Some bsel -> bsel *. rest_factor
+     | None ->
+       List.fold_left
+         (fun acc k ->
+           let hash =
+             Path_hash.branching ~parent:node.label ~predicates:[ c.test.(k) ] ~next
+           in
+           let factor =
+             match Het.lookup_branching het hash with
+             | Some bsel -> bsel
+             | None -> plain k
+           in
+           acc *. factor)
+         rest_factor eligible)
+
+(* Top-down: a.(q) = P(node is a valid image of result-path QTN q given its
+   own existence), combining test, predicates (structural and value) and
+   ancestor validity. *)
+let rec top_down ?values het c node ~is_root ~parent_a ~anc_or acc =
+  let q_n = c.size in
+  let a = Array.make q_n 0.0 in
+  for q = 0 to q_n - 1 do
+    if c.on_result_path.(q) && test_matches c q node.label then begin
+      let anc_factor =
+        let p = c.parent.(q) in
+        if p < 0 then if c.is_descendant.(q) then 1.0 else if is_root then 1.0 else 0.0
+        else if c.is_descendant.(q) then anc_or.(p)
+        else parent_a.(p)
+      in
+      if anc_factor > 0.0 then
+        a.(q) <-
+          anc_factor *. pred_factor het c node q
+          *. value_factor values c node.label q
+    end
+  done;
+  acc := !acc +. (node.card *. a.(c.result_id));
+  let anc_or' = Array.init q_n (fun q -> noisy_or anc_or.(q) a.(q)) in
+  Array.iter
+    (fun kid ->
+      top_down ?values het c kid ~is_root:false ~parent_a:a ~anc_or:anc_or' acc)
+    node.children
+
+let estimate ?het ?values ~table ept qt =
+  let c = compile table qt in
+  ignore (bottom_up ?values c ept.root : float array);
+  let acc = ref 0.0 in
+  let zeros = Array.make c.size 0.0 in
+  top_down ?values het c ept.root ~is_root:true ~parent_a:zeros ~anc_or:zeros acc;
+  !acc

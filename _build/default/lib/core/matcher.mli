@@ -1,0 +1,56 @@
+(** The synopsis matcher (paper Algorithm 3).
+
+    Materializes the traveler's EPT event stream and matches the query tree
+    against it. Where the paper's pseudo-code buffers candidate events per
+    query-tree node and flushes [card × aggregated-bsel] on total matches,
+    this implementation computes the same quantities compositionally:
+
+    - bottom-up, for every EPT node and query-tree node [q], the probability
+      that the pattern below [q] is embedded at/below the EPT node — each
+      step weighted by the event's backward selectivity exactly as
+      AGGREGATED-BSEL multiplies predicate-event bsels;
+    - top-down, the probability that an EPT node is a valid image of each
+      result-path node given its ancestors;
+    - the estimate is the sum of [card × P(valid image of the result node)].
+
+    For linear paths with predicates this reduces to the paper's
+    [|q| × absel] formula. Where several EPT branches can satisfy the same
+    predicate the paper's plain product over matched events would shrink
+    with extra evidence; we combine alternatives with noisy-or instead
+    (documented deviation, see DESIGN.md).
+
+    When a {!Het} is available, correlated backward selectivities override
+    the independence approximation for [p\[q1\]..\[qk\]/r] patterns, as in
+    Section 5's modified matcher. *)
+
+exception Ept_too_large of int
+
+type ept
+
+val materialize : ?max_nodes:int -> Traveler.t -> ept
+(** Drain a fresh traveler into an EPT tree. [max_nodes] (default 2_000_000)
+    guards against runaway expansion of highly recursive kernels when the
+    card threshold is set too low. @raise Ept_too_large when exceeded. *)
+
+val node_count : ept -> int
+
+type synthetic
+(** A hand-built EPT node, for estimators that expand a different synopsis
+    (e.g. the TreeSketch baseline) but reuse this matcher. *)
+
+val synthetic_node :
+  label:Xml.Label.t -> card:float -> bsel:float -> children:synthetic list -> synthetic
+
+val of_synthetic : synthetic -> ept
+
+val estimate :
+  ?het:Het.t ->
+  ?values:Value_synopsis.t ->
+  table:Xml.Label.table ->
+  ept ->
+  Xpath.Query_tree.t ->
+  float
+(** Estimated cardinality of the query against the EPT. When [values] is
+    given, value-predicate selectivities multiply into the match
+    probabilities; without it value predicates are ignored (factor 1).
+    @raise Invalid_argument if the query has more than 62 steps. *)

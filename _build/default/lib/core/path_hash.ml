@@ -1,0 +1,25 @@
+let mask = 0xFFFFFFFF
+
+let empty = 0x811C9DC5 land mask (* FNV offset basis *)
+
+(* FNV-1a style step over small ints; labels are offset so label 0 is
+   distinguishable from structural sentinels. *)
+let step h v = (h lxor (v land mask)) * 0x01000193 land mask
+
+let extend h label = step h (label + 16)
+
+let of_labels labels = List.fold_left extend empty labels
+
+let open_bracket = 1
+let close_bracket = 2
+let slash = 3
+
+let branching ~parent ~predicates ~next =
+  let h = extend empty parent in
+  let h =
+    List.fold_left
+      (fun h q -> step (extend (step h open_bracket) q) close_bracket)
+      h
+      (List.sort Int.compare predicates)
+  in
+  extend (step h slash) next

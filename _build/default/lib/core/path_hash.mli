@@ -1,0 +1,19 @@
+(** Incremental path hashing (the paper's [incHash]).
+
+    HET keys are single integers: extending a rooted path by one label, or
+    rendering a branching pattern like [p\[q\]/r], never re-hashes the whole
+    path. Hashes are folded to 32 bits to mirror the paper's design (and its
+    collision trade-off, which the test suite measures). *)
+
+val empty : int
+(** Hash of the empty path. *)
+
+val extend : int -> Xml.Label.t -> int
+(** [extend h label] is the hash of the path [h] followed by [label]. *)
+
+val of_labels : Xml.Label.t list -> int
+(** Fold {!extend} over a rooted label path. *)
+
+val branching : parent:int -> predicates:Xml.Label.t list -> next:Xml.Label.t -> int
+(** Key for the correlated-bsel pattern [p\[q1\]..\[qk\]/r]. [predicates] are
+    sorted internally so [p\[q1\]\[q2\]/r] and [p\[q2\]\[q1\]/r] coincide. *)

@@ -1,0 +1,152 @@
+type t = {
+  kernel : Kernel.t;
+  het : Het.t option;
+  values : Value_synopsis.t option;
+  card_threshold : float;
+  mutable estimator : Estimator.t;
+}
+
+let build ?budget_bytes ?(with_het = true) ?(with_values = false) ?mbp
+    ?bsel_threshold ?(card_threshold = 0.5) doc =
+  let table = Xml.Label.create_table () in
+  let kernel = Builder.of_string ~table doc in
+  let het, values =
+    if not (with_het || with_values) then (None, None)
+    else begin
+      let storage = Nok.Storage.of_string ~table ~with_values doc in
+      let het =
+        if not with_het then None
+        else begin
+          let path_tree = Pathtree.Path_tree.of_string ~table doc in
+          let het, _stats =
+            Het_builder.build ?mbp ?bsel_threshold ~card_threshold ~kernel
+              ~path_tree ~storage ()
+          in
+          Some het
+        end
+      in
+      let values =
+        if with_values then Some (Value_synopsis.build storage) else None
+      in
+      (het, values)
+    end
+  in
+  (match (budget_bytes, het) with
+   | Some budget, Some het ->
+     Het.set_budget het ~bytes:(max 0 (budget - Kernel.size_in_bytes kernel))
+   | _ -> ());
+  let estimator = Estimator.create ~card_threshold ?het ?values kernel in
+  { kernel; het; values; card_threshold; estimator }
+
+let kernel t = t.kernel
+let het t = t.het
+let values t = t.values
+let estimator t = t.estimator
+
+let estimate t query = Estimator.estimate_string t.estimator query
+
+let set_budget t ~bytes =
+  match t.het with
+  | None -> ()
+  | Some het ->
+    Het.set_budget het ~bytes:(max 0 (bytes - Kernel.size_in_bytes t.kernel));
+    t.estimator <-
+      Estimator.create ~card_threshold:t.card_threshold ~het ?values:t.values
+        t.kernel
+
+let kernel_size_in_bytes t = Kernel.size_in_bytes t.kernel
+
+let size_in_bytes t =
+  kernel_size_in_bytes t
+  + (match t.het with None -> 0 | Some h -> Het.size_in_bytes h)
+
+(* Serialization: a label-table section (preserving interning order, which
+   HET hashes depend on), the kernel dump, then optionally the HET dump. *)
+let label_marker = "---kernel---\n"
+let het_marker = "---het---\n"
+let values_marker = "---values---\n"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "xseed-synopsis v1\n";
+  List.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\n')
+    (Xml.Label.names (Kernel.table t.kernel));
+  Buffer.add_string buf label_marker;
+  Buffer.add_string buf (Kernel.to_string t.kernel);
+  (match t.het with
+   | Some het ->
+     Buffer.add_string buf het_marker;
+     Buffer.add_string buf (Het.to_string het)
+   | None -> ());
+  (match t.values with
+   | Some values ->
+     Buffer.add_string buf values_marker;
+     Buffer.add_string buf (Value_synopsis.to_string values)
+   | None -> ());
+  Buffer.contents buf
+
+let find_marker contents marker =
+  let n = String.length marker in
+  let rec go i =
+    if i + n > String.length contents then None
+    else if String.sub contents i n = marker then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let of_string contents =
+  let kernel_at =
+    match find_marker contents label_marker with
+    | Some i -> i
+    | None -> invalid_arg "Synopsis.of_string: missing kernel section"
+  in
+  let table = Xml.Label.create_table () in
+  (match String.split_on_char '\n' (String.sub contents 0 kernel_at) with
+   | "xseed-synopsis v1" :: names ->
+     List.iter
+       (fun name -> if name <> "" then ignore (Xml.Label.intern table name : int))
+       names
+   | _ -> invalid_arg "Synopsis.of_string: bad header");
+  let body =
+    String.sub contents
+      (kernel_at + String.length label_marker)
+      (String.length contents - kernel_at - String.length label_marker)
+  in
+  (* Peel the optional values section off the tail first. *)
+  let body, values =
+    match find_marker body values_marker with
+    | None -> (body, None)
+    | Some i ->
+      ( String.sub body 0 i,
+        Some
+          (Value_synopsis.of_string ~table
+             (String.sub body
+                (i + String.length values_marker)
+                (String.length body - i - String.length values_marker))) )
+  in
+  let kernel, het =
+    match find_marker body het_marker with
+    | None -> (Kernel.of_string ~table body, None)
+    | Some i ->
+      ( Kernel.of_string ~table (String.sub body 0 i),
+        Some
+          (Het.of_string
+             (String.sub body
+                (i + String.length het_marker)
+                (String.length body - i - String.length het_marker))) )
+  in
+  let card_threshold = 0.5 in
+  let estimator = Estimator.create ~card_threshold ?het ?values kernel in
+  { kernel; het; values; card_threshold; estimator }
+
+let pp ppf t =
+  Format.fprintf ppf "XSEED synopsis: kernel %dB (%d vertices, %d edges)%a"
+    (kernel_size_in_bytes t) (Kernel.vertex_count t.kernel)
+    (Kernel.edge_count t.kernel)
+    (fun ppf -> function
+      | None -> Format.fprintf ppf ", no HET"
+      | Some h -> Format.fprintf ppf ", %a" Het.pp h)
+    t.het

@@ -1,0 +1,48 @@
+(** One-call construction of a complete XSEED synopsis from a document:
+    kernel + (optionally) HET, fitted to a memory budget.
+
+    This is the API a DBMS optimizer integration would use; the pieces
+    ({!Builder}, {!Het_builder}, {!Estimator}) remain available for finer
+    control. *)
+
+type t
+
+val build :
+  ?budget_bytes:int ->
+  ?with_het:bool ->
+  ?with_values:bool ->
+  ?mbp:int ->
+  ?bsel_threshold:float ->
+  ?card_threshold:float ->
+  string ->
+  t
+(** [build doc] parses [doc] once for each needed structure (kernel, and
+    when [with_het] — default true — the path tree and NoK storage for HET
+    precomputation). [with_values] (default false) additionally builds the
+    value synopsis so value predicates are estimated rather than ignored.
+    When [budget_bytes] is given, the HET keeps only the top entries such
+    that kernel + HET fit the budget; the kernel itself is never reduced
+    (it is the irreducible part of the design). *)
+
+val kernel : t -> Kernel.t
+val het : t -> Het.t option
+val values : t -> Value_synopsis.t option
+val estimator : t -> Estimator.t
+
+val estimate : t -> string -> float
+(** Parse and estimate a query. *)
+
+val set_budget : t -> bytes:int -> unit
+(** Re-fit the HET to a new total budget (dynamic reconfiguration). *)
+
+val size_in_bytes : t -> int
+val kernel_size_in_bytes : t -> int
+
+val to_string : t -> string
+(** Persist kernel + HET, including the label table: HET hashes are computed
+    over label ids, so interning order must survive the round trip. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on a malformed dump. *)
+
+val pp : Format.formatter -> t -> unit

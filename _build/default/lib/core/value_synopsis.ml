@@ -1,0 +1,341 @@
+type target_key = Tchild of Xml.Label.t | Tattr of string
+
+type dist = {
+  parents : int;  (* context-labeled nodes in the document *)
+  with_target : int;  (* of those, how many have >= 1 such child/attribute *)
+  samples : int;  (* target instances *)
+  numeric : int;  (* instances whose text parses as a number *)
+  boundaries : float array;  (* equi-depth boundaries over numeric values *)
+  frequent : (string * int) list;  (* top-k exact string counts *)
+  distinct : int;
+  examples : string list;
+}
+
+type t = {
+  dists : (Xml.Label.t * target_key, dist) Hashtbl.t;
+  buckets : int;
+  table : Xml.Label.table;
+}
+
+(* Accumulator used during the single pass. *)
+type acc = {
+  mutable a_with_target : int;
+  mutable values : string list;  (* all instances, reversed *)
+  mutable a_samples : int;
+}
+
+let build ?(buckets = 32) ?(topk = 16) ?(sample = 8) (st : Nok.Storage.t) =
+  if not (Nok.Storage.has_values st) then
+    invalid_arg "Value_synopsis.build: storage built without ~with_values:true";
+  let accs : (Xml.Label.t * target_key, acc) Hashtbl.t = Hashtbl.create 256 in
+  let label_counts = Hashtbl.create 64 in
+  let acc_of key =
+    match Hashtbl.find_opt accs key with
+    | Some a -> a
+    | None ->
+      let a = { a_with_target = 0; values = []; a_samples = 0 } in
+      Hashtbl.add accs key a;
+      a
+  in
+  let n = Nok.Storage.node_count st in
+  for i = 0 to n - 1 do
+    let context = st.labels.(i) in
+    Hashtbl.replace label_counts context
+      (1 + Option.value (Hashtbl.find_opt label_counts context) ~default:0);
+    (* Children grouped per label so with_target counts each parent once. *)
+    let seen = Hashtbl.create 4 in
+    List.iter
+      (fun j ->
+        let key = (context, Tchild st.labels.(j)) in
+        let a = acc_of key in
+        if not (Hashtbl.mem seen st.labels.(j)) then begin
+          Hashtbl.add seen st.labels.(j) ();
+          a.a_with_target <- a.a_with_target + 1
+        end;
+        a.a_samples <- a.a_samples + 1;
+        a.values <- String.trim (Nok.Storage.node_text st j) :: a.values)
+      (Nok.Storage.children st i);
+    List.iter
+      (fun (name, v) ->
+        let a = acc_of (context, Tattr name) in
+        a.a_with_target <- a.a_with_target + 1;
+        a.a_samples <- a.a_samples + 1;
+        a.values <- String.trim v :: a.values)
+      (if Array.length st.attributes = 0 then [] else st.attributes.(i))
+  done;
+  let dists = Hashtbl.create (Hashtbl.length accs) in
+  Hashtbl.iter
+    (fun ((context, _) as key) a ->
+      let parents = Option.value (Hashtbl.find_opt label_counts context) ~default:0 in
+      let counts = Hashtbl.create 64 in
+      let numbers = ref [] in
+      let numeric = ref 0 in
+      List.iter
+        (fun v ->
+          Hashtbl.replace counts v
+            (1 + Option.value (Hashtbl.find_opt counts v) ~default:0);
+          match float_of_string_opt v with
+          | Some x ->
+            incr numeric;
+            numbers := x :: !numbers
+          | None -> ())
+        a.values;
+      let sorted_numbers = List.sort Float.compare !numbers in
+      let num_arr = Array.of_list sorted_numbers in
+      let boundaries =
+        if Array.length num_arr = 0 then [||]
+        else
+          Array.init (buckets + 1) (fun b ->
+              let idx =
+                min (Array.length num_arr - 1) (b * Array.length num_arr / buckets)
+              in
+              if b = buckets then num_arr.(Array.length num_arr - 1)
+              else num_arr.(idx))
+      in
+      let by_freq =
+        Hashtbl.fold (fun v c l -> (v, c) :: l) counts []
+        |> List.sort (fun (_, c1) (_, c2) -> Int.compare c2 c1)
+      in
+      let frequent = List.filteri (fun i _ -> i < topk) by_freq in
+      let examples =
+        List.filteri (fun i _ -> i < sample) (List.map fst by_freq)
+      in
+      Hashtbl.replace dists key
+        { parents; with_target = a.a_with_target; samples = a.a_samples;
+          numeric = !numeric; boundaries; frequent;
+          distinct = Hashtbl.length counts; examples })
+    accs;
+  { dists; buckets; table = st.table }
+
+let key_of_target t target =
+  match target with
+  | Xpath.Ast.Child_text name ->
+    Option.map (fun l -> Tchild l) (Xml.Label.find_opt t.table name)
+  | Xpath.Ast.Attribute name -> Some (Tattr name)
+
+(* Fraction of numeric instances strictly below x, from the equi-depth
+   histogram (linear interpolation within a bucket). *)
+let fraction_below t d x =
+  let b = d.boundaries in
+  if Array.length b = 0 then 0.0
+  else if x <= b.(0) then 0.0
+  else if x >= b.(Array.length b - 1) then 1.0
+  else begin
+    let rec find i = if b.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    let lo = b.(i) and hi = b.(i + 1) in
+    let within = if hi > lo then (x -. lo) /. (hi -. lo) else 0.5 in
+    (float_of_int i +. within) /. float_of_int t.buckets
+  end
+
+(* P(one target instance satisfies cmp literal). *)
+let instance_selectivity t d (cmp : Xpath.Ast.cmp) (lit : Xpath.Ast.literal) =
+  let samples = float_of_int (max 1 d.samples) in
+  match lit with
+  | Xpath.Ast.Text s ->
+    let eq =
+      match List.assoc_opt s d.frequent with
+      | Some c -> float_of_int c /. samples
+      | None ->
+        (* Residual mass spread uniformly over unlisted distinct values. *)
+        let freq_mass = List.fold_left (fun acc (_, c) -> acc + c) 0 d.frequent in
+        let residual = d.samples - freq_mass in
+        let residual_distinct = d.distinct - List.length d.frequent in
+        if residual <= 0 || residual_distinct <= 0 then 0.0
+        else float_of_int residual /. float_of_int residual_distinct /. samples
+    in
+    (match cmp with
+     | Xpath.Ast.Eq -> eq
+     | Xpath.Ast.Ne -> 1.0 -. eq
+     | Xpath.Ast.Lt | Xpath.Ast.Le | Xpath.Ast.Gt | Xpath.Ast.Ge -> 0.0)
+  | Xpath.Ast.Number x ->
+    let numeric_share = float_of_int d.numeric /. samples in
+    let below = fraction_below t d x in
+    let eq_numeric =
+      (* Point selectivity: one distinct numeric value's share. *)
+      if d.numeric = 0 then 0.0
+      else 1.0 /. float_of_int (max 1 (min d.distinct d.numeric))
+    in
+    (match cmp with
+     | Xpath.Ast.Eq -> numeric_share *. eq_numeric
+     | Xpath.Ast.Ne -> 1.0 -. (numeric_share *. eq_numeric)
+     | Xpath.Ast.Lt -> numeric_share *. below
+     | Xpath.Ast.Le -> numeric_share *. Float.min 1.0 (below +. eq_numeric)
+     | Xpath.Ast.Gt -> numeric_share *. (1.0 -. below -. eq_numeric) |> Float.max 0.0
+     | Xpath.Ast.Ge -> numeric_share *. (1.0 -. below))
+
+let find t ~context target =
+  Option.bind (key_of_target t target) (fun key ->
+      Hashtbl.find_opt t.dists (context, key))
+
+let selectivity t ~context (vp : Xpath.Ast.value_predicate) =
+  match find t ~context vp.target with
+  | None -> 0.0  (* the pair never occurs in the document *)
+  | Some d ->
+    if d.parents = 0 then 0.0
+    else begin
+      let sel = instance_selectivity t d vp.cmp vp.literal in
+      (* P(>= 1 of the parent's instances satisfies): noisy-or across the
+         average number of instances per parent that has any. *)
+      let avg =
+        float_of_int d.samples /. float_of_int (max 1 d.with_target)
+      in
+      let exists = 1.0 -. ((1.0 -. sel) ** avg) in
+      float_of_int d.with_target /. float_of_int d.parents *. exists
+    end
+
+let sample_values t ~context target =
+  match find t ~context target with None -> [] | Some d -> d.examples
+
+let targets_of t ~context =
+  Hashtbl.fold
+    (fun (ctx, key) _ acc ->
+      if ctx = context then
+        (match key with
+         | Tchild l -> Xpath.Ast.Child_text (Xml.Label.name t.table l)
+         | Tattr a -> Xpath.Ast.Attribute a)
+        :: acc
+      else acc)
+    t.dists []
+
+let entry_count t = Hashtbl.length t.dists
+
+let size_in_bytes t =
+  Hashtbl.fold
+    (fun _ d acc ->
+      acc + 32
+      + (8 * Array.length d.boundaries)
+      + List.fold_left (fun a (s, _) -> a + 8 + String.length s) 0 d.frequent)
+    t.dists 0
+
+(* ------------------------------------------------------------------ *)
+(* Serialization. String values are hex-encoded so whitespace and newlines
+   survive; labels are written as names so the dump is table-portable. *)
+
+let hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let unhex s =
+  if String.length s mod 2 <> 0 then invalid_arg "Value_synopsis: bad hex";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "xseed-values v1 %d\n" t.buckets);
+  let rows =
+    Hashtbl.fold
+      (fun (context, key) d acc ->
+        let target =
+          match key with
+          | Tchild l -> "c:" ^ Xml.Label.name t.table l
+          | Tattr a -> "a:" ^ a
+        in
+        (Xml.Label.name t.table context, target, d) :: acc)
+      t.dists []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (context, target, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "dist %s %s %d %d %d %d %d\n" context target d.parents
+           d.with_target d.samples d.numeric d.distinct);
+      if Array.length d.boundaries > 0 then begin
+        Buffer.add_string buf "bounds";
+        Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf " %h" x)) d.boundaries;
+        Buffer.add_char buf '\n'
+      end;
+      List.iter
+        (fun (v, c) -> Buffer.add_string buf (Printf.sprintf "freq %s %d\n" (hex v) c))
+        d.frequent;
+      List.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf "sample %s\n" (hex v)))
+        d.examples)
+    rows;
+  Buffer.contents buf
+
+let of_string ?table s =
+  let table = match table with Some t -> t | None -> Xml.Label.create_table () in
+  let malformed line = invalid_arg ("Value_synopsis.of_string: bad line: " ^ line) in
+  let lines = String.split_on_char '\n' s in
+  let buckets = ref 32 in
+  (match lines with
+   | first :: _ ->
+     (match String.split_on_char ' ' first with
+      | [ "xseed-values"; "v1"; b ] ->
+        (match int_of_string_opt b with Some b -> buckets := b | None -> malformed first)
+      | _ -> invalid_arg "Value_synopsis.of_string: bad header")
+   | [] -> invalid_arg "Value_synopsis.of_string: empty");
+  let dists = Hashtbl.create 64 in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (key, d, freq, samples) ->
+      Hashtbl.replace dists key
+        { d with frequent = List.rev freq; examples = List.rev samples };
+      current := None
+  in
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "" ] -> ()
+        | [ "dist"; context; target; parents; with_target; samples; numeric;
+            distinct ] ->
+          flush ();
+          let context = Xml.Label.intern table context in
+          let key =
+            if String.length target > 2 && String.sub target 0 2 = "c:" then
+              Tchild (Xml.Label.intern table (String.sub target 2 (String.length target - 2)))
+            else if String.length target > 2 && String.sub target 0 2 = "a:" then
+              Tattr (String.sub target 2 (String.length target - 2))
+            else malformed line
+          in
+          (match
+             ( int_of_string_opt parents, int_of_string_opt with_target,
+               int_of_string_opt samples, int_of_string_opt numeric,
+               int_of_string_opt distinct )
+           with
+           | Some parents, Some with_target, Some samples, Some numeric, Some distinct ->
+             current :=
+               Some
+                 ( (context, key),
+                   { parents; with_target; samples; numeric; boundaries = [||];
+                     frequent = []; distinct; examples = [] },
+                   [], [] )
+           | _ -> malformed line)
+        | "bounds" :: values ->
+          (match !current with
+           | Some (key, d, f, sm) ->
+             let boundaries =
+               Array.of_list
+                 (List.map
+                    (fun v ->
+                      match float_of_string_opt v with
+                      | Some x -> x
+                      | None -> malformed line)
+                    values)
+             in
+             current := Some (key, { d with boundaries }, f, sm)
+           | None -> malformed line)
+        | [ "freq"; v; c ] ->
+          (match (!current, int_of_string_opt c) with
+           | Some (key, d, f, sm), Some c ->
+             current := Some (key, d, (unhex v, c) :: f, sm)
+           | _ -> malformed line)
+        | [ "sample"; v ] ->
+          (match !current with
+           | Some (key, d, f, sm) -> current := Some (key, d, f, unhex v :: sm)
+           | None -> malformed line)
+        | [ "sample" ] ->
+          (* hex("") is empty, and trimming ate the separator. *)
+          (match !current with
+           | Some (key, d, f, sm) -> current := Some (key, d, f, "" :: sm)
+           | None -> malformed line)
+        | _ -> malformed line)
+    lines;
+  flush ();
+  { dists; buckets = !buckets; table }

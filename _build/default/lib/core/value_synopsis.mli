@@ -1,0 +1,49 @@
+(** Value synopsis: per-(context label, target) statistics for estimating
+    value-predicate selectivities — the paper's future-work layer, built in
+    the style of the value-histogram work it cites (Polyzotis & Garofalakis,
+    VLDB 2002: structure synopsis x value distributions).
+
+    For every (parent label, child label) pair the synopsis keeps the text
+    distribution of those children, and for every (label, attribute) pair
+    the attribute's value distribution:
+    - an equi-depth histogram over the values that parse as numbers;
+    - the top-k most frequent strings exactly (end-biased histogram), with
+      the residual modelled as uniform over the remaining distinct values;
+    - presence counts, so "some child satisfies it" folds in both how many
+      parents have such a child at all and how many they have.
+
+    The estimator multiplies these selectivities into the match
+    probabilities exactly where structural predicate selectivities go. *)
+
+type t
+
+val build : ?buckets:int -> ?topk:int -> ?sample:int -> Nok.Storage.t -> t
+(** Requires a storage built with [~with_values:true].
+    [buckets] (default 32) histogram buckets; [topk] (default 16) frequent
+    strings kept exactly; [sample] (default 8) example values retained for
+    workload generation. @raise Invalid_argument without values. *)
+
+val selectivity : t -> context:Xml.Label.t -> Xpath.Ast.value_predicate -> float
+(** P(a node labeled [context] satisfies the predicate). Pairs never seen in
+    the document have probability 0. *)
+
+val sample_values :
+  t -> context:Xml.Label.t -> Xpath.Ast.value_target -> string list
+(** A few example values actually occurring under the context (for workload
+    generators). *)
+
+val targets_of : t -> context:Xml.Label.t -> Xpath.Ast.value_target list
+(** Every target with statistics under the context label. *)
+
+val entry_count : t -> int
+
+val size_in_bytes : t -> int
+(** 8 bytes per histogram boundary and counter, plus the retained frequent
+    strings. *)
+
+val to_string : t -> string
+(** Stable textual dump. Label ids appear as names, so the dump is portable
+    across label tables. *)
+
+val of_string : ?table:Xml.Label.table -> string -> t
+(** @raise Invalid_argument on a malformed dump. *)

@@ -1,0 +1,1 @@
+lib/datagen/dblp.ml: Buffer Printf Rng String

@@ -1,0 +1,1 @@
+lib/datagen/paper_example.ml: Xml

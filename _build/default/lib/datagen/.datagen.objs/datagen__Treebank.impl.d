@@ -1,0 +1,1 @@
+lib/datagen/treebank.ml: Buffer Hashtbl Option Rng

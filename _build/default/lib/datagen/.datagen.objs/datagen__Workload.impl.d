@@ -1,0 +1,1 @@
+lib/datagen/workload.ml: Array Hashtbl List Nok Option Pathtree Rng String Xml Xpath

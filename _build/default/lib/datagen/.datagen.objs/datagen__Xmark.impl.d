@@ -1,0 +1,1 @@
+lib/datagen/xmark.ml: Array Buffer List Printf Rng String

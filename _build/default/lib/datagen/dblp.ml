@@ -1,0 +1,115 @@
+let pages_probability = 0.8
+let publisher_given_pages = 0.05
+let publisher_given_no_pages = 0.9
+
+let words =
+  [| "query"; "optimization"; "xml"; "database"; "index"; "stream"; "cache";
+     "join"; "graph"; "tree"; "pattern"; "estimation"; "synopsis"; "storage" |]
+
+let names =
+  [| "Alice Meyer"; "Bob Chen"; "Carla Diaz"; "Deepak Rao"; "Eve Martin";
+     "Fela Okafor"; "Grete Hansen"; "Hiro Tanaka"; "Ines Silva"; "Jan Novak" |]
+
+let journals =
+  [| "VLDB Journal"; "TODS"; "SIGMOD Record"; "Information Systems";
+     "TKDE"; "JACM" |]
+
+let venues =
+  [| "VLDB"; "SIGMOD"; "ICDE"; "EDBT"; "CIKM"; "WWW" |]
+
+let add_field buf tag text =
+  Buffer.add_string buf "<";
+  Buffer.add_string buf tag;
+  Buffer.add_string buf ">";
+  Buffer.add_string buf text;
+  Buffer.add_string buf "</";
+  Buffer.add_string buf tag;
+  Buffer.add_string buf ">"
+
+let title rng =
+  Printf.sprintf "%s %s %s"
+    (String.capitalize_ascii (Rng.choose rng words))
+    (Rng.choose rng words) (Rng.choose rng words)
+
+let record buf rng =
+  let kind =
+    Rng.choose_weighted rng
+      [| ("article", 0.55); ("inproceedings", 0.33); ("book", 0.06);
+         ("phdthesis", 0.06) |]
+  in
+  Buffer.add_string buf ("<" ^ kind ^ " mdate=\"2004-0" ^ string_of_int (1 + Rng.int rng 9) ^ "-01\">");
+  for _ = 1 to 1 + Rng.int rng 3 do
+    add_field buf "author" (Rng.choose rng names)
+  done;
+  add_field buf "title" (title rng);
+  add_field buf "year" (string_of_int (1985 + Rng.int rng 20));
+  (match kind with
+   | "article" ->
+     add_field buf "journal" (Rng.choose rng journals);
+     if Rng.bool rng 0.7 then add_field buf "volume" (string_of_int (1 + Rng.int rng 40));
+     if Rng.bool rng 0.6 then add_field buf "number" (string_of_int (1 + Rng.int rng 12));
+     let has_pages = Rng.bool rng pages_probability in
+     if has_pages then
+       add_field buf "pages"
+         (let a = 1 + Rng.int rng 400 in
+          Printf.sprintf "%d-%d" a (a + 8 + Rng.int rng 20));
+     let p_publisher =
+       if has_pages then publisher_given_pages else publisher_given_no_pages
+     in
+     if Rng.bool rng p_publisher then add_field buf "publisher" "ACM Press";
+     (* Common sibling pair correlated above BSEL_THRESHOLD (paper Fig. 5:
+        such correlations are exactly what a 0.1-threshold HET misses). *)
+     let has_month = Rng.bool rng 0.5 in
+     if has_month then add_field buf "month" "June";
+     if Rng.bool rng (if has_month then 0.9 else 0.05) then
+       add_field buf "day" (string_of_int (1 + Rng.int rng 28));
+     (* Rare correlated fields: below BSEL_THRESHOLD, so they do become HET
+        branching candidates — the 2BP entries of Figure 6. *)
+     let has_errata = Rng.bool rng 0.04 in
+     if has_errata then add_field buf "errata" "see errata";
+     if Rng.bool rng (if has_errata then 0.5 else 0.02) then
+       add_field buf "award" "best paper"
+   | "inproceedings" ->
+     add_field buf "booktitle" (Rng.choose rng venues);
+     if Rng.bool rng 0.85 then
+       add_field buf "pages"
+         (let a = 1 + Rng.int rng 400 in
+          Printf.sprintf "%d-%d" a (a + 8 + Rng.int rng 20));
+     if Rng.bool rng 0.4 then add_field buf "crossref" "conf/xyz/2004"
+   | "book" ->
+     add_field buf "publisher" (if Rng.bool rng 0.5 then "Springer" else "Morgan Kaufmann");
+     add_field buf "isbn" (string_of_int (1000000 + Rng.int rng 8999999))
+   | _ ->
+     add_field buf "school" "University of Waterloo");
+  if Rng.bool rng 0.75 then add_field buf "ee" "http://doi.example/x";
+  if Rng.bool rng 0.5 then add_field buf "url" "db/journals/x.html";
+  (* Citations carry nested structure whose distribution depends on the
+     record type: journal-article citations are mostly labeled, conference
+     ones mostly annotated. The kernel's label-split graph merges all cite
+     nodes, so depth-3 simple paths like /dblp/article/cite/label are
+     mis-split proportionally (the paper's Example 4 ancestor-independence
+     error) — exactly what HET simple-path entries repair. *)
+  let p_label, p_note =
+    match kind with
+    | "article" -> (0.85, 0.08)
+    | "inproceedings" -> (0.05, 0.6)
+    | _ -> (0.3, 0.3)
+  in
+  for _ = 1 to Rng.int rng 4 do
+    Buffer.add_string buf "<cite>";
+    Buffer.add_string buf ("key" ^ string_of_int (Rng.int rng 10000));
+    if Rng.bool rng p_label then add_field buf "label" (Rng.choose rng words);
+    if Rng.bool rng p_note then add_field buf "note" (title rng);
+    Buffer.add_string buf "</cite>"
+  done;
+  Buffer.add_string buf ("</" ^ kind ^ ">")
+
+let generate ?(seed = 42) ~records () =
+  let rng = Rng.create ~seed in
+  let buf = Buffer.create (records * 300) in
+  Buffer.add_string buf "<dblp>";
+  for _ = 1 to records do
+    record buf rng
+  done;
+  Buffer.add_string buf "</dblp>";
+  Buffer.contents buf

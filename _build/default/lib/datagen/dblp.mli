@@ -1,0 +1,17 @@
+(** DBLP-analogue generator: the paper's "simple, non-recursive" corpus.
+
+    A flat bibliography of [records] publication elements under a [dblp]
+    root. Field presence follows the real corpus' skew, including the
+    deliberate anti-correlation the paper trips over in Figure 5: [pages]
+    appears in 80% of articles (above BSEL_THRESHOLD, so never captured by
+    the HET) while [publisher] is common {e only when} [pages] is absent —
+    the independence assumption then overestimates
+    [/dblp/article\[pages\]/publisher] by a large factor. *)
+
+val generate : ?seed:int -> records:int -> unit -> string
+
+val pages_probability : float
+(** 0.8 — the backward selectivity of [pages] under article (paper §6.3). *)
+
+val publisher_given_pages : float
+val publisher_given_no_pages : float

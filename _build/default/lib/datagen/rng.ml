@@ -1,0 +1,60 @@
+(* SplitMix64 (Steele, Lea, Flood 2014), the standard seedable splittable
+   generator; 64-bit state, one multiply-shift-xor chain per draw. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny versus 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose_weighted: empty array";
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 arr in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: weights must sum > 0";
+  let target = float t *. total in
+  let rec pick i acc =
+    if i = Array.length arr - 1 then fst arr.(i)
+    else
+      let acc = acc +. snd arr.(i) in
+      if target < acc then fst arr.(i) else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,34 @@
+(** Deterministic splittable RNG (SplitMix64).
+
+    Every generator in this library takes an explicit [Rng.t] so corpora and
+    workloads are reproducible bit-for-bit from a seed; nothing touches the
+    global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream; advancing one does not affect the other. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** Element drawn with probability proportional to its weight.
+    Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,110 @@
+let nouns = [| "market"; "share"; "company"; "price"; "trader"; "index" |]
+let verbs = [| "said"; "rose"; "fell"; "expects"; "reported"; "gained" |]
+let dets = [| "the"; "a"; "this"; "its" |]
+let preps = [| "of"; "in"; "on"; "with"; "by" |]
+let adjs = [| "new"; "big"; "late"; "early"; "strong" |]
+
+type ctx = {
+  rng : Rng.t;
+  buf : Buffer.t;
+  occ : (string, int) Hashtbl.t;  (* per-tag occurrences on the open path *)
+  max_recursion : int;
+  mutable depth : int;
+}
+
+let occurrences ctx tag = Option.value (Hashtbl.find_opt ctx.occ tag) ~default:0
+
+let enter ctx tag =
+  Hashtbl.replace ctx.occ tag (occurrences ctx tag + 1);
+  ctx.depth <- ctx.depth + 1;
+  Buffer.add_string ctx.buf ("<" ^ tag ^ ">")
+
+let leave ctx tag =
+  Hashtbl.replace ctx.occ tag (occurrences ctx tag - 1);
+  ctx.depth <- ctx.depth - 1;
+  Buffer.add_string ctx.buf ("</" ^ tag ^ ">")
+
+let leaf ctx tag words =
+  enter ctx tag;
+  Buffer.add_string ctx.buf (Rng.choose ctx.rng words);
+  leave ctx tag
+
+(* A recursive production is allowed while the tag's occurrence count stays
+   under the cap and gets geometrically less likely with depth, which yields
+   a long-tailed recursion-level distribution like real Treebank. *)
+let may_recurse ctx tag p =
+  occurrences ctx tag < ctx.max_recursion
+  && ctx.depth < 40
+  && Rng.bool ctx.rng (p /. (1.0 +. (0.06 *. float_of_int ctx.depth)))
+
+let rec s ctx =
+  enter ctx "S";
+  if may_recurse ctx "S" 0.18 then begin
+    (* Coordinated clauses: S -> S CC S. *)
+    s ctx;
+    leaf ctx "CC" [| "and"; "but"; "or" |];
+    s ctx
+  end
+  else begin
+    np ctx;
+    vp ctx;
+    if Rng.bool ctx.rng 0.3 then pp ctx
+  end;
+  leave ctx "S"
+
+and np ctx =
+  enter ctx "NP";
+  if may_recurse ctx "NP" 0.26 then begin
+    (* Post-modified noun phrase: NP -> NP PP | NP SBAR. *)
+    np ctx;
+    if Rng.bool ctx.rng 0.7 then pp ctx else sbar ctx
+  end
+  else begin
+    match Rng.int ctx.rng 3 with
+    | 0 -> leaf ctx "PRP" [| "it"; "they"; "he" |]
+    | 1 ->
+      leaf ctx "DT" dets;
+      leaf ctx "NN" nouns
+    | _ ->
+      leaf ctx "DT" dets;
+      leaf ctx "JJ" adjs;
+      leaf ctx "NN" nouns
+  end;
+  leave ctx "NP"
+
+and vp ctx =
+  enter ctx "VP";
+  leaf ctx "VB" verbs;
+  (if may_recurse ctx "VP" 0.22 then
+     if Rng.bool ctx.rng 0.5 then sbar ctx else vp ctx
+   else if Rng.bool ctx.rng 0.7 then np ctx);
+  if Rng.bool ctx.rng 0.2 then pp ctx;
+  leave ctx "VP"
+
+and pp ctx =
+  enter ctx "PP";
+  leaf ctx "IN" preps;
+  np ctx;
+  leave ctx "PP"
+
+and sbar ctx =
+  enter ctx "SBAR";
+  leaf ctx "IN" [| "that"; "because"; "while" |];
+  if occurrences ctx "S" < ctx.max_recursion && ctx.depth < 40 then s ctx
+  else np ctx;
+  leave ctx "SBAR"
+
+let generate ?(seed = 42) ?(max_recursion = 9) ~sentences () =
+  if sentences < 1 then invalid_arg "Treebank.generate: sentences must be >= 1";
+  let ctx =
+    { rng = Rng.create ~seed; buf = Buffer.create (sentences * 400);
+      occ = Hashtbl.create 16; max_recursion; depth = 0 }
+  in
+  Buffer.add_string ctx.buf "<FILE>";
+  for _ = 1 to sentences do
+    enter ctx "EMPTY";
+    s ctx;
+    leave ctx "EMPTY"
+  done;
+  Buffer.add_string ctx.buf "</FILE>";
+  Buffer.contents ctx.buf

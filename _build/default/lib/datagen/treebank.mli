@@ -1,0 +1,14 @@
+(** Treebank-analogue generator: the paper's "complex, highly recursive"
+    corpus (parse trees of Penn-Treebank-style tags).
+
+    A probabilistic grammar over S / NP / VP / PP / SBAR with recursive
+    productions (clause coordination, NP post-modification, subordinate
+    clauses) tuned so the document recursion level matches Table 2's
+    Treebank row: average node recursion level around 1.3, maximum around
+    8-10. Structure-rich by design — the number of distinct rooted paths
+    grows quickly, which is what blows up TreeSketch construction and the
+    unthresholded EPT. *)
+
+val generate : ?seed:int -> ?max_recursion:int -> sentences:int -> unit -> string
+(** [max_recursion] (default 9) caps how often one tag may repeat on a
+    rooted path. *)

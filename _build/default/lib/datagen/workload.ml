@@ -1,0 +1,223 @@
+type kind = Sp | Bp | Cp
+
+let step axis name predicates =
+  { Xpath.Ast.axis; test = Xpath.Ast.Name name; predicates; value_predicates = [] }
+
+let all_simple_paths (pt : Pathtree.Path_tree.t) =
+  List.map
+    (fun (labels, _card) ->
+      List.map
+        (fun l -> step Xpath.Ast.Child (Xml.Label.name pt.table l) [])
+        labels)
+    (Pathtree.Path_tree.all_simple_paths pt)
+
+(* Pick a random rooted path of length >= 2 by random descent; nodes with
+   deeper subtrees are favoured by re-rolling shallow results. *)
+let random_path (pt : Pathtree.Path_tree.t) rng =
+  let rec descend (node : Pathtree.Path_tree.node) acc =
+    let acc = node :: acc in
+    match node.children with
+    | [] -> List.rev acc
+    | kids ->
+      if List.length acc > 1 && Rng.bool rng 0.25 then List.rev acc
+      else descend (Rng.choose rng (Array.of_list kids)) acc
+  in
+  let rec retry n =
+    let path = descend pt.root [] in
+    if List.length path >= 2 || n > 5 then path else retry (n + 1)
+  in
+  retry 0
+
+(* Attach up to [mbp] predicates to a step: single labels drawn from the
+   children of the step's path-tree node (excluding the spine continuation
+   when possible, like the paper's sample queries). *)
+let add_predicates rng ~mbp ~p_predicate (pt : Pathtree.Path_tree.t)
+    (node : Pathtree.Path_tree.node) ~(next : Pathtree.Path_tree.node option) =
+  let candidates =
+    List.filter
+      (fun (k : Pathtree.Path_tree.node) ->
+        match next with None -> true | Some n -> k.label <> n.label)
+      node.children
+  in
+  if candidates = [] then []
+  else begin
+    let n_preds =
+      let rec roll acc i = if i >= mbp || not (Rng.bool rng p_predicate) then acc else roll (acc + 1) (i + 1) in
+      roll 0 0
+    in
+    let arr = Array.of_list candidates in
+    Rng.shuffle rng arr;
+    List.init
+      (min n_preds (Array.length arr))
+      (fun i -> [ step Xpath.Ast.Child (Xml.Label.name pt.table arr.(i).label) [] ])
+  end
+
+let branching_query (pt : Pathtree.Path_tree.t) rng ~mbp =
+  let nodes = random_path pt rng in
+  let rec build = function
+    | [] -> []
+    | (node : Pathtree.Path_tree.node) :: rest ->
+      let next = match rest with n :: _ -> Some n | [] -> None in
+      let preds = add_predicates rng ~mbp ~p_predicate:0.4 pt node ~next in
+      step Xpath.Ast.Child (Xml.Label.name pt.table node.label) preds :: build rest
+  in
+  build nodes
+
+let complex_query (pt : Pathtree.Path_tree.t) rng ~mbp =
+  let nodes = random_path pt rng in
+  let total = List.length nodes in
+  let rec build i descendant_pending = function
+    | [] -> []
+    | (node : Pathtree.Path_tree.node) :: rest ->
+      (* Elide intermediate steps with some probability; the survivor after
+         an elision is reached through a descendant axis. *)
+      if i > 0 && i < total - 1 && Rng.bool rng 0.3 then build (i + 1) true rest
+      else begin
+        let next = match rest with n :: _ -> Some n | [] -> None in
+        let preds = add_predicates rng ~mbp ~p_predicate:0.3 pt node ~next in
+        let axis =
+          if descendant_pending || (i = 0 && Rng.bool rng 0.4) then
+            Xpath.Ast.Descendant
+          else Xpath.Ast.Child
+        in
+        let test =
+          if Rng.bool rng 0.1 then Xpath.Ast.Wildcard
+          else Xpath.Ast.Name (Xml.Label.name pt.table node.label)
+        in
+        { Xpath.Ast.axis; test; predicates = preds; value_predicates = [] }
+        :: build (i + 1) false rest
+      end
+  in
+  match build 0 false nodes with
+  | [] -> [ step Xpath.Ast.Descendant (Xml.Label.name pt.table pt.root.label) [] ]
+  | q -> q
+
+let generate_many ~count make =
+  (* Dedup while preserving generation order. *)
+  let seen = Hashtbl.create (2 * count) in
+  let rec go acc n attempts =
+    if n >= count || attempts > 50 * count then List.rev acc
+    else begin
+      let q = make () in
+      let key = Xpath.Ast.to_string q in
+      if Hashtbl.mem seen key then go acc n (attempts + 1)
+      else begin
+        Hashtbl.add seen key ();
+        go (q :: acc) (n + 1) (attempts + 1)
+      end
+    end
+  in
+  go [] 0 0
+
+let branching pt ~rng ~count ?(mbp = 1) () =
+  generate_many ~count (fun () -> branching_query pt rng ~mbp)
+
+let complex pt ~rng ~count ?(mbp = 1) () =
+  generate_many ~count (fun () -> complex_query pt rng ~mbp)
+
+(* Sample concrete (child text / attribute) values per context label by
+   scanning a bounded prefix of the storage. *)
+let collect_value_samples (st : Nok.Storage.t) =
+  let child_samples = Hashtbl.create 64 in
+  let attr_samples = Hashtbl.create 64 in
+  let budget = min (Nok.Storage.node_count st) 50_000 in
+  for i = 0 to budget - 1 do
+    let context = st.labels.(i) in
+    List.iter
+      (fun j ->
+        let text = String.trim (Nok.Storage.node_text st j) in
+        if text <> "" && String.length text < 40 then begin
+          let key = (context, st.labels.(j)) in
+          let existing = Option.value (Hashtbl.find_opt child_samples key) ~default:[] in
+          if List.length existing < 8 then
+            Hashtbl.replace child_samples key (text :: existing)
+        end)
+      (Nok.Storage.children st i);
+    List.iter
+      (fun (name, v) ->
+        if String.length v < 40 then begin
+          let key = (context, name) in
+          let existing = Option.value (Hashtbl.find_opt attr_samples key) ~default:[] in
+          if List.length existing < 8 then
+            Hashtbl.replace attr_samples key (v :: existing)
+        end)
+      (if Array.length st.attributes = 0 then [] else st.attributes.(i))
+  done;
+  (child_samples, attr_samples)
+
+let valued (pt : Pathtree.Path_tree.t) ~storage ~rng ~count () =
+  if not (Nok.Storage.has_values storage) then
+    invalid_arg "Workload.valued: storage built without ~with_values:true";
+  let child_samples, attr_samples = collect_value_samples storage in
+  let make_pred context =
+    (* Candidate targets under this label. *)
+    let child_keys =
+      Hashtbl.fold
+        (fun (ctx, child) vs acc -> if ctx = context then (child, vs) :: acc else acc)
+        child_samples []
+    in
+    let attr_keys =
+      Hashtbl.fold
+        (fun (ctx, name) vs acc -> if ctx = context then (name, vs) :: acc else acc)
+        attr_samples []
+    in
+    let pick_literal vs =
+      let v = Rng.choose rng (Array.of_list vs) in
+      match float_of_string_opt v with
+      | Some x when Rng.bool rng 0.6 ->
+        let cmp =
+          Rng.choose rng [| Xpath.Ast.Lt; Xpath.Ast.Le; Xpath.Ast.Gt; Xpath.Ast.Ge |]
+        in
+        Some (cmp, Xpath.Ast.Number x)
+      | _ ->
+        if String.contains v '\'' then None
+        else Some ((if Rng.bool rng 0.8 then Xpath.Ast.Eq else Xpath.Ast.Ne),
+                   Xpath.Ast.Text v)
+    in
+    let use_attr = attr_keys <> [] && (child_keys = [] || Rng.bool rng 0.4) in
+    if use_attr then
+      let name, vs = Rng.choose rng (Array.of_list attr_keys) in
+      Option.map
+        (fun (cmp, literal) ->
+          { Xpath.Ast.target = Xpath.Ast.Attribute name; cmp; literal })
+        (pick_literal vs)
+    else
+      match child_keys with
+      | [] -> None
+      | _ ->
+        let child, vs = Rng.choose rng (Array.of_list child_keys) in
+        Option.map
+          (fun (cmp, literal) ->
+            { Xpath.Ast.target = Xpath.Ast.Child_text (Xml.Label.name pt.table child);
+              cmp; literal })
+          (pick_literal vs)
+  in
+  generate_many ~count (fun () ->
+      let q = branching_query pt rng ~mbp:1 in
+      (* Attach a value predicate to the deepest step whose label has value
+         statistics (leaf steps often have text-only children of their
+         own, so walk upward until a target exists). *)
+      let arr = Array.of_list q in
+      let rec attach i =
+        if i < 0 then ()
+        else begin
+          let step = arr.(i) in
+          let context =
+            match step.Xpath.Ast.test with
+            | Xpath.Ast.Name n ->
+              Option.value (Xml.Label.find_opt pt.table n) ~default:(-1)
+            | Xpath.Ast.Wildcard -> -1
+          in
+          match if context >= 0 then make_pred context else None with
+          | Some vp -> arr.(i) <- { step with value_predicates = [ vp ] }
+          | None -> attach (i - 1)
+        end
+      in
+      attach (Array.length arr - 1);
+      Array.to_list arr)
+
+let classify q =
+  match Xpath.Classify.shape q with
+  | Xpath.Classify.Simple -> Sp
+  | Xpath.Classify.Branching -> Bp
+  | Xpath.Classify.Complex -> Cp

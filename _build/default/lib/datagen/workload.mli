@@ -1,0 +1,40 @@
+(** Workload generation following the paper's Section 6.1: for each data set,
+    {e all} possible SP queries plus randomly generated BP and CP queries,
+    with configurable maximum predicates per step (1BP/2BP/3BP and the CP
+    counterparts).
+
+    Queries are derived from the document's path tree, so they reference
+    labels and paths that exist — like the paper's "non-trivial" random
+    queries (a sample: [//regions/australia/item\[shipping\]/location]). *)
+
+type kind = Sp | Bp | Cp
+
+val all_simple_paths : Pathtree.Path_tree.t -> Xpath.Ast.t list
+(** One SP query per distinct rooted path. *)
+
+val branching :
+  Pathtree.Path_tree.t -> rng:Rng.t -> count:int -> ?mbp:int -> unit -> Xpath.Ast.t list
+(** Random branching-path queries: child axes and name tests only, each step
+    carrying up to [mbp] (default 1) predicates drawn from the labels that
+    actually occur below the step's path. *)
+
+val complex :
+  Pathtree.Path_tree.t -> rng:Rng.t -> count:int -> ?mbp:int -> unit -> Xpath.Ast.t list
+(** Random complex-path queries: like {!branching} but steps may be elided
+    (turning the next axis into [//]) and name tests may become wildcards. *)
+
+val valued :
+  Pathtree.Path_tree.t ->
+  storage:Nok.Storage.t ->
+  rng:Rng.t ->
+  count:int ->
+  unit ->
+  Xpath.Ast.t list
+(** Random queries carrying value predicates (the future-work extension):
+    branching queries whose final step compares a child's text or one of its
+    attributes against a value actually drawn from the document — equality
+    on sampled strings, ranges around sampled numbers. Requires a storage
+    built with [~with_values:true]. *)
+
+val classify : Xpath.Ast.t -> kind
+(** Consistency check against {!Xpath.Classify}. *)

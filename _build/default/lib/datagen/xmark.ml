@@ -1,0 +1,195 @@
+let regions =
+  [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let words =
+  [| "gold"; "vintage"; "rare"; "signed"; "boxed"; "mint"; "classic";
+     "antique"; "original"; "limited" |]
+
+let text rng n =
+  String.concat " " (List.init n (fun _ -> Rng.choose rng words))
+
+let field buf tag body =
+  Buffer.add_string buf ("<" ^ tag ^ ">");
+  Buffer.add_string buf body;
+  Buffer.add_string buf ("</" ^ tag ^ ">")
+
+(* description -> text | parlist; parlist -> listitem+ -> text | parlist.
+   [depth] counts parlist nesting: capped at 2, so a rooted path holds at
+   most two parlist (and two listitem) labels - recursion level 1. *)
+let rec parlist buf rng depth =
+  Buffer.add_string buf "<parlist>";
+  for _ = 1 to 1 + Rng.int rng 3 do
+    Buffer.add_string buf "<listitem>";
+    if depth < 2 && Rng.bool rng 0.3 then parlist buf rng (depth + 1)
+    else field buf "text" (text rng (2 + Rng.int rng 6));
+    Buffer.add_string buf "</listitem>"
+  done;
+  Buffer.add_string buf "</parlist>"
+
+let description buf rng =
+  Buffer.add_string buf "<description>";
+  if Rng.bool rng 0.4 then parlist buf rng 1
+  else field buf "text" (text rng (3 + Rng.int rng 8));
+  Buffer.add_string buf "</description>"
+
+let item buf rng id =
+  Buffer.add_string buf (Printf.sprintf "<item id=\"item%d\">" id);
+  field buf "location" "United States";
+  field buf "quantity" (string_of_int (1 + Rng.int rng 5));
+  field buf "name" (text rng 2);
+  Buffer.add_string buf "<payment>Creditcard</payment>";
+  description buf rng;
+  if Rng.bool rng 0.6 then field buf "shipping" "Will ship internationally";
+  for _ = 1 to 1 + Rng.int rng 2 do
+    Buffer.add_string buf
+      (Printf.sprintf "<incategory category=\"category%d\"/>" (Rng.int rng 50))
+  done;
+  if Rng.bool rng 0.3 then begin
+    Buffer.add_string buf "<mailbox>";
+    for _ = 1 to 1 + Rng.int rng 2 do
+      Buffer.add_string buf "<mail>";
+      field buf "from" (text rng 1);
+      field buf "to" (text rng 1);
+      field buf "date" "07/04/2000";
+      field buf "text" (text rng 4);
+      Buffer.add_string buf "</mail>"
+    done;
+    Buffer.add_string buf "</mailbox>"
+  end;
+  Buffer.add_string buf "</item>"
+
+let person buf rng id =
+  Buffer.add_string buf (Printf.sprintf "<person id=\"person%d\">" id);
+  field buf "name" (text rng 2);
+  field buf "emailaddress" "mailto:x@example.com";
+  if Rng.bool rng 0.5 then field buf "phone" "+1 (555) 0100";
+  if Rng.bool rng 0.4 then begin
+    Buffer.add_string buf "<address>";
+    field buf "street" "42 Main St";
+    field buf "city" "Waterloo";
+    field buf "country" "Canada";
+    field buf "zipcode" "N2L3G1";
+    Buffer.add_string buf "</address>"
+  end;
+  if Rng.bool rng 0.3 then field buf "homepage" "http://example.com/~p";
+  if Rng.bool rng 0.35 then field buf "creditcard" "1234 5678 9012 3456";
+  if Rng.bool rng 0.6 then begin
+    Buffer.add_string buf "<profile income=\"55000\">";
+    for _ = 1 to Rng.int rng 3 do
+      Buffer.add_string buf
+        (Printf.sprintf "<interest category=\"category%d\"/>" (Rng.int rng 50))
+    done;
+    if Rng.bool rng 0.5 then field buf "education" "Graduate School";
+    if Rng.bool rng 0.7 then field buf "gender" (if Rng.bool rng 0.5 then "male" else "female");
+    field buf "business" (if Rng.bool rng 0.5 then "Yes" else "No");
+    if Rng.bool rng 0.6 then field buf "age" (string_of_int (18 + Rng.int rng 50));
+    Buffer.add_string buf "</profile>"
+  end;
+  if Rng.bool rng 0.25 then begin
+    Buffer.add_string buf "<watches>";
+    for _ = 1 to 1 + Rng.int rng 3 do
+      Buffer.add_string buf
+        (Printf.sprintf "<watch open_auction=\"open_auction%d\"/>" (Rng.int rng 100))
+    done;
+    Buffer.add_string buf "</watches>"
+  end;
+  Buffer.add_string buf "</person>"
+
+let open_auction buf rng id =
+  Buffer.add_string buf (Printf.sprintf "<open_auction id=\"open_auction%d\">" id);
+  field buf "initial" (Printf.sprintf "%d.%02d" (Rng.int rng 200) (Rng.int rng 100));
+  if Rng.bool rng 0.4 then field buf "reserve" (string_of_int (50 + Rng.int rng 200));
+  for _ = 1 to Rng.int rng 5 do
+    Buffer.add_string buf "<bidder>";
+    field buf "date" "07/04/2000";
+    field buf "time" "12:00:00";
+    Buffer.add_string buf
+      (Printf.sprintf "<personref person=\"person%d\"/>" (Rng.int rng 100));
+    field buf "increase" (string_of_int (1 + Rng.int rng 20));
+    Buffer.add_string buf "</bidder>"
+  done;
+  field buf "current" (string_of_int (10 + Rng.int rng 500));
+  if Rng.bool rng 0.3 then field buf "privacy" "Yes";
+  Buffer.add_string buf (Printf.sprintf "<itemref item=\"item%d\"/>" (Rng.int rng 100));
+  Buffer.add_string buf (Printf.sprintf "<seller person=\"person%d\"/>" (Rng.int rng 100));
+  Buffer.add_string buf "<annotation>";
+  field buf "author" (text rng 2);
+  description buf rng;
+  field buf "happiness" (string_of_int (1 + Rng.int rng 10));
+  Buffer.add_string buf "</annotation>";
+  field buf "quantity" "1";
+  field buf "type" "Regular";
+  Buffer.add_string buf "<interval>";
+  field buf "start" "07/04/2000";
+  field buf "end" "08/04/2000";
+  Buffer.add_string buf "</interval>";
+  Buffer.add_string buf "</open_auction>"
+
+let closed_auction buf rng _id =
+  Buffer.add_string buf "<closed_auction>";
+  Buffer.add_string buf (Printf.sprintf "<seller person=\"person%d\"/>" (Rng.int rng 100));
+  Buffer.add_string buf (Printf.sprintf "<buyer person=\"person%d\"/>" (Rng.int rng 100));
+  Buffer.add_string buf (Printf.sprintf "<itemref item=\"item%d\"/>" (Rng.int rng 100));
+  field buf "price" (string_of_int (10 + Rng.int rng 500));
+  field buf "date" "09/04/2000";
+  field buf "quantity" "1";
+  field buf "type" (if Rng.bool rng 0.5 then "Regular" else "Featured");
+  Buffer.add_string buf "<annotation>";
+  field buf "author" (text rng 2);
+  description buf rng;
+  field buf "happiness" (string_of_int (1 + Rng.int rng 10));
+  Buffer.add_string buf "</annotation>";
+  Buffer.add_string buf "</closed_auction>"
+
+let category buf rng id =
+  Buffer.add_string buf (Printf.sprintf "<category id=\"category%d\">" id);
+  field buf "name" (text rng 1);
+  description buf rng;
+  Buffer.add_string buf "</category>"
+
+let generate ?(seed = 42) ~items () =
+  if items < 1 then invalid_arg "Xmark.generate: items must be >= 1";
+  let rng = Rng.create ~seed in
+  let buf = Buffer.create (items * 1200) in
+  Buffer.add_string buf "<site>";
+  Buffer.add_string buf "<regions>";
+  Array.iteri
+    (fun r region ->
+      Buffer.add_string buf ("<" ^ region ^ ">");
+      (* Slightly uneven split across regions, like the real generator. *)
+      let share = max 1 (items * (r + 1) * 2 / (7 * 6)) in
+      for i = 1 to share do
+        item buf rng ((r * items) + i)
+      done;
+      Buffer.add_string buf ("</" ^ region ^ ">"))
+    regions;
+  Buffer.add_string buf "</regions>";
+  Buffer.add_string buf "<categories>";
+  for i = 1 to max 1 (items / 4) do
+    category buf rng i
+  done;
+  Buffer.add_string buf "</categories>";
+  Buffer.add_string buf "<catgraph>";
+  for _ = 1 to max 1 (items / 4) do
+    Buffer.add_string buf
+      (Printf.sprintf "<edge from=\"category%d\" to=\"category%d\"/>"
+         (Rng.int rng 50) (Rng.int rng 50))
+  done;
+  Buffer.add_string buf "</catgraph>";
+  Buffer.add_string buf "<people>";
+  for i = 1 to max 1 (items * 5 / 2) do
+    person buf rng i
+  done;
+  Buffer.add_string buf "</people>";
+  Buffer.add_string buf "<open_auctions>";
+  for i = 1 to max 1 (items * 6 / 5) do
+    open_auction buf rng i
+  done;
+  Buffer.add_string buf "</open_auctions>";
+  Buffer.add_string buf "<closed_auctions>";
+  for i = 1 to max 1 (items * 4 / 5) do
+    closed_auction buf rng i
+  done;
+  Buffer.add_string buf "</closed_auctions>";
+  Buffer.add_string buf "</site>";
+  Buffer.contents buf

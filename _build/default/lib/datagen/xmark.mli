@@ -1,0 +1,13 @@
+(** XMark-analogue generator (Schmidt et al., the XML Benchmark Project):
+    the paper's "complex, small-recursion" corpus.
+
+    Reproduces the auction-site schema shape: six regional item lists,
+    categories, people with optional profiles, open and closed auctions —
+    and the one recursive construct, [description/parlist/listitem/parlist],
+    capped at one repeated level so the document recursion level matches the
+    paper's Table 2 (avg ~0.04, max 1).
+
+    [items] scales everything proportionally, like XMark's scale factor:
+    people = 2.5x items, open auctions = 1.2x, closed auctions = 0.8x. *)
+
+val generate : ?seed:int -> items:int -> unit -> string

@@ -1,0 +1,1 @@
+lib/markov/markov_table.ml: Array Hashtbl List Nok Option Xml Xpath

@@ -1,0 +1,1 @@
+lib/markov/markov_table.mli: Nok Xml Xpath

@@ -1,0 +1,89 @@
+type t = {
+  order : int;
+  counts : (Xml.Label.t list, int) Hashtbl.t;
+  table : Xml.Label.table;
+}
+
+let build ?(order = 2) ?(prune_below = 0) (st : Nok.Storage.t) =
+  if order < 1 then invalid_arg "Markov_table.build: order must be >= 1";
+  let counts = Hashtbl.create 1024 in
+  let bump key = Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0) in
+  let n = Nok.Storage.node_count st in
+  (* Walk in pre-order keeping the rooted label path (nearest-first); for
+     each node record the suffix paths of length 1..order ending at it. *)
+  let stack_labels = Array.make 64 0 in
+  let stack_last = Array.make 64 0 in
+  let stack_labels = ref stack_labels and stack_last = ref stack_last in
+  let top = ref (-1) in
+  for i = 0 to n - 1 do
+    while !top >= 0 && (!stack_last).(!top) < i do decr top done;
+    incr top;
+    if !top >= Array.length !stack_labels then begin
+      let grow a =
+        let b = Array.make (2 * Array.length a) 0 in
+        Array.blit a 0 b 0 (Array.length a);
+        b
+      in
+      stack_labels := grow !stack_labels;
+      stack_last := grow !stack_last
+    end;
+    (!stack_labels).(!top) <- st.labels.(i);
+    (!stack_last).(!top) <- st.last.(i);
+    let max_len = min order (!top + 1) in
+    for len = 1 to max_len do
+      let key = List.init len (fun j -> (!stack_labels).(!top - len + 1 + j)) in
+      bump key
+    done
+  done;
+  if prune_below > 0 then
+    Hashtbl.iter
+      (fun key c -> if c < prune_below then Hashtbl.remove counts key)
+      (Hashtbl.copy counts);
+  { order; counts; table = st.table }
+
+let order t = t.order
+let entry_count t = Hashtbl.length t.counts
+let size_in_bytes t = 12 * entry_count t
+
+let lookup_path_count t labels =
+  Option.value (Hashtbl.find_opt t.counts labels) ~default:0
+
+(* The supported fragment: name-only child steps, no predicates; the first
+   step's axis may be either (the table cannot distinguish a rooted path
+   from an anywhere path, a known limitation of this baseline). *)
+let linear_labels table (path : Xpath.Ast.t) =
+  let rec go acc first = function
+    | [] -> Some (List.rev acc)
+    | ({ axis; test = Xpath.Ast.Name n; predicates = []; value_predicates = [] }
+       : Xpath.Ast.step)
+      :: rest
+      when axis = Xpath.Ast.Child || first ->
+      (match Xml.Label.find_opt table n with
+       | Some l -> go (l :: acc) false rest
+       | None -> Some [])  (* unknown label: supported, cardinality 0 *)
+    | _ :: _ -> None
+  in
+  go [] true path
+
+let estimate t path =
+  match linear_labels t.table path with
+  | None -> None
+  | Some [] -> Some 0.0
+  | Some labels ->
+    let n = List.length labels in
+    let arr = Array.of_list labels in
+    let sub start len = List.init len (fun j -> arr.(start + j)) in
+    if n <= t.order then Some (float_of_int (lookup_path_count t labels))
+    else begin
+      (* f(t1..tk) * prod_{j} f(tj..t(j+k-1)) / f(tj..t(j+k-2)) *)
+      let k = t.order in
+      let first = float_of_int (lookup_path_count t (sub 0 k)) in
+      let rec chain j acc =
+        if j + k - 1 >= n then acc
+        else
+          let numer = float_of_int (lookup_path_count t (sub j k)) in
+          let denom = float_of_int (lookup_path_count t (sub j (k - 1))) in
+          if denom = 0.0 then 0.0 else chain (j + 1) (acc *. numer /. denom)
+      in
+      Some (chain 1 first)
+    end

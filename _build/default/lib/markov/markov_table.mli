@@ -1,0 +1,35 @@
+(** Markov-table path estimator (Aboulnaga, Alameldeen, Naughton, VLDB 2001)
+    — a related-work baseline ([1] in the paper).
+
+    Stores the exact occurrence count of every label path of length at most
+    [order] and estimates a longer simple path by chaining conditional
+    probabilities:
+    {v |t1..tn| ~ f(t1..tk) * prod_j f(tj..t(j+k-1)) / f(tj..t(j+k-2)) v}
+
+    Like the original (and unlike XSEED), it covers only {e linear} queries:
+    child-axis name-test paths, optionally rooted by a descendant step.
+    {!estimate} returns [None] for anything else — the coverage gap the
+    paper's related-work section points out, quantified by the `ablation`
+    bench section. *)
+
+type t
+
+val build : ?order:int -> ?prune_below:int -> Nok.Storage.t -> t
+(** [order] defaults to 2. [prune_below] (default 0 = keep all) drops paths
+    with fewer occurrences, trading memory for accuracy on rare paths (the
+    original's summarization step, simplified). *)
+
+val order : t -> int
+val entry_count : t -> int
+
+val size_in_bytes : t -> int
+(** 12 bytes per retained path (hash key + count), comparable with the other
+    synopses' accounting. *)
+
+val estimate : t -> Xpath.Ast.t -> float option
+(** [None] when the query is outside the supported fragment (branching
+    predicates, wildcards, or descendant axes after the first step). *)
+
+val lookup_path_count : t -> Xml.Label.t list -> int
+(** Exact stored count for a path no longer than [order]; 0 if pruned or
+    absent. *)

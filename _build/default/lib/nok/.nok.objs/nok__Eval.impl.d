@@ -1,0 +1,1 @@
+lib/nok/eval.ml: Array List Storage String Xml Xpath

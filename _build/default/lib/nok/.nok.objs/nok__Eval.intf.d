@@ -1,0 +1,1 @@
+lib/nok/eval.mli: Storage Xpath

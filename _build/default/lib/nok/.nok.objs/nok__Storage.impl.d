@@ -1,0 +1,1 @@
+lib/nok/storage.ml: Array Buffer List String Xml

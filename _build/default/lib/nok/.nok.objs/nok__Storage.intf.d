@@ -1,0 +1,1 @@
+lib/nok/storage.mli: Xml

@@ -1,0 +1,194 @@
+exception Query_too_large
+
+exception Values_not_collected
+(* Raised when a query carries value predicates but the storage was built
+   without [~with_values:true]. *)
+
+let max_query_size = 62
+
+(* Compiled value predicate: the target is either a child label id or an
+   attribute name. *)
+type vtarget = Vchild of int | Vattr of string
+
+type vpred = { vtarget : vtarget; vcmp : Xpath.Ast.cmp; vlit : Xpath.Ast.literal }
+
+(* Compiled form of the query tree: parallel arrays indexed by QTN id. *)
+type compiled = {
+  size : int;
+  test : int array;  (* label id, or -1 for wildcard, -2 for unmatchable name *)
+  is_descendant : bool array;  (* axis connecting the QTN to its parent *)
+  parent : int array;  (* -1 for the root *)
+  kids : int list array;
+  vpreds : vpred list array;
+  result_id : int;
+}
+
+(* Value comparison semantics: numeric when the literal is a number and the
+   document value parses as one; string equality otherwise; ordered
+   comparisons on non-numeric text are false. *)
+let literal_satisfied (cmp : Xpath.Ast.cmp) (lit : Xpath.Ast.literal) value =
+  match lit with
+  | Xpath.Ast.Text s ->
+    (match cmp with
+     | Xpath.Ast.Eq -> String.trim value = s
+     | Xpath.Ast.Ne -> String.trim value <> s
+     | Xpath.Ast.Lt | Xpath.Ast.Le | Xpath.Ast.Gt | Xpath.Ast.Ge -> false)
+  | Xpath.Ast.Number x ->
+    (match float_of_string_opt (String.trim value) with
+     | None -> (match cmp with Xpath.Ast.Ne -> true | _ -> false)
+     | Some v ->
+       (match cmp with
+        | Xpath.Ast.Eq -> v = x
+        | Xpath.Ast.Ne -> v <> x
+        | Xpath.Ast.Lt -> v < x
+        | Xpath.Ast.Le -> v <= x
+        | Xpath.Ast.Gt -> v > x
+        | Xpath.Ast.Ge -> v >= x))
+
+let compile (table : Xml.Label.table) (path : Xpath.Ast.t) =
+  let qt = Xpath.Query_tree.of_path path in
+  if qt.size > max_query_size then raise Query_too_large;
+  let test = Array.make qt.size (-2) in
+  let is_descendant = Array.make qt.size false in
+  let parent = Array.make qt.size (-1) in
+  let kids = Array.make qt.size [] in
+  let vpreds = Array.make qt.size [] in
+  Xpath.Query_tree.iter qt ~f:(fun node ->
+      test.(node.id) <-
+        (match node.test with
+         | Xpath.Ast.Wildcard -> -1
+         | Xpath.Ast.Name name ->
+           (match Xml.Label.find_opt table name with
+            | Some label -> label
+            | None -> -2));
+      is_descendant.(node.id) <- node.axis = Xpath.Ast.Descendant;
+      vpreds.(node.id) <-
+        List.map
+          (fun (vp : Xpath.Ast.value_predicate) ->
+            let vtarget =
+              match vp.target with
+              | Xpath.Ast.Child_text name ->
+                Vchild
+                  (match Xml.Label.find_opt table name with
+                   | Some l -> l
+                   | None -> -2)
+              | Xpath.Ast.Attribute a -> Vattr a
+            in
+            { vtarget; vcmp = vp.cmp; vlit = vp.literal })
+          node.value_predicates;
+      let children = Xpath.Query_tree.children node in
+      kids.(node.id) <- List.map (fun c -> c.Xpath.Query_tree.id) children;
+      List.iter (fun c -> parent.(c.Xpath.Query_tree.id) <- node.id) children);
+  { size = qt.size; test; is_descendant; parent; kids; vpreds;
+    result_id = qt.result.id }
+
+(* Does node [i] satisfy one compiled value predicate? *)
+let vpred_satisfied (st : Storage.t) i vp =
+  match vp.vtarget with
+  | Vattr name ->
+    (match Storage.node_attribute st i name with
+     | Some v -> literal_satisfied vp.vcmp vp.vlit v
+     | None -> false)
+  | Vchild label ->
+    label >= 0
+    && List.exists
+         (fun j ->
+           st.Storage.labels.(j) = label
+           && literal_satisfied vp.vcmp vp.vlit (Storage.node_text st j))
+         (Storage.children st i)
+
+let vpreds_satisfied st c i q =
+  c.vpreds.(q) = [] || List.for_all (vpred_satisfied st i) c.vpreds.(q)
+
+let test_matches c q label = c.test.(q) = -1 || c.test.(q) = label
+
+(* Pass 1 (children before parents, i.e. reverse pre-order):
+   m.(i)    = bitmask of QTNs q such that node i matches q's test and every
+              pattern child of q is embedded below i with the right axis;
+   msub.(i) = OR of m over the subtree rooted at i. *)
+let bottom_up (st : Storage.t) c =
+  let n = Storage.node_count st in
+  let m = Array.make n 0 and msub = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let child_m = ref 0 and desc_m = ref 0 in
+    let j = ref (i + 1) in
+    while !j <= st.last.(i) do
+      child_m := !child_m lor m.(!j);
+      desc_m := !desc_m lor msub.(!j);
+      j := st.last.(!j) + 1
+    done;
+    let label = st.labels.(i) in
+    let mask = ref 0 in
+    for q = 0 to c.size - 1 do
+      if test_matches c q label && vpreds_satisfied st c i q then begin
+        let ok =
+          List.for_all
+            (fun k ->
+              let need = if c.is_descendant.(k) then !desc_m else !child_m in
+              need land (1 lsl k) <> 0)
+            c.kids.(q)
+        in
+        if ok then mask := !mask lor (1 lsl q)
+      end
+    done;
+    m.(i) <- !mask;
+    msub.(i) <- !mask lor !desc_m
+  done;
+  m
+
+(* Pass 2 (pre-order): a node i is a valid image of QTN q iff m.(i) allows it
+   and the path above i embeds q's ancestors: for a child-axis q the direct
+   parent must be a valid image of q's parent; for a descendant-axis q any
+   proper ancestor qualifies. Roots: a child-axis query root only matches the
+   document root. The [hits] callback receives every node whose A-mask
+   contains the result QTN. *)
+let top_down (st : Storage.t) c m ~hits =
+  let n = Storage.node_count st in
+  (* Stack frames for the current rooted path: (last, a_mask, anc_mask) where
+     anc_mask includes the frame's own a_mask. Sized to the document depth. *)
+  let depth_cap = 1 + Array.fold_left max 0 st.depth in
+  let s_last = Array.make depth_cap 0 in
+  let s_a = Array.make depth_cap 0 in
+  let s_anc = Array.make depth_cap 0 in
+  let top = ref (-1) in
+  let result_bit = 1 lsl c.result_id in
+  for i = 0 to n - 1 do
+    while !top >= 0 && s_last.(!top) < i do decr top done;
+    let parent_a = if !top >= 0 then s_a.(!top) else 0 in
+    let anc_a = if !top >= 0 then s_anc.(!top) else 0 in
+    let a = ref 0 in
+    let mi = m.(i) in
+    for q = 0 to c.size - 1 do
+      if mi land (1 lsl q) <> 0 then begin
+        let p = c.parent.(q) in
+        let ok =
+          if p < 0 then if c.is_descendant.(q) then true else !top < 0
+          else if c.is_descendant.(q) then anc_a land (1 lsl p) <> 0
+          else parent_a land (1 lsl p) <> 0
+        in
+        if ok then a := !a lor (1 lsl q)
+      end
+    done;
+    if !a land result_bit <> 0 then hits i;
+    incr top;
+    s_last.(!top) <- st.last.(i);
+    s_a.(!top) <- !a;
+    s_anc.(!top) <- anc_a lor !a
+  done
+
+let run st path ~hits =
+  if Xpath.Ast.has_value_predicates path && not (Storage.has_values st) then
+    raise Values_not_collected;
+  let c = compile st.Storage.table path in
+  let m = bottom_up st c in
+  top_down st c m ~hits
+
+let cardinality st path =
+  let count = ref 0 in
+  run st path ~hits:(fun _ -> incr count);
+  !count
+
+let select st path =
+  let acc = ref [] in
+  run st path ~hits:(fun i -> acc := i :: !acc);
+  List.rev !acc

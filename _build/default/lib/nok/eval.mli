@@ -1,0 +1,24 @@
+(** Tree-pattern (twig) evaluation over {!Storage} — the repository's
+    "actual query processor".
+
+    Two linear passes over the pre-order storage compute, per node, bitmasks
+    of query-tree nodes it can embed (bottom-up subtree matching, then
+    top-down ancestor-path validation), so the cost is O(document × query)
+    with small constants. Used as ground truth for synopsis accuracy
+    experiments and as the denominator of the paper's estimation-time /
+    query-time ratios (Section 6.4). *)
+
+val cardinality : Storage.t -> Xpath.Ast.t -> int
+(** Number of distinct document nodes matched by the query's result step. *)
+
+val select : Storage.t -> Xpath.Ast.t -> int list
+(** Pre-order indices of the result nodes, ascending. *)
+
+val max_query_size : int
+(** Queries are limited to this many steps (bitmask width); 62. *)
+
+exception Query_too_large
+
+exception Values_not_collected
+(** Raised when the query has value predicates but the storage was built
+    without [~with_values:true]. *)

@@ -1,0 +1,1 @@
+lib/pathtree/path_tree.ml: Hashtbl Int List Xml Xpath

@@ -1,0 +1,1 @@
+lib/pathtree/path_tree.mli: Xml Xpath

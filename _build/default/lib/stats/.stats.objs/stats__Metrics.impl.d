@@ -1,0 +1,1 @@
+lib/stats/metrics.ml: Array Float Format List

@@ -1,0 +1,1 @@
+lib/stats/metrics.mli: Format

@@ -1,0 +1,68 @@
+type summary = {
+  count : int;
+  rmse : float;
+  nrmse : float;
+  r_squared : float;
+  opd : float;
+  mean_actual : float;
+  max_abs_error : float;
+}
+
+let summarize pairs =
+  let n = List.length pairs in
+  if n = 0 then invalid_arg "Metrics.summarize: empty workload";
+  let nf = float_of_int n in
+  let sum_sq_err = ref 0.0 and sum_actual = ref 0.0 and max_err = ref 0.0 in
+  List.iter
+    (fun (e, a) ->
+      let d = e -. a in
+      sum_sq_err := !sum_sq_err +. (d *. d);
+      sum_actual := !sum_actual +. a;
+      if Float.abs d > !max_err then max_err := Float.abs d)
+    pairs;
+  let mean_actual = !sum_actual /. nf in
+  let rmse = sqrt (!sum_sq_err /. nf) in
+  let nrmse = if mean_actual = 0.0 then Float.infinity else rmse /. mean_actual in
+  let ss_tot =
+    List.fold_left
+      (fun acc (_, a) -> acc +. ((a -. mean_actual) *. (a -. mean_actual)))
+      0.0 pairs
+  in
+  let r_squared =
+    if ss_tot = 0.0 then if !sum_sq_err = 0.0 then 1.0 else 0.0
+    else 1.0 -. (!sum_sq_err /. ss_tot)
+  in
+  (* OPD over all strictly-ordered actual pairs. Quadratic; workloads are at
+     most a few thousand queries. *)
+  let arr = Array.of_list pairs in
+  let ordered = ref 0 and preserved = ref 0.0 in
+  Array.iteri
+    (fun i (ei, ai) ->
+      for j = i + 1 to Array.length arr - 1 do
+        let ej, aj = arr.(j) in
+        if ai < aj then begin
+          incr ordered;
+          if ei < ej then preserved := !preserved +. 1.0
+          else if ei = ej then preserved := !preserved +. 0.5
+        end
+        else if aj < ai then begin
+          incr ordered;
+          if ej < ei then preserved := !preserved +. 1.0
+          else if ej = ei then preserved := !preserved +. 0.5
+        end
+      done)
+    arr;
+  let opd = if !ordered = 0 then 1.0 else !preserved /. float_of_int !ordered in
+  { count = n; rmse; nrmse; r_squared; opd; mean_actual; max_abs_error = !max_err }
+
+let rmse pairs = (summarize pairs).rmse
+let nrmse pairs = (summarize pairs).nrmse
+
+let pp ppf s =
+  Format.fprintf ppf
+    "n=%d RMSE=%.4g NRMSE=%.2f%% R2=%.4f OPD=%.4f mean|a|=%.4g maxerr=%.4g"
+    s.count s.rmse (100.0 *. s.nrmse) s.r_squared s.opd s.mean_actual
+    s.max_abs_error
+
+let pp_row ppf s =
+  Format.fprintf ppf "%10.2f %9.2f%%" s.rmse (100.0 *. s.nrmse)

@@ -1,0 +1,30 @@
+(** Error metrics from the paper's Section 6.3.
+
+    Given (estimate, actual) pairs over a workload:
+    - RMSE: sqrt(mean of squared errors) — average error per query;
+    - NRMSE: RMSE divided by the mean actual result size — error per unit of
+      accurate result (adopted from Zhang et al., VLDB 2005);
+    - R² (coefficient of determination) and OPD (order-preserving degree) —
+      computed but mostly reported as sanity values, as in the paper. *)
+
+type summary = {
+  count : int;
+  rmse : float;
+  nrmse : float;  (** RMSE / mean actual; infinite when all actuals are 0 *)
+  r_squared : float;
+  opd : float;
+      (** fraction of strictly-ordered actual pairs whose estimates preserve
+          the order (ties in estimates count as preserved halfway) *)
+  mean_actual : float;
+  max_abs_error : float;
+}
+
+val summarize : (float * float) list -> summary
+(** [(estimate, actual)] pairs. @raise Invalid_argument on an empty list. *)
+
+val rmse : (float * float) list -> float
+val nrmse : (float * float) list -> float
+
+val pp : Format.formatter -> summary -> unit
+val pp_row : Format.formatter -> summary -> unit
+(** Compact "RMSE x / NRMSE y%" rendering used by the bench tables. *)

@@ -1,0 +1,1 @@
+lib/treesketch/sketch.ml: Array Core Float Fun Hashtbl Int List Nok Option Xml Xpath

@@ -1,0 +1,1 @@
+lib/treesketch/sketch.mli: Nok Xml Xpath

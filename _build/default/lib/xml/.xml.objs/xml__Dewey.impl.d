@@ -1,0 +1,1 @@
+lib/xml/dewey.ml: Array Buffer Format Int List

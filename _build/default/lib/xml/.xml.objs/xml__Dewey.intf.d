@@ -1,0 +1,1 @@
+lib/xml/dewey.mli: Format

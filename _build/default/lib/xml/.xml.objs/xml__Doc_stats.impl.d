@@ -1,0 +1,1 @@
+lib/xml/doc_stats.ml: Array Event Format Label Sax String

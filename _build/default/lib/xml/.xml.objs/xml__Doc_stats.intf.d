@@ -1,0 +1,1 @@
+lib/xml/doc_stats.mli: Format

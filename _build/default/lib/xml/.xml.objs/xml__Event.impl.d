@@ -1,0 +1,1 @@
+lib/xml/event.ml: Format

@@ -1,0 +1,1 @@
+lib/xml/event.mli: Format

@@ -1,0 +1,1 @@
+lib/xml/label.ml: Array Format Hashtbl List Printf

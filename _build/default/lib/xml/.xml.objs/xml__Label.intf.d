@@ -1,0 +1,1 @@
+lib/xml/label.mli: Format

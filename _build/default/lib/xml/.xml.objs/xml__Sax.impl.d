@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Char Event Format List String

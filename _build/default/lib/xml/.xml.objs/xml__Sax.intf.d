@@ -1,0 +1,1 @@
+lib/xml/sax.mli: Event

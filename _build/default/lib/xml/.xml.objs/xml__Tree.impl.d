@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Event Hashtbl Label List Option Sax String

@@ -1,0 +1,1 @@
+lib/xml/writer.ml: Buffer Event List String Tree

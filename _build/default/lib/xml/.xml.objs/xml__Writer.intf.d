@@ -1,0 +1,1 @@
+lib/xml/writer.mli: Buffer Event Tree

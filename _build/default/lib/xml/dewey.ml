@@ -1,0 +1,54 @@
+(* Stored root-first so prefix tests are direct. *)
+type t = int array
+
+let root = [| 1 |]
+
+let child d i =
+  if i < 1 then invalid_arg "Dewey.child: rank must be >= 1";
+  let n = Array.length d in
+  let e = Array.make (n + 1) i in
+  Array.blit d 0 e 0 n;
+  e
+
+let parent d =
+  let n = Array.length d in
+  if n <= 1 then None else Some (Array.sub d 0 (n - 1))
+
+let depth d = Array.length d
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let is_ancestor_or_self a d =
+  let la = Array.length a in
+  la <= Array.length d
+  &&
+  let rec go i = i >= la || (a.(i) = d.(i) && go (i + 1)) in
+  go 0
+
+let to_string d =
+  let buf = Buffer.create (Array.length d * 3) in
+  Array.iter (fun i -> Buffer.add_string buf (string_of_int i); Buffer.add_char buf '.') d;
+  Buffer.contents buf
+
+let of_list = function
+  | [] -> invalid_arg "Dewey.of_list: empty"
+  | l ->
+    if List.exists (fun i -> i < 1) l then
+      invalid_arg "Dewey.of_list: components must be >= 1";
+    Array.of_list l
+
+let to_list = Array.to_list
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

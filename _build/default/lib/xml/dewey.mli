@@ -1,0 +1,31 @@
+(** Dewey IDs: hierarchical node identifiers.
+
+    The XSEED traveler (paper Algorithm 2) stamps every EPT event with the
+    DeweyID of the synopsis path, and the matcher uses ancestor tests on
+    those ids to clear partial matches. A DeweyID is the sequence of 1-based
+    child ranks from the root; the root is [1]. *)
+
+type t
+
+val root : t
+val child : t -> int -> t
+(** [child d i] is the id of the [i]-th (1-based) child of [d]. *)
+
+val parent : t -> t option
+val depth : t -> int
+
+val compare : t -> t -> int
+(** Document order: prefix-before-extension, then lexicographic. *)
+
+val equal : t -> t -> bool
+val is_ancestor_or_self : t -> t -> bool
+(** [is_ancestor_or_self a d] is true when [a] is [d] or an ancestor of it. *)
+
+val to_string : t -> string
+(** Paper style, e.g. ["1.3.3."]. *)
+
+val of_list : int list -> t
+(** @raise Invalid_argument on an empty list or non-positive component. *)
+
+val to_list : t -> int list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = {
+  total_bytes : int;
+  node_count : int;
+  avg_recursion_level : float;
+  max_recursion_level : int;
+  distinct_labels : int;
+  max_depth : int;
+}
+
+type acc = {
+  table : Label.table;
+  mutable occ : int array;  (* occurrences of each label on the open path *)
+  mutable prl_stack : int list;  (* path recursion level per open ancestor *)
+  mutable nodes : int;
+  mutable rl_sum : int;
+  mutable rl_max : int;
+  mutable depth : int;
+  mutable depth_max : int;
+}
+
+let of_string input =
+  let a =
+    { table = Label.create_table (); occ = Array.make 64 0; prl_stack = [];
+      nodes = 0; rl_sum = 0; rl_max = 0; depth = 0; depth_max = 0 }
+  in
+  let handle () = function
+    | Event.Start_element (name, _) ->
+      let label = Label.intern a.table name in
+      if label >= Array.length a.occ then begin
+        let bigger = Array.make (2 * Array.length a.occ) 0 in
+        Array.blit a.occ 0 bigger 0 (Array.length a.occ);
+        a.occ <- bigger
+      end;
+      a.occ.(label) <- a.occ.(label) + 1;
+      let above = match a.prl_stack with [] -> 0 | prl :: _ -> prl in
+      let prl = max above (a.occ.(label) - 1) in
+      a.prl_stack <- prl :: a.prl_stack;
+      a.nodes <- a.nodes + 1;
+      a.rl_sum <- a.rl_sum + prl;
+      if prl > a.rl_max then a.rl_max <- prl;
+      a.depth <- a.depth + 1;
+      if a.depth > a.depth_max then a.depth_max <- a.depth
+    | Event.End_element name ->
+      (match Label.find_opt a.table name with
+       | Some label -> a.occ.(label) <- a.occ.(label) - 1
+       | None -> ());
+      (match a.prl_stack with [] -> () | _ :: rest -> a.prl_stack <- rest);
+      a.depth <- a.depth - 1
+    | Event.Text _ -> ()
+  in
+  Sax.fold input ~init:() ~f:handle;
+  {
+    total_bytes = String.length input;
+    node_count = a.nodes;
+    avg_recursion_level =
+      (if a.nodes = 0 then 0. else float_of_int a.rl_sum /. float_of_int a.nodes);
+    max_recursion_level = a.rl_max;
+    distinct_labels = Label.count a.table;
+    max_depth = a.depth_max;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>total size: %d bytes@ nodes: %d@ rec. level: %.2f avg / %d max@ \
+     labels: %d@ depth: %d@]"
+    s.total_bytes s.node_count s.avg_recursion_level s.max_recursion_level
+    s.distinct_labels s.max_depth

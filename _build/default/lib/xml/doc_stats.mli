@@ -1,0 +1,16 @@
+(** Streaming document characteristics (the left half of the paper's Table 2:
+    total size, number of nodes, average / maximum recursion level). *)
+
+type t = {
+  total_bytes : int;
+  node_count : int;
+  avg_recursion_level : float;
+  max_recursion_level : int;
+  distinct_labels : int;
+  max_depth : int;
+}
+
+val of_string : string -> t
+(** Single SAX pass; never materializes the tree. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** SAX-style parse events.
+
+    The XSEED kernel builder (paper Algorithm 1), the path-tree builder and
+    the NoK storage builder all consume this event stream, so a document can
+    be summarized in a single parse without materializing the tree. *)
+
+type t =
+  | Start_element of string * (string * string) list
+      (** Opening tag: name and attributes in document order. *)
+  | End_element of string  (** Closing tag (name repeated for checking). *)
+  | Text of string  (** Character data (entity references resolved). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,38 @@
+type t = int
+
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create_table () =
+  { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let intern tbl name =
+  match Hashtbl.find_opt tbl.by_name name with
+  | Some id -> id
+  | None ->
+    let id = tbl.next in
+    if id >= Array.length tbl.by_id then begin
+      let bigger = Array.make (2 * Array.length tbl.by_id) "" in
+      Array.blit tbl.by_id 0 bigger 0 id;
+      tbl.by_id <- bigger
+    end;
+    tbl.by_id.(id) <- name;
+    tbl.next <- id + 1;
+    Hashtbl.add tbl.by_name name id;
+    id
+
+let find_opt tbl name = Hashtbl.find_opt tbl.by_name name
+
+let name tbl id =
+  if id < 0 || id >= tbl.next then
+    invalid_arg (Printf.sprintf "Label.name: unknown id %d" id)
+  else tbl.by_id.(id)
+
+let count tbl = tbl.next
+
+let names tbl = List.init tbl.next (fun id -> tbl.by_id.(id))
+
+let pp tbl ppf id = Format.pp_print_string ppf (name tbl id)

@@ -1,0 +1,36 @@
+(** Interned element labels.
+
+    Every hot data structure in the repository (XSEED kernel, path tree, NoK
+    storage, TreeSketch partitions) identifies element names by a dense
+    integer id obtained from a {!table}. Interning is per-corpus: a table is
+    created once per document (or per family of documents sharing a schema)
+    and threaded explicitly — there is no global state. *)
+
+type t = int
+(** A label id. Ids are dense, starting at 0, in order of first interning. *)
+
+type table
+(** A mutable bidirectional mapping between element names and label ids. *)
+
+val create_table : unit -> table
+
+val intern : table -> string -> t
+(** [intern tbl name] returns the id for [name], allocating a fresh one on
+    first sight. *)
+
+val find_opt : table -> string -> t option
+(** [find_opt tbl name] returns the id for [name] if it was interned. *)
+
+val name : table -> t -> string
+(** [name tbl id] is the element name of [id].
+    @raise Invalid_argument if [id] was never allocated by [tbl]. *)
+
+val count : table -> int
+(** Number of distinct labels interned so far. *)
+
+val names : table -> string list
+(** All interned names in id order (id 0 first). Re-interning this list into
+    a fresh table reproduces the same ids — used to persist structures whose
+    serialized form contains raw label ids (e.g. HET hashes). *)
+
+val pp : table -> Format.formatter -> t -> unit

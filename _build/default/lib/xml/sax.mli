@@ -1,0 +1,21 @@
+(** A small, dependency-free streaming XML parser.
+
+    Supports the features the corpora in the paper need: elements with
+    attributes, character data, comments, CDATA sections, processing
+    instructions, DOCTYPE declarations (skipped, including an internal
+    subset), the five predefined entities and numeric character references.
+    Namespaces are not interpreted: a qualified name is treated as an opaque
+    label, which is how the paper treats element names too. *)
+
+exception Malformed of { position : int; message : string }
+(** Raised on ill-formed input. [position] is a byte offset. *)
+
+val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+(** [fold input ~init ~f] parses [input] and folds [f] over its events.
+    Checks well-formedness (tag balance, single root).
+    @raise Malformed on bad input. *)
+
+val iter : string -> f:(Event.t -> unit) -> unit
+
+val events : string -> Event.t list
+(** All events of [input], in document order. Convenience for tests. *)

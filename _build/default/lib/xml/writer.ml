@@ -1,0 +1,48 @@
+let escape buf ~quot s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~quot:false s;
+  Buffer.contents buf
+
+let escape_attribute s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~quot:true s;
+  Buffer.contents buf
+
+let add_event buf = function
+  | Event.Start_element (name, atts) ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape buf ~quot:true v;
+        Buffer.add_char buf '"')
+      atts;
+    Buffer.add_char buf '>'
+  | Event.End_element name ->
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  | Event.Text s -> escape buf ~quot:false s
+
+let add_events buf events = List.iter (add_event buf) events
+
+let events_to_string events =
+  let buf = Buffer.create 1024 in
+  add_events buf events;
+  Buffer.contents buf
+
+let tree_to_string t = events_to_string (Tree.to_events t)

@@ -1,0 +1,19 @@
+(** Serialize event streams and trees back to XML text. *)
+
+val escape_text : string -> string
+(** Escape [&], [<] and [>] for character data. *)
+
+val escape_attribute : string -> string
+(** Escape ampersand, angle brackets and double quote for a double-quoted
+    attribute value. *)
+
+val events_to_string : Event.t list -> string
+(** Render an event stream. No indentation is inserted, so parsing the result
+    yields the same events back. *)
+
+val tree_to_string : Tree.t -> string
+(** Structure-only rendering of a tree. *)
+
+val add_events : Buffer.t -> Event.t list -> unit
+(** Append the rendering of an event stream to a buffer; lets generators
+    build multi-megabyte documents without intermediate strings. *)

@@ -1,0 +1,1 @@
+lib/xpath/classify.ml: Ast Format List Option Query_tree

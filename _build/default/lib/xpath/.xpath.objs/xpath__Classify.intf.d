@@ -1,0 +1,1 @@
+lib/xpath/classify.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/xpath/eval_reference.ml: Array Ast Hashtbl Int List Xml

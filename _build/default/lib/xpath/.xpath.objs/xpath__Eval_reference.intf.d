@@ -1,0 +1,1 @@
+lib/xpath/eval_reference.mli: Ast Xml

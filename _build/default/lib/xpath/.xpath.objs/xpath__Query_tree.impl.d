@@ -1,0 +1,1 @@
+lib/xpath/query_tree.ml: Ast List

@@ -1,0 +1,1 @@
+lib/xpath/query_tree.mli: Ast Format

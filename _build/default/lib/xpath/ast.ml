@@ -1,0 +1,136 @@
+type axis = Child | Descendant
+
+type test = Name of string | Wildcard
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type literal = Number of float | Text of string
+
+type value_target = Child_text of string | Attribute of string
+
+type value_predicate = { target : value_target; cmp : cmp; literal : literal }
+
+type step = {
+  axis : axis;
+  test : test;
+  predicates : t list;
+  value_predicates : value_predicate list;
+}
+
+and t = step list
+
+let rec compare_step a b =
+  let c = Stdlib.compare a.axis b.axis in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.test b.test in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.value_predicates b.value_predicates in
+      if c <> 0 then c else List.compare compare a.predicates b.predicates
+
+and compare a b = List.compare compare_step a b
+
+let equal a b = compare a b = 0
+
+let pp_test ppf = function
+  | Name n -> Format.pp_print_string ppf n
+  | Wildcard -> Format.pp_print_char ppf '*'
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_literal ppf = function
+  | Number x ->
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Format.pp_print_int ppf (int_of_float x)
+    else Format.fprintf ppf "%g" x
+  | Text s -> Format.fprintf ppf "'%s'" s
+
+let pp_value_predicate ppf { target; cmp; literal } =
+  (match target with
+   | Child_text n -> Format.pp_print_string ppf n
+   | Attribute a -> Format.fprintf ppf "@%s" a);
+  Format.pp_print_string ppf (cmp_to_string cmp);
+  pp_literal ppf literal
+
+let rec pp_step ppf { axis; test; predicates; value_predicates } =
+  (match axis with
+   | Child -> Format.pp_print_string ppf "/"
+   | Descendant -> Format.pp_print_string ppf "//");
+  pp_test ppf test;
+  pp_qualifiers ppf predicates value_predicates
+
+and pp_qualifiers ppf predicates value_predicates =
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_relative p) predicates;
+  List.iter (fun v -> Format.fprintf ppf "[%a]" pp_value_predicate v) value_predicates
+
+and pp ppf path = List.iter (pp_step ppf) path
+
+and pp_relative ppf = function
+  | [] -> ()
+  | first :: rest ->
+    (* Inside a predicate a leading child axis is implicit; a leading
+       descendant axis is written [.//], XPath style. *)
+    (match first.axis with
+     | Child -> ()
+     | Descendant -> Format.pp_print_string ppf ".//");
+    pp_test ppf first.test;
+    pp_qualifiers ppf first.predicates first.value_predicates;
+    pp ppf rest
+
+let to_string path = Format.asprintf "%a" pp path
+
+let rec steps path =
+  List.fold_left
+    (fun acc step -> acc + 1 + List.fold_left (fun a p -> a + steps p) 0 step.predicates)
+    0 path
+
+let rec predicate_count path =
+  List.fold_left
+    (fun acc step ->
+      acc
+      + List.length step.predicates
+      + List.fold_left (fun a p -> a + predicate_count p) 0 step.predicates)
+    0 path
+
+let rec value_predicate_count path =
+  List.fold_left
+    (fun acc step ->
+      acc
+      + List.length step.value_predicates
+      + List.fold_left (fun a p -> a + value_predicate_count p) 0 step.predicates)
+    0 path
+
+let has_value_predicates path = value_predicate_count path > 0
+
+let rec strip_value_predicates path =
+  List.map
+    (fun step ->
+      { step with value_predicates = [];
+        predicates = List.map strip_value_predicates step.predicates })
+    path
+
+let rec max_predicates_per_step path =
+  List.fold_left
+    (fun acc step ->
+      let nested =
+        List.fold_left (fun a p -> max a (max_predicates_per_step p)) 0 step.predicates
+      in
+      max acc (max (List.length step.predicates) nested))
+    0 path
+
+let rec has_descendant path =
+  List.exists
+    (fun step -> step.axis = Descendant || List.exists has_descendant step.predicates)
+    path
+
+let rec has_wildcard path =
+  List.exists
+    (fun step -> step.test = Wildcard || List.exists has_wildcard step.predicates)
+    path

@@ -1,0 +1,36 @@
+type shape = Simple | Branching | Complex
+
+let shape path =
+  if Ast.has_descendant path || Ast.has_wildcard path then Complex
+  else if Ast.predicate_count path > 0 then Branching
+  else Simple
+
+let qrl path =
+  let qt = Query_tree.of_path path in
+  (* Walk every rooted path of the query tree counting, per node test, how
+     often it occurs with a descendant axis. *)
+  let best = ref 0 in
+  let rec go node counts =
+    let counts =
+      if node.Query_tree.axis = Ast.Descendant then begin
+        let key = node.test in
+        let prev = Option.value (List.assoc_opt key counts) ~default:0 in
+        let now = prev + 1 in
+        if now - 1 > !best then best := now - 1;
+        (key, now) :: List.remove_assoc key counts
+      end
+      else counts
+    in
+    List.iter (fun child -> go child counts) (Query_tree.children node)
+  in
+  go qt.root [];
+  !best
+
+let is_recursive path = qrl path >= 1
+
+let shape_to_string = function
+  | Simple -> "SP"
+  | Branching -> "BP"
+  | Complex -> "CP"
+
+let pp_shape ppf s = Format.pp_print_string ppf (shape_to_string s)

@@ -1,0 +1,21 @@
+(** Workload classification used throughout the paper's evaluation:
+    simple (SP), branching (BP) and complex (CP) path expressions, plus the
+    query recursion level (QRL) of Section 2.1. *)
+
+type shape =
+  | Simple  (** linear, child axes only *)
+  | Branching  (** has predicates, child axes only *)
+  | Complex  (** contains a descendant axis or a wildcard *)
+
+val shape : Ast.t -> shape
+
+val qrl : Ast.t -> int
+(** Query recursion level: the maximum number of repetitions of the same
+    node test appearing with a descendant axis along any rooted path of the
+    query tree, minus one — zero for non-recursive queries. *)
+
+val is_recursive : Ast.t -> bool
+(** [qrl q >= 1]; e.g. [//s//s] is recursive, [/a//b] is not. *)
+
+val pp_shape : Format.formatter -> shape -> unit
+val shape_to_string : shape -> string

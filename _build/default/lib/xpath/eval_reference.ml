@@ -1,0 +1,75 @@
+type inode = { id : int; label : Xml.Label.t; kids : inode array }
+
+type indexed = { doc : inode; source : Xml.Tree.t }
+
+let index (t : Xml.Tree.t) =
+  let next = ref 0 in
+  let rec mirror (node : Xml.Tree.node) =
+    incr next;
+    let id = !next in
+    (* Allocate ids in preorder: parent before children. *)
+    let kids = Array.map mirror node.children in
+    { id; label = node.label; kids }
+  in
+  let root = mirror t.root in
+  { doc = { id = 0; label = -1; kids = [| root |] }; source = t }
+
+let tree idx = idx.source
+
+let test_matches (idx : indexed) (test : Ast.test) (node : inode) =
+  match test with
+  | Ast.Wildcard -> true
+  | Ast.Name name ->
+    (match Xml.Label.find_opt idx.source.table name with
+     | Some label -> node.label = label
+     | None -> false)
+
+(* [matches_path idx node path] — does the relative [path] starting at [node]
+   select at least one node? *)
+let rec matches_path idx node (path : Ast.t) =
+  match path with
+  | [] -> true
+  | step :: rest ->
+    (match step.axis with
+     | Ast.Child ->
+       Array.exists (fun kid -> matches_step idx kid step rest) node.kids
+     | Ast.Descendant ->
+       let rec any_desc n =
+         Array.exists
+           (fun kid -> matches_step idx kid step rest || any_desc kid)
+           n.kids
+       in
+       any_desc node)
+
+and matches_step idx node (step : Ast.step) rest =
+  test_matches idx step.test node
+  && List.for_all (fun p -> matches_path idx node p) step.predicates
+  && matches_path idx node rest
+
+let select idx path =
+  (* Materialize context sets level by level; dedupe by id. *)
+  let step_once context (step : Ast.step) =
+    let out = Hashtbl.create 64 in
+    let consider node =
+      if
+        test_matches idx step.test node
+        && List.for_all (fun p -> matches_path idx node p) step.predicates
+      then Hashtbl.replace out node.id node
+    in
+    let visit node =
+      match step.axis with
+      | Ast.Child -> Array.iter consider node.kids
+      | Ast.Descendant ->
+        let rec go n =
+          Array.iter (fun kid -> consider kid; go kid) n.kids
+        in
+        go node
+    in
+    List.iter visit context;
+    let nodes = Hashtbl.fold (fun _ node acc -> node :: acc) out [] in
+    List.sort (fun a b -> Int.compare a.id b.id) nodes
+  in
+  let final = List.fold_left step_once [ idx.doc ] path in
+  List.map (fun n -> n.id) final
+
+let cardinality idx path = List.length (select idx path)

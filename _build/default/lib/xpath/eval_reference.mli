@@ -1,0 +1,18 @@
+(** Naive, obviously-correct XPath evaluator over {!Xml.Tree}.
+
+    This is the correctness oracle for the fast NoK evaluator and the source
+    of "actual cardinality" in small tests. It materializes context sets of
+    node ids step by step — no cleverness, quadratic in the worst case. *)
+
+type indexed
+(** A tree with preorder node ids, ready for repeated evaluation. *)
+
+val index : Xml.Tree.t -> indexed
+val tree : indexed -> Xml.Tree.t
+
+val select : indexed -> Ast.t -> int list
+(** Sorted preorder ids (1-based; the virtual document node is 0) of the
+    nodes matched by the query's result step. *)
+
+val cardinality : indexed -> Ast.t -> int
+(** [List.length (select _ _)], the paper's |p|. *)

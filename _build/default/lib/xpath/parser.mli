@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the XPath fragment of {!Ast}.
+
+    Grammar (whitespace ignored between tokens):
+    {v
+    path      ::= ("/" | "//") step (("/" | "//") step)*
+    step      ::= test predicate*
+    test      ::= NAME | "*"
+    predicate ::= "[" relative "]"
+    relative  ::= first (("/" | "//") step)*
+    first     ::= step | ".//" step
+    v}
+    A predicate's leading step uses the child axis unless written [.//]. *)
+
+exception Error of { position : int; message : string }
+
+val parse : string -> Ast.t
+(** @raise Error on a syntax error. *)
+
+val parse_opt : string -> Ast.t option

@@ -1,0 +1,67 @@
+type node = {
+  id : int;
+  axis : Ast.axis;
+  test : Ast.test;
+  predicates : node list;
+  value_predicates : Ast.value_predicate list;
+  spine : node option;
+  on_result_path : bool;
+}
+
+type t = { root : node; size : int; result : node }
+
+let of_path path =
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  (* Build in preorder: node ids are allocated parent-first, predicates
+     before the spine continuation, matching {!children} order. *)
+  let rec build ~on_result_path = function
+    | [] -> invalid_arg "Query_tree.of_path: empty path"
+    | (step : Ast.step) :: rest ->
+      let id = fresh () in
+      let predicates =
+        List.map (fun p -> build ~on_result_path:false p) step.predicates
+      in
+      let spine =
+        match rest with [] -> None | _ -> Some (build ~on_result_path rest)
+      in
+      { id; axis = step.axis; test = step.test; predicates;
+        value_predicates = step.value_predicates; spine; on_result_path }
+  in
+  let root = build ~on_result_path:true path in
+  let rec deepest node = match node.spine with None -> node | Some s -> deepest s in
+  { root; size = !next; result = deepest root }
+
+let children node =
+  node.predicates @ (match node.spine with None -> [] | Some s -> [ s ])
+
+let is_result t node = node.id = t.result.id
+
+let iter t ~f =
+  let rec go node =
+    f node;
+    List.iter go (children node)
+  in
+  go t.root
+
+let find t id =
+  let found = ref None in
+  iter t ~f:(fun node -> if node.id = id then found := Some node);
+  match !found with Some n -> n | None -> raise Not_found
+
+let to_path t =
+  let rec spine_of node =
+    let step =
+      { Ast.axis = node.axis; test = node.test;
+        predicates = List.map pred_path node.predicates;
+        value_predicates = node.value_predicates }
+    in
+    step :: (match node.spine with None -> [] | Some s -> spine_of s)
+  and pred_path node = spine_of node in
+  spine_of t.root
+
+let pp ppf t = Ast.pp ppf (to_path t)

@@ -1,0 +1,35 @@
+(** The query-tree (QTN) form of a path expression.
+
+    The XSEED matcher (paper Algorithm 3) and the NoK evaluator both match a
+    {e tree pattern}: the main path is a spine of nodes, each carrying its
+    branching predicates as extra children; the last spine node is the result
+    node whose matches are counted. *)
+
+type node = private {
+  id : int;  (** dense preorder id, root = 0 *)
+  axis : Ast.axis;  (** axis connecting this node to its parent *)
+  test : Ast.test;
+  predicates : node list;
+  value_predicates : Ast.value_predicate list;
+  spine : node option;  (** the continuation of the main path, if any *)
+  on_result_path : bool;  (** true for spine nodes of the top-level path *)
+}
+
+type t = { root : node; size : int; result : node }
+(** [result] is the deepest spine node: the node whose matches the query
+    returns. *)
+
+val of_path : Ast.t -> t
+
+val children : node -> node list
+(** Predicates followed by the spine child. *)
+
+val is_result : t -> node -> bool
+val iter : t -> f:(node -> unit) -> unit
+val find : t -> int -> node
+(** @raise Not_found on an out-of-range id. *)
+
+val to_path : t -> Ast.t
+(** Inverse of {!of_path}. *)
+
+val pp : Format.formatter -> t -> unit

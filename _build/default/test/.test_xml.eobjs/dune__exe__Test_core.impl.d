@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Buffer Core Datagen Float Gen Hashtbl Int Lazy List Nok Option Pathtree Printf QCheck QCheck_alcotest String Test Xml Xpath

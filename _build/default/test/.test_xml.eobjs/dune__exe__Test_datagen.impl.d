@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Datagen Hashtbl Lazy List Nok Option Pathtree Printf String Xml Xpath

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Array Buffer Char Core Datagen Float Gen Lazy List Nok Pathtree Printf QCheck QCheck_alcotest String Xml Xpath

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Datagen Estimator Float Het Kernel List Nok Pathtree Printf Stats Treesketch Xml Xpath

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Buffer Datagen Float Gen Lazy List Markov Nok Option Printf QCheck QCheck_alcotest Test Xml Xpath

@@ -1,0 +1,1 @@
+test/test_nok.ml: Alcotest Array Buffer Datagen Gen Int Lazy List Nok Printf QCheck QCheck_alcotest String Xml Xpath

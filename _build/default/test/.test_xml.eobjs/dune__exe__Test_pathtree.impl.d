@@ -1,0 +1,1 @@
+test/test_pathtree.ml: Alcotest Array Buffer Datagen Gen Lazy List Option Pathtree QCheck QCheck_alcotest String Xml Xpath

@@ -1,0 +1,1 @@
+test/test_treesketch.ml: Alcotest Array Buffer Core Datagen Float Gen Lazy List Nok Printf QCheck QCheck_alcotest String Treesketch Xpath

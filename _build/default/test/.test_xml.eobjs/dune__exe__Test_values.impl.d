@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Ast Buffer Core Datagen Float Lazy List Nok Option Parser Pathtree Printf QCheck QCheck_alcotest Stats Xml Xpath

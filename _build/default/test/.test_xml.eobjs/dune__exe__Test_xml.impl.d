@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Buffer Datagen Gen List Option Printf QCheck QCheck_alcotest String Test Xml

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Array Ast Char Classify Datagen Eval_reference Fun Gen Int Lazy List Option Parser Printf QCheck QCheck_alcotest Query_tree String Xpath

@@ -1,0 +1,256 @@
+(* Generator tests: determinism, well-formedness, and — crucially — that each
+   corpus reproduces the structural profile of its Table 2 counterpart. *)
+
+let test_rng_deterministic () =
+  let a = Datagen.Rng.create ~seed:7 and b = Datagen.Rng.create ~seed:7 in
+  let seq r = List.init 50 (fun _ -> Datagen.Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (seq a) (seq b);
+  let c = Datagen.Rng.create ~seed:8 in
+  Alcotest.(check bool) "different seed different stream" true (seq a <> seq c)
+
+let test_rng_split_independent () =
+  let r = Datagen.Rng.create ~seed:1 in
+  let s1 = Datagen.Rng.split r in
+  let v1 = List.init 10 (fun _ -> Datagen.Rng.int s1 100) in
+  (* Drawing from the parent must not change the child's future. *)
+  let r' = Datagen.Rng.create ~seed:1 in
+  let s1' = Datagen.Rng.split r' in
+  ignore (Datagen.Rng.int r' 100 : int);
+  let v1' = List.init 10 (fun _ -> Datagen.Rng.int s1' 100) in
+  Alcotest.(check (list int)) "split stream unaffected" v1 v1'
+
+let test_rng_bounds () =
+  let r = Datagen.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Datagen.Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+    let w = Datagen.Rng.int_in r (-3) 3 in
+    Alcotest.(check bool) "int_in range" true (w >= -3 && w <= 3);
+    let f = Datagen.Rng.float r in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Datagen.Rng.int r 0 : int))
+
+let test_rng_choose_weighted () =
+  let r = Datagen.Rng.create ~seed:5 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10_000 do
+    let k = Datagen.Rng.choose_weighted r [| ("a", 0.9); ("b", 0.1) |] in
+    Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0)
+  done;
+  let a = Hashtbl.find counts "a" in
+  Alcotest.(check bool) "weights respected" true (a > 8500 && a < 9500)
+
+let stats_of doc = Xml.Doc_stats.of_string doc
+
+let test_dblp_profile () =
+  let doc = Datagen.Dblp.generate ~records:300 () in
+  let s = stats_of doc in
+  Alcotest.(check int) "non-recursive" 0 s.max_recursion_level;
+  Alcotest.(check bool) "flat" true (s.max_depth <= 4);
+  Alcotest.(check bool) "enough nodes" true (s.node_count > 2000);
+  (* The engineered depth-3 ancestor correlation (cite/label skew). *)
+  let st0 = Nok.Storage.of_string doc in
+  let c q = Nok.Eval.cardinality st0 (Xpath.Parser.parse q) in
+  let art_label =
+    float_of_int (c "/dblp/article/cite[label]")
+    /. float_of_int (max 1 (c "/dblp/article/cite"))
+  in
+  let inp_label =
+    float_of_int (c "/dblp/inproceedings/cite[label]")
+    /. float_of_int (max 1 (c "/dblp/inproceedings/cite"))
+  in
+  Alcotest.(check bool) "cite/label skew by record type" true
+    (art_label > 0.6 && inp_label < 0.2);
+  (* The engineered correlation: pages is common, publisher-under-pages rare. *)
+  let st = Nok.Storage.of_string doc in
+  let card q = Nok.Eval.cardinality st (Xpath.Parser.parse q) in
+  let articles = card "/dblp/article" in
+  let with_pages = card "/dblp/article[pages]" in
+  let both = card "/dblp/article[pages][publisher]" in
+  Alcotest.(check bool) "bsel(pages) ~ 0.8" true
+    (let b = float_of_int with_pages /. float_of_int articles in
+     b > 0.7 && b < 0.9);
+  Alcotest.(check bool) "publisher rare given pages" true
+    (float_of_int both /. float_of_int with_pages < 0.15)
+
+let test_dblp_deterministic () =
+  Alcotest.(check string) "same seed"
+    (Datagen.Dblp.generate ~seed:9 ~records:50 ())
+    (Datagen.Dblp.generate ~seed:9 ~records:50 ())
+
+let test_xmark_profile () =
+  let doc = Datagen.Xmark.generate ~items:60 () in
+  let s = stats_of doc in
+  Alcotest.(check int) "max recursion 1" 1 s.max_recursion_level;
+  Alcotest.(check bool) "avg recursion small" true (s.avg_recursion_level < 0.15);
+  Alcotest.(check bool) "schema-rich" true (s.distinct_labels > 50);
+  (* The paper's sample query shape must be satisfiable. *)
+  let st = Nok.Storage.of_string doc in
+  let n =
+    Nok.Eval.cardinality st
+      (Xpath.Parser.parse "//regions/australia/item[shipping]/location")
+  in
+  Alcotest.(check bool) "sample CP query non-empty" true (n > 0)
+
+let test_xmark_scales () =
+  let small = String.length (Datagen.Xmark.generate ~items:20 ()) in
+  let big = String.length (Datagen.Xmark.generate ~items:200 ()) in
+  let ratio = float_of_int big /. float_of_int small in
+  Alcotest.(check bool)
+    (Printf.sprintf "10x items -> ~10x bytes (ratio %.1f)" ratio)
+    true
+    (ratio > 6.0 && ratio < 14.0)
+
+let test_treebank_profile () =
+  let doc = Datagen.Treebank.generate ~sentences:400 () in
+  let s = stats_of doc in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg recursion ~1.3 (got %.2f)" s.avg_recursion_level)
+    true
+    (s.avg_recursion_level > 0.7 && s.avg_recursion_level < 2.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "max recursion 5-10 (got %d)" s.max_recursion_level)
+    true
+    (s.max_recursion_level >= 5 && s.max_recursion_level <= 10);
+  (* Structure-rich: many distinct rooted paths per node. *)
+  let pt = Pathtree.Path_tree.of_string doc in
+  Alcotest.(check bool) "path-rich" true
+    (Pathtree.Path_tree.size pt > s.node_count / 10)
+
+let test_treebank_max_recursion_respected () =
+  let doc = Datagen.Treebank.generate ~max_recursion:3 ~sentences:200 () in
+  let s = stats_of doc in
+  Alcotest.(check bool) "cap respected" true (s.max_recursion_level <= 3)
+
+let test_all_generators_well_formed () =
+  (* Parsing raises on malformed output; also every document round-trips
+     through the tree. *)
+  List.iter
+    (fun doc ->
+      let t = Xml.Tree.of_string doc in
+      Alcotest.(check bool) "non-empty" true (Xml.Tree.node_count t > 10))
+    [ Datagen.Dblp.generate ~records:30 ();
+      Datagen.Xmark.generate ~items:10 ();
+      Datagen.Treebank.generate ~sentences:20 ();
+      Datagen.Paper_example.document ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation *)
+
+let xmark_pt =
+  lazy (Pathtree.Path_tree.of_string (Datagen.Xmark.generate ~items:40 ()))
+
+let test_workload_sp () =
+  let pt = Lazy.force xmark_pt in
+  let sp = Datagen.Workload.all_simple_paths pt in
+  Alcotest.(check int) "one SP query per path" (Pathtree.Path_tree.size pt)
+    (List.length sp);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (Xpath.Ast.to_string q) true
+        (Xpath.Classify.shape q = Xpath.Classify.Simple))
+    sp
+
+let test_workload_bp () =
+  let pt = Lazy.force xmark_pt in
+  let rng = Datagen.Rng.create ~seed:11 in
+  let bp = Datagen.Workload.branching pt ~rng ~count:200 () in
+  Alcotest.(check bool) "got queries" true (List.length bp >= 150);
+  List.iter
+    (fun q ->
+      let shape = Xpath.Classify.shape q in
+      Alcotest.(check bool)
+        (Xpath.Ast.to_string q)
+        true
+        (shape = Xpath.Classify.Simple || shape = Xpath.Classify.Branching);
+      Alcotest.(check bool) "mbp 1" true (Xpath.Ast.max_predicates_per_step q <= 1))
+    bp;
+  (* A healthy fraction must actually branch. *)
+  let branching =
+    List.length (List.filter (fun q -> Xpath.Ast.predicate_count q > 0) bp)
+  in
+  Alcotest.(check bool) "some branch" true (branching > List.length bp / 4)
+
+let test_workload_bp_mbp () =
+  let pt = Lazy.force xmark_pt in
+  let rng = Datagen.Rng.create ~seed:12 in
+  let bp2 = Datagen.Workload.branching pt ~rng ~count:200 ~mbp:2 () in
+  Alcotest.(check bool) "2BP within bound" true
+    (List.for_all (fun q -> Xpath.Ast.max_predicates_per_step q <= 2) bp2);
+  Alcotest.(check bool) "some have 2 predicates" true
+    (List.exists (fun q -> Xpath.Ast.max_predicates_per_step q = 2) bp2)
+
+let test_workload_cp () =
+  let pt = Lazy.force xmark_pt in
+  let rng = Datagen.Rng.create ~seed:13 in
+  let cp = Datagen.Workload.complex pt ~rng ~count:200 () in
+  let complex =
+    List.length
+      (List.filter (fun q -> Xpath.Classify.shape q = Xpath.Classify.Complex) cp)
+  in
+  Alcotest.(check bool) "mostly complex" true (complex > List.length cp / 2)
+
+let test_workload_nonempty_results () =
+  (* Workload queries are grounded in the path tree, so most should return
+     results on their source document. *)
+  let doc = Datagen.Xmark.generate ~items:40 () in
+  let pt = Pathtree.Path_tree.of_string doc in
+  let st = Nok.Storage.of_string doc in
+  let rng = Datagen.Rng.create ~seed:14 in
+  let qs =
+    Datagen.Workload.branching pt ~rng ~count:100 ()
+    @ Datagen.Workload.complex pt ~rng ~count:100 ()
+  in
+  let nonempty =
+    List.length (List.filter (fun q -> Nok.Eval.cardinality st q > 0) qs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly non-empty (%d/%d)" nonempty (List.length qs))
+    true
+    (nonempty * 2 > List.length qs)
+
+let test_workload_deterministic () =
+  let pt = Lazy.force xmark_pt in
+  let q1 =
+    Datagen.Workload.branching pt ~rng:(Datagen.Rng.create ~seed:5) ~count:50 ()
+  in
+  let q2 =
+    Datagen.Workload.branching pt ~rng:(Datagen.Rng.create ~seed:5) ~count:50 ()
+  in
+  Alcotest.(check (list string)) "same seed same workload"
+    (List.map Xpath.Ast.to_string q1)
+    (List.map Xpath.Ast.to_string q2)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "weighted choice" `Quick test_rng_choose_weighted;
+        ] );
+      ( "corpora",
+        [
+          Alcotest.test_case "dblp profile" `Quick test_dblp_profile;
+          Alcotest.test_case "dblp deterministic" `Quick test_dblp_deterministic;
+          Alcotest.test_case "xmark profile" `Quick test_xmark_profile;
+          Alcotest.test_case "xmark scaling" `Quick test_xmark_scales;
+          Alcotest.test_case "treebank profile" `Quick test_treebank_profile;
+          Alcotest.test_case "treebank recursion cap" `Quick
+            test_treebank_max_recursion_respected;
+          Alcotest.test_case "well-formedness" `Quick test_all_generators_well_formed;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "all SP" `Quick test_workload_sp;
+          Alcotest.test_case "BP" `Quick test_workload_bp;
+          Alcotest.test_case "BP mbp" `Quick test_workload_bp_mbp;
+          Alcotest.test_case "CP" `Quick test_workload_cp;
+          Alcotest.test_case "non-empty results" `Quick test_workload_nonempty_results;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+        ] );
+    ]

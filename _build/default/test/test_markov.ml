@@ -1,0 +1,157 @@
+(* Markov-table baseline tests: exact within its order, classic chaining
+   beyond it, and the coverage gap versus XSEED. *)
+
+let parse = Xpath.Parser.parse
+
+let paper_storage = lazy (Nok.Storage.of_string Datagen.Paper_example.document)
+
+let test_counts_within_order () =
+  let st = Lazy.force paper_storage in
+  let mt = Markov.Markov_table.build ~order:2 st in
+  let l n = Option.get (Xml.Label.find_opt st.table n) in
+  Alcotest.(check int) "f(a)" 1 (Markov.Markov_table.lookup_path_count mt [ l "a" ]);
+  Alcotest.(check int) "f(s)" 9 (Markov.Markov_table.lookup_path_count mt [ l "s" ]);
+  Alcotest.(check int) "f(p)" 17 (Markov.Markov_table.lookup_path_count mt [ l "p" ]);
+  Alcotest.(check int) "f(c,s)" 5
+    (Markov.Markov_table.lookup_path_count mt [ l "c"; l "s" ]);
+  Alcotest.(check int) "f(s,s)" 4
+    (Markov.Markov_table.lookup_path_count mt [ l "s"; l "s" ]);
+  Alcotest.(check int) "f(s,p)" 14
+    (Markov.Markov_table.lookup_path_count mt [ l "s"; l "p" ]);
+  Alcotest.(check int) "absent pair" 0
+    (Markov.Markov_table.lookup_path_count mt [ l "a"; l "p" ])
+
+let test_estimate_short_paths_exact () =
+  let st = Lazy.force paper_storage in
+  let mt = Markov.Markov_table.build ~order:2 st in
+  let check q expected =
+    Alcotest.(check (option (float 1e-9))) q (Some expected)
+      (Markov.Markov_table.estimate mt (parse q))
+  in
+  check "//a/c" 2.0;
+  check "//c/s" 5.0;
+  check "//s/p" 14.0;
+  check "//s/s" 4.0
+
+let test_estimate_chaining () =
+  let st = Lazy.force paper_storage in
+  let mt = Markov.Markov_table.build ~order:2 st in
+  (* /a/c/s: f(a,c) * f(c,s)/f(c) = 2 * 5/2 = 5 (actual 5). *)
+  Alcotest.(check (option (float 1e-9))) "/a/c/s" (Some 5.0)
+    (Markov.Markov_table.estimate mt (parse "/a/c/s"));
+  (* /a/c/s/p: 5 * f(s,p)/f(s) = 5 * 14/9 = 7.78 (actual 9: the order-2
+     chain conflates recursion levels, the weakness the paper points at). *)
+  Alcotest.(check (option (float 1e-6))) "/a/c/s/p"
+    (Some (5.0 *. 14.0 /. 9.0))
+    (Markov.Markov_table.estimate mt (parse "/a/c/s/p"))
+
+let test_order3_more_accurate () =
+  let st = Lazy.force paper_storage in
+  let mt2 = Markov.Markov_table.build ~order:2 st in
+  let mt3 = Markov.Markov_table.build ~order:3 st in
+  let q = parse "/a/c/s/p" in
+  let actual = 9.0 in
+  let err mt =
+    match Markov.Markov_table.estimate mt q with
+    | Some e -> Float.abs (e -. actual)
+    | None -> Float.infinity
+  in
+  Alcotest.(check bool) "order 3 at least as good" true (err mt3 <= err mt2);
+  Alcotest.(check bool) "order 3 bigger" true
+    (Markov.Markov_table.size_in_bytes mt3 > Markov.Markov_table.size_in_bytes mt2)
+
+let test_coverage_gap () =
+  let st = Lazy.force paper_storage in
+  let mt = Markov.Markov_table.build st in
+  let unsupported = [ "/a/c[t]/s"; "/a/*"; "//s//s"; "/a/c/s[t][p]" ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.0))) q None
+        (Markov.Markov_table.estimate mt (parse q)))
+    unsupported;
+  Alcotest.(check bool) "supported linear" true
+    (Markov.Markov_table.estimate mt (parse "//c/s/p") <> None)
+
+let test_unknown_label_zero () =
+  let st = Lazy.force paper_storage in
+  let mt = Markov.Markov_table.build st in
+  Alcotest.(check (option (float 0.0))) "unknown label" (Some 0.0)
+    (Markov.Markov_table.estimate mt (parse "/a/zzz"))
+
+let test_order1 () =
+  (* Order-1 tables degenerate to label counts; chains use f(t)/f() which is
+     undefined, so estimates reduce to products of label frequencies - the
+     coarsest model. Check only that it answers and is exact at length 1. *)
+  let st = Lazy.force paper_storage in
+  let mt = Markov.Markov_table.build ~order:1 st in
+  Alcotest.(check (option (float 1e-9))) "//s exact" (Some 9.0)
+    (Markov.Markov_table.estimate mt (parse "//s"));
+  Alcotest.(check bool) "longer paths answered" true
+    (Markov.Markov_table.estimate mt (parse "//a/c") <> None)
+
+let test_pruning () =
+  let st = Lazy.force paper_storage in
+  let full = Markov.Markov_table.build ~order:2 st in
+  let pruned = Markov.Markov_table.build ~order:2 ~prune_below:3 st in
+  Alcotest.(check bool) "pruning shrinks" true
+    (Markov.Markov_table.entry_count pruned < Markov.Markov_table.entry_count full);
+  let l n = Option.get (Xml.Label.find_opt st.table n) in
+  Alcotest.(check int) "rare path dropped" 0
+    (Markov.Markov_table.lookup_path_count pruned [ l "a"; l "u" ]);
+  Alcotest.(check int) "common path kept" 14
+    (Markov.Markov_table.lookup_path_count pruned [ l "s"; l "p" ])
+
+(* Property: within the order, every stored count equals the reference
+   evaluator's //-anywhere count of that label chain. *)
+let prop_counts_exact =
+  let open QCheck in
+  let labels = [| "a"; "b"; "c" |] in
+  let gen_doc rand =
+    let buf = Buffer.create 256 in
+    let rec node depth =
+      let l = labels.(Gen.int_bound 2 rand) in
+      Buffer.add_string buf ("<" ^ l ^ ">");
+      if depth < 4 then
+        for _ = 1 to Gen.int_bound 3 rand do node (depth + 1) done;
+      Buffer.add_string buf ("</" ^ l ^ ">")
+    in
+    node 0;
+    Buffer.contents buf
+  in
+  Test.make ~count:150 ~name:"order-2 counts = //x/y actuals"
+    (make ~print:(fun d -> d) gen_doc)
+    (fun doc ->
+      let st = Nok.Storage.of_string doc in
+      let mt = Markov.Markov_table.build ~order:2 st in
+      let ok = ref true in
+      Array.iter
+        (fun x ->
+          Array.iter
+            (fun y ->
+              let q = Xpath.Parser.parse (Printf.sprintf "//%s/%s" x y) in
+              let actual = Nok.Eval.cardinality st q in
+              match Markov.Markov_table.estimate mt q with
+              | Some e -> if Float.abs (e -. float_of_int actual) > 1e-9 then ok := false
+              | None -> ok := false)
+            labels)
+        labels;
+      !ok)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_counts_exact ]
+
+let () =
+  Alcotest.run "markov"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "counts within order" `Quick test_counts_within_order;
+          Alcotest.test_case "short paths exact" `Quick test_estimate_short_paths_exact;
+          Alcotest.test_case "chaining" `Quick test_estimate_chaining;
+          Alcotest.test_case "order 3" `Quick test_order3_more_accurate;
+          Alcotest.test_case "coverage gap" `Quick test_coverage_gap;
+          Alcotest.test_case "unknown label" `Quick test_unknown_label_zero;
+          Alcotest.test_case "order 1" `Quick test_order1;
+          Alcotest.test_case "pruning" `Quick test_pruning;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,229 @@
+(* Tests for the NoK substrate: interval storage shape, evaluator
+   correctness against the naive reference evaluator, and edge cases. *)
+
+let paper_doc = Datagen.Paper_example.document
+
+let storage = lazy (Nok.Storage.of_string paper_doc)
+let ref_idx = lazy (Xpath.Eval_reference.index (Datagen.Paper_example.tree ()))
+
+let card q = Nok.Eval.cardinality (Lazy.force storage) (Xpath.Parser.parse q)
+
+(* ------------------------------------------------------------------ *)
+(* Storage *)
+
+let test_storage_shape () =
+  let st = Nok.Storage.of_string "<a><b><c/><d/></b><e/></a>" in
+  Alcotest.(check int) "node count" 5 (Nok.Storage.node_count st);
+  let name i = Xml.Label.name st.table st.labels.(i) in
+  Alcotest.(check (list string)) "preorder labels" [ "a"; "b"; "c"; "d"; "e" ]
+    (List.init 5 name);
+  Alcotest.(check (list int)) "last descendants" [ 4; 3; 2; 3; 4 ]
+    (Array.to_list st.last);
+  Alcotest.(check (list int)) "depths" [ 0; 1; 2; 2; 1 ] (Array.to_list st.depth)
+
+let test_storage_children () =
+  let st = Nok.Storage.of_string "<a><b><c/><d/></b><e/></a>" in
+  Alcotest.(check (list int)) "children of root" [ 1; 4 ] (Nok.Storage.children st 0);
+  Alcotest.(check (list int)) "children of b" [ 2; 3 ] (Nok.Storage.children st 1);
+  Alcotest.(check (list int)) "leaf" [] (Nok.Storage.children st 2)
+
+let test_storage_parent () =
+  let st = Nok.Storage.of_string "<a><b><c/><d/></b><e/></a>" in
+  Alcotest.(check (option int)) "root" None (Nok.Storage.parent st 0);
+  Alcotest.(check (option int)) "c's parent" (Some 1) (Nok.Storage.parent st 2);
+  Alcotest.(check (option int)) "e's parent" (Some 0) (Nok.Storage.parent st 4)
+
+let test_storage_of_tree_agrees () =
+  let via_string = Nok.Storage.of_string paper_doc in
+  let via_tree = Nok.Storage.of_tree (Datagen.Paper_example.tree ()) in
+  Alcotest.(check (array int)) "last arrays agree" via_string.last via_tree.last;
+  Alcotest.(check (array int)) "depth arrays agree" via_string.depth via_tree.depth;
+  Alcotest.(check int) "counts agree"
+    (Nok.Storage.node_count via_string)
+    (Nok.Storage.node_count via_tree)
+
+let test_storage_rejects_unbalanced () =
+  Alcotest.check_raises "unbalanced"
+    (Invalid_argument "Nok.Storage: unbalanced events") (fun () ->
+      ignore (Nok.Storage.of_events [ Xml.Event.End_element "a" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator on the paper example: same oracle values as the reference
+   evaluator tests, independently computed here. *)
+
+let test_eval_paper_values () =
+  let check q expected = Alcotest.(check int) q expected (card q) in
+  check "/a" 1;
+  check "/a/c/s" 5;
+  check "/a/c/s/s/t" 1;
+  check "//s" 9;
+  check "//s//s" 4;
+  check "//s//s//p" 5;
+  check "/a/c/s[t]/p" 4;
+  check "/a/c[s[t]]/p" 1;
+  check "//s[t]/p" 6;
+  check "//*[t]" 6;
+  check "/b" 0;
+  check "//*" 36
+
+let test_eval_select_matches_reference () =
+  let queries = [ "//s"; "/a/c/s/p"; "//s[t]/p"; "/a/*" ] in
+  List.iter
+    (fun q ->
+      let nok = Nok.Eval.select (Lazy.force storage) (Xpath.Parser.parse q) in
+      (* Preorder ids in reference are 1-based (0 = virtual doc node). *)
+      let reference =
+        List.map (fun i -> i - 1)
+          (Xpath.Eval_reference.select (Lazy.force ref_idx) (Xpath.Parser.parse q))
+      in
+      Alcotest.(check (list int)) q reference nok)
+    queries
+
+let test_eval_root_semantics () =
+  (* '/x' must anchor at the document root; '//x' must not. *)
+  let st = Nok.Storage.of_string "<a><a/></a>" in
+  Alcotest.(check int) "/a" 1 (Nok.Eval.cardinality st (Xpath.Parser.parse "/a"));
+  Alcotest.(check int) "//a" 2 (Nok.Eval.cardinality st (Xpath.Parser.parse "//a"));
+  Alcotest.(check int) "/a/a" 1 (Nok.Eval.cardinality st (Xpath.Parser.parse "/a/a"));
+  Alcotest.(check int) "//a/a" 1 (Nok.Eval.cardinality st (Xpath.Parser.parse "//a/a"));
+  Alcotest.(check int) "//a//a" 1 (Nok.Eval.cardinality st (Xpath.Parser.parse "//a//a"))
+
+let test_eval_unknown_label () =
+  Alcotest.(check int) "unknown name" 0 (card "/zzz");
+  Alcotest.(check int) "unknown in predicate" 0 (card "/a[zzz]")
+
+let test_eval_query_too_large () =
+  let deep = "/" ^ String.concat "/" (List.init 70 (fun i -> Printf.sprintf "x%d" i)) in
+  Alcotest.check_raises "too large" Nok.Eval.Query_too_large (fun () ->
+      ignore (card deep))
+
+let test_eval_single_node_doc () =
+  let st = Nok.Storage.of_string "<only/>" in
+  let c q = Nok.Eval.cardinality st (Xpath.Parser.parse q) in
+  Alcotest.(check int) "/only" 1 (c "/only");
+  Alcotest.(check int) "//only" 1 (c "//only");
+  Alcotest.(check int) "/only/x" 0 (c "/only/x");
+  Alcotest.(check int) "/*" 1 (c "/*")
+
+let test_eval_deep_document () =
+  (* Very deep documents exercise the explicit stacks, not OCaml's. *)
+  let depth = 50_000 in
+  let buf = Buffer.create (depth * 8) in
+  for _ = 1 to depth do Buffer.add_string buf "<d>" done;
+  Buffer.add_string buf "<leaf/>";
+  for _ = 1 to depth do Buffer.add_string buf "</d>" done;
+  let st = Nok.Storage.of_string (Buffer.contents buf) in
+  Alcotest.(check int) "//leaf" 1
+    (Nok.Eval.cardinality st (Xpath.Parser.parse "//leaf"));
+  Alcotest.(check int) "//d//leaf" 1
+    (Nok.Eval.cardinality st (Xpath.Parser.parse "//d//leaf"));
+  Alcotest.(check int) "//d" depth
+    (Nok.Eval.cardinality st (Xpath.Parser.parse "//d"))
+
+let test_eval_wildcard_with_value_pred () =
+  let st =
+    Nok.Storage.of_string ~with_values:true
+      "<r><x><v>5</v></x><y><v>50</v></y><z><w>5</w></z></r>"
+  in
+  Alcotest.(check int) "//*[v>10]" 1
+    (Nok.Eval.cardinality st (Xpath.Parser.parse "//*[v>10]"));
+  Alcotest.(check int) "//*[v<10]" 1
+    (Nok.Eval.cardinality st (Xpath.Parser.parse "//*[v<10]"))
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: NoK = reference evaluator on random documents
+   and random queries. This is the load-bearing correctness argument for
+   using NoK as ground truth everywhere else. *)
+
+let gen_doc_and_query =
+  let open QCheck in
+  let labels = [| "a"; "b"; "c"; "d" |] in
+  let gen_doc rand =
+    let buf = Buffer.create 256 in
+    let rec node depth =
+      let l = labels.(Gen.int_bound (Array.length labels - 1) rand) in
+      Buffer.add_string buf "<";
+      Buffer.add_string buf l;
+      Buffer.add_string buf ">";
+      if depth < 5 then begin
+        let n = Gen.int_bound 3 rand in
+        for _ = 1 to n do node (depth + 1) done
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf l;
+      Buffer.add_string buf ">"
+    in
+    node 0;
+    Buffer.contents buf
+  in
+  let gen_query rand =
+    let gen_test () =
+      if Gen.int_bound 6 rand = 0 then "*"
+      else labels.(Gen.int_bound (Array.length labels - 1) rand)
+    in
+    let gen_axis () = if Gen.int_bound 2 rand = 0 then "//" else "/" in
+    let rec gen_steps depth len =
+      if len = 0 then ""
+      else
+        let preds =
+          if depth >= 1 || Gen.int_bound 2 rand > 0 then ""
+          else "[" ^ gen_test () ^ gen_steps (depth + 1) (Gen.int_bound 1 rand) ^ "]"
+        in
+        gen_axis () ^ gen_test () ^ preds ^ gen_steps depth (len - 1)
+    in
+    gen_axis () ^ gen_test () ^ gen_steps 0 (Gen.int_bound 3 rand)
+  in
+  make
+    ~print:(fun (d, q) -> Printf.sprintf "doc=%s query=%s" d q)
+    (fun rand -> (gen_doc rand, gen_query rand))
+
+let prop_nok_matches_reference =
+  QCheck.Test.make ~count:1000 ~name:"NoK cardinality = reference cardinality"
+    gen_doc_and_query (fun (doc, query) ->
+      let path = Xpath.Parser.parse query in
+      let tree = Xml.Tree.of_string doc in
+      let expected = Xpath.Eval_reference.cardinality (Xpath.Eval_reference.index tree) path in
+      let got = Nok.Eval.cardinality (Nok.Storage.of_tree tree) path in
+      if expected <> got then
+        QCheck.Test.fail_reportf "expected %d, nok got %d" expected got
+      else true)
+
+let prop_select_ids_valid =
+  QCheck.Test.make ~count:300 ~name:"select returns sorted distinct valid ids"
+    gen_doc_and_query (fun (doc, query) ->
+      let st = Nok.Storage.of_string doc in
+      let ids = Nok.Eval.select st (Xpath.Parser.parse query) in
+      let n = Nok.Storage.node_count st in
+      List.for_all (fun i -> i >= 0 && i < n) ids
+      && List.sort_uniq Int.compare ids = ids)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_nok_matches_reference; prop_select_ids_valid ]
+
+let () =
+  Alcotest.run "nok"
+    [
+      ( "storage",
+        [
+          Alcotest.test_case "shape" `Quick test_storage_shape;
+          Alcotest.test_case "children" `Quick test_storage_children;
+          Alcotest.test_case "parent" `Quick test_storage_parent;
+          Alcotest.test_case "of_tree agrees" `Quick test_storage_of_tree_agrees;
+          Alcotest.test_case "unbalanced rejected" `Quick test_storage_rejects_unbalanced;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "paper values" `Quick test_eval_paper_values;
+          Alcotest.test_case "select matches reference" `Quick
+            test_eval_select_matches_reference;
+          Alcotest.test_case "root semantics" `Quick test_eval_root_semantics;
+          Alcotest.test_case "unknown labels" `Quick test_eval_unknown_label;
+          Alcotest.test_case "query too large" `Quick test_eval_query_too_large;
+          Alcotest.test_case "single node doc" `Quick test_eval_single_node_doc;
+          Alcotest.test_case "deep document" `Quick test_eval_deep_document;
+          Alcotest.test_case "wildcard + value pred" `Quick
+            test_eval_wildcard_with_value_pred;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the path tree: exact simple-path cardinalities, backward
+   selectivities, enumeration, and agreement with the reference evaluator. *)
+
+let paper_tree = lazy (Pathtree.Path_tree.of_string Datagen.Paper_example.document)
+
+let labels_of t names =
+  List.map (fun n -> Option.get (Xml.Label.find_opt t.Pathtree.Path_tree.table n)) names
+
+let test_size () =
+  let t = Lazy.force paper_tree in
+  Alcotest.(check int) "14 distinct rooted paths" 14 (Pathtree.Path_tree.size t)
+
+let test_cardinalities () =
+  let t = Lazy.force paper_tree in
+  let check names expected =
+    Alcotest.(check int)
+      (String.concat "/" names)
+      expected
+      (Pathtree.Path_tree.cardinality_of_labels t (labels_of t names))
+  in
+  check [ "a" ] 1;
+  check [ "a"; "c" ] 2;
+  check [ "a"; "c"; "s" ] 5;
+  check [ "a"; "c"; "s"; "s" ] 2;
+  check [ "a"; "c"; "s"; "s"; "s" ] 2;
+  check [ "a"; "c"; "s"; "s"; "t" ] 1;
+  check [ "a"; "c"; "s"; "p" ] 9;
+  check [ "a"; "c"; "s"; "s"; "s"; "p" ] 3;
+  check [ "a"; "t" ] 1;
+  check [ "a"; "u" ] 1
+
+let test_missing_path () =
+  let t = Lazy.force paper_tree in
+  Alcotest.(check int) "absent path" 0
+    (Pathtree.Path_tree.cardinality_of_labels t (labels_of t [ "a"; "s" ]));
+  Alcotest.(check bool) "find_path returns None" true
+    (Pathtree.Path_tree.find_path t (labels_of t [ "c" ]) = None)
+
+let test_bsel () =
+  let t = Lazy.force paper_tree in
+  let find names = Option.get (Pathtree.Path_tree.find_path t (labels_of t names)) in
+  let parent names = Some (find names) in
+  (* Of the 5 a/c/s nodes, 2 have a t child. *)
+  Alcotest.(check (float 1e-9)) "bsel(a/c/s/t)" 0.4
+    (Pathtree.Path_tree.bsel t ~parent:(parent [ "a"; "c"; "s" ])
+       (find [ "a"; "c"; "s"; "t" ]));
+  (* All 5 have a p child. *)
+  Alcotest.(check (float 1e-9)) "bsel(a/c/s/p)" 1.0
+    (Pathtree.Path_tree.bsel t ~parent:(parent [ "a"; "c"; "s" ])
+       (find [ "a"; "c"; "s"; "p" ]));
+  (* 2 of 5 have an s child. *)
+  Alcotest.(check (float 1e-9)) "bsel(a/c/s/s)" 0.4
+    (Pathtree.Path_tree.bsel t ~parent:(parent [ "a"; "c"; "s" ])
+       (find [ "a"; "c"; "s"; "s" ]));
+  (* 1 of the 2 a/c/s/s nodes has a t child. *)
+  Alcotest.(check (float 1e-9)) "bsel(a/c/s/s/t)" 0.5
+    (Pathtree.Path_tree.bsel t ~parent:(parent [ "a"; "c"; "s"; "s" ])
+       (find [ "a"; "c"; "s"; "s"; "t" ]));
+  Alcotest.(check (float 1e-9)) "root bsel" 1.0
+    (Pathtree.Path_tree.bsel t ~parent:None t.root)
+
+let test_simple_path_cardinality () =
+  let t = Lazy.force paper_tree in
+  let check q expected =
+    Alcotest.(check (option int)) q expected
+      (Pathtree.Path_tree.simple_path_cardinality t (Xpath.Parser.parse q))
+  in
+  check "/a/c/s" (Some 5);
+  check "/a/c/s/s/t" (Some 1);
+  check "/a/zzz" (Some 0);
+  check "//a/c" None;
+  check "/a/c[t]" None;
+  check "/a/*" None
+
+let test_all_simple_paths () =
+  let t = Lazy.force paper_tree in
+  let paths = Pathtree.Path_tree.all_simple_paths t in
+  Alcotest.(check int) "count" 14 (List.length paths);
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 paths in
+  Alcotest.(check int) "cardinalities sum to node count" 36 total;
+  (* First enumerated path is the root. *)
+  (match paths with
+   | (root_path, c) :: _ ->
+     Alcotest.(check int) "root path length" 1 (List.length root_path);
+     Alcotest.(check int) "root card" 1 c
+   | [] -> Alcotest.fail "no paths")
+
+let test_depth () =
+  Alcotest.(check int) "depth" 6 (Pathtree.Path_tree.depth (Lazy.force paper_tree))
+
+(* Property: path tree cardinality of every enumerated path agrees with the
+   reference evaluator run on the same document. *)
+let gen_doc =
+  let open QCheck in
+  let labels = [| "a"; "b"; "c" |] in
+  let gen rand =
+    let buf = Buffer.create 256 in
+    let rec node depth =
+      let l = labels.(Gen.int_bound (Array.length labels - 1) rand) in
+      Buffer.add_string buf ("<" ^ l ^ ">");
+      if depth < 5 then
+        for _ = 1 to Gen.int_bound 3 rand do node (depth + 1) done;
+      Buffer.add_string buf ("</" ^ l ^ ">")
+    in
+    node 0;
+    Buffer.contents buf
+  in
+  make ~print:(fun d -> d) gen
+
+let prop_cardinalities_exact =
+  QCheck.Test.make ~count:200 ~name:"path tree cards = reference eval" gen_doc
+    (fun doc ->
+      let tree = Xml.Tree.of_string doc in
+      let pt = Pathtree.Path_tree.of_string doc in
+      let idx = Xpath.Eval_reference.index tree in
+      let ok = ref true in
+      Pathtree.Path_tree.iter_paths pt ~f:(fun labels ~parent:_ node ->
+          let steps =
+            List.map
+              (fun l ->
+                { Xpath.Ast.axis = Xpath.Ast.Child;
+                  test = Xpath.Ast.Name (Xml.Label.name pt.table l);
+                  predicates = []; value_predicates = [] })
+              labels
+          in
+          let actual = Xpath.Eval_reference.cardinality idx steps in
+          if actual <> node.cardinality then ok := false);
+      !ok)
+
+let prop_parents_bound =
+  QCheck.Test.make ~count:200
+    ~name:"parents_with_child <= min(parent card, own card)" gen_doc (fun doc ->
+      let pt = Pathtree.Path_tree.of_string doc in
+      let ok = ref true in
+      Pathtree.Path_tree.iter_paths pt ~f:(fun _ ~parent node ->
+          match parent with
+          | None -> if node.parents_with_child <> 1 then ok := false
+          | Some p ->
+            if
+              node.parents_with_child > p.cardinality
+              || node.parents_with_child > node.cardinality
+              || node.parents_with_child < 1
+            then ok := false);
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_cardinalities_exact; prop_parents_bound ]
+
+let () =
+  Alcotest.run "pathtree"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "cardinalities" `Quick test_cardinalities;
+          Alcotest.test_case "missing paths" `Quick test_missing_path;
+          Alcotest.test_case "backward selectivity" `Quick test_bsel;
+          Alcotest.test_case "simple_path_cardinality" `Quick
+            test_simple_path_cardinality;
+          Alcotest.test_case "all_simple_paths" `Quick test_all_simple_paths;
+          Alcotest.test_case "depth" `Quick test_depth;
+        ] );
+      ("properties", props);
+    ]

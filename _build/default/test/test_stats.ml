@@ -1,0 +1,82 @@
+(* Metric tests: RMSE/NRMSE per the paper's definitions, R², OPD. *)
+
+let test_perfect_estimates () =
+  let s = Stats.Metrics.summarize [ (1.0, 1.0); (5.0, 5.0); (10.0, 10.0) ] in
+  Alcotest.(check (float 1e-12)) "rmse" 0.0 s.rmse;
+  Alcotest.(check (float 1e-12)) "nrmse" 0.0 s.nrmse;
+  Alcotest.(check (float 1e-12)) "r2" 1.0 s.r_squared;
+  Alcotest.(check (float 1e-12)) "opd" 1.0 s.opd
+
+let test_rmse_definition () =
+  (* sqrt(((2-1)^2 + (3-5)^2)/2) = sqrt(2.5). *)
+  let s = Stats.Metrics.summarize [ (2.0, 1.0); (3.0, 5.0) ] in
+  Alcotest.(check (float 1e-12)) "rmse" (sqrt 2.5) s.rmse;
+  (* NRMSE = RMSE / mean actual = sqrt(2.5)/3. *)
+  Alcotest.(check (float 1e-12)) "nrmse" (sqrt 2.5 /. 3.0) s.nrmse;
+  Alcotest.(check (float 1e-12)) "mean actual" 3.0 s.mean_actual;
+  Alcotest.(check (float 1e-12)) "max err" 2.0 s.max_abs_error
+
+let test_opd () =
+  (* Actuals 1 < 2 < 3; estimates reverse one pair. *)
+  let s = Stats.Metrics.summarize [ (1.0, 1.0); (5.0, 2.0); (4.0, 3.0) ] in
+  (* pairs: (1,2) ok, (1,3) ok, (2,3) reversed -> 2/3. *)
+  Alcotest.(check (float 1e-12)) "opd" (2.0 /. 3.0) s.opd
+
+let test_opd_ties () =
+  let s = Stats.Metrics.summarize [ (2.0, 1.0); (2.0, 5.0) ] in
+  Alcotest.(check (float 1e-12)) "tie counts half" 0.5 s.opd
+
+let test_all_zero_actuals () =
+  let s = Stats.Metrics.summarize [ (1.0, 0.0); (0.0, 0.0) ] in
+  Alcotest.(check bool) "nrmse infinite" true (s.nrmse = Float.infinity)
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.summarize: empty workload")
+    (fun () -> ignore (Stats.Metrics.summarize []))
+
+let test_r_squared_baseline () =
+  (* Estimating the mean for every query gives R² = 0. *)
+  let s = Stats.Metrics.summarize [ (2.0, 1.0); (2.0, 3.0) ] in
+  Alcotest.(check (float 1e-12)) "r2 of mean predictor" 0.0 s.r_squared
+
+let prop_rmse_nonnegative =
+  let open QCheck in
+  let gen_pairs =
+    list_of_size (Gen.int_range 1 50)
+      (pair (float_range 0.0 1000.0) (float_range 0.0 1000.0))
+  in
+  Test.make ~count:300 ~name:"metrics well-formed" gen_pairs (fun pairs ->
+      let s = Stats.Metrics.summarize pairs in
+      s.rmse >= 0.0
+      && s.max_abs_error >= 0.0
+      && s.opd >= 0.0 && s.opd <= 1.0
+      && s.r_squared <= 1.0)
+
+let prop_rmse_scale =
+  let open QCheck in
+  let gen_pairs =
+    list_of_size (Gen.int_range 1 50)
+      (pair (float_range 0.0 100.0) (float_range 0.0 100.0))
+  in
+  Test.make ~count:300 ~name:"rmse scales linearly" gen_pairs (fun pairs ->
+      let s1 = Stats.Metrics.rmse pairs in
+      let s2 = Stats.Metrics.rmse (List.map (fun (e, a) -> (2.0 *. e, 2.0 *. a)) pairs) in
+      Float.abs (s2 -. (2.0 *. s1)) < 1e-6 *. Float.max 1.0 s2)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_rmse_nonnegative; prop_rmse_scale ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect_estimates;
+          Alcotest.test_case "rmse definition" `Quick test_rmse_definition;
+          Alcotest.test_case "opd" `Quick test_opd;
+          Alcotest.test_case "opd ties" `Quick test_opd_ties;
+          Alcotest.test_case "all zero actuals" `Quick test_all_zero_actuals;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "r2 baseline" `Quick test_r_squared_baseline;
+        ] );
+      ("properties", props);
+    ]

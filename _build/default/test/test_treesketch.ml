@@ -1,0 +1,150 @@
+(* TreeSketch baseline tests: the perfect (count-stable) partition must be
+   exact for twig counting; budgeted sketches must fit their budget and
+   degrade gracefully; the work cutoff must reproduce the paper's DNF. *)
+
+let parse = Xpath.Parser.parse
+
+let paper_storage = lazy (Nok.Storage.of_string Datagen.Paper_example.document)
+
+let perfect () = fst (Treesketch.Sketch.build (Lazy.force paper_storage))
+
+let test_perfect_partition_size () =
+  let sketch, stats = Treesketch.Sketch.build (Lazy.force paper_storage) in
+  Alcotest.(check bool) "completed" true stats.completed;
+  Alcotest.(check int) "no merges without budget" 0 stats.merges;
+  Alcotest.(check int) "classes = initial" stats.initial_classes
+    (Treesketch.Sketch.class_count sketch);
+  (* Count-stable classes are at least as numerous as labels, at most as
+     numerous as nodes. *)
+  Alcotest.(check bool) "class count sane" true
+    (stats.initial_classes >= 6 && stats.initial_classes <= 36)
+
+let test_perfect_exact_simple () =
+  let sketch = perfect () in
+  let storage = Lazy.force paper_storage in
+  List.iter
+    (fun q ->
+      let actual = float_of_int (Nok.Eval.cardinality storage (parse q)) in
+      Alcotest.(check (float 1e-6)) q actual
+        (Treesketch.Sketch.estimate sketch (parse q)))
+    [ "/a"; "/a/c"; "/a/c/s"; "/a/c/s/s"; "/a/c/s/s/t"; "/a/c/s/p"; "/a/t";
+      "//s"; "//p"; "//s//s"; "//s//s//p"; "/a/c/s/s/s/p" ]
+
+let test_perfect_exact_branching () =
+  let sketch = perfect () in
+  let storage = Lazy.force paper_storage in
+  List.iter
+    (fun q ->
+      let actual = float_of_int (Nok.Eval.cardinality storage (parse q)) in
+      Alcotest.(check (float 1e-6)) q actual
+        (Treesketch.Sketch.estimate sketch (parse q)))
+    [ "/a/c[t]/s"; "/a/c/s[t]/p"; "/a/c/s[s]/p"; "/a/c[s/s]/t"; "//s[t]/p" ]
+
+let test_budgeted_fits () =
+  let storage = Lazy.force paper_storage in
+  let full, _ = Treesketch.Sketch.build storage in
+  let budget = Treesketch.Sketch.size_in_bytes full / 2 in
+  let sketch, stats = Treesketch.Sketch.build ~budget_bytes:budget storage in
+  Alcotest.(check bool) "completed" true stats.completed;
+  Alcotest.(check bool) "merged" true (stats.merges > 0);
+  Alcotest.(check bool) "fits budget" true
+    (Treesketch.Sketch.size_in_bytes sketch <= budget);
+  (* Estimates remain finite and sane. *)
+  let e = Treesketch.Sketch.estimate sketch (parse "//s") in
+  Alcotest.(check bool) "finite" true (Float.is_finite e && e >= 0.0)
+
+let test_dnf_cutoff () =
+  let storage = Lazy.force paper_storage in
+  let _, stats = Treesketch.Sketch.build ~budget_bytes:16 ~max_work:3 storage in
+  Alcotest.(check bool) "did not finish" false stats.completed
+
+let test_budget_unreachable_stops () =
+  (* A budget smaller than one class per label can never be reached by
+     same-label merging; construction must stop anyway. *)
+  let storage = Lazy.force paper_storage in
+  let sketch, _stats = Treesketch.Sketch.build ~budget_bytes:8 storage in
+  Alcotest.(check bool) "still answers" true
+    (Float.is_finite (Treesketch.Sketch.estimate sketch (parse "//s")))
+
+let test_recursion_blindness () =
+  (* After heavy merging, a recursive document's sketch conflates recursion
+     levels: //s//s deteriorates while XSEED's kernel stays exact. This is
+     the qualitative Table 3 claim. *)
+  let storage = Lazy.force paper_storage in
+  let sketch, _ = Treesketch.Sketch.build ~budget_bytes:150 storage in
+  let kernel = Core.Builder.of_string Datagen.Paper_example.document in
+  let xseed = Core.Estimator.create kernel in
+  let q = parse "//s//s" in
+  let actual = float_of_int (Nok.Eval.cardinality storage q) in
+  let xseed_err = Float.abs (Core.Estimator.estimate xseed q -. actual) in
+  let ts_err = Float.abs (Treesketch.Sketch.estimate sketch q -. actual) in
+  Alcotest.(check (float 1e-6)) "xseed exact on //s//s" 0.0 xseed_err;
+  Alcotest.(check bool)
+    (Printf.sprintf "budgeted treesketch errs (err %.2f)" ts_err)
+    true (ts_err > 0.0)
+
+(* Property: the perfect sketch is exact on random documents for a spread of
+   query shapes (it is a lossless structural summary). *)
+let gen_doc_and_query =
+  let open QCheck in
+  let labels = [| "a"; "b"; "c" |] in
+  let gen rand =
+    let buf = Buffer.create 256 in
+    let rec node depth =
+      let l = labels.(Gen.int_bound 2 rand) in
+      Buffer.add_string buf ("<" ^ l ^ ">");
+      if depth < 4 then
+        for _ = 1 to Gen.int_bound 3 rand do node (depth + 1) done;
+      Buffer.add_string buf ("</" ^ l ^ ">")
+    in
+    node 0;
+    let doc = Buffer.contents buf in
+    let test () =
+      if Gen.int_bound 5 rand = 0 then "*" else labels.(Gen.int_bound 2 rand)
+    in
+    let axis () = if Gen.int_bound 2 rand = 0 then "//" else "/" in
+    let n = 1 + Gen.int_bound 2 rand in
+    let q =
+      String.concat ""
+        (List.init n (fun i ->
+             axis () ^ test ()
+             ^ (if i > 0 && Gen.int_bound 2 rand = 0 then "[" ^ test () ^ "]" else "")))
+    in
+    (doc, q)
+  in
+  make ~print:(fun (d, q) -> Printf.sprintf "doc=%s q=%s" d q) gen
+
+let prop_perfect_exact =
+  QCheck.Test.make ~count:300 ~name:"perfect sketch = NoK on random docs"
+    gen_doc_and_query (fun (doc, q) ->
+      let storage = Nok.Storage.of_string doc in
+      let sketch, _ = Treesketch.Sketch.build storage in
+      let path = parse q in
+      let actual = float_of_int (Nok.Eval.cardinality storage path) in
+      let est =
+        Treesketch.Sketch.estimate ~card_threshold:0.0 ~max_depth:64 sketch path
+      in
+      if Float.abs (est -. actual) > 1e-6 *. Float.max 1.0 actual then
+        QCheck.Test.fail_reportf "estimate %f <> actual %f" est actual
+      else true)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_perfect_exact ]
+
+let () =
+  Alcotest.run "treesketch"
+    [
+      ( "perfect",
+        [
+          Alcotest.test_case "partition size" `Quick test_perfect_partition_size;
+          Alcotest.test_case "exact simple" `Quick test_perfect_exact_simple;
+          Alcotest.test_case "exact branching" `Quick test_perfect_exact_branching;
+        ] );
+      ( "budgeted",
+        [
+          Alcotest.test_case "fits budget" `Quick test_budgeted_fits;
+          Alcotest.test_case "dnf cutoff" `Quick test_dnf_cutoff;
+          Alcotest.test_case "unreachable budget" `Quick test_budget_unreachable_stops;
+          Alcotest.test_case "recursion blindness" `Quick test_recursion_blindness;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,385 @@
+(* Tests for the XML substrate: labels, SAX parser, tree, Dewey ids, writer,
+   streaming document statistics. *)
+
+let ev_start name = Xml.Event.Start_element (name, [])
+let ev_end name = Xml.Event.End_element name
+
+let check_events msg input expected =
+  Alcotest.(check (list (testable Xml.Event.pp Xml.Event.equal)))
+    msg expected (Xml.Sax.events input)
+
+let check_malformed msg input =
+  match Xml.Sax.events input with
+  | _ -> Alcotest.failf "%s: expected Malformed on %S" msg input
+  | exception Xml.Sax.Malformed _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Label interning *)
+
+let test_label_intern () =
+  let tbl = Xml.Label.create_table () in
+  let a = Xml.Label.intern tbl "a" in
+  let b = Xml.Label.intern tbl "b" in
+  let a' = Xml.Label.intern tbl "a" in
+  Alcotest.(check int) "same name same id" a a';
+  Alcotest.(check bool) "distinct names distinct ids" true (a <> b);
+  Alcotest.(check string) "name round-trip" "b" (Xml.Label.name tbl b);
+  Alcotest.(check int) "count" 2 (Xml.Label.count tbl)
+
+let test_label_growth () =
+  let tbl = Xml.Label.create_table () in
+  for i = 0 to 499 do
+    let id = Xml.Label.intern tbl (Printf.sprintf "tag%d" i) in
+    Alcotest.(check int) "dense ids" i id
+  done;
+  Alcotest.(check string) "late name lookup" "tag321" (Xml.Label.name tbl 321);
+  Alcotest.(check int) "count after growth" 500 (Xml.Label.count tbl)
+
+let test_label_unknown_id () =
+  let tbl = Xml.Label.create_table () in
+  ignore (Xml.Label.intern tbl "only");
+  Alcotest.check_raises "unknown id" (Invalid_argument "Label.name: unknown id 7")
+    (fun () -> ignore (Xml.Label.name tbl 7))
+
+let test_label_names_order () =
+  let tbl = Xml.Label.create_table () in
+  List.iter (fun n -> ignore (Xml.Label.intern tbl n : int)) [ "z"; "a"; "m" ];
+  Alcotest.(check (list string)) "names in id order" [ "z"; "a"; "m" ]
+    (Xml.Label.names tbl);
+  (* Re-interning reproduces the ids. *)
+  let tbl2 = Xml.Label.create_table () in
+  List.iter (fun n -> ignore (Xml.Label.intern tbl2 n : int)) (Xml.Label.names tbl);
+  Alcotest.(check (option int)) "ids reproduced" (Xml.Label.find_opt tbl "m")
+    (Xml.Label.find_opt tbl2 "m")
+
+let test_label_find_opt () =
+  let tbl = Xml.Label.create_table () in
+  let x = Xml.Label.intern tbl "x" in
+  Alcotest.(check (option int)) "present" (Some x) (Xml.Label.find_opt tbl "x");
+  Alcotest.(check (option int)) "absent" None (Xml.Label.find_opt tbl "y")
+
+(* ------------------------------------------------------------------ *)
+(* SAX parser *)
+
+let test_sax_simple () =
+  check_events "one element" "<a></a>" [ ev_start "a"; ev_end "a" ]
+
+let test_sax_nested () =
+  check_events "nesting" "<a><b><c/></b></a>"
+    [ ev_start "a"; ev_start "b"; ev_start "c"; ev_end "c"; ev_end "b"; ev_end "a" ]
+
+let test_sax_self_closing () =
+  check_events "self closing with attrs" {|<a x="1" y="2"/>|}
+    [ Xml.Event.Start_element ("a", [ ("x", "1"); ("y", "2") ]); ev_end "a" ]
+
+let test_sax_text () =
+  check_events "text node" "<a>hello</a>"
+    [ ev_start "a"; Xml.Event.Text "hello"; ev_end "a" ]
+
+let test_sax_whitespace_only_text_dropped () =
+  check_events "inter-element whitespace dropped" "<a>\n  <b/>\n</a>"
+    [ ev_start "a"; ev_start "b"; ev_end "b"; ev_end "a" ]
+
+let test_sax_entities () =
+  check_events "predefined entities" "<a>x &amp; y &lt;z&gt; &quot;q&quot; &apos;s&apos;</a>"
+    [ ev_start "a"; Xml.Event.Text "x & y <z> \"q\" 's'"; ev_end "a" ]
+
+let test_sax_char_ref_out_of_range () =
+  check_malformed "codepoint beyond Unicode" "<a>&#x110000;</a>";
+  check_malformed "negative-ish reference" "<a>&#xZZ;</a>"
+
+let test_sax_char_refs () =
+  check_events "numeric character references" "<a>&#65;&#x42;</a>"
+    [ ev_start "a"; Xml.Event.Text "AB"; ev_end "a" ];
+  check_events "multibyte char ref" "<a>&#233;</a>"
+    [ ev_start "a"; Xml.Event.Text "\xc3\xa9"; ev_end "a" ]
+
+let test_sax_attribute_entities () =
+  check_events "entities in attributes" {|<a t="a&amp;b"/>|}
+    [ Xml.Event.Start_element ("a", [ ("t", "a&b") ]); ev_end "a" ]
+
+let test_sax_comment () =
+  check_events "comments skipped" "<a><!-- hi --><b/><!-- > tricky --></a>"
+    [ ev_start "a"; ev_start "b"; ev_end "b"; ev_end "a" ]
+
+let test_sax_pi () =
+  check_events "processing instructions skipped"
+    "<?xml version=\"1.0\"?><a><?target data?></a>"
+    [ ev_start "a"; ev_end "a" ]
+
+let test_sax_doctype () =
+  check_events "doctype with internal subset skipped"
+    "<!DOCTYPE a [ <!ELEMENT a (b*)> <!ENTITY x \"y>\"> ]><a/>"
+    [ ev_start "a"; ev_end "a" ]
+
+let test_sax_cdata () =
+  check_events "cdata preserved verbatim" "<a><![CDATA[<not> &amp; markup]]></a>"
+    [ ev_start "a"; Xml.Event.Text "<not> &amp; markup"; ev_end "a" ]
+
+let test_sax_malformed () =
+  check_malformed "mismatched close" "<a><b></a></b>";
+  check_malformed "unclosed" "<a><b>";
+  check_malformed "double root" "<a/><b/>";
+  check_malformed "no root" "   ";
+  check_malformed "junk after root" "<a/>text";
+  check_malformed "bad entity" "<a>&unknown;</a>";
+  check_malformed "lt in attribute" "<a x=\"<\"/>";
+  check_malformed "unterminated comment" "<a><!-- never closed</a>";
+  check_malformed "unterminated cdata" "<a><![CDATA[x</a>"
+
+let test_sax_deep_nesting () =
+  (* The parser must not be recursive in document depth. *)
+  let depth = 200_000 in
+  let buf = Buffer.create (depth * 7) in
+  for _ = 1 to depth do Buffer.add_string buf "<d>" done;
+  for _ = 1 to depth do Buffer.add_string buf "</d>" done;
+  let count =
+    Xml.Sax.fold (Buffer.contents buf) ~init:0 ~f:(fun n _ -> n + 1)
+  in
+  Alcotest.(check int) "event count" (2 * depth) count
+
+(* ------------------------------------------------------------------ *)
+(* Tree *)
+
+let paper_example_xml = Datagen.Paper_example.document
+
+let test_tree_counts () =
+  let t = Xml.Tree.of_string paper_example_xml in
+  Alcotest.(check int) "node count" 36 (Xml.Tree.node_count t);
+  let counts =
+    List.map
+      (fun (id, n) -> (Xml.Label.name t.table id, n))
+      (Xml.Tree.label_counts t)
+  in
+  Alcotest.(check int) "a count" 1 (List.assoc "a" counts);
+  Alcotest.(check int) "c count" 2 (List.assoc "c" counts);
+  Alcotest.(check int) "s count" 9 (List.assoc "s" counts);
+  Alcotest.(check int) "t count" 6 (List.assoc "t" counts);
+  Alcotest.(check int) "u count" 1 (List.assoc "u" counts);
+  Alcotest.(check int) "p count" 17 (List.assoc "p" counts)
+
+let test_tree_recursion_levels () =
+  let t = Xml.Tree.of_string paper_example_xml in
+  let _avg, max_rl = Xml.Tree.recursion_levels t in
+  Alcotest.(check int) "max recursion level (three nested s)" 2 max_rl;
+  let flat = Xml.Tree.of_string "<a><b/><c/></a>" in
+  let avg, max_rl = Xml.Tree.recursion_levels flat in
+  Alcotest.(check int) "flat doc max rl" 0 max_rl;
+  Alcotest.(check (float 0.0)) "flat doc avg rl" 0.0 avg
+
+let test_tree_depth () =
+  let t = Xml.Tree.of_string "<a><b><c><d/></c></b><e/></a>" in
+  Alcotest.(check int) "depth" 4 (Xml.Tree.depth t)
+
+let test_tree_round_trip () =
+  let t = Xml.Tree.of_string paper_example_xml in
+  let again = Xml.Tree.of_string (Xml.Writer.tree_to_string t) in
+  Alcotest.(check bool) "structure round-trips" true
+    (Xml.Tree.equal_structure t again)
+
+let test_tree_rejects_unbalanced () =
+  Alcotest.check_raises "unbalanced"
+    (Invalid_argument "Tree.of_events: unbalanced events") (fun () ->
+      ignore (Xml.Tree.of_events [ ev_end "a" ]))
+
+let test_tree_shared_table () =
+  let table = Xml.Label.create_table () in
+  let t1 = Xml.Tree.of_string ~table "<a><b/></a>" in
+  let t2 = Xml.Tree.of_string ~table "<b><a/></b>" in
+  Alcotest.(check int) "ids aligned" t1.root.label t2.root.children.(0).label
+
+let test_distinct_rooted_paths () =
+  let t = Xml.Tree.of_string paper_example_xml in
+  (* Paths: a, a/t, a/u, a/c, a/c/t, a/c/p, a/c/s, a/c/s/t, a/c/s/p, a/c/s/s,
+     a/c/s/s/t, a/c/s/s/p, a/c/s/s/s, a/c/s/s/s/p. *)
+  Alcotest.(check int) "path tree size" 14 (Xml.Tree.distinct_rooted_paths t)
+
+(* ------------------------------------------------------------------ *)
+(* Dewey ids *)
+
+let test_dewey_basics () =
+  let d = Xml.Dewey.(child (child root 3) 1) in
+  Alcotest.(check string) "to_string" "1.3.1." (Xml.Dewey.to_string d);
+  Alcotest.(check int) "depth" 3 (Xml.Dewey.depth d);
+  Alcotest.(check (option string)) "parent" (Some "1.3.")
+    (Option.map Xml.Dewey.to_string (Xml.Dewey.parent d));
+  Alcotest.(check (option string)) "root parent" None
+    (Option.map Xml.Dewey.to_string (Xml.Dewey.parent Xml.Dewey.root))
+
+let test_dewey_order () =
+  let open Xml.Dewey in
+  let d1 = of_list [ 1; 2 ] and d2 = of_list [ 1; 2; 1 ] and d3 = of_list [ 1; 3 ] in
+  Alcotest.(check bool) "prefix first" true (compare d1 d2 < 0);
+  Alcotest.(check bool) "sibling order" true (compare d2 d3 < 0);
+  Alcotest.(check bool) "equal" true (equal d1 (of_list [ 1; 2 ]))
+
+let test_dewey_ancestor () =
+  let open Xml.Dewey in
+  Alcotest.(check bool) "ancestor" true
+    (is_ancestor_or_self (of_list [ 1; 2 ]) (of_list [ 1; 2; 5; 1 ]));
+  Alcotest.(check bool) "self" true
+    (is_ancestor_or_self (of_list [ 1; 2 ]) (of_list [ 1; 2 ]));
+  Alcotest.(check bool) "not ancestor" false
+    (is_ancestor_or_self (of_list [ 1; 2 ]) (of_list [ 1; 3; 2 ]));
+  Alcotest.(check bool) "descendant is not ancestor" false
+    (is_ancestor_or_self (of_list [ 1; 2; 1 ]) (of_list [ 1; 2 ]))
+
+let test_dewey_of_list_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dewey.of_list: empty")
+    (fun () -> ignore (Xml.Dewey.of_list []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Dewey.of_list: components must be >= 1") (fun () ->
+      ignore (Xml.Dewey.of_list [ 1; 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+let test_writer_escapes () =
+  Alcotest.(check string) "text" "a&amp;b&lt;c&gt;d" (Xml.Writer.escape_text "a&b<c>d");
+  Alcotest.(check string) "attribute" "&quot;x&amp;y&quot;"
+    (Xml.Writer.escape_attribute "\"x&y\"")
+
+let test_writer_round_trip_with_text () =
+  let events =
+    [ Xml.Event.Start_element ("a", [ ("k", "v&w") ]);
+      Xml.Event.Text "x < y";
+      ev_start "b"; ev_end "b";
+      ev_end "a" ]
+  in
+  let rendered = Xml.Writer.events_to_string events in
+  Alcotest.(check (list (testable Xml.Event.pp Xml.Event.equal)))
+    "writer/parser round trip" events (Xml.Sax.events rendered)
+
+(* ------------------------------------------------------------------ *)
+(* Doc stats *)
+
+let test_doc_stats () =
+  let s = Xml.Doc_stats.of_string paper_example_xml in
+  Alcotest.(check int) "nodes" 36 s.node_count;
+  Alcotest.(check int) "max rl" 2 s.max_recursion_level;
+  Alcotest.(check int) "labels" 6 s.distinct_labels;
+  Alcotest.(check int) "bytes" (String.length paper_example_xml) s.total_bytes;
+  Alcotest.(check int) "depth" 6 s.max_depth
+
+let test_doc_stats_matches_tree () =
+  let t = Xml.Tree.of_string paper_example_xml in
+  let s = Xml.Doc_stats.of_string paper_example_xml in
+  let avg_t, max_t = Xml.Tree.recursion_levels t in
+  Alcotest.(check (float 1e-9)) "avg rl agrees" avg_t s.avg_recursion_level;
+  Alcotest.(check int) "max rl agrees" max_t s.max_recursion_level;
+  Alcotest.(check int) "node count agrees" (Xml.Tree.node_count t) s.node_count
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let gen_tree_events =
+  (* Random small structural documents over a few labels. *)
+  let open QCheck in
+  let labels = [| "a"; "b"; "c"; "d" |] in
+  let rec gen_node depth rand =
+    let label = labels.(Gen.int_bound (Array.length labels - 1) rand) in
+    let n_children =
+      if depth >= 4 then 0 else Gen.int_bound 3 rand
+    in
+    let children = List.init n_children (fun _ -> gen_node (depth + 1) rand) in
+    ev_start label :: List.concat children @ [ ev_end label ]
+  in
+  make ~print:(fun evs -> Xml.Writer.events_to_string evs) (gen_node 0)
+
+let prop_parse_write_round_trip =
+  QCheck.Test.make ~count:200 ~name:"parse (write events) = events" gen_tree_events
+    (fun events ->
+      Xml.Sax.events (Xml.Writer.events_to_string events) = events)
+
+let prop_tree_round_trip =
+  QCheck.Test.make ~count:200 ~name:"tree of_events/to_events round trip"
+    gen_tree_events (fun events ->
+      let t = Xml.Tree.of_events events in
+      Xml.Tree.to_events t = events)
+
+let prop_node_count =
+  QCheck.Test.make ~count:200 ~name:"node_count = number of start events"
+    gen_tree_events (fun events ->
+      let starts =
+        List.length
+          (List.filter (function Xml.Event.Start_element _ -> true | _ -> false) events)
+      in
+      Xml.Tree.node_count (Xml.Tree.of_events events) = starts)
+
+let prop_dewey_compare_total_order =
+  let open QCheck in
+  let gen_dewey =
+    make
+      ~print:(fun l -> String.concat "." (List.map string_of_int l))
+      Gen.(list_size (int_range 1 5) (int_range 1 4))
+  in
+  Test.make ~count:300 ~name:"dewey compare antisymmetric" (pair gen_dewey gen_dewey)
+    (fun (l1, l2) ->
+      let d1 = Xml.Dewey.of_list l1 and d2 = Xml.Dewey.of_list l2 in
+      Xml.Dewey.compare d1 d2 = -Xml.Dewey.compare d2 d1)
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ prop_parse_write_round_trip; prop_tree_round_trip; prop_node_count;
+      prop_dewey_compare_total_order ]
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "label",
+        [
+          Alcotest.test_case "intern" `Quick test_label_intern;
+          Alcotest.test_case "growth" `Quick test_label_growth;
+          Alcotest.test_case "unknown id" `Quick test_label_unknown_id;
+          Alcotest.test_case "find_opt" `Quick test_label_find_opt;
+          Alcotest.test_case "names order" `Quick test_label_names_order;
+        ] );
+      ( "sax",
+        [
+          Alcotest.test_case "simple" `Quick test_sax_simple;
+          Alcotest.test_case "nested" `Quick test_sax_nested;
+          Alcotest.test_case "self closing" `Quick test_sax_self_closing;
+          Alcotest.test_case "text" `Quick test_sax_text;
+          Alcotest.test_case "whitespace dropped" `Quick
+            test_sax_whitespace_only_text_dropped;
+          Alcotest.test_case "entities" `Quick test_sax_entities;
+          Alcotest.test_case "char refs" `Quick test_sax_char_refs;
+          Alcotest.test_case "char ref out of range" `Quick
+            test_sax_char_ref_out_of_range;
+          Alcotest.test_case "attribute entities" `Quick test_sax_attribute_entities;
+          Alcotest.test_case "comments" `Quick test_sax_comment;
+          Alcotest.test_case "processing instructions" `Quick test_sax_pi;
+          Alcotest.test_case "doctype" `Quick test_sax_doctype;
+          Alcotest.test_case "cdata" `Quick test_sax_cdata;
+          Alcotest.test_case "malformed inputs" `Quick test_sax_malformed;
+          Alcotest.test_case "deep nesting" `Quick test_sax_deep_nesting;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "label counts" `Quick test_tree_counts;
+          Alcotest.test_case "recursion levels" `Quick test_tree_recursion_levels;
+          Alcotest.test_case "depth" `Quick test_tree_depth;
+          Alcotest.test_case "round trip" `Quick test_tree_round_trip;
+          Alcotest.test_case "unbalanced rejected" `Quick test_tree_rejects_unbalanced;
+          Alcotest.test_case "shared label table" `Quick test_tree_shared_table;
+          Alcotest.test_case "distinct rooted paths" `Quick test_distinct_rooted_paths;
+        ] );
+      ( "dewey",
+        [
+          Alcotest.test_case "basics" `Quick test_dewey_basics;
+          Alcotest.test_case "document order" `Quick test_dewey_order;
+          Alcotest.test_case "ancestor tests" `Quick test_dewey_ancestor;
+          Alcotest.test_case "of_list validation" `Quick test_dewey_of_list_invalid;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "escaping" `Quick test_writer_escapes;
+          Alcotest.test_case "round trip with text" `Quick
+            test_writer_round_trip_with_text;
+        ] );
+      ( "doc_stats",
+        [
+          Alcotest.test_case "paper example" `Quick test_doc_stats;
+          Alcotest.test_case "agrees with tree" `Quick test_doc_stats_matches_tree;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,327 @@
+(* Tests for the XPath substrate: parser, printer, classification, query
+   tree, and the naive reference evaluator (the ground-truth oracle). *)
+
+open Xpath
+
+let path = Alcotest.testable Ast.pp Ast.equal
+
+let parse = Parser.parse
+
+let check_parse_error input =
+  match Parser.parse input with
+  | p -> Alcotest.failf "expected syntax error on %S, parsed %s" input (Ast.to_string p)
+  | exception Parser.Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parser and printer *)
+
+let test_parse_simple () =
+  Alcotest.check path "simple"
+    [ { Ast.axis = Child; test = Name "a"; predicates = []; value_predicates = [] };
+      { Ast.axis = Child; test = Name "b"; predicates = []; value_predicates = [] } ]
+    (parse "/a/b")
+
+let test_parse_descendant () =
+  Alcotest.check path "descendant"
+    [ { Ast.axis = Descendant; test = Name "s"; predicates = []; value_predicates = [] };
+      { Ast.axis = Descendant; test = Name "s"; predicates = []; value_predicates = [] } ]
+    (parse "//s//s")
+
+let test_parse_wildcard () =
+  Alcotest.check path "wildcard"
+    [ { Ast.axis = Child; test = Name "a"; predicates = []; value_predicates = [] };
+      { Ast.axis = Descendant; test = Wildcard; predicates = []; value_predicates = [] } ]
+    (parse "/a//*")
+
+let test_parse_predicate () =
+  Alcotest.check path "predicate"
+    [ { Ast.axis = Child; test = Name "a"; predicates = []; value_predicates = [] };
+      { Ast.axis = Child; test = Name "c";
+        predicates = [ [ { Ast.axis = Child; test = Name "t"; predicates = [];
+                           value_predicates = [] } ] ];
+        value_predicates = [] };
+      { Ast.axis = Child; test = Name "s"; predicates = []; value_predicates = [] } ]
+    (parse "/a/c[t]/s")
+
+let test_parse_nested_predicates () =
+  let q = parse "//regions/australia/item[shipping][.//bidder/increase]/location" in
+  Alcotest.(check int) "steps" 7 (Ast.steps q);
+  Alcotest.(check int) "predicates" 2 (Ast.predicate_count q);
+  Alcotest.(check string) "round trip"
+    "//regions/australia/item[shipping][.//bidder/increase]/location"
+    (Ast.to_string q)
+
+let test_parse_whitespace () =
+  Alcotest.check path "whitespace tolerated" (parse "/a/c[t]/s")
+    (parse " / a / c [ t ] / s ")
+
+let test_pp_round_trip_examples () =
+  let examples =
+    [ "/a/b"; "//s//s"; "/a//*"; "/a/c[t]/s"; "/a/c[s[t]]/p"; "/a[b][c]/d";
+      "//item[.//keyword]"; "/a/b[c/d]//e"; "//*"; "/dblp/article[pages]/publisher" ]
+  in
+  List.iter
+    (fun q -> Alcotest.(check string) q q (Ast.to_string (parse q)))
+    examples
+
+let test_parse_errors () =
+  List.iter check_parse_error
+    [ ""; "a/b"; "/"; "/a["; "/a]"; "/a[]"; "/a//"; "/a/b junk"; "/a[b"; "/[a]";
+      "/a[/]" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ast measures *)
+
+let test_measures () =
+  let q = parse "/a/c[s[t]][u]/p" in
+  Alcotest.(check int) "steps counts nested" 6 (Ast.steps q);
+  Alcotest.(check int) "predicate count nested" 3 (Ast.predicate_count q);
+  Alcotest.(check int) "max predicates per step" 2 (Ast.max_predicates_per_step q);
+  Alcotest.(check bool) "no descendant" false (Ast.has_descendant q);
+  Alcotest.(check bool) "no wildcard" false (Ast.has_wildcard q);
+  Alcotest.(check bool) "descendant in predicate detected" true
+    (Ast.has_descendant (parse "/a[.//b]"));
+  Alcotest.(check bool) "wildcard in predicate detected" true
+    (Ast.has_wildcard (parse "/a[*/b]"))
+
+(* ------------------------------------------------------------------ *)
+(* Classification *)
+
+let test_shapes () =
+  let check q expected =
+    Alcotest.(check string) q expected
+      (Classify.shape_to_string (Classify.shape (parse q)))
+  in
+  check "/a/b/c" "SP";
+  check "/a/b[c]/d" "BP";
+  check "/a/b[c][d/e]" "BP";
+  check "//a/b" "CP";
+  check "/a/*/b" "CP";
+  check "/a/b[.//c]" "CP";
+  check "/a/b[*]" "CP"
+
+let test_qrl () =
+  let check q expected =
+    Alcotest.(check int) q expected (Classify.qrl (parse q))
+  in
+  check "/a/b/c" 0;
+  check "//a/b" 0;
+  check "//s//s" 1;
+  check "//s//s//s" 2;
+  check "//*//*" 1;
+  check "//s/s" 0;  (* child steps never make a query recursive *)
+  check "//s[.//t]//s" 1;
+  check "//a//b" 0
+
+let test_is_recursive () =
+  Alcotest.(check bool) "recursive" true (Classify.is_recursive (parse "//s//s"));
+  Alcotest.(check bool) "not recursive" false (Classify.is_recursive (parse "/a//b"))
+
+(* ------------------------------------------------------------------ *)
+(* Query tree *)
+
+let test_query_tree_shape () =
+  let qt = Query_tree.of_path (parse "/a/c[t][s/p]/s") in
+  Alcotest.(check int) "size" 6 qt.size;
+  Alcotest.(check bool) "root is a" true (qt.root.test = Ast.Name "a");
+  let c = Option.get qt.root.spine in
+  Alcotest.(check int) "c has two predicates" 2 (List.length c.predicates);
+  Alcotest.(check bool) "result is s" true (qt.result.test = Ast.Name "s");
+  Alcotest.(check bool) "result flagged" true (Query_tree.is_result qt qt.result);
+  Alcotest.(check bool) "predicate not result path" false
+    (List.hd c.predicates).on_result_path
+
+let test_query_tree_round_trip () =
+  let examples =
+    [ "/a/b"; "/a/c[t][s/p]/s"; "//item[.//keyword]/name"; "/a[b[c]]/d" ]
+  in
+  List.iter
+    (fun q ->
+      let qt = Query_tree.of_path (parse q) in
+      Alcotest.check path q (parse q) (Query_tree.to_path qt))
+    examples
+
+let test_query_tree_ids_dense () =
+  let qt = Query_tree.of_path (parse "/a/c[t][s/p]/s") in
+  let seen = Array.make qt.size false in
+  Query_tree.iter qt ~f:(fun node -> seen.(node.id) <- true);
+  Alcotest.(check bool) "all ids covered" true (Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator on the paper's running example *)
+
+let idx = lazy (Eval_reference.index (Datagen.Paper_example.tree ()))
+
+let card q = Eval_reference.cardinality (Lazy.force idx) (parse q)
+
+let test_eval_simple_paths () =
+  let check q expected = Alcotest.(check int) q expected (card q) in
+  check "/a" 1;
+  check "/a/c" 2;
+  check "/a/c/s" 5;
+  check "/a/c/s/s" 2;
+  check "/a/c/s/s/s" 2;
+  check "/a/c/s/s/t" 1;
+  check "/a/c/s/p" 9;
+  check "/a/t" 1;
+  check "/a/u" 1;
+  check "/a/c/p" 3;
+  check "/a/c/t" 2;
+  check "/b" 0;
+  check "/a/c/s/s/s/p" 3
+
+let test_eval_descendant () =
+  let check q expected = Alcotest.(check int) q expected (card q) in
+  check "//s" 9;
+  check "//s//s" 4;
+  check "//s//s//p" 5;  (* the paper's Observation 3 example *)
+  check "//p" 17;
+  check "//s/p" 14;
+  check "//c//t" 5;
+  check "//a" 1;
+  check "//x" 0
+
+let test_eval_wildcard () =
+  let check q expected = Alcotest.(check int) q expected (card q) in
+  check "/a/*" 4;
+  check "//*" 36;
+  check "/a/c/*" 10;
+  check "/*" 1;
+  check "/a/c/s/*" 13
+
+let test_eval_branching () =
+  let check q expected = Alcotest.(check int) q expected (card q) in
+  check "/a/c[t]/s" 5;
+  check "/a/c[u]/s" 0;
+  check "/a/c/s[t]/p" 4;
+  check "/a/c/s[s]/p" 4;
+  check "/a/c[s[t]]/p" 1;
+  check "/a/c[s/s]/t" 2;
+  check "/a[t][u]/c" 2;
+  check "/a/c/s[t][p]" 2
+
+let test_eval_complex () =
+  let check q expected = Alcotest.(check int) q expected (card q) in
+  check "//s[t]/p" 6;  (* s1,s3 (2+2) and sB (2) *)
+  check "//c[.//t]/s" 5;
+  check "//s[.//s[t]]" 1;  (* only s4 has a descendant s with a t child *)
+  check "/a//s[s]/t" 0;
+  check "//*[t]" 6  (* a, c1, c2, s1, s3, sB all have a t child *)
+
+let test_eval_result_distinct () =
+  (* //s//p must not double-count p nodes reachable through two s ancestors. *)
+  let n = card "//s//p" in
+  Alcotest.(check int) "//s//p distinct" 14 n
+
+let test_eval_select_sorted () =
+  let ids = Eval_reference.select (Lazy.force idx) (parse "//s") in
+  Alcotest.(check int) "9 results" 9 (List.length ids);
+  Alcotest.(check bool) "sorted" true
+    (List.sort Int.compare ids = ids);
+  Alcotest.(check int) "distinct" 9
+    (List.length (List.sort_uniq Int.compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let gen_ast : Ast.t QCheck.arbitrary =
+  let open QCheck in
+  let gen_test rand =
+    match Gen.int_bound 5 rand with
+    | 0 -> Ast.Wildcard
+    | _ -> Ast.Name (String.make 1 (Char.chr (Char.code 'a' + Gen.int_bound 4 rand)))
+  in
+  let gen_axis rand = if Gen.int_bound 3 rand = 0 then Ast.Descendant else Ast.Child in
+  let rec gen_path depth len rand =
+    List.init len (fun _ ->
+        let predicates =
+          if depth >= 2 then []
+          else
+            List.init
+              (if Gen.int_bound 2 rand = 0 then Gen.int_bound 2 rand else 0)
+              (fun _ -> gen_path (depth + 1) (1 + Gen.int_bound 2 rand) rand)
+        in
+        let value_predicates =
+          if Gen.int_bound 3 rand > 0 then []
+          else
+            [ (let target =
+                 if Gen.int_bound 2 rand = 0 then
+                   Ast.Attribute (Printf.sprintf "x%d" (Gen.int_bound 3 rand))
+                 else Ast.Child_text (Printf.sprintf "v%d" (Gen.int_bound 3 rand))
+               in
+               match Gen.int_bound 5 rand with
+               | 0 -> { Ast.target; cmp = Ast.Eq; literal = Ast.Text "lit" }
+               | 1 -> { Ast.target; cmp = Ast.Ne; literal = Ast.Text "lit" }
+               | 2 ->
+                 { Ast.target; cmp = Ast.Lt;
+                   literal = Ast.Number (float_of_int (Gen.int_bound 100 rand)) }
+               | 3 ->
+                 { Ast.target; cmp = Ast.Ge;
+                   literal = Ast.Number (float_of_int (Gen.int_bound 100 rand)) }
+               | 4 ->
+                 { Ast.target; cmp = Ast.Eq;
+                   literal = Ast.Number (float_of_int (Gen.int_bound 100 rand)) }
+               | _ ->
+                 { Ast.target; cmp = Ast.Le;
+                   literal = Ast.Number (float_of_int (Gen.int_bound 100 rand)) }) ]
+        in
+        { Ast.axis = gen_axis rand; test = gen_test rand; predicates;
+          value_predicates })
+  in
+  make ~print:Ast.to_string (fun rand -> gen_path 0 (1 + Gen.int_bound 4 rand) rand)
+
+let prop_pp_parse_round_trip =
+  QCheck.Test.make ~count:500 ~name:"parse (to_string q) = q" gen_ast (fun q ->
+      Ast.equal (Parser.parse (Ast.to_string q)) q)
+
+let prop_query_tree_round_trip =
+  QCheck.Test.make ~count:500 ~name:"query tree to_path round trip" gen_ast
+    (fun q -> Ast.equal (Query_tree.to_path (Query_tree.of_path q)) q)
+
+let prop_query_tree_size =
+  QCheck.Test.make ~count:500 ~name:"query tree size = steps" gen_ast (fun q ->
+      (Query_tree.of_path q).size = Ast.steps q)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pp_parse_round_trip; prop_query_tree_round_trip; prop_query_tree_size ]
+
+let () =
+  Alcotest.run "xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "descendant" `Quick test_parse_descendant;
+          Alcotest.test_case "wildcard" `Quick test_parse_wildcard;
+          Alcotest.test_case "predicate" `Quick test_parse_predicate;
+          Alcotest.test_case "nested predicates" `Quick test_parse_nested_predicates;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "pp round trips" `Quick test_pp_round_trip_examples;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+        ] );
+      ("measures", [ Alcotest.test_case "ast measures" `Quick test_measures ]);
+      ( "classify",
+        [
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "qrl" `Quick test_qrl;
+          Alcotest.test_case "is_recursive" `Quick test_is_recursive;
+        ] );
+      ( "query_tree",
+        [
+          Alcotest.test_case "shape" `Quick test_query_tree_shape;
+          Alcotest.test_case "round trip" `Quick test_query_tree_round_trip;
+          Alcotest.test_case "dense ids" `Quick test_query_tree_ids_dense;
+        ] );
+      ( "eval_reference",
+        [
+          Alcotest.test_case "simple paths" `Quick test_eval_simple_paths;
+          Alcotest.test_case "descendant" `Quick test_eval_descendant;
+          Alcotest.test_case "wildcard" `Quick test_eval_wildcard;
+          Alcotest.test_case "branching" `Quick test_eval_branching;
+          Alcotest.test_case "complex" `Quick test_eval_complex;
+          Alcotest.test_case "distinct results" `Quick test_eval_result_distinct;
+          Alcotest.test_case "select sorted" `Quick test_eval_select_sorted;
+        ] );
+      ("properties", props);
+    ]
