@@ -1,0 +1,45 @@
+# Convenience targets; `make ci` is what the GitHub Actions workflow runs.
+
+DUNE ?= dune
+XSEED = $(DUNE) exec --no-build bin/xseed.exe --
+SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
+
+.PHONY: all build test fmt smoke bench-json ci clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+# Format check only where an ocamlformat binary is available (the pinned
+# version lives in .ocamlformat); the build containers don't ship one.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+# End-to-end smoke: generate a corpus, build a synopsis, explain a query,
+# compare estimates vs actuals with JSON-lines metrics on.
+smoke: build
+	@mkdir -p $(SMOKE_DIR)
+	$(XSEED) generate xmark --scale 60 -o $(SMOKE_DIR)/doc.xml
+	$(XSEED) build $(SMOKE_DIR)/doc.xml -o $(SMOKE_DIR)/doc.syn
+	$(XSEED) explain $(SMOKE_DIR)/doc.syn "//open_auction[bidder]/price"
+	$(XSEED) compare $(SMOKE_DIR)/doc.xml --count 25 \
+	  --metrics-out $(SMOKE_DIR)/metrics.jsonl
+	@test -s $(SMOKE_DIR)/metrics.jsonl
+	@echo "smoke: OK ($(SMOKE_DIR))"
+
+bench-json: build
+	$(DUNE) exec --no-build bench/main.exe -- --quick json
+
+ci: fmt build test smoke
+
+clean:
+	$(DUNE) clean
+	rm -rf $(SMOKE_DIR)

@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- table2       -- one section
      dune exec bench/main.exe -- --quick all  -- reduced scales
 
-   Sections: table2 table3 fig5 fig6 sec64 ablation values micro.
+   Sections: table2 table3 fig5 fig6 sec64 ablation values json micro.
    Absolute numbers differ from the paper (different hardware, generated
    corpora); the shapes under test are listed in DESIGN.md §7 and the
    measured-vs-paper comparison is recorded in EXPERIMENTS.md. *)
@@ -535,6 +535,77 @@ let values () =
   pf "paper cites anticipates.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable dumps: per-dataset BENCH_<name>.json with exact
+   per-query estimation-latency percentiles and the accuracy summary.
+   These are the files CI or a tracking dashboard would diff across
+   commits; the schema is documented in README "Observability". *)
+
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let bench_json () =
+  header "JSON dumps: latency percentiles + accuracy (BENCH_*.json)";
+  List.iter
+    (fun (file_key, ds) ->
+      let estimator = xseed_estimator ~budget:(25 * 1024) ds in
+      let queries = combined ds in
+      let latencies = ref [] in
+      let pairs =
+        List.map
+          (fun q ->
+            let t0 = Unix.gettimeofday () in
+            let est = Core.Estimator.estimate estimator q in
+            latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+            (est, actual ds q))
+          queries
+      in
+      let s = Stats.Metrics.summarize pairs in
+      let sorted = Array.of_list !latencies in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let us x = 1e6 *. x in
+      let mean_us = us (Array.fold_left ( +. ) 0.0 sorted /. float_of_int n) in
+      let json =
+        Obs.Json.Obj
+          [ ("dataset", Obs.Json.String ds.name);
+            ("queries", Obs.Json.Int n);
+            ("card_threshold", Obs.Json.Float ds.card_threshold);
+            ("synopsis_bytes", Obs.Json.Int (Core.Estimator.size_in_bytes estimator));
+            ( "latency_us",
+              Obs.Json.Obj
+                [ ("mean", Obs.Json.Float mean_us);
+                  ("p50", Obs.Json.Float (us (exact_percentile sorted 0.50)));
+                  ("p90", Obs.Json.Float (us (exact_percentile sorted 0.90)));
+                  ("p99", Obs.Json.Float (us (exact_percentile sorted 0.99)));
+                  ("max", Obs.Json.Float (us sorted.(n - 1))) ] );
+            ( "accuracy",
+              Obs.Json.Obj
+                [ ("rmse", Obs.Json.Float s.rmse);
+                  ("nrmse", Obs.Json.Float s.nrmse);
+                  ("r_squared", Obs.Json.Float s.r_squared);
+                  ("opd", Obs.Json.Float s.opd);
+                  ("q_error_median", Obs.Json.Float s.q_error_median);
+                  ("q_error_p90", Obs.Json.Float s.q_error_p90);
+                  ("q_error_max", Obs.Json.Float s.q_error_max) ] ) ]
+      in
+      let path = Printf.sprintf "BENCH_%s.json" file_key in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      pf "wrote %s: %d queries, mean %.1f us, q50 %.2f q90 %.2f qmax %.3g\n" path
+        n mean_us s.q_error_median s.q_error_p90 s.q_error_max)
+    [ ("dblp", dblp); ("xmark", xmark10); ("treebank", treebank05) ]
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel): per-operation latency. *)
 
 let micro () =
@@ -605,7 +676,7 @@ let micro () =
 let sections =
   [ ("table2", table2); ("table3", table3); ("fig5", fig5); ("fig6", fig6);
     ("sec64", sec64); ("ablation", ablation); ("values", values);
-    ("micro", micro) ]
+    ("json", bench_json); ("micro", micro) ]
 
 let () =
   let requested =

@@ -53,6 +53,46 @@ let with_values_arg =
            ~doc:"Also build the value synopsis (histograms for value predicates)")
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing: --trace / --metrics-out build an Obs context
+   threaded through the pipeline; instrumentation is otherwise off. *)
+
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Trace pipeline spans and counters to stderr (human-readable)")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write pipeline metrics as JSON-lines to $(docv) (takes \
+                 precedence over --trace)")
+
+let obs_of ~trace ~metrics_out =
+  match (trace, metrics_out) with
+  | false, None -> None
+  | _, Some path ->
+    let sink =
+      try Obs.jsonl_file path
+      with Sys_error msg ->
+        Printf.eprintf "xseed: --metrics-out: %s\n" msg;
+        exit 1
+    in
+    Some (Obs.create ~sink ())
+  | true, None -> Some (Obs.create ~sink:Obs.Stderr ())
+
+(* Final snapshot then release the sink (flushes/closes a JSON-lines file). *)
+let finish_obs ?het obs =
+  match obs with
+  | None -> ()
+  | Some o ->
+    (match het with Some h -> Core.Het.publish_counters ~obs:o h | None -> ());
+    Obs.emit_snapshot o;
+    Obs.close o
+
+let obs_term = Term.(const (fun trace metrics_out -> obs_of ~trace ~metrics_out)
+                     $ trace_arg $ metrics_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Commands *)
 
 let stats_cmd =
@@ -77,41 +117,78 @@ let build_cmd =
     Arg.(required & opt (some string) None
          & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Synopsis output file")
   in
-  let run file output no_het budget mbp bsel threshold with_values =
+  let run file output no_het budget mbp bsel threshold with_values obs =
     let doc = read_file file in
     let synopsis =
       Core.Synopsis.build ?budget_bytes:budget ~with_het:(not no_het)
-        ~with_values ~mbp ~bsel_threshold:bsel ~card_threshold:threshold doc
+        ~with_values ~mbp ~bsel_threshold:bsel ~card_threshold:threshold ?obs doc
     in
     write_file output (Core.Synopsis.to_string synopsis);
     Format.printf "%a@.wrote %s (%d bytes in memory)@." Core.Synopsis.pp synopsis
       output
-      (Core.Synopsis.size_in_bytes synopsis)
+      (Core.Synopsis.size_in_bytes synopsis);
+    finish_obs ?het:(Core.Synopsis.het synopsis) obs
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an XSEED synopsis (kernel + HET) from a document")
     Term.(const run $ file_arg $ output $ no_het_arg $ budget_arg $ mbp_arg
-          $ bsel_arg $ threshold_arg $ with_values_arg)
+          $ bsel_arg $ threshold_arg $ with_values_arg $ obs_term)
 
 let estimate_cmd =
   let synopsis_arg =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"SYNOPSIS" ~doc:"Synopsis file from 'xseed build'")
   in
-  let run synopsis_file query threshold =
+  let run synopsis_file query threshold obs =
     let syn = load_synopsis synopsis_file in
     let estimator =
       Core.Estimator.create ~card_threshold:threshold
         ?het:(Core.Synopsis.het syn)
         ?values:(Core.Synopsis.values syn)
+        ?obs
         (Core.Synopsis.kernel syn)
     in
     let path = Xpath.Parser.parse query in
-    Format.printf "%.2f@." (Core.Estimator.estimate estimator path)
+    let estimate =
+      Obs.span ?obs "estimate" (fun () -> Core.Estimator.estimate estimator path)
+    in
+    Format.printf "%.2f@." estimate;
+    finish_obs ?het:(Core.Synopsis.het syn) obs
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate a query's cardinality from a synopsis")
-    Term.(const run $ synopsis_arg $ query_arg 1 $ threshold_arg)
+    Term.(const run $ synopsis_arg $ query_arg 1 $ threshold_arg $ obs_term)
+
+let explain_cmd =
+  let synopsis_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SYNOPSIS" ~doc:"Synopsis file from 'xseed build'")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the report as a single JSON object")
+  in
+  let run synopsis_file query threshold json obs =
+    let syn = load_synopsis synopsis_file in
+    let estimator =
+      Core.Estimator.create ~card_threshold:threshold
+        ?het:(Core.Synopsis.het syn)
+        ?values:(Core.Synopsis.values syn)
+        ?obs
+        (Core.Synopsis.kernel syn)
+    in
+    let report = Core.Explain.run_string ?obs estimator query in
+    if json then print_endline (Obs.Json.to_string (Core.Explain.to_json report))
+    else Format.printf "%a@." Core.Explain.pp report;
+    finish_obs ?het:(Core.Synopsis.het syn) obs
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Estimate one query and report what the pipeline did: wall-clock \
+             per stage, EPT nodes emitted vs pruned, matcher frontier peak, \
+             HET hits/misses, and which estimation assumptions fired")
+    Term.(const run $ synopsis_arg $ query_arg 1 $ threshold_arg $ json_arg
+          $ obs_term)
 
 let evaluate_cmd =
   let run file query =
@@ -198,11 +275,11 @@ let workload_cmd =
 let compare_cmd =
   let count = Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Queries/kind") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed") in
-  let run file no_het budget bsel threshold count seed with_values =
+  let run file no_het budget bsel threshold count seed with_values obs =
     let doc = read_file file in
     let synopsis =
       Core.Synopsis.build ?budget_bytes:budget ~with_het:(not no_het)
-        ~with_values ~bsel_threshold:bsel ~card_threshold:threshold doc
+        ~with_values ~bsel_threshold:bsel ~card_threshold:threshold ?obs doc
     in
     let storage = Nok.Storage.of_string ~with_values doc in
     let pt = Pathtree.Path_tree.of_string doc in
@@ -213,25 +290,49 @@ let compare_cmd =
       | [] -> ()
       | _ ->
         let pairs =
-          List.map
-            (fun q ->
-              ( Core.Estimator.estimate estimator q,
-                float_of_int (Nok.Eval.cardinality storage q) ))
-            queries
+          Obs.span ?obs ("compare." ^ name) (fun () ->
+              List.map
+                (fun q ->
+                  let est =
+                    match obs with
+                    | None -> Core.Estimator.estimate estimator q
+                    | Some o ->
+                      (* per-query estimation latency, in microseconds *)
+                      let t0 = Obs.now () in
+                      let est = Core.Estimator.estimate estimator q in
+                      Obs.observe ~obs:o "compare.estimate_us"
+                        (1e6 *. (Obs.now () -. t0));
+                      est
+                  in
+                  (est, float_of_int (Nok.Eval.cardinality storage q)))
+                queries)
         in
         let s = Stats.Metrics.summarize pairs in
-        Format.printf "%-4s %a@." name Stats.Metrics.pp s
+        Format.printf "%-4s %a@." name Stats.Metrics.pp s;
+        match obs with
+        | None -> ()
+        | Some o ->
+          Obs.event ~obs:o "compare.summary"
+            ~fields:
+              [ ("kind", Obs.Json.String name);
+                ("queries", Obs.Json.Int s.count);
+                ("nrmse", Obs.Json.Float s.nrmse);
+                ("opd", Obs.Json.Float s.opd);
+                ("q_error_median", Obs.Json.Float s.q_error_median);
+                ("q_error_p90", Obs.Json.Float s.q_error_p90);
+                ("q_error_max", Obs.Json.Float s.q_error_max) ]
     in
     run_kind "SP" (Datagen.Workload.all_simple_paths pt);
     run_kind "BP" (Datagen.Workload.branching pt ~rng ~count ());
     run_kind "CP" (Datagen.Workload.complex pt ~rng ~count ());
     if with_values then
-      run_kind "VAL" (Datagen.Workload.valued pt ~storage ~rng ~count ())
+      run_kind "VAL" (Datagen.Workload.valued pt ~storage ~rng ~count ());
+    finish_obs ?het:(Core.Synopsis.het synopsis) obs
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Estimate vs actual over generated workloads")
     Term.(const run $ file_arg $ no_het_arg $ budget_arg $ bsel_arg $ threshold_arg
-          $ count $ seed $ with_values_arg)
+          $ count $ seed $ with_values_arg $ obs_term)
 
 let () =
   let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
@@ -239,5 +340,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ stats_cmd; build_cmd; estimate_cmd; evaluate_cmd; ept_cmd;
-            generate_cmd; workload_cmd; compare_cmd ]))
+          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
+            ept_cmd; generate_cmd; workload_cmd; compare_cmd ]))

@@ -3,17 +3,21 @@ type frame = { v : Xml.Label.t; mutable out : (Kernel.edge * int) list }
 (* One step of Algorithm 1. [sign] is +1 for construction / insertion and -1
    for deletion. The per-frame [out] list is a set: an (edge, level) pair is
    recorded once per parent node, so closing the parent bumps each edge's
-   parent count exactly once. *)
-let feed kernel ~sign ~rl ~stack event =
+   parent count exactly once. [mrl] tracks the maximum recursion level
+   touched, for observability. *)
+let feed kernel ~sign ~rl ~stack ~mrl event =
   match event with
   | Xml.Event.Start_element (name, _) ->
     let v = Xml.Label.intern (Kernel.table kernel) name in
     Kernel.get_vertex kernel v;
     (match !stack with
-     | [] -> ignore (Counter_stacks.push rl v : int)
+     | [] ->
+       let l = Counter_stacks.push rl v in
+       if l > !mrl then mrl := l
      | parent :: _ ->
        let e = Kernel.get_edge kernel parent.v v in
        let l = Counter_stacks.push rl v in
+       if l > !mrl then mrl := l;
        Kernel.add_at_level e l ~parents:0 ~children:sign;
        if not (List.exists (fun (e', l') -> e' == e && l' = l) parent.out) then
          parent.out <- (e, l) :: parent.out);
@@ -29,30 +33,38 @@ let feed kernel ~sign ~rl ~stack event =
        stack := rest)
   | Xml.Event.Text _ -> ()
 
-let of_string ?table input =
+let publish ?obs kernel mrl =
+  Obs.add_to ?obs "builder.vertices" (Kernel.vertex_count kernel);
+  Obs.add_to ?obs "builder.edges" (Kernel.edge_count kernel);
+  Obs.max_to ?obs "builder.max_recursion_level" mrl
+
+let of_string ?obs ?table input =
   let kernel = Kernel.create ?table () in
   let rl = Counter_stacks.create () in
-  let stack = ref [] in
-  Xml.Sax.iter input ~f:(feed kernel ~sign:1 ~rl ~stack);
+  let stack = ref [] and mrl = ref 0 in
+  Obs.span ?obs "builder.of_string" (fun () ->
+      Xml.Sax.iter ?obs input ~f:(feed kernel ~sign:1 ~rl ~stack ~mrl));
   if !stack <> [] then invalid_arg "Builder.of_string: unclosed element";
+  publish ?obs kernel !mrl;
   kernel
 
-let of_events ?table events =
+let of_events ?obs ?table events =
   let kernel = Kernel.create ?table () in
   let rl = Counter_stacks.create () in
-  let stack = ref [] in
-  List.iter (feed kernel ~sign:1 ~rl ~stack) events;
+  let stack = ref [] and mrl = ref 0 in
+  List.iter (feed kernel ~sign:1 ~rl ~stack ~mrl) events;
   if !stack <> [] then invalid_arg "Builder.of_events: unclosed element";
+  publish ?obs kernel !mrl;
   kernel
 
 let fold_into kernel next =
   let rl = Counter_stacks.create () in
-  let stack = ref [] in
+  let stack = ref [] and mrl = ref 0 in
   let rec loop () =
     match next () with
     | None -> if !stack <> [] then invalid_arg "Builder.fold_into: unclosed element"
     | Some event ->
-      feed kernel ~sign:1 ~rl ~stack event;
+      feed kernel ~sign:1 ~rl ~stack ~mrl event;
       loop ()
   in
   loop ()
@@ -87,8 +99,8 @@ let splice kernel ~sign ~parent_edge_changes ~at events =
   let rl = Counter_stacks.create () in
   List.iter (fun l -> ignore (Counter_stacks.push rl l : int)) at;
   let parent_frame = { v = List.nth at (List.length at - 1); out = [] } in
-  let stack = ref [ parent_frame ] in
-  List.iter (feed kernel ~sign ~rl ~stack) events;
+  let stack = ref [ parent_frame ] and mrl = ref 0 in
+  List.iter (feed kernel ~sign ~rl ~stack ~mrl) events;
   (match !stack with
    | [ fr ] when fr == parent_frame ->
      if parent_edge_changes then

@@ -10,8 +10,12 @@
     primed with its insertion path, and merges (or subtracts) the resulting
     deltas — the graph merge/subtract the paper defers to its tech report. *)
 
-val of_string : ?table:Xml.Label.table -> string -> Kernel.t
-val of_events : ?table:Xml.Label.table -> Xml.Event.t list -> Kernel.t
+val of_string : ?obs:Obs.t -> ?table:Xml.Label.table -> string -> Kernel.t
+(** When [obs] is given, runs under a [builder.of_string] span and publishes
+    [builder.vertices], [builder.edges] and [builder.max_recursion_level]
+    (plus the SAX parser's counters). *)
+
+val of_events : ?obs:Obs.t -> ?table:Xml.Label.table -> Xml.Event.t list -> Kernel.t
 
 val fold_into : Kernel.t -> (unit -> Xml.Event.t option) -> unit
 (** Feed a pull stream of events into an existing kernel (streaming

@@ -5,26 +5,30 @@ type t = {
   card_threshold : float;
   max_ept_nodes : int;
   recursion_aware : bool;
+  obs : Obs.t option;
 }
 
 let create ?(card_threshold = 0.5) ?(max_ept_nodes = 2_000_000)
-    ?(recursion_aware = true) ?het ?values kernel =
-  { kernel; het; values; card_threshold; max_ept_nodes; recursion_aware }
+    ?(recursion_aware = true) ?het ?values ?obs kernel =
+  { kernel; het; values; card_threshold; max_ept_nodes; recursion_aware; obs }
 
 let kernel t = t.kernel
 let het t = t.het
 let values t = t.values
 let card_threshold t = t.card_threshold
+let max_ept_nodes t = t.max_ept_nodes
+let recursion_aware t = t.recursion_aware
 
 let ept t =
   let traveler =
     Traveler.create ~card_threshold:t.card_threshold
-      ~recursion_aware:t.recursion_aware ?het:t.het t.kernel
+      ~recursion_aware:t.recursion_aware ?het:t.het ?obs:t.obs t.kernel
   in
-  Matcher.materialize ~max_nodes:t.max_ept_nodes traveler
+  Matcher.materialize ~max_nodes:t.max_ept_nodes ?obs:t.obs traveler
 
 let estimate_on t ept path =
-  Matcher.estimate ?het:t.het ?values:t.values ~table:(Kernel.table t.kernel) ept
+  Matcher.estimate ?het:t.het ?values:t.values ?obs:t.obs
+    ~table:(Kernel.table t.kernel) ept
     (Xpath.Query_tree.of_path path)
 
 let estimate t path = estimate_on t (ept t) path
@@ -101,7 +105,7 @@ let record_feedback t path ~actual =
           let denom = estimate t stripped in
           if denom > 0.0 then begin
             let bsel = Float.min 1.0 (float_of_int actual /. denom) in
-            Het.add_branching het ~hash ~bsel ~error
+            Het.record_branching_feedback het ~hash ~bsel ~error
           end))
 
 let size_in_bytes t =

@@ -13,6 +13,7 @@ val create :
   ?recursion_aware:bool ->
   ?het:Het.t ->
   ?values:Value_synopsis.t ->
+  ?obs:Obs.t ->
   Kernel.t ->
   t
 (** [card_threshold] defaults to 0.5 (expand everything estimated at one
@@ -21,12 +22,16 @@ val create :
     [recursion_aware:false] is the ablation switch of
     {!Traveler.create}: pair it with {!Kernel.collapse_levels} to measure
     what the paper's recursion-level vectors buy. [values] enables
-    value-predicate selectivity estimation (ignored factor-1 otherwise). *)
+    value-predicate selectivity estimation (ignored factor-1 otherwise).
+    [obs] is threaded into every traveler and matcher run this estimator
+    performs, accumulating [traveler.*] and [matcher.*] metrics. *)
 
 val kernel : t -> Kernel.t
 val het : t -> Het.t option
 val values : t -> Value_synopsis.t option
 val card_threshold : t -> float
+val max_ept_nodes : t -> int
+val recursion_aware : t -> bool
 
 val estimate : t -> Xpath.Ast.t -> float
 (** Estimated cardinality |p|. The EPT is regenerated per call, matching the

@@ -1,0 +1,47 @@
+(** Per-query estimation reports: what the pipeline did and why.
+
+    [run estimator query] executes the full estimation pipeline once —
+    traveler over the kernel, matcher over the materialized EPT — with every
+    stage instrumented, and returns a structured report: the estimate, a
+    wall-clock breakdown per stage, EPT statistics (nodes emitted vs pruned
+    by the cardinality threshold, recursion levels touched), matcher
+    statistics (frontier peak, match steps), HET usage for {e this} query
+    (lookups / hits / misses), and which estimation assumptions fired (HET
+    overrides vs independence fallbacks).
+
+    Surfaced on the command line as [xseed explain SYNOPSIS QUERY]. *)
+
+type report = {
+  query : string;
+  estimate : float;
+  card_threshold : float;
+  kernel_vertices : int;
+  kernel_edges : int;
+  synopsis_bytes : int;  (** kernel + active HET + value synopsis *)
+  ept_nodes : int;
+  traveler : Traveler.stats;
+  matcher : Matcher.match_stats;
+  het_active : int option;  (** active entries; [None] without a HET *)
+  het_total : int option;
+  het_usage : Het.counters option;  (** this query's lookups/hits/inserts *)
+  ept_seconds : float;  (** traveler walk + EPT materialization *)
+  match_seconds : float;  (** query compile + both matcher passes *)
+  total_seconds : float;
+  assumptions : string list;
+      (** human-readable list of the estimation assumptions and overrides
+          that fired for this query, in pipeline order *)
+}
+
+val run : ?obs:Obs.t -> Estimator.t -> Xpath.Ast.t -> report
+(** Runs under an [explain] span when [obs] has a sink; pipeline counters
+    are published into [obs] as usual. *)
+
+val run_string : ?obs:Obs.t -> Estimator.t -> string -> report
+(** Parse then {!run}. @raise Xpath.Parser.Error on a bad query. *)
+
+val pp : Format.formatter -> report -> unit
+(** Multi-line human-readable report. *)
+
+val to_json : report -> Obs.Json.t
+(** The report as a JSON object (stable field names; see README
+    "Observability"). *)

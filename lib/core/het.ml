@@ -1,12 +1,27 @@
 type simple_entry = { card : int; sbsel : float option; serror : float }
 type branching_entry = { bbsel : float; berror : float }
 
+type counters = {
+  simple_lookups : int;
+  simple_hits : int;
+  branching_lookups : int;
+  branching_hits : int;
+  feedback_inserts : int;
+}
+
 type t = {
   simple_all : (int, simple_entry) Hashtbl.t;
   branching_all : (int, branching_entry) Hashtbl.t;
   simple_active : (int, simple_entry) Hashtbl.t;
   branching_active : (int, branching_entry) Hashtbl.t;
   mutable budget : int option;  (* None = unlimited *)
+  (* Usage counters (monotonic over the table's lifetime; snapshot and diff
+     for per-query numbers). Plain field bumps keep lookups cheap. *)
+  mutable n_simple_lookups : int;
+  mutable n_simple_hits : int;
+  mutable n_branching_lookups : int;
+  mutable n_branching_hits : int;
+  mutable n_feedback_inserts : int;
 }
 
 let simple_entry_bytes = 16
@@ -15,7 +30,28 @@ let branching_entry_bytes = 8
 let create () =
   { simple_all = Hashtbl.create 256; branching_all = Hashtbl.create 256;
     simple_active = Hashtbl.create 256; branching_active = Hashtbl.create 256;
-    budget = None }
+    budget = None; n_simple_lookups = 0; n_simple_hits = 0;
+    n_branching_lookups = 0; n_branching_hits = 0; n_feedback_inserts = 0 }
+
+let counters t =
+  { simple_lookups = t.n_simple_lookups; simple_hits = t.n_simple_hits;
+    branching_lookups = t.n_branching_lookups;
+    branching_hits = t.n_branching_hits;
+    feedback_inserts = t.n_feedback_inserts }
+
+let diff_counters ~before ~after =
+  { simple_lookups = after.simple_lookups - before.simple_lookups;
+    simple_hits = after.simple_hits - before.simple_hits;
+    branching_lookups = after.branching_lookups - before.branching_lookups;
+    branching_hits = after.branching_hits - before.branching_hits;
+    feedback_inserts = after.feedback_inserts - before.feedback_inserts }
+
+let publish_counters ?obs t =
+  Obs.add_to ?obs "het.simple_lookups" t.n_simple_lookups;
+  Obs.add_to ?obs "het.simple_hits" t.n_simple_hits;
+  Obs.add_to ?obs "het.branching_lookups" t.n_branching_lookups;
+  Obs.add_to ?obs "het.branching_hits" t.n_branching_hits;
+  Obs.add_to ?obs "het.feedback_inserts" t.n_feedback_inserts
 
 let add_simple t ~hash ~card ~bsel ~error =
   let e = { card; sbsel = bsel; serror = error } in
@@ -71,16 +107,31 @@ let unlimited_budget t =
   Hashtbl.iter (fun h e -> Hashtbl.replace t.branching_active h e) t.branching_all
 
 let lookup_simple t hash =
-  Option.map (fun e -> (e.card, e.sbsel)) (Hashtbl.find_opt t.simple_active hash)
+  t.n_simple_lookups <- t.n_simple_lookups + 1;
+  match Hashtbl.find_opt t.simple_active hash with
+  | Some e ->
+    t.n_simple_hits <- t.n_simple_hits + 1;
+    Some (e.card, e.sbsel)
+  | None -> None
 
 let lookup_branching t hash =
-  Option.map (fun e -> e.bbsel) (Hashtbl.find_opt t.branching_active hash)
+  t.n_branching_lookups <- t.n_branching_lookups + 1;
+  match Hashtbl.find_opt t.branching_active hash with
+  | Some e ->
+    t.n_branching_hits <- t.n_branching_hits + 1;
+    Some e.bbsel
+  | None -> None
 
 let size_in_bytes t =
   (simple_entry_bytes * Hashtbl.length t.simple_active)
   + (branching_entry_bytes * Hashtbl.length t.branching_active)
 
+let record_branching_feedback t ~hash ~bsel ~error =
+  t.n_feedback_inserts <- t.n_feedback_inserts + 1;
+  add_branching t ~hash ~bsel ~error
+
 let record_feedback t ~hash ~card ?bsel ~error () =
+  t.n_feedback_inserts <- t.n_feedback_inserts + 1;
   let e = { card; sbsel = bsel; serror = error } in
   Hashtbl.replace t.simple_all hash e;
   (match t.budget with

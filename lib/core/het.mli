@@ -41,6 +41,30 @@ val record_feedback : t -> hash:int -> card:int -> ?bsel:float -> error:float ->
     entry is activated immediately, evicting the currently least useful
     active entry if a budget is set and full. *)
 
+val record_branching_feedback : t -> hash:int -> bsel:float -> error:float -> unit
+(** {!add_branching} counted as optimizer feedback rather than
+    precomputation. *)
+
+(** {1 Usage counters}
+
+    Monotonic over the table's lifetime; misses are lookups minus hits. *)
+
+type counters = {
+  simple_lookups : int;
+  simple_hits : int;
+  branching_lookups : int;
+  branching_hits : int;
+  feedback_inserts : int;
+}
+
+val counters : t -> counters
+
+val diff_counters : before:counters -> after:counters -> counters
+(** Per-query usage: snapshot before and after, diff. *)
+
+val publish_counters : ?obs:Obs.t -> t -> unit
+(** Add the current totals to [het.*] counters of an Obs context. *)
+
 val active_count : t -> int
 val total_count : t -> int
 

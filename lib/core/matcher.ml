@@ -13,7 +13,7 @@ type node = {
 
 type ept = { root : node; nodes : int }
 
-let materialize ?(max_nodes = 2_000_000) traveler =
+let materialize ?(max_nodes = 2_000_000) ?obs traveler =
   let count = ref 0 in
   (* Stack of (open_info, reversed children). *)
   let stack = ref [] in
@@ -42,7 +42,9 @@ let materialize ?(max_nodes = 2_000_000) traveler =
   in
   drain ();
   match !finished with
-  | Some root -> { root; nodes = !count }
+  | Some root ->
+    Obs.add_to ?obs "matcher.ept_nodes" !count;
+    { root; nodes = !count }
   | None -> invalid_arg "Matcher.materialize: traveler produced no events"
 
 let node_count ept = ept.nodes
@@ -101,6 +103,24 @@ let test_matches c q label = c.test.(q) = -1 || c.test.(q) = label
 
 let noisy_or a b = 1.0 -. ((1.0 -. a) *. (1.0 -. b))
 
+(* Per-estimate instrumentation, threaded through both passes. The frontier
+   is the number of candidate match vectors (per-child m arrays) live at
+   once — the analogue of Algorithm 3's buffered candidate-event sets; a
+   match step is one (EPT node, query-tree node) combination examined. *)
+type match_stats = {
+  mutable ept_nodes : int;
+  mutable frontier : int;
+  mutable frontier_peak : int;
+  mutable match_steps : int;
+  mutable het_joint_overrides : int;
+  mutable het_single_overrides : int;
+  mutable independence_preds : int;
+}
+
+let fresh_stats () =
+  { ept_nodes = 0; frontier = 0; frontier_peak = 0; match_steps = 0;
+    het_joint_overrides = 0; het_single_overrides = 0; independence_preds = 0 }
+
 (* Selectivity of QTN q's value predicates at a node with this label. With
    no value synopsis the predicates are ignored (factor 1), preserving the
    purely structural behaviour of the paper. *)
@@ -114,11 +134,16 @@ let value_factor values c node_label q =
 
 (* Bottom-up: fill every node's c_or / d_or and return its m vector.
    m.(q) = P(this node embeds the full pattern subtree of q | it exists). *)
-let rec bottom_up ?values c node =
+let rec bottom_up ?values ms c node =
   let q_n = c.size in
+  ms.ept_nodes <- ms.ept_nodes + 1;
+  ms.match_steps <- ms.match_steps + q_n;
   node.c_or <- Array.make q_n 0.0;
   node.d_or <- Array.make q_n 0.0;
-  let kid_ms = Array.map (bottom_up ?values c) node.children in
+  ms.frontier <- ms.frontier + Array.length node.children;
+  if ms.frontier > ms.frontier_peak then ms.frontier_peak <- ms.frontier;
+  let kid_ms = Array.map (bottom_up ?values ms c) node.children in
+  ms.frontier <- ms.frontier - Array.length node.children;
   Array.iteri
     (fun i kid ->
       let m_kid = kid_ms.(i) in
@@ -146,8 +171,9 @@ let rec bottom_up ?values c node =
    A child-axis single-name predicate pattern p[q1]..[qk]/r is looked up
    jointly first, then each predicate singly; remaining predicates fall back
    to the independence factors from the bottom-up pass. *)
-let pred_factor het c node q =
+let pred_factor het ms c node q =
   let plain k =
+    ms.independence_preds <- ms.independence_preds + 1;
     if c.is_descendant.(k) then node.d_or.(k) else node.c_or.(k)
   in
   match het with
@@ -172,7 +198,9 @@ let pred_factor het c node q =
       | _ -> None
     in
     (match joint with
-     | Some bsel -> bsel *. rest_factor
+     | Some bsel ->
+       ms.het_joint_overrides <- ms.het_joint_overrides + 1;
+       bsel *. rest_factor
      | None ->
        List.fold_left
          (fun acc k ->
@@ -181,7 +209,9 @@ let pred_factor het c node q =
            in
            let factor =
              match Het.lookup_branching het hash with
-             | Some bsel -> bsel
+             | Some bsel ->
+               ms.het_single_overrides <- ms.het_single_overrides + 1;
+               bsel
              | None -> plain k
            in
            acc *. factor)
@@ -190,8 +220,9 @@ let pred_factor het c node q =
 (* Top-down: a.(q) = P(node is a valid image of result-path QTN q given its
    own existence), combining test, predicates (structural and value) and
    ancestor validity. *)
-let rec top_down ?values het c node ~is_root ~parent_a ~anc_or acc =
+let rec top_down ?values het ms c node ~is_root ~parent_a ~anc_or acc =
   let q_n = c.size in
+  ms.match_steps <- ms.match_steps + q_n;
   let a = Array.make q_n 0.0 in
   for q = 0 to q_n - 1 do
     if c.on_result_path.(q) && test_matches c q node.label then begin
@@ -203,7 +234,7 @@ let rec top_down ?values het c node ~is_root ~parent_a ~anc_or acc =
       in
       if anc_factor > 0.0 then
         a.(q) <-
-          anc_factor *. pred_factor het c node q
+          anc_factor *. pred_factor het ms c node q
           *. value_factor values c node.label q
     end
   done;
@@ -211,13 +242,31 @@ let rec top_down ?values het c node ~is_root ~parent_a ~anc_or acc =
   let anc_or' = Array.init q_n (fun q -> noisy_or anc_or.(q) a.(q)) in
   Array.iter
     (fun kid ->
-      top_down ?values het c kid ~is_root:false ~parent_a:a ~anc_or:anc_or' acc)
+      top_down ?values het ms c kid ~is_root:false ~parent_a:a ~anc_or:anc_or' acc)
     node.children
 
-let estimate ?het ?values ~table ept qt =
+let estimate_with_stats ?het ?values ~table ept qt =
   let c = compile table qt in
-  ignore (bottom_up ?values c ept.root : float array);
+  let ms = fresh_stats () in
+  ignore (bottom_up ?values ms c ept.root : float array);
   let acc = ref 0.0 in
   let zeros = Array.make c.size 0.0 in
-  top_down ?values het c ept.root ~is_root:true ~parent_a:zeros ~anc_or:zeros acc;
-  !acc
+  top_down ?values het ms c ept.root ~is_root:true ~parent_a:zeros ~anc_or:zeros
+    acc;
+  (!acc, ms)
+
+let publish_stats ?obs ms =
+  match obs with
+  | None -> ()
+  | Some _ ->
+    Obs.add_to ?obs "matcher.match_steps" ms.match_steps;
+    Obs.max_to ?obs "matcher.frontier_peak" ms.frontier_peak;
+    Obs.observe ?obs "matcher.frontier" (float_of_int ms.frontier_peak);
+    Obs.add_to ?obs "matcher.het_joint_overrides" ms.het_joint_overrides;
+    Obs.add_to ?obs "matcher.het_single_overrides" ms.het_single_overrides;
+    Obs.add_to ?obs "matcher.independence_preds" ms.independence_preds
+
+let estimate ?het ?values ?obs ~table ept qt =
+  let result, ms = estimate_with_stats ?het ?values ~table ept qt in
+  publish_stats ?obs ms;
+  result

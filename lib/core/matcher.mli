@@ -27,10 +27,11 @@ exception Ept_too_large of int
 
 type ept
 
-val materialize : ?max_nodes:int -> Traveler.t -> ept
+val materialize : ?max_nodes:int -> ?obs:Obs.t -> Traveler.t -> ept
 (** Drain a fresh traveler into an EPT tree. [max_nodes] (default 2_000_000)
     guards against runaway expansion of highly recursive kernels when the
-    card threshold is set too low. @raise Ept_too_large when exceeded. *)
+    card threshold is set too low. When [obs] is given, adds the node count
+    to [matcher.ept_nodes]. @raise Ept_too_large when exceeded. *)
 
 val node_count : ept -> int
 
@@ -43,9 +44,28 @@ val synthetic_node :
 
 val of_synthetic : synthetic -> ept
 
+type match_stats = {
+  mutable ept_nodes : int;  (** EPT nodes visited by the bottom-up pass *)
+  mutable frontier : int;  (** live candidate vectors (internal) *)
+  mutable frontier_peak : int;
+      (** peak number of candidate match vectors held at once — the
+          analogue of Algorithm 3's buffered candidate-event sets *)
+  mutable match_steps : int;
+      (** (EPT node, query-tree node) combinations examined, both passes *)
+  mutable het_joint_overrides : int;
+      (** predicate groups whose correlated bsel came from a joint HET
+          pattern, replacing the sibling-independence product *)
+  mutable het_single_overrides : int;
+      (** single predicates answered by a HET branching entry *)
+  mutable independence_preds : int;
+      (** predicate factors computed under the independence assumption
+          (noisy-or over EPT alternatives) *)
+}
+
 val estimate :
   ?het:Het.t ->
   ?values:Value_synopsis.t ->
+  ?obs:Obs.t ->
   table:Xml.Label.table ->
   ept ->
   Xpath.Query_tree.t ->
@@ -53,4 +73,20 @@ val estimate :
 (** Estimated cardinality of the query against the EPT. When [values] is
     given, value-predicate selectivities multiply into the match
     probabilities; without it value predicates are ignored (factor 1).
-    @raise Invalid_argument if the query has more than 62 steps. *)
+    When [obs] is given, publishes the [matcher.*] counters of
+    {!match_stats}. @raise Invalid_argument if the query has more than 62
+    steps. *)
+
+val estimate_with_stats :
+  ?het:Het.t ->
+  ?values:Value_synopsis.t ->
+  table:Xml.Label.table ->
+  ept ->
+  Xpath.Query_tree.t ->
+  float * match_stats
+(** {!estimate} returning the per-query match statistics (used by
+    {!Explain}). *)
+
+val publish_stats : ?obs:Obs.t -> match_stats -> unit
+(** Add the statistics to an Obs context's [matcher.*] metrics (what
+    {!estimate} does internally). *)

@@ -3,30 +3,46 @@ type t = {
   het : Het.t option;
   values : Value_synopsis.t option;
   card_threshold : float;
+  obs : Obs.t option;
   mutable estimator : Estimator.t;
 }
 
 let build ?budget_bytes ?(with_het = true) ?(with_values = false) ?mbp
-    ?bsel_threshold ?(card_threshold = 0.5) doc =
+    ?bsel_threshold ?(card_threshold = 0.5) ?obs doc =
   let table = Xml.Label.create_table () in
-  let kernel = Builder.of_string ~table doc in
+  let kernel =
+    Obs.span ?obs "synopsis.kernel_build" (fun () ->
+        Builder.of_string ?obs ~table doc)
+  in
   let het, values =
     if not (with_het || with_values) then (None, None)
     else begin
-      let storage = Nok.Storage.of_string ~table ~with_values doc in
+      let storage =
+        Obs.span ?obs "synopsis.storage_build" (fun () ->
+            Nok.Storage.of_string ~table ~with_values doc)
+      in
       let het =
         if not with_het then None
         else begin
           let path_tree = Pathtree.Path_tree.of_string ~table doc in
-          let het, _stats =
-            Het_builder.build ?mbp ?bsel_threshold ~card_threshold ~kernel
-              ~path_tree ~storage ()
+          let het, stats =
+            Obs.span ?obs "synopsis.het_build" (fun () ->
+                Het_builder.build ?mbp ?bsel_threshold ~card_threshold ~kernel
+                  ~path_tree ~storage ())
           in
+          Obs.add_to ?obs "het.simple_entries" stats.Het_builder.simple_entries;
+          Obs.add_to ?obs "het.branching_entries"
+            stats.Het_builder.branching_entries;
+          Obs.add_to ?obs "het.nok_evaluations" stats.Het_builder.nok_evaluations;
           Some het
         end
       in
       let values =
-        if with_values then Some (Value_synopsis.build storage) else None
+        if with_values then
+          Some
+            (Obs.span ?obs "synopsis.value_build" (fun () ->
+                 Value_synopsis.build storage))
+        else None
       in
       (het, values)
     end
@@ -35,8 +51,8 @@ let build ?budget_bytes ?(with_het = true) ?(with_values = false) ?mbp
    | Some budget, Some het ->
      Het.set_budget het ~bytes:(max 0 (budget - Kernel.size_in_bytes kernel))
    | _ -> ());
-  let estimator = Estimator.create ~card_threshold ?het ?values kernel in
-  { kernel; het; values; card_threshold; estimator }
+  let estimator = Estimator.create ~card_threshold ?het ?values ?obs kernel in
+  { kernel; het; values; card_threshold; obs; estimator }
 
 let kernel t = t.kernel
 let het t = t.het
@@ -52,7 +68,7 @@ let set_budget t ~bytes =
     Het.set_budget het ~bytes:(max 0 (bytes - Kernel.size_in_bytes t.kernel));
     t.estimator <-
       Estimator.create ~card_threshold:t.card_threshold ~het ?values:t.values
-        t.kernel
+        ?obs:t.obs t.kernel
 
 let kernel_size_in_bytes t = Kernel.size_in_bytes t.kernel
 
@@ -140,7 +156,7 @@ let of_string contents =
   in
   let card_threshold = 0.5 in
   let estimator = Estimator.create ~card_threshold ?het ?values kernel in
-  { kernel; het; values; card_threshold; estimator }
+  { kernel; het; values; card_threshold; obs = None; estimator }
 
 let pp ppf t =
   Format.fprintf ppf "XSEED synopsis: kernel %dB (%d vertices, %d edges)%a"

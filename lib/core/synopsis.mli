@@ -14,6 +14,7 @@ val build :
   ?mbp:int ->
   ?bsel_threshold:float ->
   ?card_threshold:float ->
+  ?obs:Obs.t ->
   string ->
   t
 (** [build doc] parses [doc] once for each needed structure (kernel, and
@@ -22,7 +23,9 @@ val build :
     value synopsis so value predicates are estimated rather than ignored.
     When [budget_bytes] is given, the HET keeps only the top entries such
     that kernel + HET fit the budget; the kernel itself is never reduced
-    (it is the irreducible part of the design). *)
+    (it is the irreducible part of the design). [obs] instruments the whole
+    build ([synopsis.*_build] spans, builder/SAX/HET counters) and is kept
+    by the returned estimator. *)
 
 val kernel : t -> Kernel.t
 val het : t -> Het.t option

@@ -27,22 +27,51 @@ type footprint = {
 
 type state = Init | Running | Finished
 
+type stats = {
+  events : int;
+  opened : int;
+  pruned : int;
+  max_recursion_level : int;
+  max_depth_seen : int;
+}
+
 type t = {
   kernel : Kernel.t;
   het : Het.t option;
   threshold : float;
   recursion_aware : bool;
   max_depth : int;
+  obs : Obs.t option;
   rl : Counter_stacks.t;
   mutable path : footprint list;
   mutable state : state;
   mutable emitted : int;
+  mutable opened : int;
+  mutable pruned : int;
+  mutable max_rl : int;
+  mutable max_depth_seen : int;
 }
 
 let create ?(card_threshold = 0.5) ?(recursion_aware = true) ?(max_depth = 60)
-    ?het kernel =
-  { kernel; het; threshold = card_threshold; recursion_aware; max_depth;
-    rl = Counter_stacks.create (); path = []; state = Init; emitted = 0 }
+    ?het ?obs kernel =
+  { kernel; het; threshold = card_threshold; recursion_aware; max_depth; obs;
+    rl = Counter_stacks.create (); path = []; state = Init; emitted = 0;
+    opened = 0; pruned = 0; max_rl = 0; max_depth_seen = 0 }
+
+let stats t =
+  { events = t.emitted; opened = t.opened; pruned = t.pruned;
+    max_recursion_level = t.max_rl; max_depth_seen = t.max_depth_seen }
+
+(* Publish once, on the transition to Finished. *)
+let publish t =
+  match t.obs with
+  | None -> ()
+  | Some _ as obs ->
+    Obs.add_to ?obs "traveler.events" t.emitted;
+    Obs.add_to ?obs "traveler.opened" t.opened;
+    Obs.add_to ?obs "traveler.pruned" t.pruned;
+    Obs.max_to ?obs "traveler.max_recursion_level" t.max_rl;
+    Obs.max_to ?obs "traveler.max_depth" t.max_depth_seen
 
 let out_edges_array kernel v = Array.of_list (Kernel.out_edges kernel v)
 
@@ -84,6 +113,8 @@ let open_root t =
   in
   t.path <- [ fp ];
   t.state <- Running;
+  t.opened <- t.opened + 1;
+  if t.max_depth_seen < 1 then t.max_depth_seen <- 1;
   Open { label = root; dewey = fp.dewey; card = 1.0; fsel = 1.0; bsel = 1.0 }
 
 (* VISIT-NEXT-CHILD: advance depth-first from the top frame. *)
@@ -91,6 +122,7 @@ let rec visit_next t =
   match t.path with
   | [] ->
     t.state <- Finished;
+    publish t;
     Eos
   | fp :: rest ->
     if fp.child_idx >= Array.length fp.edges then begin
@@ -118,10 +150,15 @@ let rec visit_next t =
       let card, fsel, bsel = est t fp e ~old_rl ~rl ~hash in
       if card <= t.threshold || Counter_stacks.depth t.rl > t.max_depth then begin
         (* END-TRAVELING: prune this branch. *)
+        t.pruned <- t.pruned + 1;
         Counter_stacks.pop t.rl v;
         visit_next t
       end
       else begin
+        t.opened <- t.opened + 1;
+        if rl > t.max_rl then t.max_rl <- rl;
+        let depth = Counter_stacks.depth t.rl in
+        if depth > t.max_depth_seen then t.max_depth_seen <- depth;
         fp.opened <- fp.opened + 1;
         let child =
           { vertex = v; card; fsel; bsel; hash;

@@ -27,17 +27,31 @@ type event =
 
 type t
 
+type stats = {
+  events : int;  (** open + close events emitted so far *)
+  opened : int;  (** EPT nodes opened (the EPT's size) *)
+  pruned : int;  (** branches cut by the cardinality threshold / max depth *)
+  max_recursion_level : int;  (** highest recursion level entered *)
+  max_depth_seen : int;  (** deepest rooted path opened *)
+}
+
 val create :
   ?card_threshold:float ->
   ?recursion_aware:bool ->
   ?max_depth:int ->
   ?het:Het.t ->
+  ?obs:Obs.t ->
   Kernel.t ->
   t
 (** [card_threshold] defaults to 0.5: estimated-cardinality-zero branches
     are never expanded but everything estimated at one node or more is.
     When [het] is given, simple-path entries override the estimated
     cardinality and backward selectivity (Section 5's modified EST).
+
+    When [obs] is given, the traveler publishes [traveler.events],
+    [traveler.opened], [traveler.pruned], [traveler.max_recursion_level]
+    and [traveler.max_depth] once the walk finishes; {!stats} exposes the
+    same quantities per instance at any point.
 
     [recursion_aware] (default true) is the ablation switch: when false the
     traveler always reads edge statistics at level 0 (a collapsed kernel's
@@ -51,6 +65,9 @@ val iter : t -> f:(event -> unit) -> unit
 (** Drain the remaining events (excluding the final [Eos]). *)
 
 val events_generated : t -> int
+
+val stats : t -> stats
+(** Counters so far (complete once {!next} has returned [Eos]). *)
 
 val ept_to_xml : ?card_threshold:float -> ?het:Het.t -> Kernel.t -> string
 (** Render the EPT as the XML document shown in the paper's Section 4. *)

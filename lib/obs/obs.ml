@@ -1,0 +1,460 @@
+(* Observability: counters, histograms, spans, pluggable sinks. Depends only
+   on the stdlib and the unix library shipped with the compiler. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_repr f =
+    (* Shortest rendering that round-trips; JSON has no NaN/infinity. *)
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let rec to_buffer buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_to buf s
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    to_buffer buf t;
+    Buffer.contents buf
+
+  (* A small recursive-descent parser, enough to round-trip the sink's own
+     output and to let tests validate JSON-lines files. *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = invalid_arg (Printf.sprintf "Json.of_string: %s at %d" msg !pos) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "dangling escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; incr pos
+               | '\\' -> Buffer.add_char buf '\\'; incr pos
+               | '/' -> Buffer.add_char buf '/'; incr pos
+               | 'n' -> Buffer.add_char buf '\n'; incr pos
+               | 't' -> Buffer.add_char buf '\t'; incr pos
+               | 'r' -> Buffer.add_char buf '\r'; incr pos
+               | 'b' -> Buffer.add_char buf '\b'; incr pos
+               | 'f' -> Buffer.add_char buf '\012'; incr pos
+               | 'u' ->
+                 if !pos + 4 >= n then fail "short \\u escape";
+                 let hex = String.sub s (!pos + 1) 4 in
+                 let cp =
+                   try int_of_string ("0x" ^ hex)
+                   with Failure _ -> fail "bad \\u escape"
+                 in
+                 pos := !pos + 5;
+                 if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+                 else if cp < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+                   Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+                 end
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+          | c -> Buffer.add_char buf c; incr pos; go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do incr pos done;
+      let body = String.sub s start (!pos - start) in
+      let is_float =
+        String.exists (function '.' | 'e' | 'E' -> true | _ -> false) body
+      in
+      if is_float then
+        match float_of_string_opt body with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt body with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt body with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin incr pos; List [] end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; items (v :: acc)
+            | Some ']' -> incr pos; List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin incr pos; Obj [] end
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; fields (kv :: acc)
+            | Some '}' -> incr pos; Obj (List.rev (kv :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let rec equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Bool a, Bool b -> a = b
+    | Int a, Int b -> a = b
+    | Float a, Float b -> a = b || (Float.is_nan a && Float.is_nan b)
+    | Int a, Float b | Float b, Int a -> float_of_int a = b
+    | String a, String b -> String.equal a b
+    | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+    | Obj a, Obj b ->
+      let sort = List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) in
+      let a = sort a and b = sort b in
+      List.length a = List.length b
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           a b
+    | _ -> false
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+
+type sink = Noop | Stderr | Jsonl of out_channel
+
+type counter = { cname : string; mutable n : int }
+
+(* Base-2 log buckets over non-negative samples: bucket 0 is [0, 1), bucket
+   i >= 1 is [2^(i-1), 2^i). Exact count/sum/max ride along so mean and max
+   are not approximated. *)
+let hbuckets = 64
+
+type histogram = {
+  hname : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+  buckets : int array;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = {
+  mutable sink : sink;
+  registry : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+  mutable depth : int;  (* current span nesting, for the pretty sink *)
+}
+
+let create ?(sink = Noop) () =
+  { sink; registry = Hashtbl.create 32; order = []; depth = 0 }
+
+let set_sink t sink = t.sink <- sink
+let sink t = t.sink
+let enabled t = t.sink <> Noop
+
+let jsonl_file path = Jsonl (open_out path)
+
+let close t =
+  (match t.sink with
+   | Jsonl oc -> flush oc; close_out oc
+   | Stderr | Noop -> ());
+  t.sink <- Noop
+
+let register t name metric =
+  Hashtbl.replace t.registry name metric;
+  t.order <- name :: t.order
+
+let counter t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+    invalid_arg (Printf.sprintf "Obs.counter: %s is a histogram" name)
+  | None ->
+    let c = { cname = name; n = 0 } in
+    register t name (Counter c);
+    c
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let set_max c v = if v > c.n then c.n <- v
+let value c = c.n
+
+let histogram t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+    invalid_arg (Printf.sprintf "Obs.histogram: %s is a counter" name)
+  | None ->
+    let h =
+      { hname = name; count = 0; sum = 0.0; max = neg_infinity;
+        buckets = Array.make hbuckets 0 }
+    in
+    register t name (Histogram h);
+    h
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v) in
+    if i >= hbuckets then hbuckets - 1 else i
+
+let hobserve h v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v > h.max then h.max <- v;
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1
+
+let hcount h = h.count
+let hsum h = h.sum
+let hmean h = if h.count = 0 then Float.nan else h.sum /. float_of_int h.count
+let hmax h = if h.count = 0 then Float.nan else h.max
+
+let hpercentile h p =
+  if h.count = 0 then Float.nan
+  else begin
+    let p = Float.min 1.0 (Float.max 0.0 p) in
+    let rank = p *. float_of_int h.count in
+    let rank = if rank < 1.0 then 1.0 else rank in
+    let cum = ref 0 and result = ref h.max in
+    (try
+       for i = 0 to hbuckets - 1 do
+         let c = h.buckets.(i) in
+         if c > 0 then begin
+           let before = !cum in
+           cum := !cum + c;
+           if float_of_int !cum >= rank then begin
+             (* Linear interpolation inside the bucket's range. *)
+             let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
+             let hi = if i = 0 then 1.0 else lo *. 2.0 in
+             let hi = Float.min hi h.max in
+             let frac = (rank -. float_of_int before) /. float_of_int c in
+             result := lo +. ((hi -. lo) *. frac);
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    Float.min !result h.max
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Optional-context helpers: no-ops without a context. *)
+
+let add_to ?obs name k =
+  match obs with None -> () | Some t -> add (counter t name) k
+
+let max_to ?obs name v =
+  match obs with None -> () | Some t -> set_max (counter t name) v
+
+let observe ?obs name v =
+  match obs with None -> () | Some t -> hobserve (histogram t name) v
+
+(* ------------------------------------------------------------------ *)
+(* Events and spans. *)
+
+let now () = Unix.gettimeofday ()
+
+let emit t name fields =
+  match t.sink with
+  | Noop -> ()
+  | Stderr ->
+    let b = Buffer.create 80 in
+    Buffer.add_string b "[obs] ";
+    for _ = 1 to t.depth do Buffer.add_string b "  " done;
+    Buffer.add_string b name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b
+          (match v with Json.String s -> s | v -> Json.to_string v))
+      fields;
+    Buffer.add_char b '\n';
+    prerr_string (Buffer.contents b)
+  | Jsonl oc ->
+    let b = Buffer.create 120 in
+    Json.to_buffer b (Json.Obj (("event", Json.String name) :: fields));
+    Buffer.add_char b '\n';
+    output_string oc (Buffer.contents b)
+
+let event ?obs ?(fields = []) name =
+  match obs with None -> () | Some t -> emit t name fields
+
+let span ?obs name f =
+  match obs with
+  | None -> f ()
+  | Some t when t.sink = Noop -> f ()
+  | Some t ->
+    emit t "span_begin" [ ("name", Json.String name) ];
+    t.depth <- t.depth + 1;
+    let t0 = now () in
+    let finish () =
+      let ms = 1000.0 *. (now () -. t0) in
+      t.depth <- t.depth - 1;
+      hobserve (histogram t (name ^ ".ms")) ms;
+      emit t "span_end" [ ("name", Json.String name); ("dur_ms", Json.Float ms) ]
+    in
+    (match f () with
+     | result -> finish (); result
+     | exception e -> finish (); raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots. *)
+
+let histogram_json h =
+  Json.Obj
+    [ ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("mean", Json.Float (hmean h));
+      ("max", Json.Float (hmax h));
+      ("p50", Json.Float (hpercentile h 0.5));
+      ("p90", Json.Float (hpercentile h 0.9));
+      ("p99", Json.Float (hpercentile h 0.99)) ]
+
+let snapshot t =
+  let fields =
+    List.rev_map
+      (fun name ->
+        match Hashtbl.find t.registry name with
+        | Counter c -> (name, Json.Int c.n)
+        | Histogram h -> (name, histogram_json h))
+      t.order
+  in
+  Json.Obj fields
+
+let emit_snapshot t =
+  match t.sink with
+  | Noop -> ()
+  | _ ->
+    (match snapshot t with
+     | Json.Obj fields -> emit t "snapshot" fields
+     | _ -> ())
+
+let reset t =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> c.n <- 0
+      | Histogram h ->
+        h.count <- 0;
+        h.sum <- 0.0;
+        h.max <- neg_infinity;
+        Array.fill h.buckets 0 hbuckets 0)
+    t.registry

@@ -1,0 +1,143 @@
+(** Lightweight, zero-dependency observability layer for the XSEED pipeline.
+
+    The layer has two halves with different cost profiles:
+
+    - {e metrics} — named monotonic counters and log-bucketed histograms held
+      in a registry. Handles are resolved once ({!counter}, {!histogram});
+      bumping a handle is a plain mutable-field update, cheap enough for hot
+      loops. Pipeline stages publish their totals with the [?obs]-optional
+      helpers ({!add_to}, {!max_to}, {!observe}), which are no-ops when no
+      context is supplied — the compiled-in-but-off default.
+    - {e events and spans} — emitted to a pluggable {!type-sink}: [Noop]
+      (default; nothing happens, no clock is read), a stderr pretty-printer
+      (the CLI's [--trace]), or a JSON-lines channel (the CLI's
+      [--metrics-out]). Spans nest and time their body with the wall clock;
+      use them at stage granularity, not per node.
+
+    {!module-Json} is a minimal self-contained JSON tree used for the
+    JSON-lines sink, snapshots, bench output and the explain report. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact one-line rendering. Floats are emitted so they survive a
+      round-trip ([nan] and infinities become [null], JSON having no
+      spelling for them). *)
+
+  val to_buffer : Buffer.t -> t -> unit
+
+  val of_string : string -> t
+  (** Parse a JSON document (used by tests to round-trip sink output).
+      @raise Invalid_argument on malformed input. *)
+
+  val equal : t -> t -> bool
+  (** Structural equality; object fields compare order-insensitively. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] on other constructors. *)
+end
+
+type sink =
+  | Noop  (** discard everything; no clock reads, no formatting *)
+  | Stderr  (** human-readable lines on stderr, indented by span depth *)
+  | Jsonl of out_channel  (** one JSON object per line *)
+
+type t
+(** An observability context: a sink plus a metric registry. Contexts are
+    independent; a fresh context gives per-run (e.g. per-query) metrics. *)
+
+val create : ?sink:sink -> unit -> t
+(** Default sink is [Noop]. *)
+
+val set_sink : t -> sink -> unit
+val sink : t -> sink
+
+val enabled : t -> bool
+(** [true] when the sink is not [Noop]. *)
+
+val jsonl_file : string -> sink
+(** Open [path] for writing and return a JSON-lines sink on it. The channel
+    is owned by the context: {!close} closes it. *)
+
+val close : t -> unit
+(** Flush the sink; close its channel if it was opened by {!jsonl_file} or
+    supplied as [Jsonl]. The sink becomes [Noop]. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** The counter registered under [name], created at zero on first use. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_max : counter -> int -> unit
+(** Raise the counter to [v] if [v] is larger (high-water-mark gauges:
+    max depth, frontier peaks). *)
+
+val value : counter -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** The histogram registered under [name]. Buckets are base-2 logarithmic
+    over non-negative samples, so percentiles are approximate (exact rank
+    selection within a factor-of-two bucket, interpolated geometrically). *)
+
+val hobserve : histogram -> float -> unit
+val hcount : histogram -> int
+val hsum : histogram -> float
+val hmean : histogram -> float
+val hmax : histogram -> float
+
+val hpercentile : histogram -> float -> float
+(** [hpercentile h 0.9] is the approximate 90th percentile; [nan] when the
+    histogram is empty. [p] is clamped to [0, 1]. *)
+
+(** {1 Optional-context publishing}
+
+    All of these are no-ops when [?obs] is absent, so instrumented code can
+    publish unconditionally. *)
+
+val add_to : ?obs:t -> string -> int -> unit
+val max_to : ?obs:t -> string -> int -> unit
+val observe : ?obs:t -> string -> float -> unit
+
+(** {1 Events and spans} *)
+
+val now : unit -> float
+(** Wall-clock seconds (the clock spans use); for coarse stage timing. *)
+
+val event : ?obs:t -> ?fields:(string * Json.t) list -> string -> unit
+(** Emit one event to the sink (nothing on [Noop]). *)
+
+val span : ?obs:t -> string -> (unit -> 'a) -> 'a
+(** [span ?obs name f] runs [f]. With a non-[Noop] sink it also emits a
+    begin event, times [f] with the wall clock, and emits an end event
+    carrying [dur_ms]; nested spans indent the stderr pretty-printer.
+    The duration is also recorded in histogram [name ^ ".ms"] so snapshots
+    include stage timings. With [Noop] (or no [obs]) the only cost is the
+    closure call. Exceptions propagate; the end event is still emitted. *)
+
+(** {1 Snapshots} *)
+
+val snapshot : t -> Json.t
+(** All registered metrics, in registration order: counters as integers,
+    histograms as [{count, sum, mean, max, p50, p90, p99}] objects. *)
+
+val emit_snapshot : t -> unit
+(** Emit {!snapshot} as a ["snapshot"] event to the sink. *)
+
+val reset : t -> unit
+(** Zero every registered metric (the registry keeps its names). *)

@@ -14,6 +14,13 @@ type 'a state = {
   mutable seen_root : bool;
   f : 'a -> Event.t -> 'a;
   buf : Buffer.t;  (* scratch for text/attribute decoding *)
+  (* Parse statistics, published to an Obs context when one is supplied;
+     plain field bumps so the cost without one is negligible. *)
+  mutable n_events : int;
+  mutable n_elements : int;
+  mutable n_text : int;
+  mutable depth : int;
+  mutable max_depth : int;
 }
 
 let peek st = if st.pos < st.len then Some st.input.[st.pos] else None
@@ -132,7 +139,16 @@ let read_attributes st =
   in
   loop []
 
-let emit st evt = st.acc <- st.f st.acc evt
+let emit st evt =
+  st.n_events <- st.n_events + 1;
+  (match evt with
+   | Event.Start_element _ ->
+     st.n_elements <- st.n_elements + 1;
+     st.depth <- st.depth + 1;
+     if st.depth > st.max_depth then st.max_depth <- st.depth
+   | Event.End_element _ -> st.depth <- st.depth - 1
+   | Event.Text _ -> st.n_text <- st.n_text + 1);
+  st.acc <- st.f st.acc evt
 
 let flush_text st =
   if Buffer.length st.buf > 0 then begin
@@ -261,10 +277,11 @@ and flush_text_always st =
     emit st (Text s)
   end
 
-let fold input ~init ~f =
+let fold ?obs input ~init ~f =
   let st =
     { input; len = String.length input; pos = 0; stack = []; acc = init;
-      seen_root = false; f; buf = Buffer.create 256 }
+      seen_root = false; f; buf = Buffer.create 256; n_events = 0;
+      n_elements = 0; n_text = 0; depth = 0; max_depth = 0 }
   in
   let rec loop () =
     match peek st with
@@ -290,8 +307,12 @@ let fold input ~init ~f =
       loop ()
   in
   loop ();
+  Obs.add_to ?obs "sax.events" st.n_events;
+  Obs.add_to ?obs "sax.elements" st.n_elements;
+  Obs.add_to ?obs "sax.text_nodes" st.n_text;
+  Obs.max_to ?obs "sax.max_depth" st.max_depth;
   st.acc
 
-let iter input ~f = fold input ~init:() ~f:(fun () e -> f e)
+let iter ?obs input ~f = fold ?obs input ~init:() ~f:(fun () e -> f e)
 
 let events input = List.rev (fold input ~init:[] ~f:(fun acc e -> e :: acc))

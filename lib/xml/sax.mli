@@ -10,12 +10,14 @@
 exception Malformed of { position : int; message : string }
 (** Raised on ill-formed input. [position] is a byte offset. *)
 
-val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+val fold : ?obs:Obs.t -> string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
 (** [fold input ~init ~f] parses [input] and folds [f] over its events.
-    Checks well-formedness (tag balance, single root).
+    Checks well-formedness (tag balance, single root). When [obs] is given,
+    publishes [sax.events], [sax.elements], [sax.text_nodes] and
+    [sax.max_depth] counters after the parse.
     @raise Malformed on bad input. *)
 
-val iter : string -> f:(Event.t -> unit) -> unit
+val iter : ?obs:Obs.t -> string -> f:(Event.t -> unit) -> unit
 
 val events : string -> Event.t list
 (** All events of [input], in document order. Convenience for tests. *)

@@ -1,0 +1,241 @@
+(* Observability layer: counter/histogram/span semantics, sink behavior,
+   JSON round-trips, and the per-query explain report on the paper's
+   Figure 2 example document. *)
+
+let json = Alcotest.testable (Fmt.of_to_string Obs.Json.to_string) Obs.Json.equal
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms *)
+
+let test_counters () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs "x" in
+  Alcotest.(check int) "fresh counter" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.add c 5;
+  Alcotest.(check int) "incr + add" 6 (Obs.value c);
+  Obs.set_max c 3;
+  Alcotest.(check int) "set_max ignores smaller" 6 (Obs.value c);
+  Obs.set_max c 10;
+  Alcotest.(check int) "set_max raises" 10 (Obs.value c);
+  let c' = Obs.counter obs "x" in
+  Obs.incr c';
+  Alcotest.(check int) "same name, same counter" 11 (Obs.value c);
+  Obs.reset obs;
+  Alcotest.(check int) "reset zeroes" 0 (Obs.value c)
+
+let test_optional_helpers () =
+  (* Without a context these are no-ops and must not raise. *)
+  Obs.add_to "a" 1;
+  Obs.max_to "b" 2;
+  Obs.observe "c" 3.0;
+  let obs = Obs.create () in
+  Obs.add_to ~obs "a" 4;
+  Obs.max_to ~obs "b" 7;
+  Obs.observe ~obs "c" 2.5;
+  Alcotest.(check int) "add_to" 4 (Obs.value (Obs.counter obs "a"));
+  Alcotest.(check int) "max_to" 7 (Obs.value (Obs.counter obs "b"));
+  Alcotest.(check int) "observe count" 1 (Obs.hcount (Obs.histogram obs "c"))
+
+let test_histogram () =
+  let obs = Obs.create () in
+  let h = Obs.histogram obs "lat" in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Obs.hpercentile h 0.5));
+  List.iter (Obs.hobserve h) [ 1.0; 2.0; 4.0; 8.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Obs.hcount h);
+  Alcotest.(check (float 1e-9)) "sum" 115.0 (Obs.hsum h);
+  Alcotest.(check (float 1e-9)) "mean" 23.0 (Obs.hmean h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Obs.hmax h);
+  let p50 = Obs.hpercentile h 0.5 in
+  let p99 = Obs.hpercentile h 0.99 in
+  Alcotest.(check bool) "p50 in sample range" true (p50 >= 1.0 && p50 <= 100.0);
+  Alcotest.(check bool) "percentiles monotone" true (p50 <= p99);
+  Alcotest.(check bool) "p99 clamped to max" true (p99 <= 100.0 +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Spans and sinks *)
+
+let test_span_noop () =
+  let obs = Obs.create () in
+  (* Noop sink: the body runs, the result flows through, no timing. *)
+  let r = Obs.span ~obs "stage" (fun () -> 42) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check int) "no histogram under Noop" 0
+    (Obs.hcount (Obs.histogram obs "stage.ms"));
+  (* No context at all. *)
+  Alcotest.(check int) "no obs" 7 (Obs.span "s" (fun () -> 7))
+
+let test_span_timed () =
+  let path = Filename.temp_file "obs_span" ".jsonl" in
+  let obs = Obs.create ~sink:(Obs.jsonl_file path) () in
+  let r = Obs.span ~obs "stage" (fun () -> Obs.span ~obs "inner" (fun () -> 1)) in
+  Alcotest.(check int) "result" 1 r;
+  Alcotest.(check int) "outer span timed" 1
+    (Obs.hcount (Obs.histogram obs "stage.ms"));
+  Alcotest.(check int) "inner span timed" 1
+    (Obs.hcount (Obs.histogram obs "inner.ms"));
+  (* An exception still produces the end event and propagates. *)
+  (try Obs.span ~obs "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.close obs;
+  let ic = open_in path in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  Sys.remove path;
+  let events =
+    List.map
+      (fun l ->
+        match Obs.Json.member "event" (Obs.Json.of_string l) with
+        | Some (Obs.Json.String e) -> e
+        | _ -> Alcotest.fail ("line without event: " ^ l))
+      lines
+  in
+  Alcotest.(check (list string)) "event sequence"
+    [ "span_begin"; "span_begin"; "span_end"; "span_end"; "span_begin";
+      "span_end" ]
+    events
+
+let test_jsonl_snapshot_roundtrip () =
+  let path = Filename.temp_file "obs_snap" ".jsonl" in
+  let obs = Obs.create ~sink:(Obs.jsonl_file path) () in
+  Obs.add_to ~obs "k" 3;
+  Obs.observe ~obs "h" 2.0;
+  Obs.event ~obs "hello" ~fields:[ ("n", Obs.Json.Int 1) ];
+  Obs.emit_snapshot obs;
+  Obs.close obs;
+  let ic = open_in path in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  Sys.remove path;
+  (* Every line parses back; the snapshot carries the counter. *)
+  let parsed = List.map Obs.Json.of_string lines in
+  Alcotest.(check int) "two lines" 2 (List.length parsed);
+  let snap = List.nth parsed 1 in
+  Alcotest.(check (option json)) "snapshot event name"
+    (Some (Obs.Json.String "snapshot"))
+    (Obs.Json.member "event" snap);
+  Alcotest.(check (option json)) "counter in snapshot" (Some (Obs.Json.Int 3))
+    (Obs.Json.member "k" snap)
+
+(* ------------------------------------------------------------------ *)
+(* JSON encode/parse *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [ ("s", Obs.Json.String "a\"b\\c\n\t\x01é");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 0.1);
+        ("big", Obs.Json.Float 1.7976931348623157e308);
+        ("t", Obs.Json.Bool true);
+        ("z", Obs.Json.Null);
+        ( "l",
+          Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj []; Obs.Json.List [] ] ) ]
+  in
+  Alcotest.check json "round-trip" v (Obs.Json.of_string (Obs.Json.to_string v));
+  (* Non-finite floats have no JSON spelling and become null. *)
+  Alcotest.check json "nan -> null" Obs.Json.Null
+    (Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float Float.nan)));
+  Alcotest.(check bool) "object equality is order-insensitive" true
+    (Obs.Json.equal
+       (Obs.Json.Obj [ ("a", Obs.Json.Int 1); ("b", Obs.Json.Int 2) ])
+       (Obs.Json.Obj [ ("b", Obs.Json.Int 2); ("a", Obs.Json.Int 1) ]));
+  Alcotest.check_raises "malformed input rejected"
+    (Invalid_argument "Json.of_string: trailing input at 2") (fun () ->
+      ignore (Obs.Json.of_string "{}x"))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: counters flow out of a real build + estimate *)
+
+let test_pipeline_counters () =
+  let obs = Obs.create () in
+  let syn = Core.Synopsis.build ~obs Datagen.Paper_example.document in
+  let doc_stats = Xml.Doc_stats.of_string Datagen.Paper_example.document in
+  Alcotest.(check int) "sax counted every element" doc_stats.node_count
+    (Obs.value (Obs.counter obs "sax.elements"));
+  Alcotest.(check int) "builder vertices match kernel"
+    (Core.Kernel.vertex_count (Core.Synopsis.kernel syn))
+    (Obs.value (Obs.counter obs "builder.vertices"));
+  let est = Core.Synopsis.estimator syn in
+  let before = Obs.value (Obs.counter obs "matcher.match_steps") in
+  ignore (Core.Estimator.estimate_string est "/a/c/s" : float);
+  Alcotest.(check bool) "estimate published matcher steps" true
+    (Obs.value (Obs.counter obs "matcher.match_steps") > before);
+  Alcotest.(check bool) "traveler emitted nodes" true
+    (Obs.value (Obs.counter obs "traveler.opened") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Explain reports on the paper's Figure 2 example *)
+
+let explain_estimator () =
+  Core.Synopsis.estimator (Core.Synopsis.build Datagen.Paper_example.document)
+
+let test_explain_simple_path () =
+  let r = Core.Explain.run_string (explain_estimator ()) "/a/c/s" in
+  (* /a/c/s selects the five level-0 s nodes; the HET simple-path entries
+     make this exact. *)
+  Alcotest.(check (float 1e-6)) "estimate" 5.0 r.estimate;
+  Alcotest.(check bool) "EPT emitted nodes" true (r.traveler.opened > 0);
+  Alcotest.(check bool) "EPT saw recursion" true
+    (r.traveler.max_recursion_level >= 1);
+  Alcotest.(check bool) "matcher frontier peak" true (r.matcher.frontier_peak > 0);
+  Alcotest.(check bool) "matcher did work" true (r.matcher.match_steps > 0);
+  (match r.het_usage with
+   | None -> Alcotest.fail "expected HET usage in report"
+   | Some u ->
+     Alcotest.(check bool) "HET simple lookups" true (u.simple_lookups > 0);
+     Alcotest.(check bool) "hits bounded by lookups" true
+       (u.simple_hits <= u.simple_lookups));
+  Alcotest.(check bool) "assumption trail nonempty" true (r.assumptions <> []);
+  Alcotest.(check bool) "stage timings sum sanely" true
+    (r.total_seconds >= 0.0 && r.ept_seconds >= 0.0 && r.match_seconds >= 0.0)
+
+let test_explain_branching () =
+  let r = Core.Explain.run_string (explain_estimator ()) "//s[p]/t" in
+  Alcotest.(check bool) "branching query estimated" true (r.estimate >= 0.0);
+  (* The predicate either hit a HET branching pattern or fell back to the
+     independence approximation — the report must say which. *)
+  Alcotest.(check bool) "predicate accounted for" true
+    (r.matcher.het_joint_overrides + r.matcher.het_single_overrides
+       + r.matcher.independence_preds
+    > 0)
+
+let test_explain_json () =
+  let r = Core.Explain.run_string (explain_estimator ()) "/a/c/s/s/t" in
+  let j = Core.Explain.to_json r in
+  (* The JSON rendering round-trips and exposes the headline fields. *)
+  let j' = Obs.Json.of_string (Obs.Json.to_string j) in
+  Alcotest.check json "json round-trip" j j';
+  Alcotest.(check (option json)) "query field"
+    (Some (Obs.Json.String "/a/c/s/s/t"))
+    (Obs.Json.member "query" j);
+  (match Obs.Json.member "ept" j with
+   | Some (Obs.Json.Obj _ as ept) ->
+     Alcotest.(check bool) "pruned field present" true
+       (Obs.Json.member "pruned" ept <> None)
+   | _ -> Alcotest.fail "ept object missing")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "optional helpers" `Quick test_optional_helpers;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "span noop" `Quick test_span_noop;
+          Alcotest.test_case "span timed" `Quick test_span_timed;
+          Alcotest.test_case "jsonl snapshot" `Quick test_jsonl_snapshot_roundtrip;
+        ] );
+      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "pipeline",
+        [
+          Alcotest.test_case "counters flow" `Quick test_pipeline_counters;
+          Alcotest.test_case "explain simple path" `Quick test_explain_simple_path;
+          Alcotest.test_case "explain branching" `Quick test_explain_branching;
+          Alcotest.test_case "explain json" `Quick test_explain_json;
+        ] );
+    ]

@@ -34,6 +34,35 @@ let test_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Metrics.summarize: empty workload")
     (fun () -> ignore (Stats.Metrics.summarize []))
 
+let test_q_error () =
+  (* max(est/act, act/est) with +1 smoothing: q(0,0)=1, q(1,3)=2, symmetric. *)
+  Alcotest.(check (float 1e-12)) "both empty" 1.0 (Stats.Metrics.q_error 0.0 0.0);
+  Alcotest.(check (float 1e-12)) "underestimate" 2.0 (Stats.Metrics.q_error 1.0 3.0);
+  Alcotest.(check (float 1e-12)) "symmetric" (Stats.Metrics.q_error 3.0 1.0)
+    (Stats.Metrics.q_error 1.0 3.0);
+  Alcotest.(check (float 1e-12)) "empty result stays finite" 101.0
+    (Stats.Metrics.q_error 100.0 0.0);
+  (* Negative inputs (defensive) clamp to zero. *)
+  Alcotest.(check (float 1e-12)) "negative clamped" 1.0
+    (Stats.Metrics.q_error (-5.0) 0.0)
+
+let test_q_error_summary () =
+  (* q-errors: (0,0)->1, (3,1)->2, (5,1)->3, (7,1)->4, (19,1)->10. *)
+  let s =
+    Stats.Metrics.summarize
+      [ (0.0, 0.0); (3.0, 1.0); (5.0, 1.0); (7.0, 1.0); (19.0, 1.0) ]
+  in
+  Alcotest.(check (float 1e-12)) "median" 3.0 s.q_error_median;
+  Alcotest.(check (float 1e-12)) "p90" 10.0 s.q_error_p90;
+  Alcotest.(check (float 1e-12)) "max" 10.0 s.q_error_max
+
+let test_opd_sampled () =
+  (* Above the exact cutoff OPD switches to pair sampling; a perfectly
+     ordered workload must still score ~1 and stay fast. *)
+  let pairs = List.init 5000 (fun i -> (float_of_int i, float_of_int i)) in
+  let s = Stats.Metrics.summarize pairs in
+  Alcotest.(check (float 1e-9)) "sampled opd of perfect order" 1.0 s.opd
+
 let test_r_squared_baseline () =
   (* Estimating the mean for every query gives R² = 0. *)
   let s = Stats.Metrics.summarize [ (2.0, 1.0); (2.0, 3.0) ] in
@@ -76,6 +105,9 @@ let () =
           Alcotest.test_case "opd ties" `Quick test_opd_ties;
           Alcotest.test_case "all zero actuals" `Quick test_all_zero_actuals;
           Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "q-error" `Quick test_q_error;
+          Alcotest.test_case "q-error summary" `Quick test_q_error_summary;
+          Alcotest.test_case "opd sampled" `Quick test_opd_sampled;
           Alcotest.test_case "r2 baseline" `Quick test_r_squared_baseline;
         ] );
       ("properties", props);
