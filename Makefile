@@ -4,7 +4,7 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke smoke bench-json ci clean
 
 all: build
 
@@ -23,6 +23,12 @@ fmt:
 	  echo "fmt: ocamlformat not installed, skipping"; \
 	fi
 
+# Fault-injection smoke: fixed seeds, ~2400 mutated inputs across XML
+# documents, synopsis dumps and query strings. Fails on any uncaught
+# exception or NaN estimate; a failure line names the (seed, case) pair.
+fuzz-smoke: build
+	$(DUNE) exec --no-build test/fault_injection.exe -- --seeds 1,2,3,4 --cases 200
+
 # End-to-end smoke: generate a corpus, build a synopsis, explain a query,
 # compare estimates vs actuals with JSON-lines metrics on.
 smoke: build
@@ -38,7 +44,7 @@ smoke: build
 bench-json: build
 	$(DUNE) exec --no-build bench/main.exe -- --quick json
 
-ci: fmt build test smoke
+ci: fmt build test fuzz-smoke smoke
 
 clean:
 	$(DUNE) clean

@@ -5,7 +5,23 @@
 
 open Cmdliner
 
+(* Exit-code contract (sysexits.h): 64 usage, 65 malformed data (XML, query,
+   synopsis, resource limit), 66 missing input file, 70 internal error, 74
+   I/O error. Every command body runs under [protect], so any failure is one
+   diagnostic line on stderr — never an OCaml backtrace. *)
+let protect f =
+  match Core.Error.guard f with
+  | Ok () -> ()
+  | Error e ->
+    Format.eprintf "xseed: %s@." (Core.Error.to_string e);
+    exit (Core.Error.exit_code e)
+  | exception e ->
+    Format.eprintf "xseed: internal error: %s@." (Printexc.to_string e);
+    exit 70
+
 let read_file path =
+  if not (Sys.file_exists path) then
+    Core.Error.raisef Core.Error.Missing_file "no such file: %s" path;
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -15,13 +31,17 @@ let write_file path contents =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let load_synopsis path = Core.Synopsis.of_string (read_file path)
+let load_synopsis path =
+  match Core.Synopsis.of_string_result (read_file path) with
+  | Ok syn -> syn
+  | Error e -> raise (Core.Error.Xseed e)
 
 (* ------------------------------------------------------------------ *)
-(* Arguments *)
+(* Arguments. Positional paths are plain strings — existence is checked by
+   [read_file] so a missing file exits 66, not cmdliner's usage error. *)
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"XML document")
 
 let query_arg p =
   Arg.(required & pos p (some string) None & info [] ~docv:"QUERY" ~doc:"XPath query")
@@ -67,15 +87,16 @@ let metrics_out_arg =
            ~doc:"Write pipeline metrics as JSON-lines to $(docv) (takes \
                  precedence over --trace)")
 
-let obs_of ~trace ~metrics_out =
+(* Deferred to inside [protect] (cmdliner evaluates term arguments outside
+   the command body, where an exception would become a backtrace). *)
+let obs_of (trace, metrics_out) =
   match (trace, metrics_out) with
   | false, None -> None
   | _, Some path ->
     let sink =
       try Obs.jsonl_file path
       with Sys_error msg ->
-        Printf.eprintf "xseed: --metrics-out: %s\n" msg;
-        exit 1
+        Core.Error.raisef Core.Error.Io_error "--metrics-out: %s" msg
     in
     Some (Obs.create ~sink ())
   | true, None -> Some (Obs.create ~sink:Obs.Stderr ())
@@ -89,7 +110,7 @@ let finish_obs ?het obs =
     Obs.emit_snapshot o;
     Obs.close o
 
-let obs_term = Term.(const (fun trace metrics_out -> obs_of ~trace ~metrics_out)
+let obs_term = Term.(const (fun trace metrics_out -> (trace, metrics_out))
                      $ trace_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -97,6 +118,7 @@ let obs_term = Term.(const (fun trace metrics_out -> obs_of ~trace ~metrics_out)
 
 let stats_cmd =
   let run file =
+    protect @@ fun () ->
     let doc = read_file file in
     let s = Xml.Doc_stats.of_string doc in
     Format.printf "%a@." Xml.Doc_stats.pp s;
@@ -117,7 +139,9 @@ let build_cmd =
     Arg.(required & opt (some string) None
          & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Synopsis output file")
   in
-  let run file output no_het budget mbp bsel threshold with_values obs =
+  let run file output no_het budget mbp bsel threshold with_values obs_spec =
+    protect @@ fun () ->
+    let obs = obs_of obs_spec in
     let doc = read_file file in
     let synopsis =
       Core.Synopsis.build ?budget_bytes:budget ~with_het:(not no_het)
@@ -134,64 +158,97 @@ let build_cmd =
     Term.(const run $ file_arg $ output $ no_het_arg $ budget_arg $ mbp_arg
           $ bsel_arg $ threshold_arg $ with_values_arg $ obs_term)
 
+let synopsis_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"SYNOPSIS" ~doc:"Synopsis file from 'xseed build'")
+
+let override_threshold_arg =
+  Arg.(value & opt (some float) None
+       & info [ "card-threshold" ] ~docv:"T"
+           ~doc:"Override the pruning threshold stored in the synopsis")
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit with code 1 (after printing the result) if the estimate \
+                 needed a degenerate-value clamp or the query names labels \
+                 absent from the synopsis")
+
+let estimator_of ?obs ~threshold syn =
+  Core.Estimator.create
+    ~card_threshold:
+      (Option.value threshold ~default:(Core.Synopsis.card_threshold syn))
+    ?het:(Core.Synopsis.het syn)
+    ?values:(Core.Synopsis.values syn)
+    ?obs
+    (Core.Synopsis.kernel syn)
+
+let strict_failures ~clamped ~unknown_labels =
+  if clamped > 0 then
+    Format.eprintf "xseed: strict: estimate was clamped from a degenerate value@.";
+  if unknown_labels <> [] then
+    Format.eprintf "xseed: strict: label%s not in synopsis: %s@."
+      (if List.length unknown_labels = 1 then "" else "s")
+      (String.concat ", " unknown_labels);
+  clamped > 0 || unknown_labels <> []
+
 let estimate_cmd =
-  let synopsis_arg =
-    Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"SYNOPSIS" ~doc:"Synopsis file from 'xseed build'")
-  in
-  let run synopsis_file query threshold obs =
+  let run synopsis_file query threshold strict obs_spec =
+    protect @@ fun () ->
+    let obs = obs_of obs_spec in
     let syn = load_synopsis synopsis_file in
-    let estimator =
-      Core.Estimator.create ~card_threshold:threshold
-        ?het:(Core.Synopsis.het syn)
-        ?values:(Core.Synopsis.values syn)
-        ?obs
-        (Core.Synopsis.kernel syn)
+    let estimator = estimator_of ?obs ~threshold syn in
+    let outcome =
+      Obs.span ?obs "estimate" (fun () ->
+          Core.Estimator.estimate_string_result estimator query)
     in
-    let path = Xpath.Parser.parse query in
-    let estimate =
-      Obs.span ?obs "estimate" (fun () -> Core.Estimator.estimate estimator path)
-    in
-    Format.printf "%.2f@." estimate;
-    finish_obs ?het:(Core.Synopsis.het syn) obs
+    match outcome with
+    | Error e -> raise (Core.Error.Xseed e)
+    | Ok o ->
+      Format.printf "%.2f@." o.Core.Estimator.value;
+      finish_obs ?het:(Core.Synopsis.het syn) obs;
+      if
+        strict
+        && strict_failures ~clamped:o.Core.Estimator.clamped
+             ~unknown_labels:o.Core.Estimator.unknown_labels
+      then exit 1
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate a query's cardinality from a synopsis")
-    Term.(const run $ synopsis_arg $ query_arg 1 $ threshold_arg $ obs_term)
+    Term.(const run $ synopsis_arg $ query_arg 1 $ override_threshold_arg
+          $ strict_arg $ obs_term)
 
 let explain_cmd =
-  let synopsis_arg =
-    Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"SYNOPSIS" ~doc:"Synopsis file from 'xseed build'")
-  in
   let json_arg =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Print the report as a single JSON object")
   in
-  let run synopsis_file query threshold json obs =
+  let run synopsis_file query threshold json strict obs_spec =
+    protect @@ fun () ->
+    let obs = obs_of obs_spec in
     let syn = load_synopsis synopsis_file in
-    let estimator =
-      Core.Estimator.create ~card_threshold:threshold
-        ?het:(Core.Synopsis.het syn)
-        ?values:(Core.Synopsis.values syn)
-        ?obs
-        (Core.Synopsis.kernel syn)
-    in
+    let estimator = estimator_of ?obs ~threshold syn in
     let report = Core.Explain.run_string ?obs estimator query in
     if json then print_endline (Obs.Json.to_string (Core.Explain.to_json report))
     else Format.printf "%a@." Core.Explain.pp report;
-    finish_obs ?het:(Core.Synopsis.het syn) obs
+    finish_obs ?het:(Core.Synopsis.het syn) obs;
+    if
+      strict
+      && strict_failures ~clamped:report.Core.Explain.degenerate_clamps
+           ~unknown_labels:report.Core.Explain.unknown_labels
+    then exit 1
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Estimate one query and report what the pipeline did: wall-clock \
              per stage, EPT nodes emitted vs pruned, matcher frontier peak, \
              HET hits/misses, and which estimation assumptions fired")
-    Term.(const run $ synopsis_arg $ query_arg 1 $ threshold_arg $ json_arg
-          $ obs_term)
+    Term.(const run $ synopsis_arg $ query_arg 1 $ override_threshold_arg
+          $ json_arg $ strict_arg $ obs_term)
 
 let evaluate_cmd =
   let run file query =
+    protect @@ fun () ->
     let doc = read_file file in
     (* Always collect values: the CLI cannot know whether the query needs
        them, and the extra pass cost is irrelevant interactively. *)
@@ -204,6 +261,7 @@ let evaluate_cmd =
 
 let ept_cmd =
   let run file threshold =
+    protect @@ fun () ->
     let doc = read_file file in
     let kernel = Core.Builder.of_string doc in
     print_endline (Core.Traveler.ept_to_xml ~card_threshold:threshold kernel)
@@ -230,6 +288,7 @@ let generate_cmd =
          & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output XML file")
   in
   let run corpus scale seed output =
+    protect @@ fun () ->
     let doc =
       match corpus with
       | `Dblp -> Datagen.Dblp.generate ~seed ~records:scale ()
@@ -254,6 +313,7 @@ let workload_cmd =
   let mbp = Arg.(value & opt int 1 & info [ "mbp" ] ~docv:"M" ~doc:"Max predicates/step") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed") in
   let run file kind count mbp seed =
+    protect @@ fun () ->
     let doc = read_file file in
     let pt = Pathtree.Path_tree.of_string doc in
     let rng = Datagen.Rng.create ~seed in
@@ -275,7 +335,9 @@ let workload_cmd =
 let compare_cmd =
   let count = Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Queries/kind") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed") in
-  let run file no_het budget bsel threshold count seed with_values obs =
+  let run file no_het budget bsel threshold count seed with_values obs_spec =
+    protect @@ fun () ->
+    let obs = obs_of obs_spec in
     let doc = read_file file in
     let synopsis =
       Core.Synopsis.build ?budget_bytes:budget ~with_het:(not no_het)
@@ -337,8 +399,16 @@ let compare_cmd =
 let () =
   let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
   let info = Cmd.info "xseed" ~version:"1.0.0" ~doc in
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
+           ept_cmd; generate_cmd; workload_cmd; compare_cmd ])
+  in
+  (* Remap cmdliner's reserved codes onto the sysexits contract documented
+     in the README: 64 for a command-line usage error, 70 for anything the
+     term-evaluation layer classified as internal. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
-            ept_cmd; generate_cmd; workload_cmd; compare_cmd ]))
+    (if code = Cmd.Exit.cli_error then 64
+     else if code = Cmd.Exit.internal_error then 70
+     else code)

@@ -1,0 +1,28 @@
+(* CRC-32 (IEEE 802.3 / zlib polynomial), table-driven, bytewise. All
+   intermediate values fit in 32 bits, so plain OCaml ints are exact. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let digest s =
+  let tbl = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> crc := tbl.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let to_hex crc = Printf.sprintf "%08x" crc
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 && v <= 0xFFFFFFFF -> Some v
+    | _ -> None

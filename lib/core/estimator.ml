@@ -26,14 +26,80 @@ let ept t =
   in
   Matcher.materialize ~max_nodes:t.max_ept_nodes ?obs:t.obs traveler
 
-let estimate_on t ept path =
+(* A corrupt-but-loadable synopsis (or a pathological query shape) can push
+   the arithmetic into NaN/inf territory; an estimate is only useful to an
+   optimizer as a finite non-negative number, so degenerate values are
+   clamped and counted rather than propagated. *)
+let clamp_estimate ?obs x =
+  let value, clamped =
+    if Float.is_nan x then (0.0, 1)
+    else if x = Float.infinity then (Float.max_float, 1)
+    else if x < 0.0 then (0.0, 1)
+    else (x, 0)
+  in
+  if clamped > 0 then Obs.add_to ?obs "estimator.degenerate_clamps" 1;
+  (value, clamped)
+
+let raw_estimate_on t ept path =
   Matcher.estimate ?het:t.het ?values:t.values ?obs:t.obs
     ~table:(Kernel.table t.kernel) ept
     (Xpath.Query_tree.of_path path)
 
+let estimate_on t ept path =
+  fst (clamp_estimate ?obs:t.obs (raw_estimate_on t ept path))
+
 let estimate t path = estimate_on t (ept t) path
 
 let estimate_string t query = estimate t (Xpath.Parser.parse query)
+
+(* Name tests absent from the kernel's label table. They are never interned
+   (lookups use [find_opt]), so estimating an unknown name cannot grow the
+   synopsis; it just contributes zero matches. *)
+let unknown_labels t path =
+  let table = Kernel.table t.kernel in
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note n =
+    if Xml.Label.find_opt table n = None && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      out := n :: !out
+    end
+  in
+  let rec go path =
+    List.iter
+      (fun (s : Xpath.Ast.step) ->
+        (match s.test with Xpath.Ast.Name n -> note n | Xpath.Ast.Wildcard -> ());
+        List.iter go s.predicates)
+      path
+  in
+  go path;
+  List.rev !out
+
+type outcome = { value : float; clamped : int; unknown_labels : string list }
+
+let outcome_on t ept path =
+  let value, clamped = clamp_estimate ?obs:t.obs (raw_estimate_on t ept path) in
+  { value; clamped; unknown_labels = unknown_labels t path }
+
+let estimate_result t path =
+  Error.guard (fun () ->
+      if path = [] then Error.raisef Error.Malformed_query "empty query";
+      let qt = Xpath.Query_tree.of_path path in
+      if qt.Xpath.Query_tree.size > 62 then
+        Error.raisef Error.Malformed_query
+          "query tree has %d nodes; the matcher's bitset encoding supports 62"
+          qt.Xpath.Query_tree.size;
+      match outcome_on t (ept t) path with
+      | o -> o
+      | exception Matcher.Ept_too_large n ->
+        Error.raisef Error.Limit_exceeded
+          "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
+
+let estimate_string_result t query =
+  match Xpath.Parser.parse_result query with
+  | Result.Error { position; message } ->
+    Result.Error (Error.make ~position Error.Malformed_query message)
+  | Ok path -> estimate_result t path
 
 (* A rooted simple path: child axes, name tests, no predicates. *)
 let simple_labels table path =

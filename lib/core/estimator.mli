@@ -36,10 +36,41 @@ val recursion_aware : t -> bool
 val estimate : t -> Xpath.Ast.t -> float
 (** Estimated cardinality |p|. The EPT is regenerated per call, matching the
     paper's per-query estimation cost; use {!ept}+{!estimate_on} to amortize
-    it across a workload. *)
+    it across a workload. The result is always finite and non-negative:
+    degenerate values (NaN, infinity, negatives — possible only with
+    inconsistent synopsis statistics) are clamped and counted on the
+    [estimator.degenerate_clamps] Obs counter. *)
 
 val estimate_string : t -> string -> float
 (** Parse then estimate. @raise Xpath.Parser.Error on a bad query. *)
+
+type outcome = {
+  value : float;  (** the (clamped) estimate *)
+  clamped : int;  (** 1 if the raw estimate was degenerate, else 0 *)
+  unknown_labels : string list;
+      (** name tests absent from the synopsis's label table, in query
+          order. Unknown names are never interned into the table; they
+          simply match nothing. *)
+}
+
+val estimate_result : t -> Xpath.Ast.t -> (outcome, Error.t) result
+(** Total-function estimation: an empty query or one whose query tree
+    exceeds the matcher's 62-node bitset limit is [Malformed_query]; an EPT
+    blow-up past [max_ept_nodes] is [Limit_exceeded]. Never raises on any
+    parseable query, and [outcome.value] is never NaN. *)
+
+val estimate_string_result : t -> string -> (outcome, Error.t) result
+(** {!estimate_result} after parsing; a syntax error is [Malformed_query]
+    with the byte position. *)
+
+val clamp_estimate : ?obs:Obs.t -> float -> float * int
+(** [(clamped value, 1 if clamping fired else 0)]; bumps
+    [estimator.degenerate_clamps] when it fires. Exposed for callers that
+    run {!Matcher.estimate} directly. *)
+
+val unknown_labels : t -> Xpath.Ast.t -> string list
+(** The [outcome.unknown_labels] computation alone (including name tests
+    inside predicates). *)
 
 val ept : t -> Matcher.ept
 (** Materialize the EPT once. *)

@@ -15,6 +15,8 @@ type report = {
   match_seconds : float;
   total_seconds : float;
   assumptions : string list;
+  degenerate_clamps : int;
+  unknown_labels : string list;
 }
 
 (* Derive the assumption trail from the counters: every quantity the final
@@ -81,6 +83,8 @@ let run ?obs estimator path =
           (Xpath.Query_tree.of_path path)
       in
       let t2 = Obs.now () in
+      let estimate, degenerate_clamps = Estimator.clamp_estimate ?obs estimate in
+      let unknown_labels = Estimator.unknown_labels estimator path in
       Matcher.publish_stats ?obs ms;
       let het_usage =
         match (het, het_before) with
@@ -104,8 +108,9 @@ let run ?obs estimator path =
         ept_seconds = t1 -. t0;
         match_seconds = t2 -. t1;
         total_seconds = t2 -. t0;
-        assumptions =
-          assumptions_of ~path ~ms ~traveler:tstats ~het_usage })
+        assumptions = assumptions_of ~path ~ms ~traveler:tstats ~het_usage;
+        degenerate_clamps;
+        unknown_labels })
 
 let run_string ?obs estimator query =
   run ?obs estimator (Xpath.Parser.parse query)
@@ -136,6 +141,13 @@ let pp ppf r =
        (u.simple_lookups - u.simple_hits)
        u.branching_lookups u.branching_hits u.feedback_inserts
    | _ -> Format.fprintf ppf "  HET          none (kernel-only estimate)@,");
+  if r.degenerate_clamps > 0 then
+    Format.fprintf ppf
+      "  warning      raw estimate was degenerate (NaN/inf/negative); clamped@,";
+  if r.unknown_labels <> [] then
+    Format.fprintf ppf "  unknown      label%s not in synopsis: %s@,"
+      (if List.length r.unknown_labels = 1 then "" else "s")
+      (String.concat ", " r.unknown_labels);
   Format.fprintf ppf "  assumptions@,";
   List.iter (fun a -> Format.fprintf ppf "    - %s@," a) r.assumptions;
   Format.fprintf ppf "@]"
@@ -184,4 +196,6 @@ let to_json r =
               ("branching_lookups", Int u.branching_lookups);
               ("branching_hits", Int u.branching_hits);
               ("feedback_inserts", Int u.feedback_inserts) ] );
+      ("degenerate_clamps", Int r.degenerate_clamps);
+      ("unknown_labels", List (List.map (fun a -> String a) r.unknown_labels));
       ("assumptions", List (List.map (fun a -> String a) r.assumptions)) ]

@@ -30,6 +30,11 @@ type report = {
   assumptions : string list;
       (** human-readable list of the estimation assumptions and overrides
           that fired for this query, in pipeline order *)
+  degenerate_clamps : int;
+      (** 1 if the raw estimate was NaN/inf/negative and got clamped *)
+  unknown_labels : string list;
+      (** name tests absent from the synopsis's label table (each matches
+          nothing; a sign the query and synopsis disagree) *)
 }
 
 val run : ?obs:Obs.t -> Estimator.t -> Xpath.Ast.t -> report

@@ -198,33 +198,59 @@ let to_string t =
     branches;
   Buffer.contents buf
 
+let of_string_result s =
+  Error.guard (fun () ->
+      let t = create () in
+      let budget = ref None in
+      let malformed i line =
+        Error.raisef ~position:(i + 1) ~section:"het" Error.Corrupt_synopsis
+          "bad HET line: %s" (String.trim line)
+      in
+      (* Reject non-finite statistics outright: a NaN selectivity would
+         silently poison every estimate that touches the entry. *)
+      let finite i line x = if Float.is_finite x then x else malformed i line in
+      let clamp01 x = Float.max 0.0 (Float.min 1.0 x) in
+      List.iteri
+        (fun i line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "" ] -> ()
+          | [ "xseed-het"; "v1" ] when i = 0 -> ()
+          | [ "budget"; b ] ->
+            (match int_of_string_opt b with
+             | Some b -> budget := Some b
+             | None -> malformed i line)
+          | [ "simple"; h; card; bsel; error ] ->
+            (match
+               (int_of_string_opt h, int_of_string_opt card, float_of_string_opt error)
+             with
+             | Some h, Some card, Some error ->
+               let error = finite i line error in
+               let bsel =
+                 if bsel = "-" then None
+                 else
+                   match float_of_string_opt bsel with
+                   | Some b -> Some (clamp01 (finite i line b))
+                   | None -> malformed i line
+               in
+               add_simple t ~hash:h ~card:(max 0 card) ~bsel ~error
+             | _ -> malformed i line)
+          | [ "branching"; h; bsel; error ] ->
+            (match
+               (int_of_string_opt h, float_of_string_opt bsel, float_of_string_opt error)
+             with
+             | Some h, Some bsel, Some error ->
+               add_branching t ~hash:h ~bsel:(clamp01 (finite i line bsel))
+                 ~error:(finite i line error)
+             | _ -> malformed i line)
+          | _ -> malformed i line)
+        (String.split_on_char '\n' s);
+      (match !budget with Some b -> set_budget t ~bytes:b | None -> ());
+      t)
+
 let of_string s =
-  let t = create () in
-  let budget = ref None in
-  let malformed line = invalid_arg ("Het.of_string: bad line: " ^ line) in
-  List.iteri
-    (fun i line ->
-      match String.split_on_char ' ' (String.trim line) with
-      | [ "" ] -> ()
-      | [ "xseed-het"; "v1" ] when i = 0 -> ()
-      | [ "budget"; b ] ->
-        (match int_of_string_opt b with
-         | Some b -> budget := Some b
-         | None -> malformed line)
-      | [ "simple"; h; card; bsel; error ] ->
-        (match (int_of_string_opt h, int_of_string_opt card, float_of_string_opt error) with
-         | Some h, Some card, Some error ->
-           let bsel = if bsel = "-" then None else float_of_string_opt bsel in
-           add_simple t ~hash:h ~card ~bsel ~error
-         | _ -> malformed line)
-      | [ "branching"; h; bsel; error ] ->
-        (match (int_of_string_opt h, float_of_string_opt bsel, float_of_string_opt error) with
-         | Some h, Some bsel, Some error -> add_branching t ~hash:h ~bsel ~error
-         | _ -> malformed line)
-      | _ -> malformed line)
-    (String.split_on_char '\n' s);
-  (match !budget with Some b -> set_budget t ~bytes:b | None -> ());
-  t
+  match of_string_result s with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Het.of_string: " ^ Error.message e)
 
 let pp ppf t =
   Format.fprintf ppf "HET: %d entries (%d active, %d bytes)" (total_count t)

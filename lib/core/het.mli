@@ -79,5 +79,12 @@ val to_string : t -> string
 (** Stable textual dump of all entries (persistence). *)
 
 val of_string : string -> t
+(** @raise Invalid_argument on a malformed dump. *)
+
+val of_string_result : string -> (t, Error.t) result
+(** Like {!of_string}; a malformed dump is a [Corrupt_synopsis] error whose
+    [position] is the 1-based line number. Non-finite statistics are
+    rejected and selectivities are clamped into [0, 1], so a loaded table
+    can never inject a NaN into an estimate. *)
 
 val pp : Format.formatter -> t -> unit

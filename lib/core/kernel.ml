@@ -182,33 +182,42 @@ let to_string t =
     (sorted_edges t);
   Buffer.contents buf
 
+let of_string_result ?table s =
+  Error.guard (fun () ->
+      let t = create ?table () in
+      let lines = String.split_on_char '\n' s in
+      let malformed i line =
+        Error.raisef ~position:(i + 1) ~section:"kernel" Error.Corrupt_synopsis
+          "bad kernel line: %s" (String.trim line)
+      in
+      List.iteri
+        (fun i line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "" ] -> ()
+          | [ "xseed-kernel"; "v1" ] when i = 0 -> ()
+          | [ "root"; name ] -> t.root_label <- Some (Xml.Label.intern t.tbl name)
+          | [ "vertex"; name ] -> get_vertex t (Xml.Label.intern t.tbl name)
+          | "edge" :: src :: dst :: pairs ->
+            let e =
+              get_edge t (Xml.Label.intern t.tbl src) (Xml.Label.intern t.tbl dst)
+            in
+            List.iteri
+              (fun level pair ->
+                match String.split_on_char ':' pair with
+                | [ p; c ] ->
+                  (match (int_of_string_opt p, int_of_string_opt c) with
+                   | Some p, Some c -> add_at_level e level ~parents:p ~children:c
+                   | _ -> malformed i line)
+                | _ -> malformed i line)
+              pairs
+          | _ -> malformed i line)
+        lines;
+      t)
+
 let of_string ?table s =
-  let t = create ?table () in
-  let lines = String.split_on_char '\n' s in
-  let malformed line = invalid_arg ("Kernel.of_string: bad line: " ^ line) in
-  List.iteri
-    (fun i line ->
-      match String.split_on_char ' ' (String.trim line) with
-      | [ "" ] -> ()
-      | [ "xseed-kernel"; "v1" ] when i = 0 -> ()
-      | [ "root"; name ] -> t.root_label <- Some (Xml.Label.intern t.tbl name)
-      | [ "vertex"; name ] -> get_vertex t (Xml.Label.intern t.tbl name)
-      | "edge" :: src :: dst :: pairs ->
-        let e =
-          get_edge t (Xml.Label.intern t.tbl src) (Xml.Label.intern t.tbl dst)
-        in
-        List.iteri
-          (fun level pair ->
-            match String.split_on_char ':' pair with
-            | [ p; c ] ->
-              (match (int_of_string_opt p, int_of_string_opt c) with
-               | Some p, Some c -> add_at_level e level ~parents:p ~children:c
-               | _ -> malformed line)
-            | _ -> malformed line)
-          pairs
-      | _ -> malformed line)
-    lines;
-  t
+  match of_string_result ?table s with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Kernel.of_string: " ^ Error.message e)
 
 let copy t = of_string ~table:t.tbl (to_string t)
 

@@ -80,6 +80,10 @@ val to_string : t -> string
 val of_string : ?table:Xml.Label.table -> string -> t
 (** @raise Invalid_argument on a malformed dump. *)
 
+val of_string_result : ?table:Xml.Label.table -> string -> (t, Error.t) result
+(** Like {!of_string}; a malformed dump is a [Corrupt_synopsis] error whose
+    [position] is the 1-based line number. *)
+
 val equal : t -> t -> bool
 (** Same vertices, edges and counts (by label name). *)
 

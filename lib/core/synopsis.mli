@@ -27,10 +27,27 @@ val build :
     build ([synopsis.*_build] spans, builder/SAX/HET counters) and is kept
     by the returned estimator. *)
 
+val build_result :
+  ?budget_bytes:int ->
+  ?with_het:bool ->
+  ?with_values:bool ->
+  ?mbp:int ->
+  ?bsel_threshold:float ->
+  ?card_threshold:float ->
+  ?obs:Obs.t ->
+  string ->
+  (t, Error.t) result
+(** {!build}, but an ill-formed document or a fired resource limit comes
+    back as [Error] instead of an exception. *)
+
 val kernel : t -> Kernel.t
 val het : t -> Het.t option
 val values : t -> Value_synopsis.t option
 val estimator : t -> Estimator.t
+
+val card_threshold : t -> float
+(** The HET precomputation threshold the synopsis was built with. Persisted
+    by the v2 file format; v1 files load with the default (0.5). *)
 
 val estimate : t -> string -> float
 (** Parse and estimate a query. *)
@@ -41,11 +58,25 @@ val set_budget : t -> bytes:int -> unit
 val size_in_bytes : t -> int
 val kernel_size_in_bytes : t -> int
 
-val to_string : t -> string
-(** Persist kernel + HET, including the label table: HET hashes are computed
-    over label ids, so interning order must survive the round trip. *)
+val to_string : ?version:[ `V1 | `V2 ] -> t -> string
+(** Persist kernel + HET + values, including the label table: HET hashes
+    are computed over label ids, so interning order must survive the round
+    trip.
+
+    [`V2] (the default) writes a header with the [card_threshold] and a
+    per-section byte length and CRC-32 checksum, so truncation and byte
+    corruption are detected on load. [`V1] writes the legacy
+    marker-delimited format (which cannot store the threshold and is
+    confused by section payloads that contain a marker line). *)
 
 val of_string : string -> t
 (** @raise Invalid_argument on a malformed dump. *)
+
+val of_string_result : string -> (t, Error.t) result
+(** Version-negotiating loader: reads both v1 and v2 dumps, returning a
+    [Corrupt_synopsis] error (with section name, and line number where
+    meaningful) on any truncated, checksum-mismatched or unparseable
+    input. A loaded synopsis always has a non-empty kernel, so estimation
+    over it cannot raise. *)
 
 val pp : Format.formatter -> t -> unit

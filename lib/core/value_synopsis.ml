@@ -168,20 +168,26 @@ let find t ~context target =
   Option.bind (key_of_target t target) (fun key ->
       Hashtbl.find_opt t.dists (context, key))
 
+(* Probabilities must stay in [0, 1] even when the distribution counts are
+   inconsistent (a hand-edited or corrupt v1 dump can claim more frequent
+   instances than samples); a stray value outside the unit interval turns
+   into NaN under [( ** )] below. *)
+let clamp01 x = if Float.is_nan x then 0.0 else Float.max 0.0 (Float.min 1.0 x)
+
 let selectivity t ~context (vp : Xpath.Ast.value_predicate) =
   match find t ~context vp.target with
   | None -> 0.0  (* the pair never occurs in the document *)
   | Some d ->
     if d.parents = 0 then 0.0
     else begin
-      let sel = instance_selectivity t d vp.cmp vp.literal in
+      let sel = clamp01 (instance_selectivity t d vp.cmp vp.literal) in
       (* P(>= 1 of the parent's instances satisfies): noisy-or across the
          average number of instances per parent that has any. *)
       let avg =
         float_of_int d.samples /. float_of_int (max 1 d.with_target)
       in
       let exists = 1.0 -. ((1.0 -. sel) ** avg) in
-      float_of_int d.with_target /. float_of_int d.parents *. exists
+      clamp01 (float_of_int d.with_target /. float_of_int d.parents *. exists)
     end
 
 let sample_values t ~context target =
@@ -218,9 +224,16 @@ let hex s =
   Buffer.contents buf
 
 let unhex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Value_synopsis: bad hex"
+  in
   if String.length s mod 2 <> 0 then invalid_arg "Value_synopsis: bad hex";
   String.init (String.length s / 2) (fun i ->
-      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
 
 let to_string t =
   let buf = Buffer.create 4096 in
@@ -256,18 +269,26 @@ let to_string t =
     rows;
   Buffer.contents buf
 
-let of_string ?table s =
+let of_string_exn ?table s =
   let table = match table with Some t -> t | None -> Xml.Label.create_table () in
-  let malformed line = invalid_arg ("Value_synopsis.of_string: bad line: " ^ line) in
+  let malformed_at i line =
+    Error.raisef ~position:(i + 1) ~section:"values" Error.Corrupt_synopsis
+      "bad values line: %s" (String.trim line)
+  in
   let lines = String.split_on_char '\n' s in
   let buckets = ref 32 in
   (match lines with
    | first :: _ ->
      (match String.split_on_char ' ' first with
       | [ "xseed-values"; "v1"; b ] ->
-        (match int_of_string_opt b with Some b -> buckets := b | None -> malformed first)
-      | _ -> invalid_arg "Value_synopsis.of_string: bad header")
-   | [] -> invalid_arg "Value_synopsis.of_string: empty");
+        (match int_of_string_opt b with
+         | Some b when b > 0 -> buckets := b
+         | _ -> malformed_at 0 first)
+      | _ ->
+        Error.raisef ~position:1 ~section:"values" Error.Corrupt_synopsis
+          "bad values header")
+   | [] ->
+     Error.raisef ~section:"values" Error.Corrupt_synopsis "empty values section");
   let dists = Hashtbl.create 64 in
   let current = ref None in
   let flush () =
@@ -280,6 +301,8 @@ let of_string ?table s =
   in
   List.iteri
     (fun i line ->
+      let malformed line = malformed_at i line in
+      let unhex v = try unhex v with Invalid_argument _ -> malformed line in
       if i > 0 then
         match String.split_on_char ' ' (String.trim line) with
         | [ "" ] -> ()
@@ -303,8 +326,10 @@ let of_string ?table s =
              current :=
                Some
                  ( (context, key),
-                   { parents; with_target; samples; numeric; boundaries = [||];
-                     frequent = []; distinct; examples = [] },
+                   { parents = max 0 parents; with_target = max 0 with_target;
+                     samples = max 0 samples; numeric = max 0 numeric;
+                     boundaries = [||]; frequent = []; distinct = max 0 distinct;
+                     examples = [] },
                    [], [] )
            | _ -> malformed line)
         | "bounds" :: values ->
@@ -315,15 +340,15 @@ let of_string ?table s =
                  (List.map
                     (fun v ->
                       match float_of_string_opt v with
-                      | Some x -> x
-                      | None -> malformed line)
+                      | Some x when Float.is_finite x -> x
+                      | _ -> malformed line)
                     values)
              in
              current := Some (key, { d with boundaries }, f, sm)
            | None -> malformed line)
         | [ "freq"; v; c ] ->
           (match (!current, int_of_string_opt c) with
-           | Some (key, d, f, sm), Some c ->
+           | Some (key, d, f, sm), Some c when c >= 0 ->
              current := Some (key, d, (unhex v, c) :: f, sm)
            | _ -> malformed line)
         | [ "sample"; v ] ->
@@ -339,3 +364,10 @@ let of_string ?table s =
     lines;
   flush ();
   { dists; buckets = !buckets; table }
+
+let of_string_result ?table s = Error.guard (fun () -> of_string_exn ?table s)
+
+let of_string ?table s =
+  match of_string_result ?table s with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Value_synopsis.of_string: " ^ Error.message e)

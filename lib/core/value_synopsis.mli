@@ -47,3 +47,9 @@ val to_string : t -> string
 
 val of_string : ?table:Xml.Label.table -> string -> t
 (** @raise Invalid_argument on a malformed dump. *)
+
+val of_string_result : ?table:Xml.Label.table -> string -> (t, Error.t) result
+(** Like {!of_string}; a malformed dump is a [Corrupt_synopsis] error whose
+    [position] is the 1-based line number. Non-finite histogram boundaries
+    and negative counts are rejected on load, and {!selectivity} clamps its
+    result into [0, 1], so a loaded synopsis can never produce a NaN. *)

@@ -1,13 +1,36 @@
 exception Malformed of { position : int; message : string }
+exception Limit of { position : int; message : string }
 
 let fail pos fmt =
   Format.kasprintf (fun message -> raise (Malformed { position = pos; message })) fmt
+
+let fail_limit pos fmt =
+  Format.kasprintf (fun message -> raise (Limit { position = pos; message })) fmt
+
+(* Resource guards, enforced during the scan so a hostile input is rejected
+   before it can exhaust memory or blow the stack downstream. The defaults
+   are far above anything the paper's corpora produce. *)
+type limits = {
+  max_depth : int;
+  max_attribute_length : int;
+  max_text_length : int;
+  max_entity_length : int;
+  max_input_bytes : int;
+}
+
+let default_limits =
+  { max_depth = 1_000_000;
+    max_attribute_length = 1 lsl 20;  (* 1 MiB *)
+    max_text_length = 1 lsl 24;  (* 16 MiB per text node *)
+    max_entity_length = 16;
+    max_input_bytes = 1 lsl 30 (* 1 GiB *) }
 
 (* The parser is a single left-to-right scan holding only the open-tag stack,
    so it runs in space proportional to document depth, not size. *)
 type 'a state = {
   input : string;
   len : int;
+  limits : limits;
   mutable pos : int;
   mutable stack : string list;  (* open elements, innermost first *)
   mutable acc : 'a;
@@ -60,7 +83,9 @@ let read_entity st =
   let rec semi i =
     if i >= st.len then fail start "unterminated entity reference"
     else if st.input.[i] = ';' then i
-    else if i - start > 10 then fail start "entity reference too long"
+    else if i - start > st.limits.max_entity_length then
+      fail_limit start "entity reference longer than %d bytes"
+        st.limits.max_entity_length
     else semi (i + 1)
   in
   let stop = semi st.pos in
@@ -73,7 +98,11 @@ let read_entity st =
     else if cp < 0x800 then begin
       Buffer.add_char st.buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char st.buf (Char.chr (0x80 lor (cp land 0x3F)))
-    end else if cp < 0x10000 then begin
+    end else if cp >= 0xD800 && cp <= 0xDFFF then
+      (* Surrogate codepoints are not Unicode scalar values; encoding them
+         would emit invalid UTF-8 (CESU-8-style). XML 1.0 forbids them. *)
+      fail start "surrogate character reference U+%04X" cp
+    else if cp < 0x10000 then begin
       Buffer.add_char st.buf (Char.chr (0xE0 lor (cp lsr 12)));
       Buffer.add_char st.buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char st.buf (Char.chr (0x80 lor (cp land 0x3F)))
@@ -112,6 +141,9 @@ let read_attribute_value st =
   in
   Buffer.clear st.buf;
   let rec loop () =
+    if Buffer.length st.buf > st.limits.max_attribute_length then
+      fail_limit st.pos "attribute value longer than %d bytes"
+        st.limits.max_attribute_length;
     match peek st with
     | None -> fail st.pos "unterminated attribute value"
     | Some c when c = quote -> advance st
@@ -145,6 +177,8 @@ let emit st evt =
    | Event.Start_element _ ->
      st.n_elements <- st.n_elements + 1;
      st.depth <- st.depth + 1;
+     if st.depth > st.limits.max_depth then
+       fail_limit st.pos "element depth exceeds %d" st.limits.max_depth;
      if st.depth > st.max_depth then st.max_depth <- st.depth
    | Event.End_element _ -> st.depth <- st.depth - 1
    | Event.Text _ -> st.n_text <- st.n_text + 1);
@@ -201,6 +235,8 @@ let read_cdata st =
     else if st.input.[i] = ']' && st.input.[i + 1] = ']' && st.input.[i + 2] = '>'
     then begin
       Buffer.add_substring st.buf st.input start (i - start);
+      if Buffer.length st.buf > st.limits.max_text_length then
+        fail_limit start "text node longer than %d bytes" st.limits.max_text_length;
       st.pos <- i + 3
     end
     else search (i + 1)
@@ -277,9 +313,12 @@ and flush_text_always st =
     emit st (Text s)
   end
 
-let fold ?obs input ~init ~f =
+let fold ?obs ?(limits = default_limits) input ~init ~f =
+  if String.length input > limits.max_input_bytes then
+    fail_limit 0 "input is %d bytes, limit is %d" (String.length input)
+      limits.max_input_bytes;
   let st =
-    { input; len = String.length input; pos = 0; stack = []; acc = init;
+    { input; len = String.length input; limits; pos = 0; stack = []; acc = init;
       seen_root = false; f; buf = Buffer.create 256; n_events = 0;
       n_elements = 0; n_text = 0; depth = 0; max_depth = 0 }
   in
@@ -301,6 +340,9 @@ let fold ?obs input ~init ~f =
         if not (is_space c) then fail st.pos "text outside the root element";
         advance st
       end else begin
+        if Buffer.length st.buf >= st.limits.max_text_length then
+          fail_limit st.pos "text node longer than %d bytes"
+            st.limits.max_text_length;
         Buffer.add_char st.buf c;
         advance st
       end;
@@ -313,6 +355,16 @@ let fold ?obs input ~init ~f =
   Obs.max_to ?obs "sax.max_depth" st.max_depth;
   st.acc
 
-let iter ?obs input ~f = fold ?obs input ~init:() ~f:(fun () e -> f e)
+type error = { position : int; message : string; kind : [ `Malformed | `Limit ] }
+
+let fold_result ?obs ?limits input ~init ~f =
+  match fold ?obs ?limits input ~init ~f with
+  | acc -> Ok acc
+  | exception Malformed { position; message } ->
+    Error { position; message; kind = `Malformed }
+  | exception Limit { position; message } ->
+    Error { position; message; kind = `Limit }
+
+let iter ?obs ?limits input ~f = fold ?obs ?limits input ~init:() ~f:(fun () e -> f e)
 
 let events input = List.rev (fold input ~init:[] ~f:(fun acc e -> e :: acc))

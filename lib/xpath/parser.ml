@@ -203,3 +203,10 @@ let parse input =
 let parse_opt input = match parse input with
   | path -> Some path
   | exception Error _ -> None
+
+type error = { position : int; message : string }
+
+let parse_result input =
+  match parse input with
+  | path -> Ok path
+  | exception Error { position; message } -> Result.Error { position; message }

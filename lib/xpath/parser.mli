@@ -17,3 +17,8 @@ val parse : string -> Ast.t
 (** @raise Error on a syntax error. *)
 
 val parse_opt : string -> Ast.t option
+
+type error = { position : int; message : string }
+
+val parse_result : string -> (Ast.t, error) result
+(** Like {!parse} but returns the syntax error as a value; never raises. *)

@@ -1,0 +1,216 @@
+(* Fault-injection harness: mutate well-formed XML documents, synopsis
+   dumps and query strings with seeded random corruptions, and assert that
+   every library entry point answers with [Error _] — never an uncaught
+   exception, never a NaN estimate.
+
+   Deterministic: all randomness comes from [Datagen.Rng] streams derived
+   from the --seeds list, so a failing (seed, case) pair reproduces exactly.
+   `make fuzz-smoke` runs the fixed configuration wired into CI. *)
+
+let failures = ref 0
+let total = ref 0
+
+let fail_case ~category ~seed ~case fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "FAIL [%s seed=%d case=%d] %s\n%!" category seed case msg)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Mutations *)
+
+let flip_bit rng s =
+  let b = Bytes.of_string s in
+  let i = Datagen.Rng.int rng (Bytes.length b) in
+  Bytes.set b i
+    (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Datagen.Rng.int rng 8)));
+  Bytes.to_string b
+
+let truncate rng s = String.sub s 0 (Datagen.Rng.int rng (String.length s))
+
+let delete_chunk rng s =
+  let n = String.length s in
+  let i = Datagen.Rng.int rng n in
+  let len = min (n - i) (1 + Datagen.Rng.int rng 64) in
+  String.sub s 0 i ^ String.sub s (i + len) (n - i - len)
+
+let overwrite_chunk rng s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let i = Datagen.Rng.int rng n in
+  let len = min (n - i) (1 + Datagen.Rng.int rng 16) in
+  for j = i to i + len - 1 do
+    Bytes.set b j (Char.chr (Datagen.Rng.int rng 256))
+  done;
+  Bytes.to_string b
+
+(* Copy a random chunk to a random position: the mutation most likely to
+   manufacture duplicate or out-of-place v1 section markers. *)
+let splice rng s =
+  let n = String.length s in
+  let i = Datagen.Rng.int rng n and j = Datagen.Rng.int rng n in
+  let len = min (n - i) (1 + Datagen.Rng.int rng 32) in
+  String.sub s 0 j ^ String.sub s i len ^ String.sub s j (n - j)
+
+let mutate_once rng s =
+  if String.length s = 0 then s
+  else
+    match Datagen.Rng.int rng 5 with
+    | 0 -> flip_bit rng s
+    | 1 -> truncate rng s
+    | 2 -> delete_chunk rng s
+    | 3 -> overwrite_chunk rng s
+    | _ -> splice rng s
+
+let mutate rng s =
+  let rounds = 1 + Datagen.Rng.int rng 3 in
+  let rec go s k = if k = 0 then s else go (mutate_once rng s) (k - 1) in
+  go s rounds
+
+(* ------------------------------------------------------------------ *)
+(* Base material: small well-formed inputs to corrupt. *)
+
+let docs =
+  lazy
+    [| Datagen.Paper_example.document;
+       Datagen.Xmark.generate ~seed:11 ~items:8 ();
+       Datagen.Dblp.generate ~seed:12 ~records:10 ();
+       Datagen.Treebank.generate ~seed:13 ~sentences:6 () |]
+
+let good_synopsis =
+  lazy
+    (Core.Synopsis.build ~with_het:true ~with_values:true
+       Datagen.Paper_example.document)
+
+let synopsis_dumps =
+  lazy
+    (let syn = Lazy.force good_synopsis in
+     [| Core.Synopsis.to_string ~version:`V2 syn;
+        Core.Synopsis.to_string ~version:`V1 syn |])
+
+(* Queries derived from the paper document's own paths, so label names are
+   right without hard-coding them, plus generic shapes. *)
+let queries =
+  lazy
+    (let pt = Pathtree.Path_tree.of_string Datagen.Paper_example.document in
+     let simple = Datagen.Workload.all_simple_paths pt in
+     let take n l =
+       List.filteri (fun i _ -> i < n) l |> List.map Xpath.Ast.to_string
+     in
+     Array.of_list (take 6 simple @ [ "/*"; "//*"; "//*[*]" ]))
+
+let limits =
+  { Xml.Sax.default_limits with
+    max_depth = 500;
+    max_attribute_length = 4096;
+    max_text_length = 1 lsl 16;
+    max_input_bytes = 1 lsl 22 }
+
+(* An estimator over a (possibly corrupt but loadable) synopsis, with a
+   small EPT cap so a corrupted card_threshold cannot stall the run. *)
+let estimator_of syn =
+  Core.Estimator.create
+    ~card_threshold:(Core.Synopsis.card_threshold syn)
+    ~max_ept_nodes:50_000
+    ?het:(Core.Synopsis.het syn)
+    ?values:(Core.Synopsis.values syn)
+    (Core.Synopsis.kernel syn)
+
+let check_estimates ~category ~seed ~case est =
+  Array.iter
+    (fun q ->
+      match Core.Estimator.estimate_string_result est q with
+      | Ok o ->
+        if Float.is_nan o.Core.Estimator.value || o.Core.Estimator.value < 0.0
+        then
+          fail_case ~category ~seed ~case "estimate of %s is %h" q
+            o.Core.Estimator.value
+      | Error _ -> ()
+      | exception e ->
+        fail_case ~category ~seed ~case "exception estimating %s: %s" q
+          (Printexc.to_string e))
+    (Lazy.force queries)
+
+(* ------------------------------------------------------------------ *)
+(* Categories *)
+
+let xml_case rng ~seed ~case =
+  incr total;
+  let category = "xml" in
+  let doc = mutate rng (Datagen.Rng.choose rng (Lazy.force docs)) in
+  (match Xml.Sax.fold_result ~limits doc ~init:0 ~f:(fun n _ -> n + 1) with
+   | Ok _ | Error _ -> ()
+   | exception e ->
+     fail_case ~category ~seed ~case "Sax.fold_result raised %s"
+       (Printexc.to_string e));
+  (* Full synopsis construction is heavier; exercise it on small inputs. *)
+  if String.length doc < 2048 then
+    match Core.Synopsis.build_result ~with_het:true ~with_values:true doc with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      fail_case ~category ~seed ~case "Synopsis.build_result raised %s"
+        (Printexc.to_string e)
+
+let synopsis_case rng ~seed ~case =
+  incr total;
+  let category = "synopsis" in
+  let dump = mutate rng (Datagen.Rng.choose rng (Lazy.force synopsis_dumps)) in
+  match Core.Synopsis.of_string_result dump with
+  | Error _ -> ()
+  | Ok syn -> check_estimates ~category ~seed ~case (estimator_of syn)
+  | exception e ->
+    fail_case ~category ~seed ~case "Synopsis.of_string_result raised %s"
+      (Printexc.to_string e)
+
+let query_case rng ~seed ~case =
+  incr total;
+  let category = "query" in
+  let q = mutate rng (Datagen.Rng.choose rng (Lazy.force queries)) in
+  match Xpath.Parser.parse_result q with
+  | Error _ -> ()
+  | Ok _ -> (
+    let est = estimator_of (Lazy.force good_synopsis) in
+    match Core.Estimator.estimate_string_result est q with
+    | Ok o ->
+      if Float.is_nan o.Core.Estimator.value || o.Core.Estimator.value < 0.0
+      then
+        fail_case ~category ~seed ~case "estimate of %s is %h" q
+          o.Core.Estimator.value
+    | Error _ -> ()
+    | exception e ->
+      fail_case ~category ~seed ~case "exception estimating %s: %s" q
+        (Printexc.to_string e))
+  | exception e ->
+    fail_case ~category ~seed ~case "Parser.parse_result raised %s"
+      (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let seeds = ref [ 1; 2; 3; 4 ] in
+  let cases = ref 200 in
+  Arg.parse
+    [ ( "--seeds",
+        Arg.String
+          (fun s ->
+            seeds := List.map int_of_string (String.split_on_char ',' s)),
+        "S1,S2,... comma-separated RNG seeds" );
+      ("--cases", Arg.Set_int cases, "N mutation cases per seed per category")
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fault_injection [--seeds 1,2,3,4] [--cases 200]";
+  List.iter
+    (fun seed ->
+      let rng = Datagen.Rng.create ~seed in
+      let xml_rng = Datagen.Rng.split rng in
+      let syn_rng = Datagen.Rng.split rng in
+      let query_rng = Datagen.Rng.split rng in
+      for case = 1 to !cases do
+        xml_case xml_rng ~seed ~case;
+        synopsis_case syn_rng ~seed ~case;
+        query_case query_rng ~seed ~case
+      done)
+    !seeds;
+  Printf.printf "fault-injection: %d cases, %d failures\n%!" !total !failures;
+  exit (if !failures > 0 then 1 else 0)

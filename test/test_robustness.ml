@@ -1,0 +1,370 @@
+(* Robustness suite: golden error kinds/positions for malformed XML and
+   XPath, synopsis file corruption (truncation, bit flips, CRC sweep),
+   version negotiation, resource limits, and estimator guard rails. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Malformed XML: every entry is (input, expected byte position, message
+   fragment). All must fail with a [`Malformed] parse error — never an
+   exception — at exactly the recorded position. *)
+
+let bad_xml =
+  [ ("", 0, "no root element");
+    ("   ", 3, "no root element");
+    ("text only", 0, "text outside the root element");
+    ("<", 1, "dangling '<' at end of input");
+    ("<a", 2, "unterminated start tag");
+    ("<a>", 3, "unclosed element");
+    ("<a></b>", 7, "mismatched closing tag");
+    ("<a><b></a>", 10, "mismatched closing tag");
+    ("<a></a><b></b>", 8, "content after the root element");
+    ("<a></a>trailing", 7, "text outside the root element");
+    ("<a attr></a>", 7, "expected '='");
+    ("<a x=1></a>", 5, "expected quoted attribute value");
+    ("<a x=\"1></a>", 8, "'<' in attribute value");
+    ("</a>", 4, "no open element");
+    ("<1a></1a>", 1, "unexpected character '1'");
+    ("<a>&unknown;</a>", 4, "unknown entity");
+    ("<a>&#xZZ;</a>", 4, "bad character reference");
+    ("<a>&#x110000;</a>", 4, "out of range");
+    ("<a>&#xD800;</a>", 4, "surrogate character reference");
+    ("<a>&#xDFFF;</a>", 4, "surrogate character reference");
+    ("<a>& b</a>", 4, "unterminated entity reference");
+    ("<a><!-- unterminated </a>", 7, "unterminated construct");
+    ("<a><![CDATA[ unterminated </a>", 12, "unterminated CDATA section");
+    ("<a><?pi unterminated </a>", 5, "unterminated construct");
+    ("<a></ a>", 5, "expected a name");
+    ("<a/ >", 3, "expected '>'");
+    ("<a><b/></a", 10, "expected '>'");
+    ("<a><b></b></a></a>", 18, "no open element");
+    ("<>x</>", 1, "unexpected character '>'");
+    ("<a></a", 6, "expected '>'") ]
+
+let test_bad_xml () =
+  List.iter
+    (fun (input, position, fragment) ->
+      match Xml.Sax.fold_result input ~init:() ~f:(fun () _ -> ()) with
+      | Ok () -> Alcotest.failf "%S parsed successfully" input
+      | Error e ->
+        checkb (Printf.sprintf "%S kind" input) true (e.Xml.Sax.kind = `Malformed);
+        checki (Printf.sprintf "%S position" input) position e.Xml.Sax.position;
+        checkb
+          (Printf.sprintf "%S message mentions %S (got %S)" input fragment
+             e.Xml.Sax.message)
+          true
+          (contains ~sub:fragment e.Xml.Sax.message))
+    bad_xml
+
+(* Near misses of the surrogate range must still parse. *)
+let test_surrogate_boundaries () =
+  match Xml.Sax.fold_result "<a>&#xD7FF;&#xE000;</a>" ~init:() ~f:(fun () _ -> ())
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "boundary codepoints rejected: %s" e.Xml.Sax.message
+
+(* ------------------------------------------------------------------ *)
+(* Malformed XPath: (input, expected byte position, message fragment). *)
+
+let bad_xpath =
+  [ ("", 0, "must start with");
+    ("/", 1, "expected a name test");
+    ("//", 2, "expected a name test");
+    ("a", 0, "must start with");
+    ("/a[", 3, "expected a name test");
+    ("/a[]", 3, "expected a name test");
+    ("/a[b", 4, "expected ']'");
+    ("/a]", 2, "trailing input");
+    ("/a[@x=]", 6, "expected a literal");
+    ("/a[@x!]", 5, "expected a comparison");
+    ("/a[x=1", 6, "expected ']'");
+    ("/a/", 3, "expected a name test");
+    ("/a[='v']", 3, "expected a name test");
+    ("/a[@]", 4, "expected a name");
+    ("/a[x='unterminated]", 6, "unterminated string literal");
+    ("/a b", 3, "trailing input") ]
+
+let test_bad_xpath () =
+  List.iter
+    (fun (input, position, fragment) ->
+      match Xpath.Parser.parse_result input with
+      | Ok _ -> Alcotest.failf "%S parsed successfully" input
+      | Error e ->
+        checki (Printf.sprintf "%S position" input) position
+          e.Xpath.Parser.position;
+        checkb
+          (Printf.sprintf "%S message mentions %S (got %S)" input fragment
+             e.Xpath.Parser.message)
+          true
+          (contains ~sub:fragment e.Xpath.Parser.message))
+    bad_xpath
+
+(* ------------------------------------------------------------------ *)
+(* Resource limits *)
+
+let test_limits () =
+  let parse ~limits s = Xml.Sax.fold_result ~limits s ~init:() ~f:(fun () _ -> ()) in
+  let expect_limit name result =
+    match result with
+    | Error { Xml.Sax.kind = `Limit; _ } -> ()
+    | Error e -> Alcotest.failf "%s: expected `Limit, got %s" name e.Xml.Sax.message
+    | Ok () -> Alcotest.failf "%s: parsed successfully" name
+  in
+  let deep = String.concat "" (List.init 20 (fun i -> Printf.sprintf "<e%d>" i)) in
+  expect_limit "depth"
+    (parse ~limits:{ Xml.Sax.default_limits with max_depth = 10 } deep);
+  expect_limit "input bytes"
+    (parse ~limits:{ Xml.Sax.default_limits with max_input_bytes = 4 } "<a></a>");
+  expect_limit "text length"
+    (parse
+       ~limits:{ Xml.Sax.default_limits with max_text_length = 4 }
+       "<a>hello world</a>");
+  expect_limit "attribute length"
+    (parse
+       ~limits:{ Xml.Sax.default_limits with max_attribute_length = 2 }
+       "<a x=\"abcdef\"/>");
+  expect_limit "entity length"
+    (parse
+       ~limits:{ Xml.Sax.default_limits with max_entity_length = 4 }
+       "<a>&aVeryLongEntity;</a>");
+  (* the same documents parse with default limits (except the entity, which
+     is genuinely unknown) *)
+  (match parse ~limits:Xml.Sax.default_limits deep with
+   | Error { Xml.Sax.message; _ } ->
+     (* 20 unclosed elements is malformed, but not a limit error *)
+     checkb "deep doc fails on well-formedness, not limits" true
+       (String.length message > 0)
+   | Ok () -> Alcotest.fail "unclosed elements accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Synopsis corruption *)
+
+let small_doc = "<r><a>x</a><a>y</a><b><a>z</a></b></r>"
+
+let small_synopsis =
+  lazy (Core.Synopsis.build ~with_het:true ~with_values:true small_doc)
+
+let expect_corrupt name contents =
+  match Core.Synopsis.of_string_result contents with
+  | Error e ->
+    checkb
+      (Printf.sprintf "%s kind (got %s)" name (Core.Error.to_string e))
+      true
+      (Core.Error.kind e = Core.Error.Corrupt_synopsis)
+  | Ok _ -> Alcotest.failf "%s: loaded successfully" name
+
+(* Flip every single payload byte of a v2 dump: each one must be caught by
+   the section CRC (or, for the rare flip that damages structure first, by
+   any other corruption error) — never accepted, never an exception. *)
+let test_v2_crc_sweep () =
+  let dump = Core.Synopsis.to_string (Lazy.force small_synopsis) in
+  let payload_start =
+    let marker = "end\n" in
+    let rec find i =
+      if String.sub dump i (String.length marker) = marker then
+        i + String.length marker
+      else find (i + 1)
+    in
+    find 0
+  in
+  for i = payload_start to String.length dump - 1 do
+    let b = Bytes.of_string dump in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    expect_corrupt (Printf.sprintf "flip payload byte %d" i) (Bytes.to_string b)
+  done
+
+let test_v2_truncation () =
+  let dump = Core.Synopsis.to_string (Lazy.force small_synopsis) in
+  (* every strict prefix must be rejected *)
+  let step = max 1 (String.length dump / 97) in
+  let i = ref 0 in
+  while !i < String.length dump do
+    expect_corrupt
+      (Printf.sprintf "truncate at %d" !i)
+      (String.sub dump 0 !i);
+    i := !i + step
+  done;
+  expect_corrupt "trailing garbage" (dump ^ "x")
+
+let test_v1_truncation () =
+  expect_corrupt "v1 header only" "xseed-synopsis v1\n";
+  expect_corrupt "v1 empty kernel" "xseed-synopsis v1\n---kernel---\n";
+  expect_corrupt "v1 half a kernel line"
+    "xseed-synopsis v1\nr\n---kernel---\nxseed-kernel v1\nroot r\nvertex";
+  expect_corrupt "not a synopsis" "garbage";
+  expect_corrupt "empty file" ""
+
+let test_v1_compat () =
+  let syn = Lazy.force small_synopsis in
+  let v1 = Core.Synopsis.to_string ~version:`V1 syn in
+  match Core.Synopsis.of_string_result v1 with
+  | Error e -> Alcotest.failf "v1 round trip failed: %s" (Core.Error.to_string e)
+  | Ok loaded ->
+    checki "v1 vertices"
+      (Core.Kernel.vertex_count (Core.Synopsis.kernel syn))
+      (Core.Kernel.vertex_count (Core.Synopsis.kernel loaded));
+    checkb "v1 has het" true (Core.Synopsis.het loaded <> None);
+    checkb "v1 has values" true (Core.Synopsis.values loaded <> None);
+    (* v1 cannot persist the threshold: documents the default fallback *)
+    check (Alcotest.float 0.0) "v1 card_threshold" 0.5
+      (Core.Synopsis.card_threshold loaded)
+
+let test_v2_round_trip () =
+  let syn =
+    Core.Synopsis.build ~with_het:true ~with_values:true ~card_threshold:3.5
+      small_doc
+  in
+  match Core.Synopsis.of_string_result (Core.Synopsis.to_string syn) with
+  | Error e -> Alcotest.failf "v2 round trip failed: %s" (Core.Error.to_string e)
+  | Ok loaded ->
+    check (Alcotest.float 0.0) "v2 card_threshold preserved" 3.5
+      (Core.Synopsis.card_threshold loaded);
+    checkb "v2 has het" true (Core.Synopsis.het loaded <> None);
+    checkb "v2 has values" true (Core.Synopsis.values loaded <> None);
+    List.iter
+      (fun q ->
+        check (Alcotest.float 1e-9) q
+          (Core.Estimator.estimate_string (Core.Synopsis.estimator syn) q)
+          (Core.Estimator.estimate_string (Core.Synopsis.estimator loaded) q))
+      [ "/r/a"; "//a"; "/r/b[a]"; "//*" ]
+
+(* A label that contains a v1 section-marker string mis-splits the v1 file
+   (documented limitation: the scan-for-marker design cannot tell payload
+   from frame). The failure must still be a structured error, and v2 must
+   load the same synopsis exactly. *)
+let test_marker_label_regression () =
+  let doc = "<r><a---values--->x</a---values---></r>" in
+  let syn = Core.Synopsis.build ~with_het:false ~with_values:false doc in
+  (match Core.Synopsis.of_string_result (Core.Synopsis.to_string ~version:`V1 syn)
+   with
+   | Error e ->
+     checkb "v1 marker collision is Corrupt_synopsis" true
+       (Core.Error.kind e = Core.Error.Corrupt_synopsis)
+   | Ok _ -> Alcotest.fail "v1 marker collision load unexpectedly succeeded");
+  match Core.Synopsis.of_string_result (Core.Synopsis.to_string syn) with
+  | Error e -> Alcotest.failf "v2 marker label failed: %s" (Core.Error.to_string e)
+  | Ok loaded ->
+    checki "v2 marker label vertices" 2
+      (Core.Kernel.vertex_count (Core.Synopsis.kernel loaded));
+    check (Alcotest.float 1e-9) "v2 marker label estimate" 1.0
+      (Core.Estimator.estimate_string
+         (Core.Synopsis.estimator loaded)
+         "//a---values---")
+
+(* Sub-synopsis deserializers reject non-finite statistics that would
+   poison estimates. *)
+let test_non_finite_statistics () =
+  (match Core.Het.of_string_result "xseed-het v1\nsimple 1 5 nan 0.0\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "HET accepted a NaN bsel");
+  (match Core.Het.of_string_result "xseed-het v1\nbranching 1 inf 0.0\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "HET accepted an infinite bsel");
+  match Core.Value_synopsis.of_string_result "junk" with
+  | Error e ->
+    checkb "values junk is Corrupt_synopsis" true
+      (Core.Error.kind e = Core.Error.Corrupt_synopsis)
+  | Ok _ -> Alcotest.fail "value synopsis accepted junk"
+
+(* ------------------------------------------------------------------ *)
+(* Estimator guard rails *)
+
+let test_estimator_guards () =
+  let est = Core.Synopsis.estimator (Lazy.force small_synopsis) in
+  (* unknown labels: reported, never interned, estimate is plain zero *)
+  (match Core.Estimator.estimate_string_result est "/r/zzz[qqq]" with
+   | Error e -> Alcotest.failf "unknown label errored: %s" (Core.Error.to_string e)
+   | Ok o ->
+     check (Alcotest.float 0.0) "unknown label estimate" 0.0
+       o.Core.Estimator.value;
+     check
+       (Alcotest.list Alcotest.string)
+       "unknown labels" [ "zzz"; "qqq" ] o.Core.Estimator.unknown_labels);
+  let table = Core.Kernel.table (Core.Estimator.kernel est) in
+  checkb "unknown name not interned" true (Xml.Label.find_opt table "zzz" = None);
+  (* malformed queries come back as errors with the right kind *)
+  (match Core.Estimator.estimate_result est [] with
+   | Error e ->
+     checkb "empty query kind" true (Core.Error.kind e = Core.Error.Malformed_query)
+   | Ok _ -> Alcotest.fail "empty query estimated");
+  (match Core.Estimator.estimate_string_result est "/r[" with
+   | Error e ->
+     checkb "syntax error kind" true
+       (Core.Error.kind e = Core.Error.Malformed_query);
+     checkb "syntax error position" true (Core.Error.position e = Some 3)
+   | Ok _ -> Alcotest.fail "bad query estimated");
+  (let wide =
+     "/r" ^ String.concat "" (List.init 70 (fun _ -> "[a]"))
+   in
+   match Core.Estimator.estimate_string_result est wide with
+   | Error e ->
+     checkb "oversized query kind" true
+       (Core.Error.kind e = Core.Error.Malformed_query)
+   | Ok _ -> Alcotest.fail ">62-node query estimated");
+  (* degenerate value clamping *)
+  checkb "nan clamps to 0" true (Core.Estimator.clamp_estimate Float.nan = (0.0, 1));
+  checkb "inf clamps to max_float" true
+    (Core.Estimator.clamp_estimate Float.infinity = (Float.max_float, 1));
+  checkb "negative clamps to 0" true (Core.Estimator.clamp_estimate (-3.0) = (0.0, 1));
+  checkb "finite passes through" true (Core.Estimator.clamp_estimate 42.0 = (42.0, 0));
+  let obs = Obs.create () in
+  ignore (Core.Estimator.clamp_estimate ~obs Float.nan);
+  checki "clamp counter" 1
+    (Obs.value (Obs.counter obs "estimator.degenerate_clamps"))
+
+(* ------------------------------------------------------------------ *)
+(* Error type and CRC-32 primitives *)
+
+let test_error_exit_codes () =
+  let code k = Core.Error.exit_code (Core.Error.make k "m") in
+  checki "malformed xml" 65 (code Core.Error.Malformed_xml);
+  checki "malformed query" 65 (code Core.Error.Malformed_query);
+  checki "corrupt synopsis" 65 (code Core.Error.Corrupt_synopsis);
+  checki "limit" 65 (code Core.Error.Limit_exceeded);
+  checki "missing file" 66 (code Core.Error.Missing_file);
+  checki "io" 74 (code Core.Error.Io_error);
+  checki "internal" 70 (code Core.Error.Internal)
+
+let test_crc32 () =
+  (* standard CRC-32 check value *)
+  checki "check value" 0xCBF43926 (Core.Crc32.digest "123456789");
+  checki "empty" 0 (Core.Crc32.digest "");
+  let h = Core.Crc32.to_hex (Core.Crc32.digest "xseed") in
+  checkb "hex round trip" true
+    (Core.Crc32.of_hex h = Some (Core.Crc32.digest "xseed"));
+  checkb "bad hex rejected" true (Core.Crc32.of_hex "xyzw1234" = None);
+  checkb "short hex rejected" true (Core.Crc32.of_hex "1234" = None)
+
+let () =
+  Alcotest.run "robustness"
+    [ ( "xml",
+        [ Alcotest.test_case "bad documents (golden positions)" `Quick
+            test_bad_xml;
+          Alcotest.test_case "surrogate boundaries" `Quick
+            test_surrogate_boundaries;
+          Alcotest.test_case "resource limits" `Quick test_limits ] );
+      ( "xpath",
+        [ Alcotest.test_case "bad queries (golden positions)" `Quick
+            test_bad_xpath ] );
+      ( "synopsis",
+        [ Alcotest.test_case "v2 CRC sweep" `Quick test_v2_crc_sweep;
+          Alcotest.test_case "v2 truncation" `Quick test_v2_truncation;
+          Alcotest.test_case "v1 truncation" `Quick test_v1_truncation;
+          Alcotest.test_case "v1 backward compatibility" `Quick test_v1_compat;
+          Alcotest.test_case "v2 round trip" `Quick test_v2_round_trip;
+          Alcotest.test_case "v1 marker-label limitation, v2 fix" `Quick
+            test_marker_label_regression;
+          Alcotest.test_case "non-finite statistics rejected" `Quick
+            test_non_finite_statistics ] );
+      ( "estimator",
+        [ Alcotest.test_case "guard rails" `Quick test_estimator_guards ] );
+      ( "error",
+        [ Alcotest.test_case "exit codes" `Quick test_error_exit_codes;
+          Alcotest.test_case "crc32" `Quick test_crc32 ] ) ]
