@@ -4,7 +4,7 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt fuzz-smoke smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke smoke bench-smoke bench-json ci clean
 
 all: build
 
@@ -41,10 +41,22 @@ smoke: build
 	@test -s $(SMOKE_DIR)/metrics.jsonl
 	@echo "smoke: OK ($(SMOKE_DIR))"
 
+# Feedback-loop smoke: replay a small workload through the serving engine's
+# estimate -> execute -> feedback rounds on a tiny corpus and assert the
+# per-round q-error median never increases (the paper's Figure 1 loop).
+bench-smoke: build
+	@mkdir -p $(SMOKE_DIR)
+	$(XSEED) generate xmark --scale 40 -o $(SMOKE_DIR)/bench.xml
+	$(XSEED) workload $(SMOKE_DIR)/bench.xml --kind bp --count 40 \
+	  > $(SMOKE_DIR)/bench.workload
+	$(XSEED) replay $(SMOKE_DIR)/bench.xml $(SMOKE_DIR)/bench.workload \
+	  --rounds 2 --budget 8192 --assert-improving
+	@echo "bench-smoke: OK"
+
 bench-json: build
 	$(DUNE) exec --no-build bench/main.exe -- --quick json
 
-ci: fmt build test fuzz-smoke smoke
+ci: fmt build test fuzz-smoke smoke bench-smoke
 
 clean:
 	$(DUNE) clean

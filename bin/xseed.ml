@@ -396,6 +396,163 @@ let compare_cmd =
     Term.(const run $ file_arg $ no_het_arg $ budget_arg $ bsel_arg $ threshold_arg
           $ count $ seed $ with_values_arg $ obs_term)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: a long-lived engine over one synopsis. *)
+
+let qerror_threshold_arg =
+  Arg.(value & opt float 2.0
+       & info [ "qerror-threshold" ] ~docv:"Q"
+           ~doc:"Minimum q-error at which execution feedback refines the HET")
+
+let cache_capacity_arg =
+  Arg.(value & opt int 1024
+       & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Estimate-cache capacity (entries)")
+
+let serve_cmd =
+  let run synopsis_file threshold qerror_threshold cache_capacity obs_spec =
+    protect @@ fun () ->
+    let obs = obs_of obs_spec in
+    let syn = load_synopsis synopsis_file in
+    let estimator = estimator_of ?obs ~threshold syn in
+    let engine =
+      Engine.create ~qerror_threshold ~cache_capacity ?obs estimator
+    in
+    Format.eprintf
+      "xseed serve: %s loaded; reading ESTIMATE/FEEDBACK/EXPLAIN/STATS lines \
+       from stdin@."
+      synopsis_file;
+    Engine.Protocol.run engine stdin stdout;
+    Engine.publish_counters engine;
+    finish_obs obs
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve estimates over a synopsis on a stdin/stdout line protocol: \
+             ESTIMATE <query>, FEEDBACK <query> <actual>, EXPLAIN <query>, \
+             STATS. Feedback whose q-error crosses the threshold refreshes \
+             the HET in place")
+    Term.(const run $ synopsis_arg $ override_threshold_arg
+          $ qerror_threshold_arg $ cache_capacity_arg $ obs_term)
+
+(* Replay: drive a workload through estimate -> execute -> feedback rounds
+   against an initially empty HET, reporting accuracy per round. This is the
+   paper's query-feedback scenario (Figure 1) end to end: the synopsis
+   starts as kernel-only and earns its HET from the workload itself. *)
+let replay_cmd =
+  let workload_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Query file, one XPath expression per line ('#' comments)")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 3
+         & info [ "rounds" ] ~docv:"R" ~doc:"Feedback rounds to run")
+  in
+  let assert_improving_arg =
+    Arg.(value & flag
+         & info [ "assert-improving" ]
+             ~doc:"Exit 1 unless the per-round q-error median never \
+                   increases")
+  in
+  let run file workload_file rounds budget threshold qerror_threshold
+      cache_capacity assert_improving obs_spec =
+    protect @@ fun () ->
+    if rounds < 1 then
+      Core.Error.raisef Core.Error.Malformed_query "--rounds must be >= 1";
+    let obs = obs_of obs_spec in
+    let doc = read_file file in
+    let queries =
+      read_file workload_file |> String.split_on_char '\n'
+      |> List.filter_map (fun line ->
+             let line = String.trim line in
+             if line = "" || line.[0] = '#' then None
+             else
+               match Xpath.Parser.parse_result line with
+               | Ok q -> Some q
+               | Result.Error { position; message } ->
+                 raise
+                   (Core.Error.Xseed
+                      (Core.Error.make ~position Core.Error.Malformed_query
+                         (Printf.sprintf "%s: %s" line message))))
+    in
+    if queries = [] then
+      Core.Error.raisef Core.Error.Malformed_query "empty workload: %s"
+        workload_file;
+    let kernel = Core.Builder.of_string ?obs doc in
+    let het = Core.Het.create () in
+    Option.iter (fun bytes -> Core.Het.set_budget het ~bytes) budget;
+    let estimator =
+      Core.Estimator.create
+        ~card_threshold:(Option.value threshold ~default:0.5)
+        ~het ?obs kernel
+    in
+    let engine =
+      Engine.create ~qerror_threshold ~cache_capacity ?obs estimator
+    in
+    let storage = Nok.Storage.of_string ~with_values:true doc in
+    let actuals =
+      List.map (fun q -> Nok.Eval.cardinality storage q) queries
+    in
+    let estimate_of q =
+      match Engine.estimate_ast engine q with
+      | Ok s -> s.Engine.outcome.Core.Estimator.value
+      | Error e -> raise (Core.Error.Xseed e)
+    in
+    let medians = ref [] in
+    for round = 1 to rounds do
+      Obs.span ?obs "replay.round" (fun () ->
+          let pairs =
+            List.map2
+              (fun q a -> (estimate_of q, float_of_int a))
+              queries actuals
+          in
+          let s = Stats.Metrics.summarize pairs in
+          medians := s.Stats.Metrics.q_error_median :: !medians;
+          List.iter2
+            (fun q actual ->
+              match Engine.feedback_ast engine q ~actual with
+              | Ok _ -> ()
+              | Error e -> raise (Core.Error.Xseed e))
+            queries actuals;
+          let c = Engine.cache_counters engine in
+          Format.printf
+            "round %d  queries %d  q-error median %.3f p90 %.3f max %.3f  \
+             cache %d hits / %d misses  HET %d active (%d B)  refinements %d@."
+            round s.Stats.Metrics.count s.Stats.Metrics.q_error_median
+            s.Stats.Metrics.q_error_p90 s.Stats.Metrics.q_error_max
+            c.Engine.Lru_cache.hits c.Engine.Lru_cache.misses
+            (Core.Het.active_count het)
+            (Core.Het.size_in_bytes het)
+            (Engine.feedback_rounds engine))
+    done;
+    Engine.publish_counters engine;
+    finish_obs obs;
+    let medians = List.rev !medians in
+    let monotone =
+      let rec check = function
+        | a :: (b :: _ as rest) -> b <= a +. 1e-9 && check rest
+        | _ -> true
+      in
+      check medians
+    in
+    if assert_improving && not monotone then begin
+      Format.eprintf
+        "xseed replay: q-error median increased across rounds: %s@."
+        (String.concat " -> "
+           (List.map (Printf.sprintf "%.3f") medians));
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a workload through estimate/execute/feedback rounds: the \
+             HET starts empty and is populated purely from query feedback, \
+             reporting q-error per round")
+    Term.(const run $ file_arg $ workload_arg $ rounds_arg $ budget_arg
+          $ override_threshold_arg $ qerror_threshold_arg $ cache_capacity_arg
+          $ assert_improving_arg $ obs_term)
+
 let () =
   let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
   let info = Cmd.info "xseed" ~version:"1.0.0" ~doc in
@@ -403,7 +560,8 @@ let () =
     Cmd.eval
       (Cmd.group info
          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
-           ept_cmd; generate_cmd; workload_cmd; compare_cmd ])
+           ept_cmd; generate_cmd; workload_cmd; compare_cmd; serve_cmd;
+           replay_cmd ])
   in
   (* Remap cmdliner's reserved codes onto the sysexits contract documented
      in the README: 64 for a command-line usage error, 70 for anything the

@@ -50,7 +50,7 @@ let () =
     List.iter
       (fun q ->
         let actual = Nok.Eval.cardinality storage q in
-        Core.Estimator.record_feedback estimator q ~actual)
+        ignore (Core.Estimator.record_feedback estimator q ~actual))
       workload;
     report round
   done;

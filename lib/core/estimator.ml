@@ -81,7 +81,7 @@ let outcome_on t ept path =
   let value, clamped = clamp_estimate ?obs:t.obs (raw_estimate_on t ept path) in
   { value; clamped; unknown_labels = unknown_labels t path }
 
-let estimate_result t path =
+let estimate_result_on t ept path =
   Error.guard (fun () ->
       if path = [] then Error.raisef Error.Malformed_query "empty query";
       let qt = Xpath.Query_tree.of_path path in
@@ -89,11 +89,13 @@ let estimate_result t path =
         Error.raisef Error.Malformed_query
           "query tree has %d nodes; the matcher's bitset encoding supports 62"
           qt.Xpath.Query_tree.size;
-      match outcome_on t (ept t) path with
+      match outcome_on t (Lazy.force ept) path with
       | o -> o
       | exception Matcher.Ept_too_large n ->
         Error.raisef Error.Limit_exceeded
           "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
+
+let estimate_result t path = estimate_result_on t (lazy (ept t)) path
 
 let estimate_string_result t query =
   match Xpath.Parser.parse_result query with
@@ -143,36 +145,47 @@ let branching_pattern table path =
         | Xpath.Ast.Name pn, Xpath.Ast.Name rn ->
           (match (Xml.Label.find_opt table pn, Xml.Label.find_opt table rn) with
            | Some pl, Some rl ->
-             let hash =
-               Path_hash.branching ~parent:pl
-                 ~predicates:(List.map Option.get pred_labels) ~next:rl
+             let predicates = List.map Option.get pred_labels in
+             let hash = Path_hash.branching ~parent:pl ~predicates ~next:rl in
+             let key =
+               Path_hash.branching_key ~parent:pl ~predicates ~next:rl
              in
              let stripped = prefix @ [ { p with predicates = [] }; r ] in
-             Some (hash, stripped)
+             Some (hash, key, stripped)
            | _ -> None)
         | _ -> None
 
-let record_feedback t path ~actual =
+let record_feedback ?ept:shared_ept t path ~actual =
   match t.het with
-  | None -> ()
+  | None -> false
   | Some het ->
+    let estimate path =
+      match shared_ept with
+      | Some e -> estimate_on t e path
+      | None -> estimate t path
+    in
     let table = Kernel.table t.kernel in
     (match simple_labels table path with
      | Some labels ->
-       let est = estimate t path in
+       let est = estimate path in
        let error = Float.abs (est -. float_of_int actual) in
-       Het.record_feedback het ~hash:(Path_hash.of_labels labels) ~card:actual ~error ()
+       Het.record_feedback het ~hash:(Path_hash.of_labels labels)
+         ~path:(Path_hash.key_of_labels labels) ~card:actual ~error ();
+       true
      | None ->
        (match branching_pattern table path with
-        | None -> ()
-        | Some (hash, stripped) ->
-          let est = estimate t path in
+        | None -> false
+        | Some (hash, pattern_key, stripped) ->
+          let est = estimate path in
           let error = Float.abs (est -. float_of_int actual) in
-          let denom = estimate t stripped in
+          let denom = estimate stripped in
           if denom > 0.0 then begin
             let bsel = Float.min 1.0 (float_of_int actual /. denom) in
-            Het.record_branching_feedback het ~hash ~bsel ~error
-          end))
+            Het.record_branching_feedback het ~hash ~path:pattern_key ~bsel
+              ~error;
+            true
+          end
+          else false))
 
 let size_in_bytes t =
   Kernel.size_in_bytes t.kernel

@@ -63,6 +63,12 @@ val estimate_string_result : t -> string -> (outcome, Error.t) result
 (** {!estimate_result} after parsing; a syntax error is [Malformed_query]
     with the byte position. *)
 
+val estimate_result_on : t -> Matcher.ept Lazy.t -> Xpath.Ast.t -> (outcome, Error.t) result
+(** {!estimate_result} against a caller-held EPT, for serving layers that
+    amortize materialization across queries. The EPT is forced inside the
+    error guard, so a deferred blow-up still comes back as
+    [Limit_exceeded]. *)
+
 val clamp_estimate : ?obs:Obs.t -> float -> float * int
 (** [(clamped value, 1 if clamping fired else 0)]; bumps
     [estimator.degenerate_clamps] when it fires. Exposed for callers that
@@ -77,12 +83,14 @@ val ept : t -> Matcher.ept
 
 val estimate_on : t -> Matcher.ept -> Xpath.Ast.t -> float
 
-val record_feedback : t -> Xpath.Ast.t -> actual:int -> unit
+val record_feedback : ?ept:Matcher.ept -> t -> Xpath.Ast.t -> actual:int -> bool
 (** Feed the actual cardinality of an executed query back into the HET
     (paper Figure 1). Simple paths insert an exact-cardinality entry keyed by
     their path hash; queries whose last spine step carries single-label
-    predicates insert a correlated-bsel entry. No-op when the estimator has
-    no HET or the query shape fits neither pattern. *)
+    predicates insert a correlated-bsel entry. Returns whether an entry was
+    inserted or refreshed: [false] when the estimator has no HET or the
+    query shape fits neither pattern. [ept] reuses a caller-held EPT for
+    the error computation instead of re-materializing one per call. *)
 
 val size_in_bytes : t -> int
 (** Kernel plus active HET footprint — the paper's memory-budget number. *)

@@ -1,6 +1,15 @@
+type cache_status = Hit | Miss | Bypass
+
+let cache_status_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Bypass -> "bypass"
+
 type report = {
   query : string;
   estimate : float;
+  cache : cache_status;
+  feedback_rounds : int;
   card_threshold : float;
   kernel_vertices : int;
   kernel_edges : int;
@@ -95,6 +104,10 @@ let run ?obs estimator path =
       let tstats = Traveler.stats traveler in
       { query = Xpath.Ast.to_string path;
         estimate;
+        (* Direct runs never consult an estimate cache; a serving layer
+           (Engine) overrides these two fields on its reports. *)
+        cache = Bypass;
+        feedback_rounds = 0;
         card_threshold = Estimator.card_threshold estimator;
         kernel_vertices = Kernel.vertex_count kernel;
         kernel_edges = Kernel.edge_count kernel;
@@ -119,6 +132,9 @@ let pp ppf r =
   let ms s = 1000.0 *. s in
   Format.fprintf ppf "@[<v>explain %s@," r.query;
   Format.fprintf ppf "  estimate     %.2f@," r.estimate;
+  Format.fprintf ppf "  cache        %s (%d feedback round%s applied)@,"
+    (cache_status_name r.cache) r.feedback_rounds
+    (if r.feedback_rounds = 1 then "" else "s");
   Format.fprintf ppf
     "  wall clock   %.3f ms  (ept build %.3f ms, match %.3f ms)@,"
     (ms r.total_seconds) (ms r.ept_seconds) (ms r.match_seconds);
@@ -158,6 +174,8 @@ let to_json r =
   Obj
     [ ("query", String r.query);
       ("estimate", Float r.estimate);
+      ("cache", String (cache_status_name r.cache));
+      ("feedback_rounds", Int r.feedback_rounds);
       ("card_threshold", Float r.card_threshold);
       ( "kernel",
         Obj

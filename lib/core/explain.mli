@@ -11,9 +11,23 @@
 
     Surfaced on the command line as [xseed explain SYNOPSIS QUERY]. *)
 
+type cache_status =
+  | Hit  (** served from a serving layer's estimate cache *)
+  | Miss  (** computed and inserted by a serving layer *)
+  | Bypass  (** computed directly, no cache in the path (plain [run]) *)
+
+val cache_status_name : cache_status -> string
+(** Stable lowercase identifier (["hit"], ["miss"], ["bypass"]). *)
+
 type report = {
   query : string;
   estimate : float;
+  cache : cache_status;
+      (** whether the serving layer's estimate cache answered; [Bypass]
+          when no cache sits in front of the estimator *)
+  feedback_rounds : int;
+      (** feedback-driven HET refinements applied by the serving engine
+          before this report; 0 on direct runs *)
   card_threshold : float;
   kernel_vertices : int;
   kernel_edges : int;

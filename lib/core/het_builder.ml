@@ -8,22 +8,27 @@ type stats = {
 
 (* Estimated cardinality of every rooted simple path in one EPT pass: each
    EPT node is a distinct rooted label path, so its card IS the kernel
-   estimate of that path. Returns hash -> estimated card. *)
+   estimate of that path. Returns hash -> (estimated card, canonical path). *)
 let ept_estimates ~card_threshold kernel =
   let estimates = Hashtbl.create 1024 in
   let traveler = Traveler.create ~card_threshold kernel in
-  let hash_stack = ref [] in
+  let stack = ref [] in
   Traveler.iter traveler ~f:(fun event ->
       match event with
       | Traveler.Open info ->
-        let parent =
-          match !hash_stack with [] -> Path_hash.empty | h :: _ -> h
+        let h, key =
+          match !stack with
+          | [] ->
+            (Path_hash.extend Path_hash.empty info.label,
+             string_of_int info.label)
+          | (ph, pkey) :: _ ->
+            (Path_hash.extend ph info.label,
+             pkey ^ "/" ^ string_of_int info.label)
         in
-        let h = Path_hash.extend parent info.label in
-        hash_stack := h :: !hash_stack;
-        Hashtbl.replace estimates h info.card
+        stack := (h, key) :: !stack;
+        Hashtbl.replace estimates h (info.card, key)
       | Traveler.Close _ ->
-        (match !hash_stack with [] -> () | _ :: rest -> hash_stack := rest)
+        (match !stack with [] -> () | _ :: rest -> stack := rest)
       | Traveler.Eos -> ());
   estimates
 
@@ -55,25 +60,29 @@ let build ?(mbp = 1) ?(bsel_threshold = 0.1) ?(card_threshold = 0.5)
      against the kernel estimate read off the EPT. *)
   Pathtree.Path_tree.iter_paths path_tree ~f:(fun labels ~parent node ->
       let hash = Path_hash.of_labels labels in
+      let path = Path_hash.key_of_labels labels in
       let est =
-        match Hashtbl.find_opt estimates hash with Some e -> e | None -> 0.0
+        match Hashtbl.find_opt estimates hash with
+        | Some (e, key) when key = path ->
+          Hashtbl.remove estimates hash;
+          e
+        | _ -> 0.0
       in
-      Hashtbl.remove estimates hash;
       let actual = node.cardinality in
       let bsel = Pathtree.Path_tree.bsel path_tree ~parent node in
       let error = Float.abs (est -. float_of_int actual) in
       incr simple;
-      Het.add_simple het ~hash ~card:actual ~bsel:(Some bsel) ~error);
+      Het.add_simple het ~hash ~path ~card:actual ~bsel:(Some bsel) ~error);
 
   (* What remains in [estimates] are false-positive paths: derivable from
      the kernel but absent from the document. A zero-cardinality entry both
      fixes their estimate and stops the traveler from expanding them. *)
   if zero_entries then
     Hashtbl.iter
-      (fun hash est ->
+      (fun hash (est, path) ->
         if est > 0.0 then begin
           incr zero;
-          Het.add_simple het ~hash ~card:0 ~bsel:(Some 0.0) ~error:est
+          Het.add_simple het ~hash ~path ~card:0 ~bsel:(Some 0.0) ~error:est
         end)
       estimates;
 
@@ -94,9 +103,14 @@ let build ?(mbp = 1) ?(bsel_threshold = 0.1) ?(card_threshold = 0.5)
      let seen = Hashtbl.create 256 in
      let consider ~parent_label ~preds ~next =
        if !candidates < max_branching_candidates then begin
+         let next_label = match next with Some r -> r | None -> -1 in
          let hash =
            Path_hash.branching ~parent:parent_label ~predicates:preds
-             ~next:(match next with Some r -> r | None -> -1)
+             ~next:next_label
+         in
+         let path =
+           Path_hash.branching_key ~parent:parent_label ~predicates:preds
+             ~next:next_label
          in
          if not (Hashtbl.mem seen hash) then begin
            Hashtbl.add seen hash ();
@@ -117,7 +131,7 @@ let build ?(mbp = 1) ?(bsel_threshold = 0.1) ?(card_threshold = 0.5)
              let q = pattern_query table ~parent:parent_label ~predicates:preds ~next in
              let err = Float.abs (estimate q -. float_of_int joint) in
              incr branching;
-             Het.add_branching het ~hash ~bsel ~error:err
+             Het.add_branching het ~hash ~path ~bsel ~error:err
            end
          end
        end

@@ -189,12 +189,11 @@ let pred_factor het ms c node q =
     let joint =
       match eligible with
       | _ :: _ :: _ when next >= -1 ->
-        let hash =
-          Path_hash.branching ~parent:node.label
-            ~predicates:(List.map (fun k -> c.test.(k)) eligible)
-            ~next
-        in
-        Het.lookup_branching het hash
+        let predicates = List.map (fun k -> c.test.(k)) eligible in
+        let hash = Path_hash.branching ~parent:node.label ~predicates ~next in
+        Het.lookup_branching het
+          ~path:(Path_hash.branching_key ~parent:node.label ~predicates ~next)
+          hash
       | _ -> None
     in
     (match joint with
@@ -204,11 +203,11 @@ let pred_factor het ms c node q =
      | None ->
        List.fold_left
          (fun acc k ->
-           let hash =
-             Path_hash.branching ~parent:node.label ~predicates:[ c.test.(k) ] ~next
-           in
+           let predicates = [ c.test.(k) ] in
+           let hash = Path_hash.branching ~parent:node.label ~predicates ~next in
+           let path = Path_hash.branching_key ~parent:node.label ~predicates ~next in
            let factor =
-             match Het.lookup_branching het hash with
+             match Het.lookup_branching het ~path hash with
              | Some bsel ->
                ms.het_single_overrides <- ms.het_single_overrides + 1;
                bsel

@@ -23,3 +23,16 @@ let branching ~parent ~predicates ~next =
       (List.sort Int.compare predicates)
   in
   extend (step h slash) next
+
+(* Canonical textual keys: the un-hashed spelling of what a hash covers, so
+   the HET can tell two colliding paths apart. Space-free by construction
+   (label ids and '[,]/' only), so they survive the HET's space-separated
+   dump format. *)
+
+let key_of_labels labels = String.concat "/" (List.map string_of_int labels)
+
+let branching_key ~parent ~predicates ~next =
+  Printf.sprintf "%d[%s]/%d" parent
+    (String.concat ","
+       (List.map string_of_int (List.sort Int.compare predicates)))
+    next

@@ -17,3 +17,16 @@ val of_labels : Xml.Label.t list -> int
 val branching : parent:int -> predicates:Xml.Label.t list -> next:Xml.Label.t -> int
 (** Key for the correlated-bsel pattern [p\[q1\]..\[qk\]/r]. [predicates] are
     sorted internally so [p\[q1\]\[q2\]/r] and [p\[q2\]\[q1\]/r] coincide. *)
+
+(** {1 Canonical keys}
+
+    Space-free textual spellings of what a hash covers. Stored alongside
+    HET entries so a 32-bit collision is detected instead of silently
+    merging two paths' statistics. *)
+
+val key_of_labels : Xml.Label.t list -> string
+(** ["l1/l2/.../lk"] over label ids. *)
+
+val branching_key : parent:Xml.Label.t -> predicates:Xml.Label.t list -> next:Xml.Label.t -> string
+(** ["p\[q1,..,qk\]/r"] over label ids, predicates sorted as {!branching}
+    sorts them ([next = -1] spells a pattern with no next step). *)

@@ -19,6 +19,7 @@ type footprint = {
   fsel : float;
   bsel : float;
   hash : int;
+  pkey : string;  (* canonical path key matching [hash], for HET lookups *)
   dewey : Xml.Dewey.t;
   edges : Kernel.edge array;  (* out-edges in deterministic order *)
   mutable child_idx : int;
@@ -78,12 +79,12 @@ let out_edges_array kernel v = Array.of_list (Kernel.out_edges kernel v)
 (* The paper's EST: estimate cardinality, fsel and bsel for extending the
    current path (whose top frame is [fp], recursion level [old_rl]) along
    edge [e], the new path having recursion level [rl]. *)
-let est t fp (e : Kernel.edge) ~old_rl ~rl ~hash =
+let est t fp (e : Kernel.edge) ~old_rl ~rl ~hash ~pkey =
   let card, bsel =
     let from_het =
       match t.het with
       | None -> None
-      | Some het -> Het.lookup_simple het hash
+      | Some het -> Het.lookup_simple het ~path:pkey hash
     in
     match from_het with
     | Some (card, Some bsel) -> (float_of_int card, bsel)
@@ -108,7 +109,8 @@ let open_root t =
   ignore (Counter_stacks.push t.rl root : int);
   let fp =
     { vertex = root; card = 1.0; fsel = 1.0; bsel = 1.0;
-      hash = Path_hash.extend Path_hash.empty root; dewey = Xml.Dewey.root;
+      hash = Path_hash.extend Path_hash.empty root;
+      pkey = string_of_int root; dewey = Xml.Dewey.root;
       edges = out_edges_array t.kernel root; child_idx = 0; opened = 0 }
   in
   t.path <- [ fp ];
@@ -147,7 +149,8 @@ let rec visit_next t =
         end
       in
       let hash = Path_hash.extend fp.hash v in
-      let card, fsel, bsel = est t fp e ~old_rl ~rl ~hash in
+      let pkey = fp.pkey ^ "/" ^ string_of_int v in
+      let card, fsel, bsel = est t fp e ~old_rl ~rl ~hash ~pkey in
       if card <= t.threshold || Counter_stacks.depth t.rl > t.max_depth then begin
         (* END-TRAVELING: prune this branch. *)
         t.pruned <- t.pruned + 1;
@@ -161,7 +164,7 @@ let rec visit_next t =
         if depth > t.max_depth_seen then t.max_depth_seen <- depth;
         fp.opened <- fp.opened + 1;
         let child =
-          { vertex = v; card; fsel; bsel; hash;
+          { vertex = v; card; fsel; bsel; hash; pkey;
             dewey = Xml.Dewey.child fp.dewey fp.opened;
             edges = out_edges_array t.kernel v; child_idx = 0; opened = 0 }
         in

@@ -1,0 +1,257 @@
+module Canonical = Canonical
+module Lru_cache = Lru_cache
+module Feedback = Feedback
+
+type t = {
+  estimator : Core.Estimator.t;
+  cache : Core.Estimator.outcome Lru_cache.t;
+  threshold : float;
+  obs : Obs.t option;
+  mutable ept : Core.Matcher.ept option;  (* shared across queries *)
+  mutable feedback_seen : int;
+  mutable feedback_rounds : int;
+}
+
+let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024) ?obs estimator =
+  if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
+    invalid_arg "Engine.create: qerror_threshold must be finite and >= 1";
+  { estimator;
+    cache = Lru_cache.create ~capacity:cache_capacity;
+    threshold = qerror_threshold;
+    obs;
+    ept = None;
+    feedback_seen = 0;
+    feedback_rounds = 0 }
+
+let estimator t = t.estimator
+let qerror_threshold t = t.threshold
+let feedback_rounds t = t.feedback_rounds
+let feedback_seen t = t.feedback_seen
+let cache_counters t = Lru_cache.counters t.cache
+let cache_length t = Lru_cache.length t.cache
+
+let invalidate t =
+  Lru_cache.clear t.cache;
+  t.ept <- None
+
+let ept_lazy t =
+  lazy
+    (match t.ept with
+     | Some e -> e
+     | None ->
+       let e = Core.Estimator.ept t.estimator in
+       t.ept <- Some e;
+       e)
+
+type served = {
+  key : Canonical.key;
+  outcome : Core.Estimator.outcome;
+  status : Core.Explain.cache_status;
+}
+
+let estimate_ast t ast =
+  let cast = Canonical.canonicalize ast in
+  let key = Canonical.of_ast cast in
+  match Lru_cache.find t.cache key.Canonical.text with
+  | Some outcome -> Ok { key; outcome; status = Core.Explain.Hit }
+  | None ->
+    (match Core.Estimator.estimate_result_on t.estimator (ept_lazy t) cast with
+     | Ok outcome ->
+       Lru_cache.put t.cache key.Canonical.text outcome;
+       Ok { key; outcome; status = Core.Explain.Miss }
+     | Error e -> Error e)
+
+let parse query =
+  match Xpath.Parser.parse_result query with
+  | Result.Error { position; message } ->
+    Result.Error (Core.Error.make ~position Core.Error.Malformed_query message)
+  | Ok path -> Ok path
+
+let estimate t query =
+  match parse query with Error e -> Error e | Ok ast -> estimate_ast t ast
+
+let estimate_batch t queries = List.map (estimate t) queries
+
+let feedback_ast t ast ~actual =
+  match estimate_ast t ast with
+  | Error e -> Error e
+  | Ok served ->
+    t.feedback_seen <- t.feedback_seen + 1;
+    let fb =
+      Feedback.apply ?ept:t.ept ~threshold:t.threshold t.estimator
+        (Canonical.canonicalize ast)
+        ~estimate:served.outcome.Core.Estimator.value ~actual
+    in
+    if fb.Feedback.refined then begin
+      t.feedback_rounds <- t.feedback_rounds + 1;
+      invalidate t
+    end;
+    Ok (served, fb)
+
+let feedback t query ~actual =
+  match parse query with Error e -> Error e | Ok ast -> feedback_ast t ast ~actual
+
+let explain t query =
+  match parse query with
+  | Error e -> Error e
+  | Ok ast ->
+    let cast = Canonical.canonicalize ast in
+    let key = Canonical.of_ast cast in
+    let cached = Lru_cache.mem t.cache key.Canonical.text in
+    (match
+       Core.Error.guard (fun () ->
+           let qt = Xpath.Query_tree.of_path cast in
+           if qt.Xpath.Query_tree.size > 62 then
+             Core.Error.raisef Core.Error.Malformed_query
+               "query tree has %d nodes; the matcher's bitset encoding \
+                supports 62"
+               qt.Xpath.Query_tree.size;
+           match Core.Explain.run ?obs:t.obs t.estimator cast with
+           | r -> r
+           | exception Core.Matcher.Ept_too_large n ->
+             Core.Error.raisef Core.Error.Limit_exceeded
+               "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
+     with
+     | Ok r ->
+       Ok
+         { r with
+           Core.Explain.cache =
+             (if cached then Core.Explain.Hit else Core.Explain.Miss);
+           feedback_rounds = t.feedback_rounds }
+     | Error e -> Error e)
+
+let stats_json t =
+  let open Obs.Json in
+  let c = Lru_cache.counters t.cache in
+  let het_json =
+    match Core.Estimator.het t.estimator with
+    | None -> Null
+    | Some h ->
+      let u = Core.Het.counters h in
+      Obj
+        [ ("active", Int (Core.Het.active_count h));
+          ("total", Int (Core.Het.total_count h));
+          ("bytes", Int (Core.Het.size_in_bytes h));
+          ("simple_lookups", Int u.Core.Het.simple_lookups);
+          ("simple_hits", Int u.Core.Het.simple_hits);
+          ("branching_lookups", Int u.Core.Het.branching_lookups);
+          ("branching_hits", Int u.Core.Het.branching_hits);
+          ("feedback_inserts", Int u.Core.Het.feedback_inserts);
+          ("collisions", Int u.Core.Het.collisions) ]
+  in
+  Obj
+    [ ( "cache",
+        Obj
+          [ ("capacity", Int (Lru_cache.capacity t.cache));
+            ("size", Int (Lru_cache.length t.cache));
+            ("hits", Int c.Lru_cache.hits);
+            ("misses", Int c.Lru_cache.misses);
+            ("insertions", Int c.Lru_cache.insertions);
+            ("evictions", Int c.Lru_cache.evictions);
+            ("invalidations", Int c.Lru_cache.invalidations) ] );
+      ( "feedback",
+        Obj
+          [ ("seen", Int t.feedback_seen);
+            ("rounds", Int t.feedback_rounds);
+            ("qerror_threshold", Float t.threshold) ] );
+      ("het", het_json);
+      ("synopsis_bytes", Int (Core.Estimator.size_in_bytes t.estimator)) ]
+
+let publish_counters t =
+  Lru_cache.publish_counters ?obs:t.obs t.cache;
+  Obs.add_to ?obs:t.obs "engine.feedback.seen" t.feedback_seen;
+  Obs.add_to ?obs:t.obs "engine.feedback.rounds" t.feedback_rounds;
+  Option.iter
+    (Core.Het.publish_counters ?obs:t.obs)
+    (Core.Estimator.het t.estimator)
+
+module Protocol = struct
+  let sanitize s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+  let err e =
+    let position =
+      match Core.Error.position e with
+      | Some p -> Printf.sprintf " (at %d)" p
+      | None -> ""
+    in
+    Printf.sprintf "ERR %s %s%s"
+      (Core.Error.kind_name (Core.Error.kind e))
+      (sanitize (Core.Error.message e))
+      position
+
+  let malformed fmt =
+    Format.kasprintf
+      (fun m -> err (Core.Error.make Core.Error.Malformed_query m))
+      fmt
+
+  let split_verb line =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line i (String.length line - i)) )
+
+  let handle_line t raw =
+    let line = String.trim raw in
+    if line = "" then None
+    else
+      Some
+        (try
+           let verb, rest = split_verb line in
+           match verb with
+           | "ESTIMATE" ->
+             (match estimate t rest with
+              | Ok s ->
+                Printf.sprintf "OK %.2f %s" s.outcome.Core.Estimator.value
+                  (Core.Explain.cache_status_name s.status)
+              | Error e -> err e)
+           | "FEEDBACK" ->
+             (match String.rindex_opt rest ' ' with
+              | None -> malformed "FEEDBACK expects '<xpath> <actual-count>'"
+              | Some i ->
+                let query = String.trim (String.sub rest 0 i) in
+                let count =
+                  String.sub rest (i + 1) (String.length rest - i - 1)
+                in
+                (match int_of_string_opt count with
+                 | Some actual when actual >= 0 && query <> "" ->
+                   (match feedback t query ~actual with
+                    | Ok (_, fb) ->
+                      Printf.sprintf "OK %.3f %s" fb.Feedback.q_error
+                        (if fb.Feedback.refined then "refined" else "kept")
+                    | Error e -> err e)
+                 | _ ->
+                   malformed
+                     "FEEDBACK expects '<xpath> <actual-count>' with a \
+                      non-negative integer count"))
+           | "EXPLAIN" ->
+             (match explain t rest with
+              | Ok r -> "OK " ^ Obs.Json.to_string (Core.Explain.to_json r)
+              | Error e -> err e)
+           | "STATS" ->
+             if rest = "" then "OK " ^ Obs.Json.to_string (stats_json t)
+             else malformed "STATS takes no argument"
+           | _ ->
+             malformed
+               "unknown command %S (expected ESTIMATE, FEEDBACK, EXPLAIN or \
+                STATS)"
+               verb
+         with exn ->
+           err
+             (match Core.Error.of_exn exn with
+              | Some e -> e
+              | None ->
+                Core.Error.make Core.Error.Internal (Printexc.to_string exn)))
+
+  let run t ic oc =
+    try
+      while true do
+        match handle_line t (input_line ic) with
+        | Some response ->
+          output_string oc response;
+          output_char oc '\n';
+          flush oc
+        | None -> ()
+      done
+    with End_of_file -> ()
+end

@@ -1,0 +1,116 @@
+(** The serving layer: one loaded synopsis answering a stream of estimate
+    requests, learning from execution feedback as it goes.
+
+    An {!t} owns a {!Core.Estimator.t} and wraps it with the three things a
+    host optimizer needs that the per-query API does not give:
+
+    - {b amortized EPT}: the traveler's estimation path tree is materialized
+      once and shared across queries instead of rebuilt per call;
+    - {b an estimate cache}: queries are canonicalized ({!Canonical}) and
+      served from a size-bounded LRU ({!Lru_cache}), so equivalent spellings
+      cost one pipeline run;
+    - {b a feedback loop} ({!Feedback}): observed true cardinalities whose
+      q-error crosses a threshold refresh the HET under its memory budget,
+      after which every cached estimate and the shared EPT are invalidated —
+      the next requests re-derive from the refined synopsis.
+
+    Surfaced on the command line as [xseed serve] (line protocol, see
+    {!Protocol}) and [xseed replay] (workload-driven feedback rounds). *)
+
+module Canonical = Canonical
+module Lru_cache = Lru_cache
+module Feedback = Feedback
+
+type t
+
+val create :
+  ?qerror_threshold:float ->
+  ?cache_capacity:int ->
+  ?obs:Obs.t ->
+  Core.Estimator.t ->
+  t
+(** [qerror_threshold] (default 2.0) is the minimum q-error at which
+    feedback refines the HET; [cache_capacity] (default 1024) bounds the
+    estimate cache. [obs] receives pipeline metrics from every cache-miss
+    estimation. *)
+
+val estimator : t -> Core.Estimator.t
+val qerror_threshold : t -> float
+
+val feedback_rounds : t -> int
+(** Number of feedback observations that actually refined the HET (and so
+    invalidated the cache) over this engine's lifetime. *)
+
+val feedback_seen : t -> int
+(** Total feedback observations, refined or not. *)
+
+type served = {
+  key : Canonical.key;
+  outcome : Core.Estimator.outcome;
+  status : Core.Explain.cache_status;
+      (** [Hit] or [Miss]; the engine never serves [Bypass] *)
+}
+
+val estimate_ast : t -> Xpath.Ast.t -> (served, Core.Error.t) result
+(** Canonicalize, consult the cache, run the pipeline on a miss (caching the
+    outcome). Errors are never cached. Same error contract as
+    {!Core.Estimator.estimate_result}. *)
+
+val estimate : t -> string -> (served, Core.Error.t) result
+(** Parse then {!estimate_ast}; a syntax error is [Malformed_query]. *)
+
+val estimate_batch : t -> string list -> (served, Core.Error.t) result list
+(** Per-query results in order; one bad query does not fail the batch. *)
+
+val feedback : t -> string -> actual:int -> (served * Feedback.outcome, Core.Error.t) result
+(** Observe the true cardinality of an executed query: serve (or reuse) the
+    engine's estimate, judge it ({!Feedback.apply}), and on refinement clear
+    the cache and the shared EPT. The returned [served] is the estimate the
+    q-error was computed against. *)
+
+val feedback_ast : t -> Xpath.Ast.t -> actual:int -> (served * Feedback.outcome, Core.Error.t) result
+
+val invalidate : t -> unit
+(** Drop the cached EPT and every cached estimate (counted as
+    invalidations). Called automatically when feedback refines the HET —
+    a refreshed entry can affect any estimate that touched its path, so the
+    engine conservatively assumes all of them did. *)
+
+val explain : t -> string -> (Core.Explain.report, Core.Error.t) result
+(** {!Core.Explain.run} through the engine: the report's [cache] field says
+    whether this query is currently cached ([Hit]/[Miss] — the explain run
+    itself always re-executes the pipeline) and [feedback_rounds] is
+    {!feedback_rounds}. Does not disturb cache contents or counters. *)
+
+val cache_counters : t -> Lru_cache.counters
+val cache_length : t -> int
+
+val stats_json : t -> Obs.Json.t
+(** One object: cache counters and occupancy, feedback totals, HET
+    active/total/usage (or [null] without a HET), synopsis footprint. *)
+
+val publish_counters : t -> unit
+(** Push cache totals ([engine.cache.*]), [engine.feedback.*] and HET
+    totals into the engine's Obs context (no-op without one). *)
+
+(** The [xseed serve] line protocol. One request per line:
+
+    {v
+    ESTIMATE <xpath>            ->  OK <estimate> <hit|miss>
+    FEEDBACK <xpath> <actual>   ->  OK <q_error> <refined|kept>
+    EXPLAIN <xpath>             ->  OK <explain report as one-line JSON>
+    STATS                       ->  OK <engine stats as one-line JSON>
+    v}
+
+    Any failure — unknown verb, bad query, missing count, pipeline limit —
+    is a one-line [ERR <kind> <message>] where [kind] is
+    {!Core.Error.kind_name}; the handler never raises and never emits a
+    non-finite number. Blank lines are ignored. *)
+module Protocol : sig
+  val handle_line : t -> string -> string option
+  (** [None] for a blank line, otherwise exactly one [OK]/[ERR] response
+      line (no trailing newline). *)
+
+  val run : t -> in_channel -> out_channel -> unit
+  (** Serve until EOF, flushing after every response. *)
+end

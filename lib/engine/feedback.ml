@@ -1,0 +1,16 @@
+type outcome = {
+  estimate : float;
+  actual : int;
+  q_error : float;
+  refined : bool;
+}
+
+let q_error ~estimate ~actual =
+  Stats.Metrics.q_error estimate (float_of_int actual)
+
+let apply ?ept ~threshold estimator ast ~estimate ~actual =
+  let q = q_error ~estimate ~actual in
+  let refined =
+    q >= threshold && Core.Estimator.record_feedback ?ept estimator ast ~actual
+  in
+  { estimate; actual; q_error = q; refined }

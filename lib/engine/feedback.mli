@@ -1,0 +1,34 @@
+(** Query-feedback policy: when an observed true cardinality disagrees with
+    the served estimate badly enough, refresh the HET (paper Figure 1).
+
+    The engine calls {!apply} after every executed query. The q-error of
+    (estimate, actual) decides whether the observation is worth spending
+    HET budget on: below [threshold] the synopsis was good enough and
+    nothing changes; at or above it the observation is pushed into the HET
+    via {!Core.Estimator.record_feedback}, which activates the entry
+    immediately under the current memory budget (evicting the least useful
+    active entry when full). *)
+
+type outcome = {
+  estimate : float;  (** the estimate being judged *)
+  actual : int;  (** observed true cardinality *)
+  q_error : float;  (** [max((e+1)/(a+1), (a+1)/(e+1))] *)
+  refined : bool;
+      (** an HET entry was inserted or refreshed — the caller must treat
+          every cached estimate derived from the old table as stale *)
+}
+
+val q_error : estimate:float -> actual:int -> float
+(** {!Stats.Metrics.q_error} with the actual as a count. *)
+
+val apply :
+  ?ept:Core.Matcher.ept ->
+  threshold:float ->
+  Core.Estimator.t ->
+  Xpath.Ast.t ->
+  estimate:float ->
+  actual:int ->
+  outcome
+(** [threshold] is the minimum q-error that triggers refinement (the
+    engine's default is 2.0 — a factor-two miss); pass [ept] to reuse a
+    materialized EPT for the insertion's error bookkeeping. *)

@@ -103,6 +103,22 @@ let read_cmp st =
   | Some '>' -> one Ast.Gt
   | _ -> None
 
+let self_dot st =
+  (* A bare '.' step (XPath self::node() abbreviation): semantically a no-op
+     on the child axis, so it is consumed and dropped. A '.' that starts a
+     longer token ('..', '.5', a name containing '.') is left alone and
+     rejected by [read_test] as before. *)
+  skip_space st;
+  if
+    st.pos < st.len
+    && st.input.[st.pos] = '.'
+    && (st.pos + 1 >= st.len || not (is_name_char st.input.[st.pos + 1]))
+  then begin
+    st.pos <- st.pos + 1;
+    true
+  end
+  else false
+
 (* Inside '[...]': a value predicate is NAME op literal or @NAME op literal;
    anything else is a structural relative path. Try the value form first and
    roll back on mismatch. *)
@@ -175,6 +191,10 @@ and read_relative st =
       st.pos <- st.pos + 3;
       Ast.Descendant
     end
+    else if st.pos + 2 <= st.len && String.sub st.input st.pos 2 = "./" then begin
+      st.pos <- st.pos + 2;
+      Ast.Child
+    end
     else Ast.Child
   in
   let first = read_step st first_axis in
@@ -183,6 +203,7 @@ and read_relative st =
 
 and read_rest st =
   match read_axis st with
+  | Some Ast.Child when self_dot st -> read_rest st
   | Some axis ->
     let step = read_step st axis in
     let rest = read_rest st in
@@ -194,8 +215,15 @@ let parse input =
   match read_axis st with
   | None -> fail st.pos "a path must start with '/' or '//'"
   | Some axis ->
-    let first = read_step st axis in
-    let path = first :: read_rest st in
+    let path =
+      if axis = Ast.Child && self_dot st then read_rest st
+      else
+        let first = read_step st axis in
+        first :: read_rest st
+    in
+    if path = [] then
+      (* '/.' or '/./.' alone: the document root, which no step selects. *)
+      fail st.pos "expected a name test or '*', found end of input";
     skip_space st;
     if st.pos <> st.len then fail st.pos "trailing input after path";
     path

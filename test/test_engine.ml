@@ -1,0 +1,439 @@
+(* Serving engine: canonicalization, the LRU estimate cache, HET collision
+   handling, the feedback loop, and the serve line protocol. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization *)
+
+let key_text q =
+  match Engine.Canonical.of_string q with
+  | Ok k -> k.Engine.Canonical.text
+  | Error e -> Alcotest.failf "canonical %s: %s" q (Core.Error.to_string e)
+
+let key_hash q =
+  match Engine.Canonical.of_string q with
+  | Ok k -> k.Engine.Canonical.hash
+  | Error e -> Alcotest.failf "canonical %s: %s" q (Core.Error.to_string e)
+
+(* Equivalent spellings must share one cache slot: text AND hash agree. *)
+let test_canonical_equivalent () =
+  List.iter
+    (fun (a, b) ->
+      checks (Printf.sprintf "%s ~ %s" a b) (key_text a) (key_text b);
+      checki (Printf.sprintf "%s ~ %s (hash)" a b) (key_hash a) (key_hash b))
+    [ ("/a[c][b]", "/a[b][c]");  (* predicate order *)
+      ("/a[b][b]", "/a[b]");  (* duplicated predicate *)
+      ("/a[b[d]][b[c]]", "/a[b[c]][b[d]]");  (* nested predicate order *)
+      (" / a / b ", "/a/b");  (* whitespace *)
+      ("/a/./b", "/a/b");  (* redundant self step *)
+      ("/./a", "/a");
+      ("/a/.", "/a");
+      ("/a/.//b", "/a//b");
+      ("/a[./c]", "/a[c]");  (* self step opening a predicate *)
+      ("/a[x='v'][b]", "/a[b][x='v']");  (* value vs structural order *)
+      ("/a[@y=2][@x=1]", "/a[@x=1][@y=2]") ]
+
+let test_canonical_distinct () =
+  List.iter
+    (fun (a, b) ->
+      checkb (Printf.sprintf "%s <> %s" a b) false (key_text a = key_text b))
+    [ ("/a/b", "/a//b");
+      ("/a[b]", "/a[c]");
+      ("/a[b]/c", "/a/b/c");
+      ("/a[x=1]", "/a[x=2]");
+      ("/a", "//a") ]
+
+let gen_ast : Xpath.Ast.t QCheck.arbitrary =
+  let open QCheck in
+  let gen_test rand =
+    if Gen.int_bound 5 rand = 0 then Xpath.Ast.Wildcard
+    else
+      Xpath.Ast.Name
+        (String.make 1 (Char.chr (Char.code 'a' + Gen.int_bound 4 rand)))
+  in
+  let gen_axis rand =
+    if Gen.int_bound 3 rand = 0 then Xpath.Ast.Descendant else Xpath.Ast.Child
+  in
+  let rec gen_path depth len rand =
+    List.init len (fun _ ->
+        let predicates =
+          if depth >= 2 then []
+          else
+            List.init (Gen.int_bound 2 rand) (fun _ ->
+                gen_path (depth + 1) (1 + Gen.int_bound 1 rand) rand)
+        in
+        { Xpath.Ast.axis = gen_axis rand; test = gen_test rand; predicates;
+          value_predicates = [] })
+  in
+  make ~print:Xpath.Ast.to_string (fun rand ->
+      gen_path 0 (1 + Gen.int_bound 3 rand) rand)
+
+let prop_canonical_idempotent =
+  QCheck.Test.make ~count:500 ~name:"canonicalize idempotent" gen_ast (fun q ->
+      let c = Engine.Canonical.canonicalize q in
+      Xpath.Ast.equal (Engine.Canonical.canonicalize c) c)
+
+(* pp/parse round trips land on the same key as the original AST. *)
+let prop_canonical_round_trip =
+  QCheck.Test.make ~count:500 ~name:"parse (to_string q) same key" gen_ast
+    (fun q ->
+      let k = Engine.Canonical.of_ast q in
+      let k' =
+        Engine.Canonical.of_ast (Xpath.Parser.parse (Xpath.Ast.to_string q))
+      in
+      Engine.Canonical.equal k k' && k.Engine.Canonical.hash = k'.Engine.Canonical.hash)
+
+(* Reordering predicates anywhere in the tree never changes the key. *)
+let prop_canonical_predicate_order =
+  let rec rev_preds path =
+    List.map
+      (fun (s : Xpath.Ast.step) ->
+        { s with Xpath.Ast.predicates = List.rev_map rev_preds s.predicates })
+      path
+  in
+  QCheck.Test.make ~count:500 ~name:"predicate order irrelevant" gen_ast
+    (fun q ->
+      Engine.Canonical.equal (Engine.Canonical.of_ast q)
+        (Engine.Canonical.of_ast (rev_preds q)))
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache *)
+
+let test_lru_capacity_and_eviction_order () =
+  let c = Engine.Lru_cache.create ~capacity:3 in
+  Engine.Lru_cache.put c "a" 1;
+  Engine.Lru_cache.put c "b" 2;
+  Engine.Lru_cache.put c "c" 3;
+  checki "full" 3 (Engine.Lru_cache.length c);
+  (* Touch "a" so "b" is now the LRU entry. *)
+  checkb "a hit" true (Engine.Lru_cache.find c "a" = Some 1);
+  Engine.Lru_cache.put c "d" 4;
+  checki "still bounded" 3 (Engine.Lru_cache.length c);
+  checkb "b evicted" false (Engine.Lru_cache.mem c "b");
+  checkb "a kept" true (Engine.Lru_cache.mem c "a");
+  checkb "c kept" true (Engine.Lru_cache.mem c "c");
+  checkb "d kept" true (Engine.Lru_cache.mem c "d");
+  (* Evict twice more: LRU order is now c, a, d. *)
+  Engine.Lru_cache.put c "e" 5;
+  Engine.Lru_cache.put c "f" 6;
+  checkb "c evicted second" false (Engine.Lru_cache.mem c "c");
+  checkb "a evicted third" false (Engine.Lru_cache.mem c "a");
+  checkb "d survives" true (Engine.Lru_cache.mem c "d");
+  let k = Engine.Lru_cache.counters c in
+  checki "evictions" 3 k.Engine.Lru_cache.evictions
+
+let test_lru_counters_balance () =
+  let c = Engine.Lru_cache.create ~capacity:2 in
+  let lookups = ref 0 in
+  let find key =
+    incr lookups;
+    ignore (Engine.Lru_cache.find c key)
+  in
+  find "x";
+  Engine.Lru_cache.put c "x" 10;
+  find "x";
+  find "y";
+  Engine.Lru_cache.put c "y" 20;
+  Engine.Lru_cache.put c "z" 30;
+  find "x";
+  (* x was evicted by z *)
+  let k = Engine.Lru_cache.counters c in
+  checki "hits + misses = lookups" !lookups
+    (k.Engine.Lru_cache.hits + k.Engine.Lru_cache.misses);
+  checki "hits" 1 k.Engine.Lru_cache.hits;
+  checki "misses" 3 k.Engine.Lru_cache.misses;
+  checki "insertions" 3 k.Engine.Lru_cache.insertions;
+  checki "evictions" 1 k.Engine.Lru_cache.evictions
+
+let test_lru_refresh_and_invalidate () =
+  let c = Engine.Lru_cache.create ~capacity:2 in
+  Engine.Lru_cache.put c "a" 1;
+  Engine.Lru_cache.put c "b" 2;
+  Engine.Lru_cache.put c "a" 11;  (* refresh: value + recency, no eviction *)
+  checkb "refreshed" true (Engine.Lru_cache.find c "a" = Some 11);
+  Engine.Lru_cache.put c "c" 3;
+  checkb "b was LRU after refresh" false (Engine.Lru_cache.mem c "b");
+  Engine.Lru_cache.remove c "a";
+  checkb "removed" false (Engine.Lru_cache.mem c "a");
+  Engine.Lru_cache.clear c;
+  checki "cleared" 0 (Engine.Lru_cache.length c);
+  let k = Engine.Lru_cache.counters c in
+  (* remove a (1) + clear of the single remaining entry c (1) *)
+  checki "invalidations" 2 k.Engine.Lru_cache.invalidations;
+  checki "evictions" 1 k.Engine.Lru_cache.evictions;
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru_cache.create: capacity 0 < 1") (fun () ->
+      ignore (Engine.Lru_cache.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* HET collisions: two distinct paths forced onto one hash must coexist. *)
+
+let test_het_forced_collision () =
+  let lookup het path = Core.Het.lookup_simple het ~path 42 in
+  let build order =
+    let het = Core.Het.create () in
+    List.iter
+      (fun (path, card) ->
+        Core.Het.add_simple het ~path ~hash:42 ~card ~bsel:None ~error:1.0)
+      order;
+    het
+  in
+  let check_both het tag =
+    checkb (tag ^ ": first path answers") true
+      (lookup het "1/2" = Some (10, None));
+    checkb (tag ^ ": second path answers") true
+      (lookup het "3/4" = Some (99, None));
+    checkb (tag ^ ": stranger path misses") true (lookup het "5/6" = None)
+  in
+  let het = build [ ("1/2", 10); ("3/4", 99) ] in
+  check_both het "insertion order A";
+  checki "both retained" 2 (Core.Het.total_count het);
+  checkb "collisions counted" true
+    ((Core.Het.counters het).Core.Het.collisions > 0);
+  (* Insertion order must not matter. *)
+  check_both (build [ ("3/4", 99); ("1/2", 10) ]) "insertion order B";
+  (* The dump round-trips both entries. *)
+  (match Core.Het.of_string_result (Core.Het.to_string het) with
+   | Ok het' ->
+     check_both het' "after round trip";
+     checki "round trip keeps both" 2 (Core.Het.total_count het')
+   | Error e -> Alcotest.failf "round trip: %s" (Core.Error.to_string e));
+  (* Same hash AND same path: a plain replace, as before. *)
+  let het = build [ ("1/2", 10); ("1/2", 77); ("3/4", 99) ] in
+  checkb "same path replaces" true (lookup het "1/2" = Some (77, None));
+  checki "no duplicate binding" 2 (Core.Het.total_count het)
+
+let test_het_legacy_pathless () =
+  let het = Core.Het.create () in
+  Core.Het.add_simple het ~hash:7 ~card:5 ~bsel:None ~error:0.0;
+  checkb "pathless entry answers a pathed lookup" true
+    (Core.Het.lookup_simple het ~path:"1/5" 7 = Some (5, None));
+  checkb "and a pathless lookup" true
+    (Core.Het.lookup_simple het 7 = Some (5, None))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: cache behavior and the feedback loop *)
+
+(* 8 'a' children: 4 carry <b/>, 4 carry <c/> — b and c never co-occur, so
+   independence overestimates /r/a[b]/c (actual 0) until feedback fixes it. *)
+let correlated_doc =
+  "<r>" ^ String.concat ""
+    (List.init 8 (fun i -> if i < 4 then "<a><b/></a>" else "<a><c/></a>"))
+  ^ "</r>"
+
+let engine_over doc =
+  let kernel = Core.Builder.of_string doc in
+  let het = Core.Het.create () in
+  let estimator = Core.Estimator.create ~het kernel in
+  Engine.create estimator
+
+let served_value engine q =
+  match Engine.estimate engine q with
+  | Ok s -> s.Engine.outcome.Core.Estimator.value
+  | Error e -> Alcotest.failf "estimate %s: %s" q (Core.Error.to_string e)
+
+let served_status engine q =
+  match Engine.estimate engine q with
+  | Ok s -> s.Engine.status
+  | Error e -> Alcotest.failf "estimate %s: %s" q (Core.Error.to_string e)
+
+let test_engine_cache_hit_miss () =
+  let engine = engine_over correlated_doc in
+  checkb "first is a miss" true
+    (served_status engine "/r/a" = Core.Explain.Miss);
+  checkb "repeat is a hit" true (served_status engine "/r/a" = Core.Explain.Hit);
+  checkb "equivalent spelling hits" true
+    (served_status engine " / r / ./ a" = Core.Explain.Hit);
+  checkb "different query misses" true
+    (served_status engine "/r/a/b" = Core.Explain.Miss);
+  let c = Engine.cache_counters engine in
+  checki "hits" 2 c.Engine.Lru_cache.hits;
+  checki "misses" 2 c.Engine.Lru_cache.misses;
+  (match Engine.estimate engine "/r[" with
+   | Ok _ -> Alcotest.fail "bad query served"
+   | Error e ->
+     checkb "parse error kind" true
+       (Core.Error.kind e = Core.Error.Malformed_query));
+  (* Errors are not cached and do not disturb the counters' balance. *)
+  let c = Engine.cache_counters engine in
+  checki "error not counted" 2 (c.Engine.Lru_cache.hits + c.Engine.Lru_cache.hits - 2)
+
+let test_engine_feedback_refines () =
+  let engine = engine_over correlated_doc in
+  let q = "/r/a[b]/c" in
+  let e1 = served_value engine q in
+  checkb "independence overestimates" true (e1 > 0.5);
+  (match Engine.feedback engine q ~actual:0 with
+   | Ok (served, fb) ->
+     checkb "judged the served estimate" true
+       (served.Engine.outcome.Core.Estimator.value = e1);
+     checkb "q-error over threshold" true
+       (fb.Engine.Feedback.q_error >= Engine.qerror_threshold engine);
+     checkb "refined" true fb.Engine.Feedback.refined
+   | Error e -> Alcotest.failf "feedback: %s" (Core.Error.to_string e));
+  checki "one refinement" 1 (Engine.feedback_rounds engine);
+  (* Refinement invalidated the cache: recompute against the refreshed HET. *)
+  checkb "cache cleared" true (served_status engine q = Core.Explain.Miss);
+  let e2 = served_value engine q in
+  checkb "estimate corrected" true (e2 < e1);
+  checkb "now near the truth" true
+    (Engine.Feedback.q_error ~estimate:e2 ~actual:0
+     < Engine.Feedback.q_error ~estimate:e1 ~actual:0)
+
+let test_engine_feedback_simple_path () =
+  let engine = engine_over correlated_doc in
+  let q = "/r/a/b" in
+  let e1 = served_value engine q in
+  (* Pretend execution saw something wildly different: the exact-cardinality
+     entry must take over on the next request. *)
+  (match Engine.feedback engine q ~actual:40 with
+   | Ok (_, fb) -> checkb "refined" true fb.Engine.Feedback.refined
+   | Error e -> Alcotest.failf "feedback: %s" (Core.Error.to_string e));
+  checkb "exact entry answers" true (served_value engine q = 40.0);
+  checkb "it changed the estimate" true (e1 <> 40.0);
+  (* A good estimate is left alone: no refinement, cache intact. *)
+  (match Engine.feedback engine q ~actual:40 with
+   | Ok (_, fb) -> checkb "kept" false fb.Engine.Feedback.refined
+   | Error e -> Alcotest.failf "feedback: %s" (Core.Error.to_string e));
+  checki "still one refinement" 1 (Engine.feedback_rounds engine);
+  checki "feedback observations" 2 (Engine.feedback_seen engine);
+  checkb "cache survives a kept observation" true
+    (served_status engine q = Core.Explain.Hit)
+
+let test_engine_batch_and_explain () =
+  let engine = engine_over correlated_doc in
+  (match Engine.estimate_batch engine [ "/r/a"; "/r["; "/r/a" ] with
+   | [ Ok _; Error e; Ok hit ] ->
+     checkb "batch error kind" true
+       (Core.Error.kind e = Core.Error.Malformed_query);
+     checkb "batch shares the cache" true (hit.Engine.status = Core.Explain.Hit)
+   | _ -> Alcotest.fail "batch shape");
+  (match Engine.explain engine "/r/a/b" with
+   | Ok r ->
+     checkb "uncached query explains as miss" true
+       (r.Core.Explain.cache = Core.Explain.Miss);
+     checki "no rounds yet" 0 r.Core.Explain.feedback_rounds
+   | Error e -> Alcotest.failf "explain: %s" (Core.Error.to_string e));
+  ignore (served_value engine "/r/a/b");
+  (match Engine.feedback engine "/r/a[b]/c" ~actual:0 with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "feedback: %s" (Core.Error.to_string e));
+  ignore (served_value engine "/r/a/b");
+  (match Engine.explain engine "/r/./a/b" with
+   | Ok r ->
+     checkb "cached (canonicalized) query explains as hit" true
+       (r.Core.Explain.cache = Core.Explain.Hit);
+     checki "rounds reported" 1 r.Core.Explain.feedback_rounds
+   | Error e -> Alcotest.failf "explain: %s" (Core.Error.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Serve protocol *)
+
+let handle engine line =
+  match Engine.Protocol.handle_line engine line with
+  | Some resp -> resp
+  | None -> Alcotest.failf "no response to %S" line
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_protocol_ok () =
+  let engine = engine_over correlated_doc in
+  checkb "blank ignored" true (Engine.Protocol.handle_line engine "  " = None);
+  let r = handle engine "ESTIMATE /r/a" in
+  checks "estimate miss" "OK 8.00 miss" r;
+  checks "estimate hit" "OK 8.00 hit" (handle engine "ESTIMATE /r/./a");
+  checkb "feedback kept" true (starts_with "OK " (handle engine "FEEDBACK /r/a 8"));
+  checkb "feedback refined" true
+    (starts_with "OK " (handle engine "FEEDBACK /r/a[b]/c 0"));
+  let stats = handle engine "STATS" in
+  checkb "stats ok" true (starts_with "OK {" stats);
+  let json =
+    Obs.Json.of_string (String.sub stats 3 (String.length stats - 3))
+  in
+  checkb "stats json has cache" true (Obs.Json.member "cache" json <> None);
+  checkb "stats json has feedback" true
+    (Obs.Json.member "feedback" json <> None);
+  let explain = handle engine "EXPLAIN /r/a" in
+  checkb "explain ok" true (starts_with "OK {" explain);
+  ignore
+    (Obs.Json.of_string (String.sub explain 3 (String.length explain - 3)))
+
+let test_protocol_errors () =
+  let engine = engine_over correlated_doc in
+  List.iter
+    (fun (line, expected_prefix) ->
+      let r = handle engine line in
+      checkb
+        (Printf.sprintf "%S -> %s (got %s)" line expected_prefix r)
+        true
+        (starts_with expected_prefix r))
+    [ ("ESTIMATE", "ERR malformed-query");
+      ("ESTIMATE /r[", "ERR malformed-query");
+      ("ESTIMATE r/a", "ERR malformed-query");
+      ("FEEDBACK /r/a", "ERR malformed-query");
+      ("FEEDBACK /r/a twelve", "ERR malformed-query");
+      ("FEEDBACK /r/a -5", "ERR malformed-query");
+      ("FEEDBACK 12", "ERR malformed-query");
+      ("FEEDBACK /r[ 12", "ERR malformed-query");
+      ("STATS now", "ERR malformed-query");
+      ("EXPLAIN", "ERR malformed-query");
+      ("BOGUS /r/a", "ERR malformed-query");
+      ("estimate /r/a", "ERR malformed-query") ];
+  (* Whatever arrives, the handler answers with one line and never raises. *)
+  List.iter
+    (fun line ->
+      match Engine.Protocol.handle_line engine line with
+      | None -> ()
+      | Some r ->
+        checkb
+          (Printf.sprintf "one-line OK/ERR for %S" line)
+          true
+          ((starts_with "OK " r || starts_with "ERR " r)
+          && not (String.contains r '\n')))
+    [ "\x00\x01"; "ESTIMATE " ^ String.make 5000 '['; "FEEDBACK  1";
+      "ESTIMATE //" ^ String.concat "//" (List.init 70 (fun _ -> "a")); "OK";
+      "ERR"; "FEEDBACK /r/a 99999999999999999999999" ]
+
+(* ------------------------------------------------------------------ *)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_canonical_idempotent; prop_canonical_round_trip;
+      prop_canonical_predicate_order ]
+
+let () =
+  Alcotest.run "engine"
+    [ ( "canonical",
+        Alcotest.test_case "equivalent spellings" `Quick
+          test_canonical_equivalent
+        :: Alcotest.test_case "distinct queries" `Quick test_canonical_distinct
+        :: props );
+      ( "lru",
+        [ Alcotest.test_case "capacity + eviction order" `Quick
+            test_lru_capacity_and_eviction_order;
+          Alcotest.test_case "counters balance" `Quick
+            test_lru_counters_balance;
+          Alcotest.test_case "refresh + invalidate" `Quick
+            test_lru_refresh_and_invalidate ] );
+      ( "het",
+        [ Alcotest.test_case "forced collision" `Quick
+            test_het_forced_collision;
+          Alcotest.test_case "legacy pathless entries" `Quick
+            test_het_legacy_pathless ] );
+      ( "engine",
+        [ Alcotest.test_case "cache hit/miss" `Quick test_engine_cache_hit_miss;
+          Alcotest.test_case "feedback refines" `Quick
+            test_engine_feedback_refines;
+          Alcotest.test_case "simple-path feedback" `Quick
+            test_engine_feedback_simple_path;
+          Alcotest.test_case "batch + explain" `Quick
+            test_engine_batch_and_explain ] );
+      ( "protocol",
+        [ Alcotest.test_case "well-formed requests" `Quick test_protocol_ok;
+          Alcotest.test_case "malformed requests" `Quick test_protocol_errors ] )
+    ]

@@ -266,7 +266,7 @@ let test_feedback () =
   let q = parse "/a/b/d/e" in
   Alcotest.(check (float 1e-4)) "before feedback" (20.0 *. 5.0 /. 14.0)
     (Core.Estimator.estimate est q);
-  Core.Estimator.record_feedback est q ~actual:20;
+  ignore (Core.Estimator.record_feedback est q ~actual:20);
   Alcotest.(check (float 1e-9)) "after feedback exact" 20.0
     (Core.Estimator.estimate est q)
 
@@ -276,7 +276,7 @@ let test_feedback_branching () =
   let est = Core.Estimator.create ~het kernel in
   let q = parse "//d[e]/f" in
   let before = Core.Estimator.estimate est q in
-  Core.Estimator.record_feedback est q ~actual:40;
+  ignore (Core.Estimator.record_feedback est q ~actual:40);
   let after = Core.Estimator.estimate est q in
   Alcotest.(check bool)
     (Printf.sprintf "feedback improves branching (%.2f -> %.2f, actual 40)"
