@@ -44,6 +44,9 @@ smoke: build
 # Feedback-loop smoke: replay a small workload through the serving engine's
 # estimate -> execute -> feedback rounds on a tiny corpus and assert the
 # per-round q-error median never increases (the paper's Figure 1 loop).
+# Then exercise the serve telemetry surface end to end (METRICS scrape,
+# flight records, drift summary) and the telemetry-overhead bench guard
+# (< 5% median estimate latency vs. a telemetry-free engine).
 bench-smoke: build
 	@mkdir -p $(SMOKE_DIR)
 	$(XSEED) generate xmark --scale 40 -o $(SMOKE_DIR)/bench.xml
@@ -51,6 +54,15 @@ bench-smoke: build
 	  > $(SMOKE_DIR)/bench.workload
 	$(XSEED) replay $(SMOKE_DIR)/bench.xml $(SMOKE_DIR)/bench.workload \
 	  --rounds 2 --budget 8192 --assert-improving
+	$(XSEED) build $(SMOKE_DIR)/bench.xml -o $(SMOKE_DIR)/bench.syn
+	printf 'ESTIMATE //item\nFEEDBACK //item 12\nMETRICS\nRECENT 5\nDRIFT\n' \
+	  | $(XSEED) serve $(SMOKE_DIR)/bench.syn \
+	      --telemetry-out $(SMOKE_DIR)/flights.jsonl \
+	      > $(SMOKE_DIR)/serve.out
+	@grep -q '^# TYPE xseed_engine_cache_misses counter' $(SMOKE_DIR)/serve.out
+	@grep -q '^xseed_engine_drift_qerror_p90' $(SMOKE_DIR)/serve.out
+	@grep -q '"cache":"miss"' $(SMOKE_DIR)/flights.jsonl
+	$(DUNE) exec --no-build bench/main.exe -- --quick telemetry
 	@echo "bench-smoke: OK"
 
 bench-json: build

@@ -661,6 +661,74 @@ let feedback () =
   pf "kernel-only baseline and later rounds show what feedback bought.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry-overhead guard: serving with the flight recorder + drift
+   monitor on must not cost more than 5% median estimate latency over
+   cache misses vs. a telemetry-free engine. Passes alternate between the
+   two engines so clock drift and GC pressure hit both sides equally, and
+   the cache is invalidated between passes so every timed estimate is a
+   real pipeline run (the shared EPT is rebuilt by the first query of a
+   pass, which the median ignores). *)
+
+let telemetry () =
+  header "Telemetry overhead: estimate latency, recorder+drift vs. off";
+  let ds = xmark10 in
+  let passes = scale 10 16 in
+  let queries = bp_queries ds @ cp_queries ds in
+  let engine_with ~telemetry =
+    Engine.create ~telemetry ~cache_capacity:4096
+      (Core.Estimator.create ~card_threshold:ds.card_threshold
+         (Lazy.force ds.kernel))
+  in
+  let on = engine_with ~telemetry:true in
+  let off = engine_with ~telemetry:false in
+  let lat_on = ref [] and lat_off = ref [] in
+  let run_pass engine sink =
+    Engine.invalidate engine;
+    List.iter
+      (fun q ->
+        let t0 = Unix.gettimeofday () in
+        (match Engine.estimate_ast engine q with
+         | Ok _ -> ()
+         | Error e -> raise (Core.Error.Xseed e));
+        sink := (Unix.gettimeofday () -. t0) :: !sink)
+      queries
+  in
+  (* Warm both (first EPT build, allocator) outside the measurement. *)
+  run_pass on (ref []);
+  run_pass off (ref []);
+  for _ = 1 to passes do
+    run_pass off lat_off;
+    run_pass on lat_on
+  done;
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let m_on = median !lat_on and m_off = median !lat_off in
+  let overhead = (m_on -. m_off) /. m_off in
+  pf "%d queries x %d passes (cache invalidated per pass; XMark)\n\n"
+    (List.length queries) passes;
+  pf "%-24s %14s\n" "mode" "median/query";
+  pf "%-24s %11.1f us\n" "telemetry off (Noop)" (1e6 *. m_off);
+  pf "%-24s %11.1f us\n" "recorder + drift" (1e6 *. m_on);
+  pf "%-24s %+13.2f%%\n" "overhead" (100.0 *. overhead);
+  (match Engine.recorder on with
+   | Some fr ->
+     pf "\nflight records written: %d (ring %d)\n"
+       (Engine.Flight_recorder.total fr)
+       (Engine.Flight_recorder.capacity fr)
+   | None -> ());
+  if overhead >= 0.05 then begin
+    Printf.eprintf
+      "telemetry: median overhead %.2f%% >= 5%% budget (on %.1f us, off %.1f \
+       us)\n"
+      (100.0 *. overhead) (1e6 *. m_on) (1e6 *. m_off);
+    exit 1
+  end;
+  pf "within the 5%% budget\n"
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel): per-operation latency. *)
 
 let micro () =
@@ -731,7 +799,8 @@ let micro () =
 let sections =
   [ ("table2", table2); ("table3", table3); ("fig5", fig5); ("fig6", fig6);
     ("sec64", sec64); ("ablation", ablation); ("values", values);
-    ("feedback", feedback); ("json", bench_json); ("micro", micro) ]
+    ("feedback", feedback); ("telemetry", telemetry); ("json", bench_json);
+    ("micro", micro) ]
 
 let () =
   let requested =

@@ -409,31 +409,88 @@ let cache_capacity_arg =
        & info [ "cache-capacity" ] ~docv:"N"
            ~doc:"Estimate-cache capacity (entries)")
 
+let telemetry_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-out" ] ~docv:"FILE"
+           ~doc:"Append every flight record (one JSON object per served \
+                 query) to $(docv) as JSON-lines")
+
+let snapshot_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Emit a metrics snapshot to the --trace/--metrics-out sink \
+                 every $(docv) requests")
+
+let drift_p90_arg =
+  Arg.(value & opt float 8.0
+       & info [ "drift-p90" ] ~docv:"Q"
+           ~doc:"Alert (bump engine.drift.alerts) when the sliding-window \
+                 p90 q-error of feedback reaches $(docv)")
+
 let serve_cmd =
-  let run synopsis_file threshold qerror_threshold cache_capacity obs_spec =
+  let run synopsis_file threshold qerror_threshold cache_capacity telemetry_out
+      snapshot_every drift_p90 obs_spec =
     protect @@ fun () ->
-    let obs = obs_of obs_spec in
+    (match snapshot_every with
+     | Some n when n < 1 ->
+       Core.Error.raisef Core.Error.Malformed_query
+         "--snapshot-every must be >= 1"
+     | _ -> ());
+    (* Serving always keeps a metrics registry (the METRICS scrape needs
+       one even without --trace/--metrics-out), shared with the estimator
+       so pipeline counters land beside the engine's. *)
+    let obs =
+      match obs_of obs_spec with Some o -> o | None -> Obs.create ()
+    in
     let syn = load_synopsis synopsis_file in
-    let estimator = estimator_of ?obs ~threshold syn in
+    let estimator = estimator_of ~obs ~threshold syn in
     let engine =
-      Engine.create ~qerror_threshold ~cache_capacity ?obs estimator
+      Engine.create ~qerror_threshold ~cache_capacity
+        ~drift_p90_threshold:drift_p90 ~obs estimator
+    in
+    let telemetry_oc =
+      match telemetry_out with
+      | None -> None
+      | Some path ->
+        let oc =
+          try open_out path
+          with Sys_error msg ->
+            Core.Error.raisef Core.Error.Io_error "--telemetry-out: %s" msg
+        in
+        Engine.set_on_record engine (fun r ->
+            output_string oc (Obs.Json.to_string (Engine.Flight_recorder.to_json r));
+            output_char oc '\n';
+            flush oc);
+        Some oc
+    in
+    let requests = ref 0 in
+    let on_request () =
+      incr requests;
+      match snapshot_every with
+      | Some n when !requests mod n = 0 ->
+        Engine.publish_telemetry engine;
+        Obs.emit_snapshot obs
+      | _ -> ()
     in
     Format.eprintf
-      "xseed serve: %s loaded; reading ESTIMATE/FEEDBACK/EXPLAIN/STATS lines \
-       from stdin@."
+      "xseed serve: %s loaded; reading ESTIMATE/FEEDBACK/EXPLAIN/STATS/\
+       METRICS/RECENT/DRIFT lines from stdin@."
       synopsis_file;
-    Engine.Protocol.run engine stdin stdout;
-    Engine.publish_counters engine;
-    finish_obs obs
+    Engine.Protocol.run ~on_request engine stdin stdout;
+    Engine.publish_telemetry engine;
+    Option.iter close_out telemetry_oc;
+    finish_obs (Some obs)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve estimates over a synopsis on a stdin/stdout line protocol: \
              ESTIMATE <query>, FEEDBACK <query> <actual>, EXPLAIN <query>, \
-             STATS. Feedback whose q-error crosses the threshold refreshes \
-             the HET in place")
+             STATS, METRICS (Prometheus text), RECENT [n] (flight records), \
+             DRIFT (sliding-window accuracy). Feedback whose q-error crosses \
+             the threshold refreshes the HET in place")
     Term.(const run $ synopsis_arg $ override_threshold_arg
-          $ qerror_threshold_arg $ cache_capacity_arg $ obs_term)
+          $ qerror_threshold_arg $ cache_capacity_arg $ telemetry_out_arg
+          $ snapshot_every_arg $ drift_p90_arg $ obs_term)
 
 (* Replay: drive a workload through estimate -> execute -> feedback rounds
    against an initially empty HET, reporting accuracy per round. This is the
@@ -524,7 +581,20 @@ let replay_cmd =
             c.Engine.Lru_cache.hits c.Engine.Lru_cache.misses
             (Core.Het.active_count het)
             (Core.Het.size_in_bytes het)
-            (Engine.feedback_rounds engine))
+            (Engine.feedback_rounds engine);
+          match Engine.drift engine with
+          | None -> ()
+          | Some d ->
+            Format.printf
+              "         drift window  %d obs / %d estimates  hit-rate %.2f  \
+               q-error p50 %.3f p90 %.3f max %.3f  alerts %d%s@."
+              (Engine.Drift.window_count d)
+              (Engine.Drift.window_estimates d)
+              (Engine.Drift.hit_rate d) (Engine.Drift.median d)
+              (Engine.Drift.p90 d)
+              (Engine.Drift.max_qerror d)
+              (Engine.Drift.alerts d)
+              (if Engine.Drift.alerting d then "  [ALERTING]" else ""))
     done;
     Engine.publish_counters engine;
     finish_obs obs;

@@ -95,6 +95,26 @@ let estimate_result_on t ept path =
         Error.raisef Error.Limit_exceeded
           "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
 
+let estimate_result_stats_on t ept path =
+  Error.guard (fun () ->
+      if path = [] then Error.raisef Error.Malformed_query "empty query";
+      let qt = Xpath.Query_tree.of_path path in
+      if qt.Xpath.Query_tree.size > 62 then
+        Error.raisef Error.Malformed_query
+          "query tree has %d nodes; the matcher's bitset encoding supports 62"
+          qt.Xpath.Query_tree.size;
+      match
+        Matcher.estimate_with_stats ?het:t.het ?values:t.values
+          ~table:(Kernel.table t.kernel) (Lazy.force ept) qt
+      with
+      | raw, ms ->
+        Matcher.publish_stats ?obs:t.obs ms;
+        let value, clamped = clamp_estimate ?obs:t.obs raw in
+        ({ value; clamped; unknown_labels = unknown_labels t path }, ms)
+      | exception Matcher.Ept_too_large n ->
+        Error.raisef Error.Limit_exceeded
+          "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
+
 let estimate_result t path = estimate_result_on t (lazy (ept t)) path
 
 let estimate_string_result t query =

@@ -69,6 +69,17 @@ val estimate_result_on : t -> Matcher.ept Lazy.t -> Xpath.Ast.t -> (outcome, Err
     error guard, so a deferred blow-up still comes back as
     [Limit_exceeded]. *)
 
+val estimate_result_stats_on :
+  t ->
+  Matcher.ept Lazy.t ->
+  Xpath.Ast.t ->
+  (outcome * Matcher.match_stats, Error.t) result
+(** {!estimate_result_on} that also returns the per-query
+    {!Matcher.match_stats} (frontier peak, EPT nodes visited, HET
+    overrides, …) so a serving layer can attribute them to the query —
+    the flight recorder's data source. Stats are still published to the
+    estimator's [obs] context exactly as {!estimate_result_on} does. *)
+
 val clamp_estimate : ?obs:Obs.t -> float -> float * int
 (** [(clamped value, 1 if clamping fired else 0)]; bumps
     [estimator.degenerate_clamps] when it fires. Exposed for callers that

@@ -146,8 +146,13 @@ let pp ppf r =
      %d, max depth %d@,"
     r.traveler.opened r.traveler.pruned r.traveler.max_recursion_level
     r.traveler.max_depth_seen;
-  Format.fprintf ppf "  matcher      frontier peak %d, match steps %d@,"
-    r.matcher.frontier_peak r.matcher.match_steps;
+  Format.fprintf ppf
+    "  matcher      frontier peak %d, frontier mean %.1f, match steps %d@,"
+    r.matcher.frontier_peak
+    (if r.matcher.ept_nodes > 0 then
+       float_of_int r.matcher.frontier_sum /. float_of_int r.matcher.ept_nodes
+     else 0.0)
+    r.matcher.match_steps;
   (match (r.het_active, r.het_total, r.het_usage) with
    | Some active, Some total, Some u ->
      Format.fprintf ppf
@@ -197,6 +202,12 @@ let to_json r =
       ( "matcher",
         Obj
           [ ("frontier_peak", Int r.matcher.frontier_peak);
+            ( "frontier_mean",
+              Float
+                (if r.matcher.ept_nodes > 0 then
+                   float_of_int r.matcher.frontier_sum
+                   /. float_of_int r.matcher.ept_nodes
+                 else 0.0) );
             ("match_steps", Int r.matcher.match_steps);
             ("het_joint_overrides", Int r.matcher.het_joint_overrides);
             ("het_single_overrides", Int r.matcher.het_single_overrides);

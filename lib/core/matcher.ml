@@ -111,6 +111,7 @@ type match_stats = {
   mutable ept_nodes : int;
   mutable frontier : int;
   mutable frontier_peak : int;
+  mutable frontier_sum : int;
   mutable match_steps : int;
   mutable het_joint_overrides : int;
   mutable het_single_overrides : int;
@@ -118,8 +119,9 @@ type match_stats = {
 }
 
 let fresh_stats () =
-  { ept_nodes = 0; frontier = 0; frontier_peak = 0; match_steps = 0;
-    het_joint_overrides = 0; het_single_overrides = 0; independence_preds = 0 }
+  { ept_nodes = 0; frontier = 0; frontier_peak = 0; frontier_sum = 0;
+    match_steps = 0; het_joint_overrides = 0; het_single_overrides = 0;
+    independence_preds = 0 }
 
 (* Selectivity of QTN q's value predicates at a node with this label. With
    no value synopsis the predicates are ignored (factor 1), preserving the
@@ -142,6 +144,7 @@ let rec bottom_up ?values ms c node =
   node.d_or <- Array.make q_n 0.0;
   ms.frontier <- ms.frontier + Array.length node.children;
   if ms.frontier > ms.frontier_peak then ms.frontier_peak <- ms.frontier;
+  ms.frontier_sum <- ms.frontier_sum + ms.frontier;
   let kid_ms = Array.map (bottom_up ?values ms c) node.children in
   ms.frontier <- ms.frontier - Array.length node.children;
   Array.iteri
@@ -260,7 +263,11 @@ let publish_stats ?obs ms =
   | Some _ ->
     Obs.add_to ?obs "matcher.match_steps" ms.match_steps;
     Obs.max_to ?obs "matcher.frontier_peak" ms.frontier_peak;
-    Obs.observe ?obs "matcher.frontier" (float_of_int ms.frontier_peak);
+    (* Per-query mean of the running frontier — the peak is already a
+       separate counter, so the histogram carries the distribution. *)
+    if ms.ept_nodes > 0 then
+      Obs.observe ?obs "matcher.frontier_mean"
+        (float_of_int ms.frontier_sum /. float_of_int ms.ept_nodes);
     Obs.add_to ?obs "matcher.het_joint_overrides" ms.het_joint_overrides;
     Obs.add_to ?obs "matcher.het_single_overrides" ms.het_single_overrides;
     Obs.add_to ?obs "matcher.independence_preds" ms.independence_preds

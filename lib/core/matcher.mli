@@ -50,6 +50,10 @@ type match_stats = {
   mutable frontier_peak : int;
       (** peak number of candidate match vectors held at once — the
           analogue of Algorithm 3's buffered candidate-event sets *)
+  mutable frontier_sum : int;
+      (** sum of the running frontier sampled at every EPT node, so
+          [frontier_sum / ept_nodes] is the mean live-frontier size over
+          the traversal (the distribution the peak alone cannot show) *)
   mutable match_steps : int;
       (** (EPT node, query-tree node) combinations examined, both passes *)
   mutable het_joint_overrides : int;

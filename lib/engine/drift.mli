@@ -1,0 +1,66 @@
+(** Sliding-window accuracy-drift monitor for the serving engine.
+
+    Each feedback observation contributes its smoothed q-error
+    [max((est+1)/(act+1), (act+1)/(est+1))] to a sliding window
+    ({!Obs.Window}: [slots] sub-histograms of [per_slot] observations,
+    oldest expiring slot-at-a-time). Estimate traffic and cache hits are
+    counted in parallel per-slot rings rotated in lockstep, so the
+    window's q-error percentiles, estimate volume and hit rate all cover
+    the same span.
+
+    When the window's p90 q-error reaches [p90_threshold] the monitor
+    bumps the [engine.drift.alerts] counter and emits one
+    ["drift_alert"] event; the alert is edge-triggered and re-arms only
+    after p90 falls back below the threshold, so a persistently bad
+    window counts once, not once per observation. *)
+
+type t
+
+val create : ?slots:int -> ?per_slot:int -> ?p90_threshold:float -> unit -> t
+(** Defaults: 6 slots of 64 feedback observations, threshold 8.0 (a p90
+    q-error of 8 means a tenth of recent feedback was off by ~an order of
+    magnitude).
+    @raise Invalid_argument when [slots] or [per_slot] < 1, or the
+    threshold is below 1 (q-error is always >= 1). *)
+
+val qerror : estimate:float -> actual:int -> float
+(** The +1-smoothed q-error both this module and the feedback gate use. *)
+
+val observe : ?obs:Obs.t -> t -> estimate:float -> actual:int -> float
+(** Record one feedback observation; returns its q-error. Rotates the
+    window when the current slot is full, then evaluates the alert
+    condition (bumping [engine.drift.alerts] / emitting the event on
+    [obs] when it newly fires). *)
+
+val note_estimate : t -> cache_hit:bool -> unit
+(** Count one served estimate (and whether it was a cache hit) against the
+    current window slot. *)
+
+(** {1 Window reads} — [nan] where the window is empty. *)
+
+val window_count : t -> int
+(** Feedback observations currently in the window. *)
+
+val window_estimates : t -> int
+val window_hits : t -> int
+val hit_rate : t -> float
+val median : t -> float
+val p90 : t -> float
+val max_qerror : t -> float
+
+val alerts : t -> int
+(** Alert edges fired over the monitor's lifetime. *)
+
+val alerting : t -> bool
+(** Currently above threshold (the alert has fired and not yet re-armed). *)
+
+val p90_threshold : t -> float
+
+val publish : t -> Obs.t -> unit
+(** Republish the window into a metrics registry —
+    [engine.drift.qerror_{p50,p90,max}], [engine.drift.window_*] gauges
+    and the [engine.drift.alerts] counter (idempotently, via max). Called
+    by the engine before each scrape/snapshot. *)
+
+val to_json : t -> Obs.Json.t
+(** One-object summary (the serve protocol's [DRIFT] payload). *)

@@ -14,25 +14,48 @@
       after which every cached estimate and the shared EPT are invalidated —
       the next requests re-derive from the refined synopsis.
 
+    On top of these the engine carries serving telemetry: every answered
+    query appends a {!Flight_recorder} record (stage wall times, cache
+    outcome, per-query matcher stats), feedback observations stream into a
+    {!Drift} monitor (sliding-window q-error with edge-triggered alerts),
+    and {!metrics_text} renders the whole registry — engine totals, drift
+    gauges and any pipeline counters sharing the context — as a Prometheus
+    scrape payload. Telemetry is on by default and cheap (a ring-buffer
+    store per query); [~telemetry:false] turns the recorder and monitor off
+    for baseline benchmarking.
+
     Surfaced on the command line as [xseed serve] (line protocol, see
     {!Protocol}) and [xseed replay] (workload-driven feedback rounds). *)
 
 module Canonical = Canonical
 module Lru_cache = Lru_cache
 module Feedback = Feedback
+module Flight_recorder = Flight_recorder
+module Drift = Drift
 
 type t
 
 val create :
   ?qerror_threshold:float ->
   ?cache_capacity:int ->
+  ?telemetry:bool ->
+  ?recorder_capacity:int ->
+  ?drift_slots:int ->
+  ?drift_per_slot:int ->
+  ?drift_p90_threshold:float ->
   ?obs:Obs.t ->
   Core.Estimator.t ->
   t
 (** [qerror_threshold] (default 2.0) is the minimum q-error at which
     feedback refines the HET; [cache_capacity] (default 1024) bounds the
     estimate cache. [obs] receives pipeline metrics from every cache-miss
-    estimation. *)
+    estimation and becomes the engine's scrape registry ({!metrics});
+    without it the engine still keeps a private registry so [METRICS]
+    works. [telemetry] (default [true]) enables the flight recorder
+    ([recorder_capacity], default 256 records) and the drift monitor
+    ([drift_slots] x [drift_per_slot] feedback observations, default
+    6 x 64, alerting at window-p90 q-error [drift_p90_threshold],
+    default 8.0). *)
 
 val estimator : t -> Core.Estimator.t
 val qerror_threshold : t -> float
@@ -85,6 +108,34 @@ val explain : t -> string -> (Core.Explain.report, Core.Error.t) result
 val cache_counters : t -> Lru_cache.counters
 val cache_length : t -> int
 
+(** {1 Serving telemetry} *)
+
+val metrics : t -> Obs.t
+(** The scrape registry: the [?obs] passed to {!create}, or the engine's
+    private context. *)
+
+val recorder : t -> Flight_recorder.t option
+(** [None] when the engine was created with [~telemetry:false]. *)
+
+val drift : t -> Drift.t option
+
+val set_on_record : t -> (Flight_recorder.record -> unit) -> unit
+(** Install a callback invoked with every flight record as it is written —
+    the CLI's [--telemetry-out] JSON-lines sink. At most one callback;
+    installing replaces. *)
+
+val publish_telemetry : t -> unit
+(** Republish engine totals into {!metrics}: [engine.cache.*] counters
+    (via max, so calling before every scrape is idempotent) and occupancy
+    gauges, [engine.feedback.*], [engine.het.*] and [het.*] totals,
+    [engine.flight.records], and the drift window's
+    [engine.drift.*] gauges/counter. *)
+
+val metrics_text : t -> string
+(** {!publish_telemetry}, then the full registry in Prometheus text
+    exposition format 0.0.4 with the [xseed_] name prefix
+    ({!Obs.prometheus}). *)
+
 val stats_json : t -> Obs.Json.t
 (** One object: cache counters and occupancy, feedback totals, HET
     active/total/usage (or [null] without a HET), synopsis footprint. *)
@@ -100,17 +151,25 @@ val publish_counters : t -> unit
     FEEDBACK <xpath> <actual>   ->  OK <q_error> <refined|kept>
     EXPLAIN <xpath>             ->  OK <explain report as one-line JSON>
     STATS                       ->  OK <engine stats as one-line JSON>
+    METRICS                     ->  Prometheus text exposition (multi-line)
+    RECENT [n]                  ->  OK <k> then k flight-record JSON lines,
+                                    newest first
+    DRIFT                       ->  OK <drift summary as one-line JSON>
     v}
 
     Any failure — unknown verb, bad query, missing count, pipeline limit —
     is a one-line [ERR <kind> <message>] where [kind] is
     {!Core.Error.kind_name}; the handler never raises and never emits a
-    non-finite number. Blank lines are ignored. *)
+    non-finite number. [METRICS] and [RECENT] are the only multi-line
+    responses, and only on success — their malformed spellings still fail
+    with a single [ERR] line. Blank lines are ignored. *)
 module Protocol : sig
   val handle_line : t -> string -> string option
-  (** [None] for a blank line, otherwise exactly one [OK]/[ERR] response
-      line (no trailing newline). *)
+  (** [None] for a blank line, otherwise the complete response (no trailing
+      newline; multi-line for successful [METRICS]/[RECENT]). *)
 
-  val run : t -> in_channel -> out_channel -> unit
-  (** Serve until EOF, flushing after every response. *)
+  val run : ?on_request:(unit -> unit) -> t -> in_channel -> out_channel -> unit
+  (** Serve until EOF, flushing after every response. [on_request] runs
+      after each non-blank request has been answered and flushed — the
+      CLI's [--snapshot-every] hook. *)
 end

@@ -1,0 +1,70 @@
+(** Per-query flight records in a fixed-size ring buffer.
+
+    Every [estimate]/[explain] the serving engine answers appends one
+    {!record}: the canonical query and its hash, the cache outcome, the
+    per-stage wall times, the estimate, and the per-query matcher stats
+    (EPT nodes, frontier peak, clamps, HET hits). The ring overwrites
+    oldest-first, so memory is bounded by [capacity] regardless of uptime;
+    {!recent} reads newest-first for the serve protocol's [RECENT] command
+    and {!to_json} renders one record as a JSON object (one line of the
+    [--telemetry-out] JSON-lines sink). *)
+
+type cache_status = Hit | Miss | Bypass
+
+val cache_status_name : cache_status -> string
+(** ["hit"] / ["miss"] / ["bypass"]. *)
+
+type record = {
+  seq : int;  (** monotone sequence number, 0-based, never reused *)
+  query : string;  (** canonical query text *)
+  hash : int;  (** canonical query hash (cache key) *)
+  cache : cache_status;
+  estimate : float;
+  canonicalize_s : float;  (** parse + canonicalize wall seconds *)
+  ept_s : float;  (** EPT materialization seconds; ~0 when reused *)
+  match_s : float;  (** matcher two-pass seconds *)
+  total_s : float;  (** sum of the stages *)
+  ept_nodes : int;  (** EPT nodes visited by the matcher; 0 on cache hit *)
+  frontier_peak : int;
+  degenerate_clamps : int;
+  het_hits : int;  (** HET lookups answered for this query (simple + branching) *)
+  feedback_round : int;  (** engine feedback round at answer time *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of [capacity] (default 256) records.
+    @raise Invalid_argument when [capacity] < 1. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Records ever written, including overwritten ones. *)
+
+val record :
+  t ->
+  query:string ->
+  hash:int ->
+  cache:cache_status ->
+  estimate:float ->
+  canonicalize_s:float ->
+  ept_s:float ->
+  match_s:float ->
+  ept_nodes:int ->
+  frontier_peak:int ->
+  degenerate_clamps:int ->
+  het_hits:int ->
+  feedback_round:int ->
+  record
+(** Append one record (assigning its [seq]) and return it. *)
+
+val recent : ?n:int -> t -> record list
+(** The last [n] records (default: all live ones), newest first. *)
+
+val to_json : record -> Obs.Json.t
+(** One JSON object; wall times under ["wall_us"] in microseconds, hash as
+    8 hex digits. *)
+
+val dump_jsonl : out_channel -> t -> unit
+(** Every live record as JSON-lines, newest first. *)

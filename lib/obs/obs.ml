@@ -1,5 +1,6 @@
-(* Observability: counters, histograms, spans, pluggable sinks. Depends only
-   on the stdlib and the unix library shipped with the compiler. *)
+(* Observability: counters, gauges, histograms, sliding windows, spans,
+   pluggable sinks, JSON snapshots and Prometheus text exposition. Depends
+   only on the stdlib and the unix library shipped with the compiler. *)
 
 module Json = struct
   type t =
@@ -28,7 +29,8 @@ module Json = struct
     Buffer.add_char buf '"'
 
   let float_repr f =
-    (* Shortest rendering that round-trips; JSON has no NaN/infinity. *)
+    (* Shortest rendering that round-trips; JSON has no NaN/infinity, so
+       non-finite values are emitted as null (see the .mli convention). *)
     if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
     else
       let s = Printf.sprintf "%.12g" f in
@@ -209,9 +211,13 @@ module Json = struct
     if !pos <> n then fail "trailing input";
     v
 
+  (* [to_string] emits non-finite floats as null, so [Float nan] and [Null]
+     are the same value on the wire — [equal] honours that, making
+     [of_string (to_string v)] an identity for everything we can emit. *)
   let rec equal a b =
     match (a, b) with
     | Null, Null -> true
+    | (Null, Float f | Float f, Null) when not (Float.is_finite f) -> true
     | Bool a, Bool b -> a = b
     | Int a, Int b -> a = b
     | Float a, Float b -> a = b || (Float.is_nan a && Float.is_nan b)
@@ -236,7 +242,35 @@ end
 
 type sink = Noop | Stderr | Jsonl of out_channel
 
-type counter = { cname : string; mutable n : int }
+type labels = (string * string) list
+
+(* Canonical (sorted) label rendering; doubles as the registry-key suffix so
+   label order never creates duplicate series. *)
+let render_labels labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let buf = Buffer.create 32 in
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      String.iter
+        (fun c ->
+          match c with
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c -> Buffer.add_char buf c)
+        v;
+      Buffer.add_char buf '"')
+    sorted;
+  Buffer.contents buf
+
+let series_key name labels =
+  if labels = [] then name else name ^ "{" ^ render_labels labels ^ "}"
+
+type counter = { cname : string; clabels : labels; mutable n : int }
+type gauge = { gname : string; glabels : labels; mutable g : float }
 
 (* Base-2 log buckets over non-negative samples: bucket 0 is [0, 1), bucket
    i >= 1 is [2^(i-1), 2^i). Exact count/sum/max ride along so mean and max
@@ -245,18 +279,19 @@ let hbuckets = 64
 
 type histogram = {
   hname : string;
+  hlabels : labels;
   mutable count : int;
   mutable sum : float;
   mutable max : float;
   buckets : int array;
 }
 
-type metric = Counter of counter | Histogram of histogram
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 type t = {
   mutable sink : sink;
   registry : (string, metric) Hashtbl.t;
-  mutable order : string list;  (* reverse registration order *)
+  mutable order : string list;  (* reverse registration order of series keys *)
   mutable depth : int;  (* current span nesting, for the pretty sink *)
 }
 
@@ -275,37 +310,64 @@ let close t =
    | Stderr | Noop -> ());
   t.sink <- Noop
 
-let register t name metric =
-  Hashtbl.replace t.registry name metric;
-  t.order <- name :: t.order
+let register t key metric =
+  Hashtbl.replace t.registry key metric;
+  t.order <- key :: t.order
 
-let counter t name =
-  match Hashtbl.find_opt t.registry name with
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let wrong_kind what key m =
+  invalid_arg (Printf.sprintf "Obs.%s: %s is a %s" what key (kind_name m))
+
+let counter_with t name labels =
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.registry key with
   | Some (Counter c) -> c
-  | Some (Histogram _) ->
-    invalid_arg (Printf.sprintf "Obs.counter: %s is a histogram" name)
+  | Some m -> wrong_kind "counter" key m
   | None ->
-    let c = { cname = name; n = 0 } in
-    register t name (Counter c);
+    let c = { cname = name; clabels = labels; n = 0 } in
+    register t key (Counter c);
     c
+
+let counter t name = counter_with t name []
 
 let incr c = c.n <- c.n + 1
 let add c k = c.n <- c.n + k
 let set_max c v = if v > c.n then c.n <- v
 let value c = c.n
 
-let histogram t name =
-  match Hashtbl.find_opt t.registry name with
+let gauge_with t name labels =
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.registry key with
+  | Some (Gauge g) -> g
+  | Some m -> wrong_kind "gauge" key m
+  | None ->
+    let g = { gname = name; glabels = labels; g = 0.0 } in
+    register t key (Gauge g);
+    g
+
+let gauge t name = gauge_with t name []
+
+let gset g v = g.g <- v
+let gvalue g = g.g
+
+let histogram_with t name labels =
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.registry key with
   | Some (Histogram h) -> h
-  | Some (Counter _) ->
-    invalid_arg (Printf.sprintf "Obs.histogram: %s is a counter" name)
+  | Some m -> wrong_kind "histogram" key m
   | None ->
     let h =
-      { hname = name; count = 0; sum = 0.0; max = neg_infinity;
-        buckets = Array.make hbuckets 0 }
+      { hname = name; hlabels = labels; count = 0; sum = 0.0;
+        max = neg_infinity; buckets = Array.make hbuckets 0 }
     in
-    register t name (Histogram h);
+    register t key (Histogram h);
     h
+
+let histogram t name = histogram_with t name []
 
 let bucket_of v =
   if v < 1.0 then 0
@@ -325,16 +387,18 @@ let hsum h = h.sum
 let hmean h = if h.count = 0 then Float.nan else h.sum /. float_of_int h.count
 let hmax h = if h.count = 0 then Float.nan else h.max
 
-let hpercentile h p =
-  if h.count = 0 then Float.nan
+(* Rank selection over log buckets, shared by plain histograms and merged
+   windows: exact bucket choice, geometric interpolation inside it. *)
+let percentile_over ~count ~maxv buckets p =
+  if count = 0 then Float.nan
   else begin
     let p = Float.min 1.0 (Float.max 0.0 p) in
-    let rank = p *. float_of_int h.count in
+    let rank = p *. float_of_int count in
     let rank = if rank < 1.0 then 1.0 else rank in
-    let cum = ref 0 and result = ref h.max in
+    let cum = ref 0 and result = ref maxv in
     (try
        for i = 0 to hbuckets - 1 do
-         let c = h.buckets.(i) in
+         let c = buckets i in
          if c > 0 then begin
            let before = !cum in
            cum := !cum + c;
@@ -342,7 +406,7 @@ let hpercentile h p =
              (* Linear interpolation inside the bucket's range. *)
              let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
              let hi = if i = 0 then 1.0 else lo *. 2.0 in
-             let hi = Float.min hi h.max in
+             let hi = Float.min hi maxv in
              let frac = (rank -. float_of_int before) /. float_of_int c in
              result := lo +. ((hi -. lo) *. frac);
              raise Exit
@@ -350,8 +414,107 @@ let hpercentile h p =
          end
        done
      with Exit -> ());
-    Float.min !result h.max
+    Float.min !result maxv
   end
+
+let hpercentile h p =
+  percentile_over ~count:h.count ~maxv:h.max (Array.get h.buckets) p
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows: a ring of sub-histograms rotated on a count (and
+   optionally wall-time) budget; reads merge the live slots. *)
+
+module Window = struct
+  type slot = {
+    mutable scount : int;
+    mutable ssum : float;
+    mutable smax : float;
+    sbuckets : int array;
+  }
+
+  type t = {
+    slots : slot array;
+    per_slot : int;
+    rotate_every_s : float option;
+    mutable idx : int;  (* slot receiving observations *)
+    mutable opened_at : float;  (* wall clock, only read with rotate_every_s *)
+    mutable wtotal : int;  (* lifetime observations *)
+  }
+
+  let fresh_slot () =
+    { scount = 0; ssum = 0.0; smax = neg_infinity;
+      sbuckets = Array.make hbuckets 0 }
+
+  let create ?(slots = 6) ?(per_slot = 128) ?rotate_every_s () =
+    if slots < 1 then
+      invalid_arg (Printf.sprintf "Obs.Window.create: slots %d < 1" slots);
+    if per_slot < 1 then
+      invalid_arg (Printf.sprintf "Obs.Window.create: per_slot %d < 1" per_slot);
+    { slots = Array.init slots (fun _ -> fresh_slot ());
+      per_slot;
+      rotate_every_s;
+      idx = 0;
+      opened_at =
+        (match rotate_every_s with
+         | Some _ -> Unix.gettimeofday ()
+         | None -> 0.0);
+      wtotal = 0 }
+
+  let clear_slot s =
+    s.scount <- 0;
+    s.ssum <- 0.0;
+    s.smax <- neg_infinity;
+    Array.fill s.sbuckets 0 hbuckets 0
+
+  let rotate t =
+    t.idx <- (t.idx + 1) mod Array.length t.slots;
+    clear_slot t.slots.(t.idx);
+    match t.rotate_every_s with
+    | Some _ -> t.opened_at <- Unix.gettimeofday ()
+    | None -> ()
+
+  let observe t v =
+    let due_by_time =
+      match t.rotate_every_s with
+      | Some s -> Unix.gettimeofday () -. t.opened_at >= s
+      | None -> false
+    in
+    if t.slots.(t.idx).scount >= t.per_slot || due_by_time then rotate t;
+    let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+    let s = t.slots.(t.idx) in
+    s.scount <- s.scount + 1;
+    s.ssum <- s.ssum +. v;
+    if v > s.smax then s.smax <- v;
+    s.sbuckets.(bucket_of v) <- s.sbuckets.(bucket_of v) + 1;
+    t.wtotal <- t.wtotal + 1
+
+  let count t = Array.fold_left (fun acc s -> acc + s.scount) 0 t.slots
+  let total t = t.wtotal
+
+  let mean t =
+    let c = count t in
+    if c = 0 then Float.nan
+    else
+      Array.fold_left (fun acc s -> acc +. s.ssum) 0.0 t.slots
+      /. float_of_int c
+
+  let max t =
+    if count t = 0 then Float.nan
+    else
+      Array.fold_left
+        (fun acc s -> if s.scount > 0 && s.smax > acc then s.smax else acc)
+        neg_infinity t.slots
+
+  let percentile t p =
+    let c = count t in
+    if c = 0 then Float.nan
+    else
+      let maxv = max t in
+      percentile_over ~count:c ~maxv
+        (fun i ->
+          Array.fold_left (fun acc s -> acc + s.sbuckets.(i)) 0 t.slots)
+        p
+end
 
 (* ------------------------------------------------------------------ *)
 (* Optional-context helpers: no-ops without a context. *)
@@ -361,6 +524,9 @@ let add_to ?obs name k =
 
 let max_to ?obs name v =
   match obs with None -> () | Some t -> set_max (counter t name) v
+
+let set_to ?obs name v =
+  match obs with None -> () | Some t -> gset (gauge t name) v
 
 let observe ?obs name v =
   match obs with None -> () | Some t -> hobserve (histogram t name) v
@@ -431,10 +597,11 @@ let histogram_json h =
 let snapshot t =
   let fields =
     List.rev_map
-      (fun name ->
-        match Hashtbl.find t.registry name with
-        | Counter c -> (name, Json.Int c.n)
-        | Histogram h -> (name, histogram_json h))
+      (fun key ->
+        match Hashtbl.find t.registry key with
+        | Counter c -> (key, Json.Int c.n)
+        | Gauge g -> (key, Json.Float g.g)
+        | Histogram h -> (key, histogram_json h))
       t.order
   in
   Json.Obj fields
@@ -447,11 +614,120 @@ let emit_snapshot t =
      | Json.Obj fields -> emit t "snapshot" fields
      | _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format version 0.0.4). *)
+
+let sanitize_metric_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+(* Prometheus, unlike JSON, has spellings for non-finite values. *)
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Json.float_repr f
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prometheus ?(prefix = "") t =
+  let buf = Buffer.create 1024 in
+  (* Group series into families (by exported name) so each family gets
+     exactly one HELP/TYPE pair with all its samples beneath — grouping by
+     the sanitized name also keeps two dotted names that collapse to the
+     same exported spelling from emitting duplicate headers. *)
+  let families = Hashtbl.create 16 in
+  let fam_order = ref [] in
+  List.iter
+    (fun key ->
+      let m = Hashtbl.find t.registry key in
+      let base =
+        match m with
+        | Counter c -> c.cname
+        | Gauge g -> g.gname
+        | Histogram h -> h.hname
+      in
+      let fam = sanitize_metric_name (prefix ^ base) in
+      match Hashtbl.find_opt families fam with
+      | None ->
+        Hashtbl.add families fam (base, [ m ]);
+        fam_order := fam :: !fam_order
+      | Some (b0, ms) -> Hashtbl.replace families fam (b0, m :: ms))
+    (List.rev t.order);
+  let sample name labels value =
+    Buffer.add_string buf name;
+    if labels <> [] then begin
+      Buffer.add_char buf '{';
+      Buffer.add_string buf (render_labels labels);
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun fam ->
+      let base, rev_members = Hashtbl.find families fam in
+      let members = List.rev rev_members in
+      let kind =
+        match members with
+        | Counter _ :: _ -> "counter"
+        | Gauge _ :: _ -> "gauge"
+        | Histogram _ :: _ -> "histogram"
+        | [] -> "untyped"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" fam (escape_help base));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind);
+      List.iter
+        (fun m ->
+          match m with
+          | Counter c -> sample fam c.clabels (string_of_int c.n)
+          | Gauge g -> sample fam g.glabels (prom_float g.g)
+          | Histogram h ->
+            (* Cumulative counts on the base-2 bucket bounds, up to the
+               highest occupied bucket, then the mandatory +Inf bucket. *)
+            let top = ref (-1) in
+            Array.iteri (fun i c -> if c > 0 then top := i) h.buckets;
+            let cum = ref 0 in
+            for i = 0 to !top do
+              cum := !cum + h.buckets.(i);
+              let le =
+                if i = 0 then 1.0 else Float.pow 2.0 (float_of_int i)
+              in
+              sample (fam ^ "_bucket")
+                (("le", prom_float le) :: h.hlabels)
+                (string_of_int !cum)
+            done;
+            sample (fam ^ "_bucket")
+              (("le", "+Inf") :: h.hlabels)
+              (string_of_int h.count);
+            sample (fam ^ "_sum") h.hlabels (prom_float h.sum);
+            sample (fam ^ "_count") h.hlabels (string_of_int h.count))
+        members)
+    (List.rev !fam_order);
+  Buffer.contents buf
+
 let reset t =
   Hashtbl.iter
     (fun _ metric ->
       match metric with
       | Counter c -> c.n <- 0
+      | Gauge g -> g.g <- 0.0
       | Histogram h ->
         h.count <- 0;
         h.sum <- 0.0;

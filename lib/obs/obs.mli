@@ -2,17 +2,29 @@
 
     The layer has two halves with different cost profiles:
 
-    - {e metrics} — named monotonic counters and log-bucketed histograms held
-      in a registry. Handles are resolved once ({!counter}, {!histogram});
-      bumping a handle is a plain mutable-field update, cheap enough for hot
-      loops. Pipeline stages publish their totals with the [?obs]-optional
-      helpers ({!add_to}, {!max_to}, {!observe}), which are no-ops when no
-      context is supplied — the compiled-in-but-off default.
+    - {e metrics} — named monotonic counters, point-in-time gauges and
+      log-bucketed histograms held in a registry, optionally carrying a
+      label set ({!counter_with} and friends) so one metric family can be
+      split per dimension (dataset, cache outcome, …). Handles are resolved
+      once ({!counter}, {!gauge}, {!histogram}); bumping a handle is a plain
+      mutable-field update, cheap enough for hot loops. Pipeline stages
+      publish their totals with the [?obs]-optional helpers ({!add_to},
+      {!max_to}, {!set_to}, {!observe}), which are no-ops when no context is
+      supplied — the compiled-in-but-off default.
     - {e events and spans} — emitted to a pluggable {!type-sink}: [Noop]
       (default; nothing happens, no clock is read), a stderr pretty-printer
       (the CLI's [--trace]), or a JSON-lines channel (the CLI's
       [--metrics-out]). Spans nest and time their body with the wall clock;
       use them at stage granularity, not per node.
+
+    Registered metrics can be rendered two ways: {!snapshot} (JSON, one
+    object) and {!prometheus} (Prometheus text exposition format 0.0.4,
+    for a scrape endpoint such as [xseed serve]'s [METRICS] command).
+
+    {!module-Window} is a sliding-window histogram — a ring of
+    sub-histograms rotated on a count (or time) budget and merged on read —
+    for "over the last N observations" percentiles (the serving engine's
+    accuracy-drift monitor). Windows live outside the registry.
 
     {!module-Json} is a minimal self-contained JSON tree used for the
     JSON-lines sink, snapshots, bench output and the explain report. *)
@@ -29,8 +41,14 @@ module Json : sig
 
   val to_string : t -> string
   (** Compact one-line rendering. Floats are emitted so they survive a
-      round-trip ([nan] and infinities become [null], JSON having no
-      spelling for them). *)
+      round-trip. JSON has no spelling for [nan] or the infinities, so
+      non-finite floats are emitted as [null] — the layer's wire convention
+      for "no meaningful number" (e.g. the mean of an empty histogram).
+      {!of_string} therefore accepts [null] wherever a number is expected
+      (it parses to [Null] like any other [null]), and {!equal} treats a
+      non-finite [Float] and [Null] as equal, so
+      [of_string (to_string v) = v] holds for every value this module can
+      emit, non-finite floats included. *)
 
   val to_buffer : Buffer.t -> t -> unit
 
@@ -39,7 +57,9 @@ module Json : sig
       @raise Invalid_argument on malformed input. *)
 
   val equal : t -> t -> bool
-  (** Structural equality; object fields compare order-insensitively. *)
+  (** Structural equality; object fields compare order-insensitively. A
+      non-finite [Float] (nan, ±infinity) equals [Null], matching the
+      null-for-non-finite emission convention of {!to_string}. *)
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] on other constructors. *)
@@ -71,20 +91,49 @@ val close : t -> unit
 (** Flush the sink; close its channel if it was opened by {!jsonl_file} or
     supplied as [Jsonl]. The sink becomes [Noop]. *)
 
+(** {1 Labels}
+
+    Every metric optionally carries a label set: [(key, value)] pairs that
+    split one family into per-dimension series (Prometheus-style). Two
+    handles with the same name and the same labels (order-insensitive) are
+    the same metric; different label sets under one name are separate
+    series of one family, rendered together by {!prometheus}. *)
+
+type labels = (string * string) list
+
 (** {1 Counters} *)
 
 type counter
 
 val counter : t -> string -> counter
-(** The counter registered under [name], created at zero on first use. *)
+(** The counter registered under [name] (no labels), created at zero on
+    first use. *)
+
+val counter_with : t -> string -> labels -> counter
+(** The series of family [name] carrying exactly [labels]. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set_max : counter -> int -> unit
-(** Raise the counter to [v] if [v] is larger (high-water-mark gauges:
-    max depth, frontier peaks). *)
+(** Raise the counter to [v] if [v] is larger. Used for high-water-mark
+    gauges (max depth, frontier peaks) and for republishing monotone
+    totals idempotently (a serving layer pushing lifetime totals before
+    every scrape). *)
 
 val value : counter -> int
+
+(** {1 Gauges}
+
+    A gauge is a point-in-time value that can go up or down — cache
+    occupancy, window percentiles, hit rates. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val gauge_with : t -> string -> labels -> gauge
+val gset : gauge -> float -> unit
+val gvalue : gauge -> float
+(** Fresh gauges read [0.0]. *)
 
 (** {1 Histograms} *)
 
@@ -94,6 +143,8 @@ val histogram : t -> string -> histogram
 (** The histogram registered under [name]. Buckets are base-2 logarithmic
     over non-negative samples, so percentiles are approximate (exact rank
     selection within a factor-of-two bucket, interpolated geometrically). *)
+
+val histogram_with : t -> string -> labels -> histogram
 
 val hobserve : histogram -> float -> unit
 val hcount : histogram -> int
@@ -105,6 +156,45 @@ val hpercentile : histogram -> float -> float
 (** [hpercentile h 0.9] is the approximate 90th percentile; [nan] when the
     histogram is empty. [p] is clamped to [0, 1]. *)
 
+(** {1 Sliding windows}
+
+    A {!Window.t} is a ring of [slots] sub-histograms. Observations land in
+    the current slot; after [per_slot] observations (or [rotate_every_s]
+    seconds, when given) the ring advances and the oldest slot is cleared,
+    so reads always cover the last [slots × per_slot] observations at
+    most — a sliding window with slot-granular expiry. Reads merge the
+    live slots, so percentiles are computed over the whole window at the
+    same factor-of-two accuracy as plain histograms. Windows are not
+    registered in a context; callers own them (the drift monitor publishes
+    derived gauges instead). *)
+
+module Window : sig
+  type t
+
+  val create : ?slots:int -> ?per_slot:int -> ?rotate_every_s:float -> unit -> t
+  (** [slots] (default 6) sub-histograms of [per_slot] (default 128)
+      observations each. [rotate_every_s] additionally rotates on wall-time
+      whenever the current slot has been open at least that long (checked
+      on observe; absent by default so no clock is read).
+      @raise Invalid_argument when [slots] or [per_slot] < 1. *)
+
+  val observe : t -> float -> unit
+  val rotate : t -> unit
+  (** Force the ring forward one slot (clearing the slot it lands on). *)
+
+  val count : t -> int
+  (** Observations currently inside the window. *)
+
+  val total : t -> int
+  (** Lifetime observations, including expired ones. *)
+
+  val mean : t -> float
+  val max : t -> float
+  val percentile : t -> float -> float
+  (** All three are merged-window statistics; [nan] when the window is
+      empty. *)
+end
+
 (** {1 Optional-context publishing}
 
     All of these are no-ops when [?obs] is absent, so instrumented code can
@@ -112,6 +202,9 @@ val hpercentile : histogram -> float -> float
 
 val add_to : ?obs:t -> string -> int -> unit
 val max_to : ?obs:t -> string -> int -> unit
+val set_to : ?obs:t -> string -> float -> unit
+(** Gauge set. *)
+
 val observe : ?obs:t -> string -> float -> unit
 
 (** {1 Events and spans} *)
@@ -134,10 +227,28 @@ val span : ?obs:t -> string -> (unit -> 'a) -> 'a
 
 val snapshot : t -> Json.t
 (** All registered metrics, in registration order: counters as integers,
-    histograms as [{count, sum, mean, max, p50, p90, p99}] objects. *)
+    gauges as floats, histograms as
+    [{count, sum, mean, max, p50, p90, p99}] objects. Labeled series
+    appear under ["name{k=\"v\",…}"] keys. The object always re-parses
+    with {!Json.of_string} (non-finite floats emit as [null], per the
+    convention documented on {!Json.to_string}). *)
 
 val emit_snapshot : t -> unit
 (** Emit {!snapshot} as a ["snapshot"] event to the sink. *)
+
+val prometheus : ?prefix:string -> t -> string
+(** Render every registered metric in the Prometheus text exposition
+    format, version 0.0.4 (content type
+    [text/plain; version=0.0.4; charset=utf-8]). [prefix] (default empty;
+    XSEED's exporters pass ["xseed_"]) is prepended to every metric name
+    before sanitization; dots and other characters outside
+    [[a-zA-Z0-9_:]] become underscores, so ["engine.cache.hits"] exports
+    as [xseed_engine_cache_hits]. Each family gets one [# HELP] line
+    (carrying the original dotted name) and one [# TYPE] line
+    ([counter] / [gauge] / [histogram]), then one sample per label set.
+    Histograms render cumulative [_bucket{le="…"}] samples on the base-2
+    bucket bounds plus [_sum] and [_count]. Non-finite gauge values use
+    the format's [NaN] / [+Inf] / [-Inf] spellings. *)
 
 val reset : t -> unit
 (** Zero every registered metric (the registry keeps its names). *)

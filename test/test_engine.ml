@@ -397,7 +397,236 @@ let test_protocol_errors () =
           && not (String.contains r '\n')))
     [ "\x00\x01"; "ESTIMATE " ^ String.make 5000 '['; "FEEDBACK  1";
       "ESTIMATE //" ^ String.concat "//" (List.init 70 (fun _ -> "a")); "OK";
-      "ERR"; "FEEDBACK /r/a 99999999999999999999999" ]
+      "ERR"; "FEEDBACK /r/a 99999999999999999999999";
+      (* Telemetry verbs with malformed arguments must stay one-line ERRs
+         (their well-formed spellings are the protocol's only multi-line
+         responses). *)
+      "METRICS x"; "RECENT abc"; "RECENT -1"; "RECENT 1 2"; "DRIFT now";
+      "metrics"; "RECENT 999999999999999999999999" ]
+
+(* ------------------------------------------------------------------ *)
+(* Serving telemetry: flight recorder, drift monitor, scrape commands *)
+
+let test_flight_recorder_ring () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Flight_recorder.create: capacity 0 < 1") (fun () ->
+      ignore (Engine.Flight_recorder.create ~capacity:0 ()));
+  let fr = Engine.Flight_recorder.create ~capacity:3 () in
+  checki "empty" 0 (List.length (Engine.Flight_recorder.recent fr));
+  for i = 0 to 4 do
+    ignore
+      (Engine.Flight_recorder.record fr
+         ~query:(Printf.sprintf "/q%d" i)
+         ~hash:i ~cache:Engine.Flight_recorder.Miss
+         ~estimate:(float_of_int i) ~canonicalize_s:1e-6 ~ept_s:2e-6
+         ~match_s:3e-6 ~ept_nodes:10 ~frontier_peak:2 ~degenerate_clamps:0
+         ~het_hits:1 ~feedback_round:0
+        : Engine.Flight_recorder.record)
+  done;
+  checki "lifetime total" 5 (Engine.Flight_recorder.total fr);
+  let recent = Engine.Flight_recorder.recent fr in
+  checki "ring keeps capacity" 3 (List.length recent);
+  Alcotest.(check (list string))
+    "newest first, oldest overwritten" [ "/q4"; "/q3"; "/q2" ]
+    (List.map (fun r -> r.Engine.Flight_recorder.query) recent);
+  checki "recent ~n clips" 2
+    (List.length (Engine.Flight_recorder.recent ~n:2 fr));
+  checki "recent over-asks are clipped" 3
+    (List.length (Engine.Flight_recorder.recent ~n:50 fr));
+  let j = Engine.Flight_recorder.to_json (List.hd recent) in
+  checkb "record json re-parses" true
+    (Obs.Json.equal j (Obs.Json.of_string (Obs.Json.to_string j)));
+  checkb "stage times serialized" true
+    ((match Obs.Json.member "wall_us" j with
+      | Some (Obs.Json.Obj _) -> true
+      | _ -> false))
+
+let test_drift_monitor () =
+  let d = Engine.Drift.create ~slots:2 ~per_slot:4 ~p90_threshold:4.0 () in
+  checkb "qerror symmetric" true
+    (Engine.Drift.qerror ~estimate:3.0 ~actual:15
+    = Engine.Drift.qerror ~estimate:15.0 ~actual:3);
+  checkb "empty p90 nan" true (Float.is_nan (Engine.Drift.p90 d));
+  (* Accurate feedback: no alert. *)
+  for _ = 1 to 3 do
+    ignore (Engine.Drift.observe d ~estimate:10.0 ~actual:10 : float)
+  done;
+  checki "no alert on accurate window" 0 (Engine.Drift.alerts d);
+  checkb "not alerting" false (Engine.Drift.alerting d);
+  (* A burst of bad estimates drives window p90 over 4: exactly one edge. *)
+  for _ = 1 to 6 do
+    ignore (Engine.Drift.observe d ~estimate:1.0 ~actual:100 : float)
+  done;
+  checki "edge-triggered once" 1 (Engine.Drift.alerts d);
+  checkb "alerting latched" true (Engine.Drift.alerting d);
+  (* Window slides past the bad stretch: re-arms, then a second edge. *)
+  for _ = 1 to 8 do
+    ignore (Engine.Drift.observe d ~estimate:10.0 ~actual:10 : float)
+  done;
+  checkb "re-armed after recovery" false (Engine.Drift.alerting d);
+  for _ = 1 to 8 do
+    ignore (Engine.Drift.observe d ~estimate:1.0 ~actual:100 : float)
+  done;
+  checki "second edge counted" 2 (Engine.Drift.alerts d);
+  (* Estimate-volume / hit-rate ride the same window. *)
+  Engine.Drift.note_estimate d ~cache_hit:true;
+  Engine.Drift.note_estimate d ~cache_hit:false;
+  checki "window estimates" 2 (Engine.Drift.window_estimates d);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Engine.Drift.hit_rate d);
+  let j = Engine.Drift.to_json d in
+  checkb "drift json has p90" true (Obs.Json.member "qerror_p90" j <> None)
+
+let test_engine_flight_records () =
+  let engine = engine_over correlated_doc in
+  ignore (served_value engine "/r/a");
+  ignore (served_value engine "/r/./a");
+  (match Engine.explain engine "/r/a/b" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "explain: %s" (Core.Error.to_string e));
+  let fr =
+    match Engine.recorder engine with
+    | Some fr -> fr
+    | None -> Alcotest.fail "telemetry on by default"
+  in
+  (match Engine.Flight_recorder.recent fr with
+   | [ explained; hit; miss ] ->
+     checks "explain recorded" "/r/a/b" explained.Engine.Flight_recorder.query;
+     checkb "explain has stage times" true
+       (explained.Engine.Flight_recorder.ept_s > 0.0
+       && explained.Engine.Flight_recorder.match_s > 0.0);
+     checkb "hit recorded" true
+       (hit.Engine.Flight_recorder.cache = Engine.Flight_recorder.Hit);
+     checki "hit visits no EPT nodes" 0 hit.Engine.Flight_recorder.ept_nodes;
+     checkb "miss recorded" true
+       (miss.Engine.Flight_recorder.cache = Engine.Flight_recorder.Miss);
+     checkb "miss has nonzero stage timings" true
+       (miss.Engine.Flight_recorder.total_s > 0.0);
+     checkb "miss visited the EPT" true
+       (miss.Engine.Flight_recorder.ept_nodes > 0
+       && miss.Engine.Flight_recorder.frontier_peak > 0)
+   | rs -> Alcotest.failf "expected 3 flight records, got %d" (List.length rs));
+  (* The on_record callback sees records as they are written. *)
+  let seen = ref [] in
+  Engine.set_on_record engine (fun r ->
+      seen := r.Engine.Flight_recorder.query :: !seen);
+  ignore (served_value engine "/r/a/c");
+  Alcotest.(check (list string)) "callback streamed" [ "/r/a/c" ] !seen
+
+let test_engine_telemetry_off () =
+  let kernel = Core.Builder.of_string correlated_doc in
+  let estimator = Core.Estimator.create ~het:(Core.Het.create ()) kernel in
+  let engine = Engine.create ~telemetry:false estimator in
+  ignore (served_value engine "/r/a");
+  checkb "no recorder" true (Engine.recorder engine = None);
+  checkb "no drift monitor" true (Engine.drift engine = None);
+  checkb "RECENT refused in one line" true
+    (starts_with "ERR " (handle engine "RECENT")
+    && not (String.contains (handle engine "RECENT") '\n'));
+  checkb "DRIFT refused" true (starts_with "ERR " (handle engine "DRIFT"));
+  (* METRICS still serves engine totals from the private registry. *)
+  checkb "METRICS still works" true
+    (starts_with "# HELP" (handle engine "METRICS"))
+
+(* Compact structural lint for Prometheus text format 0.0.4 (mirrors the
+   fuller one in test_obs.ml; test executables do not share modules). *)
+let prometheus_lint text =
+  let valid_name n =
+    n <> ""
+    && (match n.[0] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+        | _ -> false)
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         n
+  in
+  let typed = Hashtbl.create 16 and seen = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if line.[0] = '#' then (
+        match String.split_on_char ' ' line with
+        | "#" :: kw :: name :: _ when kw = "HELP" || kw = "TYPE" ->
+          checkb (Printf.sprintf "comment name ok: %s" line) true
+            (valid_name name);
+          if kw = "TYPE" then Hashtbl.replace typed name ()
+        | _ -> Alcotest.failf "malformed comment %S" line)
+      else
+        let sample =
+          match String.index_opt line ' ' with
+          | Some i -> String.sub line 0 i
+          | None -> Alcotest.failf "sample without value %S" line
+        in
+        let name =
+          match String.index_opt sample '{' with
+          | Some i -> String.sub sample 0 i
+          | None -> sample
+        in
+        checkb (Printf.sprintf "sample name ok: %s" name) true
+          (valid_name name);
+        checkb (Printf.sprintf "no duplicate sample: %s" sample) false
+          (Hashtbl.mem seen sample);
+        Hashtbl.add seen sample ();
+        let strip sfx n =
+          if Filename.check_suffix n sfx then Filename.chop_suffix n sfx else n
+        in
+        let family = strip "_bucket" (strip "_sum" (strip "_count" name)) in
+        checkb (Printf.sprintf "typed family: %s" name) true
+          (Hashtbl.mem typed name || Hashtbl.mem typed family))
+    (String.split_on_char '\n' text)
+
+let test_protocol_metrics () =
+  let engine = engine_over correlated_doc in
+  ignore (handle engine "ESTIMATE /r/a");
+  ignore (handle engine "ESTIMATE /r/a");
+  ignore (handle engine "FEEDBACK /r/a[b]/c 0");
+  let text = handle engine "METRICS" in
+  checkb "prometheus payload, no OK header" true (starts_with "# HELP" text);
+  prometheus_lint text;
+  List.iter
+    (fun needle ->
+      checkb
+        (Printf.sprintf "metrics mention %s" needle)
+        true
+        (let nl = String.length needle and hl = String.length text in
+         let rec go i =
+           i + nl <= hl && (String.sub text i nl = needle || go (i + 1))
+         in
+         go 0))
+    [ "xseed_engine_cache_hits"; "xseed_engine_cache_misses";
+      "xseed_engine_feedback_seen"; "xseed_engine_drift_qerror_p90";
+      "xseed_engine_flight_records"; "# TYPE xseed_engine_cache_size gauge" ];
+  (* Scrapes are idempotent: totals must not inflate on re-publish. *)
+  checks "second scrape identical" text (handle engine "METRICS")
+
+let test_protocol_recent_and_drift () =
+  let engine = engine_over correlated_doc in
+  ignore (handle engine "ESTIMATE /r/a");
+  ignore (handle engine "ESTIMATE /r/a");
+  ignore (handle engine "FEEDBACK /r/a 8");
+  (match String.split_on_char '\n' (handle engine "RECENT 2") with
+   | header :: lines ->
+     checks "RECENT header counts records" "OK 2" header;
+     checki "exactly that many lines" 2 (List.length lines);
+     List.iter
+       (fun l ->
+         match Obs.Json.member "query" (Obs.Json.of_string l) with
+         | Some (Obs.Json.String "/r/a") -> ()
+         | _ -> Alcotest.failf "unexpected flight line %S" l)
+       lines
+   | [] -> Alcotest.fail "empty RECENT response");
+  (match String.split_on_char '\n' (handle engine "RECENT 0") with
+   | [ header ] -> checks "RECENT 0" "OK 0" header
+   | _ -> Alcotest.fail "RECENT 0 must be a bare header");
+  let drift = handle engine "DRIFT" in
+  checkb "DRIFT ok json" true (starts_with "OK {" drift);
+  let j = Obs.Json.of_string (String.sub drift 3 (String.length drift - 3)) in
+  checkb "one feedback observation in window" true
+    (Obs.Json.member "window_observations" j = Some (Obs.Json.Int 1));
+  checkb "estimate volume tracked" true
+    (Obs.Json.member "window_estimates" j = Some (Obs.Json.Int 3));
+  checkb "p90 present" true (Obs.Json.member "qerror_p90" j <> None)
 
 (* ------------------------------------------------------------------ *)
 
@@ -435,5 +664,15 @@ let () =
             test_engine_batch_and_explain ] );
       ( "protocol",
         [ Alcotest.test_case "well-formed requests" `Quick test_protocol_ok;
-          Alcotest.test_case "malformed requests" `Quick test_protocol_errors ] )
+          Alcotest.test_case "malformed requests" `Quick test_protocol_errors ] );
+      ( "telemetry",
+        [ Alcotest.test_case "flight recorder ring" `Quick
+            test_flight_recorder_ring;
+          Alcotest.test_case "drift monitor" `Quick test_drift_monitor;
+          Alcotest.test_case "engine flight records" `Quick
+            test_engine_flight_records;
+          Alcotest.test_case "telemetry off" `Quick test_engine_telemetry_off;
+          Alcotest.test_case "METRICS scrape" `Quick test_protocol_metrics;
+          Alcotest.test_case "RECENT + DRIFT" `Quick
+            test_protocol_recent_and_drift ] )
     ]

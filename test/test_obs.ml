@@ -53,6 +53,204 @@ let test_histogram () =
   Alcotest.(check bool) "percentiles monotone" true (p50 <= p99);
   Alcotest.(check bool) "p99 clamped to max" true (p99 <= 100.0 +. 1e-9)
 
+let test_gauges () =
+  let obs = Obs.create () in
+  let g = Obs.gauge obs "occupancy" in
+  Alcotest.(check (float 0.0)) "fresh gauge" 0.0 (Obs.gvalue g);
+  Obs.gset g 7.5;
+  Alcotest.(check (float 0.0)) "gset" 7.5 (Obs.gvalue g);
+  Obs.gset g 2.0;
+  Alcotest.(check (float 0.0)) "gauges go down" 2.0 (Obs.gvalue g);
+  Obs.set_to "no-context" 1.0;
+  Obs.set_to ~obs "occupancy" 9.0;
+  Alcotest.(check (float 0.0)) "set_to hits the same gauge" 9.0 (Obs.gvalue g);
+  Obs.reset obs;
+  Alcotest.(check (float 0.0)) "reset zeroes gauges" 0.0 (Obs.gvalue g)
+
+let test_labels () =
+  let obs = Obs.create () in
+  let a = Obs.counter_with obs "req" [ ("ds", "dblp"); ("kind", "sp") ] in
+  (* Label order must not matter: same series, same handle state. *)
+  let a' = Obs.counter_with obs "req" [ ("kind", "sp"); ("ds", "dblp") ] in
+  let b = Obs.counter_with obs "req" [ ("ds", "xmark"); ("kind", "sp") ] in
+  Obs.add a 3;
+  Obs.incr a';
+  Obs.incr b;
+  Alcotest.(check int) "order-insensitive identity" 4 (Obs.value a);
+  Alcotest.(check int) "distinct labels, distinct series" 1 (Obs.value b);
+  (* Unlabeled and labeled spellings of one family coexist. *)
+  Obs.incr (Obs.counter obs "req");
+  let snap = Obs.snapshot obs in
+  Alcotest.(check (option json)) "labeled snapshot key"
+    (Some (Obs.Json.Int 4))
+    (Obs.Json.member "req{ds=\"dblp\",kind=\"sp\"}" snap);
+  Alcotest.(check (option json)) "unlabeled snapshot key"
+    (Some (Obs.Json.Int 1))
+    (Obs.Json.member "req" snap);
+  (* A name can hold only one metric kind. *)
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Obs.gauge: req is a counter") (fun () ->
+      ignore (Obs.gauge obs "req"))
+
+let test_window () =
+  Alcotest.check_raises "slots >= 1"
+    (Invalid_argument "Obs.Window.create: slots 0 < 1") (fun () ->
+      ignore (Obs.Window.create ~slots:0 ()));
+  let w = Obs.Window.create ~slots:2 ~per_slot:3 () in
+  Alcotest.(check bool) "empty percentile nan" true
+    (Float.is_nan (Obs.Window.percentile w 0.5));
+  (* Fill slot 0 with large values, then roll past them with small ones:
+     the window must forget the old slot entirely. *)
+  List.iter (Obs.Window.observe w) [ 100.0; 100.0; 100.0 ];
+  Alcotest.(check (float 1e-9)) "max before expiry" 100.0 (Obs.Window.max w);
+  List.iter (Obs.Window.observe w) [ 2.0; 2.0; 2.0; 2.0 ];
+  (* 4th small observation rotated back onto the 100s' slot. *)
+  Alcotest.(check int) "window count after expiry" 4 (Obs.Window.count w);
+  Alcotest.(check int) "lifetime total" 7 (Obs.Window.total w);
+  Alcotest.(check (float 1e-9)) "expired max gone" 2.0 (Obs.Window.max w);
+  Alcotest.(check (float 1e-9)) "mean over live slots" 2.0 (Obs.Window.mean w);
+  Alcotest.(check bool) "p90 within live range" true
+    (Obs.Window.percentile w 0.9 <= 2.0 +. 1e-9);
+  Obs.Window.rotate w;
+  Obs.Window.rotate w;
+  Alcotest.(check int) "explicit rotation empties" 0 (Obs.Window.count w);
+  Alcotest.(check bool) "empty again" true (Float.is_nan (Obs.Window.mean w))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+(* Shared lint: structural validity of a text-format 0.0.4 payload. *)
+let valid_metric_name name =
+  name <> ""
+  && (match name.[0] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+      | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let count_occurrences ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nl = 0 then 0 else go 0 0
+
+let prometheus_lint text =
+  let lines =
+    List.filter (( <> ) "") (String.split_on_char '\n' text)
+  in
+  let seen_samples = Hashtbl.create 64 in
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: kw :: name :: _rest when kw = "HELP" || kw = "TYPE" ->
+          if not (valid_metric_name name) then
+            Alcotest.failf "bad metric name in %S" line;
+          if kw = "TYPE" then Hashtbl.replace typed name ()
+        | _ -> Alcotest.failf "malformed comment line %S" line
+      end
+      else begin
+        (* <name>[{labels}] <value> *)
+        let sample =
+          match String.index_opt line ' ' with
+          | None -> Alcotest.failf "sample without value %S" line
+          | Some i -> String.sub line 0 i
+        in
+        let name =
+          match String.index_opt sample '{' with
+          | None -> sample
+          | Some i ->
+            if sample.[String.length sample - 1] <> '}' then
+              Alcotest.failf "unterminated label set %S" line;
+            String.sub sample 0 i
+        in
+        if not (valid_metric_name name) then
+          Alcotest.failf "bad sample name %S" line;
+        if Hashtbl.mem seen_samples sample then
+          Alcotest.failf "duplicate sample %S" sample;
+        Hashtbl.add seen_samples sample ();
+        (* Every sample's family must have a TYPE line; histogram series
+           carry their family name minus the _bucket/_sum/_count suffix. *)
+        let strip suffix n =
+          if Filename.check_suffix n suffix then
+            Filename.chop_suffix n suffix
+          else n
+        in
+        let family =
+          strip "_bucket" (strip "_sum" (strip "_count" name))
+        in
+        if not (Hashtbl.mem typed name || Hashtbl.mem typed family) then
+          Alcotest.failf "sample %S has no TYPE line" name
+      end)
+    lines;
+  Alcotest.(check bool) "payload nonempty" true (lines <> [])
+
+let test_prometheus_render () =
+  let obs = Obs.create () in
+  Obs.add (Obs.counter obs "engine.cache.hits") 12;
+  Obs.incr (Obs.counter_with obs "req" [ ("ds", "dblp") ]);
+  Obs.incr (Obs.counter_with obs "req" [ ("ds", "x\"m\\ark\n") ]);
+  Obs.gset (Obs.gauge obs "drift.p90") Float.nan;
+  Obs.gset (Obs.gauge obs "cache.size") 3.0;
+  List.iter (Obs.hobserve (Obs.histogram obs "lat.us")) [ 0.5; 3.0; 700.0 ];
+  let text = Obs.prometheus ~prefix:"xseed_" obs in
+  prometheus_lint text;
+  let has s = contains ~needle:s text in
+  Alcotest.(check bool) "dotted name sanitized+prefixed" true
+    (has "xseed_engine_cache_hits 12");
+  Alcotest.(check bool) "HELP keeps the dotted name" true
+    (has "# HELP xseed_engine_cache_hits engine.cache.hits");
+  Alcotest.(check bool) "counter TYPE" true
+    (has "# TYPE xseed_engine_cache_hits counter");
+  Alcotest.(check bool) "gauge TYPE" true (has "# TYPE xseed_cache_size gauge");
+  Alcotest.(check bool) "nan gauge spelling" true (has "xseed_drift_p90 NaN");
+  Alcotest.(check bool) "labeled sample" true
+    (has "xseed_req{ds=\"dblp\"} 1");
+  Alcotest.(check bool) "label value escaped" true
+    (has "xseed_req{ds=\"x\\\"m\\\\ark\\n\"} 1");
+  Alcotest.(check bool) "histogram TYPE" true
+    (has "# TYPE xseed_lat_us histogram");
+  Alcotest.(check bool) "cumulative le=1 bucket" true
+    (has "xseed_lat_us_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "+Inf bucket closes" true
+    (has "xseed_lat_us_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "histogram count" true (has "xseed_lat_us_count 3");
+  (* One HELP/TYPE pair per family even with several series. *)
+  Alcotest.(check int) "one TYPE line for the req family" 1
+    (count_occurrences ~needle:"# TYPE xseed_req counter" text)
+
+(* Property: whatever lands in a registry, the snapshot re-parses — the
+   null-for-non-finite convention keeps the emitted text valid JSON. *)
+let prop_snapshot_reparses =
+  QCheck.Test.make ~count:200 ~name:"snapshot always re-parses"
+    QCheck.(
+      small_list
+        (triple (oneofl [ "m.a"; "b"; "c{d}"; "weird name!" ])
+           (oneofl [ `C; `G; `H ])
+           (oneofl [ 0.0; 1.5; -3.0; Float.nan; Float.infinity; 1e308 ])))
+    (fun ops ->
+      let obs = Obs.create () in
+      List.iter
+        (fun (name, kind, v) ->
+          (* Avoid kind clashes: one namespace per kind. *)
+          match kind with
+          | `C -> Obs.add_to ~obs ("c." ^ name) (int_of_float (Float.min 1e6 (Float.abs v)))
+          | `G -> Obs.set_to ~obs ("g." ^ name) v
+          | `H -> Obs.observe ~obs ("h." ^ name) v)
+        ops;
+      let snap = Obs.snapshot obs in
+      Obs.Json.equal snap (Obs.Json.of_string (Obs.Json.to_string snap)))
+
 (* ------------------------------------------------------------------ *)
 (* Spans and sinks *)
 
@@ -223,6 +421,14 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "optional helpers" `Quick test_optional_helpers;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "window" `Quick test_window;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "render + lint" `Quick test_prometheus_render;
+          QCheck_alcotest.to_alcotest prop_snapshot_reparses;
         ] );
       ( "sinks",
         [
