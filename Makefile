@@ -4,7 +4,11 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt fuzz-smoke smoke bench-smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke smoke stress bench-smoke bench-json ci clean
+
+# Worker-domain count for the stress/serve smoke (the CI matrix sets 1 and 4).
+WORKERS ?= 4
+STRESS_OPS ?= 10000
 
 all: build
 
@@ -68,7 +72,26 @@ bench-smoke: build
 bench-json: build
 	$(DUNE) exec --no-build bench/main.exe -- --quick json
 
-ci: fmt build test fuzz-smoke smoke bench-smoke
+# Multi-domain stress: the pool suite's 4-client mixed-ops run at full scale
+# (10k ops per client against a WORKERS-shard pool), then a --workers smoke
+# through the CLI line protocol (BATCH framing + merged METRICS scrape).
+stress: build
+	STRESS_OPS=$(STRESS_OPS) STRESS_WORKERS=$(WORKERS) \
+	  $(DUNE) exec --no-build test/test_pool.exe -- test stress
+	@mkdir -p $(SMOKE_DIR)
+	$(XSEED) generate xmark --scale 40 -o $(SMOKE_DIR)/stress.xml
+	$(XSEED) build $(SMOKE_DIR)/stress.xml -o $(SMOKE_DIR)/stress.syn
+	printf 'BATCH 3\n//item\nESTIMATE //person\n//item\nFEEDBACK //item 12\nMETRICS\nRECENT 5\nDRIFT\n' \
+	  | $(XSEED) serve $(SMOKE_DIR)/stress.syn --workers $(WORKERS) \
+	      > $(SMOKE_DIR)/stress.out
+	@grep -q '^OK 3' $(SMOKE_DIR)/stress.out
+	@grep -q '^xseed_engine_cache_misses' $(SMOKE_DIR)/stress.out
+	@if [ "$(WORKERS)" -gt 1 ]; then \
+	  grep -q '^xseed_engine_pool_workers $(WORKERS)' $(SMOKE_DIR)/stress.out; \
+	fi
+	@echo "stress: OK (WORKERS=$(WORKERS))"
+
+ci: fmt build test fuzz-smoke smoke bench-smoke stress
 
 clean:
 	$(DUNE) clean

@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- table2       -- one section
      dune exec bench/main.exe -- --quick all  -- reduced scales
 
-   Sections: table2 table3 fig5 fig6 sec64 ablation values json micro.
+   Sections: table2 table3 fig5 fig6 sec64 ablation values feedback
+   telemetry parallel json micro.
    Absolute numbers differ from the paper (different hardware, generated
    corpora); the shapes under test are listed in DESIGN.md §7 and the
    measured-vs-paper comparison is recorded in EXPERIMENTS.md. *)
@@ -535,6 +536,86 @@ let values () =
   pf "paper cites anticipates.\n"
 
 (* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+(* Parallel serving: pool batch throughput vs worker-domain count. Each
+   measured pass invalidates the shard caches first, so every query
+   exercises the matcher — the parallelizable work — rather than its
+   shard's LRU. *)
+
+let pool_worker_counts = [ 1; 2; 4 ]
+
+let pool_throughput ?(passes = 3) estimator queries ~workers =
+  let pool = Engine.Pool.create ~workers ~telemetry:false estimator in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  (* Warm-up pass: materializes the shared EPT outside the timed region. *)
+  ignore
+    (Engine.Pool.estimate_batch pool queries
+      : (Engine.Serve.estimate_reply, Core.Error.t) result list);
+  let served = ref 0 in
+  let (), seconds =
+    time (fun () ->
+        for _ = 1 to passes do
+          Engine.Pool.invalidate pool;
+          let rs = Engine.Pool.estimate_batch pool queries in
+          served := !served + List.length rs
+        done)
+  in
+  float_of_int !served /. seconds
+
+let pool_mismatches estimator queries =
+  let engine = Engine.create ~telemetry:false estimator in
+  let pool = Engine.Pool.create ~workers:4 ~telemetry:false estimator in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  List.fold_left
+    (fun acc q ->
+      let ev =
+        match Engine.estimate engine q with
+        | Ok s -> s.Engine.outcome.Core.Estimator.value
+        | Error _ -> nan
+      and pv =
+        match Engine.Pool.estimate pool q with
+        | Ok r -> r.Engine.Serve.value
+        | Error _ -> neg_infinity
+      in
+      if Int64.bits_of_float ev = Int64.bits_of_float pv then acc else acc + 1)
+    0 queries
+
+let parallel () =
+  header "Parallel serving: pool batch throughput at 1/2/4 domains (XMark)";
+  let ds = xmark10 in
+  let estimator = xseed_estimator ~budget:(25 * 1024) ds in
+  let queries = List.map Xpath.Ast.to_string (combined ds) in
+  pf "workload: %d queries/pass, cold shard caches each timed pass\n"
+    (List.length queries);
+  let host_domains = Domain.recommended_domain_count () in
+  pf "host: %d recommended domain(s)\n\n" host_domains;
+  let mismatches = pool_mismatches estimator queries in
+  pf "pool vs single engine: %d/%d mismatched estimates%s\n" mismatches
+    (List.length queries)
+    (if mismatches = 0 then " (bit-identical)" else "  <- BUG");
+  assert (mismatches = 0);
+  let passes = scale 2 4 in
+  let results =
+    List.map
+      (fun w -> (w, pool_throughput ~passes estimator queries ~workers:w))
+      pool_worker_counts
+  in
+  let qps1 = List.assoc 1 results in
+  pf "\n%8s %12s %9s\n" "workers" "queries/s" "speedup";
+  List.iter
+    (fun (w, qps) -> pf "%8d %12.0f %8.2fx\n" w qps (qps /. qps1))
+    results;
+  let speedup4 = List.assoc 4 results /. qps1 in
+  if host_domains >= 4 then begin
+    pf "\n4-domain speedup %.2fx (gate: >= 2.5x)\n" speedup4;
+    assert (speedup4 >= 2.5)
+  end
+  else
+    pf
+      "\n4-domain speedup %.2fx; host has only %d recommended domain(s), \
+       >= 2.5x gate skipped\n"
+      speedup4 host_domains
+
 (* Machine-readable dumps: per-dataset BENCH_<name>.json with exact
    per-query estimation-latency percentiles and the accuracy summary.
    These are the files CI or a tracking dashboard would diff across
@@ -594,7 +675,25 @@ let bench_json () =
                   ("opd", Obs.Json.Float s.opd);
                   ("q_error_median", Obs.Json.Float s.q_error_median);
                   ("q_error_p90", Obs.Json.Float s.q_error_p90);
-                  ("q_error_max", Obs.Json.Float s.q_error_max) ] ) ]
+                  ("q_error_max", Obs.Json.Float s.q_error_max) ] );
+            ( "parallel",
+              let qstrings = List.map Xpath.Ast.to_string queries in
+              let pqps =
+                List.map
+                  (fun w ->
+                    ( w,
+                      pool_throughput ~passes:(scale 1 2) estimator qstrings
+                        ~workers:w ))
+                  pool_worker_counts
+              in
+              Obs.Json.Obj
+                (List.map
+                   (fun (w, qps) ->
+                     (Printf.sprintf "workers_%d" w, Obs.Json.Float qps))
+                   pqps
+                @ [ ( "speedup_4v1",
+                      Obs.Json.Float (List.assoc 4 pqps /. List.assoc 1 pqps)
+                    ) ]) ) ]
       in
       let path = Printf.sprintf "BENCH_%s.json" file_key in
       let oc = open_out path in
@@ -799,8 +898,8 @@ let micro () =
 let sections =
   [ ("table2", table2); ("table3", table3); ("fig5", fig5); ("fig6", fig6);
     ("sec64", sec64); ("ablation", ablation); ("values", values);
-    ("feedback", feedback); ("telemetry", telemetry); ("json", bench_json);
-    ("micro", micro) ]
+    ("feedback", feedback); ("telemetry", telemetry); ("parallel", parallel);
+    ("json", bench_json); ("micro", micro) ]
 
 let () =
   let requested =

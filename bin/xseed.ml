@@ -427,15 +427,25 @@ let drift_p90_arg =
            ~doc:"Alert (bump engine.drift.alerts) when the sliding-window \
                  p90 q-error of feedback reaches $(docv)")
 
+let workers_arg =
+  Arg.(value & opt int 1
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains. 1 (default) serves on a single engine; \
+                 N >= 2 shares the synopsis across an $(b,Engine.Pool) of \
+                 $(docv) domains with per-domain caches and single-writer \
+                 feedback")
+
 let serve_cmd =
   let run synopsis_file threshold qerror_threshold cache_capacity telemetry_out
-      snapshot_every drift_p90 obs_spec =
+      snapshot_every drift_p90 workers obs_spec =
     protect @@ fun () ->
     (match snapshot_every with
      | Some n when n < 1 ->
        Core.Error.raisef Core.Error.Malformed_query
          "--snapshot-every must be >= 1"
      | _ -> ());
+    if workers < 1 then
+      Core.Error.raisef Core.Error.Malformed_query "--workers must be >= 1";
     (* Serving always keeps a metrics registry (the METRICS scrape needs
        one even without --trace/--metrics-out), shared with the estimator
        so pipeline counters land beside the engine's. *)
@@ -444,53 +454,76 @@ let serve_cmd =
     in
     let syn = load_synopsis synopsis_file in
     let estimator = estimator_of ~obs ~threshold syn in
-    let engine =
-      Engine.create ~qerror_threshold ~cache_capacity
-        ~drift_p90_threshold:drift_p90 ~obs estimator
-    in
-    let telemetry_oc =
+    let telemetry_oc, set_on_record =
       match telemetry_out with
-      | None -> None
+      | None -> (None, fun _ -> ())
       | Some path ->
         let oc =
           try open_out path
           with Sys_error msg ->
             Core.Error.raisef Core.Error.Io_error "--telemetry-out: %s" msg
         in
-        Engine.set_on_record engine (fun r ->
-            output_string oc (Obs.Json.to_string (Engine.Flight_recorder.to_json r));
-            output_char oc '\n';
-            flush oc);
-        Some oc
+        ( Some oc,
+          fun install ->
+            install (fun r ->
+                output_string oc
+                  (Obs.Json.to_string (Engine.Flight_recorder.to_json r));
+                output_char oc '\n';
+                flush oc) )
     in
     let requests = ref 0 in
-    let on_request () =
+    let on_request publish () =
       incr requests;
       match snapshot_every with
       | Some n when !requests mod n = 0 ->
-        Engine.publish_telemetry engine;
+        publish ();
         Obs.emit_snapshot obs
       | _ -> ()
     in
     Format.eprintf
-      "xseed serve: %s loaded; reading ESTIMATE/FEEDBACK/EXPLAIN/STATS/\
-       METRICS/RECENT/DRIFT lines from stdin@."
-      synopsis_file;
-    Engine.Protocol.run ~on_request engine stdin stdout;
-    Engine.publish_telemetry engine;
+      "xseed serve: %s loaded (%d worker%s); reading ESTIMATE/BATCH/FEEDBACK/\
+       EXPLAIN/STATS/METRICS/RECENT/DRIFT lines from stdin@."
+      synopsis_file workers
+      (if workers = 1 then "" else "s");
+    if workers = 1 then begin
+      let engine =
+        Engine.create ~qerror_threshold ~cache_capacity
+          ~drift_p90_threshold:drift_p90 ~obs estimator
+      in
+      set_on_record (Engine.set_on_record engine);
+      Engine.Protocol.run
+        ~on_request:(on_request (fun () -> Engine.publish_telemetry engine))
+        engine stdin stdout;
+      Engine.publish_telemetry engine
+    end
+    else begin
+      let pool =
+        Engine.Pool.create ~workers ~qerror_threshold ~cache_capacity
+          ~drift_p90_threshold:drift_p90 estimator
+      in
+      set_on_record (Engine.Pool.set_on_record pool);
+      Fun.protect
+        ~finally:(fun () -> Engine.Pool.shutdown pool)
+        (fun () ->
+          Engine.Serve.run
+            ~on_request:(on_request (fun () -> ()))
+            (Engine.Pool.server pool) stdin stdout)
+    end;
     Option.iter close_out telemetry_oc;
     finish_obs (Some obs)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve estimates over a synopsis on a stdin/stdout line protocol: \
-             ESTIMATE <query>, FEEDBACK <query> <actual>, EXPLAIN <query>, \
-             STATS, METRICS (Prometheus text), RECENT [n] (flight records), \
-             DRIFT (sliding-window accuracy). Feedback whose q-error crosses \
-             the threshold refreshes the HET in place")
+             ESTIMATE <query>, BATCH <n> (then n query lines), FEEDBACK \
+             <query> <actual>, EXPLAIN <query>, STATS, METRICS (Prometheus \
+             text), RECENT [n] (flight records), DRIFT (sliding-window \
+             accuracy). Feedback whose q-error crosses the threshold \
+             refreshes the HET in place; --workers N spreads estimates \
+             across N domains sharing the synopsis")
     Term.(const run $ synopsis_arg $ override_threshold_arg
           $ qerror_threshold_arg $ cache_capacity_arg $ telemetry_out_arg
-          $ snapshot_every_arg $ drift_p90_arg $ obs_term)
+          $ snapshot_every_arg $ drift_p90_arg $ workers_arg $ obs_term)
 
 (* Replay: drive a workload through estimate -> execute -> feedback rounds
    against an initially empty HET, reporting accuracy per round. This is the

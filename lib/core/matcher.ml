@@ -1,21 +1,22 @@
 exception Ept_too_large of int
 
+(* EPT nodes are immutable once materialized: the bottom-up accumulators
+   live in a per-estimate {!scratch} indexed by [id], not on the nodes, so
+   one EPT can serve concurrent estimates from several domains (the serving
+   pool shares a single EPT across workers with no locks). *)
 type node = {
+  mutable id : int;  (* preorder index, assigned once at materialization *)
   label : Xml.Label.t;
   card : float;
   bsel : float;
   children : node array;
-  (* Bottom-up accumulators, one slot per query-tree node; filled by
-     [estimate], sized lazily so an EPT can serve queries of any size. *)
-  mutable c_or : float array;  (* P(a child embeds QTN q's subtree) *)
-  mutable d_or : float array;  (* P(a proper descendant embeds it) *)
 }
 
 type ept = { root : node; nodes : int }
 
 let materialize ?(max_nodes = 2_000_000) ?obs traveler =
   let count = ref 0 in
-  (* Stack of (open_info, reversed children). *)
+  (* Stack of (open_info, preorder id, reversed children). *)
   let stack = ref [] in
   let finished = ref None in
   let rec drain () =
@@ -24,19 +25,19 @@ let materialize ?(max_nodes = 2_000_000) ?obs traveler =
     | Traveler.Open info ->
       incr count;
       if !count > max_nodes then raise (Ept_too_large !count);
-      stack := (info, ref []) :: !stack;
+      stack := (info, !count - 1, ref []) :: !stack;
       drain ()
     | Traveler.Close _ ->
       (match !stack with
        | [] -> invalid_arg "Matcher.materialize: unbalanced traveler events"
-       | (info, kids) :: rest ->
+       | (info, id, kids) :: rest ->
          let node =
-           { label = info.label; card = info.card; bsel = info.bsel;
-             children = Array.of_list (List.rev !kids); c_or = [||]; d_or = [||] }
+           { id; label = info.label; card = info.card; bsel = info.bsel;
+             children = Array.of_list (List.rev !kids) }
          in
          (match rest with
           | [] -> finished := Some node
-          | (_, parent_kids) :: _ -> parent_kids := node :: !parent_kids);
+          | (_, _, parent_kids) :: _ -> parent_kids := node :: !parent_kids);
          stack := rest;
          drain ())
   in
@@ -52,11 +53,19 @@ let node_count ept = ept.nodes
 type synthetic = node
 
 let synthetic_node ~label ~card ~bsel ~children =
-  { label; card; bsel; children = Array.of_list children; c_or = [||]; d_or = [||] }
+  { id = 0; label; card; bsel; children = Array.of_list children }
 
+(* Synthetic trees are built without ids; renumber in preorder so the
+   estimate scratch indexes them like a materialized EPT. *)
 let of_synthetic root =
-  let rec count n = Array.fold_left (fun acc k -> acc + count k) 1 n.children in
-  { root; nodes = count root }
+  let next = ref 0 in
+  let rec go n =
+    n.id <- !next;
+    incr next;
+    Array.iter go n.children
+  in
+  go root;
+  { root; nodes = !next }
 
 (* Compiled query mirror (same shape as Nok.Eval's). *)
 type compiled = {
@@ -134,26 +143,41 @@ let value_factor values c node_label q =
       (fun acc vp -> acc *. Value_synopsis.selectivity vs ~context:node_label vp)
       1.0 c.vpreds.(q)
 
-(* Bottom-up: fill every node's c_or / d_or and return its m vector.
+(* Per-estimate accumulator store, one slot per EPT node (by preorder id)
+   per query-tree node. Keeping these outside the EPT makes the shared EPT
+   read-only during matching — concurrent estimates each carry their own
+   scratch — at the same allocation cost as the former on-node arrays. *)
+type scratch = {
+  sc_c_or : float array array;  (* P(a child embeds QTN q's subtree) *)
+  sc_d_or : float array array;  (* P(a proper descendant embeds it) *)
+}
+
+let fresh_scratch ept =
+  { sc_c_or = Array.make ept.nodes [||]; sc_d_or = Array.make ept.nodes [||] }
+
+(* Bottom-up: fill every node's c_or / d_or slots and return its m vector.
    m.(q) = P(this node embeds the full pattern subtree of q | it exists). *)
-let rec bottom_up ?values ms c node =
+let rec bottom_up ?values ms sc c node =
   let q_n = c.size in
   ms.ept_nodes <- ms.ept_nodes + 1;
   ms.match_steps <- ms.match_steps + q_n;
-  node.c_or <- Array.make q_n 0.0;
-  node.d_or <- Array.make q_n 0.0;
+  let c_or = Array.make q_n 0.0 in
+  let d_or = Array.make q_n 0.0 in
+  sc.sc_c_or.(node.id) <- c_or;
+  sc.sc_d_or.(node.id) <- d_or;
   ms.frontier <- ms.frontier + Array.length node.children;
   if ms.frontier > ms.frontier_peak then ms.frontier_peak <- ms.frontier;
   ms.frontier_sum <- ms.frontier_sum + ms.frontier;
-  let kid_ms = Array.map (bottom_up ?values ms c) node.children in
+  let kid_ms = Array.map (bottom_up ?values ms sc c) node.children in
   ms.frontier <- ms.frontier - Array.length node.children;
   Array.iteri
     (fun i kid ->
       let m_kid = kid_ms.(i) in
+      let kid_d_or = sc.sc_d_or.(kid.id) in
       for q = 0 to q_n - 1 do
-        node.c_or.(q) <- noisy_or node.c_or.(q) (kid.bsel *. m_kid.(q));
-        let below = noisy_or m_kid.(q) kid.d_or.(q) in
-        node.d_or.(q) <- noisy_or node.d_or.(q) (kid.bsel *. below)
+        c_or.(q) <- noisy_or c_or.(q) (kid.bsel *. m_kid.(q));
+        let below = noisy_or m_kid.(q) kid_d_or.(q) in
+        d_or.(q) <- noisy_or d_or.(q) (kid.bsel *. below)
       done)
     node.children;
   let m = Array.make q_n 0.0 in
@@ -162,7 +186,7 @@ let rec bottom_up ?values ms c node =
       let sat = ref (value_factor values c node.label q) in
       List.iter
         (fun k ->
-          let p = if c.is_descendant.(k) then node.d_or.(k) else node.c_or.(k) in
+          let p = if c.is_descendant.(k) then d_or.(k) else c_or.(k) in
           sat := !sat *. p)
         c.kids.(q);
       m.(q) <- !sat
@@ -174,10 +198,11 @@ let rec bottom_up ?values ms c node =
    A child-axis single-name predicate pattern p[q1]..[qk]/r is looked up
    jointly first, then each predicate singly; remaining predicates fall back
    to the independence factors from the bottom-up pass. *)
-let pred_factor het ms c node q =
+let pred_factor het ms sc c node q =
   let plain k =
     ms.independence_preds <- ms.independence_preds + 1;
-    if c.is_descendant.(k) then node.d_or.(k) else node.c_or.(k)
+    if c.is_descendant.(k) then sc.sc_d_or.(node.id).(k)
+    else sc.sc_c_or.(node.id).(k)
   in
   match het with
   | None -> List.fold_left (fun acc k -> acc *. plain k) 1.0 c.preds.(q)
@@ -222,7 +247,7 @@ let pred_factor het ms c node q =
 (* Top-down: a.(q) = P(node is a valid image of result-path QTN q given its
    own existence), combining test, predicates (structural and value) and
    ancestor validity. *)
-let rec top_down ?values het ms c node ~is_root ~parent_a ~anc_or acc =
+let rec top_down ?values het ms sc c node ~is_root ~parent_a ~anc_or acc =
   let q_n = c.size in
   ms.match_steps <- ms.match_steps + q_n;
   let a = Array.make q_n 0.0 in
@@ -236,7 +261,7 @@ let rec top_down ?values het ms c node ~is_root ~parent_a ~anc_or acc =
       in
       if anc_factor > 0.0 then
         a.(q) <-
-          anc_factor *. pred_factor het ms c node q
+          anc_factor *. pred_factor het ms sc c node q
           *. value_factor values c node.label q
     end
   done;
@@ -244,17 +269,19 @@ let rec top_down ?values het ms c node ~is_root ~parent_a ~anc_or acc =
   let anc_or' = Array.init q_n (fun q -> noisy_or anc_or.(q) a.(q)) in
   Array.iter
     (fun kid ->
-      top_down ?values het ms c kid ~is_root:false ~parent_a:a ~anc_or:anc_or' acc)
+      top_down ?values het ms sc c kid ~is_root:false ~parent_a:a
+        ~anc_or:anc_or' acc)
     node.children
 
 let estimate_with_stats ?het ?values ~table ept qt =
   let c = compile table qt in
   let ms = fresh_stats () in
-  ignore (bottom_up ?values ms c ept.root : float array);
+  let sc = fresh_scratch ept in
+  ignore (bottom_up ?values ms sc c ept.root : float array);
   let acc = ref 0.0 in
   let zeros = Array.make c.size 0.0 in
-  top_down ?values het ms c ept.root ~is_root:true ~parent_a:zeros ~anc_or:zeros
-    acc;
+  top_down ?values het ms sc c ept.root ~is_root:true ~parent_a:zeros
+    ~anc_or:zeros acc;
   (!acc, ms)
 
 let publish_stats ?obs ms =

@@ -26,6 +26,10 @@
 exception Ept_too_large of int
 
 type ept
+(** Immutable once materialized: per-estimate accumulators live in scratch
+    arrays owned by each {!estimate} call, not on the tree, so one EPT may
+    be shared across domains and serve concurrent estimates without
+    synchronization (the serving pool relies on this). *)
 
 val materialize : ?max_nodes:int -> ?obs:Obs.t -> Traveler.t -> ept
 (** Drain a fresh traveler into an EPT tree. [max_nodes] (default 2_000_000)

@@ -24,7 +24,17 @@ type t = {
   mutable in_slot : int;  (* feedback observations in the current slot *)
   mutable alerting : bool;
   mutable alerts : int;
+  mutable shards : shard list;  (* per-worker volume rings, same slotting *)
 }
+
+(* A shard is a per-worker pair of volume rings riding the owner's slot
+   index. Each worker writes only its own shard (no synchronization on the
+   estimate path); [rotate] — reached only from [observe], the single-writer
+   feedback path — clears every shard's landing slot together with its own,
+   so all volume rings expire in lockstep. The pool guarantees rotation
+   never runs concurrently with shard notes by draining in-flight work
+   before feedback. *)
+and shard = { owner : t; s_estimates : int array; s_hits : int array }
 
 let qerror ~estimate ~actual =
   let e = estimate +. 1.0 and a = float_of_int actual +. 1.0 in
@@ -46,13 +56,28 @@ let create ?(slots = 6) ?(per_slot = 64) ?(p90_threshold = 8.0) () =
     idx = 0;
     in_slot = 0;
     alerting = false;
-    alerts = 0 }
+    alerts = 0;
+    shards = [] }
+
+let register_shard t =
+  let s =
+    { owner = t;
+      s_estimates = Array.make t.slots 0;
+      s_hits = Array.make t.slots 0 }
+  in
+  t.shards <- s :: t.shards;
+  s
 
 let rotate t =
   Obs.Window.rotate t.window;
   t.idx <- (t.idx + 1) mod t.slots;
   t.estimates.(t.idx) <- 0;
   t.hits.(t.idx) <- 0;
+  List.iter
+    (fun s ->
+      s.s_estimates.(t.idx) <- 0;
+      s.s_hits.(t.idx) <- 0)
+    t.shards;
   t.in_slot <- 0
 
 (* Counted against the slot that is current when they happen; expired with
@@ -61,9 +86,22 @@ let note_estimate t ~cache_hit =
   t.estimates.(t.idx) <- t.estimates.(t.idx) + 1;
   if cache_hit then t.hits.(t.idx) <- t.hits.(t.idx) + 1
 
+let note_shard s ~cache_hit =
+  let idx = s.owner.idx in
+  s.s_estimates.(idx) <- s.s_estimates.(idx) + 1;
+  if cache_hit then s.s_hits.(idx) <- s.s_hits.(idx) + 1
+
+let shard_estimates s = Array.fold_left ( + ) 0 s.s_estimates
+let shard_hits s = Array.fold_left ( + ) 0 s.s_hits
 let window_count t = Obs.Window.count t.window
-let window_estimates t = Array.fold_left ( + ) 0 t.estimates
-let window_hits t = Array.fold_left ( + ) 0 t.hits
+
+let window_estimates t =
+  Array.fold_left ( + ) 0 t.estimates
+  + List.fold_left (fun acc s -> acc + shard_estimates s) 0 t.shards
+
+let window_hits t =
+  Array.fold_left ( + ) 0 t.hits
+  + List.fold_left (fun acc s -> acc + shard_hits s) 0 t.shards
 
 let hit_rate t =
   let e = window_estimates t in

@@ -36,12 +36,44 @@ val note_estimate : t -> cache_hit:bool -> unit
 (** Count one served estimate (and whether it was a cache hit) against the
     current window slot. *)
 
+(** {1 Per-worker volume shards}
+
+    Under the serving pool, estimate traffic is spread across worker
+    domains while feedback stays single-writer. A {!shard} gives each
+    worker its own pair of volume rings sharing the owner's slot index:
+    the worker bumps only its shard (no synchronization on the estimate
+    hot path) and {!observe}'s rotation clears every shard's landing slot
+    in lockstep, so {!window_estimates}, {!window_hits} and {!hit_rate}
+    always sum the owner's rings plus all shards over the same span. The
+    caller must ensure rotation (i.e. {!observe}) never runs concurrently
+    with {!note_shard} — the pool drains in-flight work before applying
+    feedback. *)
+
+type shard
+
+val register_shard : t -> shard
+(** A fresh all-zero shard whose rings rotate with the owner's window.
+    Not itself domain-safe: register all shards before handing them to
+    their workers. *)
+
+val note_shard : shard -> cache_hit:bool -> unit
+(** Count one served estimate against the shard's current slot. Safe to
+    call from the shard's owning worker while other workers note their own
+    shards; never concurrently with {!observe}. *)
+
+val shard_estimates : shard -> int
+(** Window estimate volume contributed by this shard (all live slots). *)
+
+val shard_hits : shard -> int
+
 (** {1 Window reads} — [nan] where the window is empty. *)
 
 val window_count : t -> int
 (** Feedback observations currently in the window. *)
 
 val window_estimates : t -> int
+(** Own rings plus every registered shard's contribution. *)
+
 val window_hits : t -> int
 val hit_rate : t -> float
 val median : t -> float

@@ -1,454 +1,13 @@
+(* Root module of the [engine] library: re-export the serving submodules
+   and the single-domain engine itself ([Engine_core]). [Pool] and [Serve]
+   depend on [Engine_core] directly so this module stays a pure facade. *)
+
 module Canonical = Canonical
 module Lru_cache = Lru_cache
 module Feedback = Feedback
 module Flight_recorder = Flight_recorder
 module Drift = Drift
-
-type t = {
-  estimator : Core.Estimator.t;
-  cache : Core.Estimator.outcome Lru_cache.t;
-  threshold : float;
-  obs : Obs.t option;
-  metrics : Obs.t;  (* scrape registry; = obs when one was supplied *)
-  recorder : Flight_recorder.t option;
-  drift : Drift.t option;
-  mutable on_record : (Flight_recorder.record -> unit) option;
-  mutable ept : Core.Matcher.ept option;  (* shared across queries *)
-  mutable feedback_seen : int;
-  mutable feedback_rounds : int;
-}
-
-let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
-    ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
-    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?obs estimator =
-  if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
-    invalid_arg "Engine.create: qerror_threshold must be finite and >= 1";
-  { estimator;
-    cache = Lru_cache.create ~capacity:cache_capacity;
-    threshold = qerror_threshold;
-    obs;
-    metrics = (match obs with Some o -> o | None -> Obs.create ());
-    recorder =
-      (if telemetry then Some (Flight_recorder.create ~capacity:recorder_capacity ())
-       else None);
-    drift =
-      (if telemetry then
-         Some
-           (Drift.create ~slots:drift_slots ~per_slot:drift_per_slot
-              ~p90_threshold:drift_p90_threshold ())
-       else None);
-    on_record = None;
-    ept = None;
-    feedback_seen = 0;
-    feedback_rounds = 0 }
-
-let estimator t = t.estimator
-let qerror_threshold t = t.threshold
-let feedback_rounds t = t.feedback_rounds
-let feedback_seen t = t.feedback_seen
-let cache_counters t = Lru_cache.counters t.cache
-let cache_length t = Lru_cache.length t.cache
-let metrics t = t.metrics
-let recorder t = t.recorder
-let drift t = t.drift
-let set_on_record t f = t.on_record <- Some f
-
-let invalidate t =
-  Lru_cache.clear t.cache;
-  t.ept <- None
-
-let ept_lazy t =
-  lazy
-    (match t.ept with
-     | Some e -> e
-     | None ->
-       let e = Core.Estimator.ept t.estimator in
-       t.ept <- Some e;
-       e)
-
-(* Same memoized EPT, but timing its materialization: [!spent] is the wall
-   time the force cost (~0 when the shared EPT already exists). The inner
-   force still happens inside the estimator's error guard, so Ept_too_large
-   surfaces as Limit_exceeded exactly as before. *)
-let ept_lazy_timed t spent =
-  let underlying = ept_lazy t in
-  lazy
-    (let t0 = Obs.now () in
-     let e = Lazy.force underlying in
-     spent := Obs.now () -. t0;
-     e)
-
-let het_hits_snapshot t =
-  match Core.Estimator.het t.estimator with
-  | None -> None
-  | Some h -> Some (Core.Het.counters h)
-
-let het_hits_since t before =
-  match (before, Core.Estimator.het t.estimator) with
-  | Some before, Some h ->
-    let d = Core.Het.diff_counters ~before ~after:(Core.Het.counters h) in
-    d.Core.Het.simple_hits + d.Core.Het.branching_hits
-  | _ -> 0
-
-type served = {
-  key : Canonical.key;
-  outcome : Core.Estimator.outcome;
-  status : Core.Explain.cache_status;
-}
-
-let flight_status = function
-  | Core.Explain.Hit -> Flight_recorder.Hit
-  | Core.Explain.Miss -> Flight_recorder.Miss
-  | Core.Explain.Bypass -> Flight_recorder.Bypass
-
-let record_flight t ~(key : Canonical.key) ~status
-    ~(outcome : Core.Estimator.outcome) ~canonicalize_s ~ept_s ~match_s
-    ~ept_nodes ~frontier_peak ~het_hits =
-  match t.recorder with
-  | None -> ()
-  | Some rec_ ->
-    let r =
-      Flight_recorder.record rec_ ~query:key.Canonical.text
-        ~hash:key.Canonical.hash ~cache:(flight_status status)
-        ~estimate:outcome.Core.Estimator.value ~canonicalize_s ~ept_s ~match_s
-        ~ept_nodes ~frontier_peak
-        ~degenerate_clamps:outcome.Core.Estimator.clamped ~het_hits
-        ~feedback_round:t.feedback_rounds
-    in
-    (match t.on_record with None -> () | Some f -> f r)
-
-let estimate_ast t ast =
-  let t0 = Obs.now () in
-  let cast = Canonical.canonicalize ast in
-  let key = Canonical.of_ast cast in
-  let canonicalize_s = Obs.now () -. t0 in
-  match Lru_cache.find t.cache key.Canonical.text with
-  | Some outcome ->
-    (match t.drift with Some d -> Drift.note_estimate d ~cache_hit:true | None -> ());
-    record_flight t ~key ~status:Core.Explain.Hit ~outcome ~canonicalize_s
-      ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0 ~frontier_peak:0 ~het_hits:0;
-    Ok { key; outcome; status = Core.Explain.Hit }
-  | None ->
-    let ept_spent = ref 0.0 in
-    let het_before = het_hits_snapshot t in
-    let t1 = Obs.now () in
-    (match
-       Core.Estimator.estimate_result_stats_on t.estimator
-         (ept_lazy_timed t ept_spent)
-         cast
-     with
-     | Ok (outcome, ms) ->
-       let miss_s = Obs.now () -. t1 in
-       Lru_cache.put t.cache key.Canonical.text outcome;
-       (match t.drift with
-        | Some d -> Drift.note_estimate d ~cache_hit:false
-        | None -> ());
-       record_flight t ~key ~status:Core.Explain.Miss ~outcome ~canonicalize_s
-         ~ept_s:!ept_spent
-         ~match_s:(Float.max 0.0 (miss_s -. !ept_spent))
-         ~ept_nodes:ms.Core.Matcher.ept_nodes
-         ~frontier_peak:ms.Core.Matcher.frontier_peak
-         ~het_hits:(het_hits_since t het_before);
-       Ok { key; outcome; status = Core.Explain.Miss }
-     | Error e -> Error e)
-
-let parse query =
-  match Xpath.Parser.parse_result query with
-  | Result.Error { position; message } ->
-    Result.Error (Core.Error.make ~position Core.Error.Malformed_query message)
-  | Ok path -> Ok path
-
-let estimate t query =
-  match parse query with Error e -> Error e | Ok ast -> estimate_ast t ast
-
-let estimate_batch t queries = List.map (estimate t) queries
-
-let feedback_ast t ast ~actual =
-  match estimate_ast t ast with
-  | Error e -> Error e
-  | Ok served ->
-    t.feedback_seen <- t.feedback_seen + 1;
-    (match t.drift with
-     | Some d ->
-       ignore
-         (Drift.observe ?obs:(Some t.metrics) d
-            ~estimate:served.outcome.Core.Estimator.value ~actual
-           : float)
-     | None -> ());
-    let fb =
-      Feedback.apply ?ept:t.ept ~threshold:t.threshold t.estimator
-        (Canonical.canonicalize ast)
-        ~estimate:served.outcome.Core.Estimator.value ~actual
-    in
-    if fb.Feedback.refined then begin
-      t.feedback_rounds <- t.feedback_rounds + 1;
-      invalidate t
-    end;
-    Ok (served, fb)
-
-let feedback t query ~actual =
-  match parse query with Error e -> Error e | Ok ast -> feedback_ast t ast ~actual
-
-let explain t query =
-  match parse query with
-  | Error e -> Error e
-  | Ok ast ->
-    let t0 = Obs.now () in
-    let cast = Canonical.canonicalize ast in
-    let key = Canonical.of_ast cast in
-    let canonicalize_s = Obs.now () -. t0 in
-    let cached = Lru_cache.mem t.cache key.Canonical.text in
-    let het_before = het_hits_snapshot t in
-    (match
-       Core.Error.guard (fun () ->
-           let qt = Xpath.Query_tree.of_path cast in
-           if qt.Xpath.Query_tree.size > 62 then
-             Core.Error.raisef Core.Error.Malformed_query
-               "query tree has %d nodes; the matcher's bitset encoding \
-                supports 62"
-               qt.Xpath.Query_tree.size;
-           match Core.Explain.run ?obs:t.obs t.estimator cast with
-           | r -> r
-           | exception Core.Matcher.Ept_too_large n ->
-             Core.Error.raisef Core.Error.Limit_exceeded
-               "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
-     with
-     | Ok r ->
-       let status = if cached then Core.Explain.Hit else Core.Explain.Miss in
-       record_flight t ~key ~status
-         ~outcome:
-           { Core.Estimator.value = r.Core.Explain.estimate;
-             clamped = r.Core.Explain.degenerate_clamps;
-             unknown_labels = r.Core.Explain.unknown_labels }
-         ~canonicalize_s ~ept_s:r.Core.Explain.ept_seconds
-         ~match_s:r.Core.Explain.match_seconds
-         ~ept_nodes:r.Core.Explain.ept_nodes
-         ~frontier_peak:r.Core.Explain.matcher.Core.Matcher.frontier_peak
-         ~het_hits:(het_hits_since t het_before);
-       Ok
-         { r with
-           Core.Explain.cache = status;
-           feedback_rounds = t.feedback_rounds }
-     | Error e -> Error e)
-
-let stats_json t =
-  let open Obs.Json in
-  let c = Lru_cache.counters t.cache in
-  let het_json =
-    match Core.Estimator.het t.estimator with
-    | None -> Null
-    | Some h ->
-      let u = Core.Het.counters h in
-      Obj
-        [ ("active", Int (Core.Het.active_count h));
-          ("total", Int (Core.Het.total_count h));
-          ("bytes", Int (Core.Het.size_in_bytes h));
-          ("simple_lookups", Int u.Core.Het.simple_lookups);
-          ("simple_hits", Int u.Core.Het.simple_hits);
-          ("branching_lookups", Int u.Core.Het.branching_lookups);
-          ("branching_hits", Int u.Core.Het.branching_hits);
-          ("feedback_inserts", Int u.Core.Het.feedback_inserts);
-          ("collisions", Int u.Core.Het.collisions) ]
-  in
-  Obj
-    [ ( "cache",
-        Obj
-          [ ("capacity", Int (Lru_cache.capacity t.cache));
-            ("size", Int (Lru_cache.length t.cache));
-            ("hits", Int c.Lru_cache.hits);
-            ("misses", Int c.Lru_cache.misses);
-            ("insertions", Int c.Lru_cache.insertions);
-            ("evictions", Int c.Lru_cache.evictions);
-            ("invalidations", Int c.Lru_cache.invalidations) ] );
-      ( "feedback",
-        Obj
-          [ ("seen", Int t.feedback_seen);
-            ("rounds", Int t.feedback_rounds);
-            ("qerror_threshold", Float t.threshold) ] );
-      ("het", het_json);
-      ("synopsis_bytes", Int (Core.Estimator.size_in_bytes t.estimator)) ]
-
-let publish_counters t =
-  Lru_cache.publish_counters ?obs:t.obs t.cache;
-  Obs.add_to ?obs:t.obs "engine.feedback.seen" t.feedback_seen;
-  Obs.add_to ?obs:t.obs "engine.feedback.rounds" t.feedback_rounds;
-  Option.iter
-    (Core.Het.publish_counters ?obs:t.obs)
-    (Core.Estimator.het t.estimator)
-
-(* Republish every engine-level total into the scrape registry. Counters go
-   through set_max so republishing before each scrape is idempotent;
-   point-in-time values are gauges. *)
-let publish_telemetry t =
-  let obs = t.metrics in
-  let c = Lru_cache.counters t.cache in
-  Obs.max_to ~obs "engine.cache.hits" c.Lru_cache.hits;
-  Obs.max_to ~obs "engine.cache.misses" c.Lru_cache.misses;
-  Obs.max_to ~obs "engine.cache.insertions" c.Lru_cache.insertions;
-  Obs.max_to ~obs "engine.cache.evictions" c.Lru_cache.evictions;
-  Obs.max_to ~obs "engine.cache.invalidations" c.Lru_cache.invalidations;
-  Obs.set_to ~obs "engine.cache.size" (float_of_int (Lru_cache.length t.cache));
-  Obs.set_to ~obs "engine.cache.capacity"
-    (float_of_int (Lru_cache.capacity t.cache));
-  Obs.max_to ~obs "engine.feedback.seen" t.feedback_seen;
-  Obs.max_to ~obs "engine.feedback.rounds" t.feedback_rounds;
-  Obs.set_to ~obs "engine.synopsis_bytes"
-    (float_of_int (Core.Estimator.size_in_bytes t.estimator));
-  (match Core.Estimator.het t.estimator with
-   | None -> ()
-   | Some h ->
-     let u = Core.Het.counters h in
-     Obs.set_to ~obs "engine.het.active" (float_of_int (Core.Het.active_count h));
-     Obs.set_to ~obs "engine.het.total" (float_of_int (Core.Het.total_count h));
-     Obs.set_to ~obs "engine.het.bytes" (float_of_int (Core.Het.size_in_bytes h));
-     Obs.max_to ~obs "het.simple_lookups" u.Core.Het.simple_lookups;
-     Obs.max_to ~obs "het.simple_hits" u.Core.Het.simple_hits;
-     Obs.max_to ~obs "het.branching_lookups" u.Core.Het.branching_lookups;
-     Obs.max_to ~obs "het.branching_hits" u.Core.Het.branching_hits;
-     Obs.max_to ~obs "het.feedback_inserts" u.Core.Het.feedback_inserts;
-     Obs.max_to ~obs "het.collisions" u.Core.Het.collisions);
-  (match t.recorder with
-   | None -> ()
-   | Some r ->
-     Obs.max_to ~obs "engine.flight.records" (Flight_recorder.total r));
-  match t.drift with None -> () | Some d -> Drift.publish d obs
-
-let metrics_text t =
-  publish_telemetry t;
-  Obs.prometheus ~prefix:"xseed_" t.metrics
-
-module Protocol = struct
-  let sanitize s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
-
-  let err e =
-    let position =
-      match Core.Error.position e with
-      | Some p -> Printf.sprintf " (at %d)" p
-      | None -> ""
-    in
-    Printf.sprintf "ERR %s %s%s"
-      (Core.Error.kind_name (Core.Error.kind e))
-      (sanitize (Core.Error.message e))
-      position
-
-  let malformed fmt =
-    Format.kasprintf
-      (fun m -> err (Core.Error.make Core.Error.Malformed_query m))
-      fmt
-
-  let split_verb line =
-    match String.index_opt line ' ' with
-    | None -> (line, "")
-    | Some i ->
-      ( String.sub line 0 i,
-        String.trim (String.sub line i (String.length line - i)) )
-
-  let chop_trailing_newline s =
-    let n = String.length s in
-    if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
-
-  let handle_line t raw =
-    let line = String.trim raw in
-    if line = "" then None
-    else
-      Some
-        (try
-           let verb, rest = split_verb line in
-           match verb with
-           | "ESTIMATE" ->
-             (match estimate t rest with
-              | Ok s ->
-                Printf.sprintf "OK %.2f %s" s.outcome.Core.Estimator.value
-                  (Core.Explain.cache_status_name s.status)
-              | Error e -> err e)
-           | "FEEDBACK" ->
-             (match String.rindex_opt rest ' ' with
-              | None -> malformed "FEEDBACK expects '<xpath> <actual-count>'"
-              | Some i ->
-                let query = String.trim (String.sub rest 0 i) in
-                let count =
-                  String.sub rest (i + 1) (String.length rest - i - 1)
-                in
-                (match int_of_string_opt count with
-                 | Some actual when actual >= 0 && query <> "" ->
-                   (match feedback t query ~actual with
-                    | Ok (_, fb) ->
-                      Printf.sprintf "OK %.3f %s" fb.Feedback.q_error
-                        (if fb.Feedback.refined then "refined" else "kept")
-                    | Error e -> err e)
-                 | _ ->
-                   malformed
-                     "FEEDBACK expects '<xpath> <actual-count>' with a \
-                      non-negative integer count"))
-           | "EXPLAIN" ->
-             (match explain t rest with
-              | Ok r -> "OK " ^ Obs.Json.to_string (Core.Explain.to_json r)
-              | Error e -> err e)
-           | "STATS" ->
-             if rest = "" then "OK " ^ Obs.Json.to_string (stats_json t)
-             else malformed "STATS takes no argument"
-           | "METRICS" ->
-             (* The one multi-line response without a header: the payload IS
-                the Prometheus exposition, ready to proxy to a scraper. *)
-             if rest = "" then chop_trailing_newline (metrics_text t)
-             else malformed "METRICS takes no argument"
-           | "RECENT" ->
-             (match t.recorder with
-              | None ->
-                err
-                  (Core.Error.make Core.Error.Internal
-                     "telemetry is disabled on this engine")
-              | Some r ->
-                let n =
-                  if rest = "" then Ok None
-                  else
-                    match int_of_string_opt rest with
-                    | Some n when n >= 0 -> Ok (Some n)
-                    | _ -> Result.Error ()
-                in
-                (match n with
-                 | Result.Error () ->
-                   malformed
-                     "RECENT takes an optional non-negative integer count"
-                 | Ok n ->
-                   let records = Flight_recorder.recent ?n r in
-                   String.concat "\n"
-                     (Printf.sprintf "OK %d" (List.length records)
-                     :: List.map
-                          (fun fr ->
-                            Obs.Json.to_string (Flight_recorder.to_json fr))
-                          records)))
-           | "DRIFT" ->
-             (match t.drift with
-              | None ->
-                err
-                  (Core.Error.make Core.Error.Internal
-                     "telemetry is disabled on this engine")
-              | Some d ->
-                if rest = "" then "OK " ^ Obs.Json.to_string (Drift.to_json d)
-                else malformed "DRIFT takes no argument")
-           | _ ->
-             malformed
-               "unknown command %S (expected ESTIMATE, FEEDBACK, EXPLAIN, \
-                STATS, METRICS, RECENT or DRIFT)"
-               verb
-         with exn ->
-           err
-             (match Core.Error.of_exn exn with
-              | Some e -> e
-              | None ->
-                Core.Error.make Core.Error.Internal (Printexc.to_string exn)))
-
-  let run ?on_request t ic oc =
-    try
-      while true do
-        match handle_line t (input_line ic) with
-        | Some response ->
-          output_string oc response;
-          output_char oc '\n';
-          flush oc;
-          (match on_request with None -> () | Some f -> f ())
-        | None -> ()
-      done
-    with End_of_file -> ()
-end
+module Work_queue = Work_queue
+module Serve = Serve
+module Pool = Pool
+include Engine_core

@@ -18,158 +18,30 @@
     query appends a {!Flight_recorder} record (stage wall times, cache
     outcome, per-query matcher stats), feedback observations stream into a
     {!Drift} monitor (sliding-window q-error with edge-triggered alerts),
-    and {!metrics_text} renders the whole registry — engine totals, drift
+    and [metrics_text] renders the whole registry — engine totals, drift
     gauges and any pipeline counters sharing the context — as a Prometheus
     scrape payload. Telemetry is on by default and cheap (a ring-buffer
     store per query); [~telemetry:false] turns the recorder and monitor off
     for baseline benchmarking.
 
-    Surfaced on the command line as [xseed serve] (line protocol, see
-    {!Protocol}) and [xseed replay] (workload-driven feedback rounds). *)
+    For multi-core serving, {!Pool} runs N of these shards over one shared
+    synopsis behind a bounded {!Work_queue}, with single-writer feedback
+    and epoch-based cache invalidation; {!Serve} is the line protocol both
+    the single engine and the pool speak.
+
+    Surfaced on the command line as [xseed serve] (line protocol, with
+    [--workers N] for the pool) and [xseed replay] (workload-driven
+    feedback rounds). *)
 
 module Canonical = Canonical
 module Lru_cache = Lru_cache
 module Feedback = Feedback
 module Flight_recorder = Flight_recorder
 module Drift = Drift
+module Work_queue = Work_queue
+module Serve = Serve
+module Pool = Pool
 
-type t
-
-val create :
-  ?qerror_threshold:float ->
-  ?cache_capacity:int ->
-  ?telemetry:bool ->
-  ?recorder_capacity:int ->
-  ?drift_slots:int ->
-  ?drift_per_slot:int ->
-  ?drift_p90_threshold:float ->
-  ?obs:Obs.t ->
-  Core.Estimator.t ->
-  t
-(** [qerror_threshold] (default 2.0) is the minimum q-error at which
-    feedback refines the HET; [cache_capacity] (default 1024) bounds the
-    estimate cache. [obs] receives pipeline metrics from every cache-miss
-    estimation and becomes the engine's scrape registry ({!metrics});
-    without it the engine still keeps a private registry so [METRICS]
-    works. [telemetry] (default [true]) enables the flight recorder
-    ([recorder_capacity], default 256 records) and the drift monitor
-    ([drift_slots] x [drift_per_slot] feedback observations, default
-    6 x 64, alerting at window-p90 q-error [drift_p90_threshold],
-    default 8.0). *)
-
-val estimator : t -> Core.Estimator.t
-val qerror_threshold : t -> float
-
-val feedback_rounds : t -> int
-(** Number of feedback observations that actually refined the HET (and so
-    invalidated the cache) over this engine's lifetime. *)
-
-val feedback_seen : t -> int
-(** Total feedback observations, refined or not. *)
-
-type served = {
-  key : Canonical.key;
-  outcome : Core.Estimator.outcome;
-  status : Core.Explain.cache_status;
-      (** [Hit] or [Miss]; the engine never serves [Bypass] *)
-}
-
-val estimate_ast : t -> Xpath.Ast.t -> (served, Core.Error.t) result
-(** Canonicalize, consult the cache, run the pipeline on a miss (caching the
-    outcome). Errors are never cached. Same error contract as
-    {!Core.Estimator.estimate_result}. *)
-
-val estimate : t -> string -> (served, Core.Error.t) result
-(** Parse then {!estimate_ast}; a syntax error is [Malformed_query]. *)
-
-val estimate_batch : t -> string list -> (served, Core.Error.t) result list
-(** Per-query results in order; one bad query does not fail the batch. *)
-
-val feedback : t -> string -> actual:int -> (served * Feedback.outcome, Core.Error.t) result
-(** Observe the true cardinality of an executed query: serve (or reuse) the
-    engine's estimate, judge it ({!Feedback.apply}), and on refinement clear
-    the cache and the shared EPT. The returned [served] is the estimate the
-    q-error was computed against. *)
-
-val feedback_ast : t -> Xpath.Ast.t -> actual:int -> (served * Feedback.outcome, Core.Error.t) result
-
-val invalidate : t -> unit
-(** Drop the cached EPT and every cached estimate (counted as
-    invalidations). Called automatically when feedback refines the HET —
-    a refreshed entry can affect any estimate that touched its path, so the
-    engine conservatively assumes all of them did. *)
-
-val explain : t -> string -> (Core.Explain.report, Core.Error.t) result
-(** {!Core.Explain.run} through the engine: the report's [cache] field says
-    whether this query is currently cached ([Hit]/[Miss] — the explain run
-    itself always re-executes the pipeline) and [feedback_rounds] is
-    {!feedback_rounds}. Does not disturb cache contents or counters. *)
-
-val cache_counters : t -> Lru_cache.counters
-val cache_length : t -> int
-
-(** {1 Serving telemetry} *)
-
-val metrics : t -> Obs.t
-(** The scrape registry: the [?obs] passed to {!create}, or the engine's
-    private context. *)
-
-val recorder : t -> Flight_recorder.t option
-(** [None] when the engine was created with [~telemetry:false]. *)
-
-val drift : t -> Drift.t option
-
-val set_on_record : t -> (Flight_recorder.record -> unit) -> unit
-(** Install a callback invoked with every flight record as it is written —
-    the CLI's [--telemetry-out] JSON-lines sink. At most one callback;
-    installing replaces. *)
-
-val publish_telemetry : t -> unit
-(** Republish engine totals into {!metrics}: [engine.cache.*] counters
-    (via max, so calling before every scrape is idempotent) and occupancy
-    gauges, [engine.feedback.*], [engine.het.*] and [het.*] totals,
-    [engine.flight.records], and the drift window's
-    [engine.drift.*] gauges/counter. *)
-
-val metrics_text : t -> string
-(** {!publish_telemetry}, then the full registry in Prometheus text
-    exposition format 0.0.4 with the [xseed_] name prefix
-    ({!Obs.prometheus}). *)
-
-val stats_json : t -> Obs.Json.t
-(** One object: cache counters and occupancy, feedback totals, HET
-    active/total/usage (or [null] without a HET), synopsis footprint. *)
-
-val publish_counters : t -> unit
-(** Push cache totals ([engine.cache.*]), [engine.feedback.*] and HET
-    totals into the engine's Obs context (no-op without one). *)
-
-(** The [xseed serve] line protocol. One request per line:
-
-    {v
-    ESTIMATE <xpath>            ->  OK <estimate> <hit|miss>
-    FEEDBACK <xpath> <actual>   ->  OK <q_error> <refined|kept>
-    EXPLAIN <xpath>             ->  OK <explain report as one-line JSON>
-    STATS                       ->  OK <engine stats as one-line JSON>
-    METRICS                     ->  Prometheus text exposition (multi-line)
-    RECENT [n]                  ->  OK <k> then k flight-record JSON lines,
-                                    newest first
-    DRIFT                       ->  OK <drift summary as one-line JSON>
-    v}
-
-    Any failure — unknown verb, bad query, missing count, pipeline limit —
-    is a one-line [ERR <kind> <message>] where [kind] is
-    {!Core.Error.kind_name}; the handler never raises and never emits a
-    non-finite number. [METRICS] and [RECENT] are the only multi-line
-    responses, and only on success — their malformed spellings still fail
-    with a single [ERR] line. Blank lines are ignored. *)
-module Protocol : sig
-  val handle_line : t -> string -> string option
-  (** [None] for a blank line, otherwise the complete response (no trailing
-      newline; multi-line for successful [METRICS]/[RECENT]). *)
-
-  val run : ?on_request:(unit -> unit) -> t -> in_channel -> out_channel -> unit
-  (** Serve until EOF, flushing after every response. [on_request] runs
-      after each non-blank request has been answered and flushed — the
-      CLI's [--snapshot-every] hook. *)
+include module type of struct
+  include Engine_core
 end

@@ -1,0 +1,361 @@
+type t = {
+  estimator : Core.Estimator.t;
+  cache : Core.Estimator.outcome Lru_cache.t;
+  threshold : float;
+  obs : Obs.t option;
+  metrics : Obs.t;  (* scrape registry; = obs when one was supplied *)
+  recorder : Flight_recorder.t option;
+  drift : Drift.t option;
+  mutable on_record : (Flight_recorder.record -> unit) option;
+  mutable ept : Core.Matcher.ept option;  (* shared across queries *)
+  mutable feedback_seen : int;
+  mutable feedback_rounds : int;
+}
+
+let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
+    ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
+    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?obs estimator =
+  if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
+    invalid_arg "Engine.create: qerror_threshold must be finite and >= 1";
+  { estimator;
+    cache = Lru_cache.create ~capacity:cache_capacity;
+    threshold = qerror_threshold;
+    obs;
+    metrics = (match obs with Some o -> o | None -> Obs.create ());
+    recorder =
+      (if telemetry then Some (Flight_recorder.create ~capacity:recorder_capacity ())
+       else None);
+    drift =
+      (if telemetry then
+         Some
+           (Drift.create ~slots:drift_slots ~per_slot:drift_per_slot
+              ~p90_threshold:drift_p90_threshold ())
+       else None);
+    on_record = None;
+    ept = None;
+    feedback_seen = 0;
+    feedback_rounds = 0 }
+
+let estimator t = t.estimator
+let qerror_threshold t = t.threshold
+let feedback_rounds t = t.feedback_rounds
+let feedback_seen t = t.feedback_seen
+let cache_counters t = Lru_cache.counters t.cache
+let cache_length t = Lru_cache.length t.cache
+let metrics t = t.metrics
+let recorder t = t.recorder
+let drift t = t.drift
+let set_on_record t f = t.on_record <- Some f
+
+let invalidate t =
+  Lru_cache.clear t.cache;
+  t.ept <- None
+
+let ept_lazy t =
+  lazy
+    (match t.ept with
+     | Some e -> e
+     | None ->
+       let e = Core.Estimator.ept t.estimator in
+       t.ept <- Some e;
+       e)
+
+(* Same memoized EPT, but timing its materialization: [!spent] is the wall
+   time the force cost (~0 when the shared EPT already exists). The inner
+   force still happens inside the estimator's error guard, so Ept_too_large
+   surfaces as Limit_exceeded exactly as before. *)
+let ept_lazy_timed t spent =
+  let underlying = ept_lazy t in
+  lazy
+    (let t0 = Obs.now () in
+     let e = Lazy.force underlying in
+     spent := Obs.now () -. t0;
+     e)
+
+let het_hits_snapshot t =
+  match Core.Estimator.het t.estimator with
+  | None -> None
+  | Some h -> Some (Core.Het.counters h)
+
+let het_hits_since t before =
+  match (before, Core.Estimator.het t.estimator) with
+  | Some before, Some h ->
+    let d = Core.Het.diff_counters ~before ~after:(Core.Het.counters h) in
+    d.Core.Het.simple_hits + d.Core.Het.branching_hits
+  | _ -> 0
+
+type served = {
+  key : Canonical.key;
+  outcome : Core.Estimator.outcome;
+  status : Core.Explain.cache_status;
+}
+
+let flight_status = function
+  | Core.Explain.Hit -> Flight_recorder.Hit
+  | Core.Explain.Miss -> Flight_recorder.Miss
+  | Core.Explain.Bypass -> Flight_recorder.Bypass
+
+let record_flight t ~(key : Canonical.key) ~status
+    ~(outcome : Core.Estimator.outcome) ~canonicalize_s ~ept_s ~match_s
+    ~ept_nodes ~frontier_peak ~het_hits =
+  match t.recorder with
+  | None -> ()
+  | Some rec_ ->
+    let r =
+      Flight_recorder.record rec_ ~query:key.Canonical.text
+        ~hash:key.Canonical.hash ~cache:(flight_status status)
+        ~estimate:outcome.Core.Estimator.value ~canonicalize_s ~ept_s ~match_s
+        ~ept_nodes ~frontier_peak
+        ~degenerate_clamps:outcome.Core.Estimator.clamped ~het_hits
+        ~feedback_round:t.feedback_rounds
+    in
+    (match t.on_record with None -> () | Some f -> f r)
+
+let estimate_ast t ast =
+  let t0 = Obs.now () in
+  let cast = Canonical.canonicalize ast in
+  let key = Canonical.of_ast cast in
+  let canonicalize_s = Obs.now () -. t0 in
+  match Lru_cache.find t.cache key.Canonical.text with
+  | Some outcome ->
+    (match t.drift with Some d -> Drift.note_estimate d ~cache_hit:true | None -> ());
+    record_flight t ~key ~status:Core.Explain.Hit ~outcome ~canonicalize_s
+      ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0 ~frontier_peak:0 ~het_hits:0;
+    Ok { key; outcome; status = Core.Explain.Hit }
+  | None ->
+    let ept_spent = ref 0.0 in
+    let het_before = het_hits_snapshot t in
+    let t1 = Obs.now () in
+    (match
+       Core.Estimator.estimate_result_stats_on t.estimator
+         (ept_lazy_timed t ept_spent)
+         cast
+     with
+     | Ok (outcome, ms) ->
+       let miss_s = Obs.now () -. t1 in
+       Lru_cache.put t.cache key.Canonical.text outcome;
+       (match t.drift with
+        | Some d -> Drift.note_estimate d ~cache_hit:false
+        | None -> ());
+       record_flight t ~key ~status:Core.Explain.Miss ~outcome ~canonicalize_s
+         ~ept_s:!ept_spent
+         ~match_s:(Float.max 0.0 (miss_s -. !ept_spent))
+         ~ept_nodes:ms.Core.Matcher.ept_nodes
+         ~frontier_peak:ms.Core.Matcher.frontier_peak
+         ~het_hits:(het_hits_since t het_before);
+       Ok { key; outcome; status = Core.Explain.Miss }
+     | Error e -> Error e)
+
+let parse query =
+  match Xpath.Parser.parse_result query with
+  | Result.Error { position; message } ->
+    Result.Error (Core.Error.make ~position Core.Error.Malformed_query message)
+  | Ok path -> Ok path
+
+let estimate t query =
+  match parse query with Error e -> Error e | Ok ast -> estimate_ast t ast
+
+let estimate_batch t queries = List.map (estimate t) queries
+
+let feedback_ast t ast ~actual =
+  match estimate_ast t ast with
+  | Error e -> Error e
+  | Ok served ->
+    t.feedback_seen <- t.feedback_seen + 1;
+    (match t.drift with
+     | Some d ->
+       ignore
+         (Drift.observe ?obs:(Some t.metrics) d
+            ~estimate:served.outcome.Core.Estimator.value ~actual
+           : float)
+     | None -> ());
+    let fb =
+      Feedback.apply ?ept:t.ept ~threshold:t.threshold t.estimator
+        (Canonical.canonicalize ast)
+        ~estimate:served.outcome.Core.Estimator.value ~actual
+    in
+    if fb.Feedback.refined then begin
+      t.feedback_rounds <- t.feedback_rounds + 1;
+      invalidate t
+    end;
+    Ok (served, fb)
+
+let feedback t query ~actual =
+  match parse query with Error e -> Error e | Ok ast -> feedback_ast t ast ~actual
+
+let explain t query =
+  match parse query with
+  | Error e -> Error e
+  | Ok ast ->
+    let t0 = Obs.now () in
+    let cast = Canonical.canonicalize ast in
+    let key = Canonical.of_ast cast in
+    let canonicalize_s = Obs.now () -. t0 in
+    let cached = Lru_cache.mem t.cache key.Canonical.text in
+    let het_before = het_hits_snapshot t in
+    (match
+       Core.Error.guard (fun () ->
+           let qt = Xpath.Query_tree.of_path cast in
+           if qt.Xpath.Query_tree.size > 62 then
+             Core.Error.raisef Core.Error.Malformed_query
+               "query tree has %d nodes; the matcher's bitset encoding \
+                supports 62"
+               qt.Xpath.Query_tree.size;
+           match Core.Explain.run ?obs:t.obs t.estimator cast with
+           | r -> r
+           | exception Core.Matcher.Ept_too_large n ->
+             Core.Error.raisef Core.Error.Limit_exceeded
+               "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
+     with
+     | Ok r ->
+       let status = if cached then Core.Explain.Hit else Core.Explain.Miss in
+       record_flight t ~key ~status
+         ~outcome:
+           { Core.Estimator.value = r.Core.Explain.estimate;
+             clamped = r.Core.Explain.degenerate_clamps;
+             unknown_labels = r.Core.Explain.unknown_labels }
+         ~canonicalize_s ~ept_s:r.Core.Explain.ept_seconds
+         ~match_s:r.Core.Explain.match_seconds
+         ~ept_nodes:r.Core.Explain.ept_nodes
+         ~frontier_peak:r.Core.Explain.matcher.Core.Matcher.frontier_peak
+         ~het_hits:(het_hits_since t het_before);
+       Ok
+         { r with
+           Core.Explain.cache = status;
+           feedback_rounds = t.feedback_rounds }
+     | Error e -> Error e)
+
+let stats_json t =
+  let open Obs.Json in
+  let c = Lru_cache.counters t.cache in
+  let het_json =
+    match Core.Estimator.het t.estimator with
+    | None -> Null
+    | Some h ->
+      let u = Core.Het.counters h in
+      Obj
+        [ ("active", Int (Core.Het.active_count h));
+          ("total", Int (Core.Het.total_count h));
+          ("bytes", Int (Core.Het.size_in_bytes h));
+          ("simple_lookups", Int u.Core.Het.simple_lookups);
+          ("simple_hits", Int u.Core.Het.simple_hits);
+          ("branching_lookups", Int u.Core.Het.branching_lookups);
+          ("branching_hits", Int u.Core.Het.branching_hits);
+          ("feedback_inserts", Int u.Core.Het.feedback_inserts);
+          ("collisions", Int u.Core.Het.collisions) ]
+  in
+  Obj
+    [ ( "cache",
+        Obj
+          [ ("capacity", Int (Lru_cache.capacity t.cache));
+            ("size", Int (Lru_cache.length t.cache));
+            ("hits", Int c.Lru_cache.hits);
+            ("misses", Int c.Lru_cache.misses);
+            ("insertions", Int c.Lru_cache.insertions);
+            ("evictions", Int c.Lru_cache.evictions);
+            ("invalidations", Int c.Lru_cache.invalidations) ] );
+      ( "feedback",
+        Obj
+          [ ("seen", Int t.feedback_seen);
+            ("rounds", Int t.feedback_rounds);
+            ("qerror_threshold", Float t.threshold) ] );
+      ("het", het_json);
+      ("synopsis_bytes", Int (Core.Estimator.size_in_bytes t.estimator)) ]
+
+let publish_counters t =
+  Lru_cache.publish_counters ?obs:t.obs t.cache;
+  Obs.add_to ?obs:t.obs "engine.feedback.seen" t.feedback_seen;
+  Obs.add_to ?obs:t.obs "engine.feedback.rounds" t.feedback_rounds;
+  Option.iter
+    (Core.Het.publish_counters ?obs:t.obs)
+    (Core.Estimator.het t.estimator)
+
+(* Republish every engine-level total into the scrape registry. Counters go
+   through set_max so republishing before each scrape is idempotent;
+   point-in-time values are gauges. *)
+let publish_telemetry t =
+  let obs = t.metrics in
+  let c = Lru_cache.counters t.cache in
+  Obs.max_to ~obs "engine.cache.hits" c.Lru_cache.hits;
+  Obs.max_to ~obs "engine.cache.misses" c.Lru_cache.misses;
+  Obs.max_to ~obs "engine.cache.insertions" c.Lru_cache.insertions;
+  Obs.max_to ~obs "engine.cache.evictions" c.Lru_cache.evictions;
+  Obs.max_to ~obs "engine.cache.invalidations" c.Lru_cache.invalidations;
+  Obs.set_to ~obs "engine.cache.size" (float_of_int (Lru_cache.length t.cache));
+  Obs.set_to ~obs "engine.cache.capacity"
+    (float_of_int (Lru_cache.capacity t.cache));
+  Obs.max_to ~obs "engine.feedback.seen" t.feedback_seen;
+  Obs.max_to ~obs "engine.feedback.rounds" t.feedback_rounds;
+  Obs.set_to ~obs "engine.synopsis_bytes"
+    (float_of_int (Core.Estimator.size_in_bytes t.estimator));
+  (match Core.Estimator.het t.estimator with
+   | None -> ()
+   | Some h ->
+     let u = Core.Het.counters h in
+     Obs.set_to ~obs "engine.het.active" (float_of_int (Core.Het.active_count h));
+     Obs.set_to ~obs "engine.het.total" (float_of_int (Core.Het.total_count h));
+     Obs.set_to ~obs "engine.het.bytes" (float_of_int (Core.Het.size_in_bytes h));
+     Obs.max_to ~obs "het.simple_lookups" u.Core.Het.simple_lookups;
+     Obs.max_to ~obs "het.simple_hits" u.Core.Het.simple_hits;
+     Obs.max_to ~obs "het.branching_lookups" u.Core.Het.branching_lookups;
+     Obs.max_to ~obs "het.branching_hits" u.Core.Het.branching_hits;
+     Obs.max_to ~obs "het.feedback_inserts" u.Core.Het.feedback_inserts;
+     Obs.max_to ~obs "het.collisions" u.Core.Het.collisions);
+  (match t.recorder with
+   | None -> ()
+   | Some r ->
+     Obs.max_to ~obs "engine.flight.records" (Flight_recorder.total r));
+  match t.drift with None -> () | Some d -> Drift.publish d obs
+
+let metrics_text t =
+  publish_telemetry t;
+  Obs.prometheus ~prefix:"xseed_" t.metrics
+
+let telemetry_disabled () =
+  Core.Error.make Core.Error.Internal "telemetry is disabled on this engine"
+
+let server t =
+  { Serve.estimate =
+      (fun q ->
+        match estimate t q with
+        | Ok s ->
+          Ok
+            { Serve.value = s.outcome.Core.Estimator.value;
+              status = s.status }
+        | Error e -> Error e);
+    estimate_batch =
+      (fun qs ->
+        List.map
+          (fun q ->
+            match estimate t q with
+            | Ok s ->
+              Ok
+                { Serve.value = s.outcome.Core.Estimator.value;
+                  status = s.status }
+            | Error e -> Error e)
+          qs);
+    feedback =
+      (fun q ~actual ->
+        match feedback t q ~actual with
+        | Ok (_, fb) -> Ok fb
+        | Error e -> Error e);
+    explain = (fun q -> explain t q);
+    stats_json = (fun () -> stats_json t);
+    metrics_text = (fun () -> metrics_text t);
+    recent =
+      (fun n ->
+        match t.recorder with
+        | None -> Error (telemetry_disabled ())
+        | Some r -> Ok (Flight_recorder.recent ?n r));
+    drift_json =
+      (fun () ->
+        match t.drift with
+        | None -> Error (telemetry_disabled ())
+        | Some d -> Ok (Drift.to_json d)) }
+
+module Protocol = struct
+  let handle_line t raw =
+    Serve.handle_request (server t) ~read_line:(fun () -> None) raw
+
+  let run ?on_request t ic oc = Serve.run ?on_request (server t) ic oc
+end

@@ -41,10 +41,15 @@ let create ?(capacity = 256) () =
 let capacity t = Array.length t.ring
 let total t = t.next_seq
 
-let record t ~query ~hash ~cache ~estimate ~canonicalize_s ~ept_s ~match_s
+(* [?seq] overrides the record's sequence number with an externally issued
+   one (the pool's global submission counter), so records scattered across
+   per-shard rings can be merged back into submission order; the ring still
+   advances by its own write count either way. *)
+let record ?seq t ~query ~hash ~cache ~estimate ~canonicalize_s ~ept_s ~match_s
     ~ept_nodes ~frontier_peak ~degenerate_clamps ~het_hits ~feedback_round =
   let r =
-    { seq = t.next_seq; query; hash; cache; estimate; canonicalize_s; ept_s;
+    { seq = (match seq with Some s -> s | None -> t.next_seq);
+      query; hash; cache; estimate; canonicalize_s; ept_s;
       match_s; total_s = canonicalize_s +. ept_s +. match_s; ept_nodes;
       frontier_peak; degenerate_clamps; het_hits; feedback_round }
   in

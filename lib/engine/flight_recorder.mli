@@ -43,6 +43,7 @@ val total : t -> int
 (** Records ever written, including overwritten ones. *)
 
 val record :
+  ?seq:int ->
   t ->
   query:string ->
   hash:int ->
@@ -57,7 +58,12 @@ val record :
   het_hits:int ->
   feedback_round:int ->
   record
-(** Append one record (assigning its [seq]) and return it. *)
+(** Append one record (assigning its [seq]) and return it. [?seq] replaces
+    the ring's own numbering with an externally issued sequence number —
+    the serving pool stamps records with its global submission counter so
+    per-shard rings can be merged back into one submission-ordered stream
+    ({!recent} order within a single ring is unaffected: it is newest
+    write first regardless of the stored [seq]). *)
 
 val recent : ?n:int -> t -> record list
 (** The last [n] records (default: all live ones), newest first. *)

@@ -1,0 +1,649 @@
+(* Multi-domain serving pool.
+
+   One synopsis (kernel + HET + values) and one materialized EPT are shared
+   read-only by N worker domains; everything written on the estimate hot
+   path is per-shard (LRU cache, flight-recorder ring, Obs registry, drift
+   volume ring), so answering an estimate takes no lock beyond the work
+   queue's own mutex. Writes to the shared state — HET refinement and the
+   EPT rebuild — happen only on the feedback path, which is single-writer:
+   it takes the submission lock (stopping new jobs), waits for in-flight
+   jobs to drain, mutates, bumps the epoch, and only then lets submissions
+   resume. Workers notice the epoch change at their next dequeue and drop
+   their own stale cache; the queue mutex's acquire/release pairs give the
+   happens-before edge that makes the new EPT pointer and HET contents
+   visible to them. *)
+
+type shard = {
+  id : int;
+  estimator : Core.Estimator.t;
+      (* shares the base estimator's kernel/HET/values, owns its registry *)
+  obs : Obs.t;
+  cache : Core.Estimator.outcome Lru_cache.t;
+  recorder : Flight_recorder.t option;
+  drift_shard : Drift.shard option;
+  mutable epoch_seen : int;
+}
+
+(* A submitted batch: jobs write their slot then decrement [remaining];
+   the submitter waits on the condition until it reaches zero. The batch
+   mutex also publishes the result writes to the submitter. *)
+type batch = {
+  mutable remaining : int;
+  batch_lock : Mutex.t;
+  batch_done : Condition.t;
+}
+
+type job = {
+  seq : int;  (* global submission sequence number *)
+  query : string;
+  results : (Serve.estimate_reply, Core.Error.t) result option array;
+  slot : int;
+  parent : batch;
+}
+
+type t = {
+  base : Core.Estimator.t;
+  threshold : float;
+  shards : shard array;
+  queue : job Work_queue.t;
+  mutable domains : unit Domain.t array;
+  epoch : int Atomic.t;
+  inflight : int Atomic.t;
+  drain_lock : Mutex.t;
+  drain_cond : Condition.t;
+  submit_lock : Mutex.t;  (* serializes submissions against feedback *)
+  mutable ept : (Core.Matcher.ept, Core.Error.t) result;
+  mutable next_seq : int;  (* under submit_lock *)
+  drift : Drift.t option;  (* q-error window + coordinator volume ring *)
+  recorder : Flight_recorder.t option;  (* coordinator ring: feedback/explain *)
+  record_lock : Mutex.t;
+  mutable on_record : (Flight_recorder.record -> unit) option;
+  mutable feedback_seen : int;
+  mutable feedback_rounds : int;
+  mutable stopped : bool;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let materialize_ept estimator =
+  Core.Error.guard (fun () ->
+      try Core.Estimator.ept estimator
+      with Core.Matcher.Ept_too_large n ->
+        Core.Error.raisef Core.Error.Limit_exceeded
+          "EPT exceeded max_ept_nodes while materializing (%d nodes)" n)
+
+let parse query =
+  match Xpath.Parser.parse_result query with
+  | Result.Error { position; message } ->
+    Result.Error (Core.Error.make ~position Core.Error.Malformed_query message)
+  | Ok path -> Ok path
+
+let emit_record t recorder ~seq ~(key : Canonical.key) ~status
+    ~(outcome : Core.Estimator.outcome) ~canonicalize_s ~ept_s ~match_s
+    ~ept_nodes ~frontier_peak ~het_hits =
+  match recorder with
+  | None -> ()
+  | Some rec_ ->
+    let r =
+      Flight_recorder.record ~seq rec_ ~query:key.Canonical.text
+        ~hash:key.Canonical.hash ~cache:status
+        ~estimate:outcome.Core.Estimator.value ~canonicalize_s ~ept_s ~match_s
+        ~ept_nodes ~frontier_peak
+        ~degenerate_clamps:outcome.Core.Estimator.clamped ~het_hits
+        ~feedback_round:t.feedback_rounds
+    in
+    (match t.on_record with
+     | None -> ()
+     | Some f -> with_lock t.record_lock (fun () -> f r))
+
+let het_counters t =
+  Option.map Core.Het.counters (Core.Estimator.het t.base)
+
+(* HET counters are shared across domains and bumped racily, so the
+   per-query delta is best-effort under concurrency (exact whenever requests
+   are sequential); clamp so a racing reader never records a negative. *)
+let het_hits_since t before =
+  match (before, Core.Estimator.het t.base) with
+  | Some before, Some h ->
+    let d = Core.Het.diff_counters ~before ~after:(Core.Het.counters h) in
+    max 0 (d.Core.Het.simple_hits + d.Core.Het.branching_hits)
+  | _ -> 0
+
+(* The estimate hot path, run on a worker domain against its own shard.
+   Mirrors Engine_core.estimate_ast step for step so pool estimates are
+   bit-identical to single-engine ones over the same synopsis. *)
+let serve_query t shard ~seq query =
+  match parse query with
+  | Error e -> Error e
+  | Ok ast ->
+    let t0 = Obs.now () in
+    let cast = Canonical.canonicalize ast in
+    let key = Canonical.of_ast cast in
+    let canonicalize_s = Obs.now () -. t0 in
+    (match Lru_cache.find shard.cache key.Canonical.text with
+     | Some outcome ->
+       (match shard.drift_shard with
+        | Some s -> Drift.note_shard s ~cache_hit:true
+        | None -> ());
+       emit_record t shard.recorder ~seq ~key ~status:Flight_recorder.Hit
+         ~outcome ~canonicalize_s ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0
+         ~frontier_peak:0 ~het_hits:0;
+       Ok
+         { Serve.value = outcome.Core.Estimator.value;
+           status = Core.Explain.Hit }
+     | None ->
+       let ept_spent = ref 0.0 in
+       let ept =
+         lazy
+           (let t1 = Obs.now () in
+            let e =
+              match t.ept with
+              | Ok e -> e
+              | Error err -> raise (Core.Error.Xseed err)
+            in
+            ept_spent := Obs.now () -. t1;
+            e)
+       in
+       let het_before = het_counters t in
+       let t1 = Obs.now () in
+       (match Core.Estimator.estimate_result_stats_on shard.estimator ept cast with
+        | Ok (outcome, ms) ->
+          let miss_s = Obs.now () -. t1 in
+          Lru_cache.put shard.cache key.Canonical.text outcome;
+          (match shard.drift_shard with
+           | Some s -> Drift.note_shard s ~cache_hit:false
+           | None -> ());
+          emit_record t shard.recorder ~seq ~key ~status:Flight_recorder.Miss
+            ~outcome ~canonicalize_s ~ept_s:!ept_spent
+            ~match_s:(Float.max 0.0 (miss_s -. !ept_spent))
+            ~ept_nodes:ms.Core.Matcher.ept_nodes
+            ~frontier_peak:ms.Core.Matcher.frontier_peak
+            ~het_hits:(het_hits_since t het_before);
+          Ok
+            { Serve.value = outcome.Core.Estimator.value;
+              status = Core.Explain.Miss }
+        | Error e -> Error e))
+
+let finish_job t job result =
+  job.results.(job.slot) <- Some result;
+  with_lock job.parent.batch_lock (fun () ->
+      job.parent.remaining <- job.parent.remaining - 1;
+      if job.parent.remaining = 0 then Condition.broadcast job.parent.batch_done);
+  let before = Atomic.fetch_and_add t.inflight (-1) in
+  if before = 1 then
+    with_lock t.drain_lock (fun () -> Condition.broadcast t.drain_cond)
+
+let worker t shard =
+  let rec loop () =
+    match Work_queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+      let epoch = Atomic.get t.epoch in
+      if epoch <> shard.epoch_seen then begin
+        (* Feedback refined the synopsis since this shard last served:
+           every cached outcome may be stale. *)
+        Lru_cache.clear shard.cache;
+        shard.epoch_seen <- epoch
+      end;
+      let result =
+        try serve_query t shard ~seq:job.seq job.query
+        with exn ->
+          Error
+            (match Core.Error.of_exn exn with
+             | Some e -> e
+             | None ->
+               Core.Error.make Core.Error.Internal (Printexc.to_string exn))
+      in
+      finish_job t job result;
+      loop ()
+  in
+  loop ()
+
+let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
+    ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
+    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?(queue_capacity = 256)
+    estimator =
+  if workers < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: workers %d < 1" workers);
+  if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
+    invalid_arg "Pool.create: qerror_threshold must be finite and >= 1";
+  let drift =
+    if telemetry then
+      Some
+        (Drift.create ~slots:drift_slots ~per_slot:drift_per_slot
+           ~p90_threshold:drift_p90_threshold ())
+    else None
+  in
+  let shards =
+    Array.init workers (fun id ->
+        let obs = Obs.create () in
+        { id;
+          estimator =
+            Core.Estimator.create
+              ~card_threshold:(Core.Estimator.card_threshold estimator)
+              ~max_ept_nodes:(Core.Estimator.max_ept_nodes estimator)
+              ~recursion_aware:(Core.Estimator.recursion_aware estimator)
+              ?het:(Core.Estimator.het estimator)
+              ?values:(Core.Estimator.values estimator)
+              ~obs
+              (Core.Estimator.kernel estimator);
+          obs;
+          cache = Lru_cache.create ~capacity:cache_capacity;
+          recorder =
+            (if telemetry then
+               Some (Flight_recorder.create ~capacity:recorder_capacity ())
+             else None);
+          drift_shard = Option.map Drift.register_shard drift;
+          epoch_seen = 0 })
+  in
+  let t =
+    { base = estimator;
+      threshold = qerror_threshold;
+      shards;
+      queue = Work_queue.create ~capacity:queue_capacity;
+      domains = [||];
+      epoch = Atomic.make 0;
+      inflight = Atomic.make 0;
+      drain_lock = Mutex.create ();
+      drain_cond = Condition.create ();
+      submit_lock = Mutex.create ();
+      ept = materialize_ept estimator;
+      next_seq = 0;
+      drift;
+      recorder =
+        (if telemetry then
+           Some (Flight_recorder.create ~capacity:recorder_capacity ())
+         else None);
+      record_lock = Mutex.create ();
+      on_record = None;
+      feedback_seen = 0;
+      feedback_rounds = 0;
+      stopped = false }
+  in
+  (* The EPT and shards are fully built before any domain spawns, so the
+     workers' first reads are ordered by the spawn itself. *)
+  t.domains <- Array.map (fun shard -> Domain.spawn (fun () -> worker t shard)) shards;
+  t
+
+let workers t = Array.length t.shards
+let epoch t = Atomic.get t.epoch
+let qerror_threshold t = t.threshold
+let feedback_seen t = t.feedback_seen
+let feedback_rounds t = t.feedback_rounds
+let drift t = t.drift
+let set_on_record t f = t.on_record <- Some f
+
+let shard_cache_counters t =
+  Array.map (fun (s : shard) -> Lru_cache.counters s.cache) t.shards
+
+let closed_error () =
+  Core.Error.make Core.Error.Internal "the pool has been shut down"
+
+(* Submit a batch of queries and wait for all of them; replies come back in
+   submission order regardless of which shard served which query. *)
+let estimate_batch t queries =
+  let n = List.length queries in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let parent =
+      { remaining = n;
+        batch_lock = Mutex.create ();
+        batch_done = Condition.create () }
+    in
+    with_lock t.submit_lock (fun () ->
+        List.iteri
+          (fun slot query ->
+            let seq = t.next_seq in
+            t.next_seq <- seq + 1;
+            if t.stopped then begin
+              results.(slot) <- Some (Error (closed_error ()));
+              with_lock parent.batch_lock (fun () ->
+                  parent.remaining <- parent.remaining - 1)
+            end
+            else begin
+              Atomic.incr t.inflight;
+              if not (Work_queue.push t.queue { seq; query; results; slot; parent })
+              then begin
+                ignore (Atomic.fetch_and_add t.inflight (-1) : int);
+                results.(slot) <- Some (Error (closed_error ()));
+                with_lock parent.batch_lock (fun () ->
+                    parent.remaining <- parent.remaining - 1)
+              end
+            end)
+          queries);
+    with_lock parent.batch_lock (fun () ->
+        while parent.remaining > 0 do
+          Condition.wait parent.batch_done parent.batch_lock
+        done);
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> Error (closed_error ()))
+         results)
+  end
+
+let estimate t query =
+  match estimate_batch t [ query ] with
+  | [ r ] -> r
+  | _ -> Error (closed_error ())
+
+(* Wait until no job is being served or queued. Callers hold [submit_lock],
+   so no new submission can race the drain. *)
+let wait_drained t =
+  with_lock t.drain_lock (fun () ->
+      while Atomic.get t.inflight > 0 do
+        Condition.wait t.drain_cond t.drain_lock
+      done)
+
+let next_seq_locked t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+(* Single-writer feedback: stop submissions, drain the workers, and only
+   then touch the shared HET/EPT. The estimate judged by the q-error is
+   recomputed inline on the drained pool (recorded as a cache Bypass on the
+   coordinator ring — it deliberately skips the shard caches), matching the
+   single engine's arithmetic exactly. *)
+let feedback t query ~actual =
+  match parse query with
+  | Error e -> Error e
+  | Ok ast ->
+    with_lock t.submit_lock (fun () ->
+        if t.stopped then Error (closed_error ())
+        else begin
+          wait_drained t;
+          let t0 = Obs.now () in
+          let cast = Canonical.canonicalize ast in
+          let key = Canonical.of_ast cast in
+          let canonicalize_s = Obs.now () -. t0 in
+          let ept_or_err = t.ept in
+          let lazy_ept =
+            lazy
+              (match ept_or_err with
+               | Ok e -> e
+               | Error err -> raise (Core.Error.Xseed err))
+          in
+          let t1 = Obs.now () in
+          match
+            Core.Estimator.estimate_result_stats_on t.base lazy_ept cast
+          with
+          | Error e -> Error e
+          | Ok (outcome, ms) ->
+            let match_s = Obs.now () -. t1 in
+            t.feedback_seen <- t.feedback_seen + 1;
+            (match t.drift with
+             | Some d ->
+               Drift.note_estimate d ~cache_hit:false;
+               ignore
+                 (Drift.observe d ~estimate:outcome.Core.Estimator.value
+                    ~actual
+                   : float)
+             | None -> ());
+            let fb =
+              Feedback.apply
+                ?ept:(Result.to_option ept_or_err)
+                ~threshold:t.threshold t.base cast
+                ~estimate:outcome.Core.Estimator.value ~actual
+            in
+            if fb.Feedback.refined then begin
+              t.feedback_rounds <- t.feedback_rounds + 1;
+              (* Rebuild eagerly while drained; workers drop their caches
+                 when they observe the new epoch at their next dequeue. *)
+              t.ept <- materialize_ept t.base;
+              Atomic.incr t.epoch
+            end;
+            emit_record t t.recorder ~seq:(next_seq_locked t) ~key
+              ~status:Flight_recorder.Bypass ~outcome ~canonicalize_s
+              ~ept_s:0.0 ~match_s ~ept_nodes:ms.Core.Matcher.ept_nodes
+              ~frontier_peak:ms.Core.Matcher.frontier_peak ~het_hits:0;
+            Ok fb
+        end)
+
+(* EXPLAIN re-runs the whole pipeline (it reports per-stage numbers), so it
+   runs drained on the base estimator like feedback does. *)
+let explain t query =
+  match parse query with
+  | Error e -> Error e
+  | Ok ast ->
+    with_lock t.submit_lock (fun () ->
+        if t.stopped then Error (closed_error ())
+        else begin
+          wait_drained t;
+          let cast = Canonical.canonicalize ast in
+          let key = Canonical.of_ast cast in
+          let cached =
+            Array.exists
+              (fun (s : shard) -> Lru_cache.mem s.cache key.Canonical.text)
+              t.shards
+          in
+          let het_before = het_counters t in
+          match
+            Core.Error.guard (fun () ->
+                let qt = Xpath.Query_tree.of_path cast in
+                if qt.Xpath.Query_tree.size > 62 then
+                  Core.Error.raisef Core.Error.Malformed_query
+                    "query tree has %d nodes; the matcher's bitset encoding \
+                     supports 62"
+                    qt.Xpath.Query_tree.size;
+                match Core.Explain.run t.base cast with
+                | r -> r
+                | exception Core.Matcher.Ept_too_large n ->
+                  Core.Error.raisef Core.Error.Limit_exceeded
+                    "EPT exceeded max_ept_nodes while materializing (%d \
+                     nodes)"
+                    n)
+          with
+          | Error e -> Error e
+          | Ok r ->
+            let status =
+              if cached then Core.Explain.Hit else Core.Explain.Miss
+            in
+            emit_record t t.recorder ~seq:(next_seq_locked t) ~key
+              ~status:(if cached then Flight_recorder.Hit else Flight_recorder.Miss)
+              ~outcome:
+                { Core.Estimator.value = r.Core.Explain.estimate;
+                  clamped = r.Core.Explain.degenerate_clamps;
+                  unknown_labels = r.Core.Explain.unknown_labels }
+              ~canonicalize_s:0.0 ~ept_s:r.Core.Explain.ept_seconds
+              ~match_s:r.Core.Explain.match_seconds
+              ~ept_nodes:r.Core.Explain.ept_nodes
+              ~frontier_peak:r.Core.Explain.matcher.Core.Matcher.frontier_peak
+              ~het_hits:(het_hits_since t het_before);
+            Ok
+              { r with
+                Core.Explain.cache = status;
+                feedback_rounds = t.feedback_rounds }
+        end)
+
+(* Aggregate cache counters: the per-shard sums. *)
+let cache_counters t =
+  Array.fold_left
+    (fun (acc : Lru_cache.counters) (c : Lru_cache.counters) ->
+      { Lru_cache.hits = acc.hits + c.hits;
+        misses = acc.misses + c.misses;
+        insertions = acc.insertions + c.insertions;
+        evictions = acc.evictions + c.evictions;
+        invalidations = acc.invalidations + c.invalidations })
+    { Lru_cache.hits = 0; misses = 0; insertions = 0; evictions = 0;
+      invalidations = 0 }
+    (shard_cache_counters t)
+
+let cache_length t =
+  Array.fold_left (fun acc (s : shard) -> acc + Lru_cache.length s.cache) 0 t.shards
+
+let cache_capacity t =
+  Array.fold_left (fun acc (s : shard) -> acc + Lru_cache.capacity s.cache) 0 t.shards
+
+let flight_total t =
+  Array.fold_left
+    (fun acc (s : shard) ->
+      acc + match s.recorder with None -> 0 | Some r -> Flight_recorder.total r)
+    (match t.recorder with None -> 0 | Some r -> Flight_recorder.total r)
+    t.shards
+
+let stats_json t =
+  let open Obs.Json in
+  let c = cache_counters t in
+  let het_json =
+    match Core.Estimator.het t.base with
+    | None -> Null
+    | Some h ->
+      let u = Core.Het.counters h in
+      Obj
+        [ ("active", Int (Core.Het.active_count h));
+          ("total", Int (Core.Het.total_count h));
+          ("bytes", Int (Core.Het.size_in_bytes h));
+          ("simple_lookups", Int u.Core.Het.simple_lookups);
+          ("simple_hits", Int u.Core.Het.simple_hits);
+          ("branching_lookups", Int u.Core.Het.branching_lookups);
+          ("branching_hits", Int u.Core.Het.branching_hits);
+          ("feedback_inserts", Int u.Core.Het.feedback_inserts);
+          ("collisions", Int u.Core.Het.collisions) ]
+  in
+  Obj
+    [ ( "cache",
+        Obj
+          [ ("capacity", Int (cache_capacity t));
+            ("size", Int (cache_length t));
+            ("hits", Int c.Lru_cache.hits);
+            ("misses", Int c.Lru_cache.misses);
+            ("insertions", Int c.Lru_cache.insertions);
+            ("evictions", Int c.Lru_cache.evictions);
+            ("invalidations", Int c.Lru_cache.invalidations) ] );
+      ( "feedback",
+        Obj
+          [ ("seen", Int t.feedback_seen);
+            ("rounds", Int t.feedback_rounds);
+            ("qerror_threshold", Float t.threshold) ] );
+      ("het", het_json);
+      ("synopsis_bytes", Int (Core.Estimator.size_in_bytes t.base));
+      ( "pool",
+        Obj
+          [ ("workers", Int (workers t));
+            ("epoch", Int (epoch t));
+            ("queue_depth", Int (Work_queue.length t.queue)) ] ) ]
+
+(* One scrape: pool-level totals published into a scratch registry, merged
+   with every shard's pipeline registry. The merge orders series by key, so
+   the exposition is deterministic no matter how work was scheduled; it is
+   rebuilt per scrape, so repeated scrapes without traffic are identical. *)
+let merged_metrics t =
+  let obs = Obs.create () in
+  let c = cache_counters t in
+  Obs.add_to ~obs "engine.cache.hits" c.Lru_cache.hits;
+  Obs.add_to ~obs "engine.cache.misses" c.Lru_cache.misses;
+  Obs.add_to ~obs "engine.cache.insertions" c.Lru_cache.insertions;
+  Obs.add_to ~obs "engine.cache.evictions" c.Lru_cache.evictions;
+  Obs.add_to ~obs "engine.cache.invalidations" c.Lru_cache.invalidations;
+  Obs.set_to ~obs "engine.cache.size" (float_of_int (cache_length t));
+  Obs.set_to ~obs "engine.cache.capacity" (float_of_int (cache_capacity t));
+  Obs.max_to ~obs "engine.feedback.seen" t.feedback_seen;
+  Obs.max_to ~obs "engine.feedback.rounds" t.feedback_rounds;
+  Obs.set_to ~obs "engine.synopsis_bytes"
+    (float_of_int (Core.Estimator.size_in_bytes t.base));
+  (match Core.Estimator.het t.base with
+   | None -> ()
+   | Some h ->
+     let u = Core.Het.counters h in
+     Obs.set_to ~obs "engine.het.active" (float_of_int (Core.Het.active_count h));
+     Obs.set_to ~obs "engine.het.total" (float_of_int (Core.Het.total_count h));
+     Obs.set_to ~obs "engine.het.bytes" (float_of_int (Core.Het.size_in_bytes h));
+     Obs.max_to ~obs "het.simple_lookups" u.Core.Het.simple_lookups;
+     Obs.max_to ~obs "het.simple_hits" u.Core.Het.simple_hits;
+     Obs.max_to ~obs "het.branching_lookups" u.Core.Het.branching_lookups;
+     Obs.max_to ~obs "het.branching_hits" u.Core.Het.branching_hits;
+     Obs.max_to ~obs "het.feedback_inserts" u.Core.Het.feedback_inserts;
+     Obs.max_to ~obs "het.collisions" u.Core.Het.collisions);
+  Obs.max_to ~obs "engine.flight.records" (flight_total t);
+  (match t.drift with None -> () | Some d -> Drift.publish d obs);
+  Obs.set_to ~obs "engine.pool.workers" (float_of_int (workers t));
+  Obs.set_to ~obs "engine.pool.epoch" (float_of_int (epoch t));
+  Obs.set_to ~obs "engine.pool.queue_depth"
+    (float_of_int (Work_queue.length t.queue));
+  Obs.merged (obs :: Array.to_list (Array.map (fun (s : shard) -> s.obs) t.shards))
+
+let metrics_text t = Obs.prometheus ~prefix:"xseed_" (merged_metrics t)
+
+(* Flight records from every shard ring plus the coordinator ring, merged
+   newest-submission-first on the global sequence number. *)
+let recent ?n t =
+  let all =
+    Array.fold_left
+      (fun acc (s : shard) ->
+        match s.recorder with
+        | None -> acc
+        | Some r -> List.rev_append (Flight_recorder.recent r) acc)
+      (match t.recorder with
+       | None -> []
+       | Some r -> Flight_recorder.recent r)
+      t.shards
+  in
+  let sorted =
+    List.sort
+      (fun (a : Flight_recorder.record) (b : Flight_recorder.record) ->
+        compare b.Flight_recorder.seq a.Flight_recorder.seq)
+      all
+  in
+  match n with
+  | None -> sorted
+  | Some n ->
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    take (max 0 n) sorted
+
+let telemetry_disabled () =
+  Core.Error.make Core.Error.Internal "telemetry is disabled on this pool"
+
+let server t =
+  { Serve.estimate = (fun q -> estimate t q);
+    estimate_batch = (fun qs -> estimate_batch t qs);
+    feedback = (fun q ~actual -> feedback t q ~actual);
+    explain = (fun q -> explain t q);
+    stats_json = (fun () -> stats_json t);
+    metrics_text = (fun () -> metrics_text t);
+    recent =
+      (fun n ->
+        if
+          Option.is_none t.recorder
+          && Array.for_all (fun (s : shard) -> Option.is_none s.recorder) t.shards
+        then Error (telemetry_disabled ())
+        else Ok (recent ?n t));
+    drift_json =
+      (fun () ->
+        match t.drift with
+        | None -> Error (telemetry_disabled ())
+        | Some d -> Ok (Drift.to_json d)) }
+
+(* Drop every shard cache by bumping the epoch (applied at each shard's
+   next dequeue), without touching the synopsis. Used by benchmarks to
+   force cold-cache passes. *)
+let invalidate t =
+  with_lock t.submit_lock (fun () ->
+      wait_drained t;
+      Atomic.incr t.epoch)
+
+let shutdown t =
+  let join =
+    with_lock t.submit_lock (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          Work_queue.close t.queue;
+          true
+        end)
+  in
+  if join then Array.iter Domain.join t.domains

@@ -1,0 +1,109 @@
+(** Multi-domain serving pool: one shared synopsis, N worker shards.
+
+    The pool owns one immutable synopsis (kernel + HET + value synopsis)
+    and one materialized EPT, shared read-only by [workers] domains. Each
+    worker has a private shard — its own {!Lru_cache}, {!Flight_recorder}
+    ring, {!Obs} registry and {!Drift} volume shard — so the estimate hot
+    path takes no lock beyond the bounded {!Work_queue}'s own mutex.
+
+    {b Single-writer feedback.} [feedback] (and [explain]) take the
+    submission lock, wait for in-flight jobs to drain, and only then touch
+    the shared HET/EPT. A refining feedback bumps the pool {!epoch};
+    workers compare it at their next dequeue and drop their now-stale
+    caches. No estimate ever observes a half-applied refinement.
+
+    {b Determinism.} Over the same synopsis, pool estimates are
+    bit-identical to a single {!Engine_core.t}'s: the matcher keeps all
+    per-query scratch off the shared EPT, and every shard estimator is
+    built from the same kernel/HET/values. Merged metrics
+    ({!metrics_text}) are rendered from a per-scrape registry with series
+    sorted by key, so the exposition does not depend on scheduling. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?qerror_threshold:float ->
+  ?cache_capacity:int ->
+  ?telemetry:bool ->
+  ?recorder_capacity:int ->
+  ?drift_slots:int ->
+  ?drift_per_slot:int ->
+  ?drift_p90_threshold:float ->
+  ?queue_capacity:int ->
+  Core.Estimator.t ->
+  t
+(** Spawns [workers] (default 2) domains immediately; call {!shutdown}
+    when done. [cache_capacity] (default 1024) and [recorder_capacity]
+    (default 256) are {e per shard}. The EPT is materialized eagerly (a
+    failure surfaces as [Limit_exceeded] on the first estimate, as with
+    the single engine). Other knobs as {!Engine_core.create}.
+    @raise Invalid_argument when [workers] < 1 or the threshold is
+    invalid. *)
+
+val shutdown : t -> unit
+(** Close the queue, let queued jobs drain, and join all worker domains.
+    Idempotent; subsequent requests answer with an [internal] error. *)
+
+val workers : t -> int
+
+val epoch : t -> int
+(** Cache-invalidation epoch: starts at 0, incremented by every refining
+    feedback and by {!invalidate}. Monotone non-decreasing. *)
+
+val qerror_threshold : t -> float
+val feedback_seen : t -> int
+val feedback_rounds : t -> int
+val drift : t -> Drift.t option
+
+val set_on_record : t -> (Flight_recorder.record -> unit) -> unit
+(** Sink invoked for every flight record, from whichever domain produced
+    it (serialized by an internal lock — the sink itself need not be
+    domain-safe). *)
+
+val estimate : t -> string -> (Serve.estimate_reply, Core.Error.t) result
+(** Submit one query and wait for its reply. Domain-safe. *)
+
+val estimate_batch :
+  t -> string list -> (Serve.estimate_reply, Core.Error.t) result list
+(** Submit a batch; replies return in submission order regardless of which
+    shard served each query. Blocks (backpressure) while the work queue is
+    full. *)
+
+val feedback : t -> string -> actual:int -> (Feedback.outcome, Core.Error.t) result
+(** Drain the pool, judge the query's estimate against [actual], and
+    refine the HET when the q-error exceeds the threshold. Refinements
+    rebuild the shared EPT and bump {!epoch} before submissions resume. *)
+
+val explain : t -> string -> (Core.Explain.report, Core.Error.t) result
+(** Full-pipeline explain, run drained on the base estimator. The cache
+    status reports whether {e any} shard holds the query. *)
+
+val invalidate : t -> unit
+(** Bump {!epoch} without touching the synopsis, dropping every shard's
+    cache at its next dequeue — cold-cache benchmark passes. *)
+
+val stats_json : t -> Obs.Json.t
+(** Engine stats with cache counters summed across shards, plus a
+    ["pool"] object ([workers], [epoch], [queue_depth]). *)
+
+val metrics_text : t -> string
+(** Prometheus exposition of {!merged_metrics}. *)
+
+val merged_metrics : t -> Obs.t
+(** A fresh registry per call: pool-level totals merged with every
+    shard's pipeline registry via {!Obs.merged} (series sorted by key;
+    repeated calls without traffic are identical). *)
+
+val recent : ?n:int -> t -> Flight_recorder.record list
+(** Flight records merged across all shard rings plus the coordinator's
+    (feedback/explain) ring, newest submission first ([seq] descending). *)
+
+val cache_counters : t -> Lru_cache.counters
+(** Per-shard counters summed. *)
+
+val shard_cache_counters : t -> Lru_cache.counters array
+(** One entry per shard, in shard order (test hook for the sum law). *)
+
+val server : t -> Serve.server
+(** The serve-protocol vtable ([xseed serve --workers N]). *)

@@ -1,0 +1,67 @@
+(** The serve line protocol, generic over what answers it.
+
+    A {!server} is a record of closures — the protocol layer neither knows
+    nor cares whether a single-threaded {!Engine.t} or a multi-domain
+    {!Pool.t} sits behind it. One request per line:
+
+    {v
+    ESTIMATE <xpath>            ->  OK <estimate> <hit|miss>
+    BATCH <n>                   ->  OK <n>, then n per-query OK/ERR lines
+                                    answering the n following request
+                                    lines in submission order
+    FEEDBACK <xpath> <actual>   ->  OK <q_error> <refined|kept>
+    EXPLAIN <xpath>             ->  OK <explain report as one-line JSON>
+    STATS                       ->  OK <stats as one-line JSON>
+    METRICS                     ->  Prometheus text exposition (multi-line)
+    RECENT [n]                  ->  OK <k> then k flight-record JSON lines,
+                                    newest first
+    DRIFT                       ->  OK <drift summary as one-line JSON>
+    v}
+
+    [BATCH n] consumes exactly [n] further input lines, each an ESTIMATE
+    request (the [ESTIMATE ] verb prefix is optional on payload lines), and
+    answers them in submission order behind an [OK n] header — under a pool
+    the batch fans out across worker domains but the reply order is still
+    the submission order. A malformed count (missing, negative, non-numeric
+    or above the per-batch limit of 10,000) fails with a single [ERR] line
+    before any payload line is consumed; hitting end of input inside a
+    batch yields [ERR io-error] lines for the missing slots.
+
+    Any failure — unknown verb, bad query, missing count, pipeline limit —
+    is a one-line [ERR <kind> <message>] where [kind] is
+    {!Core.Error.kind_name}; the handler never raises and never emits a
+    non-finite number. [METRICS], [RECENT] and [BATCH] are the only
+    multi-line responses, and only on success — their malformed spellings
+    still fail with a single [ERR] line. Blank lines are ignored. *)
+
+type estimate_reply = { value : float; status : Core.Explain.cache_status }
+
+type server = {
+  estimate : string -> (estimate_reply, Core.Error.t) result;
+  estimate_batch : string list -> (estimate_reply, Core.Error.t) result list;
+      (** One result per query, in submission order; one bad query does not
+          fail the batch. *)
+  feedback : string -> actual:int -> (Feedback.outcome, Core.Error.t) result;
+  explain : string -> (Core.Explain.report, Core.Error.t) result;
+  stats_json : unit -> Obs.Json.t;
+  metrics_text : unit -> string;
+  recent : int option -> (Flight_recorder.record list, Core.Error.t) result;
+      (** Newest first; [Error] when telemetry is disabled. *)
+  drift_json : unit -> (Obs.Json.t, Core.Error.t) result;
+}
+
+val max_batch : int
+(** Upper bound on a single BATCH count (10,000). *)
+
+val handle_request :
+  server -> read_line:(unit -> string option) -> string -> string option
+(** Answer one request line: [None] for a blank line, otherwise the
+    complete response (no trailing newline; multi-line for successful
+    [METRICS]/[RECENT]/[BATCH]). [read_line] supplies the extra payload
+    lines a [BATCH] needs ([None] = end of input); it is only called for a
+    well-formed BATCH count. *)
+
+val run : ?on_request:(unit -> unit) -> server -> in_channel -> out_channel -> unit
+(** Serve until EOF, flushing after every response. [on_request] runs
+    after each non-blank request has been answered and flushed — the
+    CLI's [--snapshot-every] hook. *)

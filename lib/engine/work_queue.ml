@@ -1,0 +1,85 @@
+(* A bounded multi-producer multi-consumer queue on a mutex and two
+   condition variables — the only blocking structure on the pool's request
+   path. The ring never allocates after creation; fairness comes from the
+   runtime's condition-variable wakeup order, which is all the pool needs
+   (jobs carry their own submission sequence numbers). *)
+
+type 'a t = {
+  ring : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable len : int;  (* occupied slots *)
+  mutable closed : bool;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Work_queue.create: capacity %d < 1" capacity);
+  { ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create () }
+
+let capacity t = Array.length t.ring
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n
+
+let push t v =
+  Mutex.lock t.lock;
+  let cap = Array.length t.ring in
+  while t.len = cap && not t.closed do
+    Condition.wait t.not_full t.lock
+  done;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    false
+  end
+  else begin
+    t.ring.((t.head + t.len) mod cap) <- Some v;
+    t.len <- t.len + 1;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock;
+    true
+  end
+
+let pop t =
+  Mutex.lock t.lock;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  if t.len = 0 then begin
+    (* closed and drained *)
+    Mutex.unlock t.lock;
+    None
+  end
+  else begin
+    let v = t.ring.(t.head) in
+    t.ring.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    t.len <- t.len - 1;
+    Condition.signal t.not_full;
+    Mutex.unlock t.lock;
+    v
+  end
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock
+
+let closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c

@@ -1,0 +1,36 @@
+(** A bounded multi-producer multi-consumer FIFO for OCaml 5 domains.
+
+    The pool's submission path pushes jobs (blocking while the queue is
+    full, which backpressures clients instead of growing memory) and worker
+    domains pop them (blocking while empty). {!close} wakes everyone up:
+    pending items still drain, further pushes are refused, and poppers see
+    [None] once the ring is empty — the worker shutdown signal.
+
+    Built on one mutex and two condition variables; the mutex's
+    acquire/release pairs also order memory between producers and
+    consumers, which the pool relies on for publishing its shared EPT. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A ring of [capacity] slots; no allocation after creation.
+    @raise Invalid_argument when [capacity] < 1. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Occupied slots at the instant of the read. *)
+
+val push : 'a t -> 'a -> bool
+(** Enqueue, blocking while full. [false] when the queue is (or becomes)
+    closed — the item was not enqueued. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest item, blocking while empty. [None] only when the
+    queue is closed {e and} drained. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked producers and consumers.
+    Idempotent. Already-queued items still drain through {!pop}. *)
+
+val closed : 'a t -> bool

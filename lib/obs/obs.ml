@@ -293,10 +293,31 @@ type t = {
   registry : (string, metric) Hashtbl.t;
   mutable order : string list;  (* reverse registration order of series keys *)
   mutable depth : int;  (* current span nesting, for the pretty sink *)
+  lock : Mutex.t;  (* guards registry/order shape, not metric bumps *)
 }
 
+(* Bumping a resolved handle stays a plain mutable-field update (memory-safe
+   under the OCaml 5 model; concurrent bumps may lose increments, which the
+   engine avoids by giving each domain its own registry). The mutex only
+   serializes registry *shape* changes against iteration, so one domain can
+   keep registering new series while another renders a scrape without either
+   tripping over a resizing Hashtbl. *)
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
 let create ?(sink = Noop) () =
-  { sink; registry = Hashtbl.create 32; order = []; depth = 0 }
+  { sink;
+    registry = Hashtbl.create 32;
+    order = [];
+    depth = 0;
+    lock = Mutex.create () }
 
 let set_sink t sink = t.sink <- sink
 let sink t = t.sink
@@ -324,13 +345,14 @@ let wrong_kind what key m =
 
 let counter_with t name labels =
   let key = series_key name labels in
-  match Hashtbl.find_opt t.registry key with
-  | Some (Counter c) -> c
-  | Some m -> wrong_kind "counter" key m
-  | None ->
-    let c = { cname = name; clabels = labels; n = 0 } in
-    register t key (Counter c);
-    c
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.registry key with
+      | Some (Counter c) -> c
+      | Some m -> wrong_kind "counter" key m
+      | None ->
+        let c = { cname = name; clabels = labels; n = 0 } in
+        register t key (Counter c);
+        c)
 
 let counter t name = counter_with t name []
 
@@ -341,13 +363,14 @@ let value c = c.n
 
 let gauge_with t name labels =
   let key = series_key name labels in
-  match Hashtbl.find_opt t.registry key with
-  | Some (Gauge g) -> g
-  | Some m -> wrong_kind "gauge" key m
-  | None ->
-    let g = { gname = name; glabels = labels; g = 0.0 } in
-    register t key (Gauge g);
-    g
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.registry key with
+      | Some (Gauge g) -> g
+      | Some m -> wrong_kind "gauge" key m
+      | None ->
+        let g = { gname = name; glabels = labels; g = 0.0 } in
+        register t key (Gauge g);
+        g)
 
 let gauge t name = gauge_with t name []
 
@@ -356,16 +379,17 @@ let gvalue g = g.g
 
 let histogram_with t name labels =
   let key = series_key name labels in
-  match Hashtbl.find_opt t.registry key with
-  | Some (Histogram h) -> h
-  | Some m -> wrong_kind "histogram" key m
-  | None ->
-    let h =
-      { hname = name; hlabels = labels; count = 0; sum = 0.0;
-        max = neg_infinity; buckets = Array.make hbuckets 0 }
-    in
-    register t key (Histogram h);
-    h
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.registry key with
+      | Some (Histogram h) -> h
+      | Some m -> wrong_kind "histogram" key m
+      | None ->
+        let h =
+          { hname = name; hlabels = labels; count = 0; sum = 0.0;
+            max = neg_infinity; buckets = Array.make hbuckets 0 }
+        in
+        register t key (Histogram h);
+        h)
 
 let histogram t name = histogram_with t name []
 
@@ -596,13 +620,14 @@ let histogram_json h =
 
 let snapshot t =
   let fields =
-    List.rev_map
-      (fun key ->
-        match Hashtbl.find t.registry key with
-        | Counter c -> (key, Json.Int c.n)
-        | Gauge g -> (key, Json.Float g.g)
-        | Histogram h -> (key, histogram_json h))
-      t.order
+    with_lock t (fun () ->
+        List.rev_map
+          (fun key ->
+            match Hashtbl.find t.registry key with
+            | Counter c -> (key, Json.Int c.n)
+            | Gauge g -> (key, Json.Float g.g)
+            | Histogram h -> (key, histogram_json h))
+          t.order)
   in
   Json.Obj fields
 
@@ -645,6 +670,7 @@ let escape_help s =
   Buffer.contents b
 
 let prometheus ?(prefix = "") t =
+  with_lock t @@ fun () ->
   let buf = Buffer.create 1024 in
   (* Group series into families (by exported name) so each family gets
      exactly one HELP/TYPE pair with all its samples beneath — grouping by
@@ -723,14 +749,57 @@ let prometheus ?(prefix = "") t =
   Buffer.contents buf
 
 let reset t =
-  Hashtbl.iter
-    (fun _ metric ->
-      match metric with
-      | Counter c -> c.n <- 0
-      | Gauge g -> g.g <- 0.0
-      | Histogram h ->
-        h.count <- 0;
-        h.sum <- 0.0;
-        h.max <- neg_infinity;
-        Array.fill h.buckets 0 hbuckets 0)
-    t.registry
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ metric ->
+          match metric with
+          | Counter c -> c.n <- 0
+          | Gauge g -> g.g <- 0.0
+          | Histogram h ->
+            h.count <- 0;
+            h.sum <- 0.0;
+            h.max <- neg_infinity;
+            Array.fill h.buckets 0 hbuckets 0)
+        t.registry)
+
+(* Merge several registries into a fresh one with a canonical series order.
+   Values are copied under each input's lock (shape-stable), then summed:
+   counters and gauges add, histograms merge bucket-wise with [count]
+   recomputed from the merged buckets so the rendered cumulative series
+   stays self-consistent even if an input was being bumped mid-copy. The
+   result's series are ordered by key, so snapshots and Prometheus output
+   are deterministic regardless of per-input registration order. *)
+let merged ts =
+  let out = create () in
+  let copies =
+    List.map
+      (fun t ->
+        with_lock t (fun () ->
+            List.rev_map
+              (fun key ->
+                match Hashtbl.find t.registry key with
+                | Counter c -> `C (c.cname, c.clabels, c.n)
+                | Gauge g -> `G (g.gname, g.glabels, g.g)
+                | Histogram h ->
+                  `H (h.hname, h.hlabels, h.sum, h.max, Array.copy h.buckets))
+              t.order))
+      ts
+  in
+  List.iter
+    (List.iter (fun m ->
+         match m with
+         | `C (name, labels, n) -> add (counter_with out name labels) n
+         | `G (name, labels, v) ->
+           let g = gauge_with out name labels in
+           gset g (gvalue g +. v)
+         | `H (name, labels, sum, mx, buckets) ->
+           let h = histogram_with out name labels in
+           h.sum <- h.sum +. sum;
+           if mx > h.max then h.max <- mx;
+           Array.iteri (fun i c -> h.buckets.(i) <- h.buckets.(i) + c) buckets;
+           h.count <- Array.fold_left ( + ) 0 h.buckets))
+    copies;
+  (* [order] is kept in reverse registration order; storing the keys sorted
+     descending makes every reader (which reverses) see ascending key order. *)
+  out.order <- List.sort (fun a b -> String.compare b a) out.order;
+  out

@@ -72,7 +72,15 @@ type sink =
 
 type t
 (** An observability context: a sink plus a metric registry. Contexts are
-    independent; a fresh context gives per-run (e.g. per-query) metrics. *)
+    independent; a fresh context gives per-run (e.g. per-query) metrics.
+
+    Domain-safety: registry {e shape} (registering new series, iterating
+    for {!snapshot}/{!prometheus}/{!reset}/{!merged}) is serialized by an
+    internal mutex, so one domain may render a scrape while another is
+    still creating series. Bumping an already-resolved handle remains a
+    plain mutable-field update — memory-safe but lossy under concurrent
+    writers — so writers should not share one context across domains; give
+    each domain its own registry and combine them with {!merged}. *)
 
 val create : ?sink:sink -> unit -> t
 (** Default sink is [Noop]. *)
@@ -252,3 +260,17 @@ val prometheus : ?prefix:string -> t -> string
 
 val reset : t -> unit
 (** Zero every registered metric (the registry keeps its names). *)
+
+val merged : t list -> t
+(** A fresh context holding the union of the inputs' series, combined
+    per series key: counters sum, gauges sum (publish non-additive gauges
+    into the merged result afterwards), histograms merge bucket-wise (sums
+    add, maxima max, [count] recomputed from the merged buckets so the
+    cumulative rendering stays self-consistent). The result's series are
+    ordered by series key, so {!snapshot} and {!prometheus} over a merge
+    are deterministic regardless of each input's registration order — the
+    serving pool's per-shard registries render identically however work
+    was scheduled. The inputs are read under their locks and copied; the
+    result aliases nothing and has a [Noop] sink.
+    @raise Invalid_argument when one series key has different metric kinds
+    across inputs. *)

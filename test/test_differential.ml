@@ -1,0 +1,256 @@
+(* Differential-testing oracle suite.
+
+   Three oracles, each comparing the estimator against an independent
+   source of truth:
+
+   - a total-function oracle: over random documents and queries (well-formed
+     or hostile), estimation never raises and never returns NaN, infinity,
+     or a negative;
+   - an exactness oracle: simple linear paths covered by a HET simple entry
+     must estimate the NoK operator's exact cardinality — the HET override
+     replaces the kernel approximation with recorded truth;
+   - a pool-vs-engine oracle: the serving pool, over the same synopsis,
+     must return bit-identical floats to a single engine for every query,
+     including after an identical feedback observation on both. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Random documents: small label alphabet so paths collide and recur. *)
+
+let gen_doc_string rand =
+  let open QCheck in
+  let buf = Buffer.create 256 in
+  let label r = String.make 1 (Char.chr (Char.code 'a' + Gen.int_bound 4 r)) in
+  let rec emit depth r =
+    let l = label r in
+    Buffer.add_string buf ("<" ^ l ^ ">");
+    if depth < 4 then begin
+      let kids = Gen.int_bound (4 - depth) r in
+      for _ = 1 to kids do
+        emit (depth + 1) r
+      done
+    end;
+    Buffer.add_string buf ("</" ^ l ^ ">")
+  in
+  Buffer.add_string buf "<r>";
+  let top = 1 + Gen.int_bound 5 rand in
+  for _ = 1 to top do
+    emit 1 rand
+  done;
+  Buffer.add_string buf "</r>";
+  Buffer.contents buf
+
+let gen_query_string rand =
+  let open QCheck in
+  match Gen.int_bound 6 rand with
+  | 0 ->
+    (* hostile: raw noise *)
+    Gen.string_size ~gen:Gen.printable (Gen.int_bound 30) rand
+  | 1 -> ""
+  | 2 ->
+    (* very deep linear path *)
+    "/" ^ String.concat "/" (List.init (1 + Gen.int_bound 80 rand) (fun _ -> "a"))
+  | _ ->
+    let step r =
+      let name =
+        if Gen.int_bound 6 r = 0 then "*"
+        else String.make 1 (Char.chr (Char.code 'a' + Gen.int_bound 5 r))
+      in
+      let pred =
+        if Gen.int_bound 3 r = 0 then
+          "[" ^ String.make 1 (Char.chr (Char.code 'a' + Gen.int_bound 5 r)) ^ "]"
+        else ""
+      in
+      (if Gen.int_bound 4 r = 0 then "//" else "/") ^ name ^ pred
+    in
+    (if Gen.int_bound 2 rand = 0 then "/r" else "")
+    ^ String.concat "" (List.init (1 + Gen.int_bound 5 rand) (fun _ -> step rand))
+
+(* Oracle 1: estimate_result is total — no exception, no NaN/negative. *)
+let prop_never_raises =
+  QCheck.Test.make ~count:300 ~name:"estimator total on random doc x query"
+    (QCheck.make (fun rand -> (gen_doc_string rand, gen_query_string rand)))
+    (fun (doc, query) ->
+      let kernel = Core.Builder.of_string doc in
+      let estimator = Core.Estimator.create ~het:(Core.Het.create ()) kernel in
+      match Core.Estimator.estimate_string_result estimator query with
+      | Error _ -> true  (* a typed error is a valid total answer *)
+      | Ok o ->
+        Float.is_finite o.Core.Estimator.value && o.Core.Estimator.value >= 0.0
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on doc=%S query=%S"
+          (Printexc.to_string e) doc query)
+
+(* The engine wrapper inherits totality (cache + canonicalization layers). *)
+let prop_engine_never_raises =
+  QCheck.Test.make ~count:200 ~name:"engine total on random doc x query"
+    (QCheck.make (fun rand ->
+         (gen_doc_string rand,
+          List.init 8 (fun _ -> gen_query_string rand))))
+    (fun (doc, queries) ->
+      let kernel = Core.Builder.of_string doc in
+      let engine =
+        Engine.create (Core.Estimator.create ~het:(Core.Het.create ()) kernel)
+      in
+      List.for_all
+        (fun q ->
+          match Engine.estimate engine q with
+          | Error _ -> true
+          | Ok s ->
+            Float.is_finite s.Engine.outcome.Core.Estimator.value
+            && s.Engine.outcome.Core.Estimator.value >= 0.0
+          | exception e ->
+            QCheck.Test.fail_reportf "engine raised %s on %S"
+              (Printexc.to_string e) q)
+        queries)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 2: HET-covered simple paths are exact. *)
+
+let exactness_on doc =
+  let path_tree = Pathtree.Path_tree.of_string doc in
+  let kernel =
+    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
+  in
+  let het, stats = Core.Het_builder.build ~kernel ~path_tree () in
+  checkb "some simple entries built" true (stats.Core.Het_builder.simple_entries > 0);
+  let estimator = Core.Estimator.create ~het kernel in
+  let storage =
+    Nok.Storage.of_string ~table:path_tree.Pathtree.Path_tree.table doc
+  in
+  let queries = Datagen.Workload.all_simple_paths path_tree in
+  checkb "workload non-empty" true (queries <> []);
+  List.iter
+    (fun ast ->
+      let actual = Nok.Eval.cardinality storage ast in
+      match Core.Estimator.estimate_result estimator ast with
+      | Error e ->
+        Alcotest.failf "estimate %s: %s" (Xpath.Ast.to_string ast)
+          (Core.Error.to_string e)
+      | Ok o ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "HET-exact %s" (Xpath.Ast.to_string ast))
+          (float_of_int actual) o.Core.Estimator.value)
+    queries
+
+let test_het_simple_paths_exact_paper () =
+  exactness_on Datagen.Paper_example.document
+
+let test_het_simple_paths_exact_random () =
+  (* Deterministic pseudo-random documents, same oracle. *)
+  let rng = Datagen.Rng.create ~seed:42 in
+  for _ = 1 to 5 do
+    let buf = Buffer.create 256 in
+    let rec emit depth =
+      let l = String.make 1 (Char.chr (Char.code 'a' + Datagen.Rng.int rng 5)) in
+      Buffer.add_string buf ("<" ^ l ^ ">");
+      if depth < 4 then
+        for _ = 1 to Datagen.Rng.int rng (5 - depth) do
+          emit (depth + 1)
+        done;
+      Buffer.add_string buf ("</" ^ l ^ ">")
+    in
+    Buffer.add_string buf "<r>";
+    for _ = 1 to 1 + Datagen.Rng.int rng 4 do
+      emit 1
+    done;
+    Buffer.add_string buf "</r>";
+    exactness_on (Buffer.contents buf)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: the pool is bit-identical to a single engine. *)
+
+let bits = Int64.bits_of_float
+
+let build_stack doc =
+  let path_tree = Pathtree.Path_tree.of_string doc in
+  let kernel =
+    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
+  in
+  let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
+  (path_tree, Core.Estimator.create ~het kernel)
+
+let pool_queries path_tree =
+  let rng = Datagen.Rng.create ~seed:7 in
+  List.map Xpath.Ast.to_string
+    (Datagen.Workload.all_simple_paths path_tree
+    @ Datagen.Workload.branching path_tree ~rng ~count:10 ()
+    @ Datagen.Workload.complex path_tree ~rng ~count:10 ())
+
+let engine_value engine q =
+  match Engine.estimate engine q with
+  | Ok s -> s.Engine.outcome.Core.Estimator.value
+  | Error e -> Alcotest.failf "engine %s: %s" q (Core.Error.to_string e)
+
+let pool_value pool q =
+  match Engine.Pool.estimate pool q with
+  | Ok r -> r.Engine.Serve.value
+  | Error e -> Alcotest.failf "pool %s: %s" q (Core.Error.to_string e)
+
+let test_pool_bit_identical () =
+  let doc = Datagen.Paper_example.document in
+  (* Two independent synopsis stacks over the same document: feedback on
+     one side must not leak into the other. *)
+  let path_tree, engine_est = build_stack doc in
+  let _, pool_est = build_stack doc in
+  let engine = Engine.create engine_est in
+  let pool = Engine.Pool.create ~workers:2 pool_est in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries = pool_queries path_tree in
+  List.iter
+    (fun q ->
+      Alcotest.(check int64)
+        (Printf.sprintf "bit-identical %s" q)
+        (bits (engine_value engine q))
+        (bits (pool_value pool q)))
+    queries;
+  (* Batch replies are in submission order and identical too. *)
+  let batch = Engine.Pool.estimate_batch pool queries in
+  List.iter2
+    (fun q reply ->
+      match reply with
+      | Ok r ->
+        Alcotest.(check int64)
+          (Printf.sprintf "batch bit-identical %s" q)
+          (bits (engine_value engine q))
+          (bits r.Engine.Serve.value)
+      | Error e -> Alcotest.failf "batch %s: %s" q (Core.Error.to_string e))
+    queries batch;
+  (* One identical feedback observation on both sides; the pool drains,
+     refines and bumps its epoch — estimates must still agree bit for bit. *)
+  let fq = List.hd queries in
+  let wrong_actual = 10 * (1 + int_of_float (engine_value engine fq)) in
+  let epoch_before = Engine.Pool.epoch pool in
+  (match Engine.feedback engine fq ~actual:wrong_actual with
+   | Ok (_, fb) -> checkb "engine refined" true fb.Engine.Feedback.refined
+   | Error e -> Alcotest.failf "engine feedback: %s" (Core.Error.to_string e));
+  (match Engine.Pool.feedback pool fq ~actual:wrong_actual with
+   | Ok fb -> checkb "pool refined" true fb.Engine.Feedback.refined
+   | Error e -> Alcotest.failf "pool feedback: %s" (Core.Error.to_string e));
+  checki "refining feedback bumps the epoch" (epoch_before + 1)
+    (Engine.Pool.epoch pool);
+  List.iter
+    (fun q ->
+      Alcotest.(check int64)
+        (Printf.sprintf "post-feedback bit-identical %s" q)
+        (bits (engine_value engine q))
+        (bits (pool_value pool q)))
+    queries
+
+let () =
+  let qtests = List.map QCheck_alcotest.to_alcotest
+      [ prop_never_raises; prop_engine_never_raises ]
+  in
+  Alcotest.run "differential"
+    [ ("totality", List.map (fun t -> t) qtests);
+      ( "het-exactness",
+        [ Alcotest.test_case "paper example" `Quick
+            test_het_simple_paths_exact_paper;
+          Alcotest.test_case "random documents" `Quick
+            test_het_simple_paths_exact_random ] );
+      ( "pool-vs-engine",
+        [ Alcotest.test_case "bit-identical" `Quick test_pool_bit_identical ]
+      ) ]

@@ -402,7 +402,157 @@ let test_protocol_errors () =
          (their well-formed spellings are the protocol's only multi-line
          responses). *)
       "METRICS x"; "RECENT abc"; "RECENT -1"; "RECENT 1 2"; "DRIFT now";
-      "metrics"; "RECENT 999999999999999999999999" ]
+      "metrics"; "RECENT 999999999999999999999999";
+      (* Malformed BATCH counts fail with a single ERR line before any
+         payload would be consumed. *)
+      "BATCH"; "BATCH -1"; "BATCH abc"; "BATCH 1 2"; "BATCH 10001";
+      "BATCH 999999999999999999999999"; "batch 2" ]
+
+(* ------------------------------------------------------------------ *)
+(* BATCH framing *)
+
+(* Drive Serve.handle_request with a scripted payload source, counting how
+   many payload lines were actually consumed. *)
+let serve_handle server ?(payload = []) line =
+  let remaining = ref payload in
+  let reads = ref 0 in
+  let read_line () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      incr reads;
+      remaining := rest;
+      Some l
+  in
+  ((match Engine.Serve.handle_request server ~read_line line with
+    | Some r -> r
+    | None -> Alcotest.failf "no response to %S" line),
+   reads)
+
+let test_protocol_batch () =
+  let engine = engine_over correlated_doc in
+  let server = Engine.server engine in
+  (* Payload lines with and without the ESTIMATE prefix; the repeat is a
+     cache hit. *)
+  let r, reads =
+    serve_handle server ~payload:[ "ESTIMATE /r/a"; "/r/./a"; "/r/a/b" ]
+      "BATCH 3"
+  in
+  checks "batch golden" "OK 3\nOK 8.00 miss\nOK 8.00 hit\nOK 4.00 miss" r;
+  checki "exactly 3 payload lines read" 3 !reads;
+  let r, _ = serve_handle server "BATCH 0" in
+  checks "empty batch" "OK 0" r;
+  (* A bad query fails only its own slot. *)
+  let r, _ = serve_handle server ~payload:[ "/r["; "/r/a" ] "BATCH 2" in
+  (match String.split_on_char '\n' r with
+   | [ head; slot0; slot1 ] ->
+     checks "batch head" "OK 2" head;
+     checkb "bad slot is a one-line ERR" true
+       (starts_with "ERR malformed-query" slot0);
+     checks "good slot still answered" "OK 8.00 hit" slot1
+   | _ -> Alcotest.failf "unexpected batch shape %S" r);
+  (* EOF inside the frame: missing slots answer with io-error lines. *)
+  let r, _ = serve_handle server ~payload:[ "/r/a" ] "BATCH 3" in
+  (match String.split_on_char '\n' r with
+   | [ head; slot0; slot1; slot2 ] ->
+     checks "frame head still OK n" "OK 3" head;
+     checks "present slot answered" "OK 8.00 hit" slot0;
+     checkb "missing slots are io errors" true
+       (starts_with "ERR io-error" slot1 && starts_with "ERR io-error" slot2)
+   | _ -> Alcotest.failf "unexpected EOF-batch shape %S" r);
+  (* Malformed counts consume nothing. *)
+  List.iter
+    (fun line ->
+      let r, reads = serve_handle server ~payload:[ "/r/a" ] line in
+      checkb
+        (Printf.sprintf "%S -> one-line ERR (got %S)" line r)
+        true
+        (starts_with "ERR malformed-query" r && not (String.contains r '\n'));
+      checki (Printf.sprintf "%S consumed no payload" line) 0 !reads)
+    [ "BATCH"; "BATCH -7"; "BATCH x"; "BATCH 10001";
+      Printf.sprintf "BATCH %d" (Engine.Serve.max_batch + 1) ];
+  (* Engine.Protocol.handle_line has no payload source at all: every slot
+     reports end of input. *)
+  checks "handle_line BATCH has no payload source" "OK 1\nERR io-error unexpected end of input inside BATCH"
+    (handle engine "BATCH 1")
+
+(* ------------------------------------------------------------------ *)
+(* The pool behind the same protocol (--workers N). Exact estimate values
+   are deterministic across workers; cache statuses are not (they depend on
+   which shard served the query), so goldens here never depend on a repeat
+   being a hit. *)
+
+let test_protocol_pool () =
+  let kernel = Core.Builder.of_string correlated_doc in
+  let pool =
+    Engine.Pool.create ~workers:4
+      (Core.Estimator.create ~het:(Core.Het.create ()) kernel)
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let server = Engine.Pool.server pool in
+  let r, _ = serve_handle server "ESTIMATE /r/a" in
+  checks "first estimate misses everywhere" "OK 8.00 miss" r;
+  let r, _ = serve_handle server "ESTIMATE /r/./a" in
+  checkb "repeat value exact, status shard-dependent" true
+    (starts_with "OK 8.00 " r);
+  let r, _ = serve_handle server ~payload:[ "/r/a"; "/r/a/b"; "/r/a" ] "BATCH 3" in
+  (match String.split_on_char '\n' r with
+   | [ head; s0; s1; s2 ] ->
+     checks "pool batch head" "OK 3" head;
+     checkb "slot values deterministic" true
+       (starts_with "OK 8.00 " s0 && starts_with "OK 4.00 " s1
+       && starts_with "OK 8.00 " s2)
+   | _ -> Alcotest.failf "unexpected pool batch shape %S" r);
+  let r, _ = serve_handle server "FEEDBACK /r/a 8" in
+  checkb "pool feedback answers" true (starts_with "OK " r);
+  let stats, _ = serve_handle server "STATS" in
+  checkb "pool stats ok" true (starts_with "OK {" stats);
+  let json =
+    Obs.Json.of_string (String.sub stats 3 (String.length stats - 3))
+  in
+  (match Obs.Json.member "pool" json with
+   | Some (Obs.Json.Obj fields) ->
+     checkb "stats.pool.workers" true
+       (List.assoc_opt "workers" fields = Some (Obs.Json.Int 4))
+   | _ -> Alcotest.fail "STATS lacks a pool object");
+  (* METRICS: deterministic merge — quiet re-scrape is byte-identical and
+     series appear in sorted runs. *)
+  let m1, _ = serve_handle server "METRICS" in
+  let m2, _ = serve_handle server "METRICS" in
+  checks "quiet scrapes identical" m1 m2;
+  checkb "pool gauge present" true
+    (let needle = "xseed_engine_pool_workers 4" in
+     let n = String.length needle in
+     let rec go i =
+       i + n <= String.length m1 && (String.sub m1 i n = needle || go (i + 1))
+     in
+     go 0);
+  (* RECENT merges the shard rings: everything served so far, newest
+     submission first with strictly decreasing sequence numbers. *)
+  let r, _ = serve_handle server "RECENT" in
+  (match String.split_on_char '\n' r with
+   | head :: rows ->
+     checkb "recent head" true (starts_with "OK " head);
+     checki "one row per record" (List.length rows)
+       (int_of_string (String.sub head 3 (String.length head - 3)));
+     let seqs =
+       List.map
+         (fun row ->
+           match Obs.Json.member "seq" (Obs.Json.of_string row) with
+           | Some (Obs.Json.Int s) -> s
+           | _ -> Alcotest.failf "row lacks seq: %S" row)
+         rows
+     in
+     checkb "strictly decreasing seq" true
+       (List.for_all2 ( > ) (List.filteri (fun i _ -> i < List.length seqs - 1) seqs)
+          (List.tl seqs))
+   | [] -> Alcotest.fail "empty RECENT response");
+  let r, _ = serve_handle server "RECENT 2" in
+  checkb "recent clipped" true (starts_with "OK 2\n" r);
+  let r, _ = serve_handle server "DRIFT" in
+  checkb "pool drift json" true (starts_with "OK {" r);
+  let r, _ = serve_handle server "EXPLAIN /r/a" in
+  checkb "pool explain json" true (starts_with "OK {" r)
 
 (* ------------------------------------------------------------------ *)
 (* Serving telemetry: flight recorder, drift monitor, scrape commands *)
@@ -664,7 +814,10 @@ let () =
             test_engine_batch_and_explain ] );
       ( "protocol",
         [ Alcotest.test_case "well-formed requests" `Quick test_protocol_ok;
-          Alcotest.test_case "malformed requests" `Quick test_protocol_errors ] );
+          Alcotest.test_case "malformed requests" `Quick test_protocol_errors;
+          Alcotest.test_case "BATCH framing" `Quick test_protocol_batch;
+          Alcotest.test_case "pool server (--workers)" `Quick
+            test_protocol_pool ] );
       ( "telemetry",
         [ Alcotest.test_case "flight recorder ring" `Quick
             test_flight_recorder_ring;

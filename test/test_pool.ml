@@ -1,0 +1,338 @@
+(* The serving pool: work-queue semantics, epoch-based invalidation, and a
+   multi-domain stress run.
+
+   The stress test drives a pool with 4 client domains issuing a fixed-seed
+   mix of ESTIMATE / FEEDBACK / STATS / METRICS requests and then audits
+   the global invariants the pool promises: no exception escapes, the
+   Prometheus exposition never tears (parses, and a quiet re-scrape is
+   byte-identical), the epoch each client observes is monotone
+   non-decreasing, merged cache counters equal the per-shard sums, and
+   per-shard drift volumes sum to the DRIFT summary. [STRESS_OPS] scales
+   the per-client op count (default 800 for `dune runtest`; `make stress`
+   runs 10_000). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Work queue *)
+
+let test_queue_fifo () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Work_queue.create: capacity 0 < 1") (fun () ->
+      ignore (Engine.Work_queue.create ~capacity:0));
+  let q = Engine.Work_queue.create ~capacity:4 in
+  checki "capacity" 4 (Engine.Work_queue.capacity q);
+  checki "empty" 0 (Engine.Work_queue.length q);
+  for i = 1 to 4 do
+    checkb "push accepted" true (Engine.Work_queue.push q i)
+  done;
+  checki "full" 4 (Engine.Work_queue.length q);
+  checkb "pop 1" true (Engine.Work_queue.pop q = Some 1);
+  checkb "push 5 after pop" true (Engine.Work_queue.push q 5);
+  (* FIFO across the ring seam *)
+  List.iter
+    (fun expect -> checkb "fifo order" true (Engine.Work_queue.pop q = Some expect))
+    [ 2; 3; 4; 5 ]
+
+let test_queue_close_drains () =
+  let q = Engine.Work_queue.create ~capacity:4 in
+  checkb "push a" true (Engine.Work_queue.push q "a");
+  checkb "push b" true (Engine.Work_queue.push q "b");
+  Engine.Work_queue.close q;
+  checkb "closed" true (Engine.Work_queue.closed q);
+  checkb "push refused" false (Engine.Work_queue.push q "c");
+  checkb "drains a" true (Engine.Work_queue.pop q = Some "a");
+  checkb "drains b" true (Engine.Work_queue.pop q = Some "b");
+  checkb "then None" true (Engine.Work_queue.pop q = None);
+  checkb "still None" true (Engine.Work_queue.pop q = None)
+
+(* Producers block on a full queue until consumers make room; close wakes
+   everyone. Run to completion = no deadlock. *)
+let test_queue_concurrent () =
+  let q = Engine.Work_queue.create ~capacity:2 in
+  let n = 500 in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to n - 1 do
+              ignore (Engine.Work_queue.push q ((p * n) + i) : bool)
+            done))
+  in
+  let seen = Array.make (2 * n) false in
+  let consumed = ref 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Engine.Work_queue.pop q with
+          | None -> ()
+          | Some v ->
+            seen.(v) <- true;
+            incr consumed;
+            loop ()
+        in
+        loop ())
+  in
+  List.iter Domain.join producers;
+  Engine.Work_queue.close q;
+  Domain.join consumer;
+  checki "all consumed" (2 * n) !consumed;
+  checkb "every item exactly once" true (Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Drift shard accounting (regression: per-shard records must sum into the
+   DRIFT summary, and rotation must clear every shard's landing slot in
+   lockstep with the owner's window). *)
+
+let test_drift_shards_sum () =
+  let d = Engine.Drift.create ~slots:3 ~per_slot:2 () in
+  let s1 = Engine.Drift.register_shard d in
+  let s2 = Engine.Drift.register_shard d in
+  Engine.Drift.note_estimate d ~cache_hit:false;
+  for _ = 1 to 5 do Engine.Drift.note_shard s1 ~cache_hit:true done;
+  for _ = 1 to 3 do Engine.Drift.note_shard s2 ~cache_hit:false done;
+  checki "shard volumes" 5 (Engine.Drift.shard_estimates s1);
+  checki "window = own + shards" (1 + 5 + 3) (Engine.Drift.window_estimates d);
+  checki "hits = shard hits" 5 (Engine.Drift.window_hits d);
+  (* 2 observations fill a slot; 6 roll the 3-slot window over entirely,
+     expiring the volumes above with the slots they were counted in. *)
+  for _ = 1 to 6 do
+    ignore (Engine.Drift.observe d ~estimate:1.0 ~actual:1 : float)
+  done;
+  for _ = 1 to 2 do
+    ignore (Engine.Drift.observe d ~estimate:1.0 ~actual:1 : float)
+  done;
+  checki "old shard volumes expired with their slots" 0
+    (Engine.Drift.shard_estimates s1 + Engine.Drift.shard_estimates s2);
+  Engine.Drift.note_shard s1 ~cache_hit:false;
+  checki "fresh shard counts land in the live window" 1
+    (Engine.Drift.shard_estimates s1);
+  match Engine.Drift.to_json d with
+  | Obs.Json.Obj fields ->
+    checkb "summary volume covers shards" true
+      (List.assoc "window_estimates" fields
+      = Obs.Json.Int (Engine.Drift.window_estimates d))
+  | _ -> Alcotest.fail "drift summary not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics *)
+
+let build_pool ?(workers = 2) doc =
+  let path_tree = Pathtree.Path_tree.of_string doc in
+  let kernel =
+    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
+  in
+  let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
+  let estimator = Core.Estimator.create ~het kernel in
+  (path_tree, Engine.Pool.create ~workers estimator)
+
+let test_pool_lifecycle () =
+  Alcotest.check_raises "workers >= 1"
+    (Invalid_argument "Pool.create: workers 0 < 1") (fun () ->
+      ignore
+        (Engine.Pool.create ~workers:0
+           (Core.Estimator.create
+              (Core.Builder.of_string Datagen.Paper_example.document))));
+  let _, pool = build_pool ~workers:2 Datagen.Paper_example.document in
+  checki "workers" 2 (Engine.Pool.workers pool);
+  checki "epoch starts at 0" 0 (Engine.Pool.epoch pool);
+  (match Engine.Pool.estimate pool "/site/regions" with
+   | Ok r -> checkb "finite" true (Float.is_finite r.Engine.Serve.value)
+   | Error e -> Alcotest.failf "estimate: %s" (Core.Error.to_string e));
+  (match Engine.Pool.estimate pool "/site[" with
+   | Ok _ -> Alcotest.fail "bad query served"
+   | Error e ->
+     checkb "typed parse error" true
+       (Core.Error.kind e = Core.Error.Malformed_query));
+  Engine.Pool.shutdown pool;
+  Engine.Pool.shutdown pool;  (* idempotent *)
+  (match Engine.Pool.estimate pool "/site" with
+   | Ok _ -> Alcotest.fail "served after shutdown"
+   | Error e ->
+     checkb "shutdown error" true (Core.Error.kind e = Core.Error.Internal))
+
+let test_pool_invalidate_bumps_epoch () =
+  let _, pool = build_pool Datagen.Paper_example.document in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let e0 = Engine.Pool.epoch pool in
+  Engine.Pool.invalidate pool;
+  checki "invalidate bumps" (e0 + 1) (Engine.Pool.epoch pool);
+  (* Estimates still work after invalidation (caches repopulate). *)
+  match Engine.Pool.estimate pool "/site/regions" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-invalidate: %s" (Core.Error.to_string e)
+
+let test_pool_batch_order () =
+  let path_tree, pool = build_pool Datagen.Paper_example.document in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries =
+    List.map Xpath.Ast.to_string (Datagen.Workload.all_simple_paths path_tree)
+  in
+  (* Sequential singles establish the expected values... *)
+  let expected =
+    List.map
+      (fun q ->
+        match Engine.Pool.estimate pool q with
+        | Ok r -> r.Engine.Serve.value
+        | Error e -> Alcotest.failf "single %s: %s" q (Core.Error.to_string e))
+      queries
+  in
+  (* ...then one batch (larger than the worker count, including repeats)
+     must return them in submission order. *)
+  let batch = Engine.Pool.estimate_batch pool (queries @ queries) in
+  checki "batch size" (2 * List.length queries) (List.length batch);
+  List.iteri
+    (fun i reply ->
+      let q = List.nth queries (i mod List.length queries) in
+      let e = List.nth expected (i mod List.length queries) in
+      match reply with
+      | Ok r ->
+        Alcotest.(check int64)
+          (Printf.sprintf "slot %d (%s)" i q)
+          (Int64.bits_of_float e)
+          (Int64.bits_of_float r.Engine.Serve.value)
+      | Error err -> Alcotest.failf "slot %d: %s" i (Core.Error.to_string err))
+    batch
+
+(* ------------------------------------------------------------------ *)
+(* Stress: 4 client domains x STRESS_OPS mixed operations, fixed seed. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s ->
+    (match int_of_string_opt s with
+     | Some n when n > 0 -> n
+     | _ -> invalid_arg (name ^ " must be a positive integer"))
+  | None -> default
+
+let stress_ops () = env_int "STRESS_OPS" 800
+let stress_workers () = env_int "STRESS_WORKERS" 4
+
+(* A metrics exposition parses iff every non-comment line is
+   "name{labels} value" with a finite value and names are sorted runs
+   grouped by series (the deterministic-merge contract). *)
+let lint_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "torn metrics line: %S" line
+        | Some i ->
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          (* NaN is legal exposition (empty drift window); a torn line is
+             not parseable at all. *)
+          (match float_of_string_opt v with
+           | Some _ -> ()
+           | None -> Alcotest.failf "unparseable value in %S" line)
+      end)
+    lines
+
+let test_pool_stress () =
+  let ops = stress_ops () in
+  let clients = 4 in
+  let doc = Datagen.Xmark.generate ~seed:11 ~items:30 () in
+  let path_tree, pool = build_pool ~workers:(stress_workers ()) doc in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let server = Engine.Pool.server pool in
+  let queries =
+    Array.of_list
+      (List.map Xpath.Ast.to_string
+         (let rng = Datagen.Rng.create ~seed:5 in
+          Datagen.Workload.all_simple_paths path_tree
+          @ Datagen.Workload.branching path_tree ~rng ~count:20 ()))
+  in
+  let failures = Atomic.make 0 in
+  let epoch_regressions = Atomic.make 0 in
+  let client c =
+    let rng = Datagen.Rng.create ~seed:(100 + c) in
+    let last_epoch = ref 0 in
+    for _ = 1 to ops do
+      (* Epoch reads from client domains must be monotone non-decreasing. *)
+      let e = Engine.Pool.epoch pool in
+      if e < !last_epoch then Atomic.incr epoch_regressions;
+      last_epoch := e;
+      match Datagen.Rng.int rng 100 with
+      | n when n < 70 ->
+        let q = queries.(Datagen.Rng.int rng (Array.length queries)) in
+        (match Engine.Pool.estimate pool q with
+         | Ok r ->
+           if not (Float.is_finite r.Engine.Serve.value && r.Engine.Serve.value >= 0.0)
+           then Atomic.incr failures
+         | Error _ -> Atomic.incr failures)
+      | n when n < 80 ->
+        let q = queries.(Datagen.Rng.int rng (Array.length queries)) in
+        (match
+           Engine.Pool.feedback pool q ~actual:(Datagen.Rng.int rng 50)
+         with
+         | Ok _ -> ()
+         | Error _ -> Atomic.incr failures)
+      | n when n < 90 -> ignore (Engine.Pool.stats_json pool : Obs.Json.t)
+      | _ -> lint_prometheus (Engine.Pool.metrics_text pool)
+    done
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (fun () -> client c)) in
+  List.iter Domain.join domains;
+  checki "no failed operations" 0 (Atomic.get failures);
+  checki "no epoch regressions" 0 (Atomic.get epoch_regressions);
+  (* Post-run audits, quiesced. *)
+  let merged = Engine.Pool.cache_counters pool in
+  let per_shard = Engine.Pool.shard_cache_counters pool in
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 per_shard in
+  checki "hits sum" merged.Engine.Lru_cache.hits
+    (sum (fun c -> c.Engine.Lru_cache.hits));
+  checki "misses sum" merged.Engine.Lru_cache.misses
+    (sum (fun c -> c.Engine.Lru_cache.misses));
+  checki "insertions sum" merged.Engine.Lru_cache.insertions
+    (sum (fun c -> c.Engine.Lru_cache.insertions));
+  checki "evictions sum" merged.Engine.Lru_cache.evictions
+    (sum (fun c -> c.Engine.Lru_cache.evictions));
+  checkb "some traffic was served" true
+    (merged.Engine.Lru_cache.hits + merged.Engine.Lru_cache.misses > 0);
+  (* Quiet pool: two scrapes must be byte-identical (no torn/duplicated
+     series, idempotent republication). *)
+  let m1 = Engine.Pool.metrics_text pool in
+  let m2 = Engine.Pool.metrics_text pool in
+  lint_prometheus m1;
+  checks "quiet scrapes identical" m1 m2;
+  (* Per-shard drift volumes sum into the DRIFT summary. As long as no
+     window slot has expired (observations fit in slots x per_slot), the
+     summed window volume must equal every estimate the shards served plus
+     the feedback path's own notes — records from 4 worker rings and the
+     coordinator reconciling exactly. *)
+  (match Engine.Pool.drift pool with
+   | None -> Alcotest.fail "stress pool has telemetry"
+   | Some d ->
+     let v =
+       match Obs.Json.member "window_estimates" (Engine.Drift.to_json d) with
+       | Some (Obs.Json.Int v) -> v
+       | _ -> Alcotest.fail "DRIFT summary lacks window_estimates"
+     in
+     checki "drift summary = window volume" (Engine.Drift.window_estimates d) v;
+     if Engine.Pool.feedback_seen pool <= 6 * 64 then
+       checki "shard volumes sum to all served traffic"
+         (merged.Engine.Lru_cache.hits + merged.Engine.Lru_cache.misses
+         + Engine.Pool.feedback_seen pool)
+         v);
+  (* The protocol front door still answers coherently. *)
+  (match server.Engine.Serve.stats_json () with
+   | Obs.Json.Obj fields -> checkb "stats has pool" true (List.mem_assoc "pool" fields)
+   | _ -> Alcotest.fail "stats_json not an object")
+
+let () =
+  Alcotest.run "pool"
+    [ ( "work-queue",
+        [ Alcotest.test_case "fifo ring" `Quick test_queue_fifo;
+          Alcotest.test_case "close drains" `Quick test_queue_close_drains;
+          Alcotest.test_case "concurrent producers" `Quick test_queue_concurrent
+        ] );
+      ( "drift",
+        [ Alcotest.test_case "shard accounting" `Quick test_drift_shards_sum ] );
+      ( "pool",
+        [ Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+          Alcotest.test_case "invalidate bumps epoch" `Quick
+            test_pool_invalidate_bumps_epoch;
+          Alcotest.test_case "batch order" `Quick test_pool_batch_order ] );
+      ("stress", [ Alcotest.test_case "4-domain mixed ops" `Slow test_pool_stress ])
+    ]
