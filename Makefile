@@ -4,7 +4,7 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt fuzz-smoke smoke stress bench-smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke smoke trace-smoke stress bench-smoke bench-json ci clean
 
 # Worker-domain count for the stress/serve smoke (the CI matrix sets 1 and 4).
 WORKERS ?= 4
@@ -72,6 +72,22 @@ bench-smoke: build
 bench-json: build
 	$(DUNE) exec --no-build bench/main.exe -- --quick json
 
+# Causal-trace smoke: serve a mixed request script through a WORKERS-shard
+# pool with --trace-out, then re-validate the written Perfetto JSON with
+# the trace linter (per-track monotone timestamps, balanced spans, every
+# flow arrow resolving) and check the PROFILE verb's one-line breakdown.
+trace-smoke: build
+	@mkdir -p $(SMOKE_DIR)
+	$(XSEED) generate xmark --scale 40 -o $(SMOKE_DIR)/trace.xml
+	$(XSEED) build $(SMOKE_DIR)/trace.xml -o $(SMOKE_DIR)/trace.syn
+	printf 'BATCH 3\n//item\n//person\n//open_auction[bidder]/price\nPROFILE 2\n//item\n//person\nFEEDBACK //item 12\nESTIMATE //item\n' \
+	  | $(XSEED) serve $(SMOKE_DIR)/trace.syn --workers $(WORKERS) \
+	      --trace-out $(SMOKE_DIR)/trace.json \
+	      > $(SMOKE_DIR)/trace.out
+	@grep -q '^OK 2 queue_wait_us ' $(SMOKE_DIR)/trace.out
+	$(XSEED) trace-lint $(SMOKE_DIR)/trace.json
+	@echo "trace-smoke: OK (WORKERS=$(WORKERS), $(SMOKE_DIR)/trace.json)"
+
 # Multi-domain stress: the pool suite's 4-client mixed-ops run at full scale
 # (10k ops per client against a WORKERS-shard pool), then a --workers smoke
 # through the CLI line protocol (BATCH framing + merged METRICS scrape).
@@ -91,7 +107,7 @@ stress: build
 	fi
 	@echo "stress: OK (WORKERS=$(WORKERS))"
 
-ci: fmt build test fuzz-smoke smoke bench-smoke stress
+ci: fmt build test fuzz-smoke smoke bench-smoke trace-smoke stress
 
 clean:
 	$(DUNE) clean

@@ -616,6 +616,112 @@ let parallel () =
        >= 2.5x gate skipped\n"
       speedup4 host_domains
 
+(* ------------------------------------------------------------------ *)
+(* Causal profile: the serving path's per-stage breakdown (queue-wait /
+   execute / reassemble percentiles from Pool.profile's per-job monotonic
+   stamps) at 1 and 4 domains, and the tracing-overhead gate — recording
+   trace events on the estimate path must cost < 5% median latency vs. an
+   untraced engine, measured the same alternating-pass way as the
+   telemetry guard. *)
+
+let profile_worker_counts = [ 1; 4 ]
+
+let pool_profile estimator queries ~workers =
+  let pool = Engine.Pool.create ~workers ~telemetry:false estimator in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  (* Warm-up pass materializes the shared EPT; the profiled pass then runs
+     cold-cache so execute times are real pipeline runs. *)
+  ignore
+    (Engine.Pool.estimate_batch pool queries
+      : (Engine.Serve.estimate_reply, Core.Error.t) result list);
+  Engine.Pool.invalidate pool;
+  match Engine.Pool.profile pool queries with
+  | Ok p -> p
+  | Error e -> raise (Core.Error.Xseed e)
+
+let stage_json (s : Engine.Serve.stage_percentiles) =
+  Obs.Json.Obj
+    [ ("p50", Obs.Json.Float s.p50);
+      ("p90", Obs.Json.Float s.p90);
+      ("p99", Obs.Json.Float s.p99) ]
+
+let profile_reply_json (p : Engine.Serve.profile_reply) =
+  Obs.Json.Obj
+    [ ("profiled", Obs.Json.Int p.profiled);
+      ("queue_wait_us", stage_json p.queue_wait_us);
+      ("execute_us", stage_json p.execute_us);
+      ("reassemble_us", stage_json p.reassemble_us) ]
+
+let profile_section () =
+  header "Causal profile: stage breakdown + tracing overhead (XMark)";
+  let ds = xmark10 in
+  let estimator = xseed_estimator ~budget:(25 * 1024) ds in
+  let queries = List.map Xpath.Ast.to_string (combined ds) in
+  pf "workload: %d queries, cold shard caches, per-stage percentiles in us\n\n"
+    (List.length queries);
+  pf "%8s %9s %29s %29s %29s\n" "workers" "profiled" "queue-wait (us)"
+    "execute (us)" "reassemble (us)";
+  let stage_cells (s : Engine.Serve.stage_percentiles) =
+    Printf.sprintf "p50 %7.1f p90 %7.1f p99 %7.1f" s.p50 s.p90 s.p99
+  in
+  List.iter
+    (fun w ->
+      let p = pool_profile estimator queries ~workers:w in
+      assert (p.Engine.Serve.profiled = List.length queries);
+      pf "%8d %9d %29s %29s %29s\n" w p.Engine.Serve.profiled
+        (stage_cells p.Engine.Serve.queue_wait_us)
+        (stage_cells p.Engine.Serve.execute_us)
+        (stage_cells p.Engine.Serve.reassemble_us))
+    profile_worker_counts;
+  (* Tracing-overhead gate, alternating passes as in [telemetry ()]. *)
+  let passes = scale 10 16 in
+  let engine_with ~trace =
+    Engine.create ~telemetry:false ~cache_capacity:4096 ?trace
+      (Core.Estimator.create ~card_threshold:ds.card_threshold
+         (Lazy.force ds.kernel))
+  in
+  let asts = bp_queries ds @ cp_queries ds in
+  let traced = engine_with ~trace:(Some (Obs.Trace.create ())) in
+  let plain = engine_with ~trace:None in
+  let lat_traced = ref [] and lat_plain = ref [] in
+  let run_pass engine sink =
+    Engine.invalidate engine;
+    List.iter
+      (fun q ->
+        let t0 = Unix.gettimeofday () in
+        (match Engine.estimate_ast engine q with
+         | Ok _ -> ()
+         | Error e -> raise (Core.Error.Xseed e));
+        sink := (Unix.gettimeofday () -. t0) :: !sink)
+      asts
+  in
+  run_pass traced (ref []);
+  run_pass plain (ref []);
+  for _ = 1 to passes do
+    run_pass plain lat_plain;
+    run_pass traced lat_traced
+  done;
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let m_traced = median !lat_traced and m_plain = median !lat_plain in
+  let overhead = (m_traced -. m_plain) /. m_plain in
+  pf "\ntracing overhead: %d queries x %d passes (cache invalidated per pass)\n"
+    (List.length asts) passes;
+  pf "%-24s %11.1f us\n" "tracing off" (1e6 *. m_plain);
+  pf "%-24s %11.1f us\n" "tracing on" (1e6 *. m_traced);
+  pf "%-24s %+12.2f%%\n" "overhead" (100.0 *. overhead);
+  if overhead >= 0.05 then begin
+    Printf.eprintf
+      "profile: tracing median overhead %.2f%% >= 5%% budget (on %.1f us, \
+       off %.1f us)\n"
+      (100.0 *. overhead) (1e6 *. m_traced) (1e6 *. m_plain);
+    exit 1
+  end;
+  pf "within the 5%% budget\n"
+
 (* Machine-readable dumps: per-dataset BENCH_<name>.json with exact
    per-query estimation-latency percentiles and the accuracy summary.
    These are the files CI or a tracking dashboard would diff across
@@ -693,7 +799,16 @@ let bench_json () =
                    pqps
                 @ [ ( "speedup_4v1",
                       Obs.Json.Float (List.assoc 4 pqps /. List.assoc 1 pqps)
-                    ) ]) ) ]
+                    ) ]) );
+            ( "profile",
+              let qstrings = List.map Xpath.Ast.to_string queries in
+              Obs.Json.Obj
+                (List.map
+                   (fun w ->
+                     ( Printf.sprintf "workers_%d" w,
+                       profile_reply_json
+                         (pool_profile estimator qstrings ~workers:w) ))
+                   profile_worker_counts) ) ]
       in
       let path = Printf.sprintf "BENCH_%s.json" file_key in
       let oc = open_out path in
@@ -899,7 +1014,7 @@ let sections =
   [ ("table2", table2); ("table3", table3); ("fig5", fig5); ("fig6", fig6);
     ("sec64", sec64); ("ablation", ablation); ("values", values);
     ("feedback", feedback); ("telemetry", telemetry); ("parallel", parallel);
-    ("json", bench_json); ("micro", micro) ]
+    ("profile", profile_section); ("json", bench_json); ("micro", micro) ]
 
 let () =
   let requested =

@@ -360,10 +360,10 @@ let compare_cmd =
                     | None -> Core.Estimator.estimate estimator q
                     | Some o ->
                       (* per-query estimation latency, in microseconds *)
-                      let t0 = Obs.now () in
+                      let t0 = Obs.now_mono () in
                       let est = Core.Estimator.estimate estimator q in
                       Obs.observe ~obs:o "compare.estimate_us"
-                        (1e6 *. (Obs.now () -. t0));
+                        (1e6 *. (Obs.now_mono () -. t0));
                       est
                   in
                   (est, float_of_int (Nok.Eval.cardinality storage q)))
@@ -435,9 +435,30 @@ let workers_arg =
                  $(docv) domains with per-domain caches and single-writer \
                  feedback")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record a causal trace of the serving path and write it to \
+                 $(docv) at exit as Chrome trace-event JSON (open in \
+                 Perfetto or chrome://tracing; validate with $(b,xseed \
+                 trace-lint))")
+
+(* Build the trace session (when requested) and return it with a finalizer
+   that exports the merged rings. Export failures are I/O errors (74). *)
+let trace_of trace_out =
+  match trace_out with
+  | None -> (None, fun () -> ())
+  | Some path ->
+    let tr = Obs.Trace.create () in
+    ( Some tr,
+      fun () ->
+        try Obs.Trace.write tr path
+        with Sys_error msg ->
+          Core.Error.raisef Core.Error.Io_error "--trace-out: %s" msg )
+
 let serve_cmd =
   let run synopsis_file threshold qerror_threshold cache_capacity telemetry_out
-      snapshot_every drift_p90 workers obs_spec =
+      snapshot_every drift_p90 workers trace_out obs_spec =
     protect @@ fun () ->
     (match snapshot_every with
      | Some n when n < 1 ->
@@ -471,6 +492,7 @@ let serve_cmd =
                 output_char oc '\n';
                 flush oc) )
     in
+    let trace, write_trace = trace_of trace_out in
     let requests = ref 0 in
     let on_request publish () =
       incr requests;
@@ -481,14 +503,14 @@ let serve_cmd =
       | _ -> ()
     in
     Format.eprintf
-      "xseed serve: %s loaded (%d worker%s); reading ESTIMATE/BATCH/FEEDBACK/\
-       EXPLAIN/STATS/METRICS/RECENT/DRIFT lines from stdin@."
+      "xseed serve: %s loaded (%d worker%s); reading ESTIMATE/BATCH/PROFILE/\
+       FEEDBACK/EXPLAIN/STATS/METRICS/RECENT/DRIFT lines from stdin@."
       synopsis_file workers
       (if workers = 1 then "" else "s");
     if workers = 1 then begin
       let engine =
         Engine.create ~qerror_threshold ~cache_capacity
-          ~drift_p90_threshold:drift_p90 ~obs estimator
+          ~drift_p90_threshold:drift_p90 ~obs ?trace estimator
       in
       set_on_record (Engine.set_on_record engine);
       Engine.Protocol.run
@@ -499,7 +521,7 @@ let serve_cmd =
     else begin
       let pool =
         Engine.Pool.create ~workers ~qerror_threshold ~cache_capacity
-          ~drift_p90_threshold:drift_p90 estimator
+          ~drift_p90_threshold:drift_p90 ?trace estimator
       in
       set_on_record (Engine.Pool.set_on_record pool);
       Fun.protect
@@ -509,6 +531,7 @@ let serve_cmd =
             ~on_request:(on_request (fun () -> ()))
             (Engine.Pool.server pool) stdin stdout)
     end;
+    write_trace ();
     Option.iter close_out telemetry_oc;
     finish_obs (Some obs)
   in
@@ -523,7 +546,8 @@ let serve_cmd =
              across N domains sharing the synopsis")
     Term.(const run $ synopsis_arg $ override_threshold_arg
           $ qerror_threshold_arg $ cache_capacity_arg $ telemetry_out_arg
-          $ snapshot_every_arg $ drift_p90_arg $ workers_arg $ obs_term)
+          $ snapshot_every_arg $ drift_p90_arg $ workers_arg $ trace_out_arg
+          $ obs_term)
 
 (* Replay: drive a workload through estimate -> execute -> feedback rounds
    against an initially empty HET, reporting accuracy per round. This is the
@@ -546,11 +570,12 @@ let replay_cmd =
                    increases")
   in
   let run file workload_file rounds budget threshold qerror_threshold
-      cache_capacity assert_improving obs_spec =
+      cache_capacity assert_improving trace_out obs_spec =
     protect @@ fun () ->
     if rounds < 1 then
       Core.Error.raisef Core.Error.Malformed_query "--rounds must be >= 1";
     let obs = obs_of obs_spec in
+    let trace, write_trace = trace_of trace_out in
     let doc = read_file file in
     let queries =
       read_file workload_file |> String.split_on_char '\n'
@@ -578,7 +603,7 @@ let replay_cmd =
         ~het ?obs kernel
     in
     let engine =
-      Engine.create ~qerror_threshold ~cache_capacity ?obs estimator
+      Engine.create ~qerror_threshold ~cache_capacity ?obs ?trace estimator
     in
     let storage = Nok.Storage.of_string ~with_values:true doc in
     let actuals =
@@ -630,6 +655,7 @@ let replay_cmd =
               (if Engine.Drift.alerting d then "  [ALERTING]" else ""))
     done;
     Engine.publish_counters engine;
+    write_trace ();
     finish_obs obs;
     let medians = List.rev !medians in
     let monotone =
@@ -654,7 +680,40 @@ let replay_cmd =
              reporting q-error per round")
     Term.(const run $ file_arg $ workload_arg $ rounds_arg $ budget_arg
           $ override_threshold_arg $ qerror_threshold_arg $ cache_capacity_arg
-          $ assert_improving_arg $ obs_term)
+          $ assert_improving_arg $ trace_out_arg $ obs_term)
+
+(* Validate a trace file with the exporter's own linter — the check `make
+   trace-smoke` (and CI) runs against every trace the serve path emits. *)
+let trace_lint_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Trace file written by --trace-out (Chrome trace-event \
+                   JSON)")
+  in
+  let run path =
+    protect @@ fun () ->
+    let contents = read_file path in
+    let json =
+      try Obs.Json.of_string contents
+      with Invalid_argument msg ->
+        Core.Error.raisef Core.Error.Malformed_query "%s: not valid JSON (%s)"
+          path msg
+    in
+    match Obs.Trace.lint json with
+    | [] ->
+      Format.printf "%s: ok@." path
+    | problems ->
+      List.iter (fun p -> Format.eprintf "%s: %s@." path p) problems;
+      exit 65
+  in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:"Validate a --trace-out file: well-formed trace-event JSON, \
+             per-track timestamps non-decreasing, B/E slices matched, flow \
+             and async ids resolved. Exits 0 when clean, 65 when the trace \
+             is structurally invalid, 66 when the file is missing")
+    Term.(const run $ trace_file_arg)
 
 let () =
   let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
@@ -664,7 +723,7 @@ let () =
       (Cmd.group info
          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
            ept_cmd; generate_cmd; workload_cmd; compare_cmd; serve_cmd;
-           replay_cmd ])
+           replay_cmd; trace_lint_cmd ])
   in
   (* Remap cmdliner's reserved codes onto the sysexits contract documented
      in the README: 64 for a command-line usage error, 70 for anything the

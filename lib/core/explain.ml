@@ -75,7 +75,7 @@ let run ?obs estimator path =
       let het = Estimator.het estimator in
       let values = Estimator.values estimator in
       let het_before = Option.map Het.counters het in
-      let t0 = Obs.now () in
+      let t0 = Obs.now_mono () in
       let traveler =
         Traveler.create
           ~card_threshold:(Estimator.card_threshold estimator)
@@ -86,12 +86,12 @@ let run ?obs estimator path =
         Matcher.materialize ~max_nodes:(Estimator.max_ept_nodes estimator) ?obs
           traveler
       in
-      let t1 = Obs.now () in
+      let t1 = Obs.now_mono () in
       let estimate, ms =
         Matcher.estimate_with_stats ?het ?values ~table:(Kernel.table kernel) ept
           (Xpath.Query_tree.of_path path)
       in
-      let t2 = Obs.now () in
+      let t2 = Obs.now_mono () in
       let estimate, degenerate_clamps = Estimator.clamp_estimate ?obs estimate in
       let unknown_labels = Estimator.unknown_labels estimator path in
       Matcher.publish_stats ?obs ms;

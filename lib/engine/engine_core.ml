@@ -1,3 +1,29 @@
+(* Interned trace-event names, resolved once at create so the request path
+   records integer ids only. *)
+type trace_names = {
+  n_estimate : int;
+  n_canonicalize : int;
+  n_pipeline : int;
+  n_feedback : int;
+  n_explain : int;
+}
+
+type tracing = {
+  tr : Obs.Trace.t;
+  tbuf : Obs.Trace.buf;
+  names : trace_names;
+}
+
+let make_tracing ~tid ~name tr =
+  { tr;
+    tbuf = Obs.Trace.register tr ~tid ~name;
+    names =
+      { n_estimate = Obs.Trace.intern tr "estimate";
+        n_canonicalize = Obs.Trace.intern tr "canonicalize";
+        n_pipeline = Obs.Trace.intern tr "pipeline";
+        n_feedback = Obs.Trace.intern tr "feedback";
+        n_explain = Obs.Trace.intern tr "explain" } }
+
 type t = {
   estimator : Core.Estimator.t;
   cache : Core.Estimator.outcome Lru_cache.t;
@@ -6,6 +32,7 @@ type t = {
   metrics : Obs.t;  (* scrape registry; = obs when one was supplied *)
   recorder : Flight_recorder.t option;
   drift : Drift.t option;
+  tracing : tracing option;
   mutable on_record : (Flight_recorder.record -> unit) option;
   mutable ept : Core.Matcher.ept option;  (* shared across queries *)
   mutable feedback_seen : int;
@@ -14,10 +41,11 @@ type t = {
 
 let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
-    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?obs estimator =
+    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?obs ?trace estimator =
   if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
     invalid_arg "Engine.create: qerror_threshold must be finite and >= 1";
   { estimator;
+    tracing = Option.map (make_tracing ~tid:1 ~name:"engine") trace;
     cache = Lru_cache.create ~capacity:cache_capacity;
     threshold = qerror_threshold;
     obs;
@@ -67,9 +95,9 @@ let ept_lazy t =
 let ept_lazy_timed t spent =
   let underlying = ept_lazy t in
   lazy
-    (let t0 = Obs.now () in
+    (let t0 = Obs.now_mono () in
      let e = Lazy.force underlying in
-     spent := Obs.now () -. t0;
+     spent := Obs.now_mono () -. t0;
      e)
 
 let het_hits_snapshot t =
@@ -111,28 +139,45 @@ let record_flight t ~(key : Canonical.key) ~status
     in
     (match t.on_record with None -> () | Some f -> f r)
 
+(* The whole request as an X slice plus canonicalize / pipeline sub-slices,
+   recorded only when tracing is on — the stamps reuse the stage clocks the
+   flight recorder already reads, so single-engine and pool traces line up. *)
+let trace_request t ~t0 ~canonicalize_s ~t1 ~miss_s =
+  match t.tracing with
+  | None -> ()
+  | Some tg ->
+    let te = Obs.now_mono () in
+    Obs.Trace.complete tg.tbuf ~name:tg.names.n_canonicalize
+      ~ts:(Obs.Trace.rel tg.tr t0) ~dur:canonicalize_s;
+    if miss_s > 0.0 then
+      Obs.Trace.complete tg.tbuf ~name:tg.names.n_pipeline
+        ~ts:(Obs.Trace.rel tg.tr t1) ~dur:miss_s;
+    Obs.Trace.complete tg.tbuf ~name:tg.names.n_estimate
+      ~ts:(Obs.Trace.rel tg.tr t0) ~dur:(te -. t0)
+
 let estimate_ast t ast =
-  let t0 = Obs.now () in
+  let t0 = Obs.now_mono () in
   let cast = Canonical.canonicalize ast in
   let key = Canonical.of_ast cast in
-  let canonicalize_s = Obs.now () -. t0 in
+  let canonicalize_s = Obs.now_mono () -. t0 in
   match Lru_cache.find t.cache key.Canonical.text with
   | Some outcome ->
     (match t.drift with Some d -> Drift.note_estimate d ~cache_hit:true | None -> ());
     record_flight t ~key ~status:Core.Explain.Hit ~outcome ~canonicalize_s
       ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0 ~frontier_peak:0 ~het_hits:0;
+    trace_request t ~t0 ~canonicalize_s ~t1:t0 ~miss_s:0.0;
     Ok { key; outcome; status = Core.Explain.Hit }
   | None ->
     let ept_spent = ref 0.0 in
     let het_before = het_hits_snapshot t in
-    let t1 = Obs.now () in
+    let t1 = Obs.now_mono () in
     (match
        Core.Estimator.estimate_result_stats_on t.estimator
          (ept_lazy_timed t ept_spent)
          cast
      with
      | Ok (outcome, ms) ->
-       let miss_s = Obs.now () -. t1 in
+       let miss_s = Obs.now_mono () -. t1 in
        Lru_cache.put t.cache key.Canonical.text outcome;
        (match t.drift with
         | Some d -> Drift.note_estimate d ~cache_hit:false
@@ -143,6 +188,7 @@ let estimate_ast t ast =
          ~ept_nodes:ms.Core.Matcher.ept_nodes
          ~frontier_peak:ms.Core.Matcher.frontier_peak
          ~het_hits:(het_hits_since t het_before);
+       trace_request t ~t0 ~canonicalize_s ~t1 ~miss_s;
        Ok { key; outcome; status = Core.Explain.Miss }
      | Error e -> Error e)
 
@@ -157,7 +203,21 @@ let estimate t query =
 
 let estimate_batch t queries = List.map (estimate t) queries
 
+let trace_verb t name t0 =
+  match t.tracing with
+  | None -> ()
+  | Some tg ->
+    let name =
+      if name = `Feedback then tg.names.n_feedback else tg.names.n_explain
+    in
+    Obs.Trace.complete tg.tbuf ~name ~ts:(Obs.Trace.rel tg.tr t0)
+      ~dur:(Obs.now_mono () -. t0)
+
 let feedback_ast t ast ~actual =
+  let tf0 = Obs.now_mono () in
+  Fun.protect
+    ~finally:(fun () -> trace_verb t `Feedback tf0)
+  @@ fun () ->
   match estimate_ast t ast with
   | Error e -> Error e
   | Ok served ->
@@ -187,10 +247,11 @@ let explain t query =
   match parse query with
   | Error e -> Error e
   | Ok ast ->
-    let t0 = Obs.now () in
+    let t0 = Obs.now_mono () in
+    Fun.protect ~finally:(fun () -> trace_verb t `Explain t0) @@ fun () ->
     let cast = Canonical.canonicalize ast in
     let key = Canonical.of_ast cast in
-    let canonicalize_s = Obs.now () -. t0 in
+    let canonicalize_s = Obs.now_mono () -. t0 in
     let cached = Lru_cache.mem t.cache key.Canonical.text in
     let het_before = het_hits_snapshot t in
     (match
@@ -314,6 +375,25 @@ let metrics_text t =
 let telemetry_disabled () =
   Core.Error.make Core.Error.Internal "telemetry is disabled on this engine"
 
+(* PROFILE on a single engine: there is no queue, so queue-wait and
+   reassemble are structurally zero; execute is each estimate's measured
+   wall time (errors included — the reply is a timing summary). *)
+let profile t queries =
+  let ex =
+    List.map
+      (fun q ->
+        let t0 = Obs.now_mono () in
+        ignore (estimate t q : (served, Core.Error.t) result);
+        1e6 *. (Obs.now_mono () -. t0))
+      queries
+  in
+  let zeros = Serve.percentiles [||] in
+  Ok
+    { Serve.profiled = List.length ex;
+      queue_wait_us = zeros;
+      execute_us = Serve.percentiles (Array.of_list ex);
+      reassemble_us = zeros }
+
 let server t =
   { Serve.estimate =
       (fun q ->
@@ -351,7 +431,8 @@ let server t =
       (fun () ->
         match t.drift with
         | None -> Error (telemetry_disabled ())
-        | Some d -> Ok (Drift.to_json d)) }
+        | Some d -> Ok (Drift.to_json d));
+    profile = (fun qs -> profile t qs) }
 
 module Protocol = struct
   let handle_line t raw =

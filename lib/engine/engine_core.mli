@@ -13,6 +13,7 @@ val create :
   ?drift_per_slot:int ->
   ?drift_p90_threshold:float ->
   ?obs:Obs.t ->
+  ?trace:Obs.Trace.t ->
   Core.Estimator.t ->
   t
 (** [qerror_threshold] (default 2.0) is the minimum q-error at which
@@ -24,7 +25,12 @@ val create :
     ([recorder_capacity], default 256 records) and the drift monitor
     ([drift_slots] x [drift_per_slot] feedback observations, default
     6 x 64, alerting at window-p90 q-error [drift_p90_threshold],
-    default 8.0). *)
+    default 8.0). [trace] attaches the engine to a {!Obs.Trace} session:
+    the engine registers one buffer (tid 1, ["engine"]) and records
+    [estimate] / [canonicalize] / [pipeline] / [feedback] / [explain]
+    slices for every request, stamped with the same monotonic stage clock
+    the flight recorder uses. Without [trace] the request path never
+    touches a trace ring. *)
 
 val estimator : t -> Core.Estimator.t
 val qerror_threshold : t -> float
@@ -112,6 +118,12 @@ val stats_json : t -> Obs.Json.t
 val publish_counters : t -> unit
 (** Push cache totals ([engine.cache.*]), [engine.feedback.*] and HET
     totals into the engine's Obs context (no-op without one). *)
+
+val profile : t -> string list -> (Serve.profile_reply, Core.Error.t) result
+(** The [PROFILE] verb: run the queries, timing each with the monotonic
+    clock, and report exact per-stage percentiles. On a single engine
+    queue-wait and reassemble are structurally zero; execute is each
+    estimate's wall time. Per-query errors do not fail the run. *)
 
 val server : t -> Serve.server
 (** This engine behind the generic {!Serve} protocol — what

@@ -13,6 +13,33 @@
    happens-before edge that makes the new EPT pointer and HET contents
    visible to them. *)
 
+(* Interned trace-event names, resolved once at create so worker hot loops
+   record integer ids only. *)
+type trace_names = {
+  n_execute : int;
+  n_canonicalize : int;
+  n_pipeline : int;
+  n_queue_wait : int;
+  n_batch_submit : int;
+  n_batch_gather : int;
+  n_feedback : int;
+  n_explain : int;
+  n_query : int;  (* flow arrow: submit -> execute -> reassemble *)
+  n_gc_minor_words : int;
+  n_gc_major_words : int;
+}
+
+(* The coordinator buffer is written by whichever client thread is
+   submitting, gathering, or running feedback/explain, so unlike the
+   per-shard buffers it needs its own lock. Lock order: [coord_lock] is
+   only ever taken innermost (inside [submit_lock] or alone). *)
+type tracing = {
+  tr : Obs.Trace.t;
+  coord : Obs.Trace.buf;
+  coord_lock : Mutex.t;
+  names : trace_names;
+}
+
 type shard = {
   id : int;
   estimator : Core.Estimator.t;
@@ -22,6 +49,14 @@ type shard = {
   recorder : Flight_recorder.t option;
   drift_shard : Drift.shard option;
   mutable epoch_seen : int;
+  tbuf : Obs.Trace.buf option;  (* written only by this shard's domain *)
+  mutable busy_s : float;  (* dequeue-to-result time, accumulated *)
+  mutable last_served_at : float;  (* monotonic finish instant; 0 = never *)
+  queue_wait_us : Obs.histogram;  (* in [obs]; merges pool-wide by key *)
+  gc_minor_words : Obs.counter;
+  gc_major_words : Obs.counter;
+  gc_minor_collections : Obs.counter;
+  gc_major_collections : Obs.counter;
 }
 
 (* A submitted batch: jobs write their slot then decrement [remaining];
@@ -39,6 +74,13 @@ type job = {
   results : (Serve.estimate_reply, Core.Error.t) result option array;
   slot : int;
   parent : batch;
+  (* Monotonic stage stamps (0 = never reached). Enqueue is written under
+     [submit_lock]; dequeue/finish by the serving worker; the submitter
+     reads them only after the batch condition variable reports completion,
+     whose mutex publishes the writes. *)
+  mutable enqueued_at : float;
+  mutable dequeued_at : float;
+  mutable finished_at : float;
 }
 
 type t = {
@@ -61,6 +103,11 @@ type t = {
   mutable feedback_seen : int;
   mutable feedback_rounds : int;
   mutable stopped : bool;
+  telemetry : bool;
+  created_at : float;  (* monotonic; busy fractions divide by uptime *)
+  coord_obs : Obs.t;  (* persistent coordinator registry (batch sizes) *)
+  batch_chunk : Obs.histogram;  (* in [coord_obs] *)
+  tracing : tracing option;
 }
 
 let with_lock m f =
@@ -120,14 +167,27 @@ let het_hits_since t before =
 (* The estimate hot path, run on a worker domain against its own shard.
    Mirrors Engine_core.estimate_ast step for step so pool estimates are
    bit-identical to single-engine ones over the same synopsis. *)
+(* Stage sub-slices on the serving shard's track, inside the worker's
+   [execute] slice. No-ops unless the pool is tracing. *)
+let trace_stage t shard ~name ~t0 ~dur =
+  match (t.tracing, shard.tbuf) with
+  | Some tg, Some tb ->
+    let name =
+      if name = `Canonicalize then tg.names.n_canonicalize
+      else tg.names.n_pipeline
+    in
+    Obs.Trace.complete tb ~name ~ts:(Obs.Trace.rel tg.tr t0) ~dur
+  | _ -> ()
+
 let serve_query t shard ~seq query =
   match parse query with
   | Error e -> Error e
   | Ok ast ->
-    let t0 = Obs.now () in
+    let t0 = Obs.now_mono () in
     let cast = Canonical.canonicalize ast in
     let key = Canonical.of_ast cast in
-    let canonicalize_s = Obs.now () -. t0 in
+    let canonicalize_s = Obs.now_mono () -. t0 in
+    trace_stage t shard ~name:`Canonicalize ~t0 ~dur:canonicalize_s;
     (match Lru_cache.find shard.cache key.Canonical.text with
      | Some outcome ->
        (match shard.drift_shard with
@@ -143,20 +203,21 @@ let serve_query t shard ~seq query =
        let ept_spent = ref 0.0 in
        let ept =
          lazy
-           (let t1 = Obs.now () in
+           (let t1 = Obs.now_mono () in
             let e =
               match t.ept with
               | Ok e -> e
               | Error err -> raise (Core.Error.Xseed err)
             in
-            ept_spent := Obs.now () -. t1;
+            ept_spent := Obs.now_mono () -. t1;
             e)
        in
        let het_before = het_counters t in
-       let t1 = Obs.now () in
+       let t1 = Obs.now_mono () in
        (match Core.Estimator.estimate_result_stats_on shard.estimator ept cast with
         | Ok (outcome, ms) ->
-          let miss_s = Obs.now () -. t1 in
+          let miss_s = Obs.now_mono () -. t1 in
+          trace_stage t shard ~name:`Pipeline ~t0:t1 ~dur:miss_s;
           Lru_cache.put shard.cache key.Canonical.text outcome;
           (match shard.drift_shard with
            | Some s -> Drift.note_shard s ~cache_hit:false
@@ -182,10 +243,13 @@ let finish_job t job result =
     with_lock t.drain_lock (fun () -> Condition.broadcast t.drain_cond)
 
 let worker t shard =
+  let sampling_gc = t.telemetry || Option.is_some t.tracing in
   let rec loop () =
     match Work_queue.pop t.queue with
     | None -> ()
     | Some job ->
+      let t_deq = Obs.now_mono () in
+      job.dequeued_at <- t_deq;
       let epoch = Atomic.get t.epoch in
       if epoch <> shard.epoch_seen then begin
         (* Feedback refined the synopsis since this shard last served:
@@ -193,6 +257,16 @@ let worker t shard =
         Lru_cache.clear shard.cache;
         shard.epoch_seen <- epoch
       end;
+      if t.telemetry then
+        Obs.hobserve shard.queue_wait_us (1e6 *. (t_deq -. job.enqueued_at));
+      (match (t.tracing, shard.tbuf) with
+       | Some tg, Some tb ->
+         (* Close the queue-wait async span the submitter opened; async
+            spans may overlap, which B/E slices on this track could not. *)
+         Obs.Trace.async_end tb ~name:tg.names.n_queue_wait
+           ~ts:(Obs.Trace.rel tg.tr t_deq) ~id:job.seq
+       | _ -> ());
+      let gc0 = if sampling_gc then Some (Gc.quick_stat ()) else None in
       let result =
         try serve_query t shard ~seq:job.seq job.query
         with exn ->
@@ -202,6 +276,43 @@ let worker t shard =
              | None ->
                Core.Error.make Core.Error.Internal (Printexc.to_string exn))
       in
+      let t_fin = Obs.now_mono () in
+      job.finished_at <- t_fin;
+      shard.busy_s <- shard.busy_s +. (t_fin -. t_deq);
+      shard.last_served_at <- t_fin;
+      (match gc0 with
+       | None -> ()
+       | Some gc0 ->
+        let gc1 = Gc.quick_stat () in
+        Obs.add shard.gc_minor_words
+          (int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words));
+        Obs.add shard.gc_major_words
+          (int_of_float
+             (gc1.Gc.major_words +. gc1.Gc.promoted_words
+             -. (gc0.Gc.major_words +. gc0.Gc.promoted_words)));
+        Obs.add shard.gc_minor_collections
+          (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
+        Obs.add shard.gc_major_collections
+          (gc1.Gc.major_collections - gc0.Gc.major_collections);
+        match (t.tracing, shard.tbuf) with
+        | Some tg, Some tb ->
+          let ts = Obs.Trace.rel tg.tr t_fin in
+          Obs.Trace.counter tb ~name:tg.names.n_gc_minor_words ~ts
+            ~value:gc1.Gc.minor_words;
+          Obs.Trace.counter tb ~name:tg.names.n_gc_major_words ~ts
+            ~value:(gc1.Gc.major_words +. gc1.Gc.promoted_words)
+        | _ -> ());
+      (match (t.tracing, shard.tbuf) with
+       | Some tg, Some tb ->
+         let ts = Obs.Trace.rel tg.tr t_deq in
+         let dur = t_fin -. t_deq in
+         Obs.Trace.complete_seq tb ~name:tg.names.n_execute ~ts ~dur
+           ~seq:job.seq;
+         (* The flow arrow touches down mid-slice so Perfetto anchors it
+            inside the execute slice rather than on its edge. *)
+         Obs.Trace.flow_step tb ~name:tg.names.n_query
+           ~ts:(ts +. (dur /. 2.0)) ~id:job.seq
+       | _ -> ());
       finish_job t job result;
       loop ()
   in
@@ -210,7 +321,7 @@ let worker t shard =
 let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
     ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?(queue_capacity = 256)
-    estimator =
+    ?trace estimator =
   if workers < 1 then
     invalid_arg (Printf.sprintf "Pool.create: workers %d < 1" workers);
   if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
@@ -222,9 +333,30 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
            ~p90_threshold:drift_p90_threshold ())
     else None
   in
+  let tracing =
+    Option.map
+      (fun tr ->
+        { tr;
+          coord = Obs.Trace.register tr ~tid:0 ~name:"coordinator";
+          coord_lock = Mutex.create ();
+          names =
+            { n_execute = Obs.Trace.intern tr "execute";
+              n_canonicalize = Obs.Trace.intern tr "canonicalize";
+              n_pipeline = Obs.Trace.intern tr "pipeline";
+              n_queue_wait = Obs.Trace.intern tr "queue_wait";
+              n_batch_submit = Obs.Trace.intern tr "batch_submit";
+              n_batch_gather = Obs.Trace.intern tr "batch_gather";
+              n_feedback = Obs.Trace.intern tr "feedback";
+              n_explain = Obs.Trace.intern tr "explain";
+              n_query = Obs.Trace.intern tr "query";
+              n_gc_minor_words = Obs.Trace.intern tr "gc.minor_words";
+              n_gc_major_words = Obs.Trace.intern tr "gc.major_words" } })
+      trace
+  in
   let shards =
     Array.init workers (fun id ->
         let obs = Obs.create () in
+        let shard_labels = [ ("shard", string_of_int id) ] in
         { id;
           estimator =
             Core.Estimator.create
@@ -242,8 +374,24 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
                Some (Flight_recorder.create ~capacity:recorder_capacity ())
              else None);
           drift_shard = Option.map Drift.register_shard drift;
-          epoch_seen = 0 })
+          epoch_seen = 0;
+          tbuf =
+            Option.map
+              (fun tr ->
+                Obs.Trace.register tr ~tid:(id + 1)
+                  ~name:(Printf.sprintf "shard-%d" id))
+              trace;
+          busy_s = 0.0;
+          last_served_at = 0.0;
+          queue_wait_us = Obs.histogram obs "engine.pool.queue_wait_us";
+          gc_minor_words = Obs.counter_with obs "engine.gc.minor_words" shard_labels;
+          gc_major_words = Obs.counter_with obs "engine.gc.major_words" shard_labels;
+          gc_minor_collections =
+            Obs.counter_with obs "engine.gc.minor_collections" shard_labels;
+          gc_major_collections =
+            Obs.counter_with obs "engine.gc.major_collections" shard_labels })
   in
+  let coord_obs = Obs.create () in
   let t =
     { base = estimator;
       threshold = qerror_threshold;
@@ -266,7 +414,12 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
       on_record = None;
       feedback_seen = 0;
       feedback_rounds = 0;
-      stopped = false }
+      stopped = false;
+      telemetry;
+      created_at = Obs.now_mono ();
+      coord_obs;
+      batch_chunk = Obs.histogram coord_obs "engine.pool.batch_chunk";
+      tracing }
   in
   (* The EPT and shards are fully built before any domain spawns, so the
      workers' first reads are ordered by the spawn itself. *)
@@ -287,19 +440,33 @@ let shard_cache_counters t =
 let closed_error () =
   Core.Error.make Core.Error.Internal "the pool has been shut down"
 
-(* Submit a batch of queries and wait for all of them; replies come back in
-   submission order regardless of which shard served which query. *)
-let estimate_batch t queries =
+let with_coord tracing f =
+  match tracing with
+  | None -> ()
+  | Some tg -> with_lock tg.coord_lock (fun () -> f tg)
+
+(* Submit a batch and wait for all of it; replies come back in submission
+   order regardless of which shard served which query. Returns the raw
+   results, the job records (for PROFILE's per-stage timings; [None] in
+   slots that were refused) and the monotonic instant reassembly finished.
+
+   When tracing, the coordinator track shows a [batch_submit] slice with a
+   flow start and a queue-wait async-begin per query, and a [batch_gather]
+   slice where every flow arrow lands. *)
+let run_batch t queries =
   let n = List.length queries in
-  if n = 0 then []
+  if n = 0 then ([||], [||], Obs.now_mono ())
   else begin
     let results = Array.make n None in
+    let jobs = Array.make n None in
     let parent =
       { remaining = n;
         batch_lock = Mutex.create ();
         batch_done = Condition.create () }
     in
+    let t_sub0 = Obs.now_mono () in
     with_lock t.submit_lock (fun () ->
+        if t.telemetry then Obs.hobserve t.batch_chunk (float_of_int n);
         List.iteri
           (fun slot query ->
             let seq = t.next_seq in
@@ -311,31 +478,102 @@ let estimate_batch t queries =
             end
             else begin
               Atomic.incr t.inflight;
-              if not (Work_queue.push t.queue { seq; query; results; slot; parent })
-              then begin
+              let job =
+                { seq; query; results; slot; parent;
+                  enqueued_at = 0.0; dequeued_at = 0.0; finished_at = 0.0 }
+              in
+              job.enqueued_at <- Obs.now_mono ();
+              with_coord t.tracing (fun tg ->
+                  let ts = Obs.Trace.rel tg.tr job.enqueued_at in
+                  Obs.Trace.flow_start tg.coord ~name:tg.names.n_query ~ts
+                    ~id:seq;
+                  Obs.Trace.async_begin tg.coord ~name:tg.names.n_queue_wait
+                    ~ts ~id:seq);
+              if not (Work_queue.push t.queue job) then begin
                 ignore (Atomic.fetch_and_add t.inflight (-1) : int);
                 results.(slot) <- Some (Error (closed_error ()));
+                (* Nobody will ever dequeue it: close its queue-wait span
+                   and terminate its flow so the trace still lints. *)
+                with_coord t.tracing (fun tg ->
+                    let ts = Obs.Trace.now tg.tr in
+                    Obs.Trace.async_end tg.coord ~name:tg.names.n_queue_wait
+                      ~ts ~id:seq;
+                    Obs.Trace.flow_end tg.coord ~name:tg.names.n_query ~ts
+                      ~id:seq);
                 with_lock parent.batch_lock (fun () ->
                     parent.remaining <- parent.remaining - 1)
               end
+              else jobs.(slot) <- Some job
             end)
-          queries);
+          queries;
+        with_coord t.tracing (fun tg ->
+            Obs.Trace.complete tg.coord ~name:tg.names.n_batch_submit
+              ~ts:(Obs.Trace.rel tg.tr t_sub0)
+              ~dur:(Obs.now_mono () -. t_sub0)));
     with_lock parent.batch_lock (fun () ->
         while parent.remaining > 0 do
           Condition.wait parent.batch_done parent.batch_lock
         done);
-    Array.to_list
-      (Array.map
-         (function
-           | Some r -> r
-           | None -> Error (closed_error ()))
-         results)
+    let t_gather0 = Obs.now_mono () in
+    let out =
+      Array.map
+        (function
+          | Some r -> r
+          | None -> Error (closed_error ()))
+        results
+    in
+    let t_done = Obs.now_mono () in
+    with_coord t.tracing (fun tg ->
+        let ts0 = Obs.Trace.rel tg.tr t_gather0 in
+        let dur = Float.max 1e-9 (t_done -. t_gather0) in
+        Array.iter
+          (function
+            | Some (job : job) when job.finished_at > 0.0 ->
+              Obs.Trace.flow_end tg.coord ~name:tg.names.n_query
+                ~ts:(ts0 +. (dur /. 2.0)) ~id:job.seq
+            | _ -> ())
+          jobs;
+        Obs.Trace.complete tg.coord ~name:tg.names.n_batch_gather ~ts:ts0
+          ~dur);
+    (out, jobs, t_done)
   end
+
+let estimate_batch t queries =
+  let results, _, _ = run_batch t queries in
+  Array.to_list results
 
 let estimate t query =
   match estimate_batch t [ query ] with
   | [ r ] -> r
   | _ -> Error (closed_error ())
+
+(* The PROFILE verb: run the queries as one batch and compute exact
+   per-stage percentiles from the job stamps. Stages partition each query's
+   life: queue-wait (submit to dequeue), execute (dequeue to result),
+   reassemble (result to batch completion — the stall until the whole batch
+   can be answered). Refused or unserved slots carry zero stamps and are
+   skipped. *)
+let profile t queries =
+  let _, jobs, t_done = run_batch t queries in
+  let served =
+    Array.to_list jobs
+    |> List.filter_map (function
+         | Some (j : job) when j.dequeued_at > 0.0 && j.finished_at > 0.0 ->
+           Some j
+         | _ -> None)
+  in
+  let stage f = Array.of_list (List.map f served) in
+  Ok
+    { Serve.profiled = List.length served;
+      queue_wait_us =
+        Serve.percentiles
+          (stage (fun j -> 1e6 *. Float.max 0.0 (j.dequeued_at -. j.enqueued_at)));
+      execute_us =
+        Serve.percentiles
+          (stage (fun j -> 1e6 *. Float.max 0.0 (j.finished_at -. j.dequeued_at)));
+      reassemble_us =
+        Serve.percentiles
+          (stage (fun j -> 1e6 *. Float.max 0.0 (t_done -. j.finished_at))) }
 
 (* Wait until no job is being served or queued. Callers hold [submit_lock],
    so no new submission can race the drain. *)
@@ -355,6 +593,15 @@ let next_seq_locked t =
    recomputed inline on the drained pool (recorded as a cache Bypass on the
    coordinator ring — it deliberately skips the shard caches), matching the
    single engine's arithmetic exactly. *)
+(* One coordinator-track slice for a drained verb (feedback/explain). *)
+let trace_coord_verb t which t0 =
+  with_coord t.tracing (fun tg ->
+      let name =
+        if which = `Feedback then tg.names.n_feedback else tg.names.n_explain
+      in
+      Obs.Trace.complete tg.coord ~name ~ts:(Obs.Trace.rel tg.tr t0)
+        ~dur:(Obs.now_mono () -. t0))
+
 let feedback t query ~actual =
   match parse query with
   | Error e -> Error e
@@ -362,11 +609,14 @@ let feedback t query ~actual =
     with_lock t.submit_lock (fun () ->
         if t.stopped then Error (closed_error ())
         else begin
+          let tv0 = Obs.now_mono () in
+          Fun.protect ~finally:(fun () -> trace_coord_verb t `Feedback tv0)
+          @@ fun () ->
           wait_drained t;
-          let t0 = Obs.now () in
+          let t0 = Obs.now_mono () in
           let cast = Canonical.canonicalize ast in
           let key = Canonical.of_ast cast in
-          let canonicalize_s = Obs.now () -. t0 in
+          let canonicalize_s = Obs.now_mono () -. t0 in
           let ept_or_err = t.ept in
           let lazy_ept =
             lazy
@@ -374,13 +624,13 @@ let feedback t query ~actual =
                | Ok e -> e
                | Error err -> raise (Core.Error.Xseed err))
           in
-          let t1 = Obs.now () in
+          let t1 = Obs.now_mono () in
           match
             Core.Estimator.estimate_result_stats_on t.base lazy_ept cast
           with
           | Error e -> Error e
           | Ok (outcome, ms) ->
-            let match_s = Obs.now () -. t1 in
+            let match_s = Obs.now_mono () -. t1 in
             t.feedback_seen <- t.feedback_seen + 1;
             (match t.drift with
              | Some d ->
@@ -419,6 +669,9 @@ let explain t query =
     with_lock t.submit_lock (fun () ->
         if t.stopped then Error (closed_error ())
         else begin
+          let tv0 = Obs.now_mono () in
+          Fun.protect ~finally:(fun () -> trace_coord_verb t `Explain tv0)
+          @@ fun () ->
           wait_drained t;
           let cast = Canonical.canonicalize ast in
           let key = Canonical.of_ast cast in
@@ -529,10 +782,18 @@ let stats_json t =
       ("het", het_json);
       ("synopsis_bytes", Int (Core.Estimator.size_in_bytes t.base));
       ( "pool",
+        let q = Work_queue.stats t.queue in
         Obj
           [ ("workers", Int (workers t));
             ("epoch", Int (epoch t));
-            ("queue_depth", Int (Work_queue.length t.queue)) ] ) ]
+            ("queue_depth", Int (Work_queue.length t.queue));
+            ("queue_pushes", Int q.Work_queue.pushes);
+            ("queue_pops", Int q.Work_queue.pops);
+            ("queue_push_waits", Int q.Work_queue.push_waits);
+            ("queue_pop_waits", Int q.Work_queue.pop_waits);
+            ("queue_push_wait_s", Float q.Work_queue.push_wait_s);
+            ("queue_pop_wait_s", Float q.Work_queue.pop_wait_s);
+            ("queue_max_occupancy", Int q.Work_queue.max_occupancy) ] ) ]
 
 (* One scrape: pool-level totals published into a scratch registry, merged
    with every shard's pipeline registry. The merge orders series by key, so
@@ -571,7 +832,34 @@ let merged_metrics t =
   Obs.set_to ~obs "engine.pool.epoch" (float_of_int (epoch t));
   Obs.set_to ~obs "engine.pool.queue_depth"
     (float_of_int (Work_queue.length t.queue));
-  Obs.merged (obs :: Array.to_list (Array.map (fun (s : shard) -> s.obs) t.shards))
+  let q = Work_queue.stats t.queue in
+  Obs.add_to ~obs "engine.pool.queue.pushes" q.Work_queue.pushes;
+  Obs.add_to ~obs "engine.pool.queue.pops" q.Work_queue.pops;
+  Obs.add_to ~obs "engine.pool.queue.push_waits" q.Work_queue.push_waits;
+  Obs.add_to ~obs "engine.pool.queue.pop_waits" q.Work_queue.pop_waits;
+  Obs.set_to ~obs "engine.pool.queue.push_wait_s" q.Work_queue.push_wait_s;
+  Obs.set_to ~obs "engine.pool.queue.pop_wait_s" q.Work_queue.pop_wait_s;
+  Obs.max_to ~obs "engine.pool.queue.max_occupancy" q.Work_queue.max_occupancy;
+  (* Busy fraction per shard: serving time over the shard's active window
+     (create to last completed job), so a quiet re-scrape stays
+     byte-identical — a live-uptime denominator would tick on its own.
+     [busy_s]/[last_served_at] are written by the shard's own domain
+     without synchronization; a scrape may read a slightly stale pair,
+     which is fine for a utilization gauge. *)
+  Array.iter
+    (fun (s : shard) ->
+      let fraction =
+        if s.last_served_at <= t.created_at then 0.0
+        else Float.min 1.0 (s.busy_s /. (s.last_served_at -. t.created_at))
+      in
+      Obs.gset
+        (Obs.gauge_with obs "engine.pool.busy_fraction"
+           [ ("shard", string_of_int s.id) ])
+        fraction)
+    t.shards;
+  Obs.merged
+    (obs :: t.coord_obs
+    :: Array.to_list (Array.map (fun (s : shard) -> s.obs) t.shards))
 
 let metrics_text t = Obs.prometheus ~prefix:"xseed_" (merged_metrics t)
 
@@ -626,7 +914,8 @@ let server t =
       (fun () ->
         match t.drift with
         | None -> Error (telemetry_disabled ())
-        | Some d -> Ok (Drift.to_json d)) }
+        | Some d -> Ok (Drift.to_json d));
+    profile = (fun qs -> profile t qs) }
 
 (* Drop every shard cache by bumping the epoch (applied at each shard's
    next dequeue), without touching the synopsis. Used by benchmarks to

@@ -31,6 +31,7 @@ val create :
   ?drift_per_slot:int ->
   ?drift_p90_threshold:float ->
   ?queue_capacity:int ->
+  ?trace:Obs.Trace.t ->
   Core.Estimator.t ->
   t
 (** Spawns [workers] (default 2) domains immediately; call {!shutdown}
@@ -38,6 +39,16 @@ val create :
     (default 256) are {e per shard}. The EPT is materialized eagerly (a
     failure surfaces as [Limit_exceeded] on the first estimate, as with
     the single engine). Other knobs as {!Engine_core.create}.
+
+    [trace] attaches the pool to an {!Obs.Trace} session: the coordinator
+    registers tid 0 and each shard tid [id+1]. Per query the trace carries
+    a [queue_wait] async span (begun at submit on the coordinator, ended at
+    dequeue on the serving shard), an [execute] slice with [canonicalize] /
+    [pipeline] sub-slices on the shard track, [batch_submit] /
+    [batch_gather] slices on the coordinator, and a [query] flow arrow
+    linking submit -> execute -> gather. Shard buffers are written only by
+    their own domain; the coordinator buffer is guarded by an internal
+    innermost lock. Without [trace] the hot path never touches a ring.
     @raise Invalid_argument when [workers] < 1 or the threshold is
     invalid. *)
 
@@ -79,13 +90,23 @@ val explain : t -> string -> (Core.Explain.report, Core.Error.t) result
 (** Full-pipeline explain, run drained on the base estimator. The cache
     status reports whether {e any} shard holds the query. *)
 
+val profile : t -> string list -> (Serve.profile_reply, Core.Error.t) result
+(** The [PROFILE] verb: run the queries as one batch and report exact
+    per-stage percentiles from per-job monotonic stamps. The stages
+    partition each query's life: queue-wait (submit to dequeue), execute
+    (dequeue to result), reassemble (result to batch completion). Refused
+    slots (pool shut down mid-submit) are excluded from [profiled]. *)
+
 val invalidate : t -> unit
 (** Bump {!epoch} without touching the synopsis, dropping every shard's
     cache at its next dequeue — cold-cache benchmark passes. *)
 
 val stats_json : t -> Obs.Json.t
 (** Engine stats with cache counters summed across shards, plus a
-    ["pool"] object ([workers], [epoch], [queue_depth]). *)
+    ["pool"] object ([workers], [epoch], [queue_depth], and the work
+    queue's contention counters [queue_pushes] / [queue_pops] /
+    [queue_push_waits] / [queue_pop_waits] / [queue_push_wait_s] /
+    [queue_pop_wait_s] / [queue_max_occupancy]). *)
 
 val metrics_text : t -> string
 (** Prometheus exposition of {!merged_metrics}. *)
@@ -93,7 +114,14 @@ val metrics_text : t -> string
 val merged_metrics : t -> Obs.t
 (** A fresh registry per call: pool-level totals merged with every
     shard's pipeline registry via {!Obs.merged} (series sorted by key;
-    repeated calls without traffic are identical). *)
+    repeated calls without traffic are identical). Includes, when
+    telemetry is on: the pool-wide [engine.pool.queue_wait_us] histogram
+    (shard observations merge by key), [engine.pool.batch_chunk],
+    [engine.pool.queue.*] contention counters from {!Work_queue.stats},
+    per-shard [engine.gc.*] counters (labelled [shard="N"]) and
+    [engine.pool.busy_fraction] gauges (serving time over the shard's
+    create-to-last-served window, so quiet re-scrapes stay byte-identical;
+    best-effort reads of per-domain accumulators). *)
 
 val recent : ?n:int -> t -> Flight_recorder.record list
 (** Flight records merged across all shard rings plus the coordinator's

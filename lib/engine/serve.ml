@@ -7,6 +7,15 @@
 
 type estimate_reply = { value : float; status : Core.Explain.cache_status }
 
+type stage_percentiles = { p50 : float; p90 : float; p99 : float }
+
+type profile_reply = {
+  profiled : int;
+  queue_wait_us : stage_percentiles;
+  execute_us : stage_percentiles;
+  reassemble_us : stage_percentiles;
+}
+
 type server = {
   estimate : string -> (estimate_reply, Core.Error.t) result;
   estimate_batch : string list -> (estimate_reply, Core.Error.t) result list;
@@ -17,7 +26,24 @@ type server = {
   metrics_text : unit -> string;
   recent : int option -> (Flight_recorder.record list, Core.Error.t) result;
   drift_json : unit -> (Obs.Json.t, Core.Error.t) result;
+  profile : string list -> (profile_reply, Core.Error.t) result;
 }
+
+(* Exact rank percentiles over raw samples (PROFILE runs are bounded by
+   [max_batch], so sorting a copy is fine); zeros for an empty run — the
+   protocol never emits a non-finite number. *)
+let percentiles samples =
+  let n = Array.length samples in
+  if n = 0 then { p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+  else begin
+    let s = Array.copy samples in
+    Array.sort Float.compare s;
+    let at p =
+      let i = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      s.(max 0 (min (n - 1) i))
+    in
+    { p50 = at 0.5; p90 = at 0.9; p99 = at 0.99 }
+  end
 
 (* A BATCH larger than this is rejected before reading any payload lines:
    the reply buffers one line per query, so the count bounds memory. *)
@@ -105,6 +131,44 @@ let handle_batch server ~read_line rest =
     in
     String.concat "\n" (Printf.sprintf "OK %d" n :: lines)
 
+let stage_fields { p50; p90; p99 } =
+  Printf.sprintf "p50=%.1f p90=%.1f p99=%.1f" p50 p90 p99
+
+let profile_line = function
+  | Error e -> err e
+  | Ok p ->
+    Printf.sprintf "OK %d queue_wait_us %s execute_us %s reassemble_us %s"
+      p.profiled
+      (stage_fields p.queue_wait_us)
+      (stage_fields p.execute_us)
+      (stage_fields p.reassemble_us)
+
+(* PROFILE frames like BATCH — [n] further payload lines — but answers with
+   a single breakdown line, so a truncated frame is one ERR, not n. *)
+let handle_profile server ~read_line rest =
+  match int_of_string_opt rest with
+  | None -> malformed "PROFILE expects a non-negative integer count"
+  | Some n when n < 0 -> malformed "PROFILE expects a non-negative integer count"
+  | Some n when n > max_batch ->
+    malformed "PROFILE count %d exceeds the per-batch limit %d" n max_batch
+  | Some n ->
+    let truncated = ref false in
+    let queries =
+      List.filter_map
+        (fun _ ->
+          match read_line () with
+          | Some l -> Some (batch_query l)
+          | None ->
+            truncated := true;
+            None)
+        (List.init n Fun.id)
+    in
+    if !truncated then
+      err
+        (Core.Error.make Core.Error.Io_error
+           "unexpected end of input inside PROFILE")
+    else profile_line (server.profile queries)
+
 let handle_request server ~read_line raw =
   let line = String.trim raw in
   if line = "" then None
@@ -115,6 +179,7 @@ let handle_request server ~read_line raw =
          match verb with
          | "ESTIMATE" -> estimate_line (server.estimate rest)
          | "BATCH" -> handle_batch server ~read_line rest
+         | "PROFILE" -> handle_profile server ~read_line rest
          | "FEEDBACK" ->
            (match String.rindex_opt rest ' ' with
             | None -> malformed "FEEDBACK expects '<xpath> <actual-count>'"
@@ -175,8 +240,8 @@ let handle_request server ~read_line raw =
               | Error e -> err e)
          | _ ->
            malformed
-             "unknown command %S (expected ESTIMATE, BATCH, FEEDBACK, \
-              EXPLAIN, STATS, METRICS, RECENT or DRIFT)"
+             "unknown command %S (expected ESTIMATE, BATCH, PROFILE, \
+              FEEDBACK, EXPLAIN, STATS, METRICS, RECENT or DRIFT)"
              verb
        with exn ->
          err

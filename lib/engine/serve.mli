@@ -9,6 +9,10 @@
     BATCH <n>                   ->  OK <n>, then n per-query OK/ERR lines
                                     answering the n following request
                                     lines in submission order
+    PROFILE <n>                 ->  one-line per-stage latency breakdown of
+                                    the n following request lines:
+                                    OK <n> queue_wait_us p50=.. p90=.. p99=..
+                                    execute_us ... reassemble_us ...
     FEEDBACK <xpath> <actual>   ->  OK <q_error> <refined|kept>
     EXPLAIN <xpath>             ->  OK <explain report as one-line JSON>
     STATS                       ->  OK <stats as one-line JSON>
@@ -17,6 +21,14 @@
                                     newest first
     DRIFT                       ->  OK <drift summary as one-line JSON>
     v}
+
+    [PROFILE n] frames exactly like [BATCH n] (the n following lines are
+    ESTIMATE requests, verb prefix optional) but runs them as one traced
+    batch and answers with a single line giving exact p50/p90/p99 of the
+    three serving stages in microseconds: queue-wait (submit to dequeue),
+    execute (dequeue to result), reassemble (result to batch completion).
+    On a single-threaded engine queue-wait and reassemble are zero. Hitting
+    end of input inside the frame is one [ERR io-error] line.
 
     [BATCH n] consumes exactly [n] further input lines, each an ESTIMATE
     request (the [ESTIMATE ] verb prefix is optional on payload lines), and
@@ -36,6 +48,16 @@
 
 type estimate_reply = { value : float; status : Core.Explain.cache_status }
 
+type stage_percentiles = { p50 : float; p90 : float; p99 : float }
+(** Exact rank percentiles over one stage's samples, microseconds. *)
+
+type profile_reply = {
+  profiled : int;  (** queries measured *)
+  queue_wait_us : stage_percentiles;
+  execute_us : stage_percentiles;
+  reassemble_us : stage_percentiles;
+}
+
 type server = {
   estimate : string -> (estimate_reply, Core.Error.t) result;
   estimate_batch : string list -> (estimate_reply, Core.Error.t) result list;
@@ -48,10 +70,18 @@ type server = {
   recent : int option -> (Flight_recorder.record list, Core.Error.t) result;
       (** Newest first; [Error] when telemetry is disabled. *)
   drift_json : unit -> (Obs.Json.t, Core.Error.t) result;
+  profile : string list -> (profile_reply, Core.Error.t) result;
+      (** Run the queries as one measured batch and report the per-stage
+          breakdown. Per-query errors do not fail the run — the reply is a
+          timing summary. *)
 }
 
 val max_batch : int
-(** Upper bound on a single BATCH count (10,000). *)
+(** Upper bound on a single BATCH (and PROFILE) count (10,000). *)
+
+val percentiles : float array -> stage_percentiles
+(** Exact rank selection over a copy of [samples] (all zeros when empty).
+    Exposed for the engine/pool profile implementations and the bench. *)
 
 val handle_request :
   server -> read_line:(unit -> string option) -> string -> string option

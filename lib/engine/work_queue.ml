@@ -4,6 +4,16 @@
    runtime's condition-variable wakeup order, which is all the pool needs
    (jobs carry their own submission sequence numbers). *)
 
+type stats = {
+  pushes : int;
+  pops : int;
+  push_waits : int;  (* pushes that found the ring full and blocked *)
+  pop_waits : int;  (* pops that found the ring empty and blocked *)
+  push_wait_s : float;  (* total producer blocking time *)
+  pop_wait_s : float;  (* total consumer blocking time *)
+  max_occupancy : int;  (* high-water mark of occupied slots *)
+}
+
 type 'a t = {
   ring : 'a option array;
   mutable head : int;  (* next pop position *)
@@ -12,6 +22,16 @@ type 'a t = {
   lock : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
+  (* Contention accounting, all written under [lock]. The clock is only
+     read when an operation actually blocks, so the uncontended fast path
+     stays a lock/unlock pair. *)
+  mutable pushes : int;
+  mutable pops : int;
+  mutable push_waits : int;
+  mutable pop_waits : int;
+  mutable push_wait_s : float;
+  mutable pop_wait_s : float;
+  mutable max_occupancy : int;
 }
 
 let create ~capacity =
@@ -23,7 +43,14 @@ let create ~capacity =
     closed = false;
     lock = Mutex.create ();
     not_empty = Condition.create ();
-    not_full = Condition.create () }
+    not_full = Condition.create ();
+    pushes = 0;
+    pops = 0;
+    push_waits = 0;
+    pop_waits = 0;
+    push_wait_s = 0.0;
+    pop_wait_s = 0.0;
+    max_occupancy = 0 }
 
 let capacity t = Array.length t.ring
 
@@ -36,9 +63,14 @@ let length t =
 let push t v =
   Mutex.lock t.lock;
   let cap = Array.length t.ring in
-  while t.len = cap && not t.closed do
-    Condition.wait t.not_full t.lock
-  done;
+  if t.len = cap && not t.closed then begin
+    let w0 = Obs.now_mono () in
+    t.push_waits <- t.push_waits + 1;
+    while t.len = cap && not t.closed do
+      Condition.wait t.not_full t.lock
+    done;
+    t.push_wait_s <- t.push_wait_s +. (Obs.now_mono () -. w0)
+  end;
   if t.closed then begin
     Mutex.unlock t.lock;
     false
@@ -46,6 +78,8 @@ let push t v =
   else begin
     t.ring.((t.head + t.len) mod cap) <- Some v;
     t.len <- t.len + 1;
+    t.pushes <- t.pushes + 1;
+    if t.len > t.max_occupancy then t.max_occupancy <- t.len;
     Condition.signal t.not_empty;
     Mutex.unlock t.lock;
     true
@@ -53,9 +87,14 @@ let push t v =
 
 let pop t =
   Mutex.lock t.lock;
-  while t.len = 0 && not t.closed do
-    Condition.wait t.not_empty t.lock
-  done;
+  if t.len = 0 && not t.closed then begin
+    let w0 = Obs.now_mono () in
+    t.pop_waits <- t.pop_waits + 1;
+    while t.len = 0 && not t.closed do
+      Condition.wait t.not_empty t.lock
+    done;
+    t.pop_wait_s <- t.pop_wait_s +. (Obs.now_mono () -. w0)
+  end;
   if t.len = 0 then begin
     (* closed and drained *)
     Mutex.unlock t.lock;
@@ -66,10 +105,25 @@ let pop t =
     t.ring.(t.head) <- None;
     t.head <- (t.head + 1) mod Array.length t.ring;
     t.len <- t.len - 1;
+    t.pops <- t.pops + 1;
     Condition.signal t.not_full;
     Mutex.unlock t.lock;
     v
   end
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { pushes = t.pushes;
+      pops = t.pops;
+      push_waits = t.push_waits;
+      pop_waits = t.pop_waits;
+      push_wait_s = t.push_wait_s;
+      pop_wait_s = t.pop_wait_s;
+      max_occupancy = t.max_occupancy }
+  in
+  Mutex.unlock t.lock;
+  s
 
 let close t =
   Mutex.lock t.lock;

@@ -34,3 +34,23 @@ val close : 'a t -> unit
     Idempotent. Already-queued items still drain through {!pop}. *)
 
 val closed : 'a t -> bool
+
+(** {1 Contention accounting}
+
+    The queue counts its own traffic and blocking time under its lock, so
+    the numbers are exact. The monotonic clock is read only when an
+    operation actually blocks — an uncontended push or pop costs nothing
+    beyond the mutex it already takes. *)
+
+type stats = {
+  pushes : int;  (** items successfully enqueued *)
+  pops : int;  (** items successfully dequeued *)
+  push_waits : int;  (** pushes that found the ring full and blocked *)
+  pop_waits : int;  (** pops that found the ring empty and blocked *)
+  push_wait_s : float;  (** total producer blocking time, seconds *)
+  pop_wait_s : float;  (** total consumer blocking time, seconds *)
+  max_occupancy : int;  (** high-water mark of occupied slots *)
+}
+
+val stats : 'a t -> stats
+(** A consistent snapshot, taken under the queue lock. *)

@@ -240,6 +240,14 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+(* Monotonic clock (CLOCK_MONOTONIC) for every duration this layer
+   measures: spans, window rotation, trace events. Wall clock jumps under
+   NTP skew; durations must not. The external is noalloc with an unboxed
+   float return so reading it costs a plain C call. *)
+external now_mono : unit -> (float[@unboxed])
+  = "xseed_obs_monotonic_s" "xseed_obs_monotonic_s_unboxed"
+[@@noalloc]
+
 type sink = Noop | Stderr | Jsonl of out_channel
 
 type labels = (string * string) list
@@ -292,7 +300,9 @@ type t = {
   mutable sink : sink;
   registry : (string, metric) Hashtbl.t;
   mutable order : string list;  (* reverse registration order of series keys *)
-  mutable depth : int;  (* current span nesting, for the pretty sink *)
+  depth : int Atomic.t;
+      (* current span nesting, for the pretty sink; atomic because pool
+         workers may emit through one shared context concurrently *)
   lock : Mutex.t;  (* guards registry/order shape, not metric bumps *)
 }
 
@@ -316,7 +326,7 @@ let create ?(sink = Noop) () =
   { sink;
     registry = Hashtbl.create 32;
     order = [];
-    depth = 0;
+    depth = Atomic.make 0;
     lock = Mutex.create () }
 
 let set_sink t sink = t.sink <- sink
@@ -461,7 +471,8 @@ module Window = struct
     per_slot : int;
     rotate_every_s : float option;
     mutable idx : int;  (* slot receiving observations *)
-    mutable opened_at : float;  (* wall clock, only read with rotate_every_s *)
+    mutable opened_at : float;
+        (* monotonic clock, only read with rotate_every_s *)
     mutable wtotal : int;  (* lifetime observations *)
   }
 
@@ -480,7 +491,7 @@ module Window = struct
       idx = 0;
       opened_at =
         (match rotate_every_s with
-         | Some _ -> Unix.gettimeofday ()
+         | Some _ -> now_mono ()
          | None -> 0.0);
       wtotal = 0 }
 
@@ -494,13 +505,13 @@ module Window = struct
     t.idx <- (t.idx + 1) mod Array.length t.slots;
     clear_slot t.slots.(t.idx);
     match t.rotate_every_s with
-    | Some _ -> t.opened_at <- Unix.gettimeofday ()
+    | Some _ -> t.opened_at <- now_mono ()
     | None -> ()
 
   let observe t v =
     let due_by_time =
       match t.rotate_every_s with
-      | Some s -> Unix.gettimeofday () -. t.opened_at >= s
+      | Some s -> now_mono () -. t.opened_at >= s
       | None -> false
     in
     if t.slots.(t.idx).scount >= t.per_slot || due_by_time then rotate t;
@@ -566,7 +577,7 @@ let emit t name fields =
   | Stderr ->
     let b = Buffer.create 80 in
     Buffer.add_string b "[obs] ";
-    for _ = 1 to t.depth do Buffer.add_string b "  " done;
+    for _ = 1 to Atomic.get t.depth do Buffer.add_string b "  " done;
     Buffer.add_string b name;
     List.iter
       (fun (k, v) ->
@@ -579,8 +590,14 @@ let emit t name fields =
     Buffer.add_char b '\n';
     prerr_string (Buffer.contents b)
   | Jsonl oc ->
+    (* Event timestamps are the one place wall time belongs: they key sink
+       lines to real-world time; every duration is monotonic. *)
     let b = Buffer.create 120 in
-    Json.to_buffer b (Json.Obj (("event", Json.String name) :: fields));
+    Json.to_buffer b
+      (Json.Obj
+         (("event", Json.String name)
+         :: ("ts", Json.Float (now ()))
+         :: fields));
     Buffer.add_char b '\n';
     output_string oc (Buffer.contents b)
 
@@ -593,11 +610,11 @@ let span ?obs name f =
   | Some t when t.sink = Noop -> f ()
   | Some t ->
     emit t "span_begin" [ ("name", Json.String name) ];
-    t.depth <- t.depth + 1;
-    let t0 = now () in
+    Atomic.incr t.depth;
+    let t0 = now_mono () in
     let finish () =
-      let ms = 1000.0 *. (now () -. t0) in
-      t.depth <- t.depth - 1;
+      let ms = 1000.0 *. (now_mono () -. t0) in
+      Atomic.decr t.depth;
       hobserve (histogram t (name ^ ".ms")) ms;
       emit t "span_end" [ ("name", Json.String name); ("dur_ms", Json.Float ms) ]
     in
@@ -803,3 +820,385 @@ let merged ts =
      descending makes every reader (which reverses) see ascending key order. *)
   out.order <- List.sort (fun a b -> String.compare b a) out.order;
   out
+
+(* ------------------------------------------------------------------ *)
+(* Causal tracing: per-domain ring buffers of timestamped events merged
+   into one Chrome-trace-event / Perfetto JSON file.
+
+   Design constraints, in order:
+   - the record path must be safe to call from a worker domain's hot loop:
+     each buffer is written by exactly one domain (no lock, no atomics) and
+     a recorded event touches only preallocated arrays — structure-of-arrays
+     rather than a record per slot, because OCaml boxes a float written into
+     a mixed mutable record;
+   - names are interned once at setup time, so the record path handles
+     integer ids only;
+   - timestamps come from the monotonic clock, as seconds relative to the
+     trace's origin [t0]; the wall clock at [t0] is carried in the export
+     header so tools can anchor the trace in real time. *)
+
+module Trace = struct
+  (* Slot op codes; each maps to one Chrome trace-event phase. *)
+  let op_complete = 0 (* X *)
+  let op_begin = 1 (* B *)
+  let op_end = 2 (* E *)
+  let op_instant = 3 (* i *)
+  let op_counter = 4 (* C *)
+  let op_flow_start = 5 (* s *)
+  let op_flow_step = 6 (* t *)
+  let op_flow_end = 7 (* f *)
+  let op_async_begin = 8 (* b *)
+  let op_async_end = 9 (* e *)
+
+  type buf = {
+    btrace : trace;
+    tid : int;
+    tid_name : string;
+    bcap : int;
+    mutable total : int;  (* lifetime events; slot = total mod bcap *)
+    ops : int array;
+    names : int array;  (* interned name ids *)
+    tss : float array;  (* seconds since t0 *)
+    durs : float array;  (* X only *)
+    ids : int array;  (* flow/async/seq id; -1 = none *)
+    args : float array;  (* C only *)
+  }
+
+  and trace = {
+    mutable interned : string array;
+    mutable n_interned : int;
+    itbl : (string, int) Hashtbl.t;
+    mutable bufs : buf list;  (* reverse registration order *)
+    tlock : Mutex.t;  (* guards interning and buffer registration *)
+    t0 : float;  (* monotonic origin *)
+    wall0 : float;  (* wall clock read at the same instant as t0 *)
+    pid : int;
+    default_capacity : int;
+  }
+
+  type t = trace
+
+  let with_tlock t f =
+    Mutex.lock t.tlock;
+    match f () with
+    | v ->
+      Mutex.unlock t.tlock;
+      v
+    | exception e ->
+      Mutex.unlock t.tlock;
+      raise e
+
+  let create ?(capacity = 65536) () =
+    if capacity < 1 then
+      invalid_arg (Printf.sprintf "Obs.Trace.create: capacity %d < 1" capacity);
+    { interned = Array.make 16 "";
+      n_interned = 0;
+      itbl = Hashtbl.create 16;
+      bufs = [];
+      tlock = Mutex.create ();
+      t0 = now_mono ();
+      wall0 = Unix.gettimeofday ();
+      pid = Unix.getpid ();
+      default_capacity = capacity }
+
+  let intern t name =
+    with_tlock t (fun () ->
+        match Hashtbl.find_opt t.itbl name with
+        | Some id -> id
+        | None ->
+          let id = t.n_interned in
+          if id = Array.length t.interned then begin
+            let grown = Array.make (2 * id) "" in
+            Array.blit t.interned 0 grown 0 id;
+            t.interned <- grown
+          end;
+          t.interned.(id) <- name;
+          t.n_interned <- id + 1;
+          Hashtbl.add t.itbl name id;
+          id)
+
+  let register ?capacity t ~tid ~name =
+    let cap = Option.value capacity ~default:t.default_capacity in
+    if cap < 1 then
+      invalid_arg (Printf.sprintf "Obs.Trace.register: capacity %d < 1" cap);
+    let b =
+      { btrace = t;
+        tid;
+        tid_name = name;
+        bcap = cap;
+        total = 0;
+        ops = Array.make cap 0;
+        names = Array.make cap 0;
+        tss = Array.make cap 0.0;
+        durs = Array.make cap 0.0;
+        ids = Array.make cap (-1);
+        args = Array.make cap 0.0 }
+    in
+    with_tlock t (fun () -> t.bufs <- b :: t.bufs);
+    b
+
+  let now t = now_mono () -. t.t0
+  let rel t mono = mono -. t.t0
+  let total b = b.total
+  let trace b = b.btrace
+
+  (* The record path: one slot write, no lock (a buf has one writer). *)
+  let record b op name ts dur id arg =
+    let i = b.total mod b.bcap in
+    b.total <- b.total + 1;
+    b.ops.(i) <- op;
+    b.names.(i) <- name;
+    b.tss.(i) <- ts;
+    b.durs.(i) <- dur;
+    b.ids.(i) <- id;
+    b.args.(i) <- arg
+
+  let complete b ~name ~ts ~dur = record b op_complete name ts dur (-1) 0.0
+
+  let complete_seq b ~name ~ts ~dur ~seq = record b op_complete name ts dur seq 0.0
+
+  let begin_span b ~name ~ts = record b op_begin name ts 0.0 (-1) 0.0
+  let end_span b ~name ~ts = record b op_end name ts 0.0 (-1) 0.0
+  let instant b ~name ~ts = record b op_instant name ts 0.0 (-1) 0.0
+  let counter b ~name ~ts ~value = record b op_counter name ts 0.0 (-1) value
+  let flow_start b ~name ~ts ~id = record b op_flow_start name ts 0.0 id 0.0
+  let flow_step b ~name ~ts ~id = record b op_flow_step name ts 0.0 id 0.0
+  let flow_end b ~name ~ts ~id = record b op_flow_end name ts 0.0 id 0.0
+  let async_begin b ~name ~ts ~id = record b op_async_begin name ts 0.0 id 0.0
+  let async_end b ~name ~ts ~id = record b op_async_end name ts 0.0 id 0.0
+
+  (* ---------------- export ---------------- *)
+
+  let us s = s *. 1e6
+
+  (* The ring holds the newest [min total bcap] events in write order
+     starting at [total mod bcap] once wrapped. Write order is not
+     timestamp order (an X slice is recorded when it *ends*, stamped with
+     its start time), so the exporter stable-sorts each thread's events by
+     [ts] — Perfetto requires per-track monotonicity, and stability keeps
+     same-stamp events (a B and its nested sibling) in record order. *)
+  let live_slots b =
+    let n = min b.total b.bcap in
+    let start = if b.total <= b.bcap then 0 else b.total mod b.bcap in
+    List.init n (fun k -> (start + k) mod b.bcap)
+
+  let event_json t b i =
+    let name = t.interned.(b.names.(i)) in
+    let base =
+      [ ("name", Json.String name);
+        ("pid", Json.Int t.pid);
+        ("tid", Json.Int b.tid);
+        ("ts", Json.Float (us b.tss.(i))) ]
+    in
+    let ph p = ("ph", Json.String p) in
+    let id () = ("id", Json.Int b.ids.(i)) in
+    let op = b.ops.(i) in
+    if op = op_complete then
+      Json.Obj
+        (ph "X" :: base
+        @ [ ("dur", Json.Float (us b.durs.(i))) ]
+        @
+        if b.ids.(i) >= 0 then
+          [ ("args", Json.Obj [ ("seq", Json.Int b.ids.(i)) ]) ]
+        else [])
+    else if op = op_begin then Json.Obj (ph "B" :: base)
+    else if op = op_end then Json.Obj (ph "E" :: base)
+    else if op = op_instant then
+      Json.Obj ((ph "i" :: base) @ [ ("s", Json.String "t") ])
+    else if op = op_counter then
+      Json.Obj
+        ((ph "C" :: base)
+        @ [ ("args", Json.Obj [ ("value", Json.Float b.args.(i)) ]) ])
+    else if op = op_flow_start then
+      Json.Obj ((ph "s" :: base) @ [ ("cat", Json.String "flow"); id () ])
+    else if op = op_flow_step then
+      Json.Obj ((ph "t" :: base) @ [ ("cat", Json.String "flow"); id () ])
+    else if op = op_flow_end then
+      Json.Obj
+        ((ph "f" :: base)
+        @ [ ("cat", Json.String "flow"); id (); ("bp", Json.String "e") ])
+    else if op = op_async_begin then
+      Json.Obj ((ph "b" :: base) @ [ ("cat", Json.String "async"); id () ])
+    else Json.Obj ((ph "e" :: base) @ [ ("cat", Json.String "async"); id () ])
+
+  let metadata_json t b =
+    Json.Obj
+      [ ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int t.pid);
+        ("tid", Json.Int b.tid);
+        ("args", Json.Obj [ ("name", Json.String b.tid_name) ]) ]
+
+  let to_json t =
+    let bufs = with_tlock t (fun () -> List.rev t.bufs) in
+    let process_meta =
+      Json.Obj
+        [ ("name", Json.String "process_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int t.pid);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj [ ("name", Json.String "xseed") ]) ]
+    in
+    let per_buf b =
+      let slots = live_slots b in
+      let sorted =
+        List.stable_sort (fun i j -> Float.compare b.tss.(i) b.tss.(j)) slots
+      in
+      metadata_json t b :: List.map (event_json t b) sorted
+    in
+    Json.Obj
+      [ ("traceEvents", Json.List (process_meta :: List.concat_map per_buf bufs));
+        ("displayTimeUnit", Json.String "ms");
+        ("otherData", Json.Obj [ ("wall_origin_s", Json.Float t.wall0) ]) ]
+
+  let write t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let buf = Buffer.create 4096 in
+        Json.to_buffer buf (to_json t);
+        Buffer.add_char buf '\n';
+        output_string oc (Buffer.contents buf))
+
+  (* ---------------- linter ---------------- *)
+
+  (* Structural validation of a (parsed) trace file; the list of violations
+     is empty iff the file is well-formed. Shared by the exporter's tests,
+     [xseed trace-lint] and the trace-smoke CI target, and deliberately
+     checks properties Perfetto is strict about: per-track timestamp
+     monotonicity, matched B/E nesting, flow ids that resolve, balanced
+     async begin/end pairs. *)
+  let lint json =
+    let errors = ref [] in
+    let errf fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+    let num = function
+      | Json.Int i -> Some (float_of_int i)
+      | Json.Float f -> Some f
+      | _ -> None
+    in
+    (match Json.member "traceEvents" json with
+     | None -> errf "missing traceEvents array"
+     | Some (Json.List events) ->
+       let last_ts = Hashtbl.create 16 in (* (pid,tid) -> ts *)
+       let be_stack = Hashtbl.create 16 in (* (pid,tid) -> name list *)
+       let flow_start = Hashtbl.create 16 in
+       let flow_used = Hashtbl.create 16 in
+       let flow_finished = Hashtbl.create 16 in
+       let async_open = Hashtbl.create 16 in (* id -> open count *)
+       List.iteri
+         (fun idx ev ->
+           let ctx = Printf.sprintf "event %d" idx in
+           match ev with
+           | Json.Obj _ ->
+             let str k =
+               match Json.member k ev with
+               | Some (Json.String s) -> Some s
+               | _ -> None
+             in
+             let numf k = Option.bind (Json.member k ev) num in
+             (match str "ph" with
+              | None -> errf "%s: missing ph" ctx
+              | Some "M" -> () (* metadata carries no timestamp contract *)
+              | Some ph ->
+                let name = str "name" in
+                if name = None then errf "%s: missing name" ctx;
+                (match (numf "pid", numf "tid", numf "ts") with
+                 | Some pid, Some tid, Some ts ->
+                   let track = (pid, tid) in
+                   (match Hashtbl.find_opt last_ts track with
+                    | Some prev when ts < prev ->
+                      errf "%s: ts %.3f decreases on tid %g (prev %.3f)" ctx ts
+                        tid prev
+                    | _ -> ());
+                   Hashtbl.replace last_ts track ts;
+                   let id_of () =
+                     match numf "id" with
+                     | Some id -> Some (int_of_float id)
+                     | None ->
+                       errf "%s: ph %s requires an id" ctx ph;
+                       None
+                   in
+                   (match ph with
+                    | "X" ->
+                      (match numf "dur" with
+                       | Some d when d >= 0.0 -> ()
+                       | Some _ -> errf "%s: negative dur" ctx
+                       | None -> errf "%s: X event without dur" ctx)
+                    | "B" ->
+                      let stack =
+                        Option.value ~default:[]
+                          (Hashtbl.find_opt be_stack track)
+                      in
+                      Hashtbl.replace be_stack track
+                        (Option.value ~default:"?" name :: stack)
+                    | "E" ->
+                      (match Hashtbl.find_opt be_stack track with
+                       | Some (open_name :: rest) ->
+                         let this = Option.value ~default:"?" name in
+                         if this <> open_name then
+                           errf "%s: E %S closes B %S" ctx this open_name;
+                         Hashtbl.replace be_stack track rest
+                       | Some [] | None -> errf "%s: E without matching B" ctx)
+                    | "i" | "C" -> ()
+                    | "s" ->
+                      Option.iter
+                        (fun id -> Hashtbl.replace flow_start id ())
+                        (id_of ())
+                    | "t" ->
+                      Option.iter
+                        (fun id -> Hashtbl.replace flow_used id ())
+                        (id_of ())
+                    | "f" ->
+                      Option.iter
+                        (fun id -> Hashtbl.replace flow_finished id ())
+                        (id_of ())
+                    | "b" ->
+                      Option.iter
+                        (fun id ->
+                          let n =
+                            Option.value ~default:0
+                              (Hashtbl.find_opt async_open id)
+                          in
+                          Hashtbl.replace async_open id (n + 1))
+                        (id_of ())
+                    | "e" ->
+                      Option.iter
+                        (fun id ->
+                          match Hashtbl.find_opt async_open id with
+                          | Some n when n > 0 ->
+                            Hashtbl.replace async_open id (n - 1)
+                          | _ -> errf "%s: async end without begin (id %d)" ctx id)
+                        (id_of ())
+                    | ph -> errf "%s: unknown phase %S" ctx ph)
+                 | _ -> errf "%s: missing pid/tid/ts" ctx))
+           | _ -> errf "%s: not an object" ctx)
+         events;
+       Hashtbl.iter
+         (fun (pid, tid) stack ->
+           if stack <> [] then
+             errf "unclosed B span(s) %s on pid %g tid %g"
+               (String.concat "," stack) pid tid)
+         be_stack;
+       Hashtbl.iter
+         (fun id () ->
+           if not (Hashtbl.mem flow_start id) then
+             errf "flow step id %d has no flow start" id)
+         flow_used;
+       Hashtbl.iter
+         (fun id () ->
+           if not (Hashtbl.mem flow_start id) then
+             errf "flow end id %d has no flow start" id)
+         flow_finished;
+       Hashtbl.iter
+         (fun id () ->
+           if not (Hashtbl.mem flow_finished id) then
+             errf "flow id %d never reaches a flow end" id)
+         flow_start;
+       Hashtbl.iter
+         (fun id n ->
+           if n > 0 then errf "async id %d left %d begin(s) unended" id n)
+         async_open
+     | Some _ -> errf "traceEvents is not an array");
+    List.rev !errors
+end

@@ -218,15 +218,24 @@ val observe : ?obs:t -> string -> float -> unit
 (** {1 Events and spans} *)
 
 val now : unit -> float
-(** Wall-clock seconds (the clock spans use); for coarse stage timing. *)
+(** Wall-clock seconds — for {e timestamps} (sink event lines, trace file
+    headers), never for durations: the wall clock jumps under NTP skew. *)
+
+val now_mono : unit -> float
+(** Monotonic seconds ([CLOCK_MONOTONIC]) — the clock for every duration
+    this layer measures (span timing, window rotation, trace events) and
+    for stage timing throughout the pipeline. The origin is arbitrary;
+    only differences are meaningful. Reading it does not allocate. *)
 
 val event : ?obs:t -> ?fields:(string * Json.t) list -> string -> unit
 (** Emit one event to the sink (nothing on [Noop]). *)
 
 val span : ?obs:t -> string -> (unit -> 'a) -> 'a
 (** [span ?obs name f] runs [f]. With a non-[Noop] sink it also emits a
-    begin event, times [f] with the wall clock, and emits an end event
-    carrying [dur_ms]; nested spans indent the stderr pretty-printer.
+    begin event, times [f] with the monotonic clock, and emits an end event
+    carrying [dur_ms]; nested spans indent the stderr pretty-printer
+    (the nesting depth is atomic, so pool workers sharing one context
+    cannot corrupt it).
     The duration is also recorded in histogram [name ^ ".ms"] so snapshots
     include stage timings. With [Noop] (or no [obs]) the only cost is the
     closure call. Exceptions propagate; the end event is still emitted. *)
@@ -274,3 +283,121 @@ val merged : t list -> t
     result aliases nothing and has a [Noop] sink.
     @raise Invalid_argument when one series key has different metric kinds
     across inputs. *)
+
+(** {1 Causal tracing}
+
+    Low-overhead event tracing for the parallel serving path, exported as
+    Chrome trace-event / Perfetto JSON ([chrome://tracing],
+    {{:https://ui.perfetto.dev}ui.perfetto.dev}).
+
+    A {!Trace.t} owns a string-intern table and a set of per-thread ring
+    {!Trace.buf}s. Each buffer belongs to exactly one writer (a worker
+    domain, or a coordinator serialized by its own lock), so the record
+    path takes no lock and touches only preallocated arrays — safe inside
+    the estimate hot loop. Event names are interned once at setup
+    ({!Trace.intern}); recording passes integer ids and monotonic
+    timestamps relative to the trace origin ({!Trace.now}). When a ring
+    wraps, the oldest events are overwritten — a trace keeps the newest
+    [capacity] events per thread.
+
+    {!Trace.to_json} merges all buffers into one [traceEvents] array:
+    [pid] is the process, [tid] the registered thread id, timestamps are
+    microseconds since the trace origin (the wall clock at the origin is
+    carried in [otherData.wall_origin_s]), and each thread's events are
+    sorted by timestamp, which Perfetto requires per track. {!Trace.lint}
+    validates that contract and is what [xseed trace-lint] runs. *)
+
+module Trace : sig
+  type t
+  (** A trace session: intern table, origin clocks, registered buffers. *)
+
+  type buf
+  (** One thread's ring buffer; written by exactly one domain. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** A fresh trace anchored at the current instant. [capacity] (default
+      65536) is the per-buffer ring size used when {!register} does not
+      override it.
+      @raise Invalid_argument when [capacity] < 1. *)
+
+  val intern : t -> string -> int
+  (** The id of [name], interning it on first use. Do this at setup; the
+      record path wants integers. Domain-safe. *)
+
+  val register : ?capacity:int -> t -> tid:int -> name:string -> buf
+  (** A new ring buffer exported under thread id [tid], labelled [name] in
+      the Perfetto track list. Domain-safe; the returned buffer must only
+      ever be written by one domain at a time. *)
+
+  val now : t -> float
+  (** Monotonic seconds since the trace origin — the [ts] every record
+      operation expects. *)
+
+  val rel : t -> float -> float
+  (** Convert an absolute {!now_mono} reading to trace-relative seconds,
+      for call sites that already read the clock for other purposes. *)
+
+  val total : buf -> int
+  (** Lifetime events recorded into [buf] (not capped by the ring size —
+      the tracing-disabled guard test asserts this stays zero). *)
+
+  val trace : buf -> t
+
+  (** {2 Recording}
+
+      All operations write one ring slot; [ts] is trace-relative seconds
+      ({!now}/{!rel}). None of them lock or allocate beyond the boxing of
+      their float arguments. *)
+
+  val complete : buf -> name:int -> ts:float -> dur:float -> unit
+  (** A Chrome [X] (complete) slice starting at [ts], [dur] seconds long.
+      Record it when the slice {e ends} — the exporter re-sorts. *)
+
+  val complete_seq : buf -> name:int -> ts:float -> dur:float -> seq:int -> unit
+  (** {!complete} carrying the query's submission sequence number as a
+      slice argument, so a Perfetto slice links back to flight records. *)
+
+  val begin_span : buf -> name:int -> ts:float -> unit
+  val end_span : buf -> name:int -> ts:float -> unit
+  (** Chrome [B]/[E] pairs; must nest per buffer ({!lint} checks). Prefer
+      {!complete} — one slot instead of two, and it cannot dangle. *)
+
+  val instant : buf -> name:int -> ts:float -> unit
+  val counter : buf -> name:int -> ts:float -> value:float -> unit
+  (** A Chrome [C] sample — per-shard GC counters use these. *)
+
+  val flow_start : buf -> name:int -> ts:float -> id:int -> unit
+  val flow_step : buf -> name:int -> ts:float -> id:int -> unit
+  val flow_end : buf -> name:int -> ts:float -> id:int -> unit
+  (** Flow arrows ([s]/[t]/[f]) under one [id] — the pool threads a query's
+      submission sequence number through submit → execute → reassemble.
+      Flow events should sit inside slices so Perfetto can anchor them. *)
+
+  val async_begin : buf -> name:int -> ts:float -> id:int -> unit
+  val async_end : buf -> name:int -> ts:float -> id:int -> unit
+  (** Async ([b]/[e]) spans under one [id]: unlike [B]/[E] they may overlap
+      freely and may end on a different buffer than they began — the pool's
+      queue-wait spans (begin at enqueue on the coordinator, end at dequeue
+      on the serving shard). *)
+
+  (** {2 Export} *)
+
+  val to_json : t -> Json.t
+  (** The merged trace:
+      [{"traceEvents": [...], "displayTimeUnit": "ms", "otherData": ...}],
+      with per-thread [thread_name] metadata and every thread's events in
+      timestamp order. Safe to call while writers are still recording
+      (slots are copied as-is; a torn in-progress slot can at worst
+      misplace one event, never corrupt the structure). *)
+
+  val write : t -> string -> unit
+  (** {!to_json} serialized to [path], newline-terminated. *)
+
+  val lint : Json.t -> string list
+  (** Structural violations in a parsed trace file; [[]] iff well-formed.
+      Checks: [traceEvents] is an array of objects carrying
+      [ph]/[name]/[pid]/[tid]/[ts]; per-track timestamps never decrease;
+      [X] slices carry a non-negative [dur]; [B]/[E] match and nest;
+      every flow id that is stepped or ended was started, and every
+      started flow id ends; async begin/end counts balance per id. *)
+end

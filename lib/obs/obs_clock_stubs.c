@@ -1,0 +1,21 @@
+/* Monotonic clock for Obs: CLOCK_MONOTONIC seconds as a double.
+   The OCaml-side external is declared [@@noalloc] with an unboxed float
+   return, so the common call compiles to a plain C call with no GC
+   interaction; the boxed variant exists only for bytecode. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+double xseed_obs_monotonic_s_unboxed(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value xseed_obs_monotonic_s(value unit)
+{
+  return caml_copy_double(xseed_obs_monotonic_s_unboxed(unit));
+}

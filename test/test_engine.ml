@@ -477,6 +477,122 @@ let test_protocol_batch () =
     (handle engine "BATCH 1")
 
 (* ------------------------------------------------------------------ *)
+(* PROFILE framing: BATCH-like payload, single breakdown line. *)
+
+(* The reply shape is fixed; the timing digits are not. Split the line into
+   its golden skeleton (labels and zero-valued stages) and check execute
+   fields are parseable non-negative numbers. *)
+let profile_fields line =
+  String.split_on_char ' ' line
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok '=' with
+         | Some i ->
+           Some
+             ( String.sub tok 0 i,
+               String.sub tok (i + 1) (String.length tok - i - 1) )
+         | None -> None)
+
+let test_protocol_profile () =
+  let engine = engine_over correlated_doc in
+  let server = Engine.server engine in
+  let r, reads =
+    serve_handle server ~payload:[ "ESTIMATE /r/a"; "/r/a/b"; "/r/a" ]
+      "PROFILE 3"
+  in
+  checkb "single-line reply" true (not (String.contains r '\n'));
+  checkb "headline counts queries" true (starts_with "OK 3 queue_wait_us " r);
+  checki "exactly 3 payload lines read" 3 !reads;
+  (* On a single engine queue-wait and reassemble are structurally zero;
+     execute percentiles are positive and ordered. *)
+  let fields = profile_fields r in
+  checki "three stages x three percentiles" 9 (List.length fields);
+  List.iteri
+    (fun i (k, v) ->
+      let stage = i / 3 in
+      let v = float_of_string v in
+      checkb (Printf.sprintf "%s parses non-negative" k) true (v >= 0.0);
+      if stage <> 1 then
+        checkb (Printf.sprintf "%s zero on single engine" k) true (v = 0.0))
+    fields;
+  (match List.map (fun (_, v) -> float_of_string v) fields with
+   | [ _; _; _; e50; e90; e99; _; _; _ ] ->
+     checkb "execute percentiles ordered" true (e50 <= e90 && e90 <= e99);
+     checkb "execute measured" true (e99 > 0.0)
+   | _ -> Alcotest.fail "unexpected field count");
+  (* A bad query is timed like any other — the reply is a timing summary. *)
+  let r, _ = serve_handle server ~payload:[ "/r["; "/r/a" ] "PROFILE 2" in
+  checkb "errors do not fail the run" true (starts_with "OK 2 " r);
+  let r, _ = serve_handle server "PROFILE 0" in
+  checks "empty profile is all zeros"
+    "OK 0 queue_wait_us p50=0.0 p90=0.0 p99=0.0 execute_us p50=0.0 p90=0.0 \
+     p99=0.0 reassemble_us p50=0.0 p90=0.0 p99=0.0"
+    r;
+  (* EOF inside the frame: one ERR line, not n. *)
+  let r, _ = serve_handle server ~payload:[ "/r/a" ] "PROFILE 3" in
+  checkb "truncated frame is one io-error" true
+    (starts_with "ERR io-error" r && not (String.contains r '\n'));
+  (* Malformed counts consume nothing. *)
+  List.iter
+    (fun line ->
+      let r, reads = serve_handle server ~payload:[ "/r/a" ] line in
+      checkb
+        (Printf.sprintf "%S -> one-line ERR (got %S)" line r)
+        true
+        (starts_with "ERR malformed-query" r && not (String.contains r '\n'));
+      checki (Printf.sprintf "%S consumed no payload" line) 0 !reads)
+    [ "PROFILE"; "PROFILE -2"; "PROFILE x";
+      Printf.sprintf "PROFILE %d" (Engine.Serve.max_batch + 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine tracing: with ?trace the request path records slices; without it
+   the trace session never sees a single ring write. *)
+
+let test_engine_tracing () =
+  let kernel = Core.Builder.of_string correlated_doc in
+  let mk trace =
+    Engine.create ?trace
+      (Core.Estimator.create ~het:(Core.Het.create ()) kernel)
+  in
+  let tr = Obs.Trace.create () in
+  let traced = mk (Some tr) in
+  ignore (Engine.estimate traced "/r/a" : _ result);
+  ignore (Engine.estimate traced "/r/a" : _ result);
+  ignore (Engine.feedback traced "/r/a" ~actual:8 : _ result);
+  ignore (Engine.explain traced "/r/a/b" : _ result);
+  let json = Obs.Trace.to_json tr in
+  let names =
+    match Obs.Json.member "traceEvents" json with
+    | Some (Obs.Json.List evs) ->
+      List.filter_map
+        (fun e ->
+          match (Obs.Json.member "ph" e, Obs.Json.member "name" e) with
+          | Some (Obs.Json.String "X"), Some (Obs.Json.String n) -> Some n
+          | _ -> None)
+        evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  List.iter
+    (fun expected ->
+      checkb (Printf.sprintf "%s slice recorded" expected) true
+        (List.mem expected names))
+    [ "estimate"; "canonicalize"; "pipeline"; "feedback"; "explain" ];
+  checkb "trace lints clean" true (Obs.Trace.lint json = []);
+  (* An untraced engine sharing the session would be a bug; a fresh session
+     next to an untraced engine stays completely empty. *)
+  let tr2 = Obs.Trace.create () in
+  let plain = mk None in
+  ignore (Engine.estimate plain "/r/a" : _ result);
+  (match Obs.Json.member "traceEvents" (Obs.Trace.to_json tr2) with
+   | Some (Obs.Json.List evs) ->
+     checki "no trace -> zero ring writes" 0
+       (List.length
+          (List.filter
+             (fun e ->
+               Obs.Json.member "ph" e <> Some (Obs.Json.String "M"))
+             evs))
+   | _ -> Alcotest.fail "traceEvents missing")
+
+(* ------------------------------------------------------------------ *)
 (* The pool behind the same protocol (--workers N). Exact estimate values
    are deterministic across workers; cache statuses are not (they depend on
    which shard served the query), so goldens here never depend on a repeat
@@ -816,6 +932,8 @@ let () =
         [ Alcotest.test_case "well-formed requests" `Quick test_protocol_ok;
           Alcotest.test_case "malformed requests" `Quick test_protocol_errors;
           Alcotest.test_case "BATCH framing" `Quick test_protocol_batch;
+          Alcotest.test_case "PROFILE framing" `Quick test_protocol_profile;
+          Alcotest.test_case "engine tracing" `Quick test_engine_tracing;
           Alcotest.test_case "pool server (--workers)" `Quick
             test_protocol_pool ] );
       ( "telemetry",

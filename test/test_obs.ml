@@ -254,6 +254,54 @@ let prop_snapshot_reparses =
 (* ------------------------------------------------------------------ *)
 (* Spans and sinks *)
 
+let test_monotonic_clock () =
+  (* now_mono never goes backwards, and span durations measured with it are
+     non-negative even if the wall clock were stepped mid-span. *)
+  let a = Obs.now_mono () in
+  let b = Obs.now_mono () in
+  Alcotest.(check bool) "now_mono monotone" true (b >= a);
+  Alcotest.(check bool) "now_mono positive" true (a > 0.0);
+  let obs = Obs.create () in
+  ignore (Obs.span ~obs "stage" (fun () -> Sys.opaque_identity 1) : int);
+  Alcotest.(check bool) "wall clock still available" true (Obs.now () > 0.0)
+
+let test_sink_multi_domain () =
+  (* Four domains run nested spans against one Jsonl-sink context at once:
+     the span depth is an atomic, so this must neither crash nor wedge, and
+     every span must emit its begin/end pair. *)
+  let path = Filename.temp_file "obs_domains" ".jsonl" in
+  let obs = Obs.create ~sink:(Obs.jsonl_file path) () in
+  let spans_per_domain = 50 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to spans_per_domain do
+              ignore
+                (Obs.span ~obs "outer" (fun () ->
+                     Obs.span ~obs "inner" (fun () -> Sys.opaque_identity 1))
+                  : int)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Obs.close obs;
+  let ic = open_in path in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  Sys.remove path;
+  let count event =
+    List.length
+      (List.filter
+         (fun l ->
+           match Obs.Json.member "event" (Obs.Json.of_string l) with
+           | Some (Obs.Json.String e) -> e = event
+           | _ -> false)
+         lines)
+  in
+  let expected = 4 * spans_per_domain * 2 in
+  Alcotest.(check int) "every span begin recorded" expected
+    (count "span_begin");
+  Alcotest.(check int) "every span end recorded" expected (count "span_end")
+
 let test_span_noop () =
   let obs = Obs.create () in
   (* Noop sink: the body runs, the result flows through, no timing. *)
@@ -432,8 +480,10 @@ let () =
         ] );
       ( "sinks",
         [
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
           Alcotest.test_case "span noop" `Quick test_span_noop;
           Alcotest.test_case "span timed" `Quick test_span_timed;
+          Alcotest.test_case "multi-domain sink" `Quick test_sink_multi_domain;
           Alcotest.test_case "jsonl snapshot" `Quick test_jsonl_snapshot_roundtrip;
         ] );
       ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);

@@ -196,18 +196,201 @@ let test_pool_batch_order () =
     batch
 
 (* ------------------------------------------------------------------ *)
-(* Stress: 4 client domains x STRESS_OPS mixed operations, fixed seed. *)
+(* Work-queue contention stats. The queue counts a wait (and starts its
+   clock) under the lock *before* sleeping, so polling [stats] until
+   [push_waits]/[pop_waits] ticks is a deterministic rendezvous with a
+   blocked domain — no sleeps, no flakes. *)
 
-let env_int name default =
-  match Sys.getenv_opt name with
-  | Some s ->
-    (match int_of_string_opt s with
-     | Some n when n > 0 -> n
-     | _ -> invalid_arg (name ^ " must be a positive integer"))
-  | None -> default
+let test_queue_stats () =
+  let q = Engine.Work_queue.create ~capacity:2 in
+  let s0 = Engine.Work_queue.stats q in
+  checki "fresh pushes" 0 s0.Engine.Work_queue.pushes;
+  checki "fresh pops" 0 s0.Engine.Work_queue.pops;
+  checki "fresh high-water" 0 s0.Engine.Work_queue.max_occupancy;
+  checkb "push 1" true (Engine.Work_queue.push q 1);
+  checkb "push 2" true (Engine.Work_queue.push q 2);
+  let s1 = Engine.Work_queue.stats q in
+  checki "two pushes" 2 s1.Engine.Work_queue.pushes;
+  checki "high-water follows occupancy" 2 s1.Engine.Work_queue.max_occupancy;
+  checki "uncontended pushes never wait" 0 s1.Engine.Work_queue.push_waits;
+  let producer = Domain.spawn (fun () -> Engine.Work_queue.push q 3) in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.push_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  checkb "pop releases the blocked producer" true
+    (Engine.Work_queue.pop q = Some 1);
+  checkb "blocked push lands" true (Domain.join producer);
+  let s2 = Engine.Work_queue.stats q in
+  checki "blocked push counted once" 1 s2.Engine.Work_queue.push_waits;
+  checkb "producer blocking time accumulates" true
+    (s2.Engine.Work_queue.push_wait_s > 0.0);
+  (* Symmetric consumer-side wait on an empty ring. *)
+  checkb "drain 2" true (Engine.Work_queue.pop q = Some 2);
+  checkb "drain 3" true (Engine.Work_queue.pop q = Some 3);
+  let consumer = Domain.spawn (fun () -> Engine.Work_queue.pop q) in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  checkb "push releases the blocked consumer" true (Engine.Work_queue.push q 9);
+  checkb "blocked pop sees the push" true (Domain.join consumer = Some 9);
+  let s3 = Engine.Work_queue.stats q in
+  checki "all pushes counted" 4 s3.Engine.Work_queue.pushes;
+  checki "all pops counted" 4 s3.Engine.Work_queue.pops;
+  checki "blocked pop counted once" 1 s3.Engine.Work_queue.pop_waits;
+  checkb "consumer blocking time accumulates" true
+    (s3.Engine.Work_queue.pop_wait_s > 0.0)
 
-let stress_ops () = env_int "STRESS_OPS" 800
-let stress_workers () = env_int "STRESS_WORKERS" 4
+(* ------------------------------------------------------------------ *)
+(* PROFILE: per-stage percentiles over one measured batch, and the
+   protocol spelling of the same. *)
+
+let serve_handle server ?(payload = []) line =
+  let remaining = ref payload in
+  let read_line () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+      remaining := rest;
+      Some l
+  in
+  match Engine.Serve.handle_request server ~read_line line with
+  | Some r -> r
+  | None -> Alcotest.failf "no response to %S" line
+
+let test_pool_profile () =
+  let _, pool = build_pool ~workers:4 Datagen.Paper_example.document in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries =
+    List.init 12 (fun i -> if i mod 2 = 0 then "/site/regions" else "/site")
+  in
+  (match Engine.Pool.profile pool queries with
+   | Error e -> Alcotest.failf "profile: %s" (Core.Error.to_string e)
+   | Ok p ->
+     checki "every query measured" 12 p.Engine.Serve.profiled;
+     let ordered (s : Engine.Serve.stage_percentiles) =
+       0.0 <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99
+     in
+     checkb "queue-wait percentiles ordered" true
+       (ordered p.Engine.Serve.queue_wait_us);
+     checkb "execute percentiles ordered" true
+       (ordered p.Engine.Serve.execute_us);
+     checkb "reassemble percentiles ordered" true
+       (ordered p.Engine.Serve.reassemble_us);
+     checkb "execute time is measured" true
+       (p.Engine.Serve.execute_us.Engine.Serve.p99 > 0.0));
+  (* The protocol verb frames like BATCH (count, then payload lines) and
+     answers in one line; a bad query is timed, not failed. *)
+  let server = Engine.Pool.server pool in
+  let r =
+    serve_handle server
+      ~payload:[ "/site/regions"; "/site"; "/site[" ]
+      "PROFILE 3"
+  in
+  checkb "single-line reply" true (not (String.contains r '\n'));
+  checkb "profile reply shape" true
+    (String.starts_with ~prefix:"OK 3 queue_wait_us " r);
+  match String.split_on_char ' ' r with
+  | "OK" :: "3" :: rest ->
+    let kvs = List.filter (fun tok -> String.contains tok '=') rest in
+    checki "nine stage fields" 9 (List.length kvs);
+    List.iter
+      (fun tok ->
+        let i = String.index tok '=' in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match float_of_string_opt v with
+        | Some f ->
+          checkb (tok ^ " is a finite stage time") true
+            (Float.is_finite f && f >= 0.0)
+        | None -> Alcotest.failf "unparseable field %S" tok)
+      kvs
+  | _ -> Alcotest.failf "unexpected PROFILE reply %S" r
+
+(* ------------------------------------------------------------------ *)
+(* Causal trace: a traced 4-worker pool exports a lint-clean Perfetto
+   trace whose slices land on the right tracks and whose flows resolve. *)
+
+let trace_events json =
+  match Obs.Json.member "traceEvents" json with
+  | Some (Obs.Json.List evs) -> evs
+  | _ -> Alcotest.fail "trace without traceEvents"
+
+let ev_str field ev =
+  match Obs.Json.member field ev with
+  | Some (Obs.Json.String s) -> Some s
+  | _ -> None
+
+let ev_int field ev =
+  match Obs.Json.member field ev with
+  | Some (Obs.Json.Int n) -> Some n
+  | Some (Obs.Json.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let count pred evs = List.length (List.filter pred evs)
+
+let test_pool_trace () =
+  let path_tree =
+    Pathtree.Path_tree.of_string Datagen.Paper_example.document
+  in
+  let kernel =
+    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table
+      Datagen.Paper_example.document
+  in
+  let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
+  let estimator = Core.Estimator.create ~het kernel in
+  let tr = Obs.Trace.create () in
+  let pool = Engine.Pool.create ~workers:4 ~trace:tr estimator in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries =
+    List.init 16 (fun i -> if i mod 2 = 0 then "/site/regions" else "/site")
+  in
+  checki "batch answered" 16
+    (List.length (Engine.Pool.estimate_batch pool queries));
+  (match Engine.Pool.feedback pool "/site/regions" ~actual:3 with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "feedback: %s" (Core.Error.to_string e));
+  (match Engine.Pool.explain pool "/site/regions" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "explain: %s" (Core.Error.to_string e));
+  let json = Obs.Trace.to_json tr in
+  (match Obs.Trace.lint json with
+   | [] -> ()
+   | problems ->
+     Alcotest.failf "pool trace lint: %s" (String.concat "; " problems));
+  let evs = trace_events json in
+  let named ph name ev =
+    ev_str "ph" ev = Some ph && ev_str "name" ev = Some name
+  in
+  let executes = List.filter (named "X" "execute") evs in
+  checkb "one execute slice per query" true (List.length executes >= 16);
+  checkb "execute slices live on shard tracks" true
+    (List.for_all
+       (fun ev ->
+         match ev_int "tid" ev with
+         | Some tid -> tid >= 1 && tid <= 4
+         | None -> false)
+       executes);
+  checkb "coordinator frames the batch" true
+    (count (named "X" "batch_submit") evs >= 1
+    && count (named "X" "batch_gather") evs >= 1);
+  let flows_started = count (fun ev -> ev_str "ph" ev = Some "s") evs in
+  checkb "one flow per query" true (flows_started >= 16);
+  checki "every flow lands" flows_started
+    (count (fun ev -> ev_str "ph" ev = Some "f") evs);
+  checki "queue-wait spans balance"
+    (count (fun ev -> ev_str "ph" ev = Some "b") evs)
+    (count (fun ev -> ev_str "ph" ev = Some "e") evs);
+  checkb "gc counters sampled" true
+    (count (fun ev -> ev_str "ph" ev = Some "C") evs > 0);
+  checki "drained feedback traced" 1 (count (named "X" "feedback") evs);
+  checki "drained explain traced" 1 (count (named "X" "explain") evs);
+  checki "coordinator + 4 shard name rows" 5
+    (count
+       (fun ev ->
+         ev_str "ph" ev = Some "M" && ev_str "name" ev = Some "thread_name")
+       evs)
+
+(* ------------------------------------------------------------------ *)
+(* Contention telemetry surfaces in the merged exposition and STATS. *)
 
 (* A metrics exposition parses iff every non-comment line is
    "name{labels} value" with a finite value and names are sorted runs
@@ -228,6 +411,59 @@ let lint_prometheus text =
            | None -> Alcotest.failf "unparseable value in %S" line)
       end)
     lines
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pool_telemetry_metrics () =
+  let _, pool = build_pool ~workers:2 Datagen.Paper_example.document in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  ignore
+    (Engine.Pool.estimate_batch pool (List.init 8 (fun _ -> "/site/regions"))
+      : (Engine.Serve.estimate_reply, Core.Error.t) result list);
+  let text = Engine.Pool.metrics_text pool in
+  lint_prometheus text;
+  List.iter
+    (fun needle -> checkb needle true (contains ~needle text))
+    [ "xseed_engine_pool_queue_wait_us_count";
+      "xseed_engine_pool_batch_chunk_count";
+      "xseed_engine_pool_queue_pushes";
+      "xseed_engine_pool_queue_max_occupancy";
+      "xseed_engine_gc_minor_words{shard=\"0\"}";
+      "xseed_engine_gc_minor_words{shard=\"1\"}";
+      "xseed_engine_pool_busy_fraction{shard=\"0\"}";
+      "xseed_engine_pool_busy_fraction{shard=\"1\"}" ];
+  (* STATS mirrors the queue's contention counters. *)
+  match Engine.Pool.stats_json pool with
+  | Obs.Json.Obj fields ->
+    (match List.assoc_opt "pool" fields with
+     | Some (Obs.Json.Obj pf) ->
+       List.iter
+         (fun k -> checkb ("pool stats has " ^ k) true (List.mem_assoc k pf))
+         [ "queue_pushes"; "queue_pops"; "queue_push_waits";
+           "queue_pop_waits"; "queue_push_wait_s"; "queue_pop_wait_s";
+           "queue_max_occupancy" ];
+       (match List.assoc "queue_pushes" pf with
+        | Obs.Json.Int n -> checkb "batch traffic counted" true (n >= 8)
+        | _ -> Alcotest.fail "queue_pushes not an int")
+     | _ -> Alcotest.fail "stats without pool object")
+  | _ -> Alcotest.fail "stats_json not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Stress: 4 client domains x STRESS_OPS mixed operations, fixed seed. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s ->
+    (match int_of_string_opt s with
+     | Some n when n > 0 -> n
+     | _ -> invalid_arg (name ^ " must be a positive integer"))
+  | None -> default
+
+let stress_ops () = env_int "STRESS_OPS" 800
+let stress_workers () = env_int "STRESS_WORKERS" 4
 
 let test_pool_stress () =
   let ops = stress_ops () in
@@ -325,7 +561,8 @@ let () =
     [ ( "work-queue",
         [ Alcotest.test_case "fifo ring" `Quick test_queue_fifo;
           Alcotest.test_case "close drains" `Quick test_queue_close_drains;
-          Alcotest.test_case "concurrent producers" `Quick test_queue_concurrent
+          Alcotest.test_case "concurrent producers" `Quick test_queue_concurrent;
+          Alcotest.test_case "contention stats" `Quick test_queue_stats
         ] );
       ( "drift",
         [ Alcotest.test_case "shard accounting" `Quick test_drift_shards_sum ] );
@@ -333,6 +570,10 @@ let () =
         [ Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
           Alcotest.test_case "invalidate bumps epoch" `Quick
             test_pool_invalidate_bumps_epoch;
-          Alcotest.test_case "batch order" `Quick test_pool_batch_order ] );
+          Alcotest.test_case "batch order" `Quick test_pool_batch_order;
+          Alcotest.test_case "profile stages" `Quick test_pool_profile;
+          Alcotest.test_case "causal trace" `Quick test_pool_trace;
+          Alcotest.test_case "telemetry metrics" `Quick
+            test_pool_telemetry_metrics ] );
       ("stress", [ Alcotest.test_case "4-domain mixed ops" `Slow test_pool_stress ])
     ]
