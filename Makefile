@@ -4,7 +4,7 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt fuzz-smoke smoke trace-smoke stress bench-smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke chaos-smoke smoke trace-smoke stress bench-smoke bench-json ci clean
 
 # Worker-domain count for the stress/serve smoke (the CI matrix sets 1 and 4).
 WORKERS ?= 4
@@ -31,7 +31,19 @@ fmt:
 # documents, synopsis dumps and query strings. Fails on any uncaught
 # exception or NaN estimate; a failure line names the (seed, case) pair.
 fuzz-smoke: build
-	$(DUNE) exec --no-build test/fault_injection.exe -- --seeds 1,2,3,4 --cases 200
+	$(DUNE) exec --no-build test/fault_injection.exe -- --seeds 1,2,3,4 --cases 200 \
+	  --only xml,synopsis,query
+
+# Chaos smoke: the serving path's failure model end to end — fault
+# injection over the pool/journal/deadline categories, a kill -9 +
+# torn-tail + replay crash-recovery proof against a live server, golden
+# journal-dump exit codes and a SIGTERM drain. Journals land in
+# $(SMOKE_DIR)/chaos for CI to upload.
+chaos-smoke: build
+	SMOKE_DIR="$(SMOKE_DIR)" \
+	  XSEED_BIN=_build/default/bin/xseed.exe \
+	  FAULT_BIN=_build/default/test/fault_injection.exe \
+	  sh test/chaos_smoke.sh
 
 # End-to-end smoke: generate a corpus, build a synopsis, explain a query,
 # compare estimates vs actuals with JSON-lines metrics on.
@@ -107,7 +119,7 @@ stress: build
 	fi
 	@echo "stress: OK (WORKERS=$(WORKERS))"
 
-ci: fmt build test fuzz-smoke smoke bench-smoke trace-smoke stress
+ci: fmt build test fuzz-smoke chaos-smoke smoke bench-smoke trace-smoke stress
 
 clean:
 	$(DUNE) clean

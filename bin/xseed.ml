@@ -36,6 +36,13 @@ let load_synopsis path =
   | Ok syn -> syn
   | Error e -> raise (Core.Error.Xseed e)
 
+let ok_or_raise = function Ok v -> v | Error e -> raise (Core.Error.Xseed e)
+
+(* Graceful drain: SIGTERM/SIGINT raise this on the main (serving) domain,
+   unwinding the serve loop so the normal shutdown path runs — stop
+   admission, drain in-flight work, flush journal/trace/telemetry, exit 0. *)
+exception Drain_signal of int
+
 (* ------------------------------------------------------------------ *)
 (* Arguments. Positional paths are plain strings — existence is checked by
    [read_file] so a missing file exits 66, not cmdliner's usage error. *)
@@ -443,6 +450,62 @@ let trace_out_arg =
                  Perfetto or chrome://tracing; validate with $(b,xseed \
                  trace-lint))")
 
+let queue_capacity_arg =
+  Arg.(value & opt int 256
+       & info [ "queue-capacity" ] ~docv:"N"
+           ~doc:"Admission-queue capacity of the worker pool (jobs); only \
+                 meaningful with --workers >= 2")
+
+let deadline_ms_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline in milliseconds, measured on the \
+                 monotonic clock from admission. A request that overruns it \
+                 answers ERR timeout instead of executing. 0 or absent \
+                 disables deadlines")
+
+let shed_policy_arg =
+  Arg.(value
+       & opt (enum [ ("block", `Block); ("shed-newest", `Shed_newest) ]) `Block
+       & info [ "shed-policy" ] ~docv:"POLICY"
+           ~doc:"What a full admission queue does to new requests: 'block' \
+                 (default) applies backpressure, 'shed-newest' answers ERR \
+                 overloaded immediately")
+
+let max_batch_arg =
+  Arg.(value & opt int Engine.Serve.max_batch
+       & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Upper bound on a single BATCH/PROFILE count; larger frames \
+                 are rejected with an ERR naming the limit before any \
+                 payload line is read")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:"Crash-safe feedback journal: replay $(docv) through the \
+                 feedback path at startup (recovering a torn or corrupt \
+                 tail by truncation), then append every accepted FEEDBACK \
+                 to it before acknowledging")
+
+let journal_fsync_arg =
+  Arg.(value & opt string "always"
+       & info [ "journal-fsync" ] ~docv:"POLICY"
+           ~doc:"Journal durability: 'always' fsyncs every append, 'never' \
+                 leaves flushing to the OS, an integer N fsyncs every Nth \
+                 append")
+
+let fsync_of = function
+  | "always" -> `Always
+  | "never" -> `Never
+  | s ->
+    (match int_of_string_opt s with
+     | Some n when n >= 1 -> `Every n
+     | _ ->
+       Core.Error.raisef Core.Error.Malformed_query
+         "--journal-fsync expects 'always', 'never' or a positive integer \
+          (got %S)"
+         s)
+
 (* Build the trace session (when requested) and return it with a finalizer
    that exports the merged rings. Export failures are I/O errors (74). *)
 let trace_of trace_out =
@@ -458,7 +521,8 @@ let trace_of trace_out =
 
 let serve_cmd =
   let run synopsis_file threshold qerror_threshold cache_capacity telemetry_out
-      snapshot_every drift_p90 workers trace_out obs_spec =
+      snapshot_every drift_p90 workers queue_capacity deadline_ms shed_policy
+      max_batch journal_path journal_fsync trace_out obs_spec =
     protect @@ fun () ->
     (match snapshot_every with
      | Some n when n < 1 ->
@@ -467,6 +531,21 @@ let serve_cmd =
      | _ -> ());
     if workers < 1 then
       Core.Error.raisef Core.Error.Malformed_query "--workers must be >= 1";
+    if queue_capacity < 1 then
+      Core.Error.raisef Core.Error.Malformed_query
+        "--queue-capacity must be >= 1";
+    if max_batch < 1 then
+      Core.Error.raisef Core.Error.Malformed_query "--max-batch must be >= 1";
+    let deadline_s =
+      match deadline_ms with
+      | None -> None
+      | Some ms when ms < 0.0 || Float.is_nan ms ->
+        Core.Error.raisef Core.Error.Malformed_query
+          "--deadline-ms must be >= 0"
+      | Some ms when ms = 0.0 -> None
+      | Some ms -> Some (ms /. 1000.0)
+    in
+    let fsync = fsync_of journal_fsync in
     (* Serving always keeps a metrics registry (the METRICS scrape needs
        one even without --trace/--metrics-out), shared with the estimator
        so pipeline counters land beside the engine's. *)
@@ -494,7 +573,25 @@ let serve_cmd =
     in
     let trace, write_trace = trace_of trace_out in
     let requests = ref 0 in
+    (* SIGTERM/SIGINT may be delivered on any domain. Only the main domain
+       may unwind the serve loop by raising (interrupting the blocked
+       [input_line]); a worker domain just records the request, which the
+       main domain converts into a raise after the in-flight request. *)
+    let drain_pending = Atomic.make 0 in
+    let main_domain = Domain.self () in
+    let install_signals () =
+      let handler signum =
+        if Domain.self () = main_domain then raise (Drain_signal signum)
+        else Atomic.set drain_pending signum
+      in
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle handler))
+        [ Sys.sigterm; Sys.sigint ]
+    in
     let on_request publish () =
+      (match Atomic.get drain_pending with
+       | 0 -> ()
+       | signum -> raise (Drain_signal signum));
       incr requests;
       match snapshot_every with
       | Some n when !requests mod n = 0 ->
@@ -507,33 +604,91 @@ let serve_cmd =
        FEEDBACK/EXPLAIN/STATS/METRICS/RECENT/DRIFT lines from stdin@."
       synopsis_file workers
       (if workers = 1 then "" else "s");
+    let drained = ref None in
+    let journal = ref None in
+    (* Journal startup: recover (truncating a dirty tail), replay the
+       surviving entries through the live feedback path so the learned HET
+       state matches the pre-crash engine, then append from here on. *)
+    let serve_on base_server publish =
+      let server =
+        match journal_path with
+        | None -> base_server
+        | Some path ->
+          let scan = ok_or_raise (Engine.Journal.recover path) in
+          (match scan.Engine.Journal.tail with
+           | Engine.Journal.Clean -> ()
+           | Engine.Journal.Torn off ->
+             Format.eprintf
+               "xseed serve: journal %s: torn tail at byte %d (crash \
+                residue); truncated to %d bytes@."
+               path off scan.Engine.Journal.valid_bytes
+           | Engine.Journal.Corrupt off ->
+             Format.eprintf
+               "xseed serve: journal %s: corrupt frame at byte %d; \
+                truncated to %d bytes@."
+               path off scan.Engine.Journal.valid_bytes);
+          let failed = ref 0 in
+          List.iter
+            (fun (e : Engine.Journal.entry) ->
+              match
+                base_server.Engine.Serve.feedback e.Engine.Journal.query
+                  ~actual:e.Engine.Journal.actual
+              with
+              | Ok _ -> ()
+              | Error _ -> incr failed)
+            scan.Engine.Journal.entries;
+          if scan.Engine.Journal.frames > 0 then
+            Format.eprintf
+              "xseed serve: journal %s: replayed %d feedback entries%s@."
+              path scan.Engine.Journal.frames
+              (if !failed = 0 then ""
+               else Printf.sprintf " (%d failed to apply)" !failed);
+          let w = ok_or_raise (Engine.Journal.open_append ~fsync path) in
+          journal := Some w;
+          Engine.Journal.wrap_server w base_server
+      in
+      install_signals ();
+      try
+        Engine.Serve.run ~on_request:(on_request publish) ~max_batch server
+          stdin stdout
+      with Drain_signal signum -> drained := Some signum
+    in
     if workers = 1 then begin
       let engine =
         Engine.create ~qerror_threshold ~cache_capacity
-          ~drift_p90_threshold:drift_p90 ~obs ?trace estimator
+          ~drift_p90_threshold:drift_p90 ~obs ?trace ?deadline_s estimator
       in
       set_on_record (Engine.set_on_record engine);
-      Engine.Protocol.run
-        ~on_request:(on_request (fun () -> Engine.publish_telemetry engine))
-        engine stdin stdout;
+      serve_on (Engine.server engine) (fun () ->
+          Engine.publish_telemetry engine);
       Engine.publish_telemetry engine
     end
     else begin
       let pool =
         Engine.Pool.create ~workers ~qerror_threshold ~cache_capacity
-          ~drift_p90_threshold:drift_p90 ?trace estimator
+          ~drift_p90_threshold:drift_p90 ~queue_capacity ?trace ?deadline_s
+          ~shed_policy estimator
       in
       set_on_record (Engine.Pool.set_on_record pool);
       Fun.protect
         ~finally:(fun () -> Engine.Pool.shutdown pool)
-        (fun () ->
-          Engine.Serve.run
-            ~on_request:(on_request (fun () -> ()))
-            (Engine.Pool.server pool) stdin stdout)
+        (fun () -> serve_on (Engine.Pool.server pool) (fun () -> ()))
     end;
+    (* Drain ordering (DESIGN.md §13): admission already stopped (the serve
+       loop has exited) and in-flight work drained (Pool.shutdown above);
+       now flush durable state — trace, journal, telemetry, metrics. *)
     write_trace ();
+    (match !journal with Some w -> Engine.Journal.close w | None -> ());
     Option.iter close_out telemetry_oc;
-    finish_obs (Some obs)
+    finish_obs (Some obs);
+    match !drained with
+    | None -> ()
+    | Some signum ->
+      (* Fall through to the normal exit path: a drained stop is exit 0. *)
+      Format.eprintf
+        "xseed serve: received %s; drained in-flight work and flushed \
+         state@."
+        (if signum = Sys.sigterm then "SIGTERM" else "SIGINT")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -543,10 +698,16 @@ let serve_cmd =
              text), RECENT [n] (flight records), DRIFT (sliding-window \
              accuracy). Feedback whose q-error crosses the threshold \
              refreshes the HET in place; --workers N spreads estimates \
-             across N domains sharing the synopsis")
+             across N domains sharing the synopsis. Failure handling: \
+             --deadline-ms bounds each request (ERR timeout), \
+             --shed-policy shed-newest refuses over a full --queue-capacity \
+             (ERR overloaded), --journal makes feedback crash-safe, and \
+             SIGTERM/SIGINT drain in-flight work then exit 0")
     Term.(const run $ synopsis_arg $ override_threshold_arg
           $ qerror_threshold_arg $ cache_capacity_arg $ telemetry_out_arg
-          $ snapshot_every_arg $ drift_p90_arg $ workers_arg $ trace_out_arg
+          $ snapshot_every_arg $ drift_p90_arg $ workers_arg
+          $ queue_capacity_arg $ deadline_ms_arg $ shed_policy_arg
+          $ max_batch_arg $ journal_arg $ journal_fsync_arg $ trace_out_arg
           $ obs_term)
 
 (* Replay: drive a workload through estimate -> execute -> feedback rounds
@@ -715,6 +876,54 @@ let trace_lint_cmd =
              is structurally invalid, 66 when the file is missing")
     Term.(const run $ trace_file_arg)
 
+(* Lint a feedback journal: decode every frame (checking CRCs), print the
+   entries as JSON-lines, and classify the tail. Exit codes follow the
+   sysexits contract: 0 for a clean journal OR a torn tail (expected crash
+   residue the serving path recovers silently), 74 for mid-file corruption
+   (a fully-present frame failing CRC or parse — data after it is lost),
+   65 when the file is not a journal at all, 66 when it is missing. *)
+let journal_dump_cmd =
+  let journal_file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JOURNAL"
+             ~doc:"Feedback journal written by 'xseed serve --journal'")
+  in
+  let run path =
+    protect @@ fun () ->
+    let scan = ok_or_raise (Engine.Journal.scan_file path) in
+    List.iter
+      (fun (e : Engine.Journal.entry) ->
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [ ("query", Obs.Json.String e.Engine.Journal.query);
+                  ("actual", Obs.Json.Int e.Engine.Journal.actual) ])))
+      scan.Engine.Journal.entries;
+    match scan.Engine.Journal.tail with
+    | Engine.Journal.Clean ->
+      Format.eprintf "%s: %d frames, %d bytes, clean tail@." path
+        scan.Engine.Journal.frames scan.Engine.Journal.valid_bytes
+    | Engine.Journal.Torn off ->
+      Format.eprintf
+        "%s: %d frames, torn tail at byte %d (crash residue; recoverable \
+         by truncating to %d bytes)@."
+        path scan.Engine.Journal.frames off scan.Engine.Journal.valid_bytes
+    | Engine.Journal.Corrupt off ->
+      Format.eprintf
+        "%s: %d frames, corrupt frame at byte %d (CRC or parse failure); \
+         frames after byte %d are lost@."
+        path scan.Engine.Journal.frames off scan.Engine.Journal.valid_bytes;
+      exit 74
+  in
+  Cmd.v
+    (Cmd.info "journal-dump"
+       ~doc:"Decode a feedback journal: print one JSON object per valid \
+             frame to stdout and a tail summary to stderr. Exits 0 when the \
+             journal is clean or carries only a torn tail (crash residue), \
+             74 on mid-file corruption, 65 when the file is not a journal, \
+             66 when it is missing")
+    Term.(const run $ journal_file_arg)
+
 let () =
   let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
   let info = Cmd.info "xseed" ~version:"1.0.0" ~doc in
@@ -723,7 +932,7 @@ let () =
       (Cmd.group info
          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
            ept_cmd; generate_cmd; workload_cmd; compare_cmd; serve_cmd;
-           replay_cmd; trace_lint_cmd ])
+           replay_cmd; trace_lint_cmd; journal_dump_cmd ])
   in
   (* Remap cmdliner's reserved codes onto the sysexits contract documented
      in the README: 64 for a command-line usage error, 70 for anything the

@@ -6,6 +6,8 @@ type kind =
   | Missing_file
   | Io_error
   | Internal
+  | Timeout
+  | Overloaded
 
 type t = {
   kind : kind;
@@ -31,15 +33,20 @@ let kind_name = function
   | Missing_file -> "missing-file"
   | Io_error -> "io-error"
   | Internal -> "internal"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
 
-(* sysexits.h: EX_DATAERR 65, EX_NOINPUT 66, EX_SOFTWARE 70, EX_IOERR 74.
-   EX_USAGE 64 is assigned by the CLI driver for command-line errors. *)
+(* sysexits.h: EX_DATAERR 65, EX_NOINPUT 66, EX_SOFTWARE 70, EX_IOERR 74,
+   EX_TEMPFAIL 75 (the two transient serving failures: a request deadline
+   expired, or admission control shed the request under load). EX_USAGE 64
+   is assigned by the CLI driver for command-line errors. *)
 let exit_code t =
   match t.kind with
   | Malformed_xml | Malformed_query | Corrupt_synopsis | Limit_exceeded -> 65
   | Missing_file -> 66
   | Io_error -> 74
   | Internal -> 70
+  | Timeout | Overloaded -> 75
 
 let kind t = t.kind
 let position t = t.position
@@ -55,6 +62,8 @@ let pp ppf t =
     | Missing_file -> "missing file"
     | Io_error -> "I/O error"
     | Internal -> "internal error"
+    | Timeout -> "deadline exceeded"
+    | Overloaded -> "overloaded"
   in
   Format.fprintf ppf "%s" (describe t.kind);
   (match (t.section, t.position) with

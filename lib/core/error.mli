@@ -16,6 +16,9 @@ type kind =
   | Missing_file  (** input path does not exist *)
   | Io_error  (** the OS refused a read or write *)
   | Internal  (** an invariant violation surfaced as an exception *)
+  | Timeout  (** a per-request deadline expired before the answer was ready *)
+  | Overloaded
+      (** admission control shed the request instead of queueing it *)
 
 type t = {
   kind : kind;
@@ -49,8 +52,9 @@ val message : t -> string
 val exit_code : t -> int
 (** The CLI exit-code contract (sysexits.h): 65 for malformed data of any
     kind (XML, query, synopsis, limit), 66 for a missing file, 74 for an
-    I/O error, 70 for internal errors. 64 (usage) is produced by the
-    command-line layer itself. *)
+    I/O error, 70 for internal errors, 75 (EX_TEMPFAIL) for the transient
+    serving failures ({!Timeout}, {!Overloaded}). 64 (usage) is produced
+    by the command-line layer itself. *)
 
 val kind_name : kind -> string
 (** Stable kebab-case identifier, used in JSON output and tests. *)

@@ -10,4 +10,5 @@ module Drift = Drift
 module Work_queue = Work_queue
 module Serve = Serve
 module Pool = Pool
+module Journal = Journal
 include Engine_core

@@ -41,6 +41,7 @@ module Drift = Drift
 module Work_queue = Work_queue
 module Serve = Serve
 module Pool = Pool
+module Journal = Journal
 
 include module type of struct
   include Engine_core

@@ -33,6 +33,8 @@ type t = {
   recorder : Flight_recorder.t option;
   drift : Drift.t option;
   tracing : tracing option;
+  deadline_s : float option;
+  mutable timed_out : int;
   mutable on_record : (Flight_recorder.record -> unit) option;
   mutable ept : Core.Matcher.ept option;  (* shared across queries *)
   mutable feedback_seen : int;
@@ -41,11 +43,18 @@ type t = {
 
 let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
-    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?obs ?trace estimator =
+    ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?obs ?trace ?deadline_s
+    estimator =
   if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
     invalid_arg "Engine.create: qerror_threshold must be finite and >= 1";
+  (match deadline_s with
+   | Some d when Float.is_nan d ->
+     invalid_arg "Engine.create: deadline_s must not be NaN"
+   | _ -> ());
   { estimator;
     tracing = Option.map (make_tracing ~tid:1 ~name:"engine") trace;
+    deadline_s;
+    timed_out = 0;
     cache = Lru_cache.create ~capacity:cache_capacity;
     threshold = qerror_threshold;
     obs;
@@ -71,6 +80,7 @@ let feedback_seen t = t.feedback_seen
 let cache_counters t = Lru_cache.counters t.cache
 let cache_length t = Lru_cache.length t.cache
 let metrics t = t.metrics
+let timed_out t = t.timed_out
 let recorder t = t.recorder
 let drift t = t.drift
 let set_on_record t f = t.on_record <- Some f
@@ -139,6 +149,24 @@ let record_flight t ~(key : Canonical.key) ~status
     in
     (match t.on_record with None -> () | Some f -> f r)
 
+(* A refusal (deadline exceeded) still leaves a flight record — zero
+   estimate, zero stage times — so the drop is visible in RECENT and the
+   telemetry stream rather than silently missing from both. *)
+let record_refusal t ~(key : Canonical.key) ~cache =
+  match t.recorder with
+  | None -> ()
+  | Some rec_ ->
+    let r =
+      Flight_recorder.record rec_ ~query:key.Canonical.text
+        ~hash:key.Canonical.hash ~cache ~estimate:0.0 ~canonicalize_s:0.0
+        ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0 ~frontier_peak:0
+        ~degenerate_clamps:0 ~het_hits:0 ~feedback_round:t.feedback_rounds
+    in
+    (match t.on_record with None -> () | Some f -> f r)
+
+let timeout_error () =
+  Core.Error.make Core.Error.Timeout "request deadline exceeded"
+
 (* The whole request as an X slice plus canonicalize / pipeline sub-slices,
    recorded only when tracing is on — the stamps reuse the stage clocks the
    flight recorder already reads, so single-engine and pool traces line up. *)
@@ -167,6 +195,16 @@ let estimate_ast t ast =
       ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0 ~frontier_peak:0 ~het_hits:0;
     trace_request t ~t0 ~canonicalize_s ~t1:t0 ~miss_s:0.0;
     Ok { key; outcome; status = Core.Explain.Hit }
+  | None
+    when (match t.deadline_s with
+          | Some d -> Obs.now_mono () -. t0 > d
+          | None -> false) ->
+    (* Deadline check sits between canonicalize (cheap, already spent) and
+       the pipeline (the expensive part we refuse to start). A cache hit
+       above never times out: answering it is cheaper than refusing. *)
+    t.timed_out <- t.timed_out + 1;
+    record_refusal t ~key ~cache:Flight_recorder.Timed_out;
+    Error (timeout_error ())
   | None ->
     let ept_spent = ref 0.0 in
     let het_before = het_hits_snapshot t in
@@ -321,6 +359,7 @@ let stats_json t =
             ("rounds", Int t.feedback_rounds);
             ("qerror_threshold", Float t.threshold) ] );
       ("het", het_json);
+      ("timeouts", Int t.timed_out);
       ("synopsis_bytes", Int (Core.Estimator.size_in_bytes t.estimator)) ]
 
 let publish_counters t =
@@ -347,6 +386,7 @@ let publish_telemetry t =
     (float_of_int (Lru_cache.capacity t.cache));
   Obs.max_to ~obs "engine.feedback.seen" t.feedback_seen;
   Obs.max_to ~obs "engine.feedback.rounds" t.feedback_rounds;
+  Obs.max_to ~obs "engine.timeouts" t.timed_out;
   Obs.set_to ~obs "engine.synopsis_bytes"
     (float_of_int (Core.Estimator.size_in_bytes t.estimator));
   (match Core.Estimator.het t.estimator with
@@ -379,11 +419,14 @@ let telemetry_disabled () =
    reassemble are structurally zero; execute is each estimate's measured
    wall time (errors included — the reply is a timing summary). *)
 let profile t queries =
+  let timed_out = ref 0 in
   let ex =
     List.map
       (fun q ->
         let t0 = Obs.now_mono () in
-        ignore (estimate t q : (served, Core.Error.t) result);
+        (match estimate t q with
+         | Error e when Core.Error.kind e = Core.Error.Timeout -> incr timed_out
+         | Ok _ | Error _ -> ());
         1e6 *. (Obs.now_mono () -. t0))
       queries
   in
@@ -392,7 +435,9 @@ let profile t queries =
     { Serve.profiled = List.length ex;
       queue_wait_us = zeros;
       execute_us = Serve.percentiles (Array.of_list ex);
-      reassemble_us = zeros }
+      reassemble_us = zeros;
+      timed_out = !timed_out;
+      shed = 0 }
 
 let server t =
   { Serve.estimate =
@@ -438,5 +483,6 @@ module Protocol = struct
   let handle_line t raw =
     Serve.handle_request (server t) ~read_line:(fun () -> None) raw
 
-  let run ?on_request t ic oc = Serve.run ?on_request (server t) ic oc
+  let run ?on_request ?max_batch t ic oc =
+    Serve.run ?on_request ?max_batch (server t) ic oc
 end

@@ -14,6 +14,7 @@ val create :
   ?drift_p90_threshold:float ->
   ?obs:Obs.t ->
   ?trace:Obs.Trace.t ->
+  ?deadline_s:float ->
   Core.Estimator.t ->
   t
 (** [qerror_threshold] (default 2.0) is the minimum q-error at which
@@ -30,7 +31,12 @@ val create :
     [estimate] / [canonicalize] / [pipeline] / [feedback] / [explain]
     slices for every request, stamped with the same monotonic stage clock
     the flight recorder uses. Without [trace] the request path never
-    touches a trace ring. *)
+    touches a trace ring. [deadline_s] gives every request a wall-clock
+    budget on the monotonic clock ({!Obs.now_mono}): a cache miss whose
+    canonicalize stage already overran it is refused with
+    [Error Timeout] before the pipeline runs (cache hits always answer —
+    serving them is cheaper than refusing). Without it requests never
+    time out. *)
 
 val estimator : t -> Core.Estimator.t
 val qerror_threshold : t -> float
@@ -41,6 +47,10 @@ val feedback_rounds : t -> int
 
 val feedback_seen : t -> int
 (** Total feedback observations, refined or not. *)
+
+val timed_out : t -> int
+(** Requests refused with [Error Timeout] because they overran the
+    engine's [deadline_s]; always 0 without one. *)
 
 type served = {
   key : Canonical.key;
@@ -139,8 +149,15 @@ module Protocol : sig
   (** [None] for a blank line, otherwise the complete response (no trailing
       newline; multi-line for successful [METRICS]/[RECENT]/[BATCH]). *)
 
-  val run : ?on_request:(unit -> unit) -> t -> in_channel -> out_channel -> unit
+  val run :
+    ?on_request:(unit -> unit) ->
+    ?max_batch:int ->
+    t ->
+    in_channel ->
+    out_channel ->
+    unit
   (** Serve until EOF, flushing after every response. [on_request] runs
       after each non-blank request has been answered and flushed — the
-      CLI's [--snapshot-every] hook. *)
+      CLI's [--snapshot-every] hook. [max_batch] overrides the per-batch
+      cap (default {!Serve.max_batch}). *)
 end

@@ -3,12 +3,14 @@
    the ring overwrites oldest-first and never allocates after creation
    beyond the records themselves. *)
 
-type cache_status = Hit | Miss | Bypass
+type cache_status = Hit | Miss | Bypass | Timed_out | Shed
 
 let cache_status_name = function
   | Hit -> "hit"
   | Miss -> "miss"
   | Bypass -> "bypass"
+  | Timed_out -> "timeout"
+  | Shed -> "shed"
 
 type record = {
   seq : int;

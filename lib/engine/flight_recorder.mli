@@ -9,10 +9,14 @@
     and {!to_json} renders one record as a JSON object (one line of the
     [--telemetry-out] JSON-lines sink). *)
 
-type cache_status = Hit | Miss | Bypass
+type cache_status = Hit | Miss | Bypass | Timed_out | Shed
+(** [Timed_out] and [Shed] mark requests the fault-tolerance layer
+    refused: the record carries the raw query, a zero estimate and zero
+    stage times — the point is that the refusal is visible in RECENT and
+    [--telemetry-out] streams, not that it was served. *)
 
 val cache_status_name : cache_status -> string
-(** ["hit"] / ["miss"] / ["bypass"]. *)
+(** ["hit"] / ["miss"] / ["bypass"] / ["timeout"] / ["shed"]. *)
 
 type record = {
   seq : int;  (** monotone sequence number, 0-based, never reused *)

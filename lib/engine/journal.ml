@@ -1,0 +1,239 @@
+(* Append-only CRC-framed write-ahead log for feedback observations. The
+   format is deliberately dumb — length + CRC + text payload per frame —
+   because the recovery rule has to be decidable on arbitrary bytes: stop
+   at the first frame that is torn (runs past EOF) or corrupt (present but
+   CRC/parse-invalid), and truncate there. *)
+
+type entry = { query : string; actual : int }
+
+type tail = Clean | Torn of int | Corrupt of int
+
+type scan = {
+  entries : entry list;
+  frames : int;
+  valid_bytes : int;
+  tail : tail;
+}
+
+let magic = "XSEEDJ1\n"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let payload_of_entry e = Printf.sprintf "F %d %s" e.actual e.query
+
+let entry_of_payload p =
+  let n = String.length p in
+  if n < 4 || p.[0] <> 'F' || p.[1] <> ' ' then None
+  else
+    match String.index_from_opt p 2 ' ' with
+    | None -> None
+    | Some i ->
+      (match int_of_string_opt (String.sub p 2 (i - 2)) with
+       | Some actual when actual >= 0 ->
+         Some { query = String.sub p (i + 1) (n - i - 1); actual }
+       | _ -> None)
+
+let frame e =
+  let payload = payload_of_entry e in
+  let b = Buffer.create (String.length payload + 8) in
+  put_u32 b (String.length payload);
+  put_u32 b (Core.Crc32.digest payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let to_string entries =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  List.iter (fun e -> Buffer.add_string b (frame e)) entries;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Scanning *)
+
+let not_a_journal path_hint =
+  Core.Error.make Core.Error.Corrupt_synopsis
+    (Printf.sprintf "%snot an XSEED journal (bad magic; expected %S)"
+       (match path_hint with None -> "" | Some p -> p ^ ": ")
+       (String.trim magic))
+
+let scan_string ?path s =
+  let total = String.length s in
+  if total = 0 then
+    Ok { entries = []; frames = 0; valid_bytes = 0; tail = Clean }
+  else if total < String.length magic || String.sub s 0 (String.length magic) <> magic
+  then Error (not_a_journal path)
+  else begin
+    let entries = ref [] in
+    let frames = ref 0 in
+    let rec go off =
+      if off = total then { entries = List.rev !entries; frames = !frames;
+                            valid_bytes = off; tail = Clean }
+      else if total - off < 8 then
+        { entries = List.rev !entries; frames = !frames; valid_bytes = off;
+          tail = Torn off }
+      else begin
+        let len = get_u32 s off in
+        let crc = get_u32 s (off + 4) in
+        if total - off - 8 < len then
+          (* The declared payload runs past EOF: the crash-mid-append
+             residue the format is designed to shrug off. *)
+          { entries = List.rev !entries; frames = !frames; valid_bytes = off;
+            tail = Torn off }
+        else begin
+          let payload = String.sub s (off + 8) len in
+          if Core.Crc32.digest payload <> crc then
+            { entries = List.rev !entries; frames = !frames;
+              valid_bytes = off; tail = Corrupt off }
+          else
+            match entry_of_payload payload with
+            | None ->
+              { entries = List.rev !entries; frames = !frames;
+                valid_bytes = off; tail = Corrupt off }
+            | Some e ->
+              entries := e :: !entries;
+              incr frames;
+              go (off + 8 + len)
+        end
+      end
+    in
+    Ok (go (String.length magic))
+  end
+
+let scan_string s = scan_string ?path:None s
+
+let read_file path =
+  if not (Sys.file_exists path) then
+    Error (Core.Error.make Core.Error.Missing_file ("no such file: " ^ path))
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> Ok s
+    | exception Sys_error m -> Error (Core.Error.make Core.Error.Io_error m)
+
+let scan_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok s ->
+    (match scan_string s with
+     | Error _ -> Error (not_a_journal (Some path))
+     | Ok _ as ok -> ok)
+
+let recover path =
+  if not (Sys.file_exists path) then
+    Ok { entries = []; frames = 0; valid_bytes = 0; tail = Clean }
+  else
+    match scan_file path with
+    | Error _ as e -> e
+    | Ok scan ->
+      (match scan.tail with
+       | Clean -> Ok scan
+       | Torn _ | Corrupt _ ->
+         (match Unix.truncate path scan.valid_bytes with
+          | () -> Ok scan
+          | exception Unix.Unix_error (err, _, _) ->
+            Error
+              (Core.Error.make Core.Error.Io_error
+                 (Printf.sprintf "%s: truncating dirty tail: %s" path
+                    (Unix.error_message err)))))
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+type fsync = [ `Always | `Every of int | `Never ]
+
+type writer = {
+  oc : out_channel;
+  fsync : fsync;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let io_error fmt = Printf.ksprintf (Core.Error.make Core.Error.Io_error) fmt
+
+let open_append ?(fsync = `Always) path =
+  (match fsync with
+   | `Every n when n < 1 ->
+     invalid_arg "Journal.open_append: `Every n requires n >= 1"
+   | _ -> ());
+  let existing =
+    if Sys.file_exists path then
+      match read_file path with Ok s -> Some s | Error _ -> None
+    else None
+  in
+  match existing with
+  | Some s
+    when String.length s > 0
+         && (String.length s < String.length magic
+            || String.sub s 0 (String.length magic) <> magic) ->
+    Error (not_a_journal (Some path))
+  | _ ->
+    (match open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path with
+     | oc ->
+       let w = { oc; fsync; appended = 0; closed = false } in
+       (match existing with
+        | Some s when String.length s > 0 -> ()
+        | _ ->
+          output_string oc magic;
+          flush oc);
+       Ok w
+     | exception Sys_error m -> Error (io_error "%s" m))
+
+let appended w = w.appended
+
+let do_fsync w =
+  flush w.oc;
+  try Unix.fsync (Unix.descr_of_out_channel w.oc)
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let sync w = if not w.closed then do_fsync w
+
+let append w e =
+  if w.closed then Error (io_error "journal writer is closed")
+  else
+    match
+      output_string w.oc (frame e);
+      w.appended <- w.appended + 1;
+      (match w.fsync with
+       | `Always -> do_fsync w
+       | `Every n -> if w.appended mod n = 0 then do_fsync w else flush w.oc
+       | `Never -> flush w.oc)
+    with
+    | () -> Ok ()
+    | exception Sys_error m -> Error (io_error "journal append: %s" m)
+
+let close w =
+  if not w.closed then begin
+    (try do_fsync w with _ -> ());
+    (try close_out_noerr w.oc with _ -> ());
+    w.closed <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let wrap_server w (s : Serve.server) =
+  { s with
+    Serve.feedback =
+      (fun query ~actual ->
+        match s.Serve.feedback query ~actual with
+        | Error _ as e -> e
+        | Ok fb ->
+          (match append w { query; actual } with
+           | Ok () -> Ok fb
+           | Error e -> Error e)) }

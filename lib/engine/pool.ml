@@ -52,6 +52,9 @@ type shard = {
   tbuf : Obs.Trace.buf option;  (* written only by this shard's domain *)
   mutable busy_s : float;  (* dequeue-to-result time, accumulated *)
   mutable last_served_at : float;  (* monotonic finish instant; 0 = never *)
+  mutable current : job option;
+      (* the job being executed, set between dequeue and completion so the
+         supervisor can answer it if the worker body dies mid-query *)
   queue_wait_us : Obs.histogram;  (* in [obs]; merges pool-wide by key *)
   gc_minor_words : Obs.counter;
   gc_major_words : Obs.counter;
@@ -62,18 +65,22 @@ type shard = {
 (* A submitted batch: jobs write their slot then decrement [remaining];
    the submitter waits on the condition until it reaches zero. The batch
    mutex also publishes the result writes to the submitter. *)
-type batch = {
+and batch = {
   mutable remaining : int;
   batch_lock : Mutex.t;
   batch_done : Condition.t;
 }
 
-type job = {
+and job = {
   seq : int;  (* global submission sequence number *)
   query : string;
   results : (Serve.estimate_reply, Core.Error.t) result option array;
   slot : int;
   parent : batch;
+  mutable answered : bool;
+      (* read/written only under [parent.batch_lock]: makes finishing
+         idempotent, so a supervisor answering a crashed worker's job can
+         never double-count against [remaining] or [inflight] *)
   (* Monotonic stage stamps (0 = never reached). Enqueue is written under
      [submit_lock]; dequeue/finish by the serving worker; the submitter
      reads them only after the batch condition variable reports completion,
@@ -91,6 +98,20 @@ type t = {
   mutable domains : unit Domain.t array;
   epoch : int Atomic.t;
   inflight : int Atomic.t;
+  deadline_s : float option;  (* per-request budget from enqueue, mono clock *)
+  shed_policy : [ `Block | `Shed_newest ];
+  shed_total : int Atomic.t;
+  timeout_total : int Atomic.t;
+  worker_restarts : int Atomic.t;
+  chaos : (string -> bool) option;
+      (* test-only fault hook, called on the worker domain right before a
+         query executes; returning true kills the worker body there *)
+  quarantine_lock : Mutex.t;
+  crash_counts : (string, int) Hashtbl.t;  (* under quarantine_lock *)
+  quarantined_queries : (string, unit) Hashtbl.t;  (* under quarantine_lock *)
+  quarantine_active : bool Atomic.t;
+      (* fast-path flag so the dequeue hot loop skips the quarantine
+         hashtable (and its lock) entirely until a first crash repeats *)
   drain_lock : Mutex.t;
   drain_cond : Condition.t;
   submit_lock : Mutex.t;  (* serializes submissions against feedback *)
@@ -151,6 +172,67 @@ let emit_record t recorder ~seq ~(key : Canonical.key) ~status
      | None -> ()
      | Some f -> with_lock t.record_lock (fun () -> f r))
 
+let timeout_error () =
+  Core.Error.make Core.Error.Timeout "request deadline exceeded"
+
+let overloaded_error () =
+  Core.Error.make Core.Error.Overloaded
+    "admission queue full; request shed (policy shed-newest)"
+
+(* A refusal (deadline exceeded, load shed) still leaves a flight record —
+   zero estimate, zero stage times — so drops are visible in RECENT and the
+   telemetry stream. Timeouts land on the refusing shard's ring; sheds on
+   the coordinator's (the refusal happens under [submit_lock]). *)
+let emit_refusal t recorder ~seq ~query ~hash ~cache =
+  match recorder with
+  | None -> ()
+  | Some rec_ ->
+    let r =
+      Flight_recorder.record ~seq rec_ ~query ~hash ~cache ~estimate:0.0
+        ~canonicalize_s:0.0 ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0
+        ~frontier_peak:0 ~degenerate_clamps:0 ~het_hits:0
+        ~feedback_round:t.feedback_rounds
+    in
+    (match t.on_record with
+     | None -> ()
+     | Some f -> with_lock t.record_lock (fun () -> f r))
+
+let past_deadline t ~enqueued_at ~now =
+  match t.deadline_s with None -> false | Some d -> now -. enqueued_at > d
+
+(* Crash bookkeeping: a query whose execution has killed a worker twice is
+   quarantined — subsequent submissions are answered [ERR internal] at
+   dequeue without executing, so one poisonous input cannot grind the pool
+   through endless restarts. *)
+let note_crash t query =
+  with_lock t.quarantine_lock (fun () ->
+      let n =
+        (match Hashtbl.find_opt t.crash_counts query with
+         | Some n -> n
+         | None -> 0)
+        + 1
+      in
+      Hashtbl.replace t.crash_counts query n;
+      if n >= 2 && not (Hashtbl.mem t.quarantined_queries query) then begin
+        Hashtbl.replace t.quarantined_queries query ();
+        Atomic.set t.quarantine_active true
+      end)
+
+let is_quarantined t query =
+  Atomic.get t.quarantine_active
+  && with_lock t.quarantine_lock (fun () ->
+         Hashtbl.mem t.quarantined_queries query)
+
+let quarantined_count t =
+  if not (Atomic.get t.quarantine_active) then 0
+  else
+    with_lock t.quarantine_lock (fun () ->
+        Hashtbl.length t.quarantined_queries)
+
+let quarantined_error () =
+  Core.Error.make Core.Error.Internal
+    "query quarantined: its execution crashed a worker twice"
+
 let het_counters t =
   Option.map Core.Het.counters (Core.Estimator.het t.base)
 
@@ -179,7 +261,7 @@ let trace_stage t shard ~name ~t0 ~dur =
     Obs.Trace.complete tb ~name ~ts:(Obs.Trace.rel tg.tr t0) ~dur
   | _ -> ()
 
-let serve_query t shard ~seq query =
+let serve_query t shard ~seq ~enqueued_at query =
   match parse query with
   | Error e -> Error e
   | Ok ast ->
@@ -199,6 +281,16 @@ let serve_query t shard ~seq query =
        Ok
          { Serve.value = outcome.Core.Estimator.value;
            status = Core.Explain.Hit }
+     | None
+       when past_deadline t ~enqueued_at ~now:(Obs.now_mono ()) ->
+       (* Second deadline checkpoint, between canonicalize (cheap, already
+          spent) and the pipeline (the expensive stage we refuse to start).
+          A cache hit above always answers: serving it is cheaper than
+          refusing. *)
+       Atomic.incr t.timeout_total;
+       emit_refusal t shard.recorder ~seq ~query:key.Canonical.text
+         ~hash:key.Canonical.hash ~cache:Flight_recorder.Timed_out;
+       Error (timeout_error ())
      | None ->
        let ept_spent = ref 0.0 in
        let ept =
@@ -233,16 +325,33 @@ let serve_query t shard ~seq query =
               status = Core.Explain.Miss }
         | Error e -> Error e))
 
+(* Answer a job exactly once. Both the worker that executed the job and the
+   supervisor cleaning up after a crashed worker call this; [answered]
+   (under the batch lock, which also publishes the slot write) makes the
+   second call a no-op so [remaining]/[inflight] are decremented once. *)
 let finish_job t job result =
-  job.results.(job.slot) <- Some result;
-  with_lock job.parent.batch_lock (fun () ->
-      job.parent.remaining <- job.parent.remaining - 1;
-      if job.parent.remaining = 0 then Condition.broadcast job.parent.batch_done);
-  let before = Atomic.fetch_and_add t.inflight (-1) in
-  if before = 1 then
-    with_lock t.drain_lock (fun () -> Condition.broadcast t.drain_cond)
+  let first =
+    with_lock job.parent.batch_lock (fun () ->
+        if job.answered then false
+        else begin
+          job.answered <- true;
+          job.results.(job.slot) <- Some result;
+          job.parent.remaining <- job.parent.remaining - 1;
+          if job.parent.remaining = 0 then
+            Condition.broadcast job.parent.batch_done;
+          true
+        end)
+  in
+  if first then begin
+    let before = Atomic.fetch_and_add t.inflight (-1) in
+    if before = 1 then
+      with_lock t.drain_lock (fun () -> Condition.broadcast t.drain_cond)
+  end
 
-let worker t shard =
+(* One dequeue-and-serve iteration cycle. Raises only if the worker body
+   itself dies (chaos injection, or a bug outside the per-query guard) —
+   the supervisor catches that, answers the in-flight job, and restarts. *)
+let worker_loop t shard =
   let sampling_gc = t.telemetry || Option.is_some t.tracing in
   let rec loop () =
     match Work_queue.pop t.queue with
@@ -266,16 +375,44 @@ let worker t shard =
          Obs.Trace.async_end tb ~name:tg.names.n_queue_wait
            ~ts:(Obs.Trace.rel tg.tr t_deq) ~id:job.seq
        | _ -> ());
-      let gc0 = if sampling_gc then Some (Gc.quick_stat ()) else None in
-      let result =
-        try serve_query t shard ~seq:job.seq job.query
-        with exn ->
-          Error
-            (match Core.Error.of_exn exn with
-             | Some e -> e
-             | None ->
-               Core.Error.make Core.Error.Internal (Printexc.to_string exn))
-      in
+      if is_quarantined t job.query then begin
+        (* Refused at dequeue, before any execution: a query that has
+           already crashed two workers never runs again. *)
+        job.finished_at <- Obs.now_mono ();
+        finish_job t job (Error (quarantined_error ()));
+        loop ()
+      end
+      else if past_deadline t ~enqueued_at:job.enqueued_at ~now:t_deq then begin
+        (* First deadline checkpoint: the request spent its whole budget
+           queued, so refuse before executing anything. *)
+        Atomic.incr t.timeout_total;
+        emit_refusal t shard.recorder ~seq:job.seq ~query:job.query ~hash:0
+          ~cache:Flight_recorder.Timed_out;
+        job.finished_at <- Obs.now_mono ();
+        finish_job t job (Error (timeout_error ()));
+        loop ()
+      end
+      else serve job t_deq
+  and serve job t_deq =
+    shard.current <- Some job;
+    (* The chaos hook sits outside the per-query guard below on purpose:
+       returning true kills the worker body the way a real bug outside the
+       guard would, exercising the supervisor. *)
+    (match t.chaos with
+     | Some kill when kill job.query -> failwith "chaos: worker killed"
+     | Some _ | None -> ());
+    let gc0 = if sampling_gc then Some (Gc.quick_stat ()) else None in
+    let result =
+      try
+        serve_query t shard ~seq:job.seq ~enqueued_at:job.enqueued_at
+          job.query
+      with exn ->
+        Error
+          (match Core.Error.of_exn exn with
+           | Some e -> e
+           | None ->
+             Core.Error.make Core.Error.Internal (Printexc.to_string exn))
+    in
       let t_fin = Obs.now_mono () in
       job.finished_at <- t_fin;
       shard.busy_s <- shard.busy_s +. (t_fin -. t_deq);
@@ -314,18 +451,49 @@ let worker t shard =
            ~ts:(ts +. (dur /. 2.0)) ~id:job.seq
        | _ -> ());
       finish_job t job result;
+      shard.current <- None;
       loop ()
   in
   loop ()
 
+(* Worker supervision: an exception escaping the loop body is a dead
+   worker. Restart it in place — same domain, same shard — after answering
+   whatever job it was holding ([ERR internal], via the idempotent finish)
+   and noting the crash against the query for quarantine. Restarting on the
+   same domain keeps shard identity (caches, rings, registries) stable and
+   costs nothing; what matters for liveness is that the loop re-enters
+   [Work_queue.pop], not that a fresh domain spawns. *)
+let rec supervise t shard =
+  match worker_loop t shard with
+  | () -> ()  (* queue closed: clean shutdown *)
+  | exception exn ->
+    Atomic.incr t.worker_restarts;
+    (match shard.current with
+     | Some job ->
+       note_crash t job.query;
+       job.finished_at <- Obs.now_mono ();
+       finish_job t job
+         (Error
+            (Core.Error.make Core.Error.Internal
+               (Printf.sprintf
+                  "worker %d died serving this query: %s (worker restarted)"
+                  shard.id (Printexc.to_string exn))))
+     | None -> ());
+    shard.current <- None;
+    supervise t shard
+
 let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
     ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?(queue_capacity = 256)
-    ?trace estimator =
+    ?trace ?deadline_s ?(shed_policy = `Block) ?chaos estimator =
   if workers < 1 then
     invalid_arg (Printf.sprintf "Pool.create: workers %d < 1" workers);
   if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
     invalid_arg "Pool.create: qerror_threshold must be finite and >= 1";
+  (match deadline_s with
+   | Some d when Float.is_nan d ->
+     invalid_arg "Pool.create: deadline_s must not be NaN"
+   | _ -> ());
   let drift =
     if telemetry then
       Some
@@ -383,6 +551,7 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
               trace;
           busy_s = 0.0;
           last_served_at = 0.0;
+          current = None;
           queue_wait_us = Obs.histogram obs "engine.pool.queue_wait_us";
           gc_minor_words = Obs.counter_with obs "engine.gc.minor_words" shard_labels;
           gc_major_words = Obs.counter_with obs "engine.gc.major_words" shard_labels;
@@ -400,6 +569,16 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
       domains = [||];
       epoch = Atomic.make 0;
       inflight = Atomic.make 0;
+      deadline_s;
+      shed_policy;
+      shed_total = Atomic.make 0;
+      timeout_total = Atomic.make 0;
+      worker_restarts = Atomic.make 0;
+      chaos;
+      quarantine_lock = Mutex.create ();
+      crash_counts = Hashtbl.create 16;
+      quarantined_queries = Hashtbl.create 16;
+      quarantine_active = Atomic.make false;
       drain_lock = Mutex.create ();
       drain_cond = Condition.create ();
       submit_lock = Mutex.create ();
@@ -423,11 +602,15 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
   in
   (* The EPT and shards are fully built before any domain spawns, so the
      workers' first reads are ordered by the spawn itself. *)
-  t.domains <- Array.map (fun shard -> Domain.spawn (fun () -> worker t shard)) shards;
+  t.domains <-
+    Array.map (fun shard -> Domain.spawn (fun () -> supervise t shard)) shards;
   t
 
 let workers t = Array.length t.shards
 let epoch t = Atomic.get t.epoch
+let shed_total t = Atomic.get t.shed_total
+let timeout_total t = Atomic.get t.timeout_total
+let worker_restarts t = Atomic.get t.worker_restarts
 let qerror_threshold t = t.threshold
 let feedback_seen t = t.feedback_seen
 let feedback_rounds t = t.feedback_rounds
@@ -479,7 +662,7 @@ let run_batch t queries =
             else begin
               Atomic.incr t.inflight;
               let job =
-                { seq; query; results; slot; parent;
+                { seq; query; results; slot; parent; answered = false;
                   enqueued_at = 0.0; dequeued_at = 0.0; finished_at = 0.0 }
               in
               job.enqueued_at <- Obs.now_mono ();
@@ -489,9 +672,28 @@ let run_batch t queries =
                     ~id:seq;
                   Obs.Trace.async_begin tg.coord ~name:tg.names.n_queue_wait
                     ~ts ~id:seq);
-              if not (Work_queue.push t.queue job) then begin
+              let admitted =
+                match t.shed_policy with
+                | `Block ->
+                  if Work_queue.push t.queue job then `Ok else `Closed
+                | `Shed_newest -> Work_queue.try_push t.queue job
+              in
+              match admitted with
+              | `Ok -> jobs.(slot) <- Some job
+              | (`Closed | `Full) as refusal ->
                 ignore (Atomic.fetch_and_add t.inflight (-1) : int);
-                results.(slot) <- Some (Error (closed_error ()));
+                let error =
+                  match refusal with
+                  | `Closed -> closed_error ()
+                  | `Full ->
+                    (* Bounded admission under shed-newest: the queue is
+                       full, so this newest request is the one dropped. *)
+                    Atomic.incr t.shed_total;
+                    emit_refusal t t.recorder ~seq ~query ~hash:0
+                      ~cache:Flight_recorder.Shed;
+                    overloaded_error ()
+                in
+                results.(slot) <- Some (Error error);
                 (* Nobody will ever dequeue it: close its queue-wait span
                    and terminate its flow so the trace still lints. *)
                 with_coord t.tracing (fun tg ->
@@ -501,9 +703,8 @@ let run_batch t queries =
                     Obs.Trace.flow_end tg.coord ~name:tg.names.n_query ~ts
                       ~id:seq);
                 with_lock parent.batch_lock (fun () ->
+                    job.answered <- true;
                     parent.remaining <- parent.remaining - 1)
-              end
-              else jobs.(slot) <- Some job
             end)
           queries;
         with_coord t.tracing (fun tg ->
@@ -554,7 +755,14 @@ let estimate t query =
    can be answered). Refused or unserved slots carry zero stamps and are
    skipped. *)
 let profile t queries =
-  let _, jobs, t_done = run_batch t queries in
+  let out, jobs, t_done = run_batch t queries in
+  let count kind =
+    Array.fold_left
+      (fun acc -> function
+        | Result.Error e when Core.Error.kind e = kind -> acc + 1
+        | _ -> acc)
+      0 out
+  in
   let served =
     Array.to_list jobs
     |> List.filter_map (function
@@ -573,7 +781,9 @@ let profile t queries =
           (stage (fun j -> 1e6 *. Float.max 0.0 (j.finished_at -. j.dequeued_at)));
       reassemble_us =
         Serve.percentiles
-          (stage (fun j -> 1e6 *. Float.max 0.0 (t_done -. j.finished_at))) }
+          (stage (fun j -> 1e6 *. Float.max 0.0 (t_done -. j.finished_at)));
+      timed_out = count Core.Error.Timeout;
+      shed = count Core.Error.Overloaded }
 
 (* Wait until no job is being served or queued. Callers hold [submit_lock],
    so no new submission can race the drain. *)
@@ -793,7 +1003,11 @@ let stats_json t =
             ("queue_pop_waits", Int q.Work_queue.pop_waits);
             ("queue_push_wait_s", Float q.Work_queue.push_wait_s);
             ("queue_pop_wait_s", Float q.Work_queue.pop_wait_s);
-            ("queue_max_occupancy", Int q.Work_queue.max_occupancy) ] ) ]
+            ("queue_max_occupancy", Int q.Work_queue.max_occupancy);
+            ("shed_total", Int (shed_total t));
+            ("timeout_total", Int (timeout_total t));
+            ("worker_restarts", Int (worker_restarts t));
+            ("quarantined", Int (quarantined_count t)) ] ) ]
 
 (* One scrape: pool-level totals published into a scratch registry, merged
    with every shard's pipeline registry. The merge orders series by key, so
@@ -840,6 +1054,10 @@ let merged_metrics t =
   Obs.set_to ~obs "engine.pool.queue.push_wait_s" q.Work_queue.push_wait_s;
   Obs.set_to ~obs "engine.pool.queue.pop_wait_s" q.Work_queue.pop_wait_s;
   Obs.max_to ~obs "engine.pool.queue.max_occupancy" q.Work_queue.max_occupancy;
+  Obs.add_to ~obs "engine.pool.shed_total" (shed_total t);
+  Obs.add_to ~obs "engine.pool.timeout_total" (timeout_total t);
+  Obs.add_to ~obs "engine.pool.worker_restarts" (worker_restarts t);
+  Obs.set_to ~obs "engine.pool.quarantined" (float_of_int (quarantined_count t));
   (* Busy fraction per shard: serving time over the shard's active window
      (create to last completed job), so a quiet re-scrape stays
      byte-identical — a live-uptime denominator would tick on its own.

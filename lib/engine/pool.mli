@@ -32,6 +32,9 @@ val create :
   ?drift_p90_threshold:float ->
   ?queue_capacity:int ->
   ?trace:Obs.Trace.t ->
+  ?deadline_s:float ->
+  ?shed_policy:[ `Block | `Shed_newest ] ->
+  ?chaos:(string -> bool) ->
   Core.Estimator.t ->
   t
 (** Spawns [workers] (default 2) domains immediately; call {!shutdown}
@@ -39,6 +42,24 @@ val create :
     (default 256) are {e per shard}. The EPT is materialized eagerly (a
     failure surfaces as [Limit_exceeded] on the first estimate, as with
     the single engine). Other knobs as {!Engine_core.create}.
+
+    {b Failure model} (DESIGN.md §13). [deadline_s] gives every request a
+    wall-clock budget, measured from enqueue on the monotonic clock
+    ({!Obs.now_mono}) and checked at two points: at dequeue (the request
+    spent its budget queued) and again between canonicalize and the
+    pipeline on a cache miss. An overrun answers [ERR timeout]
+    ({!Core.Error.Timeout}); cache hits always answer. [shed_policy]
+    (default [`Block]) governs a full admission queue: [`Block] applies
+    backpressure (the submitter waits), [`Shed_newest] refuses the request
+    being submitted with [ERR overloaded] ({!Core.Error.Overloaded})
+    without blocking. Workers are supervised: an exception escaping a
+    worker's loop body answers the in-flight slot with [ERR internal],
+    bumps {!worker_restarts} and restarts the loop in place — a batch
+    never hangs on a dead worker. A query whose execution has killed
+    workers twice is quarantined (refused [ERR internal] at dequeue
+    without executing). [chaos] is a test-only fault hook called on the
+    worker domain right before each query executes; returning [true]
+    kills the worker body there, exercising the supervisor.
 
     [trace] attaches the pool to an {!Obs.Trace} session: the coordinator
     registers tid 0 and each shard tid [id+1]. Per query the trace carries
@@ -67,6 +88,19 @@ val feedback_seen : t -> int
 val feedback_rounds : t -> int
 val drift : t -> Drift.t option
 
+val shed_total : t -> int
+(** Requests refused [ERR overloaded] by the [`Shed_newest] policy. *)
+
+val timeout_total : t -> int
+(** Requests refused [ERR timeout] at either deadline checkpoint. *)
+
+val worker_restarts : t -> int
+(** Times the supervisor restarted a worker loop after an escaping
+    exception. 0 in a healthy pool. *)
+
+val quarantined_count : t -> int
+(** Distinct queries currently quarantined (two worker kills each). *)
+
 val set_on_record : t -> (Flight_recorder.record -> unit) -> unit
 (** Sink invoked for every flight record, from whichever domain produced
     it (serialized by an internal lock — the sink itself need not be
@@ -78,8 +112,9 @@ val estimate : t -> string -> (Serve.estimate_reply, Core.Error.t) result
 val estimate_batch :
   t -> string list -> (Serve.estimate_reply, Core.Error.t) result list
 (** Submit a batch; replies return in submission order regardless of which
-    shard served each query. Blocks (backpressure) while the work queue is
-    full. *)
+    shard served each query. While the work queue is full, [`Block] pools
+    wait (backpressure) and [`Shed_newest] pools answer the overflowing
+    slots [ERR overloaded] immediately. *)
 
 val feedback : t -> string -> actual:int -> (Feedback.outcome, Core.Error.t) result
 (** Drain the pool, judge the query's estimate against [actual], and
@@ -106,7 +141,8 @@ val stats_json : t -> Obs.Json.t
     ["pool"] object ([workers], [epoch], [queue_depth], and the work
     queue's contention counters [queue_pushes] / [queue_pops] /
     [queue_push_waits] / [queue_pop_waits] / [queue_push_wait_s] /
-    [queue_pop_wait_s] / [queue_max_occupancy]). *)
+    [queue_pop_wait_s] / [queue_max_occupancy], plus the failure counters
+    [shed_total] / [timeout_total] / [worker_restarts] / [quarantined]). *)
 
 val metrics_text : t -> string
 (** Prometheus exposition of {!merged_metrics}. *)

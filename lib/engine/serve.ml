@@ -14,6 +14,8 @@ type profile_reply = {
   queue_wait_us : stage_percentiles;
   execute_us : stage_percentiles;
   reassemble_us : stage_percentiles;
+  timed_out : int;
+  shed : int;
 }
 
 type server = {
@@ -45,8 +47,10 @@ let percentiles samples =
     { p50 = at 0.5; p90 = at 0.9; p99 = at 0.99 }
   end
 
-(* A BATCH larger than this is rejected before reading any payload lines:
-   the reply buffers one line per query, so the count bounds memory. *)
+(* A BATCH larger than the configured cap is rejected before reading any
+   payload lines: the reply buffers one line per query, so the count bounds
+   memory. 10k is the default; [xseed serve --max-batch] overrides it, and
+   the ERR diagnostic always names the live limit so clients can adapt. *)
 let max_batch = 10_000
 
 let sanitize s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
@@ -93,12 +97,14 @@ let batch_query line =
     String.trim (String.sub line vl (String.length line - vl))
   else line
 
-let handle_batch server ~read_line rest =
+let handle_batch server ~max_batch ~read_line rest =
   match int_of_string_opt rest with
   | None -> malformed "BATCH expects a non-negative integer count"
   | Some n when n < 0 -> malformed "BATCH expects a non-negative integer count"
   | Some n when n > max_batch ->
-    malformed "BATCH count %d exceeds the per-batch limit %d" n max_batch
+    malformed
+      "BATCH count %d exceeds the per-batch limit %d (server --max-batch)" n
+      max_batch
   | Some n ->
     (* Frame first: read exactly [n] payload lines (EOF inside the frame
        becomes a per-slot error), then answer them in submission order. *)
@@ -137,20 +143,25 @@ let stage_fields { p50; p90; p99 } =
 let profile_line = function
   | Error e -> err e
   | Ok p ->
-    Printf.sprintf "OK %d queue_wait_us %s execute_us %s reassemble_us %s"
+    Printf.sprintf
+      "OK %d queue_wait_us %s execute_us %s reassemble_us %s timeout=%d \
+       shed=%d"
       p.profiled
       (stage_fields p.queue_wait_us)
       (stage_fields p.execute_us)
       (stage_fields p.reassemble_us)
+      p.timed_out p.shed
 
 (* PROFILE frames like BATCH — [n] further payload lines — but answers with
    a single breakdown line, so a truncated frame is one ERR, not n. *)
-let handle_profile server ~read_line rest =
+let handle_profile server ~max_batch ~read_line rest =
   match int_of_string_opt rest with
   | None -> malformed "PROFILE expects a non-negative integer count"
   | Some n when n < 0 -> malformed "PROFILE expects a non-negative integer count"
   | Some n when n > max_batch ->
-    malformed "PROFILE count %d exceeds the per-batch limit %d" n max_batch
+    malformed
+      "PROFILE count %d exceeds the per-batch limit %d (server --max-batch)"
+      n max_batch
   | Some n ->
     let truncated = ref false in
     let queries =
@@ -169,7 +180,7 @@ let handle_profile server ~read_line rest =
            "unexpected end of input inside PROFILE")
     else profile_line (server.profile queries)
 
-let handle_request server ~read_line raw =
+let handle_request ?(max_batch = max_batch) server ~read_line raw =
   let line = String.trim raw in
   if line = "" then None
   else
@@ -178,8 +189,8 @@ let handle_request server ~read_line raw =
          let verb, rest = split_verb line in
          match verb with
          | "ESTIMATE" -> estimate_line (server.estimate rest)
-         | "BATCH" -> handle_batch server ~read_line rest
-         | "PROFILE" -> handle_profile server ~read_line rest
+         | "BATCH" -> handle_batch server ~max_batch ~read_line rest
+         | "PROFILE" -> handle_profile server ~max_batch ~read_line rest
          | "FEEDBACK" ->
            (match String.rindex_opt rest ' ' with
             | None -> malformed "FEEDBACK expects '<xpath> <actual-count>'"
@@ -249,13 +260,13 @@ let handle_request server ~read_line raw =
             | Some e -> e
             | None -> Core.Error.make Core.Error.Internal (Printexc.to_string exn)))
 
-let run ?on_request server ic oc =
+let run ?on_request ?max_batch server ic oc =
   let read_line () = try Some (input_line ic) with End_of_file -> None in
   let rec loop () =
     match read_line () with
     | None -> ()
     | Some raw ->
-      (match handle_request server ~read_line raw with
+      (match handle_request ?max_batch server ~read_line raw with
        | Some response ->
          output_string oc response;
          output_char oc '\n';

@@ -56,6 +56,8 @@ type profile_reply = {
   queue_wait_us : stage_percentiles;
   execute_us : stage_percentiles;
   reassemble_us : stage_percentiles;
+  timed_out : int;  (** queries refused with [ERR timeout] during the run *)
+  shed : int;  (** queries refused with [ERR overloaded] during the run *)
 }
 
 type server = {
@@ -77,21 +79,34 @@ type server = {
 }
 
 val max_batch : int
-(** Upper bound on a single BATCH (and PROFILE) count (10,000). *)
+(** Default upper bound on a single BATCH (and PROFILE) count (10,000);
+    [?max_batch] on {!handle_request}/{!run} overrides it per server and
+    the rejection message always names the live limit. *)
 
 val percentiles : float array -> stage_percentiles
 (** Exact rank selection over a copy of [samples] (all zeros when empty).
     Exposed for the engine/pool profile implementations and the bench. *)
 
 val handle_request :
-  server -> read_line:(unit -> string option) -> string -> string option
+  ?max_batch:int ->
+  server ->
+  read_line:(unit -> string option) ->
+  string ->
+  string option
 (** Answer one request line: [None] for a blank line, otherwise the
     complete response (no trailing newline; multi-line for successful
     [METRICS]/[RECENT]/[BATCH]). [read_line] supplies the extra payload
     lines a [BATCH] needs ([None] = end of input); it is only called for a
-    well-formed BATCH count. *)
+    well-formed BATCH count. [max_batch] (default {!max_batch}) bounds the
+    BATCH/PROFILE count. *)
 
-val run : ?on_request:(unit -> unit) -> server -> in_channel -> out_channel -> unit
+val run :
+  ?on_request:(unit -> unit) ->
+  ?max_batch:int ->
+  server ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Serve until EOF, flushing after every response. [on_request] runs
     after each non-blank request has been answered and flushed — the
-    CLI's [--snapshot-every] hook. *)
+    CLI's [--snapshot-every] hook. [max_batch] as in {!handle_request}. *)

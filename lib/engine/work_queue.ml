@@ -85,6 +85,28 @@ let push t v =
     true
   end
 
+(* Non-blocking admission for shed-newest policies: a full ring answers
+   [`Full] immediately instead of waiting for a consumer. *)
+let try_push t v =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    `Closed
+  end
+  else if t.len = Array.length t.ring then begin
+    Mutex.unlock t.lock;
+    `Full
+  end
+  else begin
+    t.ring.((t.head + t.len) mod Array.length t.ring) <- Some v;
+    t.len <- t.len + 1;
+    t.pushes <- t.pushes + 1;
+    if t.len > t.max_occupancy then t.max_occupancy <- t.len;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock;
+    `Ok
+  end
+
 let pop t =
   Mutex.lock t.lock;
   if t.len = 0 && not t.closed then begin

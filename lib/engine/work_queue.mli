@@ -25,13 +25,29 @@ val push : 'a t -> 'a -> bool
 (** Enqueue, blocking while full. [false] when the queue is (or becomes)
     closed — the item was not enqueued. *)
 
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Non-blocking enqueue: [`Full] immediately when the ring has no free
+    slot (the item was not enqueued), [`Closed] after {!close}. The
+    admission primitive for shed-newest load shedding — a producer that
+    would have blocked can answer "overloaded" instead. *)
+
 val pop : 'a t -> 'a option
 (** Dequeue the oldest item, blocking while empty. [None] only when the
     queue is closed {e and} drained. *)
 
 val close : 'a t -> unit
 (** Refuse further pushes and wake all blocked producers and consumers.
-    Idempotent. Already-queued items still drain through {!pop}. *)
+    Idempotent. Already-queued items still drain through {!pop}.
+
+    {b Close/blocked-operation race semantics} (pinned by tests): a
+    producer blocked in {!push} on a full ring is woken and returns
+    [false] — its item is {e never} enqueued, even though slots may later
+    free up; a {!try_push} after close returns [`Closed]. A consumer
+    blocked in {!pop} on an empty ring is woken and returns [None]; if
+    items remain (close raced an occupied ring), blocked and subsequent
+    consumers drain them in FIFO order and only then see [None]. The
+    wait counters ({!stats}) still record the blocked interval that close
+    cut short. *)
 
 val closed : 'a t -> bool
 

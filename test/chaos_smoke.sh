@@ -1,0 +1,121 @@
+#!/bin/sh
+# Chaos smoke for the serving path's failure model (DESIGN.md §13).
+#
+# Three acts, all deterministic:
+#   1. fault-injection over the pool/journal/deadline categories (worker
+#      kills, mutated journal images, deadline storms);
+#   2. the crash-recovery proof on a live server: feedbacks journalled
+#      with fsync=always, the process SIGKILLed, the journal given a
+#      torn tail (the kill-mid-append residue), and a restarted server
+#      must truncate, replay both observations and keep serving;
+#   3. golden exit codes for `xseed journal-dump` (0 on clean and torn
+#      tails, 74 on mid-file corruption) and a SIGTERM drain that exits 0
+#      after flushing.
+#
+# Invoked as `make chaos-smoke`; XSEED and SMOKE_DIR come from the
+# Makefile. The journal files are left in SMOKE_DIR for CI to upload.
+set -eu
+
+# Direct binary paths: the kill -9 / SIGTERM choreography needs the PID
+# of xseed itself, not of a `dune exec` wrapper.
+XSEED=${XSEED_BIN:-_build/default/bin/xseed.exe}
+FAULT=${FAULT_BIN:-_build/default/test/fault_injection.exe}
+DIR=${SMOKE_DIR:-${TMPDIR:-/tmp}/xseed-smoke}/chaos
+mkdir -p "$DIR"
+rm -f "$DIR"/feed.wal "$DIR"/torn.wal "$DIR"/corrupt.wal
+
+say() { echo "chaos-smoke: $*"; }
+
+# Wait until file $1 contains at least $2 lines matching $3, or die
+# after ~20s.
+await() {
+  i=0
+  while n=$(grep -c "$3" "$1" 2>/dev/null || true); [ "${n:-0}" -lt "$2" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && { say "timed out waiting for $2 x $3 in $1"; exit 1; }
+    sleep 0.1
+  done
+}
+await_replies() { await "$1" "$2" '^OK\|^ERR'; }
+await_ready() { await "$1" 1 'loaded'; }
+
+# ---------------------------------------------------------------- act 1
+say "fault injection (pool, journal, deadline)"
+$FAULT --seeds 1,2,3,4 --cases 60 --only pool,journal,deadline
+
+# ---------------------------------------------------------------- act 2
+say "crash recovery (kill -9 + torn tail + replay)"
+$XSEED generate xmark --scale 20 -o "$DIR/doc.xml" >/dev/null
+$XSEED build "$DIR/doc.xml" -o "$DIR/doc.syn" >/dev/null
+
+rm -f "$DIR/in.fifo"
+mkfifo "$DIR/in.fifo"
+$XSEED serve "$DIR/doc.syn" --journal "$DIR/feed.wal" --journal-fsync always \
+  < "$DIR/in.fifo" > "$DIR/serve1.out" 2> "$DIR/serve1.err" &
+SERVE_PID=$!
+# Hold the fifo open so the server blocks on the next line, mid-session.
+exec 3> "$DIR/in.fifo"
+await_ready "$DIR/serve1.err"
+printf 'FEEDBACK //item 12\nFEEDBACK //person 5\n' >&3
+await_replies "$DIR/serve1.out" 2
+# Both feedbacks acknowledged, hence fsynced. Now the power goes out.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null && { say "SIGKILLed server exited 0?"; exit 1; } || true
+exec 3>&-
+
+$XSEED journal-dump "$DIR/feed.wal" > "$DIR/dump1.out"
+grep -q '"query":"//item","actual":12' "$DIR/dump1.out"
+grep -q '"query":"//person","actual":5' "$DIR/dump1.out"
+
+# The kill-mid-append residue: a frame header that runs past EOF.
+printf '\000\000\000\040\336\255' >> "$DIR/feed.wal"
+$XSEED journal-dump "$DIR/feed.wal" > /dev/null 2> "$DIR/dump2.err"
+grep -q 'torn tail' "$DIR/dump2.err"
+
+# Restart: the server must truncate the torn tail, replay both
+# observations and answer from the recovered state.
+printf 'STATS\n' | $XSEED serve "$DIR/doc.syn" --journal "$DIR/feed.wal" \
+  > "$DIR/serve2.out" 2> "$DIR/serve2.err"
+grep -q 'replayed 2 feedback entries' "$DIR/serve2.err"
+grep -q '"seen":2' "$DIR/serve2.out"
+# And the file is clean again for the next lifetime.
+$XSEED journal-dump "$DIR/feed.wal" 2> "$DIR/dump3.err"
+grep -q 'clean tail' "$DIR/dump3.err"
+
+# ---------------------------------------------------------------- act 3
+say "journal-dump golden exit codes"
+# Torn tail (truncated mid-frame): recoverable, exit 0.
+wal_bytes=$(wc -c < "$DIR/feed.wal")
+head -c "$((wal_bytes - 1))" "$DIR/feed.wal" > "$DIR/torn.wal"
+if $XSEED journal-dump "$DIR/torn.wal" > /dev/null 2>&1; then :; else
+  say "journal-dump exited $? on a torn tail (want 0)"; exit 1
+fi
+# Mid-file corruption: data loss beyond the tail, exit 74 (EX_IOERR).
+cp "$DIR/feed.wal" "$DIR/corrupt.wal"
+printf 'X' | dd of="$DIR/corrupt.wal" bs=1 seek=12 conv=notrunc 2>/dev/null
+set +e
+$XSEED journal-dump "$DIR/corrupt.wal" > /dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 74 ] || { say "journal-dump exited $code on corruption (want 74)"; exit 1; }
+
+say "graceful drain on SIGTERM"
+rm -f "$DIR/in.fifo"
+mkfifo "$DIR/in.fifo"
+$XSEED serve "$DIR/doc.syn" --workers 2 --journal "$DIR/feed.wal" \
+  < "$DIR/in.fifo" > "$DIR/drain.out" 2> "$DIR/drain.err" &
+SERVE_PID=$!
+exec 3> "$DIR/in.fifo"
+await_ready "$DIR/drain.err"
+printf 'ESTIMATE //item\n' >&3
+await_replies "$DIR/drain.out" 1
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+exec 3>&-
+[ "$code" -eq 0 ] || { say "drained server exited $code (want 0)"; exit 1; }
+grep -q 'drained in-flight work and flushed state' "$DIR/drain.err"
+
+say "OK ($DIR)"

@@ -186,30 +186,257 @@ let query_case rng ~seed ~case =
       (Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
+(* Serving-path categories: worker kills, journal corruption, deadline
+   storms. These drive Engine.Pool / Engine.Journal rather than the
+   estimator, asserting the failure-model invariants of DESIGN.md §13:
+   every submitted slot is answered (a killed worker never hangs a
+   batch), restarts equal injected kills, corrupted journals scan
+   without raising and truncate to a clean prefix, and under a deadline
+   storm every reply is Ok or a protocol error — never an escaped
+   exception. *)
+
+let pool_estimator =
+  lazy
+    (let syn = Lazy.force good_synopsis in
+     Core.Estimator.create
+       ?het:(Core.Synopsis.het syn)
+       ?values:(Core.Synopsis.values syn)
+       (Core.Synopsis.kernel syn))
+
+let pool_case rng ~seed ~case =
+  incr total;
+  let category = "pool" in
+  let queries = Lazy.force queries in
+  let victim = Datagen.Rng.choose rng queries in
+  let kill_budget = Datagen.Rng.int rng 3 (* 0, 1 or 2 kills *) in
+  let budget = Atomic.make kill_budget in
+  let kills = Atomic.make 0 in
+  let chaos q =
+    if q = victim && Atomic.fetch_and_add budget (-1) > 0 then begin
+      Atomic.incr kills;
+      true
+    end
+    else false
+  in
+  let workers = 1 + Datagen.Rng.int rng 2 in
+  match Engine.Pool.create ~workers ~chaos (Lazy.force pool_estimator) with
+  | exception e ->
+    fail_case ~category ~seed ~case "Pool.create raised %s"
+      (Printexc.to_string e)
+  | pool ->
+    Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+    (* Submit the victim enough times to exhaust the kill budget and trip
+       quarantine when the budget is 2, interleaved with bystanders. *)
+    let batch =
+      List.concat_map
+        (fun q -> [ q; victim ])
+        (Array.to_list (Array.sub queries 0 (min 3 (Array.length queries))))
+    in
+    (match Engine.Pool.estimate_batch pool batch with
+     | replies ->
+       (* Every slot answered: completing the batch already proves no
+          hang; now none may be an exception carrier or a NaN. *)
+       List.iteri
+         (fun slot reply ->
+           match reply with
+           | Ok r ->
+             if Float.is_nan r.Engine.Serve.value then
+               fail_case ~category ~seed ~case "slot %d is NaN" slot
+           | Error _ -> ())
+         replies
+     | exception e ->
+       fail_case ~category ~seed ~case "estimate_batch raised %s"
+         (Printexc.to_string e));
+    let killed = Atomic.get kills in
+    if Engine.Pool.worker_restarts pool <> killed then
+      fail_case ~category ~seed ~case "%d kills but %d restarts" killed
+        (Engine.Pool.worker_restarts pool);
+    if kill_budget >= 2 && killed >= 2
+       && Engine.Pool.quarantined_count pool <> 1
+    then
+      fail_case ~category ~seed ~case
+        "victim killed twice but %d queries quarantined"
+        (Engine.Pool.quarantined_count pool);
+    (* The pool keeps serving after any injected deaths. *)
+    match Engine.Pool.estimate pool "/*" with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      fail_case ~category ~seed ~case "post-kill estimate raised %s"
+        (Printexc.to_string e)
+
+let journal_image =
+  lazy
+    (Engine.Journal.to_string
+       (Array.to_list (Lazy.force queries)
+       |> List.mapi (fun i q -> { Engine.Journal.query = q; actual = i + 1 })))
+
+let journal_scratch =
+  lazy
+    (let path = Filename.temp_file "xseed_fault_journal" ".wal" in
+     at_exit (fun () -> if Sys.file_exists path then Sys.remove path);
+     path)
+
+let journal_case rng ~seed ~case =
+  incr total;
+  let category = "journal" in
+  let image = mutate rng (Lazy.force journal_image) in
+  match Engine.Journal.scan_string image with
+  | Error _ -> ()
+  | exception e ->
+    fail_case ~category ~seed ~case "scan_string raised %s"
+      (Printexc.to_string e)
+  | Ok s ->
+    (* The valid prefix must be self-consistent: truncating there rescans
+       clean with the same frames — the truncation rule is a fixpoint. *)
+    (match
+       Engine.Journal.scan_string (String.sub image 0 s.Engine.Journal.valid_bytes)
+     with
+     | Ok s' ->
+       if s'.Engine.Journal.tail <> Engine.Journal.Clean
+          || s'.Engine.Journal.frames <> s.Engine.Journal.frames
+       then
+         fail_case ~category ~seed ~case
+           "truncation to valid_bytes=%d is not a clean fixpoint"
+           s.Engine.Journal.valid_bytes
+     | Error e ->
+       fail_case ~category ~seed ~case "truncated prefix unscannable: %s"
+         (Core.Error.to_string e)
+     | exception e ->
+       fail_case ~category ~seed ~case "truncated rescan raised %s"
+         (Printexc.to_string e));
+    (* recover must repair the same image on disk. *)
+    let path = Lazy.force journal_scratch in
+    let oc = open_out_bin path in
+    output_string oc image;
+    close_out oc;
+    (match Engine.Journal.recover path with
+     | Ok _ -> (
+       match Engine.Journal.scan_file path with
+       | Ok s' when s'.Engine.Journal.tail = Engine.Journal.Clean -> ()
+       | Ok _ -> fail_case ~category ~seed ~case "recover left a dirty tail"
+       | Error e ->
+         fail_case ~category ~seed ~case "post-recover scan: %s"
+           (Core.Error.to_string e))
+     | Error _ -> ()
+     | exception e ->
+       fail_case ~category ~seed ~case "recover raised %s"
+         (Printexc.to_string e))
+
+let deadline_case rng ~seed ~case =
+  incr total;
+  let category = "deadline" in
+  (* A storm: a deadline that is usually already spent, a tiny admission
+     queue, a random shed policy and more clients than workers. *)
+  let expired = Datagen.Rng.int rng 4 < 3 in
+  let deadline_s = if expired then -1e-9 else 60.0 in
+  let shed_policy =
+    if Datagen.Rng.int rng 2 = 0 then `Block else `Shed_newest
+  in
+  match
+    Engine.Pool.create ~workers:2 ~queue_capacity:4 ~deadline_s ~shed_policy
+      (Lazy.force pool_estimator)
+  with
+  | exception e ->
+    fail_case ~category ~seed ~case "Pool.create raised %s"
+      (Printexc.to_string e)
+  | pool ->
+    Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+    let queries = Lazy.force queries in
+    let batch =
+      List.init 12 (fun _ -> Datagen.Rng.choose rng queries)
+    in
+    let clients =
+      List.init 3 (fun _ ->
+          Domain.spawn (fun () -> Engine.Pool.estimate_batch pool batch))
+    in
+    List.iter
+      (fun d ->
+        match Domain.join d with
+        | replies ->
+          List.iter
+            (fun reply ->
+              match reply with
+              | Ok r ->
+                if expired then
+                  fail_case ~category ~seed ~case
+                    "expired deadline but a slot was served";
+                if Float.is_nan r.Engine.Serve.value then
+                  fail_case ~category ~seed ~case "NaN under storm"
+              | Error e -> (
+                match Core.Error.kind e with
+                | Core.Error.Timeout | Core.Error.Overloaded -> ()
+                | _ ->
+                  fail_case ~category ~seed ~case "unexpected error: %s"
+                    (Core.Error.to_string e)))
+            replies
+        | exception e ->
+          fail_case ~category ~seed ~case "client raised %s"
+            (Printexc.to_string e))
+      clients;
+    if expired
+       && Engine.Pool.timeout_total pool + Engine.Pool.shed_total pool < 36
+    then
+      fail_case ~category ~seed ~case "refusal counters undercount: %d+%d < 36"
+        (Engine.Pool.timeout_total pool)
+        (Engine.Pool.shed_total pool)
+
+(* ------------------------------------------------------------------ *)
+
+let all_categories = [ "xml"; "synopsis"; "query"; "pool"; "journal"; "deadline" ]
 
 let () =
   let seeds = ref [ 1; 2; 3; 4 ] in
   let cases = ref 200 in
+  let only = ref all_categories in
   Arg.parse
     [ ( "--seeds",
         Arg.String
           (fun s ->
             seeds := List.map int_of_string (String.split_on_char ',' s)),
         "S1,S2,... comma-separated RNG seeds" );
-      ("--cases", Arg.Set_int cases, "N mutation cases per seed per category")
-    ]
+      ("--cases", Arg.Set_int cases, "N mutation cases per seed per category");
+      ( "--only",
+        Arg.String
+          (fun s ->
+            let picked = String.split_on_char ',' s in
+            List.iter
+              (fun c ->
+                if not (List.mem c all_categories) then
+                  raise
+                    (Arg.Bad
+                       (Printf.sprintf "unknown category %s (known: %s)" c
+                          (String.concat "," all_categories))))
+              picked;
+            only := picked),
+        "C1,C2,... restrict to these categories (xml,synopsis,query,pool,journal,deadline)"
+      ) ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fault_injection [--seeds 1,2,3,4] [--cases 200]";
+    "fault_injection [--seeds 1,2,3,4] [--cases 200] [--only xml,pool,...]";
+  let want c = List.mem c !only in
+  (* The serving-path categories spin up a pool per case; keep their
+     per-category case count bounded so a big --cases sweep of the
+     mutation categories does not turn into thousands of domain spawns. *)
+  let pool_cases = min !cases 25 in
   List.iter
     (fun seed ->
+      (* Streams are split in a fixed order so a category's cases are
+         byte-identical for a given seed whatever --only selects. *)
       let rng = Datagen.Rng.create ~seed in
       let xml_rng = Datagen.Rng.split rng in
       let syn_rng = Datagen.Rng.split rng in
       let query_rng = Datagen.Rng.split rng in
+      let pool_rng = Datagen.Rng.split rng in
+      let journal_rng = Datagen.Rng.split rng in
+      let deadline_rng = Datagen.Rng.split rng in
       for case = 1 to !cases do
-        xml_case xml_rng ~seed ~case;
-        synopsis_case syn_rng ~seed ~case;
-        query_case query_rng ~seed ~case
+        if want "xml" then xml_case xml_rng ~seed ~case;
+        if want "synopsis" then synopsis_case syn_rng ~seed ~case;
+        if want "query" then query_case query_rng ~seed ~case;
+        if want "journal" then journal_case journal_rng ~seed ~case;
+        if case <= pool_cases then begin
+          if want "pool" then pool_case pool_rng ~seed ~case;
+          if want "deadline" then deadline_case deadline_rng ~seed ~case
+        end
       done)
     !seeds;
   Printf.printf "fault-injection: %d cases, %d failures\n%!" !total !failures;

@@ -476,6 +476,75 @@ let test_protocol_batch () =
   checks "handle_line BATCH has no payload source" "OK 1\nERR io-error unexpected end of input inside BATCH"
     (handle engine "BATCH 1")
 
+(* The hard cap is configurable per server: ~max_batch lowers it and the
+   ERR diagnostic names the active limit. *)
+let test_protocol_max_batch () =
+  let engine = engine_over correlated_doc in
+  let server = Engine.server engine in
+  let handle_with ~max_batch ?(payload = []) line =
+    let remaining = ref payload in
+    let read_line () =
+      match !remaining with
+      | [] -> None
+      | l :: rest ->
+        remaining := rest;
+        Some l
+    in
+    match Engine.Serve.handle_request server ~max_batch ~read_line line with
+    | Some r -> r
+    | None -> Alcotest.failf "no response to %S" line
+  in
+  (* At the limit: served. *)
+  let r = handle_with ~max_batch:2 ~payload:[ "/r/a"; "/r/a/b" ] "BATCH 2" in
+  checkb "BATCH at the limit is served" true (starts_with "OK 2" r);
+  (* One over: refused with a one-line ERR naming the configured limit. *)
+  let r = handle_with ~max_batch:2 ~payload:[ "/r/a" ] "BATCH 3" in
+  checkb "BATCH over the limit refused" true
+    (starts_with "ERR malformed-query" r && not (String.contains r '\n'));
+  checkb "diagnostic names the limit" true
+    (let has needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has "limit 2" r && has "--max-batch" r);
+  (* PROFILE shares the cap. *)
+  let r = handle_with ~max_batch:2 "PROFILE 3" in
+  checkb "PROFILE over the limit refused" true
+    (starts_with "ERR malformed-query" r);
+  (* The default is the documented constant. *)
+  checki "default max_batch" 10_000 Engine.Serve.max_batch
+
+(* A deadline on the single engine: a negative budget is already spent, so
+   the first (uncached) estimate refuses deterministically. *)
+let test_engine_deadline () =
+  let kernel = Core.Builder.of_string correlated_doc in
+  let estimator = Core.Estimator.create ~het:(Core.Het.create ()) kernel in
+  Alcotest.check_raises "NaN deadline rejected"
+    (Invalid_argument "Engine.create: deadline_s must not be NaN") (fun () ->
+      ignore (Engine.create ~deadline_s:Float.nan estimator));
+  let engine = Engine.create ~deadline_s:(-1.0) estimator in
+  (match Engine.estimate engine "/r/a" with
+   | Ok _ -> Alcotest.fail "expired request was served"
+   | Error e ->
+     checkb "ERR timeout" true (Core.Error.kind e = Core.Error.Timeout);
+     checki "timeout exits 75" 75 (Core.Error.exit_code e));
+  checki "timed_out counted" 1 (Engine.timed_out engine);
+  (* Refusals leave a flight record and surface in STATS. *)
+  checkb "timeout leaves a flight record" true
+    (match Engine.recorder engine with
+     | None -> false
+     | Some rec_ ->
+       List.exists
+         (fun (r : Engine.Flight_recorder.record) ->
+           r.Engine.Flight_recorder.cache = Engine.Flight_recorder.Timed_out)
+         (Engine.Flight_recorder.recent rec_));
+  match Engine.stats_json engine with
+  | Obs.Json.Obj fields ->
+    checkb "stats_json has timeouts" true
+      (List.assoc "timeouts" fields = Obs.Json.Int 1)
+  | _ -> Alcotest.fail "stats_json not an object"
+
 (* ------------------------------------------------------------------ *)
 (* PROFILE framing: BATCH-like payload, single breakdown line. *)
 
@@ -505,7 +574,8 @@ let test_protocol_profile () =
   (* On a single engine queue-wait and reassemble are structurally zero;
      execute percentiles are positive and ordered. *)
   let fields = profile_fields r in
-  checki "three stages x three percentiles" 9 (List.length fields);
+  checki "three stages x three percentiles plus refusals" 11
+    (List.length fields);
   List.iteri
     (fun i (k, v) ->
       let stage = i / 3 in
@@ -515,7 +585,7 @@ let test_protocol_profile () =
         checkb (Printf.sprintf "%s zero on single engine" k) true (v = 0.0))
     fields;
   (match List.map (fun (_, v) -> float_of_string v) fields with
-   | [ _; _; _; e50; e90; e99; _; _; _ ] ->
+   | [ _; _; _; e50; e90; e99; _; _; _; _timeout; _shed ] ->
      checkb "execute percentiles ordered" true (e50 <= e90 && e90 <= e99);
      checkb "execute measured" true (e99 > 0.0)
    | _ -> Alcotest.fail "unexpected field count");
@@ -525,7 +595,7 @@ let test_protocol_profile () =
   let r, _ = serve_handle server "PROFILE 0" in
   checks "empty profile is all zeros"
     "OK 0 queue_wait_us p50=0.0 p90=0.0 p99=0.0 execute_us p50=0.0 p90=0.0 \
-     p99=0.0 reassemble_us p50=0.0 p90=0.0 p99=0.0"
+     p99=0.0 reassemble_us p50=0.0 p90=0.0 p99=0.0 timeout=0 shed=0"
     r;
   (* EOF inside the frame: one ERR line, not n. *)
   let r, _ = serve_handle server ~payload:[ "/r/a" ] "PROFILE 3" in
@@ -932,6 +1002,9 @@ let () =
         [ Alcotest.test_case "well-formed requests" `Quick test_protocol_ok;
           Alcotest.test_case "malformed requests" `Quick test_protocol_errors;
           Alcotest.test_case "BATCH framing" `Quick test_protocol_batch;
+          Alcotest.test_case "configurable max_batch" `Quick
+            test_protocol_max_batch;
+          Alcotest.test_case "engine deadline" `Quick test_engine_deadline;
           Alcotest.test_case "PROFILE framing" `Quick test_protocol_profile;
           Alcotest.test_case "engine tracing" `Quick test_engine_tracing;
           Alcotest.test_case "pool server (--workers)" `Quick

@@ -292,7 +292,7 @@ let test_pool_profile () =
   match String.split_on_char ' ' r with
   | "OK" :: "3" :: rest ->
     let kvs = List.filter (fun tok -> String.contains tok '=') rest in
-    checki "nine stage fields" 9 (List.length kvs);
+    checki "eleven stage fields" 11 (List.length kvs);
     List.iter
       (fun tok ->
         let i = String.index tok '=' in
@@ -556,13 +556,246 @@ let test_pool_stress () =
    | Obs.Json.Obj fields -> checkb "stats has pool" true (List.mem_assoc "pool" fields)
    | _ -> Alcotest.fail "stats_json not an object")
 
+(* ------------------------------------------------------------------ *)
+(* Close racing blocked producers/consumers. The wait counters tick under
+   the queue lock before the domain sleeps, so spinning on them is a
+   deterministic rendezvous with a domain that is provably blocked inside
+   push/pop when close lands. *)
+
+let test_queue_close_vs_blocked_push () =
+  let q = Engine.Work_queue.create ~capacity:1 in
+  checkb "fill" true (Engine.Work_queue.push q 1);
+  let producer = Domain.spawn (fun () -> Engine.Work_queue.push q 2) in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.push_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  (* The producer is asleep inside push; close must wake it and refuse. *)
+  Engine.Work_queue.close q;
+  checkb "blocked push returns false on close" false (Domain.join producer);
+  checkb "pre-close item drains" true (Engine.Work_queue.pop q = Some 1);
+  checkb "refused item was never enqueued" true
+    (Engine.Work_queue.pop q = None);
+  (* try_push answers `Closed without blocking. *)
+  checkb "try_push sees closed" true (Engine.Work_queue.try_push q 3 = `Closed)
+
+let test_queue_close_vs_blocked_pop () =
+  let q = Engine.Work_queue.create ~capacity:1 in
+  let consumer = Domain.spawn (fun () -> Engine.Work_queue.pop q) in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  (* The consumer is asleep inside pop on an empty ring; close wakes it
+     into the drained-and-closed case. *)
+  Engine.Work_queue.close q;
+  checkb "blocked pop returns None on close" true (Domain.join consumer = None)
+
+let test_queue_try_push () =
+  let q = Engine.Work_queue.create ~capacity:2 in
+  checkb "try_push 1" true (Engine.Work_queue.try_push q 1 = `Ok);
+  checkb "try_push 2" true (Engine.Work_queue.try_push q 2 = `Ok);
+  checkb "try_push full" true (Engine.Work_queue.try_push q 3 = `Full);
+  let s = Engine.Work_queue.stats q in
+  checki "refused push not counted" 2 s.Engine.Work_queue.pushes;
+  checkb "pop makes room" true (Engine.Work_queue.pop q = Some 1);
+  checkb "try_push after pop" true (Engine.Work_queue.try_push q 3 = `Ok)
+
+(* ------------------------------------------------------------------ *)
+(* Failure handling: deadlines, shedding, supervision, quarantine. *)
+
+let paper_estimator () =
+  let doc = Datagen.Paper_example.document in
+  let path_tree = Pathtree.Path_tree.of_string doc in
+  let kernel =
+    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
+  in
+  let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
+  Core.Estimator.create ~het kernel
+
+(* A negative deadline is already exceeded at dequeue, so every request is
+   refused deterministically — no sleeps, no clock races. *)
+let test_pool_deadline () =
+  let pool =
+    Engine.Pool.create ~workers:2 ~deadline_s:(-1.0) (paper_estimator ())
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries = [ "/site/regions"; "/site"; "/site/people" ] in
+  List.iter
+    (fun reply ->
+      match reply with
+      | Ok _ -> Alcotest.fail "expired request was served"
+      | Error e ->
+        checkb "ERR timeout" true (Core.Error.kind e = Core.Error.Timeout);
+        checki "timeout exits 75" 75 (Core.Error.exit_code e))
+    (Engine.Pool.estimate_batch pool queries);
+  checki "timeout_total counts refusals" 3 (Engine.Pool.timeout_total pool);
+  (* The refusals are visible in PROFILE and in the flight records. *)
+  (match Engine.Pool.profile pool queries with
+   | Ok p ->
+     checki "profile reports timeouts" 3 p.Engine.Serve.timed_out;
+     checki "profile reports no sheds" 0 p.Engine.Serve.shed
+   | Error e -> Alcotest.failf "profile: %s" (Core.Error.to_string e));
+  checkb "timeouts leave flight records" true
+    (List.exists
+       (fun (r : Engine.Flight_recorder.record) ->
+         r.Engine.Flight_recorder.cache = Engine.Flight_recorder.Timed_out)
+       (Engine.Pool.recent pool));
+  (* Failure counters surface in STATS. *)
+  match Engine.Pool.stats_json pool with
+  | Obs.Json.Obj fields ->
+    (match List.assoc "pool" fields with
+     | Obs.Json.Obj pf ->
+       checkb "stats has timeout_total" true
+         (List.assoc "timeout_total" pf = Obs.Json.Int 6)
+       (* 3 from the batch + 3 from the profile run *)
+     | _ -> Alcotest.fail "pool stats not an object")
+  | _ -> Alcotest.fail "stats_json not an object"
+
+(* A chaos gate that blocks the (single) worker inside a designated query
+   lets the test hold the pool provably busy while it overflows the
+   admission queue — the shed decisions become deterministic. *)
+type gate = {
+  g_lock : Mutex.t;
+  g_cond : Condition.t;
+  mutable g_entered : bool;
+  mutable g_released : bool;
+}
+
+let gate () =
+  { g_lock = Mutex.create (); g_cond = Condition.create ();
+    g_entered = false; g_released = false }
+
+let gate_hook g = function
+  | "//sleepy" ->
+    Mutex.lock g.g_lock;
+    g.g_entered <- true;
+    Condition.broadcast g.g_cond;
+    while not g.g_released do Condition.wait g.g_cond g.g_lock done;
+    Mutex.unlock g.g_lock;
+    false (* then serve normally *)
+  | _ -> false
+
+let gate_await_entered g =
+  Mutex.lock g.g_lock;
+  while not g.g_entered do Condition.wait g.g_cond g.g_lock done;
+  Mutex.unlock g.g_lock
+
+let gate_release g =
+  Mutex.lock g.g_lock;
+  g.g_released <- true;
+  Condition.broadcast g.g_cond;
+  Mutex.unlock g.g_lock
+
+let test_pool_shed_newest () =
+  let g = gate () in
+  let pool =
+    Engine.Pool.create ~workers:1 ~queue_capacity:1
+      ~shed_policy:`Shed_newest ~chaos:(gate_hook g) (paper_estimator ())
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  (* Occupy the only worker inside the gate... *)
+  let sleeper = Domain.spawn (fun () -> Engine.Pool.estimate pool "//sleepy") in
+  gate_await_entered g;
+  (* ...then overflow the capacity-1 queue: slot 0 is admitted, slots 1-2
+     must be shed (newest first) without blocking. *)
+  let batcher =
+    Domain.spawn (fun () ->
+        Engine.Pool.estimate_batch pool [ "/site"; "/site"; "/site" ])
+  in
+  while Engine.Pool.shed_total pool < 2 do Domain.cpu_relax () done;
+  checki "exactly two sheds" 2 (Engine.Pool.shed_total pool);
+  gate_release g;
+  (match Domain.join sleeper with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "sleepy: %s" (Core.Error.to_string e));
+  (match Domain.join batcher with
+   | [ first; second; third ] ->
+     (match first with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "admitted slot: %s" (Core.Error.to_string e));
+     List.iter
+       (fun reply ->
+         match reply with
+         | Ok _ -> Alcotest.fail "shed slot was served"
+         | Error e ->
+           checkb "ERR overloaded" true
+             (Core.Error.kind e = Core.Error.Overloaded);
+           checki "overloaded exits 75" 75 (Core.Error.exit_code e))
+       [ second; third ]
+   | replies -> Alcotest.failf "unexpected batch size %d" (List.length replies));
+  checkb "sheds leave flight records" true
+    (List.exists
+       (fun (r : Engine.Flight_recorder.record) ->
+         r.Engine.Flight_recorder.cache = Engine.Flight_recorder.Shed)
+       (Engine.Pool.recent pool))
+
+(* One injected worker death: the in-flight slot answers ERR internal (the
+   batch never hangs), the worker restarts in place, and the pool keeps
+   serving. A second death of the same query quarantines it. *)
+let test_pool_supervision () =
+  let kills = Atomic.make 0 in
+  let chaos q =
+    if q = "//kill" then begin
+      Atomic.incr kills;
+      true
+    end
+    else false
+  in
+  let pool = Engine.Pool.create ~workers:1 ~chaos (paper_estimator ()) in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  (* First crash: answered, restarted, not yet quarantined. *)
+  (match Engine.Pool.estimate pool "//kill" with
+   | Ok _ -> Alcotest.fail "killed query was served"
+   | Error e ->
+     checkb "ERR internal" true (Core.Error.kind e = Core.Error.Internal);
+     checkb "diagnostic names the crash" true
+       (let msg = Core.Error.message e in
+        let has needle =
+          let nl = String.length needle and ml = String.length msg in
+          let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+          go 0
+        in
+        has "died" && has "restarted"));
+  checki "one restart" 1 (Engine.Pool.worker_restarts pool);
+  checki "not yet quarantined" 0 (Engine.Pool.quarantined_count pool);
+  (* The restarted worker still serves. *)
+  (match Engine.Pool.estimate pool "/site/regions" with
+   | Ok r -> checkb "finite" true (Float.is_finite r.Engine.Serve.value)
+   | Error e -> Alcotest.failf "post-restart: %s" (Core.Error.to_string e));
+  (* Second crash of the same query: quarantined. *)
+  (match Engine.Pool.estimate pool "//kill" with
+   | Ok _ -> Alcotest.fail "killed query was served"
+   | Error e ->
+     checkb "second crash is internal" true
+       (Core.Error.kind e = Core.Error.Internal));
+  checki "two restarts" 2 (Engine.Pool.worker_restarts pool);
+  checki "quarantined after two kills" 1 (Engine.Pool.quarantined_count pool);
+  (* Third submission is refused at dequeue without executing: the chaos
+     hook never fires again. *)
+  (match Engine.Pool.estimate pool "//kill" with
+   | Ok _ -> Alcotest.fail "quarantined query was served"
+   | Error e ->
+     checkb "quarantine is internal" true
+       (Core.Error.kind e = Core.Error.Internal));
+  checki "no third kill" 2 (Atomic.get kills);
+  checki "no third restart" 2 (Engine.Pool.worker_restarts pool);
+  (* Untouched queries keep working around the quarantine. *)
+  match Engine.Pool.estimate pool "/site" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-quarantine: %s" (Core.Error.to_string e)
+
 let () =
   Alcotest.run "pool"
     [ ( "work-queue",
         [ Alcotest.test_case "fifo ring" `Quick test_queue_fifo;
           Alcotest.test_case "close drains" `Quick test_queue_close_drains;
           Alcotest.test_case "concurrent producers" `Quick test_queue_concurrent;
-          Alcotest.test_case "contention stats" `Quick test_queue_stats
+          Alcotest.test_case "contention stats" `Quick test_queue_stats;
+          Alcotest.test_case "try_push never blocks" `Quick test_queue_try_push;
+          Alcotest.test_case "close vs blocked push" `Quick
+            test_queue_close_vs_blocked_push;
+          Alcotest.test_case "close vs blocked pop" `Quick
+            test_queue_close_vs_blocked_pop
         ] );
       ( "drift",
         [ Alcotest.test_case "shard accounting" `Quick test_drift_shards_sum ] );
@@ -573,6 +806,11 @@ let () =
           Alcotest.test_case "batch order" `Quick test_pool_batch_order;
           Alcotest.test_case "profile stages" `Quick test_pool_profile;
           Alcotest.test_case "causal trace" `Quick test_pool_trace;
+          Alcotest.test_case "deadline refusals" `Quick test_pool_deadline;
+          Alcotest.test_case "shed-newest overload" `Quick
+            test_pool_shed_newest;
+          Alcotest.test_case "supervision and quarantine" `Quick
+            test_pool_supervision;
           Alcotest.test_case "telemetry metrics" `Quick
             test_pool_telemetry_metrics ] );
       ("stress", [ Alcotest.test_case "4-domain mixed ops" `Slow test_pool_stress ])
