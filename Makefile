@@ -4,7 +4,7 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt fuzz-smoke chaos-smoke smoke trace-smoke stress bench-smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke chaos-smoke tcp-smoke smoke trace-smoke stress bench-smoke bench-json ci clean
 
 # Worker-domain count for the stress/serve smoke (the CI matrix sets 1 and 4).
 WORKERS ?= 4
@@ -44,6 +44,18 @@ chaos-smoke: build
 	  XSEED_BIN=_build/default/bin/xseed.exe \
 	  FAULT_BIN=_build/default/test/fault_injection.exe \
 	  sh test/chaos_smoke.sh
+
+# TCP smoke: the framed network transport end to end — net-category
+# fault injection against live listeners, then one budgeted
+# multi-tenant `xseed serve --manifest --port 0` process driven over
+# TCP by `xseed client` (handshake, USE tenancy, eviction + journal
+# replay, tenant-labeled scrape) and a SIGTERM drain. The Prometheus
+# scrape lands in $(SMOKE_DIR)/tcp for CI to upload.
+tcp-smoke: build
+	SMOKE_DIR="$(SMOKE_DIR)" \
+	  XSEED_BIN=_build/default/bin/xseed.exe \
+	  FAULT_BIN=_build/default/test/fault_injection.exe \
+	  sh test/tcp_smoke.sh
 
 # End-to-end smoke: generate a corpus, build a synopsis, explain a query,
 # compare estimates vs actuals with JSON-lines metrics on.
@@ -119,7 +131,7 @@ stress: build
 	fi
 	@echo "stress: OK (WORKERS=$(WORKERS))"
 
-ci: fmt build test fuzz-smoke chaos-smoke smoke bench-smoke trace-smoke stress
+ci: fmt build test fuzz-smoke chaos-smoke tcp-smoke smoke bench-smoke trace-smoke stress
 
 clean:
 	$(DUNE) clean

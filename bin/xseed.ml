@@ -494,6 +494,69 @@ let journal_fsync_arg =
                  leaves flushing to the OS, an integer N fsyncs every Nth \
                  append")
 
+(* TCP transport (absent = the classic stdin/stdout line protocol). *)
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Serve the same protocol over TCP on $(docv) instead of \
+                 stdin/stdout, as length-prefixed CRC-checked frames behind \
+                 a HELLO handshake (see 'xseed client'). 0 picks an \
+                 ephemeral port; the bound address is printed to stderr")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address for --port")
+
+let max_conns_arg =
+  Arg.(value & opt int 64
+       & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Concurrent TCP connection cap; connections beyond it are \
+                 refused with one ERR overloaded frame naming the limit")
+
+let idle_timeout_ms_arg =
+  Arg.(value & opt float 60_000.0
+       & info [ "idle-timeout-ms" ] ~docv:"MS"
+           ~doc:"Close a TCP connection idle for $(docv) ms with ERR \
+                 timeout; 0 disables the timeout")
+
+let max_frame_arg =
+  Arg.(value & opt int Net.Frame.default_max_payload
+       & info [ "max-frame" ] ~docv:"BYTES"
+           ~doc:"Per-frame payload cap; a frame header claiming more is \
+                 answered ERR limit-exceeded and the connection closed")
+
+(* Multi-tenant registry mode (--manifest replaces the positional synopsis). *)
+
+let manifest_arg =
+  Arg.(value & opt (some string) None
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Serve a registry of named synopses instead of a single \
+                 one: each manifest line is '<name> <path>' ('#' comments; \
+                 relative paths resolve against the manifest). Clients pick \
+                 a tenant with USE <name>; tenants page in on first use and \
+                 the least recently used are evicted under --memory-budget")
+
+let memory_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "memory-budget" ] ~docv:"BYTES"
+           ~doc:"Global cap on the sum of resident synopsis sizes in \
+                 registry mode; exceeding it evicts least-recently-used \
+                 tenants (flushing their journals first)")
+
+let het_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "het-budget" ] ~docv:"BYTES"
+           ~doc:"Per-tenant HET memory budget applied at page-in \
+                 (registry mode)")
+
+let journal_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal-dir" ] ~docv:"DIR"
+           ~doc:"Registry-mode feedback journals: each tenant appends to \
+                 $(docv)/<tenant>.wal, replayed at page-in so eviction \
+                 cannot lose learned state")
+
 let fsync_of = function
   | "always" -> `Always
   | "never" -> `Never
@@ -519,10 +582,18 @@ let trace_of trace_out =
         with Sys_error msg ->
           Core.Error.raisef Core.Error.Io_error "--trace-out: %s" msg )
 
+let serve_synopsis_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"SYNOPSIS"
+           ~doc:"Synopsis file from 'xseed build' (omit it when serving a \
+                 --manifest registry instead)")
+
 let serve_cmd =
   let run synopsis_file threshold qerror_threshold cache_capacity telemetry_out
       snapshot_every drift_p90 workers queue_capacity deadline_ms shed_policy
-      max_batch journal_path journal_fsync trace_out obs_spec =
+      max_batch journal_path journal_fsync trace_out port host max_conns
+      idle_timeout_ms max_frame manifest memory_budget het_budget journal_dir
+      obs_spec =
     protect @@ fun () ->
     (match snapshot_every with
      | Some n when n < 1 ->
@@ -536,6 +607,50 @@ let serve_cmd =
         "--queue-capacity must be >= 1";
     if max_batch < 1 then
       Core.Error.raisef Core.Error.Malformed_query "--max-batch must be >= 1";
+    if max_conns < 1 then
+      Core.Error.raisef Core.Error.Malformed_query "--max-conns must be >= 1";
+    if max_frame < 1 then
+      Core.Error.raisef Core.Error.Malformed_query "--max-frame must be >= 1";
+    if idle_timeout_ms < 0.0 || Float.is_nan idle_timeout_ms then
+      Core.Error.raisef Core.Error.Malformed_query
+        "--idle-timeout-ms must be >= 0";
+    (match (synopsis_file, manifest) with
+     | None, None ->
+       Core.Error.raisef Core.Error.Malformed_query
+         "give a SYNOPSIS file or --manifest"
+     | Some _, Some _ ->
+       Core.Error.raisef Core.Error.Malformed_query
+         "give a SYNOPSIS file or --manifest, not both"
+     | _ -> ());
+    if manifest <> None then begin
+      (* The registry is the many-documents axis: each tenant is one
+         single-threaded engine behind the registry lock. The pool's
+         many-cores knobs (and the single-synopsis journal/trace flags)
+         don't compose with it, so refuse rather than silently ignore. *)
+      if workers <> 1 then
+        Core.Error.raisef Core.Error.Malformed_query
+          "--workers is not supported with --manifest (tenants serve on \
+           single-threaded engines behind the registry lock)";
+      List.iter
+        (fun (present, flag, hint) ->
+          if present then
+            Core.Error.raisef Core.Error.Malformed_query
+              "%s is not supported with --manifest%s" flag hint)
+        [ (journal_path <> None, "--journal",
+           " (use --journal-dir for per-tenant journals)");
+          (deadline_ms <> None, "--deadline-ms", "");
+          (trace_out <> None, "--trace-out", "");
+          (telemetry_out <> None, "--telemetry-out", "") ]
+    end
+    else
+      List.iter
+        (fun (present, flag) ->
+          if present then
+            Core.Error.raisef Core.Error.Malformed_query
+              "%s requires --manifest" flag)
+        [ (memory_budget <> None, "--memory-budget");
+          (het_budget <> None, "--het-budget");
+          (journal_dir <> None, "--journal-dir") ];
     let deadline_s =
       match deadline_ms with
       | None -> None
@@ -546,14 +661,15 @@ let serve_cmd =
       | Some ms -> Some (ms /. 1000.0)
     in
     let fsync = fsync_of journal_fsync in
+    let idle_timeout_s =
+      if idle_timeout_ms = 0.0 then None else Some (idle_timeout_ms /. 1000.0)
+    in
     (* Serving always keeps a metrics registry (the METRICS scrape needs
        one even without --trace/--metrics-out), shared with the estimator
        so pipeline counters land beside the engine's. *)
     let obs =
       match obs_of obs_spec with Some o -> o | None -> Obs.create ()
     in
-    let syn = load_synopsis synopsis_file in
-    let estimator = estimator_of ~obs ~threshold syn in
     let telemetry_oc, set_on_record =
       match telemetry_out with
       | None -> (None, fun _ -> ())
@@ -599,81 +715,140 @@ let serve_cmd =
         Obs.emit_snapshot obs
       | _ -> ()
     in
-    Format.eprintf
-      "xseed serve: %s loaded (%d worker%s); reading ESTIMATE/BATCH/PROFILE/\
-       FEEDBACK/EXPLAIN/STATS/METRICS/RECENT/DRIFT lines from stdin@."
-      synopsis_file workers
-      (if workers = 1 then "" else "s");
     let drained = ref None in
     let journal = ref None in
+    (* One transport switch for every mode: without --port the classic
+       stdin/stdout line protocol, with it the framed TCP loop. The TCP
+       server makes a session per connection; stdin is one session. *)
+    let run_transport ~make_session publish =
+      install_signals ();
+      match port with
+      | None ->
+        let server, extra = make_session () in
+        (try
+           Engine.Serve.run ~on_request:(on_request publish) ~max_batch ~extra
+             server stdin stdout
+         with Drain_signal signum -> drained := Some signum)
+      | Some p ->
+        let srv =
+          ok_or_raise
+            (Net.Server.create
+               {
+                 Net.Server.host;
+                 port = p;
+                 max_connections = max_conns;
+                 idle_timeout_s;
+                 max_frame_bytes = max_frame;
+               })
+        in
+        (* The smoke scripts grep this line for the ephemeral port. *)
+        Format.eprintf "xseed serve: listening on %s:%d@." host
+          (Net.Server.port srv);
+        (try
+           Net.Server.run ~on_request:(on_request publish) ~max_batch srv
+             ~make_session ()
+         with Drain_signal signum -> drained := Some signum)
+    in
+    let no_extra _ _ = None in
     (* Journal startup: recover (truncating a dirty tail), replay the
        surviving entries through the live feedback path so the learned HET
        state matches the pre-crash engine, then append from here on. *)
-    let serve_on base_server publish =
-      let server =
-        match journal_path with
-        | None -> base_server
-        | Some path ->
-          let scan = ok_or_raise (Engine.Journal.recover path) in
-          (match scan.Engine.Journal.tail with
-           | Engine.Journal.Clean -> ()
-           | Engine.Journal.Torn off ->
-             Format.eprintf
-               "xseed serve: journal %s: torn tail at byte %d (crash \
-                residue); truncated to %d bytes@."
-               path off scan.Engine.Journal.valid_bytes
-           | Engine.Journal.Corrupt off ->
-             Format.eprintf
-               "xseed serve: journal %s: corrupt frame at byte %d; \
-                truncated to %d bytes@."
-               path off scan.Engine.Journal.valid_bytes);
-          let failed = ref 0 in
-          List.iter
-            (fun (e : Engine.Journal.entry) ->
-              match
-                base_server.Engine.Serve.feedback e.Engine.Journal.query
-                  ~actual:e.Engine.Journal.actual
-              with
-              | Ok _ -> ()
-              | Error _ -> incr failed)
-            scan.Engine.Journal.entries;
-          if scan.Engine.Journal.frames > 0 then
-            Format.eprintf
-              "xseed serve: journal %s: replayed %d feedback entries%s@."
-              path scan.Engine.Journal.frames
-              (if !failed = 0 then ""
-               else Printf.sprintf " (%d failed to apply)" !failed);
-          let w = ok_or_raise (Engine.Journal.open_append ~fsync path) in
-          journal := Some w;
-          Engine.Journal.wrap_server w base_server
-      in
-      install_signals ();
-      try
-        Engine.Serve.run ~on_request:(on_request publish) ~max_batch server
-          stdin stdout
-      with Drain_signal signum -> drained := Some signum
+    let with_journal base_server =
+      match journal_path with
+      | None -> base_server
+      | Some path ->
+        let scan = ok_or_raise (Engine.Journal.recover path) in
+        (match scan.Engine.Journal.tail with
+         | Engine.Journal.Clean -> ()
+         | Engine.Journal.Torn off ->
+           Format.eprintf
+             "xseed serve: journal %s: torn tail at byte %d (crash \
+              residue); truncated to %d bytes@."
+             path off scan.Engine.Journal.valid_bytes
+         | Engine.Journal.Corrupt off ->
+           Format.eprintf
+             "xseed serve: journal %s: corrupt frame at byte %d; \
+              truncated to %d bytes@."
+             path off scan.Engine.Journal.valid_bytes);
+        let failed = ref 0 in
+        List.iter
+          (fun (e : Engine.Journal.entry) ->
+            match
+              base_server.Engine.Serve.feedback e.Engine.Journal.query
+                ~actual:e.Engine.Journal.actual
+            with
+            | Ok _ -> ()
+            | Error _ -> incr failed)
+          scan.Engine.Journal.entries;
+        if scan.Engine.Journal.frames > 0 then
+          Format.eprintf
+            "xseed serve: journal %s: replayed %d feedback entries%s@."
+            path scan.Engine.Journal.frames
+            (if !failed = 0 then ""
+             else Printf.sprintf " (%d failed to apply)" !failed);
+        let w = ok_or_raise (Engine.Journal.open_append ~fsync path) in
+        journal := Some w;
+        Engine.Journal.wrap_server w base_server
     in
-    if workers = 1 then begin
-      let engine =
-        Engine.create ~qerror_threshold ~cache_capacity
-          ~drift_p90_threshold:drift_p90 ~obs ?trace ?deadline_s estimator
-      in
-      set_on_record (Engine.set_on_record engine);
-      serve_on (Engine.server engine) (fun () ->
-          Engine.publish_telemetry engine);
-      Engine.publish_telemetry engine
-    end
-    else begin
-      let pool =
-        Engine.Pool.create ~workers ~qerror_threshold ~cache_capacity
-          ~drift_p90_threshold:drift_p90 ~queue_capacity ?trace ?deadline_s
-          ~shed_policy estimator
-      in
-      set_on_record (Engine.Pool.set_on_record pool);
-      Fun.protect
-        ~finally:(fun () -> Engine.Pool.shutdown pool)
-        (fun () -> serve_on (Engine.Pool.server pool) (fun () -> ()))
-    end;
+    (match manifest with
+     | Some manifest_path ->
+       let reg =
+         Engine.Registry.create ?memory_budget ?het_budget ~qerror_threshold
+           ~cache_capacity ~drift_p90_threshold:drift_p90 ?journal_dir
+           ~journal_fsync:fsync ()
+       in
+       let n = ok_or_raise (Engine.Registry.load_manifest reg manifest_path) in
+       Format.eprintf
+         "xseed serve: registry: %d tenant%s from %s%s; clients select one \
+          with USE <tenant>@."
+         n
+         (if n = 1 then "" else "s")
+         manifest_path
+         (match memory_budget with
+          | None -> ""
+          | Some b -> Printf.sprintf " under a %d-byte budget" b);
+       Fun.protect
+         ~finally:(fun () -> Engine.Registry.close reg)
+         (fun () ->
+           run_transport
+             ~make_session:(fun () ->
+               let s = Engine.Registry.session reg in
+               (Engine.Registry.server s, Engine.Registry.extra s))
+             (fun () -> ()))
+     | None ->
+       let synopsis_file = Option.get synopsis_file in
+       let syn = load_synopsis synopsis_file in
+       let estimator = estimator_of ~obs ~threshold syn in
+       Format.eprintf "xseed serve: %s loaded (%d worker%s)@." synopsis_file
+         workers
+         (if workers = 1 then "" else "s");
+       if workers = 1 then begin
+         let engine =
+           Engine.create ~qerror_threshold ~cache_capacity
+             ~drift_p90_threshold:drift_p90 ~obs ?trace ?deadline_s estimator
+         in
+         set_on_record (Engine.set_on_record engine);
+         let server = with_journal (Engine.server engine) in
+         run_transport
+           ~make_session:(fun () -> (server, no_extra))
+           (fun () -> Engine.publish_telemetry engine);
+         Engine.publish_telemetry engine
+       end
+       else begin
+         let pool =
+           Engine.Pool.create ~workers ~qerror_threshold ~cache_capacity
+             ~drift_p90_threshold:drift_p90 ~queue_capacity ?trace ?deadline_s
+             ~shed_policy estimator
+         in
+         set_on_record (Engine.Pool.set_on_record pool);
+         let server = with_journal (Engine.Pool.server pool) in
+         Fun.protect
+           ~finally:(fun () -> Engine.Pool.shutdown pool)
+           (fun () ->
+             run_transport
+               ~make_session:(fun () -> (server, no_extra))
+               (fun () -> ()))
+       end);
     (* Drain ordering (DESIGN.md §13): admission already stopped (the serve
        loop has exited) and in-flight work drained (Pool.shutdown above);
        now flush durable state — trace, journal, telemetry, metrics. *)
@@ -692,23 +867,87 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve estimates over a synopsis on a stdin/stdout line protocol: \
-             ESTIMATE <query>, BATCH <n> (then n query lines), FEEDBACK \
-             <query> <actual>, EXPLAIN <query>, STATS, METRICS (Prometheus \
-             text), RECENT [n] (flight records), DRIFT (sliding-window \
-             accuracy). Feedback whose q-error crosses the threshold \
-             refreshes the HET in place; --workers N spreads estimates \
-             across N domains sharing the synopsis. Failure handling: \
-             --deadline-ms bounds each request (ERR timeout), \
-             --shed-policy shed-newest refuses over a full --queue-capacity \
-             (ERR overloaded), --journal makes feedback crash-safe, and \
-             SIGTERM/SIGINT drain in-flight work then exit 0")
-    Term.(const run $ synopsis_arg $ override_threshold_arg
+       ~doc:"Serve estimates on a stdin/stdout line protocol (default) or \
+             over TCP with --port (framed, CRC-checked, HELLO handshake; \
+             drive it with 'xseed client'): ESTIMATE <query>, BATCH <n> \
+             (then n query lines), FEEDBACK <query> <actual>, EXPLAIN \
+             <query>, STATS, METRICS (Prometheus text), RECENT [n] (flight \
+             records), DRIFT (sliding-window accuracy), PING, VERSION. One \
+             positional SYNOPSIS serves a single synopsis (--workers N \
+             spreads estimates across N domains sharing it); --manifest \
+             serves a registry of named synopses with USE <tenant> \
+             selection, LRU paging under --memory-budget, and per-tenant \
+             journals under --journal-dir. Failure handling: --deadline-ms \
+             bounds each request (ERR timeout), --shed-policy shed-newest \
+             refuses over a full --queue-capacity (ERR overloaded), \
+             --journal makes feedback crash-safe, and SIGTERM/SIGINT drain \
+             in-flight work then exit 0")
+    Term.(const run $ serve_synopsis_arg $ override_threshold_arg
           $ qerror_threshold_arg $ cache_capacity_arg $ telemetry_out_arg
           $ snapshot_every_arg $ drift_p90_arg $ workers_arg
           $ queue_capacity_arg $ deadline_ms_arg $ shed_policy_arg
           $ max_batch_arg $ journal_arg $ journal_fsync_arg $ trace_out_arg
-          $ obs_term)
+          $ port_arg $ host_arg $ max_conns_arg $ idle_timeout_ms_arg
+          $ max_frame_arg $ manifest_arg $ memory_budget_arg $ het_budget_arg
+          $ journal_dir_arg $ obs_term)
+
+(* A line-protocol shell over the TCP transport: stdin lines become request
+   frames (BATCH/PROFILE pull their payload lines into the same frame),
+   response payloads print to stdout. What the tests and smokes drive. *)
+let client_cmd =
+  let client_port_arg =
+    Arg.(required & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Port of a running 'xseed serve --port'")
+  in
+  let run host port =
+    protect @@ fun () ->
+    let c = ok_or_raise (Net.Client.connect ~host ~port ()) in
+    Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+    Format.eprintf "xseed client: connected: %s@." (Net.Client.greeting c);
+    let read_line () = try Some (input_line stdin) with End_of_file -> None in
+    let rec loop () =
+      match read_line () with
+      | None -> ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
+        let payload =
+          (* BATCH n / PROFILE n frame their n payload lines with the
+             request — the frame is the unit of transport. *)
+          let framed_count verb =
+            let vl = String.length verb in
+            let line = String.trim line in
+            if
+              String.length line > vl
+              && String.sub line 0 vl = verb
+              && line.[vl] = ' '
+            then
+              int_of_string_opt
+                (String.trim (String.sub line vl (String.length line - vl)))
+            else None
+          in
+          match (framed_count "BATCH", framed_count "PROFILE") with
+          | Some n, _ | None, Some n when n >= 0 && n <= 1_000_000 ->
+            let extra = List.filter_map (fun _ -> read_line ()) (List.init n Fun.id) in
+            String.concat "\n" (line :: extra)
+          | _ -> line
+        in
+        (match Net.Client.request c payload with
+         | Ok response ->
+           print_endline response;
+           flush stdout
+         | Error e -> raise (Core.Error.Xseed e));
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to 'xseed serve --port' and speak the line protocol \
+             from stdin: each line (with BATCH/PROFILE payload lines \
+             attached) is sent as one frame, each response payload printed \
+             to stdout. Exits 74 when the connection drops mid-frame")
+    Term.(const run $ host_arg $ client_port_arg)
 
 (* Replay: drive a workload through estimate -> execute -> feedback rounds
    against an initially empty HET, reporting accuracy per round. This is the
@@ -926,13 +1165,13 @@ let journal_dump_cmd =
 
 let () =
   let doc = "XSEED: accurate and fast cardinality estimation for XPath queries" in
-  let info = Cmd.info "xseed" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "xseed" ~version:Engine.Serve.version ~doc in
   let code =
     Cmd.eval
       (Cmd.group info
          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
            ept_cmd; generate_cmd; workload_cmd; compare_cmd; serve_cmd;
-           replay_cmd; trace_lint_cmd; journal_dump_cmd ])
+           client_cmd; replay_cmd; trace_lint_cmd; journal_dump_cmd ])
   in
   (* Remap cmdliner's reserved codes onto the sysexits contract documented
      in the README: 64 for a command-line usage error, 70 for anything the

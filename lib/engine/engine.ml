@@ -11,4 +11,5 @@ module Work_queue = Work_queue
 module Serve = Serve
 module Pool = Pool
 module Journal = Journal
+module Registry = Registry
 include Engine_core

@@ -42,6 +42,7 @@ module Work_queue = Work_queue
 module Serve = Serve
 module Pool = Pool
 module Journal = Journal
+module Registry = Registry
 
 include module type of struct
   include Engine_core

@@ -437,7 +437,8 @@ let profile t queries =
       execute_us = Serve.percentiles (Array.of_list ex);
       reassemble_us = zeros;
       timed_out = !timed_out;
-      shed = 0 }
+      shed = 0;
+      tenant = None }
 
 let server t =
   { Serve.estimate =

@@ -27,18 +27,24 @@ type record = {
   degenerate_clamps : int;
   het_hits : int;
   feedback_round : int;
+  tenant : string option;
 }
 
 type t = {
   ring : record option array;
   mutable next_seq : int;  (* total records ever written *)
+  mutable ring_tenant : string option;
+      (* stamped on every record this ring writes; the registry sets it so
+         per-tenant flight streams stay attributable after a merge *)
 }
 
 let create ?(capacity = 256) () =
   if capacity < 1 then
     invalid_arg
       (Printf.sprintf "Flight_recorder.create: capacity %d < 1" capacity);
-  { ring = Array.make capacity None; next_seq = 0 }
+  { ring = Array.make capacity None; next_seq = 0; ring_tenant = None }
+
+let set_tenant t name = t.ring_tenant <- Some name
 
 let capacity t = Array.length t.ring
 let total t = t.next_seq
@@ -53,7 +59,8 @@ let record ?seq t ~query ~hash ~cache ~estimate ~canonicalize_s ~ept_s ~match_s
     { seq = (match seq with Some s -> s | None -> t.next_seq);
       query; hash; cache; estimate; canonicalize_s; ept_s;
       match_s; total_s = canonicalize_s +. ept_s +. match_s; ept_nodes;
-      frontier_peak; degenerate_clamps; het_hits; feedback_round }
+      frontier_peak; degenerate_clamps; het_hits; feedback_round;
+      tenant = t.ring_tenant }
   in
   t.ring.(t.next_seq mod Array.length t.ring) <- Some r;
   t.next_seq <- t.next_seq + 1;
@@ -75,7 +82,7 @@ let recent ?n t =
 let to_json (r : record) =
   let open Obs.Json in
   Obj
-    [ ("seq", Int r.seq);
+    ([ ("seq", Int r.seq);
       ("query", String r.query);
       ("hash", String (Printf.sprintf "%08x" (r.hash land 0xffffffff)));
       ("cache", String (cache_status_name r.cache));
@@ -91,6 +98,9 @@ let to_json (r : record) =
       ("degenerate_clamps", Int r.degenerate_clamps);
       ("het_hits", Int r.het_hits);
       ("feedback_round", Int r.feedback_round) ]
+    @ (match r.tenant with
+       | None -> []
+       | Some name -> [ ("tenant", String name) ]))
 
 let dump_jsonl oc t =
   List.iter

@@ -33,6 +33,9 @@ type record = {
   degenerate_clamps : int;
   het_hits : int;  (** HET lookups answered for this query (simple + branching) *)
   feedback_round : int;  (** engine feedback round at answer time *)
+  tenant : string option;
+      (** owning tenant when the ring belongs to a registry-managed engine
+          ({!set_tenant}); [None] on single-tenant engines *)
 }
 
 type t
@@ -42,6 +45,11 @@ val create : ?capacity:int -> unit -> t
     @raise Invalid_argument when [capacity] < 1. *)
 
 val capacity : t -> int
+
+val set_tenant : t -> string -> unit
+(** Stamp every record written from now on with this tenant name (rendered
+    as a ["tenant"] field by {!to_json}). The registry calls it once per
+    page-in; records already in the ring keep their stamp. *)
 
 val total : t -> int
 (** Records ever written, including overwritten ones. *)

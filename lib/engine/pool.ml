@@ -175,9 +175,15 @@ let emit_record t recorder ~seq ~(key : Canonical.key) ~status
 let timeout_error () =
   Core.Error.make Core.Error.Timeout "request deadline exceeded"
 
-let overloaded_error () =
+(* Limit refusals name the live limit in the uniform limit=<n> form (the
+   same convention as the BATCH cap and the TCP frame/connection caps) so
+   clients can parse their budget out of any ERR. *)
+let overloaded_error ~capacity () =
   Core.Error.make Core.Error.Overloaded
-    "admission queue full; request shed (policy shed-newest)"
+    (Printf.sprintf
+       "admission queue full limit=%d (server --queue-capacity); request \
+        shed (policy shed-newest)"
+       capacity)
 
 (* A refusal (deadline exceeded, load shed) still leaves a flight record —
    zero estimate, zero stage times — so drops are visible in RECENT and the
@@ -691,7 +697,8 @@ let run_batch t queries =
                     Atomic.incr t.shed_total;
                     emit_refusal t t.recorder ~seq ~query ~hash:0
                       ~cache:Flight_recorder.Shed;
-                    overloaded_error ()
+                    overloaded_error ~capacity:(Work_queue.capacity t.queue)
+                      ()
                 in
                 results.(slot) <- Some (Error error);
                 (* Nobody will ever dequeue it: close its queue-wait span
@@ -783,7 +790,8 @@ let profile t queries =
         Serve.percentiles
           (stage (fun j -> 1e6 *. Float.max 0.0 (t_done -. j.finished_at)));
       timed_out = count Core.Error.Timeout;
-      shed = count Core.Error.Overloaded }
+      shed = count Core.Error.Overloaded;
+      tenant = None }
 
 (* Wait until no job is being served or queued. Callers hold [submit_lock],
    so no new submission can race the drain. *)

@@ -16,7 +16,13 @@ type profile_reply = {
   reassemble_us : stage_percentiles;
   timed_out : int;
   shed : int;
+  tenant : string option;
 }
+
+(* One source of truth for what VERSION reports; the CLI reuses [version]
+   for its own --version string so the two cannot drift. *)
+let version = "1.0.0"
+let protocol_version = 1
 
 type server = {
   estimate : string -> (estimate_reply, Core.Error.t) result;
@@ -102,8 +108,7 @@ let handle_batch server ~max_batch ~read_line rest =
   | None -> malformed "BATCH expects a non-negative integer count"
   | Some n when n < 0 -> malformed "BATCH expects a non-negative integer count"
   | Some n when n > max_batch ->
-    malformed
-      "BATCH count %d exceeds the per-batch limit %d (server --max-batch)" n
+    malformed "BATCH count %d exceeds limit=%d (server --max-batch)" n
       max_batch
   | Some n ->
     (* Frame first: read exactly [n] payload lines (EOF inside the frame
@@ -145,12 +150,15 @@ let profile_line = function
   | Ok p ->
     Printf.sprintf
       "OK %d queue_wait_us %s execute_us %s reassemble_us %s timeout=%d \
-       shed=%d"
+       shed=%d%s"
       p.profiled
       (stage_fields p.queue_wait_us)
       (stage_fields p.execute_us)
       (stage_fields p.reassemble_us)
       p.timed_out p.shed
+      (match p.tenant with
+       | None -> ""
+       | Some t -> Printf.sprintf " tenant=%s" t)
 
 (* PROFILE frames like BATCH — [n] further payload lines — but answers with
    a single breakdown line, so a truncated frame is one ERR, not n. *)
@@ -159,9 +167,8 @@ let handle_profile server ~max_batch ~read_line rest =
   | None -> malformed "PROFILE expects a non-negative integer count"
   | Some n when n < 0 -> malformed "PROFILE expects a non-negative integer count"
   | Some n when n > max_batch ->
-    malformed
-      "PROFILE count %d exceeds the per-batch limit %d (server --max-batch)"
-      n max_batch
+    malformed "PROFILE count %d exceeds limit=%d (server --max-batch)" n
+      max_batch
   | Some n ->
     let truncated = ref false in
     let queries =
@@ -180,13 +187,21 @@ let handle_profile server ~max_batch ~read_line rest =
            "unexpected end of input inside PROFILE")
     else profile_line (server.profile queries)
 
-let handle_request ?(max_batch = max_batch) server ~read_line raw =
+let handle_request ?(max_batch = max_batch) ?extra server ~read_line raw =
   let line = String.trim raw in
   if line = "" then None
   else
     Some
       (try
          let verb, rest = split_verb line in
+         (* [extra] gets first refusal so a registry session can add verbs
+            (USE/LOAD/TENANTS) without the protocol layer knowing them;
+            [None] falls through to the core verb table. *)
+         match
+           match extra with None -> None | Some f -> f verb rest
+         with
+         | Some response -> response
+         | None ->
          match verb with
          | "ESTIMATE" -> estimate_line (server.estimate rest)
          | "BATCH" -> handle_batch server ~max_batch ~read_line rest
@@ -249,10 +264,20 @@ let handle_request ?(max_batch = max_batch) server ~read_line raw =
              (match server.drift_json () with
               | Ok j -> "OK " ^ Obs.Json.to_string j
               | Error e -> err e)
+         (* Health-check verbs: both answer without touching a synopsis, so
+            load balancers can probe a server whose tenants are all paged
+            out (and a registry session with no tenant selected). *)
+         | "PING" ->
+           if rest = "" then "OK pong" else malformed "PING takes no argument"
+         | "VERSION" ->
+           if rest = "" then
+             Printf.sprintf "OK xseed %s protocol %d" version protocol_version
+           else malformed "VERSION takes no argument"
          | _ ->
            malformed
              "unknown command %S (expected ESTIMATE, BATCH, PROFILE, \
-              FEEDBACK, EXPLAIN, STATS, METRICS, RECENT or DRIFT)"
+              FEEDBACK, EXPLAIN, STATS, METRICS, RECENT, DRIFT, PING or \
+              VERSION)"
              verb
        with exn ->
          err
@@ -260,13 +285,13 @@ let handle_request ?(max_batch = max_batch) server ~read_line raw =
             | Some e -> e
             | None -> Core.Error.make Core.Error.Internal (Printexc.to_string exn)))
 
-let run ?on_request ?max_batch server ic oc =
+let run ?on_request ?max_batch ?extra server ic oc =
   let read_line () = try Some (input_line ic) with End_of_file -> None in
   let rec loop () =
     match read_line () with
     | None -> ()
     | Some raw ->
-      (match handle_request ?max_batch server ~read_line raw with
+      (match handle_request ?max_batch ?extra server ~read_line raw with
        | Some response ->
          output_string oc response;
          output_char oc '\n';

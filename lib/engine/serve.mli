@@ -20,7 +20,14 @@
     RECENT [n]                  ->  OK <k> then k flight-record JSON lines,
                                     newest first
     DRIFT                       ->  OK <drift summary as one-line JSON>
+    PING                        ->  OK pong
+    VERSION                     ->  OK xseed <version> protocol <n>
     v}
+
+    [PING] and [VERSION] never touch a synopsis — they are the health-check
+    surface load balancers probe, identical over the stdin and TCP
+    transports, and they answer even on a registry session with no tenant
+    selected.
 
     [PROFILE n] frames exactly like [BATCH n] (the n following lines are
     ESTIMATE requests, verb prefix optional) but runs them as one traced
@@ -58,7 +65,17 @@ type profile_reply = {
   reassemble_us : stage_percentiles;
   timed_out : int;  (** queries refused with [ERR timeout] during the run *)
   shed : int;  (** queries refused with [ERR overloaded] during the run *)
+  tenant : string option;
+      (** the tenant that served the run, rendered as a trailing
+          [tenant=<name>] field; [None] outside a registry session *)
 }
+
+val version : string
+(** The server version [VERSION] reports (also the CLI's [--version]). *)
+
+val protocol_version : int
+(** The serve-protocol revision [VERSION] reports and the TCP HELLO
+    handshake negotiates. *)
 
 type server = {
   estimate : string -> (estimate_reply, Core.Error.t) result;
@@ -89,6 +106,7 @@ val percentiles : float array -> stage_percentiles
 
 val handle_request :
   ?max_batch:int ->
+  ?extra:(string -> string -> string option) ->
   server ->
   read_line:(unit -> string option) ->
   string ->
@@ -98,15 +116,19 @@ val handle_request :
     [METRICS]/[RECENT]/[BATCH]). [read_line] supplies the extra payload
     lines a [BATCH] needs ([None] = end of input); it is only called for a
     well-formed BATCH count. [max_batch] (default {!max_batch}) bounds the
-    BATCH/PROFILE count. *)
+    BATCH/PROFILE count. [extra verb rest] is consulted before the core
+    verb table — a registry session adds USE/LOAD/TENANTS there; returning
+    [None] falls through (and an unknown verb still answers one [ERR]). *)
 
 val run :
   ?on_request:(unit -> unit) ->
   ?max_batch:int ->
+  ?extra:(string -> string -> string option) ->
   server ->
   in_channel ->
   out_channel ->
   unit
 (** Serve until EOF, flushing after every response. [on_request] runs
     after each non-blank request has been answered and flushed — the
-    CLI's [--snapshot-every] hook. [max_batch] as in {!handle_request}. *)
+    CLI's [--snapshot-every] hook. [max_batch]/[extra] as in
+    {!handle_request}. *)

@@ -1,0 +1,116 @@
+(* Blocking framed client. The server end is the non-blocking half of the
+   pair; here plain write-all/read-until-frame loops are exactly right —
+   one in-flight request at a time, no concurrency. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable greeting : string;
+  mutable open_ : bool;
+}
+
+let io_error fmt =
+  Format.kasprintf
+    (fun m -> Error (Core.Error.make Core.Error.Io_error m))
+    fmt
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let send t payload =
+  match write_all t.fd (Frame.encode_string payload) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    t.open_ <- false;
+    io_error "write failed: %s" (Unix.error_message e)
+
+(* Read until one complete frame decodes. The server caps its own frames
+   at the request limit's scale; we accept up to the codec default. *)
+let recv t =
+  let rec loop () =
+    match Frame.decode t.rbuf ~off:0 ~len:t.rlen with
+    | Frame.Frame { payload; consumed } ->
+      let rest = t.rlen - consumed in
+      Bytes.blit t.rbuf consumed t.rbuf 0 rest;
+      t.rlen <- rest;
+      Ok payload
+    | Frame.Too_large n -> io_error "server frame length %d over client cap" n
+    | Frame.Crc_mismatch -> io_error "server frame failed its CRC-32 check"
+    | Frame.Need_more ->
+      let chunk = 65536 in
+      if Bytes.length t.rbuf - t.rlen < chunk then begin
+        let bigger = Bytes.create ((2 * Bytes.length t.rbuf) + chunk) in
+        Bytes.blit t.rbuf 0 bigger 0 t.rlen;
+        t.rbuf <- bigger
+      end;
+      (match Unix.read t.fd t.rbuf t.rlen chunk with
+       | 0 ->
+         t.open_ <- false;
+         io_error "server closed the connection mid-frame"
+       | n ->
+         t.rlen <- t.rlen + n;
+         loop ()
+       | exception Unix.Unix_error (e, _, _) ->
+         t.open_ <- false;
+         io_error "read failed: %s" (Unix.error_message e))
+  in
+  loop ()
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match
+    (* A server that closes first must surface as EPIPE on our next write,
+       not kill the process. *)
+    if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let addr = Unix.inet_addr_of_string host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    io_error "cannot connect to %s:%d: %s" host port (Unix.error_message e)
+  | exception Failure _ -> io_error "invalid host address %S" host
+  | fd ->
+    let t =
+      { fd; rbuf = Bytes.create 65536; rlen = 0; greeting = ""; open_ = true }
+    in
+    (match send t Frame.hello with
+     | Error e ->
+       close t;
+       Error e
+     | Ok () ->
+       (match recv t with
+        | Error e ->
+          close t;
+          Error e
+        | Ok reply
+          when String.length reply >= 2 && String.sub reply 0 2 = "OK" ->
+          t.greeting <- reply;
+          Ok t
+        | Ok refusal ->
+          close t;
+          Error
+            (Core.Error.make Core.Error.Io_error
+               (Printf.sprintf "handshake refused: %s" refusal))))
+
+let greeting t = t.greeting
+
+let request t payload =
+  if not t.open_ then io_error "connection is closed"
+  else
+    match send t payload with
+    | Error e -> Error e
+    | Ok () -> recv t

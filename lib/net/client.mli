@@ -1,0 +1,28 @@
+(** A tiny blocking client for the framed TCP transport — what
+    [xseed client], the tests and the smoke scripts speak.
+
+    {!connect} dials, sends the {!Frame.hello} handshake and checks the
+    server's reply; {!request} then maps one request payload to one
+    response payload. Multi-line requests (a [BATCH n] with its payload
+    lines) go in one payload string, newline-separated, exactly as the
+    frame format requires. *)
+
+type t
+
+val connect :
+  ?host:string -> port:int -> unit -> (t, Core.Error.t) result
+(** Dial [host] (default ["127.0.0.1"]) and perform the HELLO handshake.
+    [Error] carries connect failures ([Io_error]) or the server's
+    handshake refusal verbatim. *)
+
+val greeting : t -> string
+(** The server's handshake payload ([OK xseed <version> protocol <n>]). *)
+
+val request : t -> string -> (string, Core.Error.t) result
+(** Send one request payload and wait for the one response payload. The
+    response may be multi-line (METRICS, BATCH, RECENT). [Error Io_error]
+    when the server closed or the stream was corrupted mid-frame; the
+    connection is then unusable. *)
+
+val close : t -> unit
+(** Close the socket; idempotent. *)

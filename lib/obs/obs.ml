@@ -786,21 +786,25 @@ let reset t =
    stays self-consistent even if an input was being bumped mid-copy. The
    result's series are ordered by key, so snapshots and Prometheus output
    are deterministic regardless of per-input registration order. *)
-let merged ts =
+let merged_labeled lts =
   let out = create () in
   let copies =
     List.map
-      (fun t ->
+      (fun (extra, t) ->
+        (* Extra labels append after the series' own (series keys sort the
+           set, so the rendered order is canonical either way); the serving
+           registry uses this to stamp tenant="…" on a whole registry. *)
+        let widen labels = labels @ extra in
         with_lock t (fun () ->
             List.rev_map
               (fun key ->
                 match Hashtbl.find t.registry key with
-                | Counter c -> `C (c.cname, c.clabels, c.n)
-                | Gauge g -> `G (g.gname, g.glabels, g.g)
+                | Counter c -> `C (c.cname, widen c.clabels, c.n)
+                | Gauge g -> `G (g.gname, widen g.glabels, g.g)
                 | Histogram h ->
-                  `H (h.hname, h.hlabels, h.sum, h.max, Array.copy h.buckets))
+                  `H (h.hname, widen h.hlabels, h.sum, h.max, Array.copy h.buckets))
               t.order))
-      ts
+      lts
   in
   List.iter
     (List.iter (fun m ->
@@ -820,6 +824,8 @@ let merged ts =
      descending makes every reader (which reverses) see ascending key order. *)
   out.order <- List.sort (fun a b -> String.compare b a) out.order;
   out
+
+let merged ts = merged_labeled (List.map (fun t -> ([], t)) ts)
 
 (* ------------------------------------------------------------------ *)
 (* Causal tracing: per-domain ring buffers of timestamped events merged

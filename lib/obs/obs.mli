@@ -284,6 +284,13 @@ val merged : t list -> t
     @raise Invalid_argument when one series key has different metric kinds
     across inputs. *)
 
+val merged_labeled : (labels * t) list -> t
+(** {!merged}, additionally appending each input's extra labels to every
+    series copied from it — the multi-tenant registry merges per-tenant
+    engine registries under [[("tenant", name)]] so one scrape exposes
+    every tenant's series side by side. Identical label sets after widening
+    combine exactly as in {!merged}. *)
+
 (** {1 Causal tracing}
 
     Low-overhead event tracing for the parallel serving path, exported as

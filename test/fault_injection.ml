@@ -382,7 +382,159 @@ let deadline_case rng ~seed ~case =
 
 (* ------------------------------------------------------------------ *)
 
-let all_categories = [ "xml"; "synopsis"; "query"; "pool"; "journal"; "deadline" ]
+(* net: the framed TCP transport under hostile bytes. Codec cases mutate
+   valid frames and must never raise out of the pure decoder; live cases
+   aim attack connections (garbage, oversized headers, bad CRCs, mid-frame
+   disconnects, slow-loris dribbles) at a loopback server and then prove
+   the server still answers a clean client — every violation ends in one
+   ERR frame or a clean close, never a hang, never an exception. *)
+
+let net_codec_case rng ~seed ~case =
+  let category = "net" in
+  incr total;
+  let qs = Lazy.force queries in
+  let payload =
+    match Datagen.Rng.int rng 3 with
+    | 0 -> qs.(Datagen.Rng.int rng (Array.length qs))
+    | 1 ->
+      String.init
+        (Datagen.Rng.int rng 64)
+        (fun _ -> Char.chr (Datagen.Rng.int rng 256))
+    | _ -> "BATCH 2\n//a\n//b"
+  in
+  let corrupt = mutate rng (Net.Frame.encode_string payload) in
+  (match
+     Net.Frame.decode ~max_payload:4096 (Bytes.of_string corrupt) ~off:0
+       ~len:(String.length corrupt)
+   with
+   | Net.Frame.Frame { payload = p; consumed } ->
+     (* A mutation that still decodes (e.g. truncation to a valid prefix)
+        must at least be internally consistent. *)
+     if
+       consumed > String.length corrupt
+       || String.length p + Net.Frame.header_bytes <> consumed
+     then
+       fail_case ~category ~seed ~case "inconsistent decode: consumed %d"
+         consumed
+   | Net.Frame.Need_more | Net.Frame.Too_large _ | Net.Frame.Crc_mismatch -> ()
+   | exception e ->
+     fail_case ~category ~seed ~case "decode raised %s" (Printexc.to_string e));
+  match Net.Frame.parse_hello (mutate rng Net.Frame.hello) with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+    fail_case ~category ~seed ~case "parse_hello raised %s"
+      (Printexc.to_string e)
+
+let net_engine_server () =
+  Engine.server (Engine.create (estimator_of (Lazy.force good_synopsis)))
+
+let net_live_case rng ~seed ~case =
+  let category = "net" in
+  incr total;
+  let server = net_engine_server () in
+  match
+    Net.Server.create
+      { Net.Server.default_config with
+        Net.Server.port = 0;
+        idle_timeout_s = Some 0.1;
+        max_frame_bytes = 2048 }
+  with
+  | Error e ->
+    fail_case ~category ~seed ~case "listen: %s" (Core.Error.to_string e)
+  | Ok srv ->
+    let domain =
+      Domain.spawn (fun () ->
+          Net.Server.run srv
+            ~make_session:(fun () -> (server, fun _ _ -> None))
+            ())
+    in
+    let port = Net.Server.port srv in
+    Fun.protect
+      ~finally:(fun () ->
+        Net.Server.stop srv;
+        Domain.join domain)
+    @@ fun () ->
+    let send fd s =
+      try ignore (Unix.write_substring fd s 0 (String.length s))
+      with Unix.Unix_error _ -> ()
+    in
+    (* Bounded drain: the server either answers (one ERR frame) or closes;
+       the receive timeout turns a would-be hang into a visible FAIL via
+       the health check below rather than stalling the harness. *)
+    let drain fd =
+      let buf = Bytes.create 4096 in
+      try
+        while Unix.read fd buf 0 4096 > 0 do
+          ()
+        done
+      with Unix.Unix_error _ -> ()
+    in
+    let attack kind =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5;
+            (match kind with
+             | 0 ->
+               (* raw garbage, no handshake *)
+               send fd
+                 (String.init
+                    (1 + Datagen.Rng.int rng 64)
+                    (fun _ -> Char.chr (Datagen.Rng.int rng 256)))
+             | 1 ->
+               (* header claiming a 4 GiB payload *)
+               send fd "\xff\xff\xff\xff\x00\x00\x00\x00"
+             | 2 ->
+               (* clean HELLO, then a CRC-failing frame *)
+               send fd (Net.Frame.encode_string Net.Frame.hello);
+               let f = Bytes.of_string (Net.Frame.encode_string "PING") in
+               Bytes.set f Net.Frame.header_bytes 'Z';
+               send fd (Bytes.to_string f)
+             | 3 ->
+               (* mid-frame disconnect *)
+               send fd (Net.Frame.encode_string Net.Frame.hello);
+               let f = Net.Frame.encode_string "ESTIMATE //a" in
+               send fd
+                 (String.sub f 0 (1 + Datagen.Rng.int rng (String.length f - 1)))
+             | 4 ->
+               (* slow-loris: dribble header bytes, then abandon *)
+               send fd "\x00\x00";
+               Unix.sleepf 0.05;
+               send fd "\x01"
+             | _ ->
+               (* a mutated but plausible handshake+request exchange *)
+               send fd
+                 (mutate rng
+                    (Net.Frame.encode_string Net.Frame.hello
+                    ^ Net.Frame.encode_string "PING")));
+            drain fd
+          with Unix.Unix_error _ -> ())
+    in
+    attack (Datagen.Rng.int rng 6);
+    attack (Datagen.Rng.int rng 6);
+    (* Whatever the attacks did, a clean client must still be served. *)
+    (match Net.Client.connect ~port () with
+     | Error e ->
+       fail_case ~category ~seed ~case "post-attack connect: %s"
+         (Core.Error.to_string e)
+     | Ok c ->
+       Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+       (match Net.Client.request c "PING" with
+        | Ok "OK pong" -> ()
+        | Ok other ->
+          fail_case ~category ~seed ~case "post-attack PING answered %S" other
+        | Error e ->
+          fail_case ~category ~seed ~case "post-attack PING: %s"
+            (Core.Error.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+
+let all_categories =
+  [ "xml"; "synopsis"; "query"; "pool"; "journal"; "deadline"; "net" ]
 
 let () =
   let seeds = ref [ 1; 2; 3; 4 ] in
@@ -408,7 +560,7 @@ let () =
                           (String.concat "," all_categories))))
               picked;
             only := picked),
-        "C1,C2,... restrict to these categories (xml,synopsis,query,pool,journal,deadline)"
+        "C1,C2,... restrict to these categories (xml,synopsis,query,pool,journal,deadline,net)"
       ) ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "fault_injection [--seeds 1,2,3,4] [--cases 200] [--only xml,pool,...]";
@@ -417,6 +569,9 @@ let () =
      per-category case count bounded so a big --cases sweep of the
      mutation categories does not turn into thousands of domain spawns. *)
   let pool_cases = min !cases 25 in
+  (* Live net cases bind a fresh listener per case; bound them harder
+     still — the codec half of the category runs at full --cases. *)
+  let net_live_cases = min !cases 8 in
   List.iter
     (fun seed ->
       (* Streams are split in a fixed order so a category's cases are
@@ -428,15 +583,19 @@ let () =
       let pool_rng = Datagen.Rng.split rng in
       let journal_rng = Datagen.Rng.split rng in
       let deadline_rng = Datagen.Rng.split rng in
+      let net_rng = Datagen.Rng.split rng in
       for case = 1 to !cases do
         if want "xml" then xml_case xml_rng ~seed ~case;
         if want "synopsis" then synopsis_case syn_rng ~seed ~case;
         if want "query" then query_case query_rng ~seed ~case;
         if want "journal" then journal_case journal_rng ~seed ~case;
+        if want "net" then net_codec_case net_rng ~seed ~case;
         if case <= pool_cases then begin
           if want "pool" then pool_case pool_rng ~seed ~case;
           if want "deadline" then deadline_case deadline_rng ~seed ~case
-        end
+        end;
+        if want "net" && case <= net_live_cases then
+          net_live_case net_rng ~seed ~case
       done)
     !seeds;
   Printf.printf "fault-injection: %d cases, %d failures\n%!" !total !failures;

@@ -1,0 +1,139 @@
+#!/bin/sh
+# TCP smoke for the framed network transport and the multi-tenant
+# registry (DESIGN.md §14).
+#
+# Four acts, all deterministic:
+#   1. fault injection over the net category: mutated/truncated frames,
+#      bad CRCs, oversized headers, mid-frame disconnects and slow-loris
+#      dribbles against live loopback listeners;
+#   2. one `xseed serve --manifest --port 0` process hosting three
+#      tenants under a memory budget smaller than the sum of their
+#      synopses, driven over TCP by `xseed client`: handshake, PING,
+#      VERSION, USE tenancy, ESTIMATE/BATCH, FEEDBACK whose refinement
+#      survives an eviction + journal-replay round trip bit-identically;
+#   3. a tenant-labeled METRICS scrape, fetched twice in a row to prove
+#      quiet scrapes are byte-identical; one copy lands in SMOKE_DIR as
+#      the CI artifact;
+#   4. a SIGTERM drain that exits 0 after flushing tenant journals.
+#
+# Invoked as `make tcp-smoke`; XSEED_BIN and SMOKE_DIR come from the
+# Makefile.
+set -eu
+
+XSEED=${XSEED_BIN:-_build/default/bin/xseed.exe}
+FAULT=${FAULT_BIN:-_build/default/test/fault_injection.exe}
+DIR=${SMOKE_DIR:-${TMPDIR:-/tmp}/xseed-smoke}/tcp
+mkdir -p "$DIR"
+rm -rf "$DIR/journals"
+mkdir -p "$DIR/journals"
+
+say() { echo "tcp-smoke: $*"; }
+
+# ---------------------------------------------------------------- act 1
+say "fault injection (net: hostile frames against live listeners)"
+$FAULT --seeds 1,2,3,4 --cases 60 --only net
+
+# ---------------------------------------------------------------- act 2
+say "three tenants under one budget"
+$XSEED generate dblp --scale 60 -o "$DIR/biblio.xml" >/dev/null
+$XSEED generate xmark --scale 40 -o "$DIR/auctions.xml" >/dev/null
+$XSEED generate treebank --scale 30 -o "$DIR/trees.xml" >/dev/null
+# The registry charges each tenant's logical Synopsis.size_in_bytes to
+# the budget, which `xseed build` reports as "(<N> bytes in memory)".
+sum=0
+for t in biblio auctions trees; do
+  $XSEED build "$DIR/$t.xml" -o "$DIR/$t.syn" > "$DIR/build.$t.out"
+  bytes=$(sed -n 's/.*(\([0-9]*\) bytes in memory).*/\1/p' "$DIR/build.$t.out")
+  sum=$((sum + bytes))
+done
+cat > "$DIR/manifest" <<EOF
+# tenant  synopsis (paths relative to this manifest)
+biblio biblio.syn
+auctions auctions.syn
+trees trees.syn
+EOF
+
+# A budget strictly under the sum of the three synopses, so serving all
+# three tenants forces LRU evictions; still >= the largest single one.
+budget=$((sum - 1))
+
+$XSEED serve --manifest "$DIR/manifest" --port 0 \
+  --memory-budget "$budget" --journal-dir "$DIR/journals" \
+  > /dev/null 2> "$DIR/serve.err" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+i=0
+while ! grep -q 'listening on' "$DIR/serve.err" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 200 ] && { say "server never announced its port"; exit 1; }
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$DIR/serve.err")
+say "server on port $PORT (budget ${budget}B < ${sum}B of synopses)"
+grep -q 'registry: 3 tenants' "$DIR/serve.err"
+
+client() { $XSEED client --port "$PORT" 2>/dev/null; }
+
+# Protocol surface + a feedback refinement on the biblio tenant.
+printf 'PING\nVERSION\nUSE biblio\nESTIMATE /dblp/article/author\nFEEDBACK /dblp/article/author 999\nESTIMATE /dblp/article/author\n' \
+  | client > "$DIR/c1.out"
+grep -q '^OK pong$' "$DIR/c1.out"
+grep -q '^OK xseed .* protocol ' "$DIR/c1.out"
+grep -q '^OK biblio loaded' "$DIR/c1.out"
+refined=$(sed -n '6p' "$DIR/c1.out")
+case $refined in OK\ *) ;; *) say "refined estimate was '$refined'"; exit 1;; esac
+
+# Touch the other two tenants: the budget forces biblio out (LRU), which
+# must flush its feedback journal on the way to disk.
+printf 'USE auctions\nESTIMATE //item\nBATCH 2\n//item\n//person\nUSE trees\nESTIMATE //S/NP\nTENANTS\n' \
+  | client > "$DIR/c2.out"
+grep -q '^OK auctions loaded' "$DIR/c2.out"
+grep -q '^OK trees loaded' "$DIR/c2.out"
+grep -q '^OK 3$' "$DIR/c2.out"
+grep -q 'paged-out' "$DIR/c2.out"
+test -s "$DIR/journals/biblio.wal"
+$XSEED journal-dump "$DIR/journals/biblio.wal" > "$DIR/wal.out" 2>&1
+grep -q '"query":"/dblp/article/author","actual":999' "$DIR/wal.out"
+
+# Page biblio back in: the journal replays and the refined estimate comes
+# back bit-identical to the pre-eviction answer.
+printf 'USE biblio\nESTIMATE /dblp/article/author\nSTATS\n' \
+  | client > "$DIR/c3.out"
+reloaded=$(sed -n '2p' "$DIR/c3.out")
+[ "$reloaded" = "$refined" ] || {
+  say "estimate after journal replay was '$reloaded', want '$refined'"
+  exit 1
+}
+grep -q '"journal_replayed":[1-9]' "$DIR/c3.out"
+grep -q '"evictions":[1-9]' "$DIR/c3.out"
+
+# ---------------------------------------------------------------- act 3
+say "tenant-labeled scrape, byte-identical when quiet"
+printf 'METRICS\nMETRICS\n' | client > "$DIR/scrape2.out"
+lines=$(wc -l < "$DIR/scrape2.out")
+half=$((lines / 2))
+[ $((half * 2)) -eq "$lines" ] || { say "odd scrape line count $lines"; exit 1; }
+head -n "$half" "$DIR/scrape2.out" > "$DIR/scrape.prom"
+tail -n "$half" "$DIR/scrape2.out" > "$DIR/scrape.b"
+cmp -s "$DIR/scrape.prom" "$DIR/scrape.b" || {
+  say "back-to-back quiet scrapes differ"; exit 1
+}
+# biblio is certainly resident (just USEd); paged-out tenants export no
+# per-tenant series, which is itself part of the contract.
+grep -q 'tenant="biblio"' "$DIR/scrape.prom"
+grep -q '^xseed_registry_tenants_registered 3$' "$DIR/scrape.prom"
+grep -q '^xseed_registry_evictions [1-9]' "$DIR/scrape.prom"
+
+# ---------------------------------------------------------------- act 4
+say "graceful drain on SIGTERM"
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+trap - EXIT
+[ "$code" -eq 0 ] || { say "drained server exited $code (want 0)"; exit 1; }
+grep -q 'drained in-flight work and flushed state' "$DIR/serve.err"
+
+say "OK ($DIR, scrape artifact: $DIR/scrape.prom)"

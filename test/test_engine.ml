@@ -361,7 +361,17 @@ let test_protocol_ok () =
   let explain = handle engine "EXPLAIN /r/a" in
   checkb "explain ok" true (starts_with "OK {" explain);
   ignore
-    (Obs.Json.of_string (String.sub explain 3 (String.length explain - 3)))
+    (Obs.Json.of_string (String.sub explain 3 (String.length explain - 3)));
+  (* Health-check verbs: synopsis-free, identical over every transport. *)
+  checks "PING" "OK pong" (handle engine "PING");
+  checks "VERSION"
+    (Printf.sprintf "OK xseed %s protocol %d" Engine.Serve.version
+       Engine.Serve.protocol_version)
+    (handle engine "VERSION");
+  checkb "PING takes no argument" true
+    (starts_with "ERR malformed-query" (handle engine "PING now"));
+  checkb "VERSION takes no argument" true
+    (starts_with "ERR malformed-query" (handle engine "VERSION 2"))
 
 let test_protocol_errors () =
   let engine = engine_over correlated_doc in
@@ -507,7 +517,7 @@ let test_protocol_max_batch () =
        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
        go 0
      in
-     has "limit 2" r && has "--max-batch" r);
+     has "limit=2" r && has "--max-batch" r);
   (* PROFILE shares the cap. *)
   let r = handle_with ~max_batch:2 "PROFILE 3" in
   checkb "PROFILE over the limit refused" true

@@ -720,7 +720,17 @@ let test_pool_shed_newest () =
          | Error e ->
            checkb "ERR overloaded" true
              (Core.Error.kind e = Core.Error.Overloaded);
-           checki "overloaded exits 75" 75 (Core.Error.exit_code e))
+           checki "overloaded exits 75" 75 (Core.Error.exit_code e);
+           (* The shed diagnostic names the live queue capacity in the
+              unified limit= form. *)
+           checkb "names limit=1" true
+             (let msg = Core.Error.message e in
+              let needle = "limit=1" in
+              let nl = String.length needle and n = String.length msg in
+              let rec scan i =
+                i + nl <= n && (String.sub msg i nl = needle || scan (i + 1))
+              in
+              scan 0))
        [ second; third ]
    | replies -> Alcotest.failf "unexpected batch size %d" (List.length replies));
   checkb "sheds leave flight records" true
