@@ -4,7 +4,7 @@ DUNE ?= dune
 XSEED = $(DUNE) exec --no-build bin/xseed.exe --
 SMOKE_DIR := $(or $(TMPDIR),/tmp)/xseed-smoke
 
-.PHONY: all build test fmt fuzz-smoke chaos-smoke tcp-smoke smoke trace-smoke stress bench-smoke bench-json ci clean
+.PHONY: all build test fmt fuzz-smoke chaos-smoke tcp-smoke smoke trace-smoke audit-smoke stress bench-smoke bench-json ci clean
 
 # Worker-domain count for the stress/serve smoke (the CI matrix sets 1 and 4).
 WORKERS ?= 4
@@ -73,8 +73,9 @@ smoke: build
 # estimate -> execute -> feedback rounds on a tiny corpus and assert the
 # per-round q-error median never increases (the paper's Figure 1 loop).
 # Then exercise the serve telemetry surface end to end (METRICS scrape,
-# flight records, drift summary) and the telemetry-overhead bench guard
-# (< 5% median estimate latency vs. a telemetry-free engine).
+# flight records, drift summary) and the telemetry/audit-overhead bench
+# guards (< 5% median estimate latency vs. an untapped engine, plus the
+# audit/offline q-error agreement check).
 bench-smoke: build
 	@mkdir -p $(SMOKE_DIR)
 	$(XSEED) generate xmark --scale 40 -o $(SMOKE_DIR)/bench.xml
@@ -90,7 +91,7 @@ bench-smoke: build
 	@grep -q '^# TYPE xseed_engine_cache_misses counter' $(SMOKE_DIR)/serve.out
 	@grep -q '^xseed_engine_drift_qerror_p90' $(SMOKE_DIR)/serve.out
 	@grep -q '"cache":"miss"' $(SMOKE_DIR)/flights.jsonl
-	$(DUNE) exec --no-build bench/main.exe -- --quick telemetry
+	$(DUNE) exec --no-build bench/main.exe -- --quick telemetry audit
 	@echo "bench-smoke: OK"
 
 bench-json: build
@@ -112,6 +113,33 @@ trace-smoke: build
 	$(XSEED) trace-lint $(SMOKE_DIR)/trace.json
 	@echo "trace-smoke: OK (WORKERS=$(WORKERS), $(SMOKE_DIR)/trace.json)"
 
+# Shadow-audit smoke: serve a tiny XMark corpus with every query audited
+# (--audit-rate 1.0 against the source document), then prove the AUDIT
+# verb's true-q-error window is byte-identical to the offline
+# `xseed audit` report over the same workload. The JSON-lines
+# attribution report lands in $(SMOKE_DIR)/audit for CI to upload.
+audit-smoke: build
+	@mkdir -p $(SMOKE_DIR)/audit
+	$(XSEED) generate xmark --scale 40 -o $(SMOKE_DIR)/audit/doc.xml
+	$(XSEED) build $(SMOKE_DIR)/audit/doc.xml -o $(SMOKE_DIR)/audit/doc.syn
+	$(XSEED) workload $(SMOKE_DIR)/audit/doc.xml --kind bp --count 25 \
+	  > $(SMOKE_DIR)/audit/queries
+	{ awk '{print "ESTIMATE " $$0}' $(SMOKE_DIR)/audit/queries; \
+	  printf 'AUDIT\n'; } \
+	  | $(XSEED) serve $(SMOKE_DIR)/audit/doc.syn --workers $(WORKERS) \
+	      --audit-rate 1.0 --audit-doc $(SMOKE_DIR)/audit/doc.xml \
+	      > $(SMOKE_DIR)/audit/serve.out
+	@grep -q '^OK {"rate":' $(SMOKE_DIR)/audit/serve.out
+	$(XSEED) audit $(SMOKE_DIR)/audit/doc.syn $(SMOKE_DIR)/audit/doc.xml \
+	  $(SMOKE_DIR)/audit/queries -o $(SMOKE_DIR)/audit/report.jsonl
+	@grep -o '"window":{[^}]*}' $(SMOKE_DIR)/audit/serve.out \
+	  > $(SMOKE_DIR)/audit/window.served
+	@grep -o '"window":{[^}]*}' $(SMOKE_DIR)/audit/report.jsonl \
+	  > $(SMOKE_DIR)/audit/window.offline
+	diff $(SMOKE_DIR)/audit/window.served $(SMOKE_DIR)/audit/window.offline
+	@grep -q '"worst_step"' $(SMOKE_DIR)/audit/report.jsonl
+	@echo "audit-smoke: OK (WORKERS=$(WORKERS), $(SMOKE_DIR)/audit/report.jsonl)"
+
 # Multi-domain stress: the pool suite's 4-client mixed-ops run at full scale
 # (10k ops per client against a WORKERS-shard pool), then a --workers smoke
 # through the CLI line protocol (BATCH framing + merged METRICS scrape).
@@ -131,7 +159,7 @@ stress: build
 	fi
 	@echo "stress: OK (WORKERS=$(WORKERS))"
 
-ci: fmt build test fuzz-smoke chaos-smoke tcp-smoke smoke bench-smoke trace-smoke stress
+ci: fmt build test fuzz-smoke chaos-smoke tcp-smoke smoke bench-smoke trace-smoke audit-smoke stress
 
 clean:
 	$(DUNE) clean

@@ -763,6 +763,14 @@ let bench_json () =
       let json =
         Obs.Json.Obj
           [ ("dataset", Obs.Json.String ds.name);
+            ( "host",
+              Obs.Json.Obj
+                [ ("cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+                  ( "hostname_hash",
+                    Obs.Json.String
+                      (Printf.sprintf "%08x"
+                         (Hashtbl.hash (Unix.gethostname ()) land 0xffffffff))
+                  ) ] );
             ("queries", Obs.Json.Int n);
             ("card_threshold", Obs.Json.Float ds.card_threshold);
             ("synopsis_bytes", Obs.Json.Int (Core.Estimator.size_in_bytes estimator));
@@ -943,6 +951,150 @@ let telemetry () =
   pf "within the 5%% budget\n"
 
 (* ------------------------------------------------------------------ *)
+(* Shadow-audit guard (DESIGN.md §15), two halves. Overhead: serving with
+   a 1%-rate auditor attached must cost < 5% median estimate latency vs.
+   an auditor-free engine (the tap is a hash test plus, on the sampled 1%,
+   a bounded push — the audit domain's work happens off the serving
+   thread). Agreement: the q-errors the background auditor hands back
+   through sample -> audit domain -> drain must equal the offline
+   [Auditor.audit_one] arithmetic to float equality, and the two window
+   renderings must be byte-identical — the invariant that lets the smoke
+   diff a served AUDIT reply against an `xseed audit` report. *)
+
+let audit_bench () =
+  header "Shadow audit: tap overhead + served-vs-offline agreement";
+  let ds = xmark10 in
+  let passes = scale 10 16 in
+  let queries = bp_queries ds @ cp_queries ds in
+  let mk_estimator () =
+    Core.Estimator.create ~card_threshold:ds.card_threshold
+      (Lazy.force ds.kernel)
+  in
+  let storage = Lazy.force ds.storage in
+  (* Overhead: alternating passes over a cold cache, as in [telemetry]. *)
+  let audited_engine = Engine.create ~telemetry:false ~cache_capacity:4096
+      (mk_estimator ())
+  in
+  let auditor =
+    Engine.Auditor.create ~rate:0.01
+      (Engine.Auditor.Loaded { estimator = mk_estimator (); storage })
+  in
+  Engine.set_auditor audited_engine auditor;
+  let bare_engine =
+    Engine.create ~telemetry:false ~cache_capacity:4096 (mk_estimator ())
+  in
+  let lat_on = ref [] and lat_off = ref [] in
+  let run_pass engine sink =
+    Engine.invalidate engine;
+    List.iter
+      (fun q ->
+        let t0 = Unix.gettimeofday () in
+        (match Engine.estimate_ast engine q with
+         | Ok _ -> ()
+         | Error e -> raise (Core.Error.Xseed e));
+        sink := (Unix.gettimeofday () -. t0) :: !sink)
+      queries
+  in
+  run_pass audited_engine (ref []);
+  run_pass bare_engine (ref []);
+  for _ = 1 to passes do
+    run_pass bare_engine lat_off;
+    run_pass audited_engine lat_on
+  done;
+  ignore (Engine.Auditor.settle auditor : bool);
+  Engine.drain_audits audited_engine;
+  Engine.Auditor.shutdown auditor;
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let m_on = median !lat_on and m_off = median !lat_off in
+  let overhead = (m_on -. m_off) /. m_off in
+  pf "%d queries x %d passes (cache invalidated per pass; XMark)\n\n"
+    (List.length queries) passes;
+  pf "%-24s %14s\n" "mode" "median/query";
+  pf "%-24s %11.1f us\n" "auditor off" (1e6 *. m_off);
+  pf "%-24s %11.1f us\n" "auditor at 1%" (1e6 *. m_on);
+  pf "%-24s %+13.2f%%\n" "overhead" (100.0 *. overhead);
+  if overhead >= 0.05 then begin
+    Printf.eprintf
+      "audit: median tap overhead %.2f%% >= 5%% budget (on %.1f us, off \
+       %.1f us)\n"
+      (100.0 *. overhead) (1e6 *. m_on) (1e6 *. m_off);
+    exit 1
+  end;
+  pf "within the 5%% budget\n\n";
+  (* Agreement: rate 1.0 through the background pipeline vs. synchronous
+     offline audits of the same served estimates. *)
+  let serve_est = mk_estimator () in
+  let ept = lazy (Core.Estimator.ept serve_est) in
+  let full =
+    Engine.Auditor.create ~rate:1.0
+      ~queue_capacity:(List.length queries + 1)
+      (Engine.Auditor.Loaded { estimator = mk_estimator (); storage })
+  in
+  let offline = ref [] in
+  List.iter
+    (fun q ->
+      let ast = Engine.Canonical.canonicalize q in
+      let key = Engine.Canonical.of_ast ast in
+      let estimate =
+        match Core.Estimator.estimate_result_on serve_est ept ast with
+        | Ok o -> o.Core.Estimator.value
+        | Error e -> raise (Core.Error.Xseed e)
+      in
+      Engine.Auditor.sample full ~query:key.Engine.Canonical.text
+        ~hash:key.Engine.Canonical.hash ~ast ~estimate;
+      match
+        Engine.Auditor.audit_one ~estimator:serve_est ~ept ~storage ~estimate
+          ast
+      with
+      | Ok a -> offline := a :: !offline
+      | Error msg -> failwith ("audit: offline audit failed: " ^ msg))
+    queries;
+  if not (Engine.Auditor.settle full) then begin
+    Printf.eprintf "audit: auditor failed to settle within 5s\n";
+    exit 1
+  end;
+  let audited = ref [] in
+  Engine.Auditor.drain full (fun a -> audited := a :: !audited);
+  Engine.Auditor.shutdown full;
+  let audited = List.rev !audited and offline = List.rev !offline in
+  if List.length audited <> List.length offline then begin
+    Printf.eprintf "audit: %d background audits vs %d offline\n"
+      (List.length audited) (List.length offline);
+    exit 1
+  end;
+  List.iter2
+    (fun (a : Engine.Auditor.audited) (b : Engine.Auditor.audited) ->
+      if a.Engine.Auditor.qerror <> b.Engine.Auditor.qerror
+         || a.Engine.Auditor.actual <> b.Engine.Auditor.actual
+      then begin
+        Printf.eprintf
+          "audit: %s: background (qerror %.17g, actual %d) <> offline \
+           (qerror %.17g, actual %d)\n"
+          a.Engine.Auditor.query a.Engine.Auditor.qerror
+          a.Engine.Auditor.actual b.Engine.Auditor.qerror
+          b.Engine.Auditor.actual;
+        exit 1
+      end)
+    audited offline;
+  let window l =
+    Obs.Json.to_string
+      (Engine.Auditor.window_json
+         (Array.of_list (List.map (fun a -> a.Engine.Auditor.qerror) l)))
+  in
+  if window audited <> window offline then begin
+    Printf.eprintf "audit: window mismatch: %s vs %s\n" (window audited)
+      (window offline);
+    exit 1
+  end;
+  pf "%d audits: background q-errors equal offline to float equality\n"
+    (List.length audited);
+  pf "window agreement: %s\n" (window audited)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel): per-operation latency. *)
 
 let micro () =
@@ -1013,8 +1165,9 @@ let micro () =
 let sections =
   [ ("table2", table2); ("table3", table3); ("fig5", fig5); ("fig6", fig6);
     ("sec64", sec64); ("ablation", ablation); ("values", values);
-    ("feedback", feedback); ("telemetry", telemetry); ("parallel", parallel);
-    ("profile", profile_section); ("json", bench_json); ("micro", micro) ]
+    ("feedback", feedback); ("telemetry", telemetry); ("audit", audit_bench);
+    ("parallel", parallel); ("profile", profile_section);
+    ("json", bench_json); ("micro", micro) ]
 
 let () =
   let requested =

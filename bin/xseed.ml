@@ -494,6 +494,39 @@ let journal_fsync_arg =
                  leaves flushing to the OS, an integer N fsyncs every Nth \
                  append")
 
+(* Shadow auditing (DESIGN.md §15): sampled ground-truth q-error. *)
+
+let audit_rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "audit-rate" ] ~docv:"RATE"
+           ~doc:"Shadow-audit sample rate within [0, 1]: a deterministic \
+                 hash of each served query's canonical form selects that \
+                 fraction for background exact evaluation against the \
+                 source document (--audit-doc, or the manifest's doc= \
+                 field), feeding the AUDIT verb's true q-error window. 0 \
+                 (the default) disables auditing")
+
+let audit_seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "audit-seed" ] ~docv:"N"
+           ~doc:"Seed for the audit sampler's hash stream; the same seed \
+                 and rate always select the same queries, regardless of \
+                 arrival order")
+
+let audit_feedback_arg =
+  Arg.(value & flag
+       & info [ "audit-feedback" ]
+           ~doc:"Let audited ground truth drive the q-error-gated HET \
+                 refinement path, as if each audited query had sent \
+                 FEEDBACK")
+
+let audit_doc_arg =
+  Arg.(value & opt (some string) None
+       & info [ "audit-doc" ] ~docv:"FILE"
+           ~doc:"Source XML document the audit domain replays sampled \
+                 queries against (single-synopsis modes; registry tenants \
+                 declare theirs with doc= in the manifest)")
+
 (* TCP transport (absent = the classic stdin/stdout line protocol). *)
 
 let port_arg =
@@ -593,7 +626,7 @@ let serve_cmd =
       snapshot_every drift_p90 workers queue_capacity deadline_ms shed_policy
       max_batch journal_path journal_fsync trace_out port host max_conns
       idle_timeout_ms max_frame manifest memory_budget het_budget journal_dir
-      obs_spec =
+      audit_rate audit_seed audit_feedback audit_doc obs_spec =
     protect @@ fun () ->
     (match snapshot_every with
      | Some n when n < 1 ->
@@ -614,6 +647,9 @@ let serve_cmd =
     if idle_timeout_ms < 0.0 || Float.is_nan idle_timeout_ms then
       Core.Error.raisef Core.Error.Malformed_query
         "--idle-timeout-ms must be >= 0";
+    if Float.is_nan audit_rate || audit_rate < 0.0 || audit_rate > 1.0 then
+      Core.Error.raisef Core.Error.Malformed_query
+        "--audit-rate must be within [0, 1]";
     (match (synopsis_file, manifest) with
      | None, None ->
        Core.Error.raisef Core.Error.Malformed_query
@@ -640,9 +676,11 @@ let serve_cmd =
            " (use --journal-dir for per-tenant journals)");
           (deadline_ms <> None, "--deadline-ms", "");
           (trace_out <> None, "--trace-out", "");
-          (telemetry_out <> None, "--telemetry-out", "") ]
+          (telemetry_out <> None, "--telemetry-out", "");
+          (audit_doc <> None, "--audit-doc",
+           " (declare each tenant's document with doc= in the manifest)") ]
     end
-    else
+    else begin
       List.iter
         (fun (present, flag) ->
           if present then
@@ -651,6 +689,15 @@ let serve_cmd =
         [ (memory_budget <> None, "--memory-budget");
           (het_budget <> None, "--het-budget");
           (journal_dir <> None, "--journal-dir") ];
+      if audit_rate > 0.0 && audit_doc = None then
+        Core.Error.raisef Core.Error.Malformed_query
+          "--audit-rate needs --audit-doc (the source document ground \
+           truth is evaluated against)";
+      if audit_doc <> None && audit_rate <= 0.0 then
+        Core.Error.raisef Core.Error.Malformed_query
+          "--audit-doc without --audit-rate never audits anything; give \
+           --audit-rate"
+    end;
     let deadline_s =
       match deadline_ms with
       | None -> None
@@ -795,7 +842,7 @@ let serve_cmd =
        let reg =
          Engine.Registry.create ?memory_budget ?het_budget ~qerror_threshold
            ~cache_capacity ~drift_p90_threshold:drift_p90 ?journal_dir
-           ~journal_fsync:fsync ()
+           ~journal_fsync:fsync ~audit_rate ?audit_seed ~audit_feedback ()
        in
        let n = ok_or_raise (Engine.Registry.load_manifest reg manifest_path) in
        Format.eprintf
@@ -822,28 +869,55 @@ let serve_cmd =
        Format.eprintf "xseed serve: %s loaded (%d worker%s)@." synopsis_file
          workers
          (if workers = 1 then "" else "s");
+       (* The shadow auditor loads its own private estimator from the
+          synopsis file on the audit domain, so it never shares mutable
+          state with the serving estimator. *)
+       let auditor =
+         match audit_doc with
+         | Some doc when audit_rate > 0.0 ->
+           Format.eprintf
+             "xseed serve: shadow audit armed: rate %g against %s%s@."
+             audit_rate doc
+             (if audit_feedback then " (feedback enabled)" else "");
+           Some
+             (Engine.Auditor.create ?seed:audit_seed ~feedback:audit_feedback
+                ?trace ~rate:audit_rate
+                (Engine.Auditor.Paths { synopsis = synopsis_file; doc }))
+         | _ -> None
+       in
        if workers = 1 then begin
          let engine =
            Engine.create ~qerror_threshold ~cache_capacity
              ~drift_p90_threshold:drift_p90 ~obs ?trace ?deadline_s estimator
          in
+         Option.iter (Engine.set_auditor engine) auditor;
          set_on_record (Engine.set_on_record engine);
          let server = with_journal (Engine.server engine) in
          run_transport
            ~make_session:(fun () -> (server, no_extra))
            (fun () -> Engine.publish_telemetry engine);
+         (* Drain: let in-flight audits finish and fold them into the
+            final telemetry snapshot before the registry is flushed. *)
+         (match auditor with
+          | None -> ()
+          | Some a ->
+            ignore (Engine.Auditor.settle a : bool);
+            Engine.drain_audits engine;
+            Engine.Auditor.shutdown a);
          Engine.publish_telemetry engine
        end
        else begin
          let pool =
            Engine.Pool.create ~workers ~qerror_threshold ~cache_capacity
              ~drift_p90_threshold:drift_p90 ~queue_capacity ?trace ?deadline_s
-             ~shed_policy estimator
+             ~shed_policy ?auditor estimator
          in
          set_on_record (Engine.Pool.set_on_record pool);
          let server = with_journal (Engine.Pool.server pool) in
          Fun.protect
-           ~finally:(fun () -> Engine.Pool.shutdown pool)
+           ~finally:(fun () ->
+             Engine.Pool.shutdown pool;
+             Option.iter Engine.Auditor.shutdown auditor)
            (fun () ->
              run_transport
                ~make_session:(fun () -> (server, no_extra))
@@ -872,7 +946,10 @@ let serve_cmd =
              drive it with 'xseed client'): ESTIMATE <query>, BATCH <n> \
              (then n query lines), FEEDBACK <query> <actual>, EXPLAIN \
              <query>, STATS, METRICS (Prometheus text), RECENT [n] (flight \
-             records), DRIFT (sliding-window accuracy), PING, VERSION. One \
+             records), DRIFT (sliding-window accuracy), AUDIT (shadow-audit \
+             true q-error window and worst-step attribution; armed by \
+             --audit-rate with --audit-doc or manifest doc= fields), PING, \
+             VERSION. One \
              positional SYNOPSIS serves a single synopsis (--workers N \
              spreads estimates across N domains sharing it); --manifest \
              serves a registry of named synopses with USE <tenant> \
@@ -889,7 +966,143 @@ let serve_cmd =
           $ max_batch_arg $ journal_arg $ journal_fsync_arg $ trace_out_arg
           $ port_arg $ host_arg $ max_conns_arg $ idle_timeout_ms_arg
           $ max_frame_arg $ manifest_arg $ memory_budget_arg $ het_budget_arg
-          $ journal_dir_arg $ obs_term)
+          $ journal_dir_arg $ audit_rate_arg $ audit_seed_arg
+          $ audit_feedback_arg $ audit_doc_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* Offline shadow audit: replay a workload against synopsis + document,
+   emitting the same per-query attribution records the serving auditor
+   writes to the flight ring, then a summary whose "window" object is
+   rendered by the same code path as the AUDIT verb's — so a served
+   session and this report agree to float equality. *)
+
+let audit_cmd =
+  let audit_doc_pos_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"DOC"
+             ~doc:"Source XML document (the ground truth)")
+  in
+  let workload_pos_arg =
+    Arg.(required & pos 2 (some string) None
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"Workload file, one XPath query per line ('#' comments \
+                   and blank lines ignored)")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON-lines attribution report to $(docv) \
+                   (default stdout)")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1.0
+         & info [ "rate" ] ~docv:"RATE"
+             ~doc:"Sample rate within [0, 1], over the same deterministic \
+                   hash stream 'serve --audit-rate' uses; default 1.0 \
+                   audits every query")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x5eed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Sampler seed; match the server's --audit-seed for the \
+                   sampled subsets to coincide")
+  in
+  let run synopsis_file doc workload out rate seed threshold =
+    protect @@ fun () ->
+    if Float.is_nan rate || rate < 0.0 || rate > 1.0 then
+      Core.Error.raisef Core.Error.Malformed_query
+        "--rate must be within [0, 1]";
+    let syn = load_synopsis synopsis_file in
+    let estimator = estimator_of ~threshold syn in
+    let ept = lazy (Core.Estimator.ept estimator) in
+    let storage = Nok.Storage.of_string ~with_values:true (read_file doc) in
+    let workload_text = read_file workload in
+    let oc, close =
+      match out with
+      | None -> (stdout, fun () -> flush stdout)
+      | Some path ->
+        (try
+           let oc = open_out path in
+           (oc, fun () -> close_out oc)
+         with Sys_error msg ->
+           Core.Error.raisef Core.Error.Io_error "--out: %s" msg)
+    in
+    Fun.protect ~finally:close @@ fun () ->
+    let emit json =
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n'
+    in
+    let seen = ref 0
+    and skipped = ref 0
+    and failed = ref 0
+    and qerrors = ref [] in
+    String.split_on_char '\n' workload_text
+    |> List.iter (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then ()
+           else begin
+             incr seen;
+             let audit_line () =
+               match Xpath.Parser.parse_result line with
+               | Error { Xpath.Parser.position; message } ->
+                 Error
+                   (Printf.sprintf "parse error at %d: %s" position message)
+               | Ok ast ->
+                 let ast = Engine.Canonical.canonicalize ast in
+                 let key = Engine.Canonical.of_ast ast in
+                 if not (Engine.Auditor.in_sample ~seed ~rate
+                           key.Engine.Canonical.hash)
+                 then Ok None
+                 else
+                   (match
+                      Core.Estimator.estimate_result_on estimator ept ast
+                    with
+                    | Error e -> Error (Core.Error.to_string e)
+                    | Ok o ->
+                      (match
+                         Engine.Auditor.audit_one ~estimator ~ept ~storage
+                           ~estimate:o.Core.Estimator.value ast
+                       with
+                       | Error msg -> Error msg
+                       | Ok a -> Ok (Some a)))
+             in
+             match audit_line () with
+             | Ok None -> incr skipped
+             | Ok (Some a) ->
+               qerrors := a.Engine.Auditor.qerror :: !qerrors;
+               emit (Engine.Auditor.audited_json a)
+             | Error msg ->
+               incr failed;
+               emit
+                 (Obs.Json.Obj
+                    [ ("query", Obs.Json.String line);
+                      ("error", Obs.Json.String msg) ])
+           end);
+    let qs = Array.of_list (List.rev !qerrors) in
+    emit
+      (Obs.Json.Obj
+         [ ("summary", Obs.Json.Bool true);
+           ("rate", Obs.Json.Float rate);
+           ("queries", Obs.Json.Int !seen);
+           ("audited", Obs.Json.Int (Array.length qs));
+           ("skipped", Obs.Json.Int !skipped);
+           ("errors", Obs.Json.Int !failed);
+           ("window", Engine.Auditor.window_json qs) ]);
+    if !failed > 0 then
+      Format.eprintf "xseed audit: %d quer%s failed (see the report)@."
+        !failed
+        (if !failed = 1 then "y" else "ies")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Offline shadow audit: estimate every (sampled) workload query \
+             from the synopsis, evaluate it exactly against the source \
+             document, and report per-query true q-error with per-step \
+             error attribution as JSON-lines, then one summary line whose \
+             window percentiles are rendered exactly as the serve \
+             protocol's AUDIT verb renders its own")
+    Term.(const run $ synopsis_arg $ audit_doc_pos_arg $ workload_pos_arg
+          $ out_arg $ rate_arg $ seed_arg $ override_threshold_arg)
 
 (* A line-protocol shell over the TCP transport: stdin lines become request
    frames (BATCH/PROFILE pull their payload lines into the same frame),
@@ -1171,7 +1384,8 @@ let () =
       (Cmd.group info
          [ stats_cmd; build_cmd; estimate_cmd; explain_cmd; evaluate_cmd;
            ept_cmd; generate_cmd; workload_cmd; compare_cmd; serve_cmd;
-           client_cmd; replay_cmd; trace_lint_cmd; journal_dump_cmd ])
+           audit_cmd; client_cmd; replay_cmd; trace_lint_cmd;
+           journal_dump_cmd ])
   in
   (* Remap cmdliner's reserved codes onto the sysexits contract documented
      in the README: 64 for a command-line usage error, 70 for anything the

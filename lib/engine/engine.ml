@@ -12,4 +12,6 @@ module Serve = Serve
 module Pool = Pool
 module Journal = Journal
 module Registry = Registry
+module Auditor = Auditor
+module Scrape_meter = Scrape_meter
 include Engine_core

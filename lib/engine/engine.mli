@@ -43,6 +43,8 @@ module Serve = Serve
 module Pool = Pool
 module Journal = Journal
 module Registry = Registry
+module Auditor = Auditor
+module Scrape_meter = Scrape_meter
 
 include module type of struct
   include Engine_core

@@ -39,6 +39,8 @@ type t = {
   mutable ept : Core.Matcher.ept option;  (* shared across queries *)
   mutable feedback_seen : int;
   mutable feedback_rounds : int;
+  mutable auditor : Auditor.t option;
+  scrape : Scrape_meter.t;
 }
 
 let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
@@ -71,7 +73,9 @@ let create ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     on_record = None;
     ept = None;
     feedback_seen = 0;
-    feedback_rounds = 0 }
+    feedback_rounds = 0;
+    auditor = None;
+    scrape = Scrape_meter.create () }
 
 let estimator t = t.estimator
 let qerror_threshold t = t.threshold
@@ -84,6 +88,8 @@ let timed_out t = t.timed_out
 let recorder t = t.recorder
 let drift t = t.drift
 let set_on_record t f = t.on_record <- Some f
+let set_auditor t a = t.auditor <- Some a
+let auditor t = t.auditor
 
 let invalidate t =
   Lru_cache.clear t.cache;
@@ -167,6 +173,60 @@ let record_refusal t ~(key : Canonical.key) ~cache =
 let timeout_error () =
   Core.Error.make Core.Error.Timeout "request deadline exceeded"
 
+(* Fold completed shadow audits back into the serving thread: the audit
+   domain only fills a result list, so Drift.observe and the flight ring are
+   still touched by one thread only (this one). Called from the start of
+   every estimate (cheap atomic check when nothing completed) and by the
+   AUDIT verb. *)
+let drain_audits t =
+  match t.auditor with
+  | None -> ()
+  | Some a ->
+    Auditor.drain a (fun r ->
+        (match t.drift with
+         | Some d ->
+           ignore
+             (Drift.observe ?obs:(Some t.metrics) d
+                ~estimate:r.Auditor.estimate ~actual:r.Auditor.actual
+               : float)
+         | None -> ());
+        (match t.recorder with
+         | None -> ()
+         | Some rec_ ->
+           let worst_step, worst_axis, contribution =
+             match r.Auditor.worst with
+             | None -> ("", "", 1.0)
+             | Some w ->
+               (w.Auditor.step, w.Auditor.axis, w.Auditor.contribution)
+           in
+           let fr =
+             Flight_recorder.record rec_
+               ~audit:
+                 { Flight_recorder.audit_actual = r.Auditor.actual;
+                   audit_qerror = r.Auditor.qerror;
+                   audit_worst_step = worst_step;
+                   audit_worst_axis = worst_axis;
+                   audit_contribution = contribution }
+               ~query:r.Auditor.query ~hash:r.Auditor.hash
+               ~cache:Flight_recorder.Audited ~estimate:r.Auditor.estimate
+               ~canonicalize_s:0.0 ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0
+               ~frontier_peak:0 ~degenerate_clamps:0 ~het_hits:0
+               ~feedback_round:t.feedback_rounds
+           in
+           (match t.on_record with None -> () | Some f -> f fr));
+        if Auditor.feedback_enabled a then begin
+          let fb =
+            Feedback.apply ?ept:t.ept ~threshold:t.threshold t.estimator
+              r.Auditor.ast ~estimate:r.Auditor.estimate
+              ~actual:r.Auditor.actual
+          in
+          if fb.Feedback.refined then begin
+            t.feedback_rounds <- t.feedback_rounds + 1;
+            Auditor.note_refined a;
+            invalidate t
+          end
+        end)
+
 (* The whole request as an X slice plus canonicalize / pipeline sub-slices,
    recorded only when tracing is on — the stamps reuse the stage clocks the
    flight recorder already reads, so single-engine and pool traces line up. *)
@@ -183,7 +243,15 @@ let trace_request t ~t0 ~canonicalize_s ~t1 ~miss_s =
     Obs.Trace.complete tg.tbuf ~name:tg.names.n_estimate
       ~ts:(Obs.Trace.rel tg.tr t0) ~dur:(te -. t0)
 
+let sample_audit t ~(key : Canonical.key) ~cast ~value =
+  match t.auditor with
+  | None -> ()
+  | Some a ->
+    Auditor.sample a ~query:key.Canonical.text ~hash:key.Canonical.hash
+      ~ast:cast ~estimate:value
+
 let estimate_ast t ast =
+  drain_audits t;
   let t0 = Obs.now_mono () in
   let cast = Canonical.canonicalize ast in
   let key = Canonical.of_ast cast in
@@ -193,6 +261,7 @@ let estimate_ast t ast =
     (match t.drift with Some d -> Drift.note_estimate d ~cache_hit:true | None -> ());
     record_flight t ~key ~status:Core.Explain.Hit ~outcome ~canonicalize_s
       ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0 ~frontier_peak:0 ~het_hits:0;
+    sample_audit t ~key ~cast ~value:outcome.Core.Estimator.value;
     trace_request t ~t0 ~canonicalize_s ~t1:t0 ~miss_s:0.0;
     Ok { key; outcome; status = Core.Explain.Hit }
   | None
@@ -226,6 +295,7 @@ let estimate_ast t ast =
          ~ept_nodes:ms.Core.Matcher.ept_nodes
          ~frontier_peak:ms.Core.Matcher.frontier_peak
          ~het_hits:(het_hits_since t het_before);
+       sample_audit t ~key ~cast ~value:outcome.Core.Estimator.value;
        trace_request t ~t0 ~canonicalize_s ~t1 ~miss_s;
        Ok { key; outcome; status = Core.Explain.Miss }
      | Error e -> Error e)
@@ -406,14 +476,36 @@ let publish_telemetry t =
    | None -> ()
    | Some r ->
      Obs.max_to ~obs "engine.flight.records" (Flight_recorder.total r));
+  (match t.auditor with None -> () | Some a -> Auditor.publish a obs);
+  Scrape_meter.publish t.scrape ~obs
+    ~served:(c.Lru_cache.hits + c.Lru_cache.misses + t.timed_out
+             + t.feedback_seen);
   match t.drift with None -> () | Some d -> Drift.publish d obs
 
 let metrics_text t =
+  let t0 = Obs.now_mono () in
   publish_telemetry t;
-  Obs.prometheus ~prefix:"xseed_" t.metrics
+  let text = Obs.prometheus ~prefix:"xseed_" t.metrics in
+  Scrape_meter.note t.scrape (Obs.now_mono () -. t0);
+  text
 
 let telemetry_disabled () =
   Core.Error.make Core.Error.Internal "telemetry is disabled on this engine"
+
+(* The AUDIT verb waits (bounded) for the audit domain to catch up, folds
+   the results in, and reports — so a serve session at --audit-rate 1.0 can
+   be diffed float-for-float against the offline `xseed audit` report. *)
+let audit_reply t =
+  match t.auditor with
+  | None ->
+    Error
+      (Core.Error.make Core.Error.Internal
+         "auditing is disabled (serve with --audit-rate and a source \
+          document)")
+  | Some a ->
+    ignore (Auditor.settle ~timeout_s:5.0 a : bool);
+    drain_audits t;
+    Ok (Auditor.status_json a)
 
 (* PROFILE on a single engine: there is no queue, so queue-wait and
    reassemble are structurally zero; execute is each estimate's measured
@@ -478,7 +570,8 @@ let server t =
         match t.drift with
         | None -> Error (telemetry_disabled ())
         | Some d -> Ok (Drift.to_json d));
-    profile = (fun qs -> profile t qs) }
+    profile = (fun qs -> profile t qs);
+    audit = (fun () -> audit_reply t) }
 
 module Protocol = struct
   let handle_line t raw =

@@ -109,6 +109,29 @@ val set_on_record : t -> (Flight_recorder.record -> unit) -> unit
     the CLI's [--telemetry-out] JSON-lines sink. At most one callback;
     installing replaces. *)
 
+val set_auditor : t -> Auditor.t -> unit
+(** Attach a shadow auditor: every served estimate (hit or miss) is offered
+    to {!Auditor.sample}, and completed audits are folded back in on the
+    serving thread ({!drain_audits}) — into the drift window, the flight
+    ring (as [Audited] records carrying the attribution payload), and, when
+    the auditor was created with [~feedback:true], the q-error-gated HET
+    refinement path. The engine does not own the auditor's lifecycle: the
+    caller shuts it down. *)
+
+val auditor : t -> Auditor.t option
+
+val drain_audits : t -> unit
+(** Fold any completed shadow audits into the engine's telemetry (a cheap
+    atomic check when there are none). Runs automatically at the start of
+    every estimate and inside the [AUDIT] verb; exposed for drain-epilogue
+    flushing. Must be called from the serving thread — it touches the same
+    drift window and flight ring the request path writes. *)
+
+val audit_reply : t -> (Obs.Json.t, Core.Error.t) result
+(** The [AUDIT] verb: settle in-flight audits (bounded 5 s wait), drain,
+    and report {!Auditor.status_json}; [Error Internal] when no auditor is
+    attached. *)
+
 val publish_telemetry : t -> unit
 (** Republish engine totals into {!metrics}: [engine.cache.*] counters
     (via max, so calling before every scrape is idempotent) and occupancy

@@ -3,7 +3,7 @@
    the ring overwrites oldest-first and never allocates after creation
    beyond the records themselves. *)
 
-type cache_status = Hit | Miss | Bypass | Timed_out | Shed
+type cache_status = Hit | Miss | Bypass | Timed_out | Shed | Audited
 
 let cache_status_name = function
   | Hit -> "hit"
@@ -11,6 +11,15 @@ let cache_status_name = function
   | Bypass -> "bypass"
   | Timed_out -> "timeout"
   | Shed -> "shed"
+  | Audited -> "audit"
+
+type audit = {
+  audit_actual : int;
+  audit_qerror : float;
+  audit_worst_step : string;
+  audit_worst_axis : string;
+  audit_contribution : float;
+}
 
 type record = {
   seq : int;
@@ -28,6 +37,7 @@ type record = {
   het_hits : int;
   feedback_round : int;
   tenant : string option;
+  audit : audit option;
 }
 
 type t = {
@@ -53,14 +63,15 @@ let total t = t.next_seq
    one (the pool's global submission counter), so records scattered across
    per-shard rings can be merged back into submission order; the ring still
    advances by its own write count either way. *)
-let record ?seq t ~query ~hash ~cache ~estimate ~canonicalize_s ~ept_s ~match_s
-    ~ept_nodes ~frontier_peak ~degenerate_clamps ~het_hits ~feedback_round =
+let record ?seq ?audit t ~query ~hash ~cache ~estimate ~canonicalize_s ~ept_s
+    ~match_s ~ept_nodes ~frontier_peak ~degenerate_clamps ~het_hits
+    ~feedback_round =
   let r =
     { seq = (match seq with Some s -> s | None -> t.next_seq);
       query; hash; cache; estimate; canonicalize_s; ept_s;
       match_s; total_s = canonicalize_s +. ept_s +. match_s; ept_nodes;
       frontier_peak; degenerate_clamps; het_hits; feedback_round;
-      tenant = t.ring_tenant }
+      tenant = t.ring_tenant; audit }
   in
   t.ring.(t.next_seq mod Array.length t.ring) <- Some r;
   t.next_seq <- t.next_seq + 1;
@@ -100,7 +111,17 @@ let to_json (r : record) =
       ("feedback_round", Int r.feedback_round) ]
     @ (match r.tenant with
        | None -> []
-       | Some name -> [ ("tenant", String name) ]))
+       | Some name -> [ ("tenant", String name) ])
+    @ (match r.audit with
+       | None -> []
+       | Some a ->
+         [ ( "audit",
+             Obj
+               [ ("actual", Int a.audit_actual);
+                 ("qerror", Float a.audit_qerror);
+                 ("worst_step", String a.audit_worst_step);
+                 ("worst_axis", String a.audit_worst_axis);
+                 ("contribution", Float a.audit_contribution) ] ) ]))
 
 let dump_jsonl oc t =
   List.iter

@@ -9,14 +9,27 @@
     and {!to_json} renders one record as a JSON object (one line of the
     [--telemetry-out] JSON-lines sink). *)
 
-type cache_status = Hit | Miss | Bypass | Timed_out | Shed
+type cache_status = Hit | Miss | Bypass | Timed_out | Shed | Audited
 (** [Timed_out] and [Shed] mark requests the fault-tolerance layer
     refused: the record carries the raw query, a zero estimate and zero
     stage times — the point is that the refusal is visible in RECENT and
-    [--telemetry-out] streams, not that it was served. *)
+    [--telemetry-out] streams, not that it was served. [Audited] marks a
+    shadow-audit attribution record appended when the background auditor
+    completes a sampled query — not a served request at all. *)
 
 val cache_status_name : cache_status -> string
-(** ["hit"] / ["miss"] / ["bypass"] / ["timeout"] / ["shed"]. *)
+(** ["hit"] / ["miss"] / ["bypass"] / ["timeout"] / ["shed"] /
+    ["audit"]. *)
+
+type audit = {
+  audit_actual : int;  (** exact cardinality from the NoK evaluator *)
+  audit_qerror : float;  (** true q-error of the served estimate *)
+  audit_worst_step : string;  (** step text with the largest q-error growth *)
+  audit_worst_axis : string;  (** its axis, ["child"]/["descendant"] *)
+  audit_contribution : float;  (** its q-error multiplier *)
+}
+(** The shadow auditor's per-query attribution payload, rendered by
+    {!to_json} as an ["audit"] sub-object. *)
 
 type record = {
   seq : int;  (** monotone sequence number, 0-based, never reused *)
@@ -36,6 +49,8 @@ type record = {
   tenant : string option;
       (** owning tenant when the ring belongs to a registry-managed engine
           ({!set_tenant}); [None] on single-tenant engines *)
+  audit : audit option;
+      (** shadow-audit attribution, on [Audited] records only *)
 }
 
 type t
@@ -56,6 +71,7 @@ val total : t -> int
 
 val record :
   ?seq:int ->
+  ?audit:audit ->
   t ->
   query:string ->
   hash:int ->

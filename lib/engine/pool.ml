@@ -129,6 +129,10 @@ type t = {
   coord_obs : Obs.t;  (* persistent coordinator registry (batch sizes) *)
   batch_chunk : Obs.histogram;  (* in [coord_obs] *)
   tracing : tracing option;
+  auditor : Auditor.t option;
+      (* shadow auditor; workers call its thread-safe [sample], results are
+         folded back only under [submit_lock] with the workers drained *)
+  scrape : Scrape_meter.t;
 }
 
 let with_lock m f =
@@ -284,6 +288,11 @@ let serve_query t shard ~seq ~enqueued_at query =
        emit_record t shard.recorder ~seq ~key ~status:Flight_recorder.Hit
          ~outcome ~canonicalize_s ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0
          ~frontier_peak:0 ~het_hits:0;
+       (match t.auditor with
+        | Some a ->
+          Auditor.sample a ~query:key.Canonical.text ~hash:key.Canonical.hash
+            ~ast:cast ~estimate:outcome.Core.Estimator.value
+        | None -> ());
        Ok
          { Serve.value = outcome.Core.Estimator.value;
            status = Core.Explain.Hit }
@@ -326,6 +335,12 @@ let serve_query t shard ~seq ~enqueued_at query =
             ~ept_nodes:ms.Core.Matcher.ept_nodes
             ~frontier_peak:ms.Core.Matcher.frontier_peak
             ~het_hits:(het_hits_since t het_before);
+          (match t.auditor with
+           | Some a ->
+             Auditor.sample a ~query:key.Canonical.text
+               ~hash:key.Canonical.hash ~ast:cast
+               ~estimate:outcome.Core.Estimator.value
+           | None -> ());
           Ok
             { Serve.value = outcome.Core.Estimator.value;
               status = Core.Explain.Miss }
@@ -491,7 +506,7 @@ let rec supervise t shard =
 let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
     ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?(queue_capacity = 256)
-    ?trace ?deadline_s ?(shed_policy = `Block) ?chaos estimator =
+    ?trace ?deadline_s ?(shed_policy = `Block) ?chaos ?auditor estimator =
   if workers < 1 then
     invalid_arg (Printf.sprintf "Pool.create: workers %d < 1" workers);
   if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
@@ -604,7 +619,9 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
       created_at = Obs.now_mono ();
       coord_obs;
       batch_chunk = Obs.histogram coord_obs "engine.pool.batch_chunk";
-      tracing }
+      tracing;
+      auditor;
+      scrape = Scrape_meter.create () }
   in
   (* The EPT and shards are fully built before any domain spawns, so the
      workers' first reads are ordered by the spawn itself. *)
@@ -806,6 +823,66 @@ let next_seq_locked t =
   t.next_seq <- seq + 1;
   seq
 
+let emit_audit_record t ~seq (r : Auditor.audited) =
+  match t.recorder with
+  | None -> ()
+  | Some rec_ ->
+    let worst_step, worst_axis, contribution =
+      match r.Auditor.worst with
+      | None -> ("", "", 1.0)
+      | Some w -> (w.Auditor.step, w.Auditor.axis, w.Auditor.contribution)
+    in
+    let fr =
+      Flight_recorder.record ~seq rec_
+        ~audit:
+          { Flight_recorder.audit_actual = r.Auditor.actual;
+            audit_qerror = r.Auditor.qerror;
+            audit_worst_step = worst_step;
+            audit_worst_axis = worst_axis;
+            audit_contribution = contribution }
+        ~query:r.Auditor.query ~hash:r.Auditor.hash
+        ~cache:Flight_recorder.Audited ~estimate:r.Auditor.estimate
+        ~canonicalize_s:0.0 ~ept_s:0.0 ~match_s:0.0 ~ept_nodes:0
+        ~frontier_peak:0 ~degenerate_clamps:0 ~het_hits:0
+        ~feedback_round:t.feedback_rounds
+    in
+    (match t.on_record with
+     | None -> ()
+     | Some f -> with_lock t.record_lock (fun () -> f fr))
+
+(* Fold completed shadow audits into the coordinator's telemetry. Callers
+   hold [submit_lock] with the workers drained — the single-writer state the
+   feedback path already establishes — so [Drift.observe] cannot race a
+   worker's [note_shard] and the audit-feedback EPT rebuild below follows
+   the same epoch protocol as client feedback. *)
+let drain_audits_locked t =
+  match t.auditor with
+  | None -> ()
+  | Some a ->
+    Auditor.drain a (fun r ->
+        (match t.drift with
+         | Some d ->
+           ignore
+             (Drift.observe d ~estimate:r.Auditor.estimate
+                ~actual:r.Auditor.actual
+               : float)
+         | None -> ());
+        emit_audit_record t ~seq:(next_seq_locked t) r;
+        if Auditor.feedback_enabled a then begin
+          let fb =
+            Feedback.apply
+              ?ept:(Result.to_option t.ept)
+              ~threshold:t.threshold t.base r.Auditor.ast
+              ~estimate:r.Auditor.estimate ~actual:r.Auditor.actual
+          in
+          if fb.Feedback.refined then begin
+            t.feedback_rounds <- t.feedback_rounds + 1;
+            Auditor.note_refined a;
+            t.ept <- materialize_ept t.base;
+            Atomic.incr t.epoch
+          end
+        end)
+
 (* Single-writer feedback: stop submissions, drain the workers, and only
    then touch the shared HET/EPT. The estimate judged by the q-error is
    recomputed inline on the drained pool (recorded as a cache Bypass on the
@@ -831,6 +908,7 @@ let feedback t query ~actual =
           Fun.protect ~finally:(fun () -> trace_coord_verb t `Feedback tv0)
           @@ fun () ->
           wait_drained t;
+          drain_audits_locked t;
           let t0 = Obs.now_mono () in
           let cast = Canonical.canonicalize ast in
           let key = Canonical.of_ast cast in
@@ -1049,6 +1127,11 @@ let merged_metrics t =
      Obs.max_to ~obs "het.feedback_inserts" u.Core.Het.feedback_inserts;
      Obs.max_to ~obs "het.collisions" u.Core.Het.collisions);
   Obs.max_to ~obs "engine.flight.records" (flight_total t);
+  (match t.auditor with None -> () | Some a -> Auditor.publish a obs);
+  Scrape_meter.publish t.scrape ~obs
+    ~served:
+      (c.Lru_cache.hits + c.Lru_cache.misses + t.feedback_seen
+      + timeout_total t + shed_total t);
   (match t.drift with None -> () | Some d -> Drift.publish d obs);
   Obs.set_to ~obs "engine.pool.workers" (float_of_int (workers t));
   Obs.set_to ~obs "engine.pool.epoch" (float_of_int (epoch t));
@@ -1087,7 +1170,11 @@ let merged_metrics t =
     (obs :: t.coord_obs
     :: Array.to_list (Array.map (fun (s : shard) -> s.obs) t.shards))
 
-let metrics_text t = Obs.prometheus ~prefix:"xseed_" (merged_metrics t)
+let metrics_text t =
+  let t0 = Obs.now_mono () in
+  let text = Obs.prometheus ~prefix:"xseed_" (merged_metrics t) in
+  Scrape_meter.note t.scrape (Obs.now_mono () -. t0);
+  text
 
 (* Flight records from every shard ring plus the coordinator ring, merged
    newest-submission-first on the global sequence number. *)
@@ -1141,7 +1228,27 @@ let server t =
         match t.drift with
         | None -> Error (telemetry_disabled ())
         | Some d -> Ok (Drift.to_json d));
-    profile = (fun qs -> profile t qs) }
+    profile = (fun qs -> profile t qs);
+    audit =
+      (fun () ->
+        match t.auditor with
+        | None ->
+          Error
+            (Core.Error.make Core.Error.Internal
+               "auditing is disabled (serve with --audit-rate and a source \
+                document)")
+        | Some a ->
+          (* Settle outside the submission lock so clients keep being
+             served while the audit domain catches up; then fold the
+             results in under the drained single-writer state. *)
+          ignore (Auditor.settle ~timeout_s:5.0 a : bool);
+          with_lock t.submit_lock (fun () ->
+              if t.stopped then Error (closed_error ())
+              else begin
+                wait_drained t;
+                drain_audits_locked t;
+                Ok (Auditor.status_json a)
+              end)) }
 
 (* Drop every shard cache by bumping the epoch (applied at each shard's
    next dequeue), without touching the synopsis. Used by benchmarks to

@@ -35,6 +35,7 @@ val create :
   ?deadline_s:float ->
   ?shed_policy:[ `Block | `Shed_newest ] ->
   ?chaos:(string -> bool) ->
+  ?auditor:Auditor.t ->
   Core.Estimator.t ->
   t
 (** Spawns [workers] (default 2) domains immediately; call {!shutdown}
@@ -70,6 +71,15 @@ val create :
     linking submit -> execute -> gather. Shard buffers are written only by
     their own domain; the coordinator buffer is guarded by an internal
     innermost lock. Without [trace] the hot path never touches a ring.
+
+    [auditor] attaches a shadow auditor: every estimate a worker serves is
+    offered to {!Auditor.sample} (thread-safe, lock-then-drop — never
+    blocks the reply), and completed audits are folded back into the
+    coordinator's drift window and flight ring only under the drained
+    single-writer state (on the feedback path and the [AUDIT] verb), so
+    audit feedback follows the same epoch protocol as client feedback.
+    The pool does not own the auditor's lifecycle: the caller shuts it
+    down after {!shutdown}.
     @raise Invalid_argument when [workers] < 1 or the threshold is
     invalid. *)
 

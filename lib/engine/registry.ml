@@ -22,6 +22,9 @@ type resident = {
 type tenant = {
   name : string;
   path : string;
+  doc : string option;
+      (* the tenant's source document, from the manifest's doc= field;
+         shadow auditing is only armed for tenants that declare one *)
   mutable state : resident option;
   mutable last_used : int;  (* registry tick at last touch; LRU order *)
   mutable page_ins : int;
@@ -43,12 +46,17 @@ type t = {
   drift_p90_threshold : float;
   journal_dir : string option;
   journal_fsync : Journal.fsync;
+  audit_rate : float;
+  audit_seed : int option;
+  audit_feedback : bool;
+  scrape : Scrape_meter.t;
   obs : Obs.t;  (* registry-level series; tenant registries live per tenant *)
 }
 
 let create ?memory_budget ?het_budget ?(qerror_threshold = 2.0)
     ?(cache_capacity = 1024) ?(telemetry = true) ?(drift_p90_threshold = 8.0)
-    ?journal_dir ?(journal_fsync = `Always) () =
+    ?journal_dir ?(journal_fsync = `Always) ?(audit_rate = 0.0) ?audit_seed
+    ?(audit_feedback = false) () =
   (match memory_budget with
    | Some b when b < 1 ->
      invalid_arg (Printf.sprintf "Registry.create: memory_budget %d < 1" b)
@@ -57,6 +65,8 @@ let create ?memory_budget ?het_budget ?(qerror_threshold = 2.0)
    | Some b when b < 1 ->
      invalid_arg (Printf.sprintf "Registry.create: het_budget %d < 1" b)
    | _ -> ());
+  if not (Float.is_finite audit_rate) || audit_rate < 0.0 || audit_rate > 1.0
+  then invalid_arg "Registry.create: audit_rate must be within [0, 1]";
   { mutex = Mutex.create ();
     table = Hashtbl.create 16;
     tick = 0;
@@ -72,6 +82,10 @@ let create ?memory_budget ?het_budget ?(qerror_threshold = 2.0)
     drift_p90_threshold;
     journal_dir;
     journal_fsync;
+    audit_rate;
+    audit_seed;
+    audit_feedback;
+    scrape = Scrape_meter.create ();
     obs = Obs.create () }
 
 (* Tenant names travel inside protocol lines (space-separated) and become
@@ -97,7 +111,7 @@ let unknown_tenant name =
 let no_tenant () =
   Core.Error.make Core.Error.Malformed_query "no tenant selected (USE <tenant>)"
 
-let register_locked t ~name ~path =
+let register_locked ?doc t ~name ~path =
   if not (valid_name name) then Error (bad_name name)
   else if Hashtbl.mem t.table name then
     Error
@@ -105,12 +119,12 @@ let register_locked t ~name ~path =
          (Printf.sprintf "tenant %S already registered" name))
   else begin
     Hashtbl.replace t.table name
-      { name; path; state = None; last_used = 0; page_ins = 0 };
+      { name; path; doc; state = None; last_used = 0; page_ins = 0 };
     Ok ()
   end
 
-let register t ~name ~path =
-  with_lock t.mutex (fun () -> register_locked t ~name ~path)
+let register ?doc t ~name ~path =
+  with_lock t.mutex (fun () -> register_locked ?doc t ~name ~path)
 
 let read_file path =
   if not (Sys.file_exists path) then
@@ -148,12 +162,35 @@ let load_manifest t manifest_path =
                     manifest_path lineno))
           | Some i ->
             let name = String.sub line 0 i in
-            let path =
-              String.trim (String.sub line i (String.length line - i))
+            let rest_of_line =
+              String.sub line i (String.length line - i)
+            in
+            (* An optional trailing " doc=<path>" arms shadow auditing for
+               this tenant; everything before it is the synopsis path. *)
+            let path, doc =
+              let marker = " doc=" in
+              let mlen = String.length marker in
+              let rec find j =
+                if j + mlen > String.length rest_of_line then None
+                else if String.sub rest_of_line j mlen = marker then Some j
+                else find (j + 1)
+              in
+              match find 0 with
+              | None -> (String.trim rest_of_line, None)
+              | Some j ->
+                let p = String.trim (String.sub rest_of_line 0 j) in
+                let d =
+                  String.trim
+                    (String.sub rest_of_line (j + mlen)
+                       (String.length rest_of_line - j - mlen))
+                in
+                (p, if d = "" then None else Some d)
             in
             (match
                with_lock t.mutex (fun () ->
-                   register_locked t ~name ~path:(resolve path))
+                   register_locked
+                     ?doc:(Option.map resolve doc)
+                     t ~name ~path:(resolve path))
              with
              | Ok () -> go (n + 1) (lineno + 1) rest
              | Error e -> Error e)
@@ -174,6 +211,9 @@ let evict_locked t tenant =
   | None -> false
   | Some r ->
     (match r.journal with Some w -> Journal.close w | None -> ());
+    (match Engine_core.auditor r.engine with
+     | Some a -> Auditor.shutdown a
+     | None -> ());
     Engine_core.invalidate r.engine;
     tenant.state <- None;
     t.resident_bytes <- t.resident_bytes - r.syn_bytes;
@@ -265,6 +305,17 @@ let page_in_locked t tenant =
           (match Engine_core.recorder engine with
            | Some r -> Flight_recorder.set_tenant r tenant.name
            | None -> ());
+          (* Shadow auditing arms only for tenants that declared a source
+             document, and only when the registry was given a sample rate.
+             The auditor dies with the residency: eviction shuts it down,
+             a later page-in builds a fresh one. *)
+          (match (tenant.doc, t.audit_rate > 0.0) with
+           | Some doc, true ->
+             Engine_core.set_auditor engine
+               (Auditor.create ?seed:t.audit_seed ~feedback:t.audit_feedback
+                  ~rate:t.audit_rate
+                  (Auditor.Paths { synopsis = tenant.path; doc }))
+           | _ -> ());
           let base = Engine_core.server engine in
           let journal_result =
             match journal_path t tenant with
@@ -379,6 +430,10 @@ let publish_locked t =
 
 let metrics_text t =
   with_lock t.mutex (fun () ->
+      let t0 = Obs.now_mono () in
+      (* The registry tick advances on every serving touch and never on a
+         scrape, so it is the meter's served-traffic anchor. *)
+      Scrape_meter.publish t.scrape ~obs:t.obs ~served:t.tick;
       publish_locked t;
       let parts =
         Hashtbl.fold
@@ -391,7 +446,9 @@ let metrics_text t =
           t.table
           [ ([], t.obs) ]
       in
-      Obs.prometheus ~prefix:"xseed_" (Obs.merged_labeled parts))
+      let text = Obs.prometheus ~prefix:"xseed_" (Obs.merged_labeled parts) in
+      Scrape_meter.note t.scrape (Obs.now_mono () -. t0);
+      text)
 
 let stats_locked t =
   publish_locked t;
@@ -492,7 +549,8 @@ let server s =
     drift_json =
       (fun () -> join (with_active s (fun srv -> srv.Serve.drift_json ())));
     profile =
-      (fun qs -> join (with_active s (fun srv -> srv.Serve.profile qs))) }
+      (fun qs -> join (with_active s (fun srv -> srv.Serve.profile qs)));
+    audit = (fun () -> join (with_active s (fun srv -> srv.Serve.audit ()))) }
 
 let sanitize s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
 

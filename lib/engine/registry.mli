@@ -52,6 +52,9 @@ val create :
   ?drift_p90_threshold:float ->
   ?journal_dir:string ->
   ?journal_fsync:Journal.fsync ->
+  ?audit_rate:float ->
+  ?audit_seed:int ->
+  ?audit_feedback:bool ->
   unit ->
   t
 (** [memory_budget] bounds the sum of resident synopses'
@@ -61,21 +64,32 @@ val create :
     learn. [journal_dir] gives every tenant a crash-safe feedback journal
     at [<dir>/<tenant>.wal] (recovered and replayed at page-in, appended to
     before each FEEDBACK ack, flushed at eviction) under [journal_fsync]
-    (default [`Always]). The remaining knobs are per-tenant
-    {!Engine_core.create} parameters.
-    @raise Invalid_argument when [memory_budget]/[het_budget] < 1. *)
+    (default [`Always]). [audit_rate] (default 0.0, within [0, 1]) arms a
+    shadow {!Auditor} at page-in for every tenant whose manifest line
+    declared a [doc=] source document (seeded by [audit_seed]; with
+    [audit_feedback] the audited ground truth also drives the tenant's
+    q-error-gated HET refinement); tenants without a document are never
+    audited, and eviction shuts the tenant's auditor down. The remaining
+    knobs are per-tenant {!Engine_core.create} parameters.
+    @raise Invalid_argument when [memory_budget]/[het_budget] < 1 or
+    [audit_rate] is outside [0, 1]. *)
 
-val register : t -> name:string -> path:string -> (unit, Core.Error.t) result
+val register :
+  ?doc:string -> t -> name:string -> path:string -> (unit, Core.Error.t) result
 (** Add a tenant without loading it. Names are limited to
     [A-Za-z0-9_.-] (they travel in protocol lines and journal file names);
-    re-registering an existing name is an error. *)
+    re-registering an existing name is an error. [doc] is the tenant's
+    source XML document — required for shadow auditing to arm at
+    page-in. *)
 
 val load_manifest : t -> string -> (int, Core.Error.t) result
 (** Register every tenant in a manifest file — one [<name> <path>] pair
-    per line, [#] comments and blank lines ignored, relative paths
-    resolved against the manifest's directory. Returns the number of
-    tenants registered. Nothing is loaded; tenants page in on first
-    [USE]. *)
+    per line, with an optional trailing [doc=<path>] field naming the
+    tenant's source document (arming shadow auditing when the registry has
+    an [audit_rate]); [#] comments and blank lines ignored, relative paths
+    (synopsis and document alike) resolved against the manifest's
+    directory. Returns the number of tenants registered. Nothing is
+    loaded; tenants page in on first [USE]. *)
 
 val use : t -> string -> ([ `Resident | `Loaded ], Core.Error.t) result
 (** Make the tenant resident (paging it in if needed, evicting LRU

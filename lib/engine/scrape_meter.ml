@@ -1,0 +1,38 @@
+type t = {
+  mutable total : int;  (* renders completed *)
+  mutable seconds : float;  (* cumulative render wall time *)
+  mutable pub_total : int;  (* values latched at the last gate pass *)
+  mutable pub_seconds : float;
+  mutable mark : int;  (* [served] at the last gate pass *)
+  mutable marked : bool;
+}
+
+let create () =
+  { total = 0;
+    seconds = 0.0;
+    pub_total = 0;
+    pub_seconds = 0.0;
+    mark = 0;
+    marked = false }
+
+let note t dur =
+  t.total <- t.total + 1;
+  t.seconds <- t.seconds +. dur
+
+(* Latch the live accumulators only when traffic has moved since the last
+   publication, then emit the latched values (every render — a pool scrape
+   rebuilds its registry from scratch, so the series must be re-emitted to
+   stay present; identical values keep quiet re-scrapes byte-identical).
+   Before any render has completed there is nothing to latch, so the
+   series appears only after a traffic -> scrape cycle. *)
+let publish t ~obs ~served =
+  if (not t.marked) || served <> t.mark then begin
+    t.marked <- true;
+    t.mark <- served;
+    t.pub_total <- t.total;
+    t.pub_seconds <- t.seconds
+  end;
+  if t.pub_total > 0 then begin
+    Obs.set_max (Obs.counter obs "scrape.total") t.pub_total;
+    Obs.gset (Obs.gauge obs "scrape.duration_seconds") t.pub_seconds
+  end

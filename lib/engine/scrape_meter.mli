@@ -1,0 +1,28 @@
+(** Scrape self-observability without breaking the quiet-scrape contract.
+
+    Every serving surface promises that two consecutive [METRICS] scrapes
+    with no traffic in between render byte-identical text. Naively
+    publishing "how long did the last scrape take" breaks that — the
+    measurement itself is new data every render. A meter therefore anchors
+    publication to served traffic, the same way the pool's
+    [busy_fraction] anchors its denominator to the last served job: the
+    published [scrape.total] / [scrape.duration_seconds] series only move
+    when the served-traffic marker has advanced since the last
+    publication, so quiet re-scrapes republish the exact same values. *)
+
+type t
+
+val create : unit -> t
+
+val note : t -> float -> unit
+(** Record one completed render of [dur] seconds. Call after the
+    exposition text is built. *)
+
+val publish : t -> obs:Obs.t -> served:int -> unit
+(** Publish [scrape.total] (renders completed before this one) and
+    [scrape.duration_seconds] (their cumulative wall time) into [obs].
+    The emitted values are latched: they advance only when [served] (any
+    monotone traffic marker: requests answered, registry ticks) differs
+    from its value at the last latch, so a quiet re-scrape re-emits the
+    same numbers. Nothing is emitted until at least one render has been
+    latched. Call before the render, from the scrape path. *)

@@ -35,6 +35,7 @@ type server = {
   recent : int option -> (Flight_recorder.record list, Core.Error.t) result;
   drift_json : unit -> (Obs.Json.t, Core.Error.t) result;
   profile : string list -> (profile_reply, Core.Error.t) result;
+  audit : unit -> (Obs.Json.t, Core.Error.t) result;
 }
 
 (* Exact rank percentiles over raw samples (PROFILE runs are bounded by
@@ -264,6 +265,12 @@ let handle_request ?(max_batch = max_batch) ?extra server ~read_line raw =
              (match server.drift_json () with
               | Ok j -> "OK " ^ Obs.Json.to_string j
               | Error e -> err e)
+         | "AUDIT" ->
+           if rest <> "" then malformed "AUDIT takes no argument"
+           else
+             (match server.audit () with
+              | Ok j -> "OK " ^ Obs.Json.to_string j
+              | Error e -> err e)
          (* Health-check verbs: both answer without touching a synopsis, so
             load balancers can probe a server whose tenants are all paged
             out (and a registry session with no tenant selected). *)
@@ -276,8 +283,8 @@ let handle_request ?(max_batch = max_batch) ?extra server ~read_line raw =
          | _ ->
            malformed
              "unknown command %S (expected ESTIMATE, BATCH, PROFILE, \
-              FEEDBACK, EXPLAIN, STATS, METRICS, RECENT, DRIFT, PING or \
-              VERSION)"
+              FEEDBACK, EXPLAIN, STATS, METRICS, RECENT, DRIFT, AUDIT, PING \
+              or VERSION)"
              verb
        with exn ->
          err

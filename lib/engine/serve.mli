@@ -20,6 +20,11 @@
     RECENT [n]                  ->  OK <k> then k flight-record JSON lines,
                                     newest first
     DRIFT                       ->  OK <drift summary as one-line JSON>
+    AUDIT                       ->  OK <shadow-audit summary as one-line
+                                    JSON: sampled/completed/shed counts,
+                                    backlog, true q-error window
+                                    (count/p50/p90/max) and top-k worst
+                                    steps by attribution>
     PING                        ->  OK pong
     VERSION                     ->  OK xseed <version> protocol <n>
     v}
@@ -93,6 +98,11 @@ type server = {
       (** Run the queries as one measured batch and report the per-stage
           breakdown. Per-query errors do not fail the run — the reply is a
           timing summary. *)
+  audit : unit -> (Obs.Json.t, Core.Error.t) result;
+      (** Shadow-audit status: settle in-flight audits (bounded wait),
+          drain results, and report the true q-error window and worst-step
+          attribution as one JSON object; [Error] when auditing is
+          disabled (no [--audit-rate] or no source document). *)
 }
 
 val max_batch : int

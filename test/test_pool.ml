@@ -435,6 +435,17 @@ let test_pool_telemetry_metrics () =
       "xseed_engine_gc_minor_words{shard=\"1\"}";
       "xseed_engine_pool_busy_fraction{shard=\"0\"}";
       "xseed_engine_pool_busy_fraction{shard=\"1\"}" ];
+  (* Scrape self-observability: the first scrape latches its own duration,
+     and after fresh traffic the next scrape publishes it. Once published,
+     a quiet re-scrape re-emits the latched values byte-for-byte (asserted
+     wholesale by [test_pool_metrics_quiet_stress]). *)
+  ignore
+    (Engine.Pool.estimate pool "/site/regions"
+      : (Engine.Serve.estimate_reply, Core.Error.t) result);
+  let text2 = Engine.Pool.metrics_text pool in
+  List.iter
+    (fun needle -> checkb needle true (contains ~needle text2))
+    [ "xseed_scrape_total 1"; "xseed_scrape_duration_seconds" ];
   (* STATS mirrors the queue's contention counters. *)
   match Engine.Pool.stats_json pool with
   | Obs.Json.Obj fields ->

@@ -473,6 +473,68 @@ let test_metrics_tenant_labels () =
        (r.Engine.Flight_recorder.tenant = Some "xmark")
    | Ok [] -> Alcotest.fail "no flight records"
    | Error e -> Alcotest.failf "recent: %s" (Core.Error.to_string e));
+  (* ... and the RECENT protocol rendering carries it too. *)
+  let recent = req session "RECENT 5" in
+  checkb "RECENT reply is tenant-stamped" true
+    (contains ~needle:"\"tenant\":\"xmark\"" recent);
+  Engine.Registry.close reg
+
+(* ------------------------------------------------------------------ *)
+(* Shadow auditing through the registry: manifest doc= fields arm a
+   per-tenant auditor at page-in; tenants without a document never audit;
+   eviction shuts the auditor down and re-page-in re-arms it. *)
+
+let test_manifest_doc_audit () =
+  let dir, _tenants = fixture_dir () in
+  (* Source documents beside the synopses, named by relative doc= paths. *)
+  List.iter
+    (fun (name, doc) ->
+      write_file (Filename.concat dir (name ^ ".xml")) doc)
+    (Lazy.force docs);
+  let manifest = Filename.concat dir "manifest.txt" in
+  write_file manifest
+    "# audited and unaudited tenants\n\
+     xmark xmark.syn doc=xmark.xml\n\
+     dblp dblp.syn\n";
+  let reg = Engine.Registry.create ~audit_rate:1.0 () in
+  (match Engine.Registry.load_manifest reg manifest with
+   | Ok n -> checki "two tenants" 2 n
+   | Error e -> Alcotest.failf "manifest: %s" (Core.Error.to_string e));
+  let session = Engine.Registry.session reg in
+  ignore (req session "USE xmark" : string);
+  ignore (req session "ESTIMATE //item" : string);
+  ignore (req session "ESTIMATE /site/people/person" : string);
+  let audit = req session "AUDIT" in
+  checkb "AUDIT answers for a doc-backed tenant" true
+    (String.length audit > 4 && String.sub audit 0 4 = "OK {");
+  checkb "both estimates audited at rate 1.0" true
+    (contains ~needle:"\"completed\":2" audit);
+  (* The AUDIT verb drained, so the attribution records are visible in the
+     tenant's RECENT stream, tenant-stamped. *)
+  let recent = req session "RECENT 10" in
+  checkb "audit record in RECENT" true
+    (contains ~needle:"\"cache\":\"audit\"" recent);
+  checkb "attribution payload in RECENT" true
+    (contains ~needle:"\"audit\":{" recent);
+  checkb "audit record is tenant-stamped" true
+    (contains ~needle:"\"tenant\":\"xmark\"" recent);
+  (* Audit series land in the tenant-labeled registry scrape. *)
+  let scrape = Engine.Registry.metrics_text reg in
+  checkb "audit counter scraped with the tenant label" true
+    (contains ~needle:"xseed_engine_audit_completed{tenant=\"xmark\"} 2"
+       scrape);
+  (* A tenant without a doc= never audits. *)
+  ignore (req session "USE dblp" : string);
+  let disabled = req session "AUDIT" in
+  checkb "AUDIT refused without a document" true
+    (contains ~needle:"ERR internal auditing is disabled" disabled);
+  (* Eviction shuts the auditor down; re-page-in arms a fresh one. *)
+  checkb "evict xmark" true (Engine.Registry.evict reg "xmark");
+  ignore (req session "USE xmark" : string);
+  ignore (req session "ESTIMATE //item" : string);
+  let audit2 = req session "AUDIT" in
+  checkb "fresh auditor after re-page-in" true
+    (contains ~needle:"\"completed\":1" audit2);
   Engine.Registry.close reg
 
 let () =
@@ -500,5 +562,8 @@ let () =
             test_session_protocol ] );
       ( "metrics",
         [ Alcotest.test_case "tenant labels, deterministic scrape" `Quick
-            test_metrics_tenant_labels ] )
+            test_metrics_tenant_labels ] );
+      ( "audit",
+        [ Alcotest.test_case "manifest doc= arms per-tenant auditors" `Quick
+            test_manifest_doc_audit ] )
     ]
