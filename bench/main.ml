@@ -544,23 +544,41 @@ let values () =
 
 let pool_worker_counts = [ 1; 2; 4 ]
 
-let pool_throughput ?(passes = 3) estimator queries ~workers =
-  let pool = Engine.Pool.create ~workers ~telemetry:false estimator in
+(* Detected once; both the interactive gate and the JSON dumps key their
+   ≥ 2.5x@4 enforcement off this single reading. *)
+let host_cores = Domain.recommended_domain_count ()
+
+(* Returns (queries/s, steals, affinity_hits) so dispatch-shape sweeps can
+   attribute a regression to scheduling, not just observe throughput. *)
+let pool_throughput ?(passes = 3) ?chunk_target ?steal ?affinity estimator
+    queries ~workers =
+  let pool =
+    Engine.Pool.create ~workers ?chunk_target ?steal ~telemetry:false estimator
+  in
   Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
   (* Warm-up pass: materializes the shared EPT outside the timed region. *)
   ignore
-    (Engine.Pool.estimate_batch pool queries
+    (Engine.Pool.estimate_batch ?affinity pool queries
       : (Engine.Serve.estimate_reply, Core.Error.t) result list);
   let served = ref 0 in
   let (), seconds =
     time (fun () ->
         for _ = 1 to passes do
           Engine.Pool.invalidate pool;
-          let rs = Engine.Pool.estimate_batch pool queries in
+          let rs = Engine.Pool.estimate_batch ?affinity pool queries in
           served := !served + List.length rs
         done)
   in
-  float_of_int !served /. seconds
+  ( float_of_int !served /. seconds,
+    Engine.Pool.steals_total pool,
+    Engine.Pool.affinity_hits pool )
+
+(* The dispatch shapes the sweep compares at 4 domains: one queue op per
+   query, chunked without rebalancing, and the default chunked + steal. *)
+let chunk_sweep_legs =
+  [ ("per_item", Some 1, Some true);
+    ("chunked", None, Some false);
+    ("chunked_steal", None, None) ]
 
 let pool_mismatches estimator queries =
   let engine = Engine.create ~telemetry:false estimator in
@@ -587,8 +605,7 @@ let parallel () =
   let queries = List.map Xpath.Ast.to_string (combined ds) in
   pf "workload: %d queries/pass, cold shard caches each timed pass\n"
     (List.length queries);
-  let host_domains = Domain.recommended_domain_count () in
-  pf "host: %d recommended domain(s)\n\n" host_domains;
+  pf "host: %d recommended domain(s)\n\n" host_cores;
   let mismatches = pool_mismatches estimator queries in
   pf "pool vs single engine: %d/%d mismatched estimates%s\n" mismatches
     (List.length queries)
@@ -597,7 +614,9 @@ let parallel () =
   let passes = scale 2 4 in
   let results =
     List.map
-      (fun w -> (w, pool_throughput ~passes estimator queries ~workers:w))
+      (fun w ->
+        let qps, _, _ = pool_throughput ~passes estimator queries ~workers:w in
+        (w, qps))
       pool_worker_counts
   in
   let qps1 = List.assoc 1 results in
@@ -605,16 +624,34 @@ let parallel () =
   List.iter
     (fun (w, qps) -> pf "%8d %12.0f %8.2fx\n" w qps (qps /. qps1))
     results;
+  (* Dispatch-shape sweep at 4 domains: how much of the scaling comes from
+     chunking, and how much stealing claws back on skewed deques. *)
+  pf "\n%-16s %12s %8s %14s\n" "dispatch @4" "queries/s" "steals"
+    "affinity_hits";
+  List.iter
+    (fun (leg, chunk_target, steal) ->
+      let qps, steals, hits =
+        pool_throughput ~passes ?chunk_target ?steal estimator queries
+          ~workers:4
+      in
+      pf "%-16s %12.0f %8d %14d\n" leg qps steals hits)
+    chunk_sweep_legs;
   let speedup4 = List.assoc 4 results /. qps1 in
-  if host_domains >= 4 then begin
-    pf "\n4-domain speedup %.2fx (gate: >= 2.5x)\n" speedup4;
-    assert (speedup4 >= 2.5)
+  if host_cores >= 4 then begin
+    pf "\n4-domain speedup %.2fx (gate: >= 2.5x on this %d-core host)\n"
+      speedup4 host_cores;
+    if speedup4 < 2.5 then begin
+      Printf.eprintf
+        "parallel: 4-domain speedup %.2fx < 2.5x gate on a %d-core host\n"
+        speedup4 host_cores;
+      exit 1
+    end
   end
   else
     pf
       "\n4-domain speedup %.2fx; host has only %d recommended domain(s), \
        >= 2.5x gate skipped\n"
-      speedup4 host_domains
+      speedup4 host_cores
 
 (* ------------------------------------------------------------------ *)
 (* Causal profile: the serving path's per-stage breakdown (queue-wait /
@@ -650,7 +687,8 @@ let profile_reply_json (p : Engine.Serve.profile_reply) =
     [ ("profiled", Obs.Json.Int p.profiled);
       ("queue_wait_us", stage_json p.queue_wait_us);
       ("execute_us", stage_json p.execute_us);
-      ("reassemble_us", stage_json p.reassemble_us) ]
+      ("reassemble_us", stage_json p.reassemble_us);
+      ("steals", Obs.Json.Int p.steals) ]
 
 let profile_section () =
   header "Causal profile: stage breakdown + tracing overhead (XMark)";
@@ -740,6 +778,7 @@ let exact_percentile sorted p =
 
 let bench_json () =
   header "JSON dumps: latency percentiles + accuracy (BENCH_*.json)";
+  let gate_failures = ref [] in
   List.iter
     (fun (file_key, ds) ->
       let estimator = xseed_estimator ~budget:(25 * 1024) ds in
@@ -765,7 +804,7 @@ let bench_json () =
           [ ("dataset", Obs.Json.String ds.name);
             ( "host",
               Obs.Json.Obj
-                [ ("cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+                [ ("cores", Obs.Json.Int host_cores);
                   ( "hostname_hash",
                     Obs.Json.String
                       (Printf.sprintf "%08x"
@@ -795,19 +834,59 @@ let bench_json () =
               let pqps =
                 List.map
                   (fun w ->
-                    ( w,
+                    let qps, _, _ =
                       pool_throughput ~passes:(scale 1 2) estimator qstrings
-                        ~workers:w ))
+                        ~workers:w
+                    in
+                    (w, qps))
                   pool_worker_counts
               in
+              let speedup = List.assoc 4 pqps /. List.assoc 1 pqps in
+              (* The ≥ 2.5x@4 gate is host-count-conditional: enforced (and
+                 recorded as passed/failed) wherever 4 domains fit real
+                 cores, recorded as skipped everywhere else so CI can
+                 assert the gate actually ran on its 4-core runners. *)
+              let gate =
+                if host_cores < 4 then "skipped"
+                else if speedup >= 2.5 then "passed"
+                else begin
+                  gate_failures :=
+                    Printf.sprintf "%s (%.2fx)" ds.name speedup
+                    :: !gate_failures;
+                  "failed"
+                end
+              in
+              (* Dispatch-shape sweep at 4 domains, with scheduling
+                 counters: affinity routes every chunk to one shard, so
+                 the steal path does the balancing and its counters are
+                 the attribution trail. *)
+              let sweep =
+                List.map
+                  (fun (leg, chunk_target, steal) ->
+                    let affinity =
+                      if leg = "chunked_steal" then Some 0 else None
+                    in
+                    ( leg,
+                      pool_throughput ~passes:(scale 1 2) ?chunk_target ?steal
+                        ?affinity estimator qstrings ~workers:4 ))
+                  chunk_sweep_legs
+              in
+              let _, steals, affinity_hits = List.assoc "chunked_steal" sweep in
               Obs.Json.Obj
                 (List.map
                    (fun (w, qps) ->
                      (Printf.sprintf "workers_%d" w, Obs.Json.Float qps))
                    pqps
-                @ [ ( "speedup_4v1",
-                      Obs.Json.Float (List.assoc 4 pqps /. List.assoc 1 pqps)
-                    ) ]) );
+                @ [ ("speedup_4v1", Obs.Json.Float speedup);
+                    ("gate", Obs.Json.String gate);
+                    ( "chunk_sweep",
+                      Obs.Json.Obj
+                        (List.map
+                           (fun (leg, (qps, _, _)) ->
+                             (leg, Obs.Json.Float qps))
+                           sweep) );
+                    ("steals", Obs.Json.Int steals);
+                    ("affinity_hits", Obs.Json.Int affinity_hits) ]) );
             ( "profile",
               let qstrings = List.map Xpath.Ast.to_string queries in
               Obs.Json.Obj
@@ -825,7 +904,16 @@ let bench_json () =
       close_out oc;
       pf "wrote %s: %d queries, mean %.1f us, q50 %.2f q90 %.2f qmax %.3g\n" path
         n mean_us s.q_error_median s.q_error_p90 s.q_error_max)
-    [ ("dblp", dblp); ("xmark", xmark10); ("treebank", treebank05) ]
+    [ ("dblp", dblp); ("xmark", xmark10); ("treebank", treebank05) ];
+  (* Every dump is written first — a failing dataset still leaves its
+     artifact (with "gate":"failed") on disk for attribution — then the
+     hard gate fires once for all of them. *)
+  if !gate_failures <> [] then begin
+    Printf.eprintf
+      "bench json: speedup_4v1 < 2.5x on a %d-core host for %s\n" host_cores
+      (String.concat ", " (List.rev !gate_failures));
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The serving engine's query-feedback loop (paper Figure 1) end to end:

@@ -799,10 +799,13 @@ let serve_cmd =
     let no_extra _ _ = None in
     (* Journal startup: recover (truncating a dirty tail), replay the
        surviving entries through the live feedback path so the learned HET
-       state matches the pre-crash engine, then append from here on. *)
-    let with_journal base_server =
+       state matches the pre-crash engine, then append from here on.
+       Recovery runs once against [base_server]; the returned wrapper is
+       applied to every session's vtable (the pool mints one per TCP
+       connection for affinity routing), all appending to one writer. *)
+    let journal_wrap base_server =
       match journal_path with
-      | None -> base_server
+      | None -> fun s -> s
       | Some path ->
         let scan = ok_or_raise (Engine.Journal.recover path) in
         (match scan.Engine.Journal.tail with
@@ -835,8 +838,9 @@ let serve_cmd =
              else Printf.sprintf " (%d failed to apply)" !failed);
         let w = ok_or_raise (Engine.Journal.open_append ~fsync path) in
         journal := Some w;
-        Engine.Journal.wrap_server w base_server
+        fun s -> Engine.Journal.wrap_server w s
     in
+    let with_journal base_server = journal_wrap base_server base_server in
     (match manifest with
      | Some manifest_path ->
        let reg =
@@ -913,14 +917,28 @@ let serve_cmd =
              ~shed_policy ?auditor estimator
          in
          set_on_record (Engine.Pool.set_on_record pool);
-         let server = with_journal (Engine.Pool.server pool) in
+         (* Journal recovery replays once through a no-affinity vtable;
+            each TCP connection then gets its own vtable with the
+            connection counter as affinity token, so a session's chunks
+            keep landing on the shard whose cache it has warmed (stdin is
+            a single session — plain round-robin planning serves it
+            better than pinning one shard). *)
+         let wrap = journal_wrap (Engine.Pool.server pool) in
+         let base_server = wrap (Engine.Pool.server pool) in
+         let next_conn = ref 0 in
          Fun.protect
            ~finally:(fun () ->
              Engine.Pool.shutdown pool;
              Option.iter Engine.Auditor.shutdown auditor)
            (fun () ->
              run_transport
-               ~make_session:(fun () -> (server, no_extra))
+               ~make_session:(fun () ->
+                 match port with
+                 | None -> (base_server, no_extra)
+                 | Some _ ->
+                   incr next_conn;
+                   ( wrap (Engine.Pool.server ~affinity:!next_conn pool),
+                     no_extra ))
                (fun () -> ()))
        end);
     (* Drain ordering (DESIGN.md §13): admission already stopped (the serve

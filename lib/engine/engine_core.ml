@@ -530,6 +530,7 @@ let profile t queries =
       reassemble_us = zeros;
       timed_out = !timed_out;
       shed = 0;
+      steals = 0;
       tenant = None }
 
 let server t =

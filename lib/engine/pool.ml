@@ -6,12 +6,21 @@
    volume ring), so answering an estimate takes no lock beyond the work
    queue's own mutex. Writes to the shared state — HET refinement and the
    EPT rebuild — happen only on the feedback path, which is single-writer:
-   it takes the submission lock (stopping new jobs), waits for in-flight
-   jobs to drain, mutates, bumps the epoch, and only then lets submissions
-   resume. Workers notice the epoch change at their next dequeue and drop
-   their own stale cache; the queue mutex's acquire/release pairs give the
-   happens-before edge that makes the new EPT pointer and HET contents
-   visible to them. *)
+   it takes the submission lock (stopping new chunks), waits for in-flight
+   chunks to drain, mutates, bumps the epoch, and only then lets
+   submissions resume. Workers notice the epoch change at their next
+   dequeue and drop their own stale cache; the queue mutex's
+   acquire/release pairs give the happens-before edge that makes the new
+   EPT pointer and HET contents visible to them.
+
+   Since PR 10 the unit of dispatch is a chunk: BATCH n is split into
+   contiguous per-shard slices (DESIGN.md §16), one queue operation per
+   chunk. Replies are written lock-free into the batch's preallocated
+   submission-order result array; the only latch is one idempotent
+   completion per chunk, published to the submitter by the batch mutex.
+   Idle shards steal chunks from the tail of busy shards' deques
+   (half-splitting a victim's last divisible chunk), so a straggler no
+   longer serializes the batch. *)
 
 (* Interned trace-event names, resolved once at create so worker hot loops
    record integer ids only. *)
@@ -22,6 +31,8 @@ type trace_names = {
   n_queue_wait : int;
   n_batch_submit : int;
   n_batch_gather : int;
+  n_chunk_dispatch : int;
+  n_steal : int;
   n_feedback : int;
   n_explain : int;
   n_query : int;  (* flow arrow: submit -> execute -> reassemble *)
@@ -40,7 +51,37 @@ type tracing = {
   names : trace_names;
 }
 
-type shard = {
+(* Shard-hot mutable state, isolated per shard in its own record and
+   padded well past a cache line (the pads push the block to 17 words =
+   136 bytes on 64-bit) so two shards' hot words never share a line —
+   without the pads, adjacent shards' [busy_s]/[epoch_seen] writes false-
+   share and the 4-worker path spends its time in cache-coherence
+   traffic instead of estimates. *)
+type hot = {
+  mutable epoch_seen : int;
+  mutable busy_s : float;  (* dequeue-to-result time, accumulated *)
+  mutable last_served_at : float;  (* monotonic finish instant; 0 = never *)
+  mutable steals : int;  (* chunks this shard stole from another's deque *)
+  mutable affinity_hits : int;
+      (* affinity-routed chunks this shard served as the preferred shard *)
+  mutable current : chunk option;
+      (* the chunk being executed, set between dequeue and completion so
+         the supervisor can answer its unserved slots if the worker body
+         dies mid-chunk *)
+  mutable pad0 : int;
+  mutable pad1 : int;
+  mutable pad2 : int;
+  mutable pad3 : int;
+  mutable pad4 : int;
+  mutable pad5 : int;
+  mutable pad6 : int;
+  mutable pad7 : int;
+  mutable pad8 : int;
+  mutable pad9 : int;
+}
+[@@warning "-69"]
+
+and shard = {
   id : int;
   estimator : Core.Estimator.t;
       (* shares the base estimator's kernel/HET/values, owns its registry *)
@@ -48,13 +89,8 @@ type shard = {
   cache : Core.Estimator.outcome Lru_cache.t;
   recorder : Flight_recorder.t option;
   drift_shard : Drift.shard option;
-  mutable epoch_seen : int;
   tbuf : Obs.Trace.buf option;  (* written only by this shard's domain *)
-  mutable busy_s : float;  (* dequeue-to-result time, accumulated *)
-  mutable last_served_at : float;  (* monotonic finish instant; 0 = never *)
-  mutable current : job option;
-      (* the job being executed, set between dequeue and completion so the
-         supervisor can answer it if the worker body dies mid-query *)
+  hot : hot;  (* all per-shard mutable scalars live here, padded *)
   queue_wait_us : Obs.histogram;  (* in [obs]; merges pool-wide by key *)
   gc_minor_words : Obs.counter;
   gc_major_words : Obs.counter;
@@ -62,42 +98,51 @@ type shard = {
   gc_major_collections : Obs.counter;
 }
 
-(* A submitted batch: jobs write their slot then decrement [remaining];
+(* A submitted batch: [remaining] counts unanswered slots; each chunk
+   decrements it exactly once (by its slot count) when it completes, and
    the submitter waits on the condition until it reaches zero. The batch
-   mutex also publishes the result writes to the submitter. *)
+   mutex also publishes the workers' lock-free result-array writes to the
+   submitter. *)
 and batch = {
   mutable remaining : int;
   batch_lock : Mutex.t;
   batch_done : Condition.t;
 }
 
-and job = {
-  seq : int;  (* global submission sequence number *)
-  query : string;
-  results : (Serve.estimate_reply, Core.Error.t) result option array;
-  slot : int;
-  parent : batch;
-  mutable answered : bool;
-      (* read/written only under [parent.batch_lock]: makes finishing
-         idempotent, so a supervisor answering a crashed worker's job can
-         never double-count against [remaining] or [inflight] *)
-  (* Monotonic stage stamps (0 = never reached). Enqueue is written under
-     [submit_lock]; dequeue/finish by the serving worker; the submitter
-     reads them only after the batch condition variable reports completion,
-     whose mutex publishes the writes. *)
-  mutable enqueued_at : float;
-  mutable dequeued_at : float;
-  mutable finished_at : float;
+(* A contiguous slice [c_base, c_hi) of one batch, the unit of dispatch.
+   All chunks of a batch share the query/result/stamp arrays; slot [i]
+   carries global sequence number [c_seq_base + i]. While a chunk sits in
+   a deque nobody owns it, so the work queue's global mutex is what makes
+   a steal-split (mutating [c_hi] and minting a sibling) safe. Once
+   popped, only the serving worker touches [c_cursor]. *)
+and chunk = {
+  c_queries : string array;
+  c_results : (Serve.estimate_reply, Core.Error.t) result option array;
+  c_deq : float array;  (* per-slot execution-start stamps (0 = never) *)
+  c_fin : float array;  (* per-slot finish stamps (0 = never) *)
+  c_seq_base : int;  (* global seq of batch slot 0 *)
+  c_parent : batch;
+  c_enqueued_at : float;  (* deadline + queue-wait baseline, mono clock *)
+  c_shard : int;  (* planned shard (≠ server when stolen) *)
+  c_affinity : bool;  (* routed by client affinity *)
+  c_span : bool;
+      (* true when the submitter opened a queue-wait span + query flow for
+         this chunk; split offspring carry false (no span to close) *)
+  c_base : int;  (* first slot this record owns *)
+  mutable c_hi : int;  (* exclusive; reduced on the victim by a split *)
+  mutable c_cursor : int;  (* next slot to serve *)
+  mutable c_done : bool;  (* under [c_parent.batch_lock]: idempotent latch *)
 }
 
 type t = {
   base : Core.Estimator.t;
   threshold : float;
   shards : shard array;
-  queue : job Work_queue.t;
+  queue : chunk Work_queue.t;
+  chunk_target : int;  (* preferred slots per chunk *)
   mutable domains : unit Domain.t array;
   epoch : int Atomic.t;
-  inflight : int Atomic.t;
+  inflight : int Atomic.t;  (* chunks queued or executing *)
   deadline_s : float option;  (* per-request budget from enqueue, mono clock *)
   shed_policy : [ `Block | `Shed_newest ];
   shed_total : int Atomic.t;
@@ -110,7 +155,7 @@ type t = {
   crash_counts : (string, int) Hashtbl.t;  (* under quarantine_lock *)
   quarantined_queries : (string, unit) Hashtbl.t;  (* under quarantine_lock *)
   quarantine_active : bool Atomic.t;
-      (* fast-path flag so the dequeue hot loop skips the quarantine
+      (* fast-path flag so the serve hot loop skips the quarantine
          hashtable (and its lock) entirely until a first crash repeats *)
   drain_lock : Mutex.t;
   drain_cond : Condition.t;
@@ -157,6 +202,29 @@ let parse query =
   | Result.Error { position; message } ->
     Result.Error (Core.Error.make ~position Core.Error.Malformed_query message)
   | Ok path -> Ok path
+
+(* The chunk plan, a pure function so the partition laws are directly
+   QCheck-able (test_pool). [n] slots are cut into
+   min n (max workers (ceil n/chunk_target)) contiguous chunks — at least
+   one per worker for parallelism, near [chunk_target] slots each so the
+   dispatch cost amortizes, never more chunks than slots. Sizes differ by
+   at most one (long chunks first); chunk [i] goes to shard [i mod
+   workers], or every chunk to [preferred] under affinity routing (thieves
+   rebalance if the preferred shard falls behind). *)
+let plan_chunks ~n ~workers ~chunk_target ?preferred () =
+  if n <= 0 then [||]
+  else begin
+    let target = max 1 chunk_target in
+    let count = min n (max workers ((n + target - 1) / target)) in
+    let base = n / count and rem = n mod count in
+    Array.init count (fun i ->
+        let lo = (i * base) + min i rem in
+        let hi = lo + base + (if i < rem then 1 else 0) in
+        let shard =
+          match preferred with Some p -> p | None -> i mod workers
+        in
+        (lo, hi, shard))
+  end
 
 let emit_record t recorder ~seq ~(key : Canonical.key) ~status
     ~(outcome : Core.Estimator.outcome) ~canonicalize_s ~ept_s ~match_s
@@ -211,9 +279,9 @@ let past_deadline t ~enqueued_at ~now =
   match t.deadline_s with None -> false | Some d -> now -. enqueued_at > d
 
 (* Crash bookkeeping: a query whose execution has killed a worker twice is
-   quarantined — subsequent submissions are answered [ERR internal] at
-   dequeue without executing, so one poisonous input cannot grind the pool
-   through endless restarts. *)
+   quarantined — subsequent submissions are answered [ERR internal] before
+   executing, so one poisonous input cannot grind the pool through endless
+   restarts. *)
 let note_crash t query =
   with_lock t.quarantine_lock (fun () ->
       let n =
@@ -346,20 +414,21 @@ let serve_query t shard ~seq ~enqueued_at query =
               status = Core.Explain.Miss }
         | Error e -> Error e))
 
-(* Answer a job exactly once. Both the worker that executed the job and the
-   supervisor cleaning up after a crashed worker call this; [answered]
-   (under the batch lock, which also publishes the slot write) makes the
-   second call a no-op so [remaining]/[inflight] are decremented once. *)
-let finish_job t job result =
+(* Retire a chunk exactly once: decrement the parent batch by the chunk's
+   slot count and the pool's in-flight chunk count. Both the worker that
+   executed the chunk and the supervisor cleaning up after a crashed
+   worker call this; [c_done] (under the batch lock, which also publishes
+   the result-array writes) makes the second call a no-op. *)
+let complete_chunk t (c : chunk) =
+  let slots = c.c_hi - c.c_base in
   let first =
-    with_lock job.parent.batch_lock (fun () ->
-        if job.answered then false
+    with_lock c.c_parent.batch_lock (fun () ->
+        if c.c_done then false
         else begin
-          job.answered <- true;
-          job.results.(job.slot) <- Some result;
-          job.parent.remaining <- job.parent.remaining - 1;
-          if job.parent.remaining = 0 then
-            Condition.broadcast job.parent.batch_done;
+          c.c_done <- true;
+          c.c_parent.remaining <- c.c_parent.remaining - slots;
+          if c.c_parent.remaining = 0 then
+            Condition.broadcast c.c_parent.batch_done;
           true
         end)
   in
@@ -369,146 +438,205 @@ let finish_job t job result =
       with_lock t.drain_lock (fun () -> Condition.broadcast t.drain_cond)
   end
 
-(* One dequeue-and-serve iteration cycle. Raises only if the worker body
-   itself dies (chaos injection, or a bug outside the per-query guard) —
-   the supervisor catches that, answers the in-flight job, and restarts. *)
+(* The thief-side split for a victim's last queued chunk: the victim keeps
+   the leading (ceil) half [cursor, mid), the thief takes [mid, hi). Runs
+   under the work queue's global mutex while nobody owns the chunk, which
+   is what makes mutating [c_hi] safe. A chunk below 2 remaining slots is
+   unsplittable — the granularity floor the deterministic stealing tests
+   lean on: a lone length-1 chunk can never leave its planned shard. The
+   thief's sibling is a fresh in-flight chunk, so the drain count grows
+   here; that cannot race [wait_drained] past zero because the victim
+   chunk being split is itself still in flight. *)
+let split_chunk t (c : chunk) =
+  let len = c.c_hi - c.c_cursor in
+  if len < 2 then None
+  else begin
+    let mid = c.c_cursor + ((len + 1) / 2) in
+    let thief =
+      { c with c_base = mid; c_cursor = mid; c_span = false; c_done = false }
+    in
+    c.c_hi <- mid;
+    Atomic.incr t.inflight;
+    Some (c, thief)
+  end
+
+(* One dequeue-and-serve iteration cycle over whole chunks. Raises only if
+   the worker body itself dies (chaos injection, or a bug outside the
+   per-query guard) — the supervisor catches that, answers the chunk's
+   unserved slots, and restarts. *)
 let worker_loop t shard =
   let sampling_gc = t.telemetry || Option.is_some t.tracing in
+  let split = split_chunk t in
   let rec loop () =
-    match Work_queue.pop t.queue with
+    match Work_queue.pop t.queue ~shard:shard.id ~split with
     | None -> ()
-    | Some job ->
+    | Some (c, stolen_from) ->
       let t_deq = Obs.now_mono () in
-      job.dequeued_at <- t_deq;
       let epoch = Atomic.get t.epoch in
-      if epoch <> shard.epoch_seen then begin
+      if epoch <> shard.hot.epoch_seen then begin
         (* Feedback refined the synopsis since this shard last served:
            every cached outcome may be stale. *)
         Lru_cache.clear shard.cache;
-        shard.epoch_seen <- epoch
+        shard.hot.epoch_seen <- epoch
       end;
+      (match stolen_from with
+       | Some _victim ->
+         shard.hot.steals <- shard.hot.steals + 1;
+         (match (t.tracing, shard.tbuf) with
+          | Some tg, Some tb ->
+            Obs.Trace.instant tb ~name:tg.names.n_steal
+              ~ts:(Obs.Trace.rel tg.tr t_deq)
+          | _ -> ())
+       | None ->
+         if c.c_affinity && c.c_shard = shard.id then
+           shard.hot.affinity_hits <- shard.hot.affinity_hits + 1);
       if t.telemetry then
-        Obs.hobserve shard.queue_wait_us (1e6 *. (t_deq -. job.enqueued_at));
+        Obs.hobserve shard.queue_wait_us (1e6 *. (t_deq -. c.c_enqueued_at));
       (match (t.tracing, shard.tbuf) with
-       | Some tg, Some tb ->
-         (* Close the queue-wait async span the submitter opened; async
-            spans may overlap, which B/E slices on this track could not. *)
+       | Some tg, Some tb when c.c_span ->
+         (* Close the queue-wait async span the submitter opened for this
+            chunk; async spans may overlap, which B/E slices on this track
+            could not. Split offspring carry no span. *)
          Obs.Trace.async_end tb ~name:tg.names.n_queue_wait
-           ~ts:(Obs.Trace.rel tg.tr t_deq) ~id:job.seq
+           ~ts:(Obs.Trace.rel tg.tr t_deq) ~id:(c.c_seq_base + c.c_base)
        | _ -> ());
-      if is_quarantined t job.query then begin
-        (* Refused at dequeue, before any execution: a query that has
-           already crashed two workers never runs again. *)
-        job.finished_at <- Obs.now_mono ();
-        finish_job t job (Error (quarantined_error ()));
-        loop ()
-      end
-      else if past_deadline t ~enqueued_at:job.enqueued_at ~now:t_deq then begin
-        (* First deadline checkpoint: the request spent its whole budget
-           queued, so refuse before executing anything. *)
-        Atomic.incr t.timeout_total;
-        emit_refusal t shard.recorder ~seq:job.seq ~query:job.query ~hash:0
-          ~cache:Flight_recorder.Timed_out;
-        job.finished_at <- Obs.now_mono ();
-        finish_job t job (Error (timeout_error ()));
-        loop ()
-      end
-      else serve job t_deq
-  and serve job t_deq =
-    shard.current <- Some job;
-    (* The chaos hook sits outside the per-query guard below on purpose:
-       returning true kills the worker body the way a real bug outside the
-       guard would, exercising the supervisor. *)
-    (match t.chaos with
-     | Some kill when kill job.query -> failwith "chaos: worker killed"
-     | Some _ | None -> ());
+      serve_chunk c t_deq
+  and serve_chunk c t_deq =
+    shard.hot.current <- Some c;
     let gc0 = if sampling_gc then Some (Gc.quick_stat ()) else None in
-    let result =
-      try
-        serve_query t shard ~seq:job.seq ~enqueued_at:job.enqueued_at
-          job.query
-      with exn ->
-        Error
-          (match Core.Error.of_exn exn with
-           | Some e -> e
-           | None ->
-             Core.Error.make Core.Error.Internal (Printexc.to_string exn))
-    in
-      let t_fin = Obs.now_mono () in
-      job.finished_at <- t_fin;
-      shard.busy_s <- shard.busy_s +. (t_fin -. t_deq);
-      shard.last_served_at <- t_fin;
-      (match gc0 with
-       | None -> ()
-       | Some gc0 ->
-        let gc1 = Gc.quick_stat () in
-        Obs.add shard.gc_minor_words
-          (int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words));
-        Obs.add shard.gc_major_words
-          (int_of_float
-             (gc1.Gc.major_words +. gc1.Gc.promoted_words
-             -. (gc0.Gc.major_words +. gc0.Gc.promoted_words)));
-        Obs.add shard.gc_minor_collections
-          (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
-        Obs.add shard.gc_major_collections
-          (gc1.Gc.major_collections - gc0.Gc.major_collections);
-        match (t.tracing, shard.tbuf) with
-        | Some tg, Some tb ->
-          let ts = Obs.Trace.rel tg.tr t_fin in
-          Obs.Trace.counter tb ~name:tg.names.n_gc_minor_words ~ts
-            ~value:gc1.Gc.minor_words;
-          Obs.Trace.counter tb ~name:tg.names.n_gc_major_words ~ts
-            ~value:(gc1.Gc.major_words +. gc1.Gc.promoted_words)
-        | _ -> ());
-      (match (t.tracing, shard.tbuf) with
+    while c.c_cursor < c.c_hi do
+      let slot = c.c_cursor in
+      let seq = c.c_seq_base + slot in
+      let query = c.c_queries.(slot) in
+      let t_slot = Obs.now_mono () in
+      c.c_deq.(slot) <- t_slot;
+      let result =
+        if is_quarantined t query then
+          (* Refused before any execution: a query that has already
+             crashed two workers never runs again. *)
+          Error (quarantined_error ())
+        else if past_deadline t ~enqueued_at:c.c_enqueued_at ~now:t_slot
+        then begin
+          (* First deadline checkpoint, per slot: the budget runs from the
+             chunk's enqueue, so a deadline can expire mid-chunk — earlier
+             slots answered, later ones refused. *)
+          Atomic.incr t.timeout_total;
+          emit_refusal t shard.recorder ~seq ~query ~hash:0
+            ~cache:Flight_recorder.Timed_out;
+          Error (timeout_error ())
+        end
+        else begin
+          (* The chaos hook sits outside the per-query guard below on
+             purpose: returning true kills the worker body the way a real
+             bug outside the guard would, exercising the supervisor. *)
+          (match t.chaos with
+           | Some kill when kill query -> failwith "chaos: worker killed"
+           | Some _ | None -> ());
+          try
+            serve_query t shard ~seq ~enqueued_at:c.c_enqueued_at query
+          with exn ->
+            Error
+              (match Core.Error.of_exn exn with
+               | Some e -> e
+               | None ->
+                 Core.Error.make Core.Error.Internal (Printexc.to_string exn))
+        end
+      in
+      (* Lock-free reply write, straight into the submission-order slot;
+         the batch mutex inside [complete_chunk] publishes it. *)
+      c.c_results.(slot) <- Some result;
+      c.c_fin.(slot) <- Obs.now_mono ();
+      c.c_cursor <- slot + 1
+    done;
+    let t_fin = Obs.now_mono () in
+    shard.hot.busy_s <- shard.hot.busy_s +. (t_fin -. t_deq);
+    shard.hot.last_served_at <- t_fin;
+    (match gc0 with
+     | None -> ()
+     | Some gc0 ->
+       let gc1 = Gc.quick_stat () in
+       Obs.add shard.gc_minor_words
+         (int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words));
+       Obs.add shard.gc_major_words
+         (int_of_float
+            (gc1.Gc.major_words +. gc1.Gc.promoted_words
+            -. (gc0.Gc.major_words +. gc0.Gc.promoted_words)));
+       Obs.add shard.gc_minor_collections
+         (gc1.Gc.minor_collections - gc0.Gc.minor_collections);
+       Obs.add shard.gc_major_collections
+         (gc1.Gc.major_collections - gc0.Gc.major_collections);
+       match (t.tracing, shard.tbuf) with
        | Some tg, Some tb ->
-         let ts = Obs.Trace.rel tg.tr t_deq in
-         let dur = t_fin -. t_deq in
-         Obs.Trace.complete_seq tb ~name:tg.names.n_execute ~ts ~dur
-           ~seq:job.seq;
-         (* The flow arrow touches down mid-slice so Perfetto anchors it
-            inside the execute slice rather than on its edge. *)
-         Obs.Trace.flow_step tb ~name:tg.names.n_query
-           ~ts:(ts +. (dur /. 2.0)) ~id:job.seq
+         let ts = Obs.Trace.rel tg.tr t_fin in
+         Obs.Trace.counter tb ~name:tg.names.n_gc_minor_words ~ts
+           ~value:gc1.Gc.minor_words;
+         Obs.Trace.counter tb ~name:tg.names.n_gc_major_words ~ts
+           ~value:(gc1.Gc.major_words +. gc1.Gc.promoted_words)
        | _ -> ());
-      finish_job t job result;
-      shard.current <- None;
-      loop ()
+    (match (t.tracing, shard.tbuf) with
+     | Some tg, Some tb ->
+       let ts = Obs.Trace.rel tg.tr t_deq in
+       let dur = t_fin -. t_deq in
+       Obs.Trace.complete_seq tb ~name:tg.names.n_execute ~ts ~dur
+         ~seq:(c.c_seq_base + c.c_base);
+       (* The flow arrow touches down mid-slice so Perfetto anchors it
+          inside the execute slice rather than on its edge. *)
+       if c.c_span then
+         Obs.Trace.flow_step tb ~name:tg.names.n_query
+           ~ts:(ts +. (dur /. 2.0)) ~id:(c.c_seq_base + c.c_base)
+     | _ -> ());
+    complete_chunk t c;
+    shard.hot.current <- None;
+    loop ()
   in
   loop ()
 
 (* Worker supervision: an exception escaping the loop body is a dead
    worker. Restart it in place — same domain, same shard — after answering
-   whatever job it was holding ([ERR internal], via the idempotent finish)
-   and noting the crash against the query for quarantine. Restarting on the
-   same domain keeps shard identity (caches, rings, registries) stable and
-   costs nothing; what matters for liveness is that the loop re-enters
-   [Work_queue.pop], not that a fresh domain spawns. *)
+   the unserved slots of whatever chunk it was holding ([ERR internal],
+   via the idempotent completion) and noting the crash against the slot
+   that was executing, for quarantine. Restarting on the same domain keeps
+   shard identity (caches, rings, registries) stable and costs nothing;
+   what matters for liveness is that the loop re-enters [Work_queue.pop],
+   not that a fresh domain spawns. *)
 let rec supervise t shard =
   match worker_loop t shard with
   | () -> ()  (* queue closed: clean shutdown *)
   | exception exn ->
     Atomic.incr t.worker_restarts;
-    (match shard.current with
-     | Some job ->
-       note_crash t job.query;
-       job.finished_at <- Obs.now_mono ();
-       finish_job t job
-         (Error
-            (Core.Error.make Core.Error.Internal
-               (Printf.sprintf
-                  "worker %d died serving this query: %s (worker restarted)"
-                  shard.id (Printexc.to_string exn))))
+    (match shard.hot.current with
+     | Some c ->
+       if c.c_cursor < c.c_hi then note_crash t c.c_queries.(c.c_cursor);
+       let err =
+         Core.Error.make Core.Error.Internal
+           (Printf.sprintf
+              "worker %d died serving this query: %s (worker restarted)"
+              shard.id (Printexc.to_string exn))
+       in
+       let now = Obs.now_mono () in
+       for slot = c.c_cursor to c.c_hi - 1 do
+         if c.c_results.(slot) = None then begin
+           c.c_results.(slot) <- Some (Error err);
+           if c.c_deq.(slot) = 0.0 then c.c_deq.(slot) <- now;
+           c.c_fin.(slot) <- now
+         end
+       done;
+       c.c_cursor <- c.c_hi;
+       complete_chunk t c
      | None -> ());
-    shard.current <- None;
+    shard.hot.current <- None;
     supervise t shard
 
 let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     ?(telemetry = true) ?(recorder_capacity = 256) ?(drift_slots = 6)
     ?(drift_per_slot = 64) ?(drift_p90_threshold = 8.0) ?(queue_capacity = 256)
-    ?trace ?deadline_s ?(shed_policy = `Block) ?chaos ?auditor estimator =
+    ?(chunk_target = 8) ?(steal = true) ?trace ?deadline_s
+    ?(shed_policy = `Block) ?chaos ?auditor estimator =
   if workers < 1 then
     invalid_arg (Printf.sprintf "Pool.create: workers %d < 1" workers);
+  if chunk_target < 1 then
+    invalid_arg
+      (Printf.sprintf "Pool.create: chunk_target %d < 1" chunk_target);
   if not (Float.is_finite qerror_threshold) || qerror_threshold < 1.0 then
     invalid_arg "Pool.create: qerror_threshold must be finite and >= 1";
   (match deadline_s with
@@ -535,6 +663,8 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
               n_queue_wait = Obs.Trace.intern tr "queue_wait";
               n_batch_submit = Obs.Trace.intern tr "batch_submit";
               n_batch_gather = Obs.Trace.intern tr "batch_gather";
+              n_chunk_dispatch = Obs.Trace.intern tr "chunk_dispatch";
+              n_steal = Obs.Trace.intern tr "steal";
               n_feedback = Obs.Trace.intern tr "feedback";
               n_explain = Obs.Trace.intern tr "explain";
               n_query = Obs.Trace.intern tr "query";
@@ -563,16 +693,29 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
                Some (Flight_recorder.create ~capacity:recorder_capacity ())
              else None);
           drift_shard = Option.map Drift.register_shard drift;
-          epoch_seen = 0;
           tbuf =
             Option.map
               (fun tr ->
                 Obs.Trace.register tr ~tid:(id + 1)
                   ~name:(Printf.sprintf "shard-%d" id))
               trace;
-          busy_s = 0.0;
-          last_served_at = 0.0;
-          current = None;
+          hot =
+            { epoch_seen = 0;
+              busy_s = 0.0;
+              last_served_at = 0.0;
+              steals = 0;
+              affinity_hits = 0;
+              current = None;
+              pad0 = 0;
+              pad1 = 0;
+              pad2 = 0;
+              pad3 = 0;
+              pad4 = 0;
+              pad5 = 0;
+              pad6 = 0;
+              pad7 = 0;
+              pad8 = 0;
+              pad9 = 0 };
           queue_wait_us = Obs.histogram obs "engine.pool.queue_wait_us";
           gc_minor_words = Obs.counter_with obs "engine.gc.minor_words" shard_labels;
           gc_major_words = Obs.counter_with obs "engine.gc.major_words" shard_labels;
@@ -586,7 +729,8 @@ let create ?(workers = 2) ?(qerror_threshold = 2.0) ?(cache_capacity = 1024)
     { base = estimator;
       threshold = qerror_threshold;
       shards;
-      queue = Work_queue.create ~capacity:queue_capacity;
+      queue = Work_queue.create ~steal ~shards:workers ~capacity:queue_capacity ();
+      chunk_target;
       domains = [||];
       epoch = Atomic.make 0;
       inflight = Atomic.make 0;
@@ -638,7 +782,18 @@ let qerror_threshold t = t.threshold
 let feedback_seen t = t.feedback_seen
 let feedback_rounds t = t.feedback_rounds
 let drift t = t.drift
+let chunk_target t = t.chunk_target
 let set_on_record t f = t.on_record <- Some f
+
+let steals_total t = (Work_queue.stats t.queue).Work_queue.steals
+
+let affinity_hits t =
+  Array.fold_left (fun acc (s : shard) -> acc + s.hot.affinity_hits) 0 t.shards
+
+(* The affinity hash: a client token (connection counter, tenant id...)
+   maps to a stable preferred shard. [Hashtbl.hash] mixes the bits so
+   consecutive connection ids still spread across shards. *)
+let preferred_shard t ~affinity = Hashtbl.hash affinity mod workers t
 
 let shard_cache_counters t =
   Array.map (fun (s : shard) -> Lru_cache.counters s.cache) t.shards
@@ -651,86 +806,123 @@ let with_coord tracing f =
   | None -> ()
   | Some tg -> with_lock tg.coord_lock (fun () -> f tg)
 
-(* Submit a batch and wait for all of it; replies come back in submission
-   order regardless of which shard served which query. Returns the raw
-   results, the job records (for PROFILE's per-stage timings; [None] in
-   slots that were refused) and the monotonic instant reassembly finished.
+(* Submit a batch as per-shard chunks and wait for all of it; replies land
+   in the preallocated submission-order result array regardless of which
+   shard served which slot. Returns the raw results, the per-slot
+   enqueue/dequeue/finish stamp arrays (for PROFILE; refused slots keep
+   zero stamps) and the monotonic instant reassembly finished.
 
-   When tracing, the coordinator track shows a [batch_submit] slice with a
-   flow start and a queue-wait async-begin per query, and a [batch_gather]
-   slice where every flow arrow lands. *)
-let run_batch t queries =
-  let n = List.length queries in
-  if n = 0 then ([||], [||], Obs.now_mono ())
+   When tracing, the coordinator track shows a [batch_submit] slice with,
+   per chunk, a [chunk_dispatch] instant, a flow start and a queue-wait
+   async-begin, and a [batch_gather] slice where every chunk's flow arrow
+   lands. *)
+let run_batch ?affinity t queries =
+  let queries = Array.of_list queries in
+  let n = Array.length queries in
+  if n = 0 then ([||], [||], [||], [||], Obs.now_mono ())
   else begin
     let results = Array.make n None in
-    let jobs = Array.make n None in
+    let enq = Array.make n 0.0 in
+    let deq = Array.make n 0.0 in
+    let fin = Array.make n 0.0 in
     let parent =
       { remaining = n;
         batch_lock = Mutex.create ();
         batch_done = Condition.create () }
     in
+    let flows = ref [] in  (* admitted chunk flow ids, ended at gather *)
     let t_sub0 = Obs.now_mono () in
     with_lock t.submit_lock (fun () ->
         if t.telemetry then Obs.hobserve t.batch_chunk (float_of_int n);
-        List.iteri
-          (fun slot query ->
-            let seq = t.next_seq in
-            t.next_seq <- seq + 1;
-            if t.stopped then begin
-              results.(slot) <- Some (Error (closed_error ()));
-              with_lock parent.batch_lock (fun () ->
-                  parent.remaining <- parent.remaining - 1)
-            end
-            else begin
-              Atomic.incr t.inflight;
-              let job =
-                { seq; query; results; slot; parent; answered = false;
-                  enqueued_at = 0.0; dequeued_at = 0.0; finished_at = 0.0 }
+        let seq_base = t.next_seq in
+        t.next_seq <- seq_base + n;
+        if t.stopped then begin
+          for slot = 0 to n - 1 do
+            results.(slot) <- Some (Error (closed_error ()))
+          done;
+          with_lock parent.batch_lock (fun () -> parent.remaining <- 0)
+        end
+        else begin
+          let preferred =
+            Option.map (fun a -> preferred_shard t ~affinity:a) affinity
+          in
+          let plan =
+            plan_chunks ~n ~workers:(workers t)
+              ~chunk_target:t.chunk_target ?preferred ()
+          in
+          Array.iter
+            (fun (lo, hi, shard_id) ->
+              let c_enq = Obs.now_mono () in
+              for slot = lo to hi - 1 do
+                enq.(slot) <- c_enq
+              done;
+              let c =
+                { c_queries = queries;
+                  c_results = results;
+                  c_deq = deq;
+                  c_fin = fin;
+                  c_seq_base = seq_base;
+                  c_parent = parent;
+                  c_enqueued_at = c_enq;
+                  c_shard = shard_id;
+                  c_affinity = Option.is_some preferred;
+                  c_span = Option.is_some t.tracing;
+                  c_base = lo;
+                  c_hi = hi;
+                  c_cursor = lo;
+                  c_done = false }
               in
-              job.enqueued_at <- Obs.now_mono ();
+              Atomic.incr t.inflight;
+              let id = seq_base + lo in
               with_coord t.tracing (fun tg ->
-                  let ts = Obs.Trace.rel tg.tr job.enqueued_at in
+                  let ts = Obs.Trace.rel tg.tr c_enq in
+                  Obs.Trace.instant tg.coord ~name:tg.names.n_chunk_dispatch
+                    ~ts;
                   Obs.Trace.flow_start tg.coord ~name:tg.names.n_query ~ts
-                    ~id:seq;
+                    ~id;
                   Obs.Trace.async_begin tg.coord ~name:tg.names.n_queue_wait
-                    ~ts ~id:seq);
+                    ~ts ~id);
               let admitted =
                 match t.shed_policy with
                 | `Block ->
-                  if Work_queue.push t.queue job then `Ok else `Closed
-                | `Shed_newest -> Work_queue.try_push t.queue job
+                  if Work_queue.push t.queue ~shard:shard_id c then `Ok
+                  else `Closed
+                | `Shed_newest -> Work_queue.try_push t.queue ~shard:shard_id c
               in
               match admitted with
-              | `Ok -> jobs.(slot) <- Some job
+              | `Ok -> flows := id :: !flows
               | (`Closed | `Full) as refusal ->
                 ignore (Atomic.fetch_and_add t.inflight (-1) : int);
-                let error =
-                  match refusal with
-                  | `Closed -> closed_error ()
-                  | `Full ->
-                    (* Bounded admission under shed-newest: the queue is
-                       full, so this newest request is the one dropped. *)
-                    Atomic.incr t.shed_total;
-                    emit_refusal t t.recorder ~seq ~query ~hash:0
-                      ~cache:Flight_recorder.Shed;
-                    overloaded_error ~capacity:(Work_queue.capacity t.queue)
-                      ()
-                in
-                results.(slot) <- Some (Error error);
+                for slot = lo to hi - 1 do
+                  let error =
+                    match refusal with
+                    | `Closed -> closed_error ()
+                    | `Full ->
+                      (* Bounded admission under shed-newest: the deque is
+                         full, so this newest chunk is the one dropped —
+                         every slot it carries. *)
+                      Atomic.incr t.shed_total;
+                      emit_refusal t t.recorder ~seq:(seq_base + slot)
+                        ~query:queries.(slot) ~hash:0
+                        ~cache:Flight_recorder.Shed;
+                      overloaded_error
+                        ~capacity:(Work_queue.capacity t.queue) ()
+                  in
+                  results.(slot) <- Some (Error error)
+                done;
                 (* Nobody will ever dequeue it: close its queue-wait span
                    and terminate its flow so the trace still lints. *)
                 with_coord t.tracing (fun tg ->
                     let ts = Obs.Trace.now tg.tr in
                     Obs.Trace.async_end tg.coord ~name:tg.names.n_queue_wait
-                      ~ts ~id:seq;
+                      ~ts ~id;
                     Obs.Trace.flow_end tg.coord ~name:tg.names.n_query ~ts
-                      ~id:seq);
+                      ~id);
                 with_lock parent.batch_lock (fun () ->
-                    job.answered <- true;
-                    parent.remaining <- parent.remaining - 1)
-            end)
-          queries;
+                    c.c_done <- true;
+                    parent.remaining <- parent.remaining - (hi - lo)))
+            plan
+        end;
         with_coord t.tracing (fun tg ->
             Obs.Trace.complete tg.coord ~name:tg.names.n_batch_submit
               ~ts:(Obs.Trace.rel tg.tr t_sub0)
@@ -751,35 +943,37 @@ let run_batch t queries =
     with_coord t.tracing (fun tg ->
         let ts0 = Obs.Trace.rel tg.tr t_gather0 in
         let dur = Float.max 1e-9 (t_done -. t_gather0) in
-        Array.iter
-          (function
-            | Some (job : job) when job.finished_at > 0.0 ->
-              Obs.Trace.flow_end tg.coord ~name:tg.names.n_query
-                ~ts:(ts0 +. (dur /. 2.0)) ~id:job.seq
-            | _ -> ())
-          jobs;
+        List.iter
+          (fun id ->
+            Obs.Trace.flow_end tg.coord ~name:tg.names.n_query
+              ~ts:(ts0 +. (dur /. 2.0)) ~id)
+          !flows;
         Obs.Trace.complete tg.coord ~name:tg.names.n_batch_gather ~ts:ts0
           ~dur);
-    (out, jobs, t_done)
+    (out, enq, deq, fin, t_done)
   end
 
-let estimate_batch t queries =
-  let results, _, _ = run_batch t queries in
+let estimate_batch ?affinity t queries =
+  let results, _, _, _, _ = run_batch ?affinity t queries in
   Array.to_list results
 
-let estimate t query =
-  match estimate_batch t [ query ] with
+let estimate ?affinity t query =
+  match estimate_batch ?affinity t [ query ] with
   | [ r ] -> r
   | _ -> Error (closed_error ())
 
 (* The PROFILE verb: run the queries as one batch and compute exact
-   per-stage percentiles from the job stamps. Stages partition each query's
-   life: queue-wait (submit to dequeue), execute (dequeue to result),
-   reassemble (result to batch completion — the stall until the whole batch
-   can be answered). Refused or unserved slots carry zero stamps and are
-   skipped. *)
-let profile t queries =
-  let out, jobs, t_done = run_batch t queries in
+   per-stage percentiles from the per-slot stamps. Stages partition each
+   query's life: queue-wait (submit to execution start — for a slot deep
+   in a chunk that includes its predecessors' execute time), execute
+   (start to result), reassemble (result to batch completion — the stall
+   until the whole batch can be answered). Refused or unserved slots
+   carry zero stamps and are skipped. [steals] is the pool-wide steal
+   delta across the batch (exact when the pool is otherwise quiet). *)
+let profile ?affinity t queries =
+  let s0 = steals_total t in
+  let out, enq, deq, fin, t_done = run_batch ?affinity t queries in
+  let s1 = steals_total t in
   let count kind =
     Array.fold_left
       (fun acc -> function
@@ -787,31 +981,31 @@ let profile t queries =
         | _ -> acc)
       0 out
   in
-  let served =
-    Array.to_list jobs
-    |> List.filter_map (function
-         | Some (j : job) when j.dequeued_at > 0.0 && j.finished_at > 0.0 ->
-           Some j
-         | _ -> None)
-  in
+  let served = ref [] in
+  Array.iteri
+    (fun slot _ ->
+      if deq.(slot) > 0.0 && fin.(slot) > 0.0 then served := slot :: !served)
+    out;
+  let served = List.rev !served in
   let stage f = Array.of_list (List.map f served) in
   Ok
     { Serve.profiled = List.length served;
       queue_wait_us =
         Serve.percentiles
-          (stage (fun j -> 1e6 *. Float.max 0.0 (j.dequeued_at -. j.enqueued_at)));
+          (stage (fun i -> 1e6 *. Float.max 0.0 (deq.(i) -. enq.(i))));
       execute_us =
         Serve.percentiles
-          (stage (fun j -> 1e6 *. Float.max 0.0 (j.finished_at -. j.dequeued_at)));
+          (stage (fun i -> 1e6 *. Float.max 0.0 (fin.(i) -. deq.(i))));
       reassemble_us =
         Serve.percentiles
-          (stage (fun j -> 1e6 *. Float.max 0.0 (t_done -. j.finished_at)));
+          (stage (fun i -> 1e6 *. Float.max 0.0 (t_done -. fin.(i))));
       timed_out = count Core.Error.Timeout;
       shed = count Core.Error.Overloaded;
+      steals = max 0 (s1 - s0);
       tenant = None }
 
-(* Wait until no job is being served or queued. Callers hold [submit_lock],
-   so no new submission can race the drain. *)
+(* Wait until no chunk is being served or queued. Callers hold
+   [submit_lock], so no new submission can race the drain. *)
 let wait_drained t =
   with_lock t.drain_lock (fun () ->
       while Atomic.get t.inflight > 0 do
@@ -1082,14 +1276,17 @@ let stats_json t =
         Obj
           [ ("workers", Int (workers t));
             ("epoch", Int (epoch t));
+            ("chunk_target", Int t.chunk_target);
             ("queue_depth", Int (Work_queue.length t.queue));
             ("queue_pushes", Int q.Work_queue.pushes);
             ("queue_pops", Int q.Work_queue.pops);
+            ("queue_steals", Int q.Work_queue.steals);
             ("queue_push_waits", Int q.Work_queue.push_waits);
             ("queue_pop_waits", Int q.Work_queue.pop_waits);
             ("queue_push_wait_s", Float q.Work_queue.push_wait_s);
             ("queue_pop_wait_s", Float q.Work_queue.pop_wait_s);
             ("queue_max_occupancy", Int q.Work_queue.max_occupancy);
+            ("affinity_hits", Int (affinity_hits t));
             ("shed_total", Int (shed_total t));
             ("timeout_total", Int (timeout_total t));
             ("worker_restarts", Int (worker_restarts t));
@@ -1145,12 +1342,14 @@ let merged_metrics t =
   Obs.set_to ~obs "engine.pool.queue.push_wait_s" q.Work_queue.push_wait_s;
   Obs.set_to ~obs "engine.pool.queue.pop_wait_s" q.Work_queue.pop_wait_s;
   Obs.max_to ~obs "engine.pool.queue.max_occupancy" q.Work_queue.max_occupancy;
+  Obs.add_to ~obs "engine.pool.steals_total" q.Work_queue.steals;
+  Obs.add_to ~obs "engine.pool.affinity_hits" (affinity_hits t);
   Obs.add_to ~obs "engine.pool.shed_total" (shed_total t);
   Obs.add_to ~obs "engine.pool.timeout_total" (timeout_total t);
   Obs.add_to ~obs "engine.pool.worker_restarts" (worker_restarts t);
   Obs.set_to ~obs "engine.pool.quarantined" (float_of_int (quarantined_count t));
   (* Busy fraction per shard: serving time over the shard's active window
-     (create to last completed job), so a quiet re-scrape stays
+     (create to last completed chunk), so a quiet re-scrape stays
      byte-identical — a live-uptime denominator would tick on its own.
      [busy_s]/[last_served_at] are written by the shard's own domain
      without synchronization; a scrape may read a slightly stale pair,
@@ -1158,8 +1357,9 @@ let merged_metrics t =
   Array.iter
     (fun (s : shard) ->
       let fraction =
-        if s.last_served_at <= t.created_at then 0.0
-        else Float.min 1.0 (s.busy_s /. (s.last_served_at -. t.created_at))
+        if s.hot.last_served_at <= t.created_at then 0.0
+        else
+          Float.min 1.0 (s.hot.busy_s /. (s.hot.last_served_at -. t.created_at))
       in
       Obs.gset
         (Obs.gauge_with obs "engine.pool.busy_fraction"
@@ -1209,9 +1409,9 @@ let recent ?n t =
 let telemetry_disabled () =
   Core.Error.make Core.Error.Internal "telemetry is disabled on this pool"
 
-let server t =
-  { Serve.estimate = (fun q -> estimate t q);
-    estimate_batch = (fun qs -> estimate_batch t qs);
+let server ?affinity t =
+  { Serve.estimate = (fun q -> estimate ?affinity t q);
+    estimate_batch = (fun qs -> estimate_batch ?affinity t qs);
     feedback = (fun q ~actual -> feedback t q ~actual);
     explain = (fun q -> explain t q);
     stats_json = (fun () -> stats_json t);
@@ -1228,7 +1428,7 @@ let server t =
         match t.drift with
         | None -> Error (telemetry_disabled ())
         | Some d -> Ok (Drift.to_json d));
-    profile = (fun qs -> profile t qs);
+    profile = (fun qs -> profile ?affinity t qs);
     audit =
       (fun () ->
         match t.auditor with

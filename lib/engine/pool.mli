@@ -4,20 +4,32 @@
     and one materialized EPT, shared read-only by [workers] domains. Each
     worker has a private shard — its own {!Lru_cache}, {!Flight_recorder}
     ring, {!Obs} registry and {!Drift} volume shard — so the estimate hot
-    path takes no lock beyond the bounded {!Work_queue}'s own mutex.
+    path takes no lock beyond the sharded {!Work_queue}'s own mutex.
+
+    {b Chunk dispatch} (DESIGN.md §16). A batch of [n] queries is cut by
+    {!plan_chunks} into contiguous per-shard slices, one queue operation
+    per chunk rather than per query. Workers write replies lock-free into
+    the batch's preallocated submission-order result array; the only
+    synchronization per chunk is one idempotent completion latch. Idle
+    shards steal chunks from the tail of busy shards' deques — a victim's
+    last divisible chunk is split in half, and a lone length-1 chunk is
+    never stolen — so a straggler no longer serializes the batch.
+    Per-shard mutable hot state is padded past a cache line to kill false
+    sharing between worker domains.
 
     {b Single-writer feedback.} [feedback] (and [explain]) take the
-    submission lock, wait for in-flight jobs to drain, and only then touch
-    the shared HET/EPT. A refining feedback bumps the pool {!epoch};
+    submission lock, wait for in-flight chunks to drain, and only then
+    touch the shared HET/EPT. A refining feedback bumps the pool {!epoch};
     workers compare it at their next dequeue and drop their now-stale
     caches. No estimate ever observes a half-applied refinement.
 
     {b Determinism.} Over the same synopsis, pool estimates are
-    bit-identical to a single {!Engine_core.t}'s: the matcher keeps all
-    per-query scratch off the shared EPT, and every shard estimator is
-    built from the same kernel/HET/values. Merged metrics
-    ({!metrics_text}) are rendered from a per-scrape registry with series
-    sorted by key, so the exposition does not depend on scheduling. *)
+    bit-identical to a single {!Engine_core.t}'s — with chunking, stealing
+    and affinity in any combination: the matcher keeps all per-query
+    scratch off the shared EPT, and every shard estimator is built from
+    the same kernel/HET/values. Merged metrics ({!metrics_text}) are
+    rendered from a per-scrape registry with series sorted by key, so the
+    exposition does not depend on scheduling. *)
 
 type t
 
@@ -31,6 +43,8 @@ val create :
   ?drift_per_slot:int ->
   ?drift_p90_threshold:float ->
   ?queue_capacity:int ->
+  ?chunk_target:int ->
+  ?steal:bool ->
   ?trace:Obs.Trace.t ->
   ?deadline_s:float ->
   ?shed_policy:[ `Block | `Shed_newest ] ->
@@ -40,35 +54,43 @@ val create :
   t
 (** Spawns [workers] (default 2) domains immediately; call {!shutdown}
     when done. [cache_capacity] (default 1024) and [recorder_capacity]
-    (default 256) are {e per shard}. The EPT is materialized eagerly (a
-    failure surfaces as [Limit_exceeded] on the first estimate, as with
-    the single engine). Other knobs as {!Engine_core.create}.
+    (default 256) are {e per shard}; [queue_capacity] (default 256) is
+    chunk slots {e per shard deque}. [chunk_target] (default 8) is the
+    preferred slots-per-chunk fed to {!plan_chunks}; [~chunk_target:1]
+    restores per-query dispatch (deterministic shed tests use it).
+    [steal] (default [true]) gates work stealing. The EPT is materialized
+    eagerly (a failure surfaces as [Limit_exceeded] on the first
+    estimate, as with the single engine). Other knobs as
+    {!Engine_core.create}.
 
     {b Failure model} (DESIGN.md §13). [deadline_s] gives every request a
-    wall-clock budget, measured from enqueue on the monotonic clock
-    ({!Obs.now_mono}) and checked at two points: at dequeue (the request
-    spent its budget queued) and again between canonicalize and the
-    pipeline on a cache miss. An overrun answers [ERR timeout]
-    ({!Core.Error.Timeout}); cache hits always answer. [shed_policy]
-    (default [`Block]) governs a full admission queue: [`Block] applies
-    backpressure (the submitter waits), [`Shed_newest] refuses the request
-    being submitted with [ERR overloaded] ({!Core.Error.Overloaded})
-    without blocking. Workers are supervised: an exception escaping a
-    worker's loop body answers the in-flight slot with [ERR internal],
-    bumps {!worker_restarts} and restarts the loop in place — a batch
-    never hangs on a dead worker. A query whose execution has killed
-    workers twice is quarantined (refused [ERR internal] at dequeue
-    without executing). [chaos] is a test-only fault hook called on the
-    worker domain right before each query executes; returning [true]
-    kills the worker body there, exercising the supervisor.
+    wall-clock budget, measured from its {e chunk}'s enqueue on the
+    monotonic clock ({!Obs.now_mono}) and checked per slot: before the
+    slot executes (so a deadline can expire mid-chunk — earlier slots
+    answered, later ones refused [ERR timeout]) and again between
+    canonicalize and the pipeline on a cache miss. Cache hits always
+    answer. [shed_policy] (default [`Block]) governs a full shard deque:
+    [`Block] applies backpressure (the submitter waits), [`Shed_newest]
+    refuses the chunk being submitted — every slot it carries — with
+    [ERR overloaded] without blocking. Workers are supervised: an
+    exception escaping a worker's loop body answers the chunk's unserved
+    slots with [ERR internal], bumps {!worker_restarts} and restarts the
+    loop in place — a batch never hangs on a dead worker. A query whose
+    execution has killed workers twice is quarantined (refused
+    [ERR internal] before executing). [chaos] is a test-only fault hook
+    called on the worker domain right before each query executes;
+    returning [true] kills the worker body there, exercising the
+    supervisor.
 
     [trace] attaches the pool to an {!Obs.Trace} session: the coordinator
-    registers tid 0 and each shard tid [id+1]. Per query the trace carries
-    a [queue_wait] async span (begun at submit on the coordinator, ended at
-    dequeue on the serving shard), an [execute] slice with [canonicalize] /
-    [pipeline] sub-slices on the shard track, [batch_submit] /
-    [batch_gather] slices on the coordinator, and a [query] flow arrow
-    linking submit -> execute -> gather. Shard buffers are written only by
+    registers tid 0 and each shard tid [id+1]. Per chunk the trace carries
+    a [chunk_dispatch] instant at submit, a [queue_wait] async span (begun
+    at submit on the coordinator, ended at dequeue on the serving shard),
+    an [execute] slice with per-query [canonicalize] / [pipeline]
+    sub-slices on the shard track, and a [query] flow arrow linking
+    submit -> execute -> gather; a [steal] instant lands on the thief's
+    track at every stolen dequeue, and [batch_submit] / [batch_gather]
+    slices frame the coordinator's work. Shard buffers are written only by
     their own domain; the coordinator buffer is guarded by an internal
     innermost lock. Without [trace] the hot path never touches a ring.
 
@@ -80,14 +102,36 @@ val create :
     audit feedback follows the same epoch protocol as client feedback.
     The pool does not own the auditor's lifecycle: the caller shuts it
     down after {!shutdown}.
-    @raise Invalid_argument when [workers] < 1 or the threshold is
-    invalid. *)
+    @raise Invalid_argument when [workers] < 1, [chunk_target] < 1 or the
+    threshold is invalid. *)
 
 val shutdown : t -> unit
-(** Close the queue, let queued jobs drain, and join all worker domains.
+(** Close the queue, let queued chunks drain, and join all worker domains.
     Idempotent; subsequent requests answer with an [internal] error. *)
 
 val workers : t -> int
+
+val chunk_target : t -> int
+(** The preferred slots-per-chunk this pool plans with. *)
+
+val plan_chunks :
+  n:int ->
+  workers:int ->
+  chunk_target:int ->
+  ?preferred:int ->
+  unit ->
+  (int * int * int) array
+(** The pure chunk plan: [n] slots cut into
+    [min n (max workers (ceil n/chunk_target))] contiguous [(lo, hi,
+    shard)] slices — [lo] inclusive, [hi] exclusive. Laws (QCheck-pinned):
+    the slices partition [0, n) exactly (cover every index once, in
+    order); sizes differ by at most one with longer chunks first; [n = 0]
+    plans no chunks. Chunk [i] goes to shard [i mod workers], or every
+    chunk to [preferred] under affinity routing (stealing rebalances). *)
+
+val preferred_shard : t -> affinity:int -> int
+(** The affinity hash: the shard every chunk of an [affinity]-routed
+    submission is planned onto. Stable for the life of the pool. *)
 
 val epoch : t -> int
 (** Cache-invalidation epoch: starts at 0, incremented by every refining
@@ -99,14 +143,23 @@ val feedback_rounds : t -> int
 val drift : t -> Drift.t option
 
 val shed_total : t -> int
-(** Requests refused [ERR overloaded] by the [`Shed_newest] policy. *)
+(** Query slots refused [ERR overloaded] by the [`Shed_newest] policy. *)
 
 val timeout_total : t -> int
-(** Requests refused [ERR timeout] at either deadline checkpoint. *)
+(** Query slots refused [ERR timeout] at either deadline checkpoint. *)
 
 val worker_restarts : t -> int
 (** Times the supervisor restarted a worker loop after an escaping
     exception. 0 in a healthy pool. *)
+
+val steals_total : t -> int
+(** Chunks served by a shard other than the one they were planned onto
+    (the work queue's own count — exported as
+    [engine.pool.steals_total]). *)
+
+val affinity_hits : t -> int
+(** Affinity-routed chunks served by their preferred shard (exported as
+    [engine.pool.affinity_hits]). *)
 
 val quarantined_count : t -> int
 (** Distinct queries currently quarantined (two worker kills each). *)
@@ -116,15 +169,21 @@ val set_on_record : t -> (Flight_recorder.record -> unit) -> unit
     it (serialized by an internal lock — the sink itself need not be
     domain-safe). *)
 
-val estimate : t -> string -> (Serve.estimate_reply, Core.Error.t) result
-(** Submit one query and wait for its reply. Domain-safe. *)
+val estimate :
+  ?affinity:int -> t -> string -> (Serve.estimate_reply, Core.Error.t) result
+(** Submit one query and wait for its reply. Domain-safe. [affinity]
+    routes the chunk to {!preferred_shard} so a session's shard cache
+    stays hot across requests; stealing still rebalances under load. *)
 
 val estimate_batch :
-  t -> string list -> (Serve.estimate_reply, Core.Error.t) result list
-(** Submit a batch; replies return in submission order regardless of which
-    shard served each query. While the work queue is full, [`Block] pools
-    wait (backpressure) and [`Shed_newest] pools answer the overflowing
-    slots [ERR overloaded] immediately. *)
+  ?affinity:int ->
+  t ->
+  string list ->
+  (Serve.estimate_reply, Core.Error.t) result list
+(** Submit a batch as per-shard chunks; replies return in submission
+    order regardless of which shard served each slot. While a shard deque
+    is full, [`Block] pools wait (backpressure) and [`Shed_newest] pools
+    answer the overflowing chunk's slots [ERR overloaded] immediately. *)
 
 val feedback : t -> string -> actual:int -> (Feedback.outcome, Core.Error.t) result
 (** Drain the pool, judge the query's estimate against [actual], and
@@ -135,12 +194,16 @@ val explain : t -> string -> (Core.Explain.report, Core.Error.t) result
 (** Full-pipeline explain, run drained on the base estimator. The cache
     status reports whether {e any} shard holds the query. *)
 
-val profile : t -> string list -> (Serve.profile_reply, Core.Error.t) result
+val profile :
+  ?affinity:int -> t -> string list -> (Serve.profile_reply, Core.Error.t) result
 (** The [PROFILE] verb: run the queries as one batch and report exact
-    per-stage percentiles from per-job monotonic stamps. The stages
-    partition each query's life: queue-wait (submit to dequeue), execute
-    (dequeue to result), reassemble (result to batch completion). Refused
-    slots (pool shut down mid-submit) are excluded from [profiled]. *)
+    per-stage percentiles from per-slot monotonic stamps. The stages
+    partition each query's life: queue-wait (submit to execution start —
+    for a slot deep in a chunk that includes its predecessors' execute
+    time), execute (start to result), reassemble (result to batch
+    completion). Refused slots (shed, pool shut down mid-submit) are
+    excluded from [profiled]. [steals] reports the pool-wide steal delta
+    across the batch. *)
 
 val invalidate : t -> unit
 (** Bump {!epoch} without touching the synopsis, dropping every shard's
@@ -148,10 +211,11 @@ val invalidate : t -> unit
 
 val stats_json : t -> Obs.Json.t
 (** Engine stats with cache counters summed across shards, plus a
-    ["pool"] object ([workers], [epoch], [queue_depth], and the work
-    queue's contention counters [queue_pushes] / [queue_pops] /
-    [queue_push_waits] / [queue_pop_waits] / [queue_push_wait_s] /
-    [queue_pop_wait_s] / [queue_max_occupancy], plus the failure counters
+    ["pool"] object ([workers], [epoch], [chunk_target], [queue_depth],
+    and the work queue's contention counters [queue_pushes] /
+    [queue_pops] / [queue_steals] / [queue_push_waits] /
+    [queue_pop_waits] / [queue_push_wait_s] / [queue_pop_wait_s] /
+    [queue_max_occupancy], plus [affinity_hits] and the failure counters
     [shed_total] / [timeout_total] / [worker_restarts] / [quarantined]). *)
 
 val metrics_text : t -> string
@@ -162,12 +226,14 @@ val merged_metrics : t -> Obs.t
     shard's pipeline registry via {!Obs.merged} (series sorted by key;
     repeated calls without traffic are identical). Includes, when
     telemetry is on: the pool-wide [engine.pool.queue_wait_us] histogram
-    (shard observations merge by key), [engine.pool.batch_chunk],
-    [engine.pool.queue.*] contention counters from {!Work_queue.stats},
-    per-shard [engine.gc.*] counters (labelled [shard="N"]) and
-    [engine.pool.busy_fraction] gauges (serving time over the shard's
-    create-to-last-served window, so quiet re-scrapes stay byte-identical;
-    best-effort reads of per-domain accumulators). *)
+    (per-chunk dequeue waits; shard observations merge by key),
+    [engine.pool.batch_chunk], [engine.pool.queue.*] contention counters
+    from {!Work_queue.stats}, [engine.pool.steals_total] and
+    [engine.pool.affinity_hits], per-shard [engine.gc.*] counters
+    (labelled [shard="N"]) and [engine.pool.busy_fraction] gauges
+    (serving time over the shard's create-to-last-served window, so quiet
+    re-scrapes stay byte-identical; best-effort reads of per-domain
+    accumulators). *)
 
 val recent : ?n:int -> t -> Flight_recorder.record list
 (** Flight records merged across all shard rings plus the coordinator's
@@ -179,5 +245,8 @@ val cache_counters : t -> Lru_cache.counters
 val shard_cache_counters : t -> Lru_cache.counters array
 (** One entry per shard, in shard order (test hook for the sum law). *)
 
-val server : t -> Serve.server
-(** The serve-protocol vtable ([xseed serve --workers N]). *)
+val server : ?affinity:int -> t -> Serve.server
+(** The serve-protocol vtable ([xseed serve --workers N]). [affinity]
+    bakes a client identity into the vtable, routing every submission
+    through it to {!preferred_shard} — the net layer passes a
+    per-connection token here so a session's shard cache stays hot. *)

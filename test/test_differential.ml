@@ -240,6 +240,207 @@ let test_pool_bit_identical () =
         (bits (pool_value pool q)))
     queries
 
+(* The same oracle under chunked dispatch, stealing and affinity routing,
+   on hostile inputs: random documents, a query mix that includes
+   malformed and degenerate spellings, a pool configured so batches split
+   into many small chunks (workers > chunk plan slots, chunk_target 3)
+   and every batch routed to one preferred shard so the others must
+   steal. Errors must agree by kind, values bit for bit, including after
+   an identical feedback observation bumps the pool's epoch. *)
+
+let rng_doc rng =
+  let buf = Buffer.create 256 in
+  let rec emit depth =
+    let l = String.make 1 (Char.chr (Char.code 'a' + Datagen.Rng.int rng 5)) in
+    Buffer.add_string buf ("<" ^ l ^ ">");
+    if depth < 4 then
+      for _ = 1 to Datagen.Rng.int rng (5 - depth) do
+        emit (depth + 1)
+      done;
+    Buffer.add_string buf ("</" ^ l ^ ">")
+  in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 1 + Datagen.Rng.int rng 4 do
+    emit 1
+  done;
+  Buffer.add_string buf "</r>";
+  Buffer.contents buf
+
+let hostile_queries path_tree =
+  let rng = Datagen.Rng.create ~seed:13 in
+  let valid =
+    List.map Xpath.Ast.to_string
+      (Datagen.Workload.all_simple_paths path_tree
+      @ Datagen.Workload.branching path_tree ~rng ~count:8 ())
+  in
+  let hostile =
+    [ ""; "/r["; "///"; "/r//*[z"; "$%#@!"; "//*"; "/*/*/*";
+      "/" ^ String.concat "/" (List.init 60 (fun _ -> "a")) ]
+  in
+  (* Interleave so hostile slots land mid-chunk, not in a block. *)
+  let rec weave = function
+    | [], rest | rest, [] -> rest
+    | a :: xs, b :: ys -> a :: b :: weave (xs, ys)
+  in
+  weave (valid, hostile) @ valid
+
+let check_agree ~label engine reply q =
+  let expected = Engine.estimate engine q in
+  match (expected, reply) with
+  | Ok s, Ok (r : Engine.Serve.estimate_reply) ->
+    Alcotest.(check int64)
+      (Printf.sprintf "%s bit-identical %S" label q)
+      (bits s.Engine.outcome.Core.Estimator.value)
+      (bits r.Engine.Serve.value)
+  | Error e1, Error e2 ->
+    checkb
+      (Printf.sprintf "%s same error kind %S" label q)
+      true
+      (Core.Error.kind e1 = Core.Error.kind e2)
+  | Ok _, Error e ->
+    Alcotest.failf "%s: pool refused %S the engine served: %s" label q
+      (Core.Error.to_string e)
+  | Error e, Ok _ ->
+    Alcotest.failf "%s: pool served %S the engine refused: %s" label q
+      (Core.Error.to_string e)
+
+let test_pool_chunked_hostile_bit_identical () =
+  let rng = Datagen.Rng.create ~seed:99 in
+  for round = 1 to 3 do
+    let doc = rng_doc rng in
+    let path_tree, engine_est = build_stack doc in
+    let _, pool_est = build_stack doc in
+    let engine = Engine.create engine_est in
+    let pool = Engine.Pool.create ~workers:4 ~chunk_target:3 pool_est in
+    Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+    let queries = hostile_queries path_tree in
+    let label = Printf.sprintf "round %d" round in
+    (* Affinity-routed singles agree... *)
+    List.iter
+      (fun q ->
+        check_agree ~label engine (Engine.Pool.estimate ~affinity:round pool q) q)
+      queries;
+    (* ...and an affinity-routed batch (all chunks planned onto one shard,
+       the other three must steal) agrees slot for slot in submission
+       order. *)
+    let batch = Engine.Pool.estimate_batch ~affinity:round pool queries in
+    checki (label ^ " batch width") (List.length queries) (List.length batch);
+    List.iter2 (fun q reply -> check_agree ~label:(label ^ " batch") engine reply q)
+      queries batch;
+    (* One identical feedback on both sides: the pool drains it on a worker
+       domain, refines, bumps its epoch — and must still agree bit for bit
+       with the engine that refined in-line. *)
+    let fq =
+      List.find
+        (fun q -> match Engine.estimate engine q with Ok _ -> true | Error _ -> false)
+        queries
+    in
+    let wrong_actual = 10 * (1 + int_of_float (engine_value engine fq)) in
+    let epoch_before = Engine.Pool.epoch pool in
+    (match Engine.feedback engine fq ~actual:wrong_actual with
+     | Ok _ -> ()
+     | Error e ->
+       Alcotest.failf "%s engine feedback: %s" label (Core.Error.to_string e));
+    (match Engine.Pool.feedback pool fq ~actual:wrong_actual with
+     | Ok _ -> ()
+     | Error e ->
+       Alcotest.failf "%s pool feedback: %s" label (Core.Error.to_string e));
+    checkb (label ^ " epoch bumped or kept") true
+      (Engine.Pool.epoch pool >= epoch_before);
+    let batch2 = Engine.Pool.estimate_batch ~affinity:round pool queries in
+    List.iter2
+      (fun q reply -> check_agree ~label:(label ^ " post-feedback") engine reply q)
+      queries batch2
+  done
+
+(* Mid-batch deadline expiry under chunked dispatch. One worker, one
+   8-slot chunk, a 50 ms budget measured from the chunk's enqueue: slots
+   before the gated query are served within budget (and must match the
+   engine bit for bit), the gated slot and everything after it expire
+   while the worker is parked, and the refusals must not disturb
+   submission order or later traffic. *)
+
+type gate = {
+  g_lock : Mutex.t;
+  g_cond : Condition.t;
+  mutable g_entered : bool;
+  mutable g_released : bool;
+}
+
+let gate () =
+  { g_lock = Mutex.create (); g_cond = Condition.create ();
+    g_entered = false; g_released = false }
+
+let gate_hook g = function
+  | "//sleepy" ->
+    Mutex.lock g.g_lock;
+    g.g_entered <- true;
+    Condition.broadcast g.g_cond;
+    while not g.g_released do Condition.wait g.g_cond g.g_lock done;
+    Mutex.unlock g.g_lock;
+    false
+  | _ -> false
+
+let test_pool_deadline_mid_batch () =
+  let doc = Datagen.Paper_example.document in
+  let path_tree, engine_est = build_stack doc in
+  let _, pool_est = build_stack doc in
+  let engine = Engine.create engine_est in
+  let g = gate () in
+  let deadline_s = 0.05 in
+  let pool =
+    Engine.Pool.create ~workers:1 ~chunk_target:8 ~deadline_s
+      ~chaos:(gate_hook g) pool_est
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let fast =
+    List.map Xpath.Ast.to_string (Datagen.Workload.all_simple_paths path_tree)
+  in
+  let q0 = List.nth fast 0 and q1 = List.nth fast 1 in
+  let queries = [ q0; q1; "//sleepy"; q0; q1; q0; q1; q0 ] in
+  let batcher =
+    Domain.spawn (fun () -> Engine.Pool.estimate_batch pool queries)
+  in
+  (* The worker served slots 0-1 and is now parked inside slot 2; hold it
+     past the whole chunk's budget before letting go. *)
+  Mutex.lock g.g_lock;
+  while not g.g_entered do Condition.wait g.g_cond g.g_lock done;
+  Mutex.unlock g.g_lock;
+  Unix.sleepf (5.0 *. deadline_s);
+  Mutex.lock g.g_lock;
+  g.g_released <- true;
+  Condition.broadcast g.g_cond;
+  Mutex.unlock g.g_lock;
+  let batch = Domain.join batcher in
+  checki "all slots answered" 8 (List.length batch);
+  List.iteri
+    (fun i reply ->
+      match reply with
+      | Ok (r : Engine.Serve.estimate_reply) ->
+        if i >= 2 then Alcotest.failf "slot %d served after expiry" i;
+        Alcotest.(check int64)
+          (Printf.sprintf "pre-expiry slot %d bit-identical" i)
+          (bits (engine_value engine (List.nth queries i)))
+          (bits r.Engine.Serve.value)
+      | Error e ->
+        if i < 2 then
+          Alcotest.failf "pre-expiry slot %d refused: %s" i
+            (Core.Error.to_string e);
+        checkb
+          (Printf.sprintf "slot %d expired with ERR timeout" i)
+          true
+          (Core.Error.kind e = Core.Error.Timeout))
+    batch;
+  checki "six slots timed out" 6 (Engine.Pool.timeout_total pool);
+  (* The pool is unharmed: fresh traffic still agrees with the engine. *)
+  List.iter
+    (fun q ->
+      Alcotest.(check int64)
+        (Printf.sprintf "post-expiry bit-identical %s" q)
+        (bits (engine_value engine q))
+        (bits (pool_value pool q)))
+    fast
+
 let () =
   let qtests = List.map QCheck_alcotest.to_alcotest
       [ prop_never_raises; prop_engine_never_raises ]
@@ -252,5 +453,9 @@ let () =
           Alcotest.test_case "random documents" `Quick
             test_het_simple_paths_exact_random ] );
       ( "pool-vs-engine",
-        [ Alcotest.test_case "bit-identical" `Quick test_pool_bit_identical ]
+        [ Alcotest.test_case "bit-identical" `Quick test_pool_bit_identical;
+          Alcotest.test_case "chunked + stolen + affinity on hostile inputs"
+            `Quick test_pool_chunked_hostile_bit_identical;
+          Alcotest.test_case "mid-batch deadline expiry" `Quick
+            test_pool_deadline_mid_batch ]
       ) ]

@@ -584,7 +584,7 @@ let test_protocol_profile () =
   (* On a single engine queue-wait and reassemble are structurally zero;
      execute percentiles are positive and ordered. *)
   let fields = profile_fields r in
-  checki "three stages x three percentiles plus refusals" 11
+  checki "three stages x three percentiles plus refusals and steals" 12
     (List.length fields);
   List.iteri
     (fun i (k, v) ->
@@ -595,9 +595,10 @@ let test_protocol_profile () =
         checkb (Printf.sprintf "%s zero on single engine" k) true (v = 0.0))
     fields;
   (match List.map (fun (_, v) -> float_of_string v) fields with
-   | [ _; _; _; e50; e90; e99; _; _; _; _timeout; _shed ] ->
+   | [ _; _; _; e50; e90; e99; _; _; _; _timeout; _shed; steals ] ->
      checkb "execute percentiles ordered" true (e50 <= e90 && e90 <= e99);
-     checkb "execute measured" true (e99 > 0.0)
+     checkb "execute measured" true (e99 > 0.0);
+     checkb "single engine never steals" true (steals = 0.0)
    | _ -> Alcotest.fail "unexpected field count");
   (* A bad query is timed like any other — the reply is a timing summary. *)
   let r, _ = serve_handle server ~payload:[ "/r["; "/r/a" ] "PROFILE 2" in
@@ -605,7 +606,7 @@ let test_protocol_profile () =
   let r, _ = serve_handle server "PROFILE 0" in
   checks "empty profile is all zeros"
     "OK 0 queue_wait_us p50=0.0 p90=0.0 p99=0.0 execute_us p50=0.0 p90=0.0 \
-     p99=0.0 reassemble_us p50=0.0 p90=0.0 p99=0.0 timeout=0 shed=0"
+     p99=0.0 reassemble_us p50=0.0 p90=0.0 p99=0.0 timeout=0 shed=0 steals=0"
     r;
   (* EOF inside the frame: one ERR line, not n. *)
   let r, _ = serve_handle server ~payload:[ "/r/a" ] "PROFILE 3" in

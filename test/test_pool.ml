@@ -1,63 +1,94 @@
-(* The serving pool: work-queue semantics, epoch-based invalidation, and a
-   multi-domain stress run.
+(* The serving pool: sharded work-queue semantics (chunk dispatch, work
+   stealing), epoch-based invalidation, deterministic scheduling tests, and
+   a multi-domain stress run.
 
-   The stress test drives a pool with 4 client domains issuing a fixed-seed
-   mix of ESTIMATE / FEEDBACK / STATS / METRICS requests and then audits
-   the global invariants the pool promises: no exception escapes, the
-   Prometheus exposition never tears (parses, and a quiet re-scrape is
-   byte-identical), the epoch each client observes is monotone
-   non-decreasing, merged cache counters equal the per-shard sums, and
-   per-shard drift volumes sum to the DRIFT summary. [STRESS_OPS] scales
-   the per-client op count (default 800 for `dune runtest`; `make stress`
-   runs 10_000). *)
+   The scheduling tests lean on two pinned protocol rules to stay
+   deterministic without sleeps: (1) a lone chunk that [split] refuses
+   (length 1, the granularity floor) is never stolen, so a rendezvous
+   query routed to one shard as a length-1 chunk parks exactly that
+   shard's worker; (2) thieves take from the tail while owners pop the
+   head, so the head chunk of a parked shard's deque is always the one
+   left behind. [STRESS_OPS] scales the per-client op count (default 800
+   for `dune runtest`; `make stress` runs 10_000). *)
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)
+let bits = Int64.bits_of_float
 
 (* ------------------------------------------------------------------ *)
 (* Work queue *)
 
+let no_split _ = None
+
+(* Chunks stand in as (lo, hi) ranges in the queue-level tests; the split
+   mirrors the pool's: keep the leading (ceil) half, donate the rest, and
+   refuse below 2 slots. *)
+let split_range (lo, hi) =
+  if hi - lo < 2 then None
+  else
+    let mid = lo + ((hi - lo + 1) / 2) in
+    Some ((lo, mid), (mid, hi))
+
 let test_queue_fifo () =
   Alcotest.check_raises "capacity >= 1"
     (Invalid_argument "Work_queue.create: capacity 0 < 1") (fun () ->
-      ignore (Engine.Work_queue.create ~capacity:0));
-  let q = Engine.Work_queue.create ~capacity:4 in
+      ignore
+        (Engine.Work_queue.create ~shards:1 ~capacity:0 ()
+          : int Engine.Work_queue.t));
+  Alcotest.check_raises "shards >= 1"
+    (Invalid_argument "Work_queue.create: shards 0 < 1") (fun () ->
+      ignore
+        (Engine.Work_queue.create ~shards:0 ~capacity:4 ()
+          : int Engine.Work_queue.t));
+  let q = Engine.Work_queue.create ~shards:1 ~capacity:4 () in
   checki "capacity" 4 (Engine.Work_queue.capacity q);
+  checki "shards" 1 (Engine.Work_queue.shards q);
   checki "empty" 0 (Engine.Work_queue.length q);
+  Alcotest.check_raises "shard range checked"
+    (Invalid_argument "Work_queue: shard 5 out of range [0,1)") (fun () ->
+      ignore (Engine.Work_queue.push q ~shard:5 0 : bool));
   for i = 1 to 4 do
-    checkb "push accepted" true (Engine.Work_queue.push q i)
+    checkb "push accepted" true (Engine.Work_queue.push q ~shard:0 i)
   done;
   checki "full" 4 (Engine.Work_queue.length q);
-  checkb "pop 1" true (Engine.Work_queue.pop q = Some 1);
-  checkb "push 5 after pop" true (Engine.Work_queue.push q 5);
+  checkb "pop 1" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some (1, None));
+  checkb "push 5 after pop" true (Engine.Work_queue.push q ~shard:0 5);
   (* FIFO across the ring seam *)
   List.iter
-    (fun expect -> checkb "fifo order" true (Engine.Work_queue.pop q = Some expect))
+    (fun expect ->
+      checkb "fifo order" true
+        (Engine.Work_queue.pop q ~shard:0 ~split:no_split
+        = Some (expect, None)))
     [ 2; 3; 4; 5 ]
 
 let test_queue_close_drains () =
-  let q = Engine.Work_queue.create ~capacity:4 in
-  checkb "push a" true (Engine.Work_queue.push q "a");
-  checkb "push b" true (Engine.Work_queue.push q "b");
+  let q = Engine.Work_queue.create ~shards:1 ~capacity:4 () in
+  checkb "push a" true (Engine.Work_queue.push q ~shard:0 "a");
+  checkb "push b" true (Engine.Work_queue.push q ~shard:0 "b");
   Engine.Work_queue.close q;
   checkb "closed" true (Engine.Work_queue.closed q);
-  checkb "push refused" false (Engine.Work_queue.push q "c");
-  checkb "drains a" true (Engine.Work_queue.pop q = Some "a");
-  checkb "drains b" true (Engine.Work_queue.pop q = Some "b");
-  checkb "then None" true (Engine.Work_queue.pop q = None);
-  checkb "still None" true (Engine.Work_queue.pop q = None)
+  checkb "push refused" false (Engine.Work_queue.push q ~shard:0 "c");
+  checkb "drains a" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some ("a", None));
+  checkb "drains b" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some ("b", None));
+  checkb "then None" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = None);
+  checkb "still None" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = None)
 
-(* Producers block on a full queue until consumers make room; close wakes
+(* Producers block on a full deque until consumers make room; close wakes
    everyone. Run to completion = no deadlock. *)
 let test_queue_concurrent () =
-  let q = Engine.Work_queue.create ~capacity:2 in
+  let q = Engine.Work_queue.create ~shards:1 ~capacity:2 () in
   let n = 500 in
   let producers =
     List.init 2 (fun p ->
         Domain.spawn (fun () ->
             for i = 0 to n - 1 do
-              ignore (Engine.Work_queue.push q ((p * n) + i) : bool)
+              ignore (Engine.Work_queue.push q ~shard:0 ((p * n) + i) : bool)
             done))
   in
   let seen = Array.make (2 * n) false in
@@ -65,9 +96,9 @@ let test_queue_concurrent () =
   let consumer =
     Domain.spawn (fun () ->
         let rec loop () =
-          match Engine.Work_queue.pop q with
+          match Engine.Work_queue.pop q ~shard:0 ~split:no_split with
           | None -> ()
-          | Some v ->
+          | Some (v, _) ->
             seen.(v) <- true;
             incr consumed;
             loop ()
@@ -79,6 +110,91 @@ let test_queue_concurrent () =
   Domain.join consumer;
   checki "all consumed" (2 * n) !consumed;
   checkb "every item exactly once" true (Array.for_all Fun.id seen)
+
+(* The steal protocol, stepped through where every transition is visible:
+   own head first; a victim with >= 2 chunks donates its tail whole; a
+   victim down to its last divisible chunk is halved; a lone chunk that
+   split refuses is never stolen. *)
+let test_queue_steal_protocol () =
+  let q = Engine.Work_queue.create ~shards:3 ~capacity:4 () in
+  let pop shard = Engine.Work_queue.pop q ~shard ~split:split_range in
+  (* Own deque first, even when another shard's deque is longer. *)
+  checkb "push own" true (Engine.Work_queue.push q ~shard:1 (10, 12));
+  checkb "push 0a" true (Engine.Work_queue.push q ~shard:0 (0, 2));
+  checkb "push 0b" true (Engine.Work_queue.push q ~shard:0 (2, 4));
+  (match pop 1 with
+   | Some ((10, 12), None) -> ()
+   | _ -> Alcotest.fail "owner must serve its own head before stealing");
+  checki "no steal for an own pop" 0
+    (Engine.Work_queue.stats q).Engine.Work_queue.steals;
+  (* A victim holding >= 2 chunks donates its tail chunk whole. *)
+  (match pop 1 with
+   | Some ((2, 4), Some 0) -> ()
+   | _ -> Alcotest.fail "thief should take shard 0's tail chunk whole");
+  checki "one steal" 1 (Engine.Work_queue.stats q).Engine.Work_queue.steals;
+  (* A victim down to its last divisible chunk is only relieved of half:
+     the keep-half returns to the victim's deque. *)
+  (match pop 2 with
+   | Some ((1, 2), Some 0) -> ()
+   | _ -> Alcotest.fail "thief should take the trailing half of (0,2)");
+  checki "split counts as a steal" 2
+    (Engine.Work_queue.stats q).Engine.Work_queue.steals;
+  checki "keep-half stays reachable" 1 (Engine.Work_queue.length q);
+  (* The surviving (0,1) chunk is below the granularity floor: a thief
+     blocks rather than taking it. The wait counter ticking under the lock
+     is the rendezvous proving the steal was refused. *)
+  let thief = Domain.spawn (fun () -> pop 1) in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  checki "lone unsplittable chunk never stolen" 2
+    (Engine.Work_queue.stats q).Engine.Work_queue.steals;
+  (* The owner drains it head-first... *)
+  (match pop 0 with
+   | Some ((0, 1), None) -> ()
+   | _ -> Alcotest.fail "owner should pop its own lone chunk");
+  (* ...and close wakes the starved thief into the drained exit. *)
+  Engine.Work_queue.close q;
+  checkb "starved thief sees drained close" true (Domain.join thief = None)
+
+(* Regression: close lands while a lone unsplittable chunk is still queued
+   and a thief is already asleep; the owner's post-close drain must re-wake
+   the thief (the close broadcast alone is not enough — the thief re-waits
+   when it finds only the chunk it may not take). *)
+let test_queue_close_wakes_starved_thief () =
+  let q = Engine.Work_queue.create ~shards:2 ~capacity:2 () in
+  checkb "push lone" true (Engine.Work_queue.push q ~shard:0 (0, 1));
+  let thief =
+    Domain.spawn (fun () -> Engine.Work_queue.pop q ~shard:1 ~split:split_range)
+  in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  Engine.Work_queue.close q;
+  (match Engine.Work_queue.pop q ~shard:0 ~split:split_range with
+   | Some ((0, 1), None) -> ()
+   | _ -> Alcotest.fail "owner drains the closed queue");
+  checkb "thief wakes after the post-close drain" true
+    (Domain.join thief = None)
+
+(* With stealing disabled a worker only ever sees its own deque: closed +
+   own deque empty = None even while other shards still hold work. *)
+let test_queue_steal_disabled () =
+  let q = Engine.Work_queue.create ~steal:false ~shards:2 ~capacity:2 () in
+  checkb "push other" true (Engine.Work_queue.push q ~shard:0 (0, 4));
+  let idle =
+    Domain.spawn (fun () -> Engine.Work_queue.pop q ~shard:1 ~split:split_range)
+  in
+  while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
+    Domain.cpu_relax ()
+  done;
+  checki "no steal with stealing off" 0
+    (Engine.Work_queue.stats q).Engine.Work_queue.steals;
+  Engine.Work_queue.close q;
+  checkb "idle shard exits without the other's work" true
+    (Domain.join idle = None);
+  checkb "owner still drains its own" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:split_range = Some ((0, 4), None))
 
 (* ------------------------------------------------------------------ *)
 (* Drift shard accounting (regression: per-shard records must sum into the
@@ -116,16 +232,100 @@ let test_drift_shards_sum () =
   | _ -> Alcotest.fail "drift summary not an object"
 
 (* ------------------------------------------------------------------ *)
+(* Chunk plan: the pure partition function, QCheck-pinned. *)
+
+let prop_plan_partition =
+  QCheck.Test.make ~count:500
+    ~name:"plan_chunks partitions [0,n) exactly, in order"
+    QCheck.(triple (int_bound 200) (int_range 1 8) (int_range 1 16))
+    (fun (n, workers, chunk_target) ->
+      let plan = Engine.Pool.plan_chunks ~n ~workers ~chunk_target () in
+      let count = Array.length plan in
+      (* Count law: never more chunks than slots, at least one per worker
+         (for parallelism), near chunk_target slots each. *)
+      let expect_count =
+        if n <= 0 then 0
+        else min n (max workers ((n + chunk_target - 1) / chunk_target))
+      in
+      if count <> expect_count then
+        QCheck.Test.fail_reportf "n=%d workers=%d target=%d: %d chunks, not %d"
+          n workers chunk_target count expect_count;
+      (* Exact contiguous cover: every index exactly once, in order. *)
+      let next = ref 0 in
+      Array.iter
+        (fun (lo, hi, shard) ->
+          if lo <> !next then
+            QCheck.Test.fail_reportf "gap/overlap: chunk starts at %d, not %d"
+              lo !next;
+          if hi <= lo then QCheck.Test.fail_reportf "empty chunk at %d" lo;
+          if shard < 0 || shard >= workers then
+            QCheck.Test.fail_reportf "shard %d out of [0,%d)" shard workers;
+          next := hi)
+        plan;
+      if !next <> max 0 n then
+        QCheck.Test.fail_reportf "cover ends at %d, not %d" !next n;
+      (* Sizes differ by at most one, longer chunks first; round-robin
+         placement without affinity. *)
+      let sizes = Array.map (fun (lo, hi, _) -> hi - lo) plan in
+      for i = 1 to count - 1 do
+        if sizes.(i) > sizes.(i - 1) then
+          QCheck.Test.fail_reportf "short chunk before long at %d" i
+      done;
+      if count > 0 && sizes.(0) - sizes.(count - 1) > 1 then
+        QCheck.Test.fail_reportf "chunk sizes differ by more than one";
+      Array.iteri
+        (fun i (_, _, shard) ->
+          if shard <> i mod workers then
+            QCheck.Test.fail_reportf "chunk %d on shard %d, not %d" i shard
+              (i mod workers))
+        plan;
+      true)
+
+let prop_plan_affinity =
+  QCheck.Test.make ~count:200
+    ~name:"affinity plans every chunk onto the preferred shard"
+    QCheck.(quad (int_range 1 200) (int_range 1 8) (int_range 1 16) small_nat)
+    (fun (n, workers, chunk_target, p) ->
+      let preferred = p mod workers in
+      let plan =
+        Engine.Pool.plan_chunks ~n ~workers ~chunk_target ~preferred ()
+      in
+      Array.for_all (fun (_, _, shard) -> shard = preferred) plan)
+
+let test_plan_chunks_edges () =
+  checki "n=0 plans nothing" 0
+    (Array.length (Engine.Pool.plan_chunks ~n:0 ~workers:4 ~chunk_target:8 ()));
+  (match Engine.Pool.plan_chunks ~n:1 ~workers:4 ~chunk_target:8 () with
+   | [| (0, 1, 0) |] -> ()
+   | _ -> Alcotest.fail "n=1 is one length-1 chunk on shard 0");
+  (* n < workers: one slot per chunk, never an empty chunk. *)
+  let p = Engine.Pool.plan_chunks ~n:3 ~workers:8 ~chunk_target:1 () in
+  checki "n < workers plans n chunks" 3 (Array.length p);
+  Array.iteri
+    (fun i (lo, hi, shard) ->
+      checki "lo" i lo;
+      checki "hi" (i + 1) hi;
+      checki "round-robin shard" i shard)
+    p;
+  (* Longer chunks first: 10 slots over 4 chunks is 3,3,2,2. *)
+  let sizes =
+    Array.map
+      (fun (lo, hi, _) -> hi - lo)
+      (Engine.Pool.plan_chunks ~n:10 ~workers:4 ~chunk_target:8 ())
+  in
+  checkb "sizes 3,3,2,2" true (sizes = [| 3; 3; 2; 2 |])
+
+(* ------------------------------------------------------------------ *)
 (* Pool basics *)
 
-let build_pool ?(workers = 2) doc =
+let build_pool ?(workers = 2) ?chunk_target doc =
   let path_tree = Pathtree.Path_tree.of_string doc in
   let kernel =
     Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
   in
   let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
   let estimator = Core.Estimator.create ~het kernel in
-  (path_tree, Engine.Pool.create ~workers estimator)
+  (path_tree, Engine.Pool.create ~workers ?chunk_target estimator)
 
 let test_pool_lifecycle () =
   Alcotest.check_raises "workers >= 1"
@@ -134,8 +334,15 @@ let test_pool_lifecycle () =
         (Engine.Pool.create ~workers:0
            (Core.Estimator.create
               (Core.Builder.of_string Datagen.Paper_example.document))));
+  Alcotest.check_raises "chunk_target >= 1"
+    (Invalid_argument "Pool.create: chunk_target 0 < 1") (fun () ->
+      ignore
+        (Engine.Pool.create ~workers:1 ~chunk_target:0
+           (Core.Estimator.create
+              (Core.Builder.of_string Datagen.Paper_example.document))));
   let _, pool = build_pool ~workers:2 Datagen.Paper_example.document in
   checki "workers" 2 (Engine.Pool.workers pool);
+  checki "chunk_target default" 8 (Engine.Pool.chunk_target pool);
   checki "epoch starts at 0" 0 (Engine.Pool.epoch pool);
   (match Engine.Pool.estimate pool "/site/regions" with
    | Ok r -> checkb "finite" true (Float.is_finite r.Engine.Serve.value)
@@ -163,6 +370,26 @@ let test_pool_invalidate_bumps_epoch () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "post-invalidate: %s" (Core.Error.to_string e)
 
+let expect_singles pool queries =
+  List.map
+    (fun q ->
+      match Engine.Pool.estimate pool q with
+      | Ok r -> r.Engine.Serve.value
+      | Error e -> Alcotest.failf "single %s: %s" q (Core.Error.to_string e))
+    queries
+
+let check_replies ~expected replies =
+  List.iteri
+    (fun i reply ->
+      match reply with
+      | Ok r ->
+        Alcotest.(check int64)
+          (Printf.sprintf "slot %d" i)
+          (bits (List.nth expected i))
+          (bits r.Engine.Serve.value)
+      | Error e -> Alcotest.failf "slot %d: %s" i (Core.Error.to_string e))
+    replies
+
 let test_pool_batch_order () =
   let path_tree, pool = build_pool Datagen.Paper_example.document in
   Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
@@ -170,30 +397,65 @@ let test_pool_batch_order () =
     List.map Xpath.Ast.to_string (Datagen.Workload.all_simple_paths path_tree)
   in
   (* Sequential singles establish the expected values... *)
+  let expected = expect_singles pool queries in
+  (* ...then one batch (larger than the worker count, including repeats)
+     must return them in submission order. *)
+  let batch = Engine.Pool.estimate_batch pool (queries @ queries) in
+  checki "batch size" (2 * List.length queries) (List.length batch);
+  check_replies ~expected:(expected @ expected) batch
+
+(* Random batch shapes against sequential singles: submission order and
+   bit-identity hold for every n (0, 1, n < workers, n >> workers) with
+   chunking and stealing on. Fixed seed, one pool. *)
+let test_pool_batch_random_shapes () =
+  let path_tree, pool =
+    build_pool ~workers:3 ~chunk_target:2 Datagen.Paper_example.document
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries =
+    Array.of_list
+      (List.map Xpath.Ast.to_string
+         (Datagen.Workload.all_simple_paths path_tree))
+  in
   let expected =
-    List.map
+    Array.map
       (fun q ->
         match Engine.Pool.estimate pool q with
         | Ok r -> r.Engine.Serve.value
         | Error e -> Alcotest.failf "single %s: %s" q (Core.Error.to_string e))
       queries
   in
-  (* ...then one batch (larger than the worker count, including repeats)
-     must return them in submission order. *)
-  let batch = Engine.Pool.estimate_batch pool (queries @ queries) in
-  checki "batch size" (2 * List.length queries) (List.length batch);
-  List.iteri
-    (fun i reply ->
-      let q = List.nth queries (i mod List.length queries) in
-      let e = List.nth expected (i mod List.length queries) in
-      match reply with
-      | Ok r ->
-        Alcotest.(check int64)
-          (Printf.sprintf "slot %d (%s)" i q)
-          (Int64.bits_of_float e)
-          (Int64.bits_of_float r.Engine.Serve.value)
-      | Error err -> Alcotest.failf "slot %d: %s" i (Core.Error.to_string err))
-    batch
+  let rng = Datagen.Rng.create ~seed:42 in
+  for round = 1 to 50 do
+    (* Cover the edges deterministically, then random widths. *)
+    let n =
+      match round with
+      | 1 -> 0
+      | 2 -> 1
+      | 3 -> 2 (* n < workers *)
+      | _ -> Datagen.Rng.int rng 40
+    in
+    let idx =
+      List.init n (fun _ -> Datagen.Rng.int rng (Array.length queries))
+    in
+    let batch =
+      Engine.Pool.estimate_batch pool (List.map (fun i -> queries.(i)) idx)
+    in
+    checki (Printf.sprintf "round %d size" round) n (List.length batch);
+    List.iteri
+      (fun slot reply ->
+        let i = List.nth idx slot in
+        match reply with
+        | Ok r ->
+          Alcotest.(check int64)
+            (Printf.sprintf "round %d slot %d (%s)" round slot queries.(i))
+            (bits expected.(i))
+            (bits r.Engine.Serve.value)
+        | Error e ->
+          Alcotest.failf "round %d slot %d: %s" round slot
+            (Core.Error.to_string e))
+      batch
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Work-queue contention stats. The queue counts a wait (and starts its
@@ -202,40 +464,48 @@ let test_pool_batch_order () =
    blocked domain — no sleeps, no flakes. *)
 
 let test_queue_stats () =
-  let q = Engine.Work_queue.create ~capacity:2 in
+  let q = Engine.Work_queue.create ~shards:1 ~capacity:2 () in
   let s0 = Engine.Work_queue.stats q in
   checki "fresh pushes" 0 s0.Engine.Work_queue.pushes;
   checki "fresh pops" 0 s0.Engine.Work_queue.pops;
+  checki "fresh steals" 0 s0.Engine.Work_queue.steals;
   checki "fresh high-water" 0 s0.Engine.Work_queue.max_occupancy;
-  checkb "push 1" true (Engine.Work_queue.push q 1);
-  checkb "push 2" true (Engine.Work_queue.push q 2);
+  checkb "push 1" true (Engine.Work_queue.push q ~shard:0 1);
+  checkb "push 2" true (Engine.Work_queue.push q ~shard:0 2);
   let s1 = Engine.Work_queue.stats q in
   checki "two pushes" 2 s1.Engine.Work_queue.pushes;
   checki "high-water follows occupancy" 2 s1.Engine.Work_queue.max_occupancy;
   checki "uncontended pushes never wait" 0 s1.Engine.Work_queue.push_waits;
-  let producer = Domain.spawn (fun () -> Engine.Work_queue.push q 3) in
+  let producer = Domain.spawn (fun () -> Engine.Work_queue.push q ~shard:0 3) in
   while (Engine.Work_queue.stats q).Engine.Work_queue.push_waits = 0 do
     Domain.cpu_relax ()
   done;
   checkb "pop releases the blocked producer" true
-    (Engine.Work_queue.pop q = Some 1);
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some (1, None));
   checkb "blocked push lands" true (Domain.join producer);
   let s2 = Engine.Work_queue.stats q in
   checki "blocked push counted once" 1 s2.Engine.Work_queue.push_waits;
   checkb "producer blocking time accumulates" true
     (s2.Engine.Work_queue.push_wait_s > 0.0);
   (* Symmetric consumer-side wait on an empty ring. *)
-  checkb "drain 2" true (Engine.Work_queue.pop q = Some 2);
-  checkb "drain 3" true (Engine.Work_queue.pop q = Some 3);
-  let consumer = Domain.spawn (fun () -> Engine.Work_queue.pop q) in
+  checkb "drain 2" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some (2, None));
+  checkb "drain 3" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some (3, None));
+  let consumer =
+    Domain.spawn (fun () -> Engine.Work_queue.pop q ~shard:0 ~split:no_split)
+  in
   while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
     Domain.cpu_relax ()
   done;
-  checkb "push releases the blocked consumer" true (Engine.Work_queue.push q 9);
-  checkb "blocked pop sees the push" true (Domain.join consumer = Some 9);
+  checkb "push releases the blocked consumer" true
+    (Engine.Work_queue.push q ~shard:0 9);
+  checkb "blocked pop sees the push" true
+    (Domain.join consumer = Some (9, None));
   let s3 = Engine.Work_queue.stats q in
   checki "all pushes counted" 4 s3.Engine.Work_queue.pushes;
   checki "all pops counted" 4 s3.Engine.Work_queue.pops;
+  checki "no steals on a single shard" 0 s3.Engine.Work_queue.steals;
   checki "blocked pop counted once" 1 s3.Engine.Work_queue.pop_waits;
   checkb "consumer blocking time accumulates" true
     (s3.Engine.Work_queue.pop_wait_s > 0.0)
@@ -277,7 +547,8 @@ let test_pool_profile () =
      checkb "reassemble percentiles ordered" true
        (ordered p.Engine.Serve.reassemble_us);
      checkb "execute time is measured" true
-       (p.Engine.Serve.execute_us.Engine.Serve.p99 > 0.0));
+       (p.Engine.Serve.execute_us.Engine.Serve.p99 > 0.0);
+     checkb "steal delta is non-negative" true (p.Engine.Serve.steals >= 0));
   (* The protocol verb frames like BATCH (count, then payload lines) and
      answers in one line; a bad query is timed, not failed. *)
   let server = Engine.Pool.server pool in
@@ -292,7 +563,9 @@ let test_pool_profile () =
   match String.split_on_char ' ' r with
   | "OK" :: "3" :: rest ->
     let kvs = List.filter (fun tok -> String.contains tok '=') rest in
-    checki "eleven stage fields" 11 (List.length kvs);
+    checki "twelve stage fields" 12 (List.length kvs);
+    checkb "steal delta reported" true
+      (List.exists (String.starts_with ~prefix:"steals=") kvs);
     List.iter
       (fun tok ->
         let i = String.index tok '=' in
@@ -340,6 +613,8 @@ let test_pool_trace () =
   let tr = Obs.Trace.create () in
   let pool = Engine.Pool.create ~workers:4 ~trace:tr estimator in
   Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  (* 16 queries at the default chunk_target 8 over 4 workers plan as
+     exactly 4 chunks (min 16 (max 4 (ceil 16/8))). *)
   let queries =
     List.init 16 (fun i -> if i mod 2 = 0 then "/site/regions" else "/site")
   in
@@ -360,8 +635,12 @@ let test_pool_trace () =
   let named ph name ev =
     ev_str "ph" ev = Some ph && ev_str "name" ev = Some name
   in
+  checki "one dispatch instant per planned chunk" 4
+    (count (named "i" "chunk_dispatch") evs);
   let executes = List.filter (named "X" "execute") evs in
-  checkb "one execute slice per query" true (List.length executes >= 16);
+  (* At least one execute slice per chunk; steal-splits mint extra chunks,
+     each with its own slice. *)
+  checkb "execute slices cover the chunks" true (List.length executes >= 4);
   checkb "execute slices live on shard tracks" true
     (List.for_all
        (fun ev ->
@@ -373,7 +652,7 @@ let test_pool_trace () =
     (count (named "X" "batch_submit") evs >= 1
     && count (named "X" "batch_gather") evs >= 1);
   let flows_started = count (fun ev -> ev_str "ph" ev = Some "s") evs in
-  checkb "one flow per query" true (flows_started >= 16);
+  checki "one flow per planned chunk" 4 flows_started;
   checki "every flow lands" flows_started
     (count (fun ev -> ev_str "ph" ev = Some "f") evs);
   checki "queue-wait spans balance"
@@ -431,6 +710,8 @@ let test_pool_telemetry_metrics () =
       "xseed_engine_pool_batch_chunk_count";
       "xseed_engine_pool_queue_pushes";
       "xseed_engine_pool_queue_max_occupancy";
+      "xseed_engine_pool_steals_total";
+      "xseed_engine_pool_affinity_hits";
       "xseed_engine_gc_minor_words{shard=\"0\"}";
       "xseed_engine_gc_minor_words{shard=\"1\"}";
       "xseed_engine_pool_busy_fraction{shard=\"0\"}";
@@ -438,7 +719,7 @@ let test_pool_telemetry_metrics () =
   (* Scrape self-observability: the first scrape latches its own duration,
      and after fresh traffic the next scrape publishes it. Once published,
      a quiet re-scrape re-emits the latched values byte-for-byte (asserted
-     wholesale by [test_pool_metrics_quiet_stress]). *)
+     wholesale by the stress run's quiet-scrape law). *)
   ignore
     (Engine.Pool.estimate pool "/site/regions"
       : (Engine.Serve.estimate_reply, Core.Error.t) result);
@@ -453,17 +734,165 @@ let test_pool_telemetry_metrics () =
      | Some (Obs.Json.Obj pf) ->
        List.iter
          (fun k -> checkb ("pool stats has " ^ k) true (List.mem_assoc k pf))
-         [ "queue_pushes"; "queue_pops"; "queue_push_waits";
-           "queue_pop_waits"; "queue_push_wait_s"; "queue_pop_wait_s";
-           "queue_max_occupancy" ];
+         [ "chunk_target"; "queue_pushes"; "queue_pops"; "queue_steals";
+           "queue_push_waits"; "queue_pop_waits"; "queue_push_wait_s";
+           "queue_pop_wait_s"; "queue_max_occupancy"; "affinity_hits" ];
        (match List.assoc "queue_pushes" pf with
-        | Obs.Json.Int n -> checkb "batch traffic counted" true (n >= 8)
-        | _ -> Alcotest.fail "queue_pushes not an int")
+        | Obs.Json.Int n ->
+          (* Chunked dispatch: the 8-query batch planned 2 chunks (one per
+             worker) and the single estimate one more — pushes count
+             chunks, not slots. *)
+          checkb "batch traffic counted in chunks" true (n >= 3)
+        | _ -> Alcotest.fail "queue_pushes not an int");
+       (match List.assoc "chunk_target" pf with
+        | Obs.Json.Int n -> checki "chunk_target surfaced" 8 n
+        | _ -> Alcotest.fail "chunk_target not an int")
      | _ -> Alcotest.fail "stats without pool object")
   | _ -> Alcotest.fail "stats_json not an object"
 
 (* ------------------------------------------------------------------ *)
-(* Stress: 4 client domains x STRESS_OPS mixed operations, fixed seed. *)
+(* Deterministic work stealing. A chaos gate blocks the preferred shard's
+   worker inside a designated query; the sleeper travels as a lone
+   length-1 chunk (never stolen), so exactly that worker parks while the
+   other shard steals the rest of an affinity-routed batch. *)
+
+type gate = {
+  g_lock : Mutex.t;
+  g_cond : Condition.t;
+  mutable g_entered : bool;
+  mutable g_released : bool;
+}
+
+let gate () =
+  { g_lock = Mutex.create (); g_cond = Condition.create ();
+    g_entered = false; g_released = false }
+
+let gate_hook g = function
+  | "//sleepy" ->
+    Mutex.lock g.g_lock;
+    g.g_entered <- true;
+    Condition.broadcast g.g_cond;
+    while not g.g_released do Condition.wait g.g_cond g.g_lock done;
+    Mutex.unlock g.g_lock;
+    false (* then serve normally *)
+  | _ -> false
+
+let gate_await_entered g =
+  Mutex.lock g.g_lock;
+  while not g.g_entered do Condition.wait g.g_cond g.g_lock done;
+  Mutex.unlock g.g_lock
+
+let gate_release g =
+  Mutex.lock g.g_lock;
+  g.g_released <- true;
+  Condition.broadcast g.g_cond;
+  Mutex.unlock g.g_lock
+
+let paper_estimator () =
+  let doc = Datagen.Paper_example.document in
+  let path_tree = Pathtree.Path_tree.of_string doc in
+  let kernel =
+    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
+  in
+  let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
+  Core.Estimator.create ~het kernel
+
+(* The smallest client token whose affinity hash lands on [shard]. *)
+let affinity_for pool ~shard =
+  let rec go a =
+    if Engine.Pool.preferred_shard pool ~affinity:a = shard then a
+    else go (a + 1)
+  in
+  go 0
+
+(* chunk_target 1: every slot is its own lone chunk. The parked shard's
+   deque fills with 12 unsplittable chunks; the idle shard steals the 11
+   tail chunks (whole) and the head chunk — protected by the granularity
+   floor — waits for its planned shard. Exactly 11 steals, zero lost or
+   duplicated replies, submission order preserved. *)
+let test_pool_work_stealing () =
+  let g = gate () in
+  let pool =
+    Engine.Pool.create ~workers:2 ~chunk_target:1 ~queue_capacity:64
+      ~chaos:(gate_hook g) (paper_estimator ())
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let aff = affinity_for pool ~shard:0 in
+  let queries =
+    List.init 12 (fun i -> if i mod 3 = 0 then "/site" else "/site/regions")
+  in
+  let expected = expect_singles pool queries in
+  checki "no steals yet" 0 (Engine.Pool.steals_total pool);
+  (* Park shard 0 inside the gate on a lone length-1 chunk. *)
+  let sleeper =
+    Domain.spawn (fun () -> Engine.Pool.estimate ~affinity:aff pool "//sleepy")
+  in
+  gate_await_entered g;
+  let batcher =
+    Domain.spawn (fun () ->
+        Engine.Pool.estimate_batch ~affinity:aff pool queries)
+  in
+  (* Rendezvous: the idle shard steals every chunk above the granularity
+     floor; the count is exact, so spinning to 11 is spinning to done. *)
+  while Engine.Pool.steals_total pool < 11 do Domain.cpu_relax () done;
+  checki "exactly the stealable chunks stolen" 11
+    (Engine.Pool.steals_total pool);
+  gate_release g;
+  (match Domain.join sleeper with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "sleepy: %s" (Core.Error.to_string e));
+  let batch = Domain.join batcher in
+  checki "no lost or duplicated replies" 12 (List.length batch);
+  check_replies ~expected batch;
+  checki "steal count stable after completion" 11
+    (Engine.Pool.steals_total pool);
+  (* Affinity accounting: only the chunks the preferred shard itself
+     served count — the sleeper and the floor-protected head chunk. *)
+  checki "affinity hits" 2 (Engine.Pool.affinity_hits pool);
+  checki "no worker died" 0 (Engine.Pool.worker_restarts pool)
+
+(* Splitting the victim's last chunk: 8 slots at chunk_target 8 over 2
+   workers plan as two 4-slot chunks on the parked shard. The thief takes
+   one whole, then halves the survivor twice (4 -> 2 -> 1) until slot 0
+   alone sits below the granularity floor: exactly 3 steals on every
+   interleaving, and the split halves must not lose, duplicate or reorder
+   any slot. *)
+let test_pool_steal_split () =
+  let g = gate () in
+  let pool =
+    Engine.Pool.create ~workers:2 ~chunk_target:8 ~queue_capacity:64
+      ~chaos:(gate_hook g) (paper_estimator ())
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let aff = affinity_for pool ~shard:0 in
+  let queries =
+    List.init 8 (fun i ->
+        if i mod 2 = 0 then "/site/regions" else "/site/people")
+  in
+  let expected = expect_singles pool queries in
+  let sleeper =
+    Domain.spawn (fun () -> Engine.Pool.estimate ~affinity:aff pool "//sleepy")
+  in
+  gate_await_entered g;
+  let batcher =
+    Domain.spawn (fun () ->
+        Engine.Pool.estimate_batch ~affinity:aff pool queries)
+  in
+  while Engine.Pool.steals_total pool < 3 do Domain.cpu_relax () done;
+  checki "one whole steal, then two splits" 3 (Engine.Pool.steals_total pool);
+  gate_release g;
+  (match Domain.join sleeper with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "sleepy: %s" (Core.Error.to_string e));
+  let batch = Domain.join batcher in
+  checki "all slots answered" 8 (List.length batch);
+  check_replies ~expected batch;
+  checki "splits never double-serve" 3 (Engine.Pool.steals_total pool)
+
+(* ------------------------------------------------------------------ *)
+(* Stress: 4 client domains x STRESS_OPS mixed operations, fixed seed,
+   per-client affinity routing — so batches pile chunks onto one shard and
+   the other workers exercise the steal path under real contention. *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -480,7 +909,9 @@ let test_pool_stress () =
   let ops = stress_ops () in
   let clients = 4 in
   let doc = Datagen.Xmark.generate ~seed:11 ~items:30 () in
-  let path_tree, pool = build_pool ~workers:(stress_workers ()) doc in
+  let path_tree, pool =
+    build_pool ~workers:(stress_workers ()) ~chunk_target:2 doc
+  in
   Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
   let server = Engine.Pool.server pool in
   let queries =
@@ -495,19 +926,34 @@ let test_pool_stress () =
   let client c =
     let rng = Datagen.Rng.create ~seed:(100 + c) in
     let last_epoch = ref 0 in
+    let ok_value (r : Engine.Serve.estimate_reply) =
+      Float.is_finite r.Engine.Serve.value && r.Engine.Serve.value >= 0.0
+    in
     for _ = 1 to ops do
       (* Epoch reads from client domains must be monotone non-decreasing. *)
       let e = Engine.Pool.epoch pool in
       if e < !last_epoch then Atomic.incr epoch_regressions;
       last_epoch := e;
       match Datagen.Rng.int rng 100 with
-      | n when n < 70 ->
+      | n when n < 55 ->
         let q = queries.(Datagen.Rng.int rng (Array.length queries)) in
-        (match Engine.Pool.estimate pool q with
-         | Ok r ->
-           if not (Float.is_finite r.Engine.Serve.value && r.Engine.Serve.value >= 0.0)
-           then Atomic.incr failures
+        (match Engine.Pool.estimate ~affinity:c pool q with
+         | Ok r -> if not (ok_value r) then Atomic.incr failures
          | Error _ -> Atomic.incr failures)
+      | n when n < 70 ->
+        (* Affinity-routed batch: every chunk plans onto this client's
+           preferred shard, so idle shards must steal to finish it. *)
+        let width = 2 + Datagen.Rng.int rng 6 in
+        let batch =
+          List.init width (fun _ ->
+              queries.(Datagen.Rng.int rng (Array.length queries)))
+        in
+        List.iter
+          (fun reply ->
+            match reply with
+            | Ok r -> if not (ok_value r) then Atomic.incr failures
+            | Error _ -> Atomic.incr failures)
+          (Engine.Pool.estimate_batch ~affinity:c pool batch)
       | n when n < 80 ->
         let q = queries.(Datagen.Rng.int rng (Array.length queries)) in
         (match
@@ -537,6 +983,9 @@ let test_pool_stress () =
     (sum (fun c -> c.Engine.Lru_cache.evictions));
   checkb "some traffic was served" true
     (merged.Engine.Lru_cache.hits + merged.Engine.Lru_cache.misses > 0);
+  checkb "steal and affinity counters never regress" true
+    (Engine.Pool.steals_total pool >= 0
+    && Engine.Pool.affinity_hits pool >= 0);
   (* Quiet pool: two scrapes must be byte-identical (no torn/duplicated
      series, idempotent republication). *)
   let m1 = Engine.Pool.metrics_text pool in
@@ -574,24 +1023,28 @@ let test_pool_stress () =
    push/pop when close lands. *)
 
 let test_queue_close_vs_blocked_push () =
-  let q = Engine.Work_queue.create ~capacity:1 in
-  checkb "fill" true (Engine.Work_queue.push q 1);
-  let producer = Domain.spawn (fun () -> Engine.Work_queue.push q 2) in
+  let q = Engine.Work_queue.create ~shards:1 ~capacity:1 () in
+  checkb "fill" true (Engine.Work_queue.push q ~shard:0 1);
+  let producer = Domain.spawn (fun () -> Engine.Work_queue.push q ~shard:0 2) in
   while (Engine.Work_queue.stats q).Engine.Work_queue.push_waits = 0 do
     Domain.cpu_relax ()
   done;
   (* The producer is asleep inside push; close must wake it and refuse. *)
   Engine.Work_queue.close q;
   checkb "blocked push returns false on close" false (Domain.join producer);
-  checkb "pre-close item drains" true (Engine.Work_queue.pop q = Some 1);
+  checkb "pre-close item drains" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some (1, None));
   checkb "refused item was never enqueued" true
-    (Engine.Work_queue.pop q = None);
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = None);
   (* try_push answers `Closed without blocking. *)
-  checkb "try_push sees closed" true (Engine.Work_queue.try_push q 3 = `Closed)
+  checkb "try_push sees closed" true
+    (Engine.Work_queue.try_push q ~shard:0 3 = `Closed)
 
 let test_queue_close_vs_blocked_pop () =
-  let q = Engine.Work_queue.create ~capacity:1 in
-  let consumer = Domain.spawn (fun () -> Engine.Work_queue.pop q) in
+  let q = Engine.Work_queue.create ~shards:1 ~capacity:1 () in
+  let consumer =
+    Domain.spawn (fun () -> Engine.Work_queue.pop q ~shard:0 ~split:no_split)
+  in
   while (Engine.Work_queue.stats q).Engine.Work_queue.pop_waits = 0 do
     Domain.cpu_relax ()
   done;
@@ -601,26 +1054,22 @@ let test_queue_close_vs_blocked_pop () =
   checkb "blocked pop returns None on close" true (Domain.join consumer = None)
 
 let test_queue_try_push () =
-  let q = Engine.Work_queue.create ~capacity:2 in
-  checkb "try_push 1" true (Engine.Work_queue.try_push q 1 = `Ok);
-  checkb "try_push 2" true (Engine.Work_queue.try_push q 2 = `Ok);
-  checkb "try_push full" true (Engine.Work_queue.try_push q 3 = `Full);
+  let q = Engine.Work_queue.create ~shards:2 ~capacity:2 () in
+  checkb "try_push 1" true (Engine.Work_queue.try_push q ~shard:0 1 = `Ok);
+  checkb "try_push 2" true (Engine.Work_queue.try_push q ~shard:0 2 = `Ok);
+  checkb "try_push full" true (Engine.Work_queue.try_push q ~shard:0 3 = `Full);
+  (* Capacity is per shard deque: the other shard still admits. *)
+  checkb "other shard admits" true
+    (Engine.Work_queue.try_push q ~shard:1 9 = `Ok);
   let s = Engine.Work_queue.stats q in
-  checki "refused push not counted" 2 s.Engine.Work_queue.pushes;
-  checkb "pop makes room" true (Engine.Work_queue.pop q = Some 1);
-  checkb "try_push after pop" true (Engine.Work_queue.try_push q 3 = `Ok)
+  checki "refused push not counted" 3 s.Engine.Work_queue.pushes;
+  checkb "pop makes room" true
+    (Engine.Work_queue.pop q ~shard:0 ~split:no_split = Some (1, None));
+  checkb "try_push after pop" true
+    (Engine.Work_queue.try_push q ~shard:0 3 = `Ok)
 
 (* ------------------------------------------------------------------ *)
 (* Failure handling: deadlines, shedding, supervision, quarantine. *)
-
-let paper_estimator () =
-  let doc = Datagen.Paper_example.document in
-  let path_tree = Pathtree.Path_tree.of_string doc in
-  let kernel =
-    Core.Builder.of_string ~table:path_tree.Pathtree.Path_tree.table doc
-  in
-  let het, _ = Core.Het_builder.build ~kernel ~path_tree () in
-  Core.Estimator.create ~het kernel
 
 (* A negative deadline is already exceeded at dequeue, so every request is
    refused deterministically — no sleeps, no clock races. *)
@@ -638,7 +1087,8 @@ let test_pool_deadline () =
         checkb "ERR timeout" true (Core.Error.kind e = Core.Error.Timeout);
         checki "timeout exits 75" 75 (Core.Error.exit_code e))
     (Engine.Pool.estimate_batch pool queries);
-  checki "timeout_total counts refusals" 3 (Engine.Pool.timeout_total pool);
+  checki "timeout_total counts refused slots" 3
+    (Engine.Pool.timeout_total pool);
   (* The refusals are visible in PROFILE and in the flight records. *)
   (match Engine.Pool.profile pool queries with
    | Ok p ->
@@ -661,52 +1111,21 @@ let test_pool_deadline () =
      | _ -> Alcotest.fail "pool stats not an object")
   | _ -> Alcotest.fail "stats_json not an object"
 
-(* A chaos gate that blocks the (single) worker inside a designated query
-   lets the test hold the pool provably busy while it overflows the
-   admission queue — the shed decisions become deterministic. *)
-type gate = {
-  g_lock : Mutex.t;
-  g_cond : Condition.t;
-  mutable g_entered : bool;
-  mutable g_released : bool;
-}
-
-let gate () =
-  { g_lock = Mutex.create (); g_cond = Condition.create ();
-    g_entered = false; g_released = false }
-
-let gate_hook g = function
-  | "//sleepy" ->
-    Mutex.lock g.g_lock;
-    g.g_entered <- true;
-    Condition.broadcast g.g_cond;
-    while not g.g_released do Condition.wait g.g_cond g.g_lock done;
-    Mutex.unlock g.g_lock;
-    false (* then serve normally *)
-  | _ -> false
-
-let gate_await_entered g =
-  Mutex.lock g.g_lock;
-  while not g.g_entered do Condition.wait g.g_cond g.g_lock done;
-  Mutex.unlock g.g_lock
-
-let gate_release g =
-  Mutex.lock g.g_lock;
-  g.g_released <- true;
-  Condition.broadcast g.g_cond;
-  Mutex.unlock g.g_lock
-
+(* Shed-newest under chunked dispatch: chunk_target 1 keeps the
+   chunk-per-query mapping, so overflowing a capacity-1 deque behind a
+   gated worker sheds exactly the two chunks (= two slots) that do not
+   fit, deterministically. *)
 let test_pool_shed_newest () =
   let g = gate () in
   let pool =
-    Engine.Pool.create ~workers:1 ~queue_capacity:1
+    Engine.Pool.create ~workers:1 ~queue_capacity:1 ~chunk_target:1
       ~shed_policy:`Shed_newest ~chaos:(gate_hook g) (paper_estimator ())
   in
   Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
   (* Occupy the only worker inside the gate... *)
   let sleeper = Domain.spawn (fun () -> Engine.Pool.estimate pool "//sleepy") in
   gate_await_entered g;
-  (* ...then overflow the capacity-1 queue: slot 0 is admitted, slots 1-2
+  (* ...then overflow the capacity-1 deque: slot 0 is admitted, slots 1-2
      must be shed (newest first) without blocking. *)
   let batcher =
     Domain.spawn (fun () ->
@@ -805,12 +1224,53 @@ let test_pool_supervision () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "post-quarantine: %s" (Core.Error.to_string e)
 
+(* A worker killed mid-chunk: the already-served slots keep their answers,
+   the unserved remainder of the chunk answers ERR internal, and the batch
+   still completes in submission order. chunk_target 8 with one worker
+   puts slots 0-7 in one chunk with the kill at slot 4. *)
+let test_pool_supervision_mid_chunk () =
+  let chaos q = q = "//kill" in
+  let pool =
+    Engine.Pool.create ~workers:1 ~chunk_target:8 ~chaos (paper_estimator ())
+  in
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) @@ fun () ->
+  let queries =
+    [ "/site"; "/site/regions"; "/site/people"; "/site";
+      "//kill"; "/site/regions"; "/site"; "/site/people" ]
+  in
+  let batch = Engine.Pool.estimate_batch pool queries in
+  checki "all slots answered" 8 (List.length batch);
+  List.iteri
+    (fun i reply ->
+      match (i, reply) with
+      | i, Ok r when i < 4 ->
+        checkb (Printf.sprintf "slot %d served before the crash" i) true
+          (Float.is_finite r.Engine.Serve.value)
+      | i, Ok _ -> Alcotest.failf "slot %d served after the crash" i
+      | i, Error e when i < 4 ->
+        Alcotest.failf "pre-crash slot %d failed: %s" i
+          (Core.Error.to_string e)
+      | _, Error e ->
+        checkb "post-crash slots answer internal" true
+          (Core.Error.kind e = Core.Error.Internal))
+    batch;
+  checki "one restart" 1 (Engine.Pool.worker_restarts pool);
+  (* The pool keeps serving after the mid-chunk recovery. *)
+  match Engine.Pool.estimate pool "/site" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-crash estimate: %s" (Core.Error.to_string e)
+
 let () =
   Alcotest.run "pool"
     [ ( "work-queue",
         [ Alcotest.test_case "fifo ring" `Quick test_queue_fifo;
           Alcotest.test_case "close drains" `Quick test_queue_close_drains;
           Alcotest.test_case "concurrent producers" `Quick test_queue_concurrent;
+          Alcotest.test_case "steal protocol" `Quick test_queue_steal_protocol;
+          Alcotest.test_case "close wakes starved thief" `Quick
+            test_queue_close_wakes_starved_thief;
+          Alcotest.test_case "stealing disabled" `Quick
+            test_queue_steal_disabled;
           Alcotest.test_case "contention stats" `Quick test_queue_stats;
           Alcotest.test_case "try_push never blocks" `Quick test_queue_try_push;
           Alcotest.test_case "close vs blocked push" `Quick
@@ -818,6 +1278,10 @@ let () =
           Alcotest.test_case "close vs blocked pop" `Quick
             test_queue_close_vs_blocked_pop
         ] );
+      ( "chunk-plan",
+        [ QCheck_alcotest.to_alcotest prop_plan_partition;
+          QCheck_alcotest.to_alcotest prop_plan_affinity;
+          Alcotest.test_case "edge cases" `Quick test_plan_chunks_edges ] );
       ( "drift",
         [ Alcotest.test_case "shard accounting" `Quick test_drift_shards_sum ] );
       ( "pool",
@@ -825,6 +1289,8 @@ let () =
           Alcotest.test_case "invalidate bumps epoch" `Quick
             test_pool_invalidate_bumps_epoch;
           Alcotest.test_case "batch order" `Quick test_pool_batch_order;
+          Alcotest.test_case "random batch shapes" `Quick
+            test_pool_batch_random_shapes;
           Alcotest.test_case "profile stages" `Quick test_pool_profile;
           Alcotest.test_case "causal trace" `Quick test_pool_trace;
           Alcotest.test_case "deadline refusals" `Quick test_pool_deadline;
@@ -832,7 +1298,14 @@ let () =
             test_pool_shed_newest;
           Alcotest.test_case "supervision and quarantine" `Quick
             test_pool_supervision;
+          Alcotest.test_case "supervision mid-chunk" `Quick
+            test_pool_supervision_mid_chunk;
           Alcotest.test_case "telemetry metrics" `Quick
             test_pool_telemetry_metrics ] );
+      ( "stealing",
+        [ Alcotest.test_case "deterministic steal of lone chunks" `Quick
+            test_pool_work_stealing;
+          Alcotest.test_case "splitting the last chunk" `Quick
+            test_pool_steal_split ] );
       ("stress", [ Alcotest.test_case "4-domain mixed ops" `Slow test_pool_stress ])
     ]
